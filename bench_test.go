@@ -1,0 +1,148 @@
+// Package repro's root benchmark harness regenerates every figure and
+// table of "Peachy Parallel Assignments (EduPar 2022)": one benchmark
+// per paper artifact, each driving the corresponding experiment from
+// internal/core (the E1-E21 index of DESIGN.md) and reporting the
+// headline quantities as custom benchmark metrics.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Print the full result tables while benchmarking:
+//
+//	go test -bench=. -benchv
+package repro
+
+import (
+	"flag"
+	"testing"
+
+	"repro/internal/core"
+)
+
+var benchVerbose = flag.Bool("benchv", false, "print experiment tables during benchmarks")
+
+// runExperiment executes a registered experiment once per benchmark
+// iteration. Quick mode keeps `go test -bench=.` runs to seconds per
+// artifact; the peachy CLI runs the full-size versions.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := core.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last *core.Result
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(core.Config{Quick: true})
+		if err != nil {
+			b.Fatalf("%s (%s): %v", e.ID, e.Artifact, err)
+		}
+		last = res
+	}
+	if *benchVerbose && last != nil {
+		b.Logf("%s (%s): %s\n%s", e.ID, e.Artifact, e.Title, last.Render())
+	}
+}
+
+// --- Abelian sandpile (Section II) -----------------------------------
+
+// BenchmarkFig1aCenter25000 regenerates Fig 1a: the stable
+// configuration grown from a single center pile (E1).
+func BenchmarkFig1aCenter25000(b *testing.B) { runExperiment(b, "E1") }
+
+// BenchmarkFig1bAll4 regenerates Fig 1b: the stable configuration from
+// four grains in every cell (E2).
+func BenchmarkFig1bAll4(b *testing.B) { runExperiment(b, "E2") }
+
+// BenchmarkKernelSyncVsAsync regenerates the Fig 2 comparison: both
+// kernels reach the identical fixed point; the table reports their
+// iteration counts (E3).
+func BenchmarkKernelSyncVsAsync(b *testing.B) { runExperiment(b, "E3") }
+
+// BenchmarkSchedPolicy regenerates the first sub-assignment's study:
+// OpenMP-style loop-schedule comparison on a sparse grid (E4).
+func BenchmarkSchedPolicy(b *testing.B) { runExperiment(b, "E4") }
+
+// BenchmarkFig3TileTrace regenerates Fig 3: the traced 500th iteration
+// of the lazy variant under 32x32 vs 64x64 tiles (E5).
+func BenchmarkFig3TileTrace(b *testing.B) { runExperiment(b, "E5") }
+
+// BenchmarkTileSizeLazyVsEager regenerates the second sub-assignment's
+// study: tile-size sweep and lazy-vs-eager comparison (E6).
+func BenchmarkTileSizeLazyVsEager(b *testing.B) { runExperiment(b, "E6") }
+
+// BenchmarkInnerKernel regenerates the third sub-assignment's study:
+// the specialized branch-free inner-tile kernel vs the guarded one
+// (E7).
+func BenchmarkInnerKernel(b *testing.B) { runExperiment(b, "E7") }
+
+// BenchmarkFig4HybridOwnership regenerates Fig 4: the CPU+device tile
+// ownership map with stable tiles black (E8).
+func BenchmarkFig4HybridOwnership(b *testing.B) { runExperiment(b, "E8") }
+
+// BenchmarkGhostWidth regenerates the fourth sub-assignment's study:
+// the Ghost Cell Pattern's redundancy/communication trade-off (E9).
+func BenchmarkGhostWidth(b *testing.B) { runExperiment(b, "E9") }
+
+// BenchmarkFig5SurveyTable reprints the archived Fig 5 survey data
+// (non-computational artifact) (E10).
+func BenchmarkFig5SurveyTable(b *testing.B) { runExperiment(b, "E10") }
+
+// --- Warming stripes (Section III) -----------------------------------
+
+// BenchmarkFig6WarmingStripes regenerates Fig 6: the warming-stripes
+// image and its annual-mean series via MapReduce (E11).
+func BenchmarkFig6WarmingStripes(b *testing.B) { runExperiment(b, "E11") }
+
+// BenchmarkValidationSweep regenerates the data-validation study: how
+// missing final months bias the annual mean (E12).
+func BenchmarkValidationSweep(b *testing.B) { runExperiment(b, "E12") }
+
+// BenchmarkFormatInvariance regenerates the software-engineering
+// study: both input layouts produce the identical series (E13).
+func BenchmarkFormatInvariance(b *testing.B) { runExperiment(b, "E13") }
+
+// --- Carbon-footprint workflows (Section IV) --------------------------
+
+// BenchmarkTab1Q1Baseline regenerates Tab 1 Question 1: the 64-node
+// top-p-state baseline with speedup and efficiency (E14).
+func BenchmarkTab1Q1Baseline(b *testing.B) { runExperiment(b, "E14") }
+
+// BenchmarkTab1Q2BinarySearch regenerates Tab 1 Question 2: the
+// minimum node count and minimum p-state under the 3-minute bound
+// (E15).
+func BenchmarkTab1Q2BinarySearch(b *testing.B) { runExperiment(b, "E15") }
+
+// BenchmarkTab1Q3BossHeuristic regenerates Tab 1 Question 3: the
+// combined power-management heuristic beating both pure options (E16).
+func BenchmarkTab1Q3BossHeuristic(b *testing.B) { runExperiment(b, "E16") }
+
+// BenchmarkTab2Q1Baselines regenerates Tab 2 Question 1: all-local vs
+// all-cloud (E17).
+func BenchmarkTab2Q1Baselines(b *testing.B) { runExperiment(b, "E17") }
+
+// BenchmarkTab2Q2FirstLevels regenerates Tab 2 Question 2: the three
+// placements of the first two workflow levels (E18).
+func BenchmarkTab2Q2FirstLevels(b *testing.B) { runExperiment(b, "E18") }
+
+// BenchmarkTab2TreasureHunt regenerates Tab 2 Questions 3-5: fraction
+// sweeps and the greedy hill-climb (E19).
+func BenchmarkTab2TreasureHunt(b *testing.B) { runExperiment(b, "E19") }
+
+// BenchmarkTab2Exhaustive regenerates the paper's stated future work:
+// the exhaustive search for the actual optimal CO2 emission (E20).
+func BenchmarkTab2Exhaustive(b *testing.B) { runExperiment(b, "E20") }
+
+// BenchmarkTableISurvey reprints the archived Table I student-feedback
+// data (non-computational artifact) (E21).
+func BenchmarkTableISurvey(b *testing.B) { runExperiment(b, "E21") }
+
+// --- Extensions beyond the paper's artifacts ---------------------------
+
+// BenchmarkIdentityFractal regenerates the sandpile-group identity
+// element, the classic extension of assignment 1 (E22).
+func BenchmarkIdentityFractal(b *testing.B) { runExperiment(b, "E22") }
+
+// BenchmarkHeterogeneousAblation regenerates the ablation of Tab 1's
+// homogeneity assumption: split p-state groups vs uniform (E23).
+func BenchmarkHeterogeneousAblation(b *testing.B) { runExperiment(b, "E23") }

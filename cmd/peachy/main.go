@@ -1,0 +1,108 @@
+// Command peachy runs the reproduction's experiments — every figure
+// and table of "Peachy Parallel Assignments (EduPar 2022)" — and
+// prints their result tables. Image artifacts (Fig 1a/1b, Fig 4,
+// Fig 6) are written as PNGs under -out.
+//
+// Usage:
+//
+//	peachy -list
+//	peachy [-quick] [-out DIR] [E1 E5 E14 ...]   # default: all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/img"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	quick := flag.Bool("quick", false, "run reduced workloads")
+	out := flag.String("out", "artifacts", "directory for PNG artifacts")
+	md := flag.String("md", "", "also write a markdown report to this file")
+	flag.Parse()
+
+	if *list {
+		for _, e := range core.All() {
+			fmt.Printf("%-4s %-22s %s\n", e.ID, e.Artifact, e.Title)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		for _, e := range core.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+	cfg := core.Config{Quick: *quick, OutDir: *out}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "peachy: %v\n", err)
+		os.Exit(1)
+	}
+
+	var report strings.Builder
+	if *md != "" {
+		report.WriteString("# Peachy Parallel Assignments — experiment report\n\n")
+	}
+	failed := 0
+	for _, id := range ids {
+		e, err := core.Lookup(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "peachy: %v\n", err)
+			failed++
+			continue
+		}
+		fmt.Printf("=== %s (%s): %s\n", e.ID, e.Artifact, e.Title)
+		start := time.Now()
+		res, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "peachy: %s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Print(res.Render())
+		for name, image := range res.Images {
+			path := filepath.Join(*out, name)
+			if err := img.SavePNG(path, image); err != nil {
+				fmt.Fprintf(os.Stderr, "peachy: saving %s: %v\n", path, err)
+				failed++
+				continue
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		for name, svg := range res.SVGs {
+			path := filepath.Join(*out, name)
+			if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "peachy: saving %s: %v\n", path, err)
+				failed++
+				continue
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		fmt.Printf("(%s in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if *md != "" {
+			report.WriteString(e.MarkdownHeader())
+			report.WriteByte('\n')
+			report.WriteString(res.Markdown())
+			report.WriteByte('\n')
+		}
+	}
+	if *md != "" {
+		if err := os.WriteFile(*md, []byte(report.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "peachy: writing report: %v\n", err)
+			failed++
+		} else {
+			fmt.Printf("wrote report to %s\n", *md)
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,150 @@
+// Command sandpile runs the Abelian-sandpile engine from the command
+// line, the way EASYPAP's students invoke kernel variants: pick a
+// variant, a configuration, a grid size, tiling and scheduling
+// parameters, and optionally write the stable configuration as a PNG
+// or dump a trace summary of one iteration.
+//
+// Examples:
+//
+//	sandpile -variant seq-async -config center -grains 25000 -size 128 -png fig1a.png
+//	sandpile -variant lazy-sync -config sparse -size 2048 -tile 32 -trace-iter 500
+//	sandpile -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/grid"
+	"repro/internal/img"
+	"repro/internal/sandpile"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list variants and exit")
+		variant   = flag.String("variant", "seq-async", "kernel variant (see -list)")
+		config    = flag.String("config", "center", "initial configuration: center|uniform|sparse|random")
+		grains    = flag.Uint("grains", 25000, "grains for center/uniform/sparse piles")
+		size      = flag.Int("size", 128, "grid edge length")
+		tile      = flag.Int("tile", 32, "tile edge for tiled variants")
+		workers   = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+		policy    = flag.String("policy", "dynamic", "schedule: static|cyclic|dynamic|guided|stealing")
+		seed      = flag.Int64("seed", 42, "seed for stochastic configurations")
+		maxIters  = flag.Int("max-iters", 0, "iteration cap (0 = run to stability)")
+		png       = flag.String("png", "", "write the final grid as a PNG")
+		traceIter = flag.Int("trace-iter", 0, "print a trace summary of this iteration")
+		traceOut  = flag.String("trace-out", "", "save the recorded trace (JSON lines) for off-line exploration")
+		timeline  = flag.Bool("timeline", false, "render an ASCII timeline of the traced iteration")
+		gifOut    = flag.String("gif", "", "write an animated GIF of the evolution")
+		gifEvery  = flag.Int("gif-every", 20, "capture a GIF frame every N iterations")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range engine.Names() {
+			v, _ := engine.Lookup(name)
+			fmt.Printf("%-18s %s\n", name, v.Description)
+		}
+		return
+	}
+
+	var cfg sandpile.Config
+	switch *config {
+	case "center":
+		cfg = sandpile.Center(uint32(*grains))
+	case "uniform":
+		cfg = sandpile.Uniform(uint32(*grains))
+	case "sparse":
+		cfg = sandpile.Sparse(0.001, uint32(*grains))
+	case "random":
+		cfg = sandpile.Random(uint32(*grains))
+	default:
+		fatalf("unknown config %q", *config)
+	}
+	pol, err := sched.ParsePolicy(*policy)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	g := cfg.Build(*size, *size, rand.New(rand.NewSource(*seed)))
+	initial := g.Sum()
+	params := engine.Params{
+		TileH: *tile, TileW: *tile,
+		Workers: *workers, Policy: pol, MaxIters: *maxIters,
+	}
+	var rec *trace.Recorder
+	if *traceIter > 0 {
+		rec = trace.NewRecorder()
+		params.Recorder = rec
+		params.TraceFrom = *traceIter
+		params.TraceTo = *traceIter
+	}
+	if *traceOut != "" && rec == nil {
+		fatalf("-trace-out requires -trace-iter")
+	}
+	var frames []*grid.Grid
+	if *gifOut != "" {
+		if *gifEvery < 1 {
+			*gifEvery = 1
+		}
+		params.OnIteration = func(st engine.IterStats) {
+			if st.Iteration%*gifEvery == 0 || st.Changes == 0 {
+				frames = append(frames, st.Grid.Clone())
+			}
+		}
+	}
+
+	start := time.Now()
+	res, err := engine.Run(*variant, g, params)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("%s on %s %dx%d: %v in %s\n", *variant, cfg.Name, *size, *size, res, elapsed.Round(time.Microsecond))
+	h := g.Histogram(4)
+	fmt.Printf("grains: initial=%d final=%d cells by value: 0:%d 1:%d 2:%d 3:%d stable=%v\n",
+		initial, g.Sum(), h[0], h[1], h[2], h[3], sandpile.Stable(g))
+
+	if rec != nil {
+		st := trace.Iteration(rec.Events(), *traceIter)
+		fmt.Printf("iteration %d: tasks=%d active=%d cells=%d workers=%d imbalance=%.3f span=%s\n",
+			st.Iteration, st.Tasks, st.ActiveTile, st.Cells, st.Workers, st.Imbalance, st.Span)
+		tl := grid.NewTiling(*size, *size, *tile, *tile)
+		owners := trace.TileOwners(rec.Events())
+		fmt.Printf("tiles computed in traced window: %d of %d\n", len(owners), tl.NumTiles())
+		if *timeline {
+			fmt.Print(trace.Timeline(rec.Events(), *traceIter, 72))
+		}
+		if *traceOut != "" {
+			if err := trace.Save(*traceOut, rec); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Printf("wrote trace to %s\n", *traceOut)
+		}
+	}
+	if *png != "" {
+		if err := img.SavePNG(*png, img.Sandpile(g, 4)); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote %s\n", *png)
+	}
+	if *gifOut != "" {
+		if err := img.SaveGIF(*gifOut, frames, 4, 4); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote %s (%d frames)\n", *gifOut, len(frames))
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sandpile: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,122 @@
+// Command stripes runs the Warming-Stripes data-science workflow end
+// to end: generate (or read) a DWD-like dataset, run the MapReduce
+// analysis, validate the result, and render the Figure 6 image.
+//
+// Examples:
+//
+//	stripes -png stripes.png
+//	stripes -layout station -start 1950 -end 2019 -missing 3 -exclude-suspect
+//	stripes -dump-data datadir   # write the synthetic input files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/climate"
+	"repro/internal/img"
+	"repro/internal/mapreduce"
+	"repro/internal/stripes"
+)
+
+func main() {
+	var (
+		layoutName = flag.String("layout", "month", "input layout: month|station|dwd")
+		start      = flag.Int("start", 1881, "first year")
+		end        = flag.Int("end", 2019, "last year")
+		seed       = flag.Int64("seed", 42, "generator seed")
+		missing    = flag.Int("missing", 0, "drop the last N months of the final year")
+		mapTasks   = flag.Int("map-tasks", 8, "MapReduce map tasks")
+		redTasks   = flag.Int("reduce-tasks", 4, "MapReduce reduce partitions")
+		png        = flag.String("png", "", "write the warming-stripes PNG here")
+		exclude    = flag.Bool("exclude-suspect", false, "blank years flagged by validation")
+		dumpData   = flag.String("dump-data", "", "write the generated input files to this directory and exit")
+	)
+	flag.Parse()
+
+	d := climate.Generate(climate.Params{
+		Seed: *seed, StartYear: *start, EndYear: *end, MissingFinalMonths: *missing,
+	})
+
+	var layout stripes.Layout
+	var files map[string]string
+	switch *layoutName {
+	case "month":
+		layout, files = stripes.MonthLayout, climate.MonthFiles(d)
+	case "station":
+		layout, files = stripes.StationLayout, climate.StationFiles(d)
+	case "dwd":
+		layout, files = stripes.DWDLayout, climate.DWDFiles(d)
+	default:
+		fatalf("unknown layout %q", *layoutName)
+	}
+
+	if *dumpData != "" {
+		if err := os.MkdirAll(*dumpData, 0o755); err != nil {
+			fatalf("%v", err)
+		}
+		for name, content := range files {
+			path := filepath.Join(*dumpData, name+".csv")
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				fatalf("%v", err)
+			}
+		}
+		fmt.Printf("wrote %d input files to %s\n", len(files), *dumpData)
+		return
+	}
+
+	series, stats, err := stripes.ComputeSeries(layout, files, mapreduce.Config[string]{
+		MapTasks: *mapTasks, ReduceTasks: *redTasks,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("MapReduce: %d map tasks over %d records, %d reduce groups, %d outputs\n",
+		stats.MapTasks, stats.MapInputs, stats.ReduceGroups, stats.Outputs)
+
+	v := stripes.Validate(series)
+	if len(v.SuspectYears) > 0 {
+		fmt.Printf("validation: suspect years %v (expected %d observations/year)\n",
+			v.SuspectYears, v.ExpectedCount)
+		if *exclude {
+			series = series.Exclude(v.SuspectYears)
+			fmt.Println("validation: suspect years excluded from the series")
+		}
+	} else {
+		fmt.Println("validation: every year complete")
+	}
+
+	lo, hi := stripes.ColorScale(series)
+	fmt.Printf("colorbar: %.2f .. %.2f °C (whole-span mean ± 1.5)\n", lo, hi)
+	coldest, warmest := math.Inf(1), math.Inf(-1)
+	coldYear, warmYear := 0, 0
+	for y := *start; y <= series.EndYear(); y++ {
+		m := series.Year(y)
+		if math.IsNaN(m) {
+			continue
+		}
+		if m < coldest {
+			coldest, coldYear = m, y
+		}
+		if m > warmest {
+			warmest, warmYear = m, y
+		}
+	}
+	fmt.Printf("coldest year %d (%.2f °C), warmest year %d (%.2f °C)\n",
+		coldYear, coldest, warmYear, warmest)
+
+	if *png != "" {
+		if err := img.SavePNG(*png, stripes.Render(series, 4, 120)); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote %s\n", *png)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "stripes: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,114 @@
+// Command wfsim is the carbon-footprint workflow simulator: the
+// command-line equivalent of the assignment's in-browser simulation
+// application. Tab 1 mode simulates the Montage workflow on the local
+// cluster with a chosen node count and p-state; Tab 2 mode adds the
+// green cloud and per-level placement fractions.
+//
+// Examples:
+//
+//	wfsim -nodes 64 -pstate 6                     # Tab 1 baseline
+//	wfsim -nodes 21 -pstate 6                     # Tab 1 power-off option
+//	wfsim -tab2 -fractions 0.5,0.75,1,1,1,1,1,1,1 # Tab 2 placement
+//	wfsim -tab2 -optimize                          # exhaustive optimum
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/wfsched"
+)
+
+func main() {
+	var (
+		nodes     = flag.Int("nodes", 64, "Tab 1: powered-on cluster nodes")
+		pstate    = flag.Int("pstate", 6, "Tab 1: p-state index 0 (lowest) .. 6 (highest)")
+		tab2      = flag.Bool("tab2", false, "use the Tab 2 platform (12 nodes @ p0 + 16 green VMs)")
+		fractions = flag.String("fractions", "", "Tab 2: comma-separated per-level cloud fractions")
+		allCloud  = flag.Bool("all-cloud", false, "Tab 2: place every task on the cloud")
+		optimize  = flag.Bool("optimize", false, "Tab 2: run the exhaustive CO2 optimizer")
+		greedy    = flag.Bool("greedy", false, "Tab 2: run the greedy hill-climb optimizer")
+		pareto    = flag.Bool("pareto", false, "Tab 2: print the time/CO2 Pareto frontier")
+		split     = flag.Bool("split", false, "Tab 1: relax homogeneity — search two-group p-state clusters")
+	)
+	flag.Parse()
+
+	if *split {
+		base, _ := wfsched.Tab1Base()
+		res, err := wfsched.HeterogeneousAblation(base, wfsched.Tab1MaxNodes, wfsched.Tab1BoundSec)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("homogeneous optimum: %v -> %v\n", res.Homogeneous, res.HomogeneousOutcome)
+		fmt.Printf("two-group optimum:   %v -> %v\n", res.Split, res.SplitOutcome)
+		fmt.Printf("CO2 saved by heterogeneity: %.1f%%\n",
+			100*(1-res.SplitOutcome.CO2/res.HomogeneousOutcome.CO2))
+		return
+	}
+
+	if !*tab2 {
+		base, ps := wfsched.Tab1Base()
+		if *pstate < 0 || *pstate >= len(ps) {
+			fatalf("pstate must be 0..%d", len(ps)-1)
+		}
+		if *nodes < 1 || *nodes > wfsched.Tab1MaxNodes {
+			fatalf("nodes must be 1..%d", wfsched.Tab1MaxNodes)
+		}
+		cfg := wfsched.ClusterConfig{Nodes: *nodes, PState: *pstate}
+		out := wfsched.SimulateCluster(base, ps, cfg)
+		fmt.Printf("Tab 1: %v (%s)\n%v\n", cfg, ps[*pstate], out)
+		if out.Makespan <= wfsched.Tab1BoundSec {
+			fmt.Printf("meets the %.0f s bound\n", wfsched.Tab1BoundSec)
+		} else {
+			fmt.Printf("MISSES the %.0f s bound\n", wfsched.Tab1BoundSec)
+		}
+		return
+	}
+
+	sc := wfsched.Tab2Scenario()
+	switch {
+	case *pareto:
+		start := time.Now()
+		results := wfsched.EvaluateFractions(sc, wfsched.Tab2Choices(sc.Workflow))
+		frontier := wfsched.ParetoFrontier(results)
+		fmt.Printf("Pareto frontier over %d placements (in %s):\n",
+			len(results), time.Since(start).Round(time.Millisecond))
+		fmt.Printf("%10s  %10s  %s\n", "time(s)", "gCO2e", "fractions")
+		for _, f := range frontier {
+			fmt.Printf("%10.1f  %10.2f  %v\n", f.Outcome.Makespan, f.Outcome.CO2, f.Fractions)
+		}
+	case *optimize:
+		start := time.Now()
+		best := wfsched.ExhaustiveFractions(sc, wfsched.Tab2Choices(sc.Workflow))
+		fmt.Printf("exhaustive optimum (in %s): fractions=%v\n%v\n",
+			time.Since(start).Round(time.Millisecond), best.Fractions, best.Outcome)
+	case *greedy:
+		best, sims := wfsched.GreedyFractions(sc, wfsched.Tab2Choices(sc.Workflow))
+		fmt.Printf("greedy optimum (%d simulations): fractions=%v\n%v\n", sims, best.Fractions, best.Outcome)
+	case *allCloud:
+		fmt.Printf("all-cloud: %v\n", wfsched.Simulate(sc, wfsched.AllCloud))
+	case *fractions != "":
+		parts := strings.Split(*fractions, ",")
+		fr := make([]float64, len(parts))
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				fatalf("bad fraction %q", p)
+			}
+			fr[i] = v
+		}
+		out := wfsched.Simulate(sc, wfsched.LevelFractions(sc.Workflow, fr))
+		fmt.Printf("fractions %v: %v\n", fr, out)
+	default:
+		fmt.Printf("all-local: %v\n", wfsched.Simulate(sc, wfsched.AllLocal))
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "wfsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Carbon workflow: walk through both tabs of the third assignment the
+// way a student would — baseline, binary searches, the boss heuristic,
+// cloud placement, and finally the exhaustive optimum the paper lists
+// as future work.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/wfsched"
+)
+
+func main() {
+	base, ps := wfsched.Tab1Base()
+	fmt.Printf("workflow: %s, %d tasks, %.1f GB data\n\n",
+		base.Workflow.Name, base.Workflow.NumTasks(), base.Workflow.TotalBytes()/1e9)
+
+	// ---- Tab 1, Q1: the high-performance baseline. ----
+	t1 := wfsched.SimulateCluster(base, ps, wfsched.ClusterConfig{Nodes: 1, PState: 6})
+	t64 := wfsched.SimulateCluster(base, ps, wfsched.ClusterConfig{Nodes: 64, PState: 6})
+	fmt.Printf("Tab1 Q1: 64 nodes @ p6: %.1fs, %.1f gCO2e (speedup %.1f, efficiency %.0f%%)\n",
+		t64.Makespan, t64.CO2, t1.Makespan/t64.Makespan, 100*t1.Makespan/t64.Makespan/64)
+
+	// ---- Tab 1, Q2: two pure options under the 3-minute bound. ----
+	bound := wfsched.Tab1BoundSec
+	offCfg, offOut, _ := wfsched.MinNodesUnderBound(base, ps, 6, 64, bound)
+	downCfg, downOut, _ := wfsched.MinPStateUnderBound(base, ps, 64, bound)
+	fmt.Printf("Tab1 Q2: power off  -> %v: %.1fs, %.1f gCO2e\n", offCfg, offOut.Makespan, offOut.CO2)
+	fmt.Printf("Tab1 Q2: downclock  -> %v: %.1fs, %.1f gCO2e\n", downCfg, downOut.Makespan, downOut.CO2)
+
+	// ---- Tab 1, Q3: the boss's combined heuristic. ----
+	bossCfg, bossOut, _ := wfsched.BossHeuristic(base, ps, 64, bound)
+	fmt.Printf("Tab1 Q3: boss combo -> %v: %.1fs, %.1f gCO2e", bossCfg, bossOut.Makespan, bossOut.CO2)
+	if bossOut.CO2 <= offOut.CO2 && bossOut.CO2 <= downOut.CO2 {
+		fmt.Println("  (beats both pure options, as the paper reports)")
+	} else {
+		fmt.Println()
+	}
+
+	// ---- Tab 2: add the green cloud. ----
+	sc := wfsched.Tab2Scenario()
+	fmt.Printf("\nTab2 platform: %d local nodes @ p0 + %d green VMs, %.0f MB/s link\n",
+		wfsched.Tab2LocalNodes, wfsched.Tab2CloudVMs, wfsched.Tab2LinkBandwidth/1e6)
+	al := wfsched.Simulate(sc, wfsched.AllLocal)
+	ac := wfsched.Simulate(sc, wfsched.AllCloud)
+	fmt.Printf("Tab2 Q1: all local: %.1fs, %.1f gCO2e\n", al.Makespan, al.CO2)
+	fmt.Printf("Tab2 Q1: all cloud: %.1fs, %.1f gCO2e (%.2f GB over the link)\n",
+		ac.Makespan, ac.CO2, ac.BytesTransferred/1e9)
+
+	// Q2: three options for the first two levels.
+	depth := len(sc.Workflow.Levels)
+	for _, opt := range []struct {
+		name   string
+		l0, l1 float64
+	}{
+		{"L0+L1 local", 0, 0}, {"L0 cloud, L1 local", 1, 0}, {"L0+L1 cloud", 1, 1},
+	} {
+		fr := make([]float64, depth)
+		fr[0], fr[1] = opt.l0, opt.l1
+		out := wfsched.Simulate(sc, wfsched.LevelFractions(sc.Workflow, fr))
+		fmt.Printf("Tab2 Q2: %-20s %.1fs, %.1f gCO2e, %.2f GB moved\n",
+			opt.name+":", out.Makespan, out.CO2, out.BytesTransferred/1e9)
+	}
+
+	// Q3-5: the treasure hunt, then the exhaustive optimum (the
+	// paper's future work).
+	gr, sims := wfsched.GreedyFractions(sc, wfsched.Tab2Choices(sc.Workflow))
+	fmt.Printf("Tab2 hunt: greedy (%d sims): %v -> %.1f gCO2e\n", sims, gr.Fractions, gr.Outcome.CO2)
+	best := wfsched.ExhaustiveFractions(sc, wfsched.Tab2Choices(sc.Workflow))
+	fmt.Printf("Tab2 hunt: exhaustive optimum: %v -> %.1f gCO2e (%.1fs)\n",
+		best.Fractions, best.Outcome.CO2, best.Outcome.Makespan)
+	fmt.Printf("\nthe actual optimal CO2 emission is %.1f gCO2e — %.0f%% below all-local, %.0f%% below all-cloud\n",
+		best.Outcome.CO2, 100*(1-best.Outcome.CO2/al.CO2), 100*(1-best.Outcome.CO2/ac.CO2))
+}

@@ -1,0 +1,131 @@
+// MapReduce lab: drive the Hadoop-analog engine directly — word
+// count (the canonical three-phase example), an inverted index, a
+// combiner's effect on shuffle volume, and speculative execution
+// rescuing an injected straggler. This is the "Hello World!" layer
+// the warming-stripes assignment builds on.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/mapreduce"
+)
+
+var documents = []string{
+	"the abelian sandpile reaches a unique stable configuration",
+	"warming stripes visualize the trend in annual temperatures",
+	"the workflow scheduler minimizes the carbon footprint",
+	"sandpile topplings are abelian so any schedule is correct",
+	"mapreduce forces a three phase formulation of the problem",
+}
+
+func main() {
+	// --- Word count -------------------------------------------------
+	wc := &mapreduce.Job[string, string, int, mapreduce.KV[string, int]]{
+		Name: "wordcount",
+		Map: func(line string, emit func(string, int)) error {
+			for _, w := range strings.Fields(line) {
+				emit(w, 1)
+			}
+			return nil
+		},
+		Reduce: func(w string, counts []int, emit func(mapreduce.KV[string, int])) error {
+			total := 0
+			for _, c := range counts {
+				total += c
+			}
+			emit(mapreduce.KV[string, int]{Key: w, Value: total})
+			return nil
+		},
+		Config: mapreduce.Config[string]{MapTasks: 3, ReduceTasks: 2},
+	}
+	counts, stats, err := wc.Run(documents)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("word count: %d words -> %d distinct (%d map tasks, %d reducers)\n",
+		stats.MapOutputs, stats.ReduceGroups, stats.MapTasks, stats.ReduceTasks)
+	top := ""
+	best := 0
+	for _, kv := range counts {
+		if kv.Value > best {
+			best, top = kv.Value, kv.Key
+		}
+	}
+	fmt.Printf("most frequent: %q x%d\n\n", top, best)
+
+	// --- Inverted index ----------------------------------------------
+	type posting struct {
+		Doc int
+	}
+	idx := &mapreduce.Job[int, string, posting, string]{
+		Name: "inverted-index",
+		Map: func(doc int, emit func(string, posting)) error {
+			for _, w := range strings.Fields(documents[doc]) {
+				emit(w, posting{doc})
+			}
+			return nil
+		},
+		Reduce: func(w string, ps []posting, emit func(string)) error {
+			seen := map[int]bool{}
+			var docs []int
+			for _, p := range ps {
+				if !seen[p.Doc] {
+					seen[p.Doc] = true
+					docs = append(docs, p.Doc)
+				}
+			}
+			emit(fmt.Sprintf("%s -> %v", w, docs))
+			return nil
+		},
+		Config: mapreduce.Config[string]{MapTasks: 5, ReduceTasks: 3},
+	}
+	docIDs := []int{0, 1, 2, 3, 4}
+	postings, _, err := idx.Run(docIDs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("inverted index (entries containing 'abelian' and 'the'):")
+	for _, line := range postings {
+		if strings.HasPrefix(line, "abelian ") || strings.HasPrefix(line, "the ") {
+			fmt.Println("  " + line)
+		}
+	}
+
+	// --- Combiner ----------------------------------------------------
+	_, plain, _ := wc.Run(documents)
+	withComb := *wc
+	withComb.Combine = func(w string, counts []int) ([]int, error) {
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		return []int{total}, nil
+	}
+	_, combined, err := withComb.Run(documents)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncombiner: shuffle shrank from %d to %d pairs, result unchanged\n",
+		plain.CombineOutputs, combined.CombineOutputs)
+
+	// --- Speculative execution ---------------------------------------
+	start := time.Now()
+	_, spec, err := wc.RunSpeculative(documents, mapreduce.SpecConfig{
+		SpeculationAfter: 10 * time.Millisecond,
+		InjectDelay: func(task, attempt int) time.Duration {
+			if task == 0 && attempt == 0 {
+				return 3 * time.Second // the injected straggler
+			}
+			return 0
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("speculation: straggler rescued in %s (%d backups launched, %d won)\n",
+		time.Since(start).Round(time.Millisecond), spec.BackupsLaunched, spec.BackupsWon)
+}

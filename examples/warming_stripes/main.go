@@ -1,0 +1,64 @@
+// Warming stripes: the full four-phase data-science workflow of the
+// second assignment — (1) acquire a DWD-like dataset, (2) pre-process
+// both file layouts into canonical records, (3) analyze with
+// MapReduce, (4) validate — and render the Figure 6 image, including
+// the incomplete-final-year pitfall the course teaches.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/climate"
+	"repro/internal/img"
+	"repro/internal/mapreduce"
+	"repro/internal/stripes"
+)
+
+func main() {
+	// Phase 1 — acquisition. The real assignment downloads monthly
+	// state averages from Deutscher Wetterdienst; we synthesize a
+	// dataset with the same shape, including three missing months at
+	// the end (what students saw downloading 2020 data in late 2020).
+	data := climate.Generate(climate.Params{
+		Seed: 42, StartYear: 1881, EndYear: 2020, MissingFinalMonths: 3,
+	})
+	fmt.Printf("phase 1: %d observations, %d states, %d-%d\n",
+		len(data.Records), len(climate.States), 1881, 2020)
+
+	// Phase 2+3 — pre-processing and MapReduce analysis, over both
+	// file layouts to demonstrate format invariance.
+	cfg := mapreduce.Config[string]{MapTasks: 8, ReduceTasks: 4, Parallelism: 4}
+	byMonth, stats, err := stripes.ComputeSeries(stripes.MonthLayout, climate.MonthFiles(data), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	byStation, _, err := stripes.ComputeSeries(stripes.StationLayout, climate.StationFiles(data), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	identical := true
+	for y := 1881; y <= 2020; y++ {
+		if byMonth.Year(y) != byStation.Year(y) {
+			identical = false
+		}
+	}
+	fmt.Printf("phase 2+3: %d map inputs -> %d year groups; layouts identical: %v\n",
+		stats.MapInputs, stats.ReduceGroups, identical)
+
+	// Phase 4 — validation: 2020 is incomplete and biased warm.
+	v := stripes.Validate(byMonth)
+	fmt.Printf("phase 4: suspect years %v (expected %d observations/year)\n",
+		v.SuspectYears, v.ExpectedCount)
+	fmt.Printf("         2019 mean %.2f °C vs incomplete 2020 'mean' %.2f °C (winter months missing!)\n",
+		byMonth.Year(2019), byMonth.Year(2020))
+	clean := byMonth.Exclude(v.SuspectYears)
+
+	// Render Figure 6 from the validated series.
+	lo, hi := stripes.ColorScale(clean)
+	fmt.Printf("render: colorbar %.2f..%.2f °C (whole-span mean ± 1.5)\n", lo, hi)
+	if err := img.SavePNG("warming_stripes.png", stripes.Render(clean, 4, 120)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote warming_stripes.png")
+}

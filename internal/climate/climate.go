@@ -1,0 +1,206 @@
+// Package climate generates and parses the DWD-like temperature data
+// the Warming-Stripes assignment is built on. The real assignment
+// downloads monthly average temperatures per German state from
+// Deutscher Wetterdienst (1881 onward); this package synthesizes a
+// deterministic dataset with the same shape, units, and defects:
+//
+//   - 16 constituent states, each with its own climatological base;
+//   - a seasonal cycle (cold winters, ~18 °C Julys);
+//   - an accelerating long-term warming trend calibrated so the
+//     Germany-wide annual means span roughly 7–10 °C over 1881–2019,
+//     matching the paper's Figure 6 description;
+//   - weather noise, deterministic per seed;
+//   - optional missing months at the end of the series (the "students
+//     downloaded 2020 data in late 2020" validation pitfall).
+//
+// Two file layouts are provided because the assignment asks for a
+// format-invariant pipeline: one file per month (rows = years,
+// columns = states — the layout the course hands out) and one file
+// per state/station (rows = year;month;temp).
+package climate
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// States are the 16 German constituent states, in the column order of
+// the month-file layout.
+var States = []string{
+	"Baden-Wuerttemberg", "Bayern", "Berlin", "Brandenburg",
+	"Bremen", "Hamburg", "Hessen", "Mecklenburg-Vorpommern",
+	"Niedersachsen", "Nordrhein-Westfalen", "Rheinland-Pfalz", "Saarland",
+	"Sachsen", "Sachsen-Anhalt", "Schleswig-Holstein", "Thueringen",
+}
+
+// stateOffsets are per-state deviations from the national base (°C),
+// roughly tracking geography (maritime north-west mild, elevated
+// south/east cooler).
+var stateOffsets = []float64{
+	-0.3, -1.1, 0.5, 0.3,
+	0.6, 0.6, -0.1, 0.1,
+	0.4, 0.8, 0.3, 0.4,
+	-0.4, 0.2, 0.3, -0.9,
+}
+
+// seasonal is the monthly deviation from the annual mean (°C),
+// January..December, a Germany-like cycle with mean zero.
+var seasonal = [12]float64{
+	-9.1, -8.1, -4.5, -0.4, 4.2, 7.3,
+	9.1, 8.7, 4.9, 0.2, -4.4, -7.9,
+}
+
+// Record is one observation: the monthly average temperature of one
+// state in one year.
+type Record struct {
+	Year  int
+	Month int // 1..12
+	State string
+	Temp  float64 // °C
+}
+
+// Params configures the generator.
+type Params struct {
+	// StartYear and EndYear bound the series (inclusive). Defaults
+	// 1881 and 2019, the span of the paper's Figure 6.
+	StartYear, EndYear int
+	// Seed makes the weather noise reproducible.
+	Seed int64
+	// NoiseStdDev is the per-month weather noise (°C); default 1.2.
+	NoiseStdDev float64
+	// MissingFinalMonths drops the last N months of EndYear from the
+	// generated dataset, reproducing the incomplete-download pitfall.
+	MissingFinalMonths int
+}
+
+func (p Params) withDefaults() Params {
+	if p.StartYear == 0 {
+		p.StartYear = 1881
+	}
+	if p.EndYear == 0 {
+		p.EndYear = 2019
+	}
+	if p.NoiseStdDev == 0 {
+		p.NoiseStdDev = 1.2
+	}
+	return p
+}
+
+// baseMean is the Germany-wide annual mean at the start of the series
+// (°C).
+const baseMean = 7.9
+
+// trend returns the warming anomaly (°C) for a year: slow warming
+// until the mid-20th century, accelerating afterwards — the shape
+// that makes warming stripes striking.
+func trend(year int) float64 {
+	t := float64(year-1881) / float64(2019-1881) // 0..1 over the span
+	return 0.35*t + 1.15*t*t*t
+}
+
+// Dataset is a fully generated series.
+type Dataset struct {
+	Params  Params
+	Records []Record
+}
+
+// Generate builds the synthetic dataset. Records are ordered by year,
+// then month, then state (column order of States).
+func Generate(p Params) *Dataset {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	var recs []Record
+	for year := p.StartYear; year <= p.EndYear; year++ {
+		for m := 1; m <= 12; m++ {
+			// Shared national weather for the month plus smaller
+			// per-state wiggle, so states correlate like real weather.
+			national := rng.NormFloat64() * p.NoiseStdDev
+			for si, state := range States {
+				if year == p.EndYear && m > 12-p.MissingFinalMonths {
+					continue
+				}
+				local := rng.NormFloat64() * p.NoiseStdDev * 0.4
+				temp := baseMean + stateOffsets[si] + seasonal[m-1] + trend(year) + national + local
+				recs = append(recs, Record{Year: year, Month: m, State: state, Temp: round2(temp)})
+			}
+		}
+	}
+	return &Dataset{Params: p, Records: recs}
+}
+
+func round2(x float64) float64 { return math.Round(x*100) / 100 }
+
+// Years returns the inclusive year span of the parameters.
+func (d *Dataset) Years() (int, int) { return d.Params.StartYear, d.Params.EndYear }
+
+// AnnualMeans computes, directly and sequentially, the Germany-wide
+// annual mean temperature per year: the mean over all (state, month)
+// observations of that year. It is the oracle the MapReduce pipeline
+// is validated against. Years with no observations are absent from
+// the map.
+func (d *Dataset) AnnualMeans() map[int]float64 {
+	sums := map[int]float64{}
+	counts := map[int]int{}
+	for _, r := range d.Records {
+		sums[r.Year] += r.Temp
+		counts[r.Year]++
+	}
+	out := make(map[int]float64, len(sums))
+	for y, s := range sums {
+		out[y] = s / float64(counts[y])
+	}
+	return out
+}
+
+// MonthsPresent returns, per year, the set of months that have at
+// least one observation — the completeness information the validation
+// phase of the assignment inspects.
+func (d *Dataset) MonthsPresent() map[int]map[int]bool {
+	out := map[int]map[int]bool{}
+	for _, r := range d.Records {
+		m, ok := out[r.Year]
+		if !ok {
+			m = map[int]bool{}
+			out[r.Year] = m
+		}
+		m[r.Month] = true
+	}
+	return out
+}
+
+// IncompleteYears lists years that are missing one or more months,
+// sorted ascending.
+func (d *Dataset) IncompleteYears() []int {
+	present := d.MonthsPresent()
+	var out []int
+	for y := d.Params.StartYear; y <= d.Params.EndYear; y++ {
+		months, ok := present[y]
+		if !ok || len(months) < 12 {
+			out = append(out, y)
+		}
+	}
+	return out
+}
+
+// stateIndex maps a state name to its column, or -1.
+func stateIndex(name string) int {
+	for i, s := range States {
+		if s == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// MonthName returns the German month-file label for month m (1..12).
+func MonthName(m int) string {
+	names := [12]string{
+		"Januar", "Februar", "Maerz", "April", "Mai", "Juni",
+		"Juli", "August", "September", "Oktober", "November", "Dezember",
+	}
+	if m < 1 || m > 12 {
+		panic(fmt.Sprintf("climate: invalid month %d", m))
+	}
+	return names[m-1]
+}

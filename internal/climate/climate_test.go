@@ -1,0 +1,263 @@
+package climate
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateShape(t *testing.T) {
+	d := Generate(Params{Seed: 1})
+	wantYears := 2019 - 1881 + 1
+	if got := len(d.Records); got != wantYears*12*16 {
+		t.Fatalf("records = %d, want %d", got, wantYears*12*16)
+	}
+	lo, hi := d.Years()
+	if lo != 1881 || hi != 2019 {
+		t.Fatalf("years = %d..%d", lo, hi)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Params{Seed: 7})
+	b := Generate(Params{Seed: 7})
+	if len(a.Records) != len(b.Records) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs: %v vs %v", i, a.Records[i], b.Records[i])
+		}
+	}
+	c := Generate(Params{Seed: 8})
+	same := true
+	for i := range a.Records {
+		if a.Records[i].Temp != c.Records[i].Temp {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical noise")
+	}
+}
+
+func TestAnnualMeansInPaperRange(t *testing.T) {
+	// "The annual temperature ranges from a low around 7 °C to a high
+	// around 10 °C" (Fig 6 caption context).
+	d := Generate(Params{Seed: 42})
+	means := d.AnnualMeans()
+	if len(means) != 139 {
+		t.Fatalf("years with means = %d, want 139", len(means))
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, m := range means {
+		min = math.Min(min, m)
+		max = math.Max(max, m)
+	}
+	if min < 6.0 || min > 8.5 {
+		t.Fatalf("coldest annual mean %.2f outside plausible 6..8.5", min)
+	}
+	if max < 9.0 || max > 11.0 {
+		t.Fatalf("warmest annual mean %.2f outside plausible 9..11", max)
+	}
+}
+
+func TestWarmingTrendVisible(t *testing.T) {
+	d := Generate(Params{Seed: 3})
+	means := d.AnnualMeans()
+	// First and last 30-year climatologies must differ by over 1 °C.
+	var early, late float64
+	for y := 1881; y < 1911; y++ {
+		early += means[y]
+	}
+	for y := 1990; y < 2020; y++ {
+		late += means[y]
+	}
+	early /= 30
+	late /= 30
+	if late-early < 1.0 {
+		t.Fatalf("warming %.2f °C between 1881-1910 and 1990-2019; want > 1", late-early)
+	}
+}
+
+func TestSeasonalCycleShape(t *testing.T) {
+	d := Generate(Params{Seed: 5})
+	sums := map[int]float64{}
+	counts := map[int]int{}
+	for _, r := range d.Records {
+		sums[r.Month] += r.Temp
+		counts[r.Month]++
+	}
+	jan := sums[1] / float64(counts[1])
+	jul := sums[7] / float64(counts[7])
+	if jul-jan < 12 {
+		t.Fatalf("July-January gap %.1f °C; want a real seasonal cycle", jul-jan)
+	}
+	if jan > 3 {
+		t.Fatalf("January mean %.1f °C too warm for Germany", jan)
+	}
+}
+
+func TestMissingFinalMonths(t *testing.T) {
+	d := Generate(Params{Seed: 1, EndYear: 2020, MissingFinalMonths: 3})
+	present := d.MonthsPresent()
+	last := present[2020]
+	if len(last) != 9 {
+		t.Fatalf("2020 has %d months, want 9", len(last))
+	}
+	for m := 10; m <= 12; m++ {
+		if last[m] {
+			t.Fatalf("month %d of 2020 should be missing", m)
+		}
+	}
+	inc := d.IncompleteYears()
+	if len(inc) != 1 || inc[0] != 2020 {
+		t.Fatalf("incomplete years = %v, want [2020]", inc)
+	}
+}
+
+func TestIncompleteYearBiasesWarm(t *testing.T) {
+	// The assignment's validation lesson: dropping winter months
+	// inflates the annual mean.
+	full := Generate(Params{Seed: 9, EndYear: 2020})
+	broken := Generate(Params{Seed: 9, EndYear: 2020, MissingFinalMonths: 3})
+	fm := full.AnnualMeans()[2020]
+	bm := broken.AnnualMeans()[2020]
+	if bm <= fm+0.5 {
+		t.Fatalf("missing Oct-Dec should inflate the mean: full=%.2f broken=%.2f", fm, bm)
+	}
+}
+
+func TestNoIncompleteYearsByDefault(t *testing.T) {
+	d := Generate(Params{Seed: 2})
+	if inc := d.IncompleteYears(); len(inc) != 0 {
+		t.Fatalf("default dataset has incomplete years: %v", inc)
+	}
+}
+
+func TestStatesDistinctOffsets(t *testing.T) {
+	if len(States) != 16 {
+		t.Fatalf("Germany has 16 states, got %d", len(States))
+	}
+	if len(stateOffsets) != 16 {
+		t.Fatalf("offsets = %d, want 16", len(stateOffsets))
+	}
+	seen := map[string]bool{}
+	for _, s := range States {
+		if seen[s] {
+			t.Fatalf("duplicate state %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestSeasonalMeanZero(t *testing.T) {
+	var sum float64
+	for _, s := range seasonal {
+		sum += s
+	}
+	if math.Abs(sum) > 0.5 {
+		t.Fatalf("seasonal cycle mean %.2f; should be near zero so baseMean is the annual mean", sum/12)
+	}
+}
+
+func TestMonthNameValid(t *testing.T) {
+	if MonthName(1) != "Januar" || MonthName(12) != "Dezember" {
+		t.Fatal("month names wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MonthName(13) did not panic")
+		}
+	}()
+	MonthName(13)
+}
+
+func TestQuickAnnualMeansMatchManual(t *testing.T) {
+	f := func(seedRaw uint32) bool {
+		d := Generate(Params{Seed: int64(seedRaw), StartYear: 1990, EndYear: 1995})
+		means := d.AnnualMeans()
+		// Manual recomputation for one year.
+		var sum float64
+		n := 0
+		for _, r := range d.Records {
+			if r.Year == 1993 {
+				sum += r.Temp
+				n++
+			}
+		}
+		return n == 12*16 && math.Abs(means[1993]-sum/float64(n)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShortSpanGeneration(t *testing.T) {
+	d := Generate(Params{Seed: 1, StartYear: 2000, EndYear: 2000})
+	if len(d.Records) != 12*16 {
+		t.Fatalf("single-year records = %d, want %d", len(d.Records), 12*16)
+	}
+	years := map[int]bool{}
+	for _, r := range d.Records {
+		years[r.Year] = true
+	}
+	if len(years) != 1 || !years[2000] {
+		t.Fatalf("unexpected years: %v", years)
+	}
+}
+
+func TestRecordsSortedByYearMonth(t *testing.T) {
+	d := Generate(Params{Seed: 1, StartYear: 2000, EndYear: 2002})
+	sorted := sort.SliceIsSorted(d.Records, func(i, j int) bool {
+		a, b := d.Records[i], d.Records[j]
+		if a.Year != b.Year {
+			return a.Year < b.Year
+		}
+		return a.Month < b.Month
+	})
+	if !sorted {
+		t.Fatal("records not ordered by (year, month)")
+	}
+}
+
+func TestTrendMonotone(t *testing.T) {
+	prev := math.Inf(-1)
+	for y := 1881; y <= 2019; y++ {
+		v := trend(y)
+		if v < prev {
+			t.Fatalf("trend not monotone at %d", y)
+		}
+		prev = v
+	}
+	if trend(1881) != 0 {
+		t.Fatalf("trend(1881) = %v, want 0", trend(1881))
+	}
+	if total := trend(2019); total < 1.2 || total > 1.8 {
+		t.Fatalf("total warming %.2f outside 1.2..1.8 °C", total)
+	}
+}
+
+func TestTempsPlausible(t *testing.T) {
+	d := Generate(Params{Seed: 11})
+	for _, r := range d.Records {
+		if r.Temp < -25 || r.Temp > 35 {
+			t.Fatalf("implausible monthly mean %.1f °C (%v)", r.Temp, r)
+		}
+	}
+}
+
+func TestStateIndex(t *testing.T) {
+	if stateIndex("Bayern") != 1 {
+		t.Fatalf("stateIndex(Bayern) = %d", stateIndex("Bayern"))
+	}
+	if stateIndex("Atlantis") != -1 {
+		t.Fatal("unknown state found")
+	}
+	if !strings.Contains(strings.Join(States, ","), "Berlin") {
+		t.Fatal("Berlin missing")
+	}
+}

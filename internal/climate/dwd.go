@@ -1,0 +1,171 @@
+package climate
+
+// dwd.go renders and parses the layout the real assignment downloads:
+// DWD's "regional_averages_tm_MM.txt" files. Compared to the
+// simplified month layout, the authentic shape has a description line,
+// a header carrying a Monat column, and a trailing "Deutschland"
+// aggregate column — all details the pre-processing phase must cope
+// with, which is exactly the point of the format-invariance exercise.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DWDFileName returns the canonical file name for month m, e.g.
+// "regional_averages_tm_01.txt".
+func DWDFileName(m int) string {
+	return fmt.Sprintf("regional_averages_tm_%02d.txt", m)
+}
+
+// DWDFiles renders the dataset in the authentic DWD regional-averages
+// layout: 12 files keyed by DWDFileName, each with a description line,
+// a header line, and rows "year;month;state temps...;Deutschland;".
+// The Deutschland column is the mean of the state columns present in
+// the row, rounded to 0.01 °C like the real files.
+func DWDFiles(d *Dataset) map[string]string {
+	type cell struct {
+		temp float64
+		ok   bool
+	}
+	index := map[int]map[int][]cell{}
+	for _, r := range d.Records {
+		byYear, ok := index[r.Month]
+		if !ok {
+			byYear = map[int][]cell{}
+			index[r.Month] = byYear
+		}
+		row, ok := byYear[r.Year]
+		if !ok {
+			row = make([]cell, len(States))
+			byYear[r.Year] = row
+		}
+		if si := stateIndex(r.State); si >= 0 {
+			row[si] = cell{r.Temp, true}
+		}
+	}
+	out := map[string]string{}
+	for m := 1; m <= 12; m++ {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "Regionaler Mittelwert der Lufttemperatur (tm), Monat %02d, synthetisch;\n", m)
+		sb.WriteString("Jahr;Monat;" + strings.Join(States, ";") + ";Deutschland;\n")
+		byYear := index[m]
+		years := make([]int, 0, len(byYear))
+		for y := range byYear {
+			years = append(years, y)
+		}
+		sort.Ints(years)
+		for _, y := range years {
+			fmt.Fprintf(&sb, "%d;%2d;", y, m)
+			sum, n := 0.0, 0
+			for _, c := range byYear[y] {
+				if c.ok {
+					sb.WriteString(strconv.FormatFloat(c.temp, 'f', 2, 64))
+					sum += c.temp
+					n++
+				}
+				sb.WriteByte(';')
+			}
+			if n > 0 {
+				sb.WriteString(strconv.FormatFloat(math.Round(sum/float64(n)*100)/100, 'f', 2, 64))
+			}
+			sb.WriteString(";\n")
+		}
+		out[DWDFileName(m)] = sb.String()
+	}
+	return out
+}
+
+// ParseDWDFile parses one regional-averages file. The Deutschland
+// aggregate column is validated against the row mean (to 0.011 °C)
+// and then dropped — downstream analysis recomputes national means
+// itself, which is how the course avoids trusting derived columns.
+func ParseDWDFile(r io.Reader, wantMonth int) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() { // description line
+		return nil, fmt.Errorf("climate: empty DWD file")
+	}
+	if !sc.Scan() {
+		return nil, fmt.Errorf("climate: DWD file missing header")
+	}
+	header := strings.Split(strings.TrimRight(strings.TrimSpace(sc.Text()), ";"), ";")
+	if len(header) < 4 || header[0] != "Jahr" || header[1] != "Monat" {
+		return nil, fmt.Errorf("climate: malformed DWD header %q", sc.Text())
+	}
+	if header[len(header)-1] != "Deutschland" {
+		return nil, fmt.Errorf("climate: DWD header missing Deutschland aggregate")
+	}
+	states := header[2 : len(header)-1]
+	var recs []Record
+	lineNo := 2
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(strings.TrimRight(line, ";"), ";")
+		if len(fields) != len(states)+3 {
+			return nil, fmt.Errorf("climate: line %d: %d fields, want %d", lineNo, len(fields), len(states)+3)
+		}
+		year, err1 := strconv.Atoi(strings.TrimSpace(fields[0]))
+		month, err2 := strconv.Atoi(strings.TrimSpace(fields[1]))
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("climate: line %d: bad year/month %q %q", lineNo, fields[0], fields[1])
+		}
+		if month != wantMonth {
+			return nil, fmt.Errorf("climate: line %d: month %d in file for month %d", lineNo, month, wantMonth)
+		}
+		sum, n := 0.0, 0
+		for i, f := range fields[2 : len(fields)-1] {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				continue
+			}
+			temp, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("climate: line %d: bad temperature %q", lineNo, f)
+			}
+			recs = append(recs, Record{Year: year, Month: month, State: states[i], Temp: temp})
+			sum += temp
+			n++
+		}
+		agg := strings.TrimSpace(fields[len(fields)-1])
+		if agg != "" && n > 0 {
+			de, err := strconv.ParseFloat(agg, 64)
+			if err != nil {
+				return nil, fmt.Errorf("climate: line %d: bad Deutschland value %q", lineNo, agg)
+			}
+			if math.Abs(de-sum/float64(n)) > 0.011 {
+				return nil, fmt.Errorf("climate: line %d: Deutschland %.2f inconsistent with row mean %.2f",
+					lineNo, de, sum/float64(n))
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("climate: scanning: %w", err)
+	}
+	return recs, nil
+}
+
+// ParseDWDFiles parses the full 12-file regional-averages dataset.
+func ParseDWDFiles(files map[string]string) ([]Record, error) {
+	var recs []Record
+	for m := 1; m <= 12; m++ {
+		content, ok := files[DWDFileName(m)]
+		if !ok {
+			return nil, fmt.Errorf("climate: missing DWD file %s", DWDFileName(m))
+		}
+		r, err := ParseDWDFile(strings.NewReader(content), m)
+		if err != nil {
+			return nil, fmt.Errorf("climate: %s: %w", DWDFileName(m), err)
+		}
+		recs = append(recs, r...)
+	}
+	return recs, nil
+}

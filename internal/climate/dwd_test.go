@@ -1,0 +1,122 @@
+package climate
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDWDFileName(t *testing.T) {
+	if DWDFileName(1) != "regional_averages_tm_01.txt" || DWDFileName(12) != "regional_averages_tm_12.txt" {
+		t.Fatal("file names wrong")
+	}
+}
+
+func TestDWDRoundTrip(t *testing.T) {
+	d := Generate(Params{Seed: 6, StartYear: 2000, EndYear: 2005})
+	files := DWDFiles(d)
+	if len(files) != 12 {
+		t.Fatalf("files = %d, want 12", len(files))
+	}
+	recs, err := ParseDWDFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := canonical(d.Records), canonical(recs)
+	if len(a) != len(b) {
+		t.Fatalf("round trip lost records: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDWDFileShape(t *testing.T) {
+	d := Generate(Params{Seed: 1, StartYear: 2019, EndYear: 2019})
+	f := DWDFiles(d)[DWDFileName(7)]
+	lines := strings.Split(strings.TrimRight(f, "\n"), "\n")
+	if len(lines) != 3 { // description + header + one year row
+		t.Fatalf("lines = %d:\n%s", len(lines), f)
+	}
+	if !strings.HasPrefix(lines[1], "Jahr;Monat;") || !strings.Contains(lines[1], ";Deutschland;") {
+		t.Fatalf("header wrong: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "2019; 7;") {
+		t.Fatalf("row wrong: %q", lines[2])
+	}
+	// Trailing semicolon like the real files.
+	if !strings.HasSuffix(lines[2], ";") {
+		t.Fatalf("row not semicolon-terminated: %q", lines[2])
+	}
+}
+
+func TestDWDAggregateValidated(t *testing.T) {
+	d := Generate(Params{Seed: 2, StartYear: 2000, EndYear: 2000})
+	files := DWDFiles(d)
+	name := DWDFileName(3)
+	// Corrupt the Deutschland column of the data row.
+	lines := strings.Split(files[name], "\n")
+	fields := strings.Split(lines[2], ";")
+	fields[len(fields)-2] = "99.99"
+	lines[2] = strings.Join(fields, ";")
+	files[name] = strings.Join(lines, "\n")
+	if _, err := ParseDWDFiles(files); err == nil || !strings.Contains(err.Error(), "inconsistent") {
+		t.Fatalf("corrupted aggregate accepted: %v", err)
+	}
+}
+
+func TestDWDParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"no header":      "desc;\n",
+		"bad header":     "desc;\nYear;Month;A;Deutschland;\n",
+		"no aggregate":   "desc;\nJahr;Monat;A;B;\n",
+		"short row":      "desc;\nJahr;Monat;A;B;Deutschland;\n2000;1;5.0;\n",
+		"bad year":       "desc;\nJahr;Monat;A;B;Deutschland;\nabcd;1;5.0;6.0;5.50;\n",
+		"wrong month":    "desc;\nJahr;Monat;A;B;Deutschland;\n2000;2;5.0;6.0;5.50;\n",
+		"bad temp":       "desc;\nJahr;Monat;A;B;Deutschland;\n2000;1;xx;6.0;6.00;\n",
+		"bad aggregate":  "desc;\nJahr;Monat;A;B;Deutschland;\n2000;1;5.0;6.0;zz;\n",
+		"wrong aggvalue": "desc;\nJahr;Monat;A;B;Deutschland;\n2000;1;5.0;6.0;9.99;\n",
+	}
+	for name, content := range cases {
+		if _, err := ParseDWDFile(strings.NewReader(content), 1); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+func TestDWDParseValid(t *testing.T) {
+	content := "desc;\nJahr;Monat;A;B;Deutschland;\n2000;1;5.0;6.0;5.50;\n\n2001;1;;4.0;4.00;\n"
+	recs, err := ParseDWDFile(strings.NewReader(content), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want 3 (one missing cell)", len(recs))
+	}
+	if recs[2].Year != 2001 || recs[2].State != "B" || recs[2].Temp != 4.0 {
+		t.Fatalf("unexpected record %v", recs[2])
+	}
+}
+
+func TestDWDMissingFileRejected(t *testing.T) {
+	files := DWDFiles(Generate(Params{Seed: 1, StartYear: 2000, EndYear: 2000}))
+	delete(files, DWDFileName(5))
+	if _, err := ParseDWDFiles(files); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestDWDHandlesMissingMonths(t *testing.T) {
+	d := Generate(Params{Seed: 3, StartYear: 2019, EndYear: 2020, MissingFinalMonths: 2})
+	recs, err := ParseDWDFiles(DWDFiles(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.Year == 2020 && r.Month > 10 {
+			t.Fatalf("missing month resurfaced: %v", r)
+		}
+	}
+}

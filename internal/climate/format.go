@@ -1,0 +1,229 @@
+package climate
+
+// format.go implements the two file layouts of the assignment and
+// their parsers. Both render to DWD-style semicolon-separated text.
+//
+// Month layout (12 files, one per month; the course's handout shape):
+//
+//	Jahr;Baden-Wuerttemberg;Bayern;...;Thueringen
+//	1881;6.93;6.21;...;6.90
+//
+// Station layout (one file per state):
+//
+//	Jahr;Monat;Temperatur
+//	1881;1;-1.52
+//
+// Cells may be empty (missing observations render as an empty field).
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MonthFiles renders the dataset in the month layout: the returned
+// map has one entry per month name (12 files), each a complete text
+// file. Years with no observations for a month are omitted from that
+// month's file; missing single cells are empty fields.
+func MonthFiles(d *Dataset) map[string]string {
+	// index[month][year][stateIdx] = temp
+	type cell struct {
+		temp float64
+		ok   bool
+	}
+	index := map[int]map[int][]cell{}
+	for _, r := range d.Records {
+		byYear, ok := index[r.Month]
+		if !ok {
+			byYear = map[int][]cell{}
+			index[r.Month] = byYear
+		}
+		row, ok := byYear[r.Year]
+		if !ok {
+			row = make([]cell, len(States))
+			byYear[r.Year] = row
+		}
+		if si := stateIndex(r.State); si >= 0 {
+			row[si] = cell{r.Temp, true}
+		}
+	}
+	out := map[string]string{}
+	header := "Jahr;" + strings.Join(States, ";")
+	for m := 1; m <= 12; m++ {
+		var sb strings.Builder
+		sb.WriteString(header)
+		sb.WriteByte('\n')
+		byYear := index[m]
+		years := make([]int, 0, len(byYear))
+		for y := range byYear {
+			years = append(years, y)
+		}
+		sort.Ints(years)
+		for _, y := range years {
+			sb.WriteString(strconv.Itoa(y))
+			for _, c := range byYear[y] {
+				sb.WriteByte(';')
+				if c.ok {
+					sb.WriteString(strconv.FormatFloat(c.temp, 'f', 2, 64))
+				}
+			}
+			sb.WriteByte('\n')
+		}
+		out[MonthName(m)] = sb.String()
+	}
+	return out
+}
+
+// StationFiles renders the dataset in the station layout: one file
+// per state, rows year;month;temp sorted by (year, month).
+func StationFiles(d *Dataset) map[string]string {
+	byState := map[string][]Record{}
+	for _, r := range d.Records {
+		byState[r.State] = append(byState[r.State], r)
+	}
+	out := map[string]string{}
+	for _, state := range States {
+		recs := byState[state]
+		sort.Slice(recs, func(i, j int) bool {
+			if recs[i].Year != recs[j].Year {
+				return recs[i].Year < recs[j].Year
+			}
+			return recs[i].Month < recs[j].Month
+		})
+		var sb strings.Builder
+		sb.WriteString("Jahr;Monat;Temperatur\n")
+		for _, r := range recs {
+			fmt.Fprintf(&sb, "%d;%d;%s\n", r.Year, r.Month, strconv.FormatFloat(r.Temp, 'f', 2, 64))
+		}
+		out[state] = sb.String()
+	}
+	return out
+}
+
+// ParseMonthFile parses one month-layout file. The month number must
+// be supplied by the caller (it is carried by the file name, as in
+// the real dataset).
+func ParseMonthFile(r io.Reader, month int) ([]Record, error) {
+	if month < 1 || month > 12 {
+		return nil, fmt.Errorf("climate: invalid month %d", month)
+	}
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("climate: reading header: %w", err)
+		}
+		return nil, fmt.Errorf("climate: empty month file")
+	}
+	header := strings.Split(strings.TrimSpace(sc.Text()), ";")
+	if len(header) < 2 || header[0] != "Jahr" {
+		return nil, fmt.Errorf("climate: malformed month header %q", sc.Text())
+	}
+	states := header[1:]
+	var recs []Record
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ";")
+		if len(fields) != len(states)+1 {
+			return nil, fmt.Errorf("climate: line %d: %d fields, want %d", lineNo, len(fields), len(states)+1)
+		}
+		year, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("climate: line %d: bad year %q", lineNo, fields[0])
+		}
+		for i, f := range fields[1:] {
+			if f == "" {
+				continue // missing cell
+			}
+			temp, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("climate: line %d: bad temperature %q", lineNo, f)
+			}
+			recs = append(recs, Record{Year: year, Month: month, State: states[i], Temp: temp})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("climate: scanning: %w", err)
+	}
+	return recs, nil
+}
+
+// ParseStationFile parses one station-layout file for the named state.
+func ParseStationFile(r io.Reader, state string) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("climate: reading header: %w", err)
+		}
+		return nil, fmt.Errorf("climate: empty station file")
+	}
+	if got := strings.TrimSpace(sc.Text()); got != "Jahr;Monat;Temperatur" {
+		return nil, fmt.Errorf("climate: malformed station header %q", got)
+	}
+	var recs []Record
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ";")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("climate: line %d: %d fields, want 3", lineNo, len(fields))
+		}
+		year, err1 := strconv.Atoi(fields[0])
+		month, err2 := strconv.Atoi(fields[1])
+		temp, err3 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil || month < 1 || month > 12 {
+			return nil, fmt.Errorf("climate: line %d: malformed record %q", lineNo, line)
+		}
+		recs = append(recs, Record{Year: year, Month: month, State: state, Temp: temp})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("climate: scanning: %w", err)
+	}
+	return recs, nil
+}
+
+// ParseMonthFiles parses the full month-layout dataset (as produced
+// by MonthFiles) back into records.
+func ParseMonthFiles(files map[string]string) ([]Record, error) {
+	var recs []Record
+	for m := 1; m <= 12; m++ {
+		content, ok := files[MonthName(m)]
+		if !ok {
+			return nil, fmt.Errorf("climate: missing month file %s", MonthName(m))
+		}
+		r, err := ParseMonthFile(strings.NewReader(content), m)
+		if err != nil {
+			return nil, fmt.Errorf("climate: %s: %w", MonthName(m), err)
+		}
+		recs = append(recs, r...)
+	}
+	return recs, nil
+}
+
+// ParseStationFiles parses the full station-layout dataset.
+func ParseStationFiles(files map[string]string) ([]Record, error) {
+	var recs []Record
+	for _, state := range States {
+		content, ok := files[state]
+		if !ok {
+			return nil, fmt.Errorf("climate: missing station file %s", state)
+		}
+		r, err := ParseStationFile(strings.NewReader(content), state)
+		if err != nil {
+			return nil, fmt.Errorf("climate: %s: %w", state, err)
+		}
+		recs = append(recs, r...)
+	}
+	return recs, nil
+}

@@ -1,0 +1,177 @@
+package climate
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// canonical sorts records into a comparable order.
+func canonical(recs []Record) []Record {
+	out := append([]Record(nil), recs...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Year != b.Year {
+			return a.Year < b.Year
+		}
+		if a.Month != b.Month {
+			return a.Month < b.Month
+		}
+		return a.State < b.State
+	})
+	return out
+}
+
+func TestMonthFilesRoundTrip(t *testing.T) {
+	d := Generate(Params{Seed: 1, StartYear: 2000, EndYear: 2004})
+	files := MonthFiles(d)
+	if len(files) != 12 {
+		t.Fatalf("month files = %d, want 12", len(files))
+	}
+	recs, err := ParseMonthFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := canonical(d.Records), canonical(recs)
+	if len(a) != len(b) {
+		t.Fatalf("round trip lost records: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStationFilesRoundTrip(t *testing.T) {
+	d := Generate(Params{Seed: 2, StartYear: 2010, EndYear: 2012})
+	files := StationFiles(d)
+	if len(files) != 16 {
+		t.Fatalf("station files = %d, want 16", len(files))
+	}
+	recs, err := ParseStationFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := canonical(d.Records), canonical(recs)
+	if len(a) != len(b) {
+		t.Fatalf("round trip lost records: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLayoutsCarrySameData(t *testing.T) {
+	d := Generate(Params{Seed: 3, StartYear: 2015, EndYear: 2016})
+	fromMonth, err := ParseMonthFiles(MonthFiles(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromStation, err := ParseStationFiles(StationFiles(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := canonical(fromMonth), canonical(fromStation)
+	if len(a) != len(b) {
+		t.Fatalf("layouts disagree on record count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("layouts disagree at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMissingCellsRenderEmpty(t *testing.T) {
+	d := Generate(Params{Seed: 4, StartYear: 2019, EndYear: 2020, MissingFinalMonths: 2})
+	files := MonthFiles(d)
+	nov := files[MonthName(11)]
+	if strings.Contains(nov, "2020") {
+		t.Fatalf("November file should not have a 2020 row:\n%s", nov)
+	}
+	recs, err := ParseMonthFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.Year == 2020 && r.Month > 10 {
+			t.Fatalf("missing month resurfaced: %v", r)
+		}
+	}
+}
+
+func TestParseMonthFileErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"bad header":    "NotJahr;A;B\n2000;1;2\n",
+		"short row":     "Jahr;A;B\n2000;1\n",
+		"bad year":      "Jahr;A;B\nabc;1;2\n",
+		"bad temp":      "Jahr;A;B\n2000;x;2\n",
+		"single column": "Jahr\n2000\n",
+	}
+	for name, content := range cases {
+		if _, err := ParseMonthFile(strings.NewReader(content), 1); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+	if _, err := ParseMonthFile(strings.NewReader("Jahr;A\n2000;1.5\n"), 13); err == nil {
+		t.Fatal("month 13 accepted")
+	}
+}
+
+func TestParseStationFileErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":      "",
+		"bad header": "Year;Month;Temp\n",
+		"short row":  "Jahr;Monat;Temperatur\n2000;1\n",
+		"bad month":  "Jahr;Monat;Temperatur\n2000;13;5.0\n",
+		"bad temp":   "Jahr;Monat;Temperatur\n2000;1;abc\n",
+	}
+	for name, content := range cases {
+		if _, err := ParseStationFile(strings.NewReader(content), "X"); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseMonthFileSkipsBlankLines(t *testing.T) {
+	recs, err := ParseMonthFile(strings.NewReader("Jahr;A;B\n\n2000;1.5;2.5\n\n"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	if recs[0].Month != 3 || recs[0].State != "A" || recs[0].Temp != 1.5 {
+		t.Fatalf("unexpected record %v", recs[0])
+	}
+}
+
+func TestParseMonthFilesMissingFile(t *testing.T) {
+	files := MonthFiles(Generate(Params{Seed: 1, StartYear: 2000, EndYear: 2000}))
+	delete(files, "Juli")
+	if _, err := ParseMonthFiles(files); err == nil {
+		t.Fatal("missing month file accepted")
+	}
+}
+
+func TestParseStationFilesMissingFile(t *testing.T) {
+	files := StationFiles(Generate(Params{Seed: 1, StartYear: 2000, EndYear: 2000}))
+	delete(files, "Berlin")
+	if _, err := ParseStationFiles(files); err == nil {
+		t.Fatal("missing station file accepted")
+	}
+}
+
+func TestMonthFileHeaderListsAllStates(t *testing.T) {
+	files := MonthFiles(Generate(Params{Seed: 1, StartYear: 2000, EndYear: 2000}))
+	header := strings.SplitN(files["Januar"], "\n", 2)[0]
+	for _, s := range States {
+		if !strings.Contains(header, s) {
+			t.Fatalf("header missing state %s: %s", s, header)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package core is the experiment framework of the reproduction: the
+// paper's contribution is a curated collection of three assignments,
+// and this package curates their computational artifacts the same
+// way — every figure and table of the paper is a registered, named
+// experiment that can be run, rendered as text tables, and (where the
+// artifact is an image) saved as a PNG.
+//
+// The per-experiment index lives in DESIGN.md; cmd/peachy and the
+// root-level benchmarks drive this registry.
+package core
+
+import (
+	"fmt"
+	"image"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Config tunes experiment execution.
+type Config struct {
+	// Quick shrinks workloads for fast runs (CI, -short tests);
+	// headline numbers are produced with Quick=false.
+	Quick bool
+	// OutDir, when non-empty, receives the PNG artifacts.
+	OutDir string
+}
+
+// Table is an aligned text table in a result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[min(i, len(widths)-1)], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = strconv.FormatFloat(v, 'f', 2, 64)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Result is what an experiment produces.
+type Result struct {
+	Tables []Table
+	// Images maps artifact file names (e.g. "fig1a.png") to rendered
+	// images; the runner saves them under Config.OutDir.
+	Images map[string]image.Image
+	// SVGs maps artifact file names (e.g. "tilesweep.svg") to chart
+	// markup, the performance-plot artifacts EASYPAP-style reports
+	// are built from.
+	SVGs map[string]string
+	// Notes carry free-form findings ("who wins, by what factor").
+	Notes []string
+}
+
+// AddTable appends a table and returns a pointer for row appending.
+func (r *Result) AddTable(title string, header ...string) *Table {
+	r.Tables = append(r.Tables, Table{Title: title, Header: header})
+	return &r.Tables[len(r.Tables)-1]
+}
+
+// AddImage registers an image artifact.
+func (r *Result) AddImage(name string, im image.Image) {
+	if r.Images == nil {
+		r.Images = map[string]image.Image{}
+	}
+	r.Images[name] = im
+}
+
+// AddSVG registers a chart artifact.
+func (r *Result) AddSVG(name, svg string) {
+	if r.SVGs == nil {
+		r.SVGs = map[string]string{}
+	}
+	r.SVGs[name] = svg
+}
+
+// Notef appends a formatted note.
+func (r *Result) Notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render formats the whole result as text.
+func (r *Result) Render() string {
+	var sb strings.Builder
+	for i := range r.Tables {
+		sb.WriteString(r.Tables[i].Render())
+		sb.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	if len(r.Images) > 0 {
+		names := make([]string, 0, len(r.Images))
+		for n := range r.Images {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&sb, "images: %s\n", strings.Join(names, ", "))
+	}
+	if len(r.SVGs) > 0 {
+		names := make([]string, 0, len(r.SVGs))
+		for n := range r.SVGs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&sb, "charts: %s\n", strings.Join(names, ", "))
+	}
+	return sb.String()
+}
+
+// Experiment reproduces one paper artifact.
+type Experiment struct {
+	// ID is the index from DESIGN.md, e.g. "E5".
+	ID string
+	// Artifact names the paper figure/table/section, e.g. "Fig 3".
+	Artifact string
+	// Title is a one-line description.
+	Title string
+	Run   func(cfg Config) (*Result, error)
+}
+
+var registry = map[string]Experiment{}
+
+// Register adds an experiment; duplicate IDs panic at init.
+func Register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("core: duplicate experiment %s", e.ID))
+	}
+	if e.Run == nil {
+		panic(fmt.Sprintf("core: experiment %s has no Run", e.ID))
+	}
+	registry[e.ID] = e
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("core: unknown experiment %q", id)
+	}
+	return e, nil
+}
+
+// All returns every experiment ordered by numeric ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return idNum(out[i].ID) < idNum(out[j].ID) })
+	return out
+}
+
+func idNum(id string) int {
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "E"))
+	if err != nil {
+		return 1 << 30
+	}
+	return n
+}

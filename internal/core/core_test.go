@@ -1,0 +1,113 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 23 {
+		t.Fatalf("experiments = %d, want 23 (E1-E21 per DESIGN.md plus extensions E22-E23)", len(all))
+	}
+	for i, e := range all {
+		want := i + 1
+		if idNum(e.ID) != want {
+			t.Fatalf("experiment %d has ID %s", i, e.ID)
+		}
+		if e.Artifact == "" || e.Title == "" {
+			t.Fatalf("%s missing metadata", e.ID)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	e, err := Lookup("E1")
+	if err != nil || e.ID != "E1" {
+		t.Fatalf("Lookup(E1) = %v, %v", e, err)
+	}
+	if _, err := Lookup("E99"); err == nil {
+		t.Fatal("unknown experiment found")
+	}
+}
+
+func TestRegisterGuards(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("duplicate register did not panic")
+			}
+		}()
+		Register(Experiment{ID: "E1", Run: func(Config) (*Result, error) { return nil, nil }})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("nil Run did not panic")
+			}
+		}()
+		Register(Experiment{ID: "E98"})
+	}()
+}
+
+// TestAllExperimentsRunQuick executes every registered experiment in
+// Quick mode — the end-to-end smoke test of the whole reproduction.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are seconds-long even in Quick mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run(Config{Quick: true})
+			if err != nil {
+				t.Fatalf("%s (%s): %v", e.ID, e.Artifact, err)
+			}
+			if len(res.Tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			if out := res.Render(); out == "" {
+				t.Fatalf("%s rendered empty", e.ID)
+			}
+		})
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tbl := Table{Title: "T", Header: []string{"a", "longer"}}
+	tbl.AddRow("xxxxx", 1)
+	tbl.AddRow(2.5, "y")
+	out := tbl.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "a") || !strings.Contains(lines[1], "longer") {
+		t.Fatalf("header missing: %q", lines[1])
+	}
+	if !strings.Contains(out, "2.50") {
+		t.Fatalf("float not formatted: %s", out)
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := &Result{}
+	tbl := r.AddTable("title", "h1")
+	tbl.AddRow("v1")
+	r.Notef("a note %d", 7)
+	out := r.Render()
+	for _, want := range []string{"title", "h1", "v1", "note: a note 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestIDOrdering(t *testing.T) {
+	if idNum("E2") > idNum("E10") {
+		t.Fatal("numeric ordering broken")
+	}
+	if idNum("garbage") < 1000 {
+		t.Fatal("garbage ID should sort last")
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+// exp_extensions.go registers experiments beyond the paper's own
+// figures: E22 (the sandpile group identity — the classic "cool and
+// inspirational" extension of assignment 1) and E23 (relaxing Tab 1's
+// homogeneity assumption — the paper calls uniform p-states "the
+// simplifying assumption", so the ablation quantifies what it costs).
+
+import (
+	"fmt"
+
+	"repro/internal/img"
+	"repro/internal/sandpile"
+	"repro/internal/wfsched"
+	"repro/internal/workflow"
+)
+
+func init() {
+	Register(Experiment{
+		ID: "E22", Artifact: "extension (§II)",
+		Title: "Sandpile group identity: the fractal identity element of the Abelian group",
+		Run: func(cfg Config) (*Result, error) {
+			n := 128
+			if cfg.Quick {
+				n = 64
+			}
+			e := sandpile.Identity(n, n)
+			if !sandpile.Stable(e) {
+				return nil, fmt.Errorf("identity not stable")
+			}
+			idem := sandpile.StableAdd(e, e).Equal(e)
+			neutral := sandpile.IsIdentityFor(e, sandpile.MaxStable(n, n))
+			if !idem || !neutral {
+				return nil, fmt.Errorf("group laws violated: idempotent=%v neutral=%v", idem, neutral)
+			}
+			out := &Result{}
+			tbl := out.AddTable(fmt.Sprintf("Identity element of the %dx%d sandpile group", n, n),
+				"grains", "value-0", "value-1", "value-2", "value-3", "e⊕e=e", "σ⊕e=σ")
+			h := e.Histogram(4)
+			tbl.AddRow(e.Sum(), h[0], h[1], h[2], h[3], fmt.Sprint(idem), fmt.Sprint(neutral))
+			out.AddImage("identity.png", img.Sandpile(e, 4))
+			out.Notef("stable configurations form a monoid under add-then-stabilize; on the recurrent class it is a group (Dhar 1990) and this fractal is its identity — a natural 'show it off to friends' extension of the assignment")
+			return out, nil
+		},
+	})
+	Register(Experiment{
+		ID: "E23", Artifact: "extension (§IV)",
+		Title: "Relaxing Tab 1's homogeneity assumption: two p-state groups vs uniform",
+		Run: func(cfg Config) (*Result, error) {
+			base := tab1Base(cfg)
+			if cfg.Quick {
+				base.Workflow = workflow.Montage(workflow.MontageParams{Projections: 40})
+			}
+			res, err := wfsched.HeterogeneousAblation(base, wfsched.Tab1MaxNodes, wfsched.Tab1BoundSec)
+			if err != nil {
+				return nil, err
+			}
+			out := &Result{}
+			tbl := outcomeTable(out, "Homogeneous optimum vs two-group (split p-state) optimum, 180 s bound")
+			addOutcomeRow(tbl, "homogeneous: "+res.Homogeneous.String(), res.HomogeneousOutcome)
+			addOutcomeRow(tbl, "two-group: "+res.Split.String(), res.SplitOutcome)
+			saving := 100 * (1 - res.SplitOutcome.CO2/res.HomogeneousOutcome.CO2)
+			out.Notef("allowing two p-state groups saves %.1f%% CO2 over the assignment's homogeneous model — quantifying what the 'simplifying assumption that all powered-on nodes operate in the same p-state' gives away", saving)
+			return out, nil
+		},
+	})
+}

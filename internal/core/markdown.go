@@ -1,0 +1,58 @@
+package core
+
+// markdown.go renders experiment results as GitHub-flavored markdown,
+// so `peachy -md report.md` regenerates an EXPERIMENTS-style document
+// straight from a run.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Markdown renders one table as a GFM pipe table.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "**%s**\n\n", t.Title)
+	}
+	sb.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	sb.WriteString("|" + strings.Repeat(" --- |", len(t.Header)) + "\n")
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = strings.ReplaceAll(c, "|", "\\|")
+		}
+		sb.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+	return sb.String()
+}
+
+// Markdown renders the whole result: tables, notes, artifact links.
+func (r *Result) Markdown() string {
+	var sb strings.Builder
+	for i := range r.Tables {
+		sb.WriteString(r.Tables[i].Markdown())
+		sb.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "> %s\n\n", n)
+	}
+	var artifacts []string
+	for n := range r.Images {
+		artifacts = append(artifacts, n)
+	}
+	for n := range r.SVGs {
+		artifacts = append(artifacts, n)
+	}
+	sort.Strings(artifacts)
+	for _, a := range artifacts {
+		fmt.Fprintf(&sb, "![%s](%s)\n", a, a)
+	}
+	return sb.String()
+}
+
+// MarkdownHeader renders an experiment's section heading.
+func (e Experiment) MarkdownHeader() string {
+	return fmt.Sprintf("## %s (%s) — %s\n", e.ID, e.Artifact, e.Title)
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableMarkdown(t *testing.T) {
+	tbl := Table{Title: "T", Header: []string{"a", "b"}}
+	tbl.AddRow("x|y", 2)
+	md := tbl.Markdown()
+	for _, want := range []string{"**T**", "| a | b |", "| --- | --- |", `x\|y`} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestResultMarkdown(t *testing.T) {
+	r := &Result{}
+	tbl := r.AddTable("title", "h")
+	tbl.AddRow("v")
+	r.Notef("finding")
+	r.AddSVG("chart.svg", "<svg/>")
+	md := r.Markdown()
+	for _, want := range []string{"**title**", "| h |", "| v |", "> finding", "![chart.svg](chart.svg)"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestExperimentMarkdownHeader(t *testing.T) {
+	e := Experiment{ID: "E1", Artifact: "Fig 1a", Title: "t"}
+	if got := e.MarkdownHeader(); got != "## E1 (Fig 1a) — t\n" {
+		t.Fatalf("header = %q", got)
+	}
+}

@@ -1,0 +1,51 @@
+package des
+
+import "testing"
+
+// Event-kernel benchmarks: the per-event overheads that bound
+// simulator throughput (E20's exhaustive sweep runs ~10^7 events).
+
+func BenchmarkScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var s Simulation
+		for e := 0; e < 1000; e++ {
+			s.Schedule(float64(e%97), func() {})
+		}
+		s.Run()
+	}
+}
+
+func BenchmarkNestedCascade(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var s Simulation
+		var depth int
+		var spawn func()
+		spawn = func() {
+			if depth < 1000 {
+				depth++
+				s.Schedule(1, spawn)
+			}
+		}
+		s.Schedule(0, spawn)
+		s.Run()
+	}
+}
+
+func BenchmarkCancelHeavy(b *testing.B) {
+	// Half the scheduled events are cancelled before they fire — the
+	// pattern the link model produced before its single-wake rewrite.
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var s Simulation
+		events := make([]*Event, 1000)
+		for e := range events {
+			events[e] = s.Schedule(float64(e), func() {})
+		}
+		for e := 0; e < len(events); e += 2 {
+			s.Cancel(events[e])
+		}
+		s.Run()
+	}
+}

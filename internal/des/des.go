@@ -1,0 +1,159 @@
+// Package des is a minimal discrete-event simulation kernel, the
+// stand-in for SimGrid underneath the carbon-footprint workflow
+// assignment. It provides a simulated clock, an event queue ordered
+// by (time, insertion sequence) for deterministic tie-breaking, and
+// cancellable timers — enough to build the platform and scheduler
+// models on top.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Simulation owns the clock and the pending-event queue. The zero
+// value is ready to use. Simulations are single-goroutine by design,
+// as DES logic is inherently sequential in simulated time.
+type Simulation struct {
+	now   float64
+	seq   int64
+	queue eventHeap
+	steps int64
+}
+
+// Event is a scheduled callback. Cancel it via Cancel; a cancelled
+// event stays in the queue but is skipped when popped.
+type Event struct {
+	time      float64
+	seq       int64
+	fn        func()
+	cancelled bool
+	index     int
+}
+
+// Time returns the simulated time the event fires at.
+func (e *Event) Time() float64 { return e.time }
+
+// Cancelled reports whether the event was cancelled.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Now returns the current simulated time in seconds.
+func (s *Simulation) Now() float64 { return s.now }
+
+// Steps returns the number of events executed so far.
+func (s *Simulation) Steps() int64 { return s.steps }
+
+// Schedule enqueues fn to run after delay seconds of simulated time
+// and returns a handle for cancellation. It panics on negative or NaN
+// delays — scheduling into the past is always a model bug.
+func (s *Simulation) Schedule(delay float64, fn func()) *Event {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("des: invalid delay %v", delay))
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// At enqueues fn at absolute simulated time t (>= Now).
+func (s *Simulation) At(t float64, fn func()) *Event {
+	if t < s.now || math.IsNaN(t) {
+		panic(fmt.Sprintf("des: scheduling at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("des: nil event function")
+	}
+	e := &Event{time: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// Cancel marks an event so it will not fire. Cancelling an already-
+// fired or already-cancelled event is a no-op.
+func (s *Simulation) Cancel(e *Event) {
+	if e != nil {
+		e.cancelled = true
+	}
+}
+
+// Step executes the next non-cancelled event, advancing the clock to
+// its timestamp. It reports whether an event ran.
+func (s *Simulation) Step() bool {
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancelled {
+			continue
+		}
+		s.now = e.time
+		s.steps++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains.
+func (s *Simulation) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the
+// clock to exactly t (if it is ahead of the last event).
+func (s *Simulation) RunUntil(t float64) {
+	for s.queue.Len() > 0 {
+		next := s.queue[0]
+		if next.cancelled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if next.time > t {
+			break
+		}
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// Pending returns the number of queued, non-cancelled events.
+func (s *Simulation) Pending() int {
+	n := 0
+	for _, e := range s.queue {
+		if !e.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// eventHeap orders events by (time, seq) so simultaneous events fire
+// in scheduling order — determinism the cross-run tests rely on.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

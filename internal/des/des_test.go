@@ -1,0 +1,212 @@
+package des
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	var s Simulation
+	if s.Now() != 0 {
+		t.Fatalf("Now = %v", s.Now())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	var s Simulation
+	var order []float64
+	for _, d := range []float64{5, 1, 3, 2, 4} {
+		d := d
+		s.Schedule(d, func() { order = append(order, d) })
+	}
+	s.Run()
+	if !sort.Float64sAreSorted(order) {
+		t.Fatalf("events out of order: %v", order)
+	}
+	if s.Now() != 5 {
+		t.Fatalf("final time %v, want 5", s.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	var s Simulation
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(1, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("ties not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	var s Simulation
+	var times []float64
+	s.Schedule(1, func() {
+		times = append(times, s.Now())
+		s.Schedule(2, func() {
+			times = append(times, s.Now())
+		})
+	})
+	s.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Fatalf("nested times = %v, want [1 3]", times)
+	}
+}
+
+func TestCancelledEventSkipped(t *testing.T) {
+	var s Simulation
+	fired := false
+	e := s.Schedule(1, func() { fired = true })
+	s.Cancel(e)
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+	s.Cancel(nil) // must not panic
+}
+
+func TestRunUntil(t *testing.T) {
+	var s Simulation
+	var fired []float64
+	for _, d := range []float64{1, 2, 3, 4} {
+		d := d
+		s.Schedule(d, func() { fired = append(fired, d) })
+	}
+	s.RunUntil(2.5)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want events at 1 and 2", fired)
+	}
+	if s.Now() != 2.5 {
+		t.Fatalf("clock = %v, want 2.5", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", s.Pending())
+	}
+	s.Run()
+	if len(fired) != 4 {
+		t.Fatalf("remaining events lost: %v", fired)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	var s Simulation
+	s.RunUntil(10)
+	if s.Now() != 10 {
+		t.Fatalf("idle clock = %v, want 10", s.Now())
+	}
+	// RunUntil into the past does not rewind.
+	s.RunUntil(5)
+	if s.Now() != 10 {
+		t.Fatalf("clock rewound to %v", s.Now())
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	var s Simulation
+	for _, bad := range []float64{-1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("delay %v did not panic", bad)
+				}
+			}()
+			s.Schedule(bad, func() {})
+		}()
+	}
+}
+
+func TestAtBeforeNowPanics(t *testing.T) {
+	var s Simulation
+	s.Schedule(5, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At in the past did not panic")
+		}
+	}()
+	s.At(1, func() {})
+}
+
+func TestNilFnPanics(t *testing.T) {
+	var s Simulation
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil fn did not panic")
+		}
+	}()
+	s.Schedule(1, nil)
+}
+
+func TestStepReturnsFalseWhenDrained(t *testing.T) {
+	var s Simulation
+	if s.Step() {
+		t.Fatal("empty queue stepped")
+	}
+	s.Schedule(1, func() {})
+	if !s.Step() {
+		t.Fatal("step with pending event returned false")
+	}
+	if s.Steps() != 1 {
+		t.Fatalf("steps = %d", s.Steps())
+	}
+}
+
+func TestPendingExcludesCancelled(t *testing.T) {
+	var s Simulation
+	e1 := s.Schedule(1, func() {})
+	s.Schedule(2, func() {})
+	s.Cancel(e1)
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+}
+
+// quick-check: time is non-decreasing across any random schedule,
+// including events scheduled from inside events.
+func TestQuickMonotonicClock(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s Simulation
+		ok := true
+		last := -1.0
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			if s.Now() < last {
+				ok = false
+			}
+			last = s.Now()
+			if depth < 3 {
+				for i := 0; i < rng.Intn(3); i++ {
+					s.Schedule(rng.Float64()*10, func() { spawn(depth + 1) })
+				}
+			}
+		}
+		for i := 0; i < 5+rng.Intn(10); i++ {
+			s.Schedule(rng.Float64()*100, func() { spawn(0) })
+		}
+		s.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventTimeAccessor(t *testing.T) {
+	var s Simulation
+	e := s.Schedule(3.5, func() {})
+	if e.Time() != 3.5 {
+		t.Fatalf("Time = %v", e.Time())
+	}
+}

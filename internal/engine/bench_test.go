@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sandpile"
+	"repro/internal/sched"
+)
+
+// Variant benchmarks: the ablation study behind the sandpile
+// assignment — what each optimization stage (parallelism, tiling,
+// laziness, kernel specialization, multi-wave async) buys on dense
+// and sparse workloads.
+
+func benchVariant(b *testing.B, variant string, cfg sandpile.Config, n int, p Params) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := cfg.Build(n, n, rng)
+		b.StartTimer()
+		if _, err := Run(variant, g, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func denseParams() Params {
+	return Params{TileH: 32, TileW: 32, Workers: 4, Policy: sched.Dynamic}
+}
+
+func BenchmarkDenseSeqSync(b *testing.B) {
+	benchVariant(b, "seq-sync", sandpile.Uniform(4), 256, denseParams())
+}
+
+func BenchmarkDenseSeqAsync(b *testing.B) {
+	benchVariant(b, "seq-async", sandpile.Uniform(4), 256, denseParams())
+}
+
+func BenchmarkDenseOmpSync(b *testing.B) {
+	benchVariant(b, "omp-sync", sandpile.Uniform(4), 256, denseParams())
+}
+
+func BenchmarkDenseTiledSync(b *testing.B) {
+	benchVariant(b, "tiled-sync", sandpile.Uniform(4), 256, denseParams())
+}
+
+func BenchmarkDenseTiledInner(b *testing.B) {
+	benchVariant(b, "tiled-sync-inner", sandpile.Uniform(4), 256, denseParams())
+}
+
+func BenchmarkDenseAsyncWaves(b *testing.B) {
+	benchVariant(b, "async-waves", sandpile.Uniform(4), 256, denseParams())
+}
+
+func BenchmarkSparseEagerTiled(b *testing.B) {
+	benchVariant(b, "tiled-sync", sandpile.Sparse(0.001, 2000), 512, denseParams())
+}
+
+func BenchmarkSparseLazy(b *testing.B) {
+	benchVariant(b, "lazy-sync", sandpile.Sparse(0.001, 2000), 512, denseParams())
+}
+
+func BenchmarkSparseLazyAsyncWaves(b *testing.B) {
+	benchVariant(b, "lazy-async-waves", sandpile.Sparse(0.001, 2000), 512, denseParams())
+}
+
+// BenchmarkSchedulePolicies compares the four loop schedules on the
+// imbalanced sparse workload (assignment 1's experiment).
+func BenchmarkSchedulePolicies(b *testing.B) {
+	for _, policy := range sched.Policies {
+		b.Run(policy.String(), func(b *testing.B) {
+			p := denseParams()
+			p.Policy = policy
+			benchVariant(b, "omp-sync", sandpile.Sparse(0.002, 1000), 512, p)
+		})
+	}
+}
+
+// BenchmarkTileSizes sweeps the tile edge on the lazy variant
+// (assignment 2's experiment, Fig 3's parameter).
+func BenchmarkTileSizes(b *testing.B) {
+	for _, tile := range []int{8, 16, 32, 64, 128} {
+		b.Run(byteSize(tile), func(b *testing.B) {
+			p := denseParams()
+			p.TileH, p.TileW = tile, tile
+			benchVariant(b, "lazy-sync", sandpile.Sparse(0.001, 2000), 512, p)
+		})
+	}
+}
+
+func byteSize(tile int) string {
+	switch tile {
+	case 8:
+		return "8x8"
+	case 16:
+		return "16x16"
+	case 32:
+		return "32x32"
+	case 64:
+		return "64x64"
+	default:
+		return "128x128"
+	}
+}

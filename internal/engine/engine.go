@@ -1,0 +1,523 @@
+// Package engine is the EASYPAP-analog execution harness for the
+// Abelian-sandpile assignment: it owns the iterate-until-stable loop,
+// a registry of named kernel variants (sequential, OpenMP-style
+// parallel, tiled, lazy, multi-wave asynchronous, and the specialized
+// inner-kernel variant), per-iteration monitoring, and optional task
+// tracing.
+//
+// The registry mirrors EASYPAP's "add a few lines, recompile, and the
+// new variant is available on the command line" workflow: variants are
+// self-registering and every CLI/bench selects them by name.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/sandpile"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Params configures a run.
+type Params struct {
+	// TileH, TileW set the tile extent for tiled variants; 0 means 32.
+	TileH, TileW int
+	// Workers is the worker-team size for parallel variants; 0 means
+	// GOMAXPROCS.
+	Workers int
+	// Policy is the loop schedule for parallel variants.
+	Policy sched.Policy
+	// ChunkSize is the schedule chunk; 0 means 1.
+	ChunkSize int
+	// MaxIters aborts runaway runs; 0 means sandpile.MaxIterations.
+	MaxIters int
+	// Recorder, when non-nil, receives one event per executed tile
+	// task for iterations in [TraceFrom, TraceTo]; TraceTo == 0 means
+	// "to the end".
+	Recorder           *trace.Recorder
+	TraceFrom, TraceTo int
+	// OnIteration, when non-nil, is called after every iteration with
+	// live progress — the analog of EASYPAP's real-time monitoring
+	// window. It runs on the coordinating goroutine; keep it cheap.
+	OnIteration func(IterStats)
+}
+
+// IterStats is the per-iteration progress reported to OnIteration.
+type IterStats struct {
+	// Iteration is 1-based.
+	Iteration int
+	// Changes is the iteration's changed-cell count (synchronous
+	// variants) or toppling count (asynchronous variants).
+	Changes int
+	// ActiveTiles is the number of tiles actually computed this
+	// iteration; -1 for untiled variants.
+	ActiveTiles int
+	// Grid is the state just produced by this iteration. It is valid
+	// only during the callback (the engine may reuse the buffer);
+	// Clone it to retain a snapshot — this is how animations are
+	// captured.
+	Grid *grid.Grid
+}
+
+func (p Params) withDefaults() Params {
+	if p.TileH <= 0 {
+		p.TileH = 32
+	}
+	if p.TileW <= 0 {
+		p.TileW = 32
+	}
+	if p.MaxIters <= 0 {
+		p.MaxIters = sandpile.MaxIterations
+	}
+	if p.ChunkSize <= 0 {
+		p.ChunkSize = 1
+	}
+	return p
+}
+
+func (p Params) traced(iter int) bool {
+	if p.Recorder == nil {
+		return false
+	}
+	if iter < p.TraceFrom {
+		return false
+	}
+	return p.TraceTo == 0 || iter <= p.TraceTo
+}
+
+// Variant is a named strategy for stabilizing a sandpile in place.
+type Variant struct {
+	Name        string
+	Description string
+	// Parallel reports whether the variant uses a worker team.
+	Parallel bool
+	Run      func(g *grid.Grid, p Params) sandpile.Result
+}
+
+var registry = map[string]Variant{}
+
+// Register adds a variant; duplicate names panic at init time, like a
+// redefined kernel would fail to link in EASYPAP.
+func Register(v Variant) {
+	if _, dup := registry[v.Name]; dup {
+		panic(fmt.Sprintf("engine: duplicate variant %q", v.Name))
+	}
+	registry[v.Name] = v
+}
+
+// Lookup fetches a variant by name.
+func Lookup(name string) (Variant, error) {
+	v, ok := registry[name]
+	if !ok {
+		return Variant{}, fmt.Errorf("engine: unknown variant %q (have %v)", name, Names())
+	}
+	return v, nil
+}
+
+// Names returns all registered variant names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run looks up and executes a variant on g, which is stabilized in
+// place.
+func Run(name string, g *grid.Grid, p Params) (sandpile.Result, error) {
+	v, err := Lookup(name)
+	if err != nil {
+		return sandpile.Result{}, err
+	}
+	return v.Run(g, p), nil
+}
+
+func init() {
+	Register(Variant{
+		Name:        "seq-sync",
+		Description: "sequential synchronous steps with an auxiliary array (Fig 2 top)",
+		Run: func(g *grid.Grid, p Params) sandpile.Result {
+			if p.OnIteration == nil {
+				return sandpile.StabilizeSyncSeq(g)
+			}
+			return runSeqSyncMonitored(g, p)
+		},
+	})
+	Register(Variant{
+		Name:        "seq-async",
+		Description: "sequential in-place asynchronous sweeps (Fig 2 bottom); the oracle",
+		Run: func(g *grid.Grid, p Params) sandpile.Result {
+			if p.OnIteration == nil {
+				return sandpile.StabilizeAsyncSeq(g)
+			}
+			return runSeqAsyncMonitored(g, p)
+		},
+	})
+	Register(Variant{
+		Name:        "omp-sync",
+		Description: "row-parallel synchronous steps under the configured schedule (assignment 1)",
+		Parallel:    true,
+		Run:         runOmpSync,
+	})
+	Register(Variant{
+		Name:        "tiled-sync",
+		Description: "tile-parallel synchronous steps for cache reuse (assignment 2)",
+		Parallel:    true,
+		Run:         makeTiledSync(false, false),
+	})
+	Register(Variant{
+		Name:        "lazy-sync",
+		Description: "tile-parallel synchronous steps skipping steady-state neighborhoods (assignment 2)",
+		Parallel:    true,
+		Run:         makeTiledSync(true, false),
+	})
+	Register(Variant{
+		Name:        "tiled-sync-inner",
+		Description: "tiled-sync with the specialized branch-free kernel on inner tiles (assignment 3)",
+		Parallel:    true,
+		Run:         makeTiledSync(false, true),
+	})
+	Register(Variant{
+		Name:        "lazy-sync-inner",
+		Description: "lazy-sync with the specialized inner-tile kernel (assignments 2+3)",
+		Parallel:    true,
+		Run:         makeTiledSync(true, true),
+	})
+	Register(Variant{
+		Name:        "async-waves",
+		Description: "in-place asynchronous tiles in four checkerboard waves (race-free multi-wave scheduling)",
+		Parallel:    true,
+		Run:         makeAsyncWaves(false),
+	})
+	Register(Variant{
+		Name:        "lazy-async-waves",
+		Description: "async-waves skipping tiles whose neighborhood is quiescent",
+		Parallel:    true,
+		Run:         makeAsyncWaves(true),
+	})
+}
+
+// runSeqSyncMonitored is the seq-sync loop with per-iteration
+// reporting.
+func runSeqSyncMonitored(g *grid.Grid, p Params) sandpile.Result {
+	p = p.withDefaults()
+	before := g.Sum()
+	next := grid.New(g.H(), g.W())
+	cur := g
+	var res sandpile.Result
+	for {
+		res.Iterations++
+		ch := sandpile.SyncStep(cur, next)
+		res.Topples += uint64(ch)
+		p.OnIteration(IterStats{Iteration: res.Iterations, Changes: ch, ActiveTiles: -1, Grid: next})
+		cur, next = next, cur
+		if ch == 0 || res.Iterations >= p.MaxIters {
+			break
+		}
+	}
+	if cur != g {
+		g.CopyFrom(cur)
+	}
+	g.ClearHalo()
+	res.Absorbed = before - g.Sum()
+	return res
+}
+
+// runSeqAsyncMonitored is the seq-async loop with per-iteration
+// reporting.
+func runSeqAsyncMonitored(g *grid.Grid, p Params) sandpile.Result {
+	p = p.withDefaults()
+	before := g.Sum()
+	var res sandpile.Result
+	for {
+		res.Iterations++
+		t := sandpile.AsyncRegion(g, 0, g.H(), 0, g.W())
+		res.Topples += uint64(t)
+		p.OnIteration(IterStats{Iteration: res.Iterations, Changes: t, ActiveTiles: -1, Grid: g})
+		if t == 0 || res.Iterations >= p.MaxIters {
+			break
+		}
+	}
+	g.ClearHalo()
+	res.Absorbed = before - g.Sum()
+	return res
+}
+
+// runOmpSync is the first assignment's variant: a plain parallel-for
+// over rows, double-buffered, with a barrier per step — the direct
+// analog of `#pragma omp parallel for schedule(...)` around the y
+// loop.
+func runOmpSync(g *grid.Grid, p Params) sandpile.Result {
+	p = p.withDefaults()
+	pool := sched.NewPool(sched.Options{Workers: p.Workers, Policy: p.Policy, ChunkSize: p.ChunkSize})
+	defer pool.Close()
+
+	before := g.Sum()
+	next := grid.New(g.H(), g.W())
+	cur := g
+	var res sandpile.Result
+	changes := make([]int, pool.Workers())
+	for {
+		res.Iterations++
+		for i := range changes {
+			changes[i] = 0
+		}
+		c, n := cur, next
+		pool.Run(g.H(), func(w, lo, hi int) {
+			ch := 0
+			for y := lo; y < hi; y++ {
+				ch += sandpile.SyncRow(c, n, y, 0, c.W())
+			}
+			changes[w] += ch
+		})
+		total := 0
+		for _, ch := range changes {
+			total += ch
+		}
+		res.Topples += uint64(total)
+		if p.OnIteration != nil {
+			p.OnIteration(IterStats{Iteration: res.Iterations, Changes: total, ActiveTiles: -1, Grid: next})
+		}
+		cur, next = next, cur
+		if total == 0 {
+			break
+		}
+		if res.Iterations >= p.MaxIters {
+			break
+		}
+	}
+	if cur != g {
+		g.CopyFrom(cur)
+	}
+	g.ClearHalo()
+	res.Absorbed = before - g.Sum()
+	return res
+}
+
+// tileTask computes one tile of a synchronous step, choosing the
+// specialized kernel for inner tiles when enabled, and returns the
+// number of changed cells.
+func tileTask(cur, next *grid.Grid, t grid.Tile, useInner bool) int {
+	if useInner && t.Inner(cur) {
+		return sandpile.SyncRegionInner(cur, next, t.Y, t.Y+t.H, t.X, t.X+t.W)
+	}
+	return sandpile.SyncRegion(cur, next, t.Y, t.Y+t.H, t.X, t.X+t.W)
+}
+
+// copyTile copies a tile's cells from src to dst, used when the lazy
+// variant skips a tile: the double buffers must stay coherent.
+func copyTile(dst, src *grid.Grid, t grid.Tile) {
+	for y := t.Y; y < t.Y+t.H; y++ {
+		copy(dst.Row(y)[t.X:t.X+t.W], src.Row(y)[t.X:t.X+t.W])
+	}
+}
+
+func makeTiledSync(lazy, inner bool) func(*grid.Grid, Params) sandpile.Result {
+	return func(g *grid.Grid, p Params) sandpile.Result {
+		p = p.withDefaults()
+		tl := grid.NewTiling(g.H(), g.W(), p.TileH, p.TileW)
+		pool := sched.NewPool(sched.Options{Workers: p.Workers, Policy: p.Policy, ChunkSize: p.ChunkSize})
+		defer pool.Close()
+
+		before := g.Sum()
+		next := grid.New(g.H(), g.W())
+		cur := g
+		nTiles := tl.NumTiles()
+
+		dirty := make([]bool, nTiles)   // recompute this iteration?
+		changed := make([]bool, nTiles) // changed during this iteration
+		for i := range dirty {
+			dirty[i] = true
+		}
+		tileChanges := make([]int, nTiles)
+
+		var res sandpile.Result
+		for {
+			res.Iterations++
+			c, n := cur, next
+			doTrace := p.traced(res.Iterations)
+			iter := res.Iterations
+			pool.Run(nTiles, func(w, lo, hi int) {
+				for id := lo; id < hi; id++ {
+					t := tl.Tile(id)
+					var start time.Duration
+					if doTrace {
+						start = p.Recorder.Now()
+					}
+					cells := 0
+					if !lazy || dirty[id] {
+						ch := tileTask(c, n, t, inner)
+						tileChanges[id] = ch
+						changed[id] = ch > 0
+						cells = t.H * t.W
+					} else {
+						copyTile(n, c, t)
+						tileChanges[id] = 0
+						changed[id] = false
+					}
+					if doTrace {
+						p.Recorder.Record(trace.Event{
+							Iteration: iter, Worker: w, Tile: id,
+							Start: start, Duration: p.Recorder.Now() - start,
+							Cells: cells,
+						})
+					}
+				}
+			})
+			total := 0
+			for _, ch := range tileChanges {
+				total += ch
+			}
+			res.Topples += uint64(total)
+			if p.OnIteration != nil {
+				active := nTiles
+				if lazy {
+					active = 0
+					for _, d := range dirty {
+						if d {
+							active++
+						}
+					}
+				}
+				p.OnIteration(IterStats{Iteration: res.Iterations, Changes: total, ActiveTiles: active, Grid: next})
+			}
+			cur, next = next, cur
+			if total == 0 {
+				break
+			}
+			if res.Iterations >= p.MaxIters {
+				break
+			}
+			if lazy {
+				// A tile must be recomputed next iteration iff it or a
+				// 4-neighbor changed in this one.
+				for i := range dirty {
+					dirty[i] = changed[i]
+				}
+				var nbuf []int
+				for id, ch := range changed {
+					if !ch {
+						continue
+					}
+					nbuf = tl.Neighbors4(id, nbuf[:0])
+					for _, nb := range nbuf {
+						dirty[nb] = true
+					}
+				}
+			}
+		}
+		if cur != g {
+			g.CopyFrom(cur)
+		}
+		g.ClearHalo()
+		res.Absorbed = before - g.Sum()
+		return res
+	}
+}
+
+func makeAsyncWaves(lazy bool) func(*grid.Grid, Params) sandpile.Result {
+	return func(g *grid.Grid, p Params) sandpile.Result {
+		p = p.withDefaults()
+		if p.TileH < 2 || p.TileW < 2 {
+			panic("engine: async wave variants require tiles of at least 2x2 cells")
+		}
+		tl := grid.NewTiling(g.H(), g.W(), p.TileH, p.TileW)
+		pool := sched.NewPool(sched.Options{Workers: p.Workers, Policy: p.Policy, ChunkSize: p.ChunkSize})
+		defer pool.Close()
+
+		before := g.Sum()
+		waves := tl.Waves()
+		nTiles := tl.NumTiles()
+		dirty := make([]bool, nTiles)
+		nextDirty := make([]bool, nTiles)
+		for i := range dirty {
+			dirty[i] = true
+		}
+		topples := make([]int, nTiles)
+
+		var res sandpile.Result
+		for {
+			res.Iterations++
+			doTrace := p.traced(res.Iterations)
+			iter := res.Iterations
+			for i := range topples {
+				topples[i] = 0
+			}
+			for _, wave := range waves {
+				if len(wave) == 0 {
+					continue
+				}
+				wv := wave
+				pool.Run(len(wv), func(w, lo, hi int) {
+					for k := lo; k < hi; k++ {
+						id := wv[k]
+						if lazy && !dirty[id] {
+							continue
+						}
+						t := tl.Tile(id)
+						var start time.Duration
+						if doTrace {
+							start = p.Recorder.Now()
+						}
+						tp := sandpile.AsyncRegion(g, t.Y, t.Y+t.H, t.X, t.X+t.W)
+						topples[id] = tp
+						if doTrace {
+							p.Recorder.Record(trace.Event{
+								Iteration: iter, Worker: w, Tile: id,
+								Start: start, Duration: p.Recorder.Now() - start,
+								Cells: t.H * t.W,
+							})
+						}
+					}
+				})
+			}
+			total := 0
+			for _, tp := range topples {
+				total += tp
+			}
+			res.Topples += uint64(total)
+			if p.OnIteration != nil {
+				active := nTiles
+				if lazy {
+					active = 0
+					for _, d := range dirty {
+						if d {
+							active++
+						}
+					}
+				}
+				p.OnIteration(IterStats{Iteration: res.Iterations, Changes: total, ActiveTiles: active, Grid: g})
+			}
+			if total == 0 {
+				break
+			}
+			if res.Iterations >= p.MaxIters {
+				break
+			}
+			if lazy {
+				for i := range nextDirty {
+					nextDirty[i] = topples[i] > 0
+				}
+				var nbuf []int
+				for id, tp := range topples {
+					if tp == 0 {
+						continue
+					}
+					nbuf = tl.Neighbors4(id, nbuf[:0])
+					for _, nb := range nbuf {
+						nextDirty[nb] = true
+					}
+				}
+				dirty, nextDirty = nextDirty, dirty
+			}
+		}
+		g.ClearHalo()
+		res.Absorbed = before - g.Sum()
+		return res
+	}
+}

@@ -1,0 +1,44 @@
+package ghost
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sandpile"
+)
+
+// BenchmarkGhostWidthSweep measures the ghost-width trade-off
+// end-to-end: each sub-benchmark stabilizes the same pile at a
+// different K (experiment E9's timing axis).
+func BenchmarkGhostWidthSweep(b *testing.B) {
+	init := sandpile.Center(30000).Build(256, 256, nil)
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				g := init.Clone()
+				b.StartTimer()
+				if _, err := Run(g, Params{Ranks: 4, GhostWidth: k}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRankScaling measures strong scaling over simulated ranks.
+func BenchmarkRankScaling(b *testing.B) {
+	init := sandpile.Center(30000).Build(256, 256, nil)
+	for _, ranks := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				g := init.Clone()
+				b.StartTimer()
+				if _, err := Run(g, Params{Ranks: ranks, GhostWidth: 4}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,269 @@
+// Package ghost implements the fourth sandpile assignment: a
+// distributed-memory run of the synchronous automaton using the Ghost
+// Cell Pattern (Kjolstad & Snir 2010). MPI ranks are simulated by
+// goroutines that own horizontal strips of the global grid and
+// exchange halo rows over channels; no memory is shared between ranks
+// except the channels.
+//
+// The assignment's central trade-off — redundant computation for
+// less-frequent communication — is a first-class parameter here: with
+// ghost-zone width K, each rank holds K extra rows per interior
+// boundary, exchanges only every K iterations, and in between
+// recomputes a shrinking band of its neighbors' rows. The run report
+// counts messages, bytes, and redundantly computed cells so the
+// trade-off can be measured rather than imagined.
+package ghost
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/grid"
+	"repro/internal/sandpile"
+)
+
+// Params configures a distributed run.
+type Params struct {
+	// Ranks is the number of simulated processes (strips). It must be
+	// at least 1 and small enough that every rank owns at least
+	// GhostWidth rows.
+	Ranks int
+	// GhostWidth K is the ghost-zone width: halo rows exchanged per
+	// boundary, and the number of iterations between exchanges.
+	GhostWidth int
+	// MaxIters aborts runaway runs; 0 means sandpile.MaxIterations.
+	MaxIters int
+}
+
+// Report summarizes a distributed run.
+type Report struct {
+	sandpile.Result
+	Ranks          int
+	GhostWidth     int
+	Exchanges      int    // halo-exchange rounds performed
+	Messages       int    // point-to-point messages sent
+	BytesSent      uint64 // payload bytes across all messages
+	RedundantCells uint64 // ghost-band cells recomputed beyond owned work
+	OwnedCells     uint64 // owned cells computed
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("ranks=%d K=%d %v exchanges=%d msgs=%d bytes=%d redundant=%d",
+		r.Ranks, r.GhostWidth, r.Result, r.Exchanges, r.Messages, r.BytesSent, r.RedundantCells)
+}
+
+// message is one halo payload: K rows of W cells.
+type message struct {
+	rows [][]uint32
+}
+
+// rank is the per-process state of the simulated run.
+type rank struct {
+	id         int
+	owned      int // owned rows
+	globalTop  int // global index of first owned row
+	topGhost   int // K if an upper neighbor exists, else 0
+	botGhost   int
+	cur, next  *grid.Grid
+	sendUp     chan message // to rank id-1
+	sendDown   chan message // to rank id+1
+	recvUp     chan message // from rank id-1
+	recvDown   chan message // from rank id+1
+	changes    chan int     // per-round owned-row change count, to coordinator
+	proceed    chan bool    // coordinator verdict: continue?
+	msgs       int
+	bytes      uint64
+	redundant  uint64
+	ownedCells uint64
+}
+
+// Run stabilizes g with the distributed synchronous automaton and
+// writes the final configuration back into g. It returns the run
+// report. The result is bit-identical to the sequential solvers (the
+// Abelian/determinism property), which the tests enforce.
+func Run(g *grid.Grid, p Params) (Report, error) {
+	if p.Ranks <= 0 {
+		return Report{}, fmt.Errorf("ghost: Ranks must be >= 1, got %d", p.Ranks)
+	}
+	if p.GhostWidth <= 0 {
+		return Report{}, fmt.Errorf("ghost: GhostWidth must be >= 1, got %d", p.GhostWidth)
+	}
+	if p.MaxIters <= 0 {
+		p.MaxIters = sandpile.MaxIterations
+	}
+	minOwned := g.H() / p.Ranks
+	if minOwned < p.GhostWidth {
+		return Report{}, fmt.Errorf("ghost: %d ranks over %d rows leaves %d rows/rank; need >= GhostWidth (%d)",
+			p.Ranks, g.H(), minOwned, p.GhostWidth)
+	}
+
+	before := g.Sum()
+	K := p.GhostWidth
+	W := g.W()
+
+	// Carve strips: the first (H mod Ranks) ranks get one extra row.
+	ranks := make([]*rank, p.Ranks)
+	base := g.H() / p.Ranks
+	extra := g.H() % p.Ranks
+	top := 0
+	for i := range ranks {
+		owned := base
+		if i < extra {
+			owned++
+		}
+		r := &rank{
+			id:        i,
+			owned:     owned,
+			globalTop: top,
+			changes:   make(chan int, 1),
+			proceed:   make(chan bool, 1),
+		}
+		if i > 0 {
+			r.topGhost = K
+		}
+		if i < p.Ranks-1 {
+			r.botGhost = K
+		}
+		localH := owned + r.topGhost + r.botGhost
+		r.cur = grid.New(localH, W)
+		r.next = grid.New(localH, W)
+		// Scatter: copy owned rows from the global grid.
+		for y := 0; y < owned; y++ {
+			copy(r.cur.Row(r.topGhost+y), g.Row(top+y))
+		}
+		ranks[i] = r
+		top += owned
+	}
+	// Wire neighbor channels (capacity 1 so send-then-receive cannot
+	// deadlock).
+	for i := 0; i < p.Ranks-1; i++ {
+		down := make(chan message, 1) // i -> i+1
+		up := make(chan message, 1)   // i+1 -> i
+		ranks[i].sendDown = down
+		ranks[i+1].recvUp = down
+		ranks[i+1].sendUp = up
+		ranks[i].recvDown = up
+	}
+
+	var wg sync.WaitGroup
+	for _, r := range ranks {
+		wg.Add(1)
+		go func(r *rank) {
+			defer wg.Done()
+			r.run(K)
+		}(r)
+	}
+
+	// Coordinator: sum per-round owned changes; broadcast continue
+	// until a whole round changes nothing or the iteration budget is
+	// exhausted.
+	report := Report{Ranks: p.Ranks, GhostWidth: K}
+	iters := 0
+	for {
+		report.Exchanges++ // each round starts with a halo exchange
+		total := 0
+		for _, r := range ranks {
+			total += <-r.changes
+		}
+		iters += K
+		report.Topples += uint64(total)
+		cont := total != 0 && iters < p.MaxIters
+		for _, r := range ranks {
+			r.proceed <- cont
+		}
+		if !cont {
+			break
+		}
+	}
+	wg.Wait()
+
+	// Gather: copy owned rows back into the global grid.
+	for _, r := range ranks {
+		for y := 0; y < r.owned; y++ {
+			copy(g.Row(r.globalTop+y), r.cur.Row(r.topGhost+y))
+		}
+		report.Messages += r.msgs
+		report.BytesSent += r.bytes
+		report.RedundantCells += r.redundant
+		report.OwnedCells += r.ownedCells
+	}
+	g.ClearHalo()
+	report.Iterations = iters
+	report.Absorbed = before - g.Sum()
+	return report, nil
+}
+
+// run executes one simulated rank: rounds of K synchronous steps over
+// a shrinking valid band, a change report to the coordinator, and (if
+// the coordinator says continue) a halo exchange.
+func (r *rank) run(K int) {
+	H := r.cur.H()
+	for {
+		// Fill (or refresh) ghost zones before the round's K steps.
+		// The first exchange distributes the scattered initial state's
+		// boundary rows; later ones refresh post-round state.
+		r.exchange(K)
+		roundChanges := 0
+		for s := 1; s <= K; s++ {
+			// Valid band shrinks by one row per step on each side that
+			// has a ghost zone; sink-adjacent sides stay put.
+			y0, y1 := 0, H
+			if r.topGhost > 0 {
+				y0 = s
+			}
+			if r.botGhost > 0 {
+				y1 = H - s
+			}
+			for y := y0; y < y1; y++ {
+				ch := sandpile.SyncRow(r.cur, r.next, y, 0, r.cur.W())
+				if y >= r.topGhost && y < r.topGhost+r.owned {
+					roundChanges += ch
+					r.ownedCells += uint64(r.cur.W())
+				} else {
+					r.redundant += uint64(r.cur.W())
+				}
+			}
+			r.cur, r.next = r.next, r.cur
+		}
+		r.changes <- roundChanges
+		if !<-r.proceed {
+			return
+		}
+	}
+}
+
+// exchange sends this rank's boundary-owned rows to each neighbor and
+// refills its ghost zones with what the neighbors send back.
+func (r *rank) exchange(K int) {
+	W := r.cur.W()
+	if r.sendUp != nil {
+		m := message{rows: make([][]uint32, K)}
+		for k := 0; k < K; k++ {
+			m.rows[k] = append([]uint32(nil), r.cur.Row(r.topGhost+k)...)
+		}
+		r.sendUp <- m
+		r.msgs++
+		r.bytes += uint64(K * W * 4)
+	}
+	if r.sendDown != nil {
+		m := message{rows: make([][]uint32, K)}
+		for k := 0; k < K; k++ {
+			m.rows[k] = append([]uint32(nil), r.cur.Row(r.topGhost+r.owned-K+k)...)
+		}
+		r.sendDown <- m
+		r.msgs++
+		r.bytes += uint64(K * W * 4)
+	}
+	if r.recvUp != nil {
+		m := <-r.recvUp
+		for k := 0; k < K; k++ {
+			copy(r.cur.Row(k), m.rows[k])
+		}
+	}
+	if r.recvDown != nil {
+		m := <-r.recvDown
+		for k := 0; k < K; k++ {
+			copy(r.cur.Row(r.topGhost+r.owned+k), m.rows[k])
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package grid
+
+import "testing"
+
+// Memory-layout benchmarks for the lattice: the raw access costs every
+// kernel sits on.
+
+func BenchmarkRowScan(b *testing.B) {
+	g := New(1024, 1024)
+	b.SetBytes(1024 * 1024 * 4)
+	b.ReportAllocs()
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		for y := 0; y < g.H(); y++ {
+			for _, v := range g.Row(y) {
+				sink += v
+			}
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkGetSetRandomish(b *testing.B) {
+	g := New(1024, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		y := (i * 7919) % 1024
+		x := (i * 104729) % 1024
+		g.Set(y, x, g.Get(x, y)+1)
+	}
+}
+
+func BenchmarkClone(b *testing.B) {
+	g := New(512, 512)
+	b.SetBytes(514 * 514 * 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Clone()
+	}
+}
+
+func BenchmarkTilingConstruction(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NewTiling(2048, 2048, 32, 32)
+	}
+}
+
+func BenchmarkNeighbors4(b *testing.B) {
+	tl := NewTiling(2048, 2048, 32, 32)
+	buf := make([]int, 0, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = tl.Neighbors4(i%tl.NumTiles(), buf[:0])
+	}
+	_ = buf
+}

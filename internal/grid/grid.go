@@ -1,0 +1,230 @@
+// Package grid provides the two-dimensional cell lattice used by the
+// Abelian-sandpile assignment, together with the tiling geometry the
+// EASYPAP-style engine schedules work over.
+//
+// A Grid stores an H×W field of uint32 cells surrounded by a one-cell
+// halo. The halo plays the role of the sandpile "sink": border cells
+// of the automaton are 4-connected to it, grains that land there are
+// absorbed, and halo cells are never computed. Interior coordinates
+// are addressed as (y, x) with 0 ≤ y < H and 0 ≤ x < W; the underlying
+// storage is row-major with stride W+2.
+package grid
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Grid is an H×W lattice of uint32 cells with a one-cell absorbing
+// halo on all four sides. The zero value is not usable; construct
+// grids with New or NewFrom.
+type Grid struct {
+	h, w   int
+	stride int
+	cells  []uint32
+}
+
+// New returns an all-zero grid with h rows and w columns of interior
+// cells. It panics if either dimension is not positive, mirroring the
+// EASYPAP convention that kernel geometry is validated at setup time.
+func New(h, w int) *Grid {
+	if h <= 0 || w <= 0 {
+		panic(fmt.Sprintf("grid: invalid dimensions %dx%d", h, w))
+	}
+	return &Grid{
+		h:      h,
+		w:      w,
+		stride: w + 2,
+		cells:  make([]uint32, (h+2)*(w+2)),
+	}
+}
+
+// NewFrom builds a grid from a rectangular slice of rows. All rows
+// must have the same length.
+func NewFrom(rows [][]uint32) *Grid {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("grid: NewFrom requires a non-empty rectangle")
+	}
+	g := New(len(rows), len(rows[0]))
+	for y, row := range rows {
+		if len(row) != g.w {
+			panic(fmt.Sprintf("grid: ragged row %d: got %d cells, want %d", y, len(row), g.w))
+		}
+		copy(g.Row(y), row)
+	}
+	return g
+}
+
+// H returns the number of interior rows.
+func (g *Grid) H() int { return g.h }
+
+// W returns the number of interior columns.
+func (g *Grid) W() int { return g.w }
+
+// Stride returns the row stride of the underlying storage (W+2).
+func (g *Grid) Stride() int { return g.stride }
+
+// Cells exposes the raw backing slice, halo included. Kernels that
+// need maximal throughput index it directly via Idx.
+func (g *Grid) Cells() []uint32 { return g.cells }
+
+// Idx converts interior coordinates to an index into Cells.
+func (g *Grid) Idx(y, x int) int { return (y+1)*g.stride + (x + 1) }
+
+// Get returns the value of interior cell (y, x).
+func (g *Grid) Get(y, x int) uint32 { return g.cells[g.Idx(y, x)] }
+
+// Set assigns interior cell (y, x).
+func (g *Grid) Set(y, x int, v uint32) { g.cells[g.Idx(y, x)] = v }
+
+// Add adds v to interior cell (y, x).
+func (g *Grid) Add(y, x int, v uint32) { g.cells[g.Idx(y, x)] += v }
+
+// Row returns the interior cells of row y as a slice aliasing the
+// grid's storage, so writes through it mutate the grid.
+func (g *Grid) Row(y int) []uint32 {
+	start := (y+1)*g.stride + 1
+	return g.cells[start : start+g.w : start+g.w]
+}
+
+// Fill sets every interior cell to v.
+func (g *Grid) Fill(v uint32) {
+	for y := 0; y < g.h; y++ {
+		row := g.Row(y)
+		for x := range row {
+			row[x] = v
+		}
+	}
+}
+
+// Clone returns a deep copy of the grid, halo included.
+func (g *Grid) Clone() *Grid {
+	c := New(g.h, g.w)
+	copy(c.cells, g.cells)
+	return c
+}
+
+// CopyFrom copies the full contents (halo included) of src, which must
+// have identical dimensions.
+func (g *Grid) CopyFrom(src *Grid) {
+	if g.h != src.h || g.w != src.w {
+		panic(fmt.Sprintf("grid: CopyFrom dimension mismatch %dx%d vs %dx%d", g.h, g.w, src.h, src.w))
+	}
+	copy(g.cells, src.cells)
+}
+
+// ClearHalo zeroes the absorbing halo. The sandpile automaton never
+// reads grains back out of the sink, but asynchronous kernels do write
+// into it; clearing keeps grain-accounting queries meaningful.
+func (g *Grid) ClearHalo() {
+	top := g.cells[0:g.stride]
+	bot := g.cells[(g.h+1)*g.stride:]
+	for i := range top {
+		top[i] = 0
+	}
+	for i := range bot {
+		bot[i] = 0
+	}
+	for y := 1; y <= g.h; y++ {
+		g.cells[y*g.stride] = 0
+		g.cells[y*g.stride+g.stride-1] = 0
+	}
+}
+
+// HaloSum returns the number of grains currently sitting in the sink
+// halo (grains absorbed since the halo was last cleared).
+func (g *Grid) HaloSum() uint64 {
+	var s uint64
+	for i, v := range g.cells {
+		y := i / g.stride
+		x := i % g.stride
+		if y == 0 || y == g.h+1 || x == 0 || x == g.w+1 {
+			s += uint64(v)
+		}
+	}
+	return s
+}
+
+// Sum returns the total number of grains on interior cells.
+func (g *Grid) Sum() uint64 {
+	var s uint64
+	for y := 0; y < g.h; y++ {
+		for _, v := range g.Row(y) {
+			s += uint64(v)
+		}
+	}
+	return s
+}
+
+// Equal reports whether two grids have identical dimensions and
+// identical interior contents. Halo contents are ignored: variants
+// differ in what they leave in the sink.
+func (g *Grid) Equal(o *Grid) bool {
+	if g.h != o.h || g.w != o.w {
+		return false
+	}
+	for y := 0; y < g.h; y++ {
+		a, b := g.Row(y), o.Row(y)
+		for x := range a {
+			if a[x] != b[x] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Diff returns the coordinates of up to max interior cells on which
+// the two grids differ, for test diagnostics.
+func (g *Grid) Diff(o *Grid, max int) []string {
+	var out []string
+	if g.h != o.h || g.w != o.w {
+		return []string{fmt.Sprintf("dimensions differ: %dx%d vs %dx%d", g.h, g.w, o.h, o.w)}
+	}
+	for y := 0; y < g.h && len(out) < max; y++ {
+		a, b := g.Row(y), o.Row(y)
+		for x := range a {
+			if a[x] != b[x] {
+				out = append(out, fmt.Sprintf("(%d,%d): %d vs %d", y, x, a[x], b[x]))
+				if len(out) >= max {
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Histogram counts interior cells by value for values < buckets; cells
+// with larger values are accumulated in the final bucket.
+func (g *Grid) Histogram(buckets int) []int {
+	h := make([]int, buckets)
+	for y := 0; y < g.h; y++ {
+		for _, v := range g.Row(y) {
+			if int(v) < buckets-1 {
+				h[v]++
+			} else {
+				h[buckets-1]++
+			}
+		}
+	}
+	return h
+}
+
+// String renders small grids for debugging; large grids are summarized.
+func (g *Grid) String() string {
+	if g.h > 32 || g.w > 32 {
+		return fmt.Sprintf("Grid(%dx%d, sum=%d)", g.h, g.w, g.Sum())
+	}
+	var b strings.Builder
+	for y := 0; y < g.h; y++ {
+		for x, v := range g.Row(y) {
+			if x > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package grid
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAdd(t *testing.T) {
+	g := New(2, 2)
+	g.Set(0, 1, 3)
+	g.Add(0, 1, 4)
+	if g.Get(0, 1) != 7 {
+		t.Fatalf("Add: got %d, want 7", g.Get(0, 1))
+	}
+}
+
+func TestNewFromEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty NewFrom did not panic")
+		}
+	}()
+	NewFrom(nil)
+}
+
+func TestCopyFromRoundTrip(t *testing.T) {
+	src := NewFrom([][]uint32{{1, 2}, {3, 4}})
+	dst := New(2, 2)
+	dst.CopyFrom(src)
+	if !dst.Equal(src) {
+		t.Fatal("CopyFrom did not copy")
+	}
+}
+
+func TestEqualDimensionMismatch(t *testing.T) {
+	if New(2, 3).Equal(New(3, 2)) {
+		t.Fatal("different shapes reported equal")
+	}
+}
+
+func TestDiffDimensionMismatch(t *testing.T) {
+	d := New(2, 2).Diff(New(2, 3), 5)
+	if len(d) != 1 || !strings.Contains(d[0], "dimensions differ") {
+		t.Fatalf("dim mismatch diff = %v", d)
+	}
+}
+
+func TestStringSmallAndLarge(t *testing.T) {
+	small := NewFrom([][]uint32{{1, 2}, {3, 4}})
+	if got := small.String(); got != "1 2\n3 4\n" {
+		t.Fatalf("small String = %q", got)
+	}
+	large := New(100, 100)
+	if got := large.String(); !strings.Contains(got, "Grid(100x100") {
+		t.Fatalf("large String = %q", got)
+	}
+}
+
+func TestTileString(t *testing.T) {
+	tl := NewTiling(8, 8, 4, 4)
+	s := tl.At(1, 1).String()
+	if !strings.Contains(s, "tile(1,1)") || !strings.Contains(s, "4x4") {
+		t.Fatalf("tile String = %q", s)
+	}
+}
+
+func TestNewTilingBadGridPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTiling with zero grid did not panic")
+		}
+	}()
+	NewTiling(0, 8, 4, 4)
+}

@@ -1,0 +1,219 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDimensions(t *testing.T) {
+	g := New(3, 5)
+	if g.H() != 3 || g.W() != 5 {
+		t.Fatalf("got %dx%d, want 3x5", g.H(), g.W())
+	}
+	if g.Stride() != 7 {
+		t.Fatalf("stride = %d, want 7", g.Stride())
+	}
+	if len(g.Cells()) != 5*7 {
+		t.Fatalf("cells len = %d, want 35", len(g.Cells()))
+	}
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	for _, dims := range [][2]int{{0, 5}, {5, 0}, {-1, 3}, {3, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			New(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestSetGetRoundTrip(t *testing.T) {
+	g := New(4, 6)
+	g.Set(0, 0, 7)
+	g.Set(3, 5, 9)
+	g.Set(2, 2, 11)
+	if g.Get(0, 0) != 7 || g.Get(3, 5) != 9 || g.Get(2, 2) != 11 {
+		t.Fatalf("round trip failed: %v %v %v", g.Get(0, 0), g.Get(3, 5), g.Get(2, 2))
+	}
+}
+
+func TestIdxMatchesGet(t *testing.T) {
+	g := New(3, 3)
+	g.Set(1, 2, 42)
+	if g.Cells()[g.Idx(1, 2)] != 42 {
+		t.Fatal("Idx does not address the same cell as Set/Get")
+	}
+}
+
+func TestHaloSeparateFromInterior(t *testing.T) {
+	g := New(2, 2)
+	g.Fill(3)
+	if got := g.Sum(); got != 12 {
+		t.Fatalf("Sum = %d, want 12", got)
+	}
+	if got := g.HaloSum(); got != 0 {
+		t.Fatalf("HaloSum = %d, want 0", got)
+	}
+	// Write into halo directly and check it is not counted as interior.
+	g.Cells()[0] = 99
+	if got := g.Sum(); got != 12 {
+		t.Fatalf("Sum after halo write = %d, want 12", got)
+	}
+	if got := g.HaloSum(); got != 99 {
+		t.Fatalf("HaloSum = %d, want 99", got)
+	}
+	g.ClearHalo()
+	if got := g.HaloSum(); got != 0 {
+		t.Fatalf("HaloSum after ClearHalo = %d, want 0", got)
+	}
+	if got := g.Sum(); got != 12 {
+		t.Fatalf("interior disturbed by ClearHalo: Sum = %d, want 12", got)
+	}
+}
+
+func TestRowAliasesStorage(t *testing.T) {
+	g := New(3, 4)
+	r := g.Row(1)
+	r[2] = 5
+	if g.Get(1, 2) != 5 {
+		t.Fatal("Row does not alias grid storage")
+	}
+	if len(r) != 4 {
+		t.Fatalf("row length = %d, want 4", len(r))
+	}
+}
+
+func TestNewFrom(t *testing.T) {
+	g := NewFrom([][]uint32{{1, 2}, {3, 4}})
+	if g.Get(0, 0) != 1 || g.Get(0, 1) != 2 || g.Get(1, 0) != 3 || g.Get(1, 1) != 4 {
+		t.Fatalf("NewFrom misplaced values:\n%s", g)
+	}
+}
+
+func TestNewFromRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged NewFrom did not panic")
+		}
+	}()
+	NewFrom([][]uint32{{1, 2}, {3}})
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := New(2, 2)
+	g.Set(0, 0, 1)
+	c := g.Clone()
+	c.Set(0, 0, 9)
+	if g.Get(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+	if !g.Equal(g.Clone()) {
+		t.Fatal("Clone not equal to original")
+	}
+}
+
+func TestCopyFromMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom with mismatched dims did not panic")
+		}
+	}()
+	New(2, 2).CopyFrom(New(2, 3))
+}
+
+func TestEqualIgnoresHalo(t *testing.T) {
+	a, b := New(2, 2), New(2, 2)
+	a.Cells()[0] = 77 // halo-only difference
+	if !a.Equal(b) {
+		t.Fatal("Equal should ignore halo contents")
+	}
+	b.Set(1, 1, 1)
+	if a.Equal(b) {
+		t.Fatal("Equal missed interior difference")
+	}
+}
+
+func TestDiffReportsMismatches(t *testing.T) {
+	a, b := New(2, 2), New(2, 2)
+	b.Set(0, 1, 5)
+	b.Set(1, 0, 6)
+	d := a.Diff(b, 10)
+	if len(d) != 2 {
+		t.Fatalf("Diff returned %d entries, want 2: %v", len(d), d)
+	}
+	if got := a.Diff(b, 1); len(got) != 1 {
+		t.Fatalf("Diff max not honored: %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	g := NewFrom([][]uint32{{0, 1, 2}, {3, 3, 9}})
+	h := g.Histogram(5)
+	want := []int{1, 1, 1, 2, 1} // 9 falls in the overflow bucket
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("Histogram = %v, want %v", h, want)
+		}
+	}
+}
+
+func TestSumMatchesManualCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := New(13, 17)
+	var want uint64
+	for y := 0; y < 13; y++ {
+		for x := 0; x < 17; x++ {
+			v := uint32(rng.Intn(10))
+			g.Set(y, x, v)
+			want += uint64(v)
+		}
+	}
+	if got := g.Sum(); got != want {
+		t.Fatalf("Sum = %d, want %d", got, want)
+	}
+}
+
+func TestFillOverwritesEverything(t *testing.T) {
+	g := New(5, 5)
+	g.Set(2, 2, 9)
+	g.Fill(4)
+	if got := g.Sum(); got != 100 {
+		t.Fatalf("Sum after Fill(4) = %d, want 100", got)
+	}
+}
+
+// quick-check: Set followed by Get is identity for arbitrary coords.
+func TestQuickSetGet(t *testing.T) {
+	f := func(yRaw, xRaw uint16, v uint32) bool {
+		g := New(37, 53)
+		y, x := int(yRaw)%37, int(xRaw)%53
+		g.Set(y, x, v)
+		return g.Get(y, x) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// quick-check: Clone always compares Equal and Sum-identical.
+func TestQuickCloneEqual(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New(1+rng.Intn(20), 1+rng.Intn(20))
+		for y := 0; y < g.H(); y++ {
+			for x := 0; x < g.W(); x++ {
+				g.Set(y, x, uint32(rng.Intn(100)))
+			}
+		}
+		c := g.Clone()
+		return c.Equal(g) && c.Sum() == g.Sum()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+package grid
+
+import "fmt"
+
+// Tile is a rectangular block of interior cells, identified by its
+// (TY, TX) position in the tile lattice and its cell extent. Tiles on
+// the right/bottom edge may be smaller than the nominal tile size.
+type Tile struct {
+	ID     int // dense index: TY*TilesX + TX
+	TY, TX int // tile coordinates
+	Y, X   int // top-left interior cell
+	H, W   int // extent in cells
+}
+
+// Inner reports whether the tile touches no grid border, i.e. none of
+// its cells is 4-connected to the sink. Inner tiles can run the
+// specialized branch-free kernel (the assignment's "vectorizable"
+// inner-tile variant).
+func (t Tile) Inner(g *Grid) bool {
+	return t.Y > 0 && t.X > 0 && t.Y+t.H < g.H() && t.X+t.W < g.W()
+}
+
+func (t Tile) String() string {
+	return fmt.Sprintf("tile(%d,%d)@(%d,%d)+%dx%d", t.TY, t.TX, t.Y, t.X, t.H, t.W)
+}
+
+// Tiling decomposes a grid into TilesY×TilesX tiles of nominal size
+// TileH×TileW.
+type Tiling struct {
+	GridH, GridW   int
+	TileH, TileW   int
+	TilesY, TilesX int
+	tiles          []Tile
+}
+
+// NewTiling builds the tile decomposition of an h×w grid using tiles
+// of th×tw cells. Tile sizes are clamped to the grid dimensions.
+func NewTiling(h, w, th, tw int) *Tiling {
+	if h <= 0 || w <= 0 {
+		panic(fmt.Sprintf("grid: invalid grid %dx%d", h, w))
+	}
+	if th <= 0 || tw <= 0 {
+		panic(fmt.Sprintf("grid: invalid tile %dx%d", th, tw))
+	}
+	if th > h {
+		th = h
+	}
+	if tw > w {
+		tw = w
+	}
+	ty := (h + th - 1) / th
+	tx := (w + tw - 1) / tw
+	tl := &Tiling{GridH: h, GridW: w, TileH: th, TileW: tw, TilesY: ty, TilesX: tx}
+	tl.tiles = make([]Tile, 0, ty*tx)
+	for i := 0; i < ty; i++ {
+		for j := 0; j < tx; j++ {
+			t := Tile{
+				ID: i*tx + j,
+				TY: i, TX: j,
+				Y: i * th, X: j * tw,
+				H: th, W: tw,
+			}
+			if t.Y+t.H > h {
+				t.H = h - t.Y
+			}
+			if t.X+t.W > w {
+				t.W = w - t.X
+			}
+			tl.tiles = append(tl.tiles, t)
+		}
+	}
+	return tl
+}
+
+// NumTiles returns the total number of tiles.
+func (tl *Tiling) NumTiles() int { return len(tl.tiles) }
+
+// Tile returns the tile with dense index id.
+func (tl *Tiling) Tile(id int) Tile { return tl.tiles[id] }
+
+// Tiles returns all tiles in row-major order. The slice is shared; do
+// not mutate it.
+func (tl *Tiling) Tiles() []Tile { return tl.tiles }
+
+// At returns the tile at tile coordinates (ty, tx).
+func (tl *Tiling) At(ty, tx int) Tile { return tl.tiles[ty*tl.TilesX+tx] }
+
+// TileOf returns the tile containing interior cell (y, x).
+func (tl *Tiling) TileOf(y, x int) Tile {
+	return tl.At(y/tl.TileH, x/tl.TileW)
+}
+
+// Neighbors4 appends to dst the dense indices of the up/down/left/right
+// neighbors of tile id that exist, and returns the extended slice. The
+// lazy engine uses this to wake tiles whose neighborhood changed.
+func (tl *Tiling) Neighbors4(id int, dst []int) []int {
+	t := tl.tiles[id]
+	if t.TY > 0 {
+		dst = append(dst, id-tl.TilesX)
+	}
+	if t.TY < tl.TilesY-1 {
+		dst = append(dst, id+tl.TilesX)
+	}
+	if t.TX > 0 {
+		dst = append(dst, id-1)
+	}
+	if t.TX < tl.TilesX-1 {
+		dst = append(dst, id+1)
+	}
+	return dst
+}
+
+// Wave classifies a tile into one of the four checkerboard waves
+// (TY parity, TX parity). Tiles within one wave are pairwise
+// non-adjacent, so asynchronous in-place kernels may process a whole
+// wave concurrently without racing on shared tile borders.
+func (tl *Tiling) Wave(id int) int {
+	t := tl.tiles[id]
+	return (t.TY&1)<<1 | (t.TX & 1)
+}
+
+// Waves partitions all tile indices into the four checkerboard waves.
+// Some waves may be empty for degenerate tilings (e.g. a single tile
+// row).
+func (tl *Tiling) Waves() [4][]int {
+	var w [4][]int
+	for id := range tl.tiles {
+		k := tl.Wave(id)
+		w[k] = append(w[k], id)
+	}
+	return w
+}

@@ -1,0 +1,178 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTilingExactDivision(t *testing.T) {
+	tl := NewTiling(64, 64, 16, 16)
+	if tl.TilesY != 4 || tl.TilesX != 4 {
+		t.Fatalf("tiles = %dx%d, want 4x4", tl.TilesY, tl.TilesX)
+	}
+	if tl.NumTiles() != 16 {
+		t.Fatalf("NumTiles = %d, want 16", tl.NumTiles())
+	}
+	for _, tile := range tl.Tiles() {
+		if tile.H != 16 || tile.W != 16 {
+			t.Fatalf("tile %v has wrong extent", tile)
+		}
+	}
+}
+
+func TestTilingRaggedEdges(t *testing.T) {
+	tl := NewTiling(10, 7, 4, 3)
+	if tl.TilesY != 3 || tl.TilesX != 3 {
+		t.Fatalf("tiles = %dx%d, want 3x3", tl.TilesY, tl.TilesX)
+	}
+	last := tl.At(2, 2)
+	if last.H != 2 || last.W != 1 {
+		t.Fatalf("edge tile extent = %dx%d, want 2x1", last.H, last.W)
+	}
+}
+
+func TestTilingCoversGridExactlyOnce(t *testing.T) {
+	for _, c := range []struct{ h, w, th, tw int }{
+		{128, 128, 32, 32}, {100, 51, 16, 8}, {1, 1, 4, 4}, {7, 7, 7, 7}, {9, 5, 2, 2},
+	} {
+		tl := NewTiling(c.h, c.w, c.th, c.tw)
+		seen := make([]int, c.h*c.w)
+		for _, tile := range tl.Tiles() {
+			for y := tile.Y; y < tile.Y+tile.H; y++ {
+				for x := tile.X; x < tile.X+tile.W; x++ {
+					seen[y*c.w+x]++
+				}
+			}
+		}
+		for i, n := range seen {
+			if n != 1 {
+				t.Fatalf("%dx%d/%dx%d: cell %d covered %d times", c.h, c.w, c.th, c.tw, i, n)
+			}
+		}
+	}
+}
+
+func TestTileClampedToGrid(t *testing.T) {
+	tl := NewTiling(4, 4, 100, 100)
+	if tl.NumTiles() != 1 {
+		t.Fatalf("NumTiles = %d, want 1", tl.NumTiles())
+	}
+	tile := tl.Tile(0)
+	if tile.H != 4 || tile.W != 4 {
+		t.Fatalf("clamped tile = %dx%d, want 4x4", tile.H, tile.W)
+	}
+}
+
+func TestTileOf(t *testing.T) {
+	tl := NewTiling(64, 64, 16, 16)
+	tile := tl.TileOf(17, 33)
+	if tile.TY != 1 || tile.TX != 2 {
+		t.Fatalf("TileOf(17,33) = (%d,%d), want (1,2)", tile.TY, tile.TX)
+	}
+	for _, tile := range tl.Tiles() {
+		if got := tl.TileOf(tile.Y, tile.X); got.ID != tile.ID {
+			t.Fatalf("TileOf top-left of %v returned %v", tile, got)
+		}
+	}
+}
+
+func TestInnerTiles(t *testing.T) {
+	g := New(64, 64)
+	tl := NewTiling(64, 64, 16, 16)
+	inner := 0
+	for _, tile := range tl.Tiles() {
+		if tile.Inner(g) {
+			inner++
+			if tile.TY == 0 || tile.TX == 0 || tile.TY == tl.TilesY-1 || tile.TX == tl.TilesX-1 {
+				t.Fatalf("border tile %v classified inner", tile)
+			}
+		}
+	}
+	if inner != 4 { // 2x2 interior block of a 4x4 tiling
+		t.Fatalf("inner tiles = %d, want 4", inner)
+	}
+}
+
+func TestNeighbors4(t *testing.T) {
+	tl := NewTiling(30, 30, 10, 10) // 3x3 tiles
+	center := tl.At(1, 1).ID
+	n := tl.Neighbors4(center, nil)
+	if len(n) != 4 {
+		t.Fatalf("center neighbors = %v, want 4", n)
+	}
+	corner := tl.At(0, 0).ID
+	n = tl.Neighbors4(corner, nil)
+	if len(n) != 2 {
+		t.Fatalf("corner neighbors = %v, want 2", n)
+	}
+	// Symmetry: if b is a neighbor of a, a is a neighbor of b.
+	for id := 0; id < tl.NumTiles(); id++ {
+		for _, nb := range tl.Neighbors4(id, nil) {
+			back := tl.Neighbors4(nb, nil)
+			found := false
+			for _, b := range back {
+				if b == id {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("neighbor relation not symmetric: %d -> %d", id, nb)
+			}
+		}
+	}
+}
+
+func TestWavesPartitionAndNonAdjacency(t *testing.T) {
+	tl := NewTiling(100, 80, 16, 16)
+	waves := tl.Waves()
+	total := 0
+	for k, wave := range waves {
+		total += len(wave)
+		// No two tiles in the same wave are 4-adjacent.
+		inWave := make(map[int]bool, len(wave))
+		for _, id := range wave {
+			inWave[id] = true
+		}
+		for _, id := range wave {
+			for _, nb := range tl.Neighbors4(id, nil) {
+				if inWave[nb] {
+					t.Fatalf("wave %d contains adjacent tiles %d and %d", k, id, nb)
+				}
+			}
+		}
+	}
+	if total != tl.NumTiles() {
+		t.Fatalf("waves cover %d tiles, want %d", total, tl.NumTiles())
+	}
+}
+
+func TestQuickTilingInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h, w := 1+rng.Intn(200), 1+rng.Intn(200)
+		th, tw := 1+rng.Intn(64), 1+rng.Intn(64)
+		tl := NewTiling(h, w, th, tw)
+		// Cell count conservation.
+		cells := 0
+		for _, tile := range tl.Tiles() {
+			if tile.H <= 0 || tile.W <= 0 {
+				return false
+			}
+			cells += tile.H * tile.W
+		}
+		return cells == h*w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadTilingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTiling with zero tile did not panic")
+		}
+	}()
+	NewTiling(10, 10, 0, 4)
+}

@@ -1,0 +1,260 @@
+// Package hetero implements the hybrid CPU+GPU half of the fourth
+// sandpile assignment. Go has no OpenCL, so the GPU is replaced by a
+// simulated accelerator (per the substitution rule): an executor with
+// its own internal parallelism and a fixed per-launch overhead, which
+// is exactly the scheduling profile that makes CPU/GPU load balancing
+// interesting — the device is fast on big batches and wasteful on
+// small ones.
+//
+// Each iteration the engine splits the active (dirty) tiles between
+// the CPU worker pool and the device according to a fraction that a
+// throughput-proportional controller adapts online, reproducing the
+// "smart dynamic algorithm to load balance between CPUs and GPUs" the
+// paper reports the best students built.
+package hetero
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/sandpile"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// DeviceID is the worker id recorded in trace events for tiles the
+// simulated accelerator computed; CPU workers use their pool ids
+// (0..Workers-1).
+const DeviceID = -1
+
+// DeviceProfile describes the simulated accelerator.
+type DeviceProfile struct {
+	// Workers is the device's internal parallelism (its "compute
+	// units"). 0 disables the device entirely.
+	Workers int
+	// LaunchOverhead is charged once per iteration batch handed to
+	// the device, the analog of an OpenCL kernel-launch + transfer
+	// cost. It is realized by sleeping, so it shows up in measured
+	// throughput just like the real thing would.
+	LaunchOverhead time.Duration
+}
+
+// Params configures a hybrid run.
+type Params struct {
+	TileH, TileW int
+	// CPUWorkers is the host-side worker-team size; 0 means
+	// GOMAXPROCS.
+	CPUWorkers int
+	Device     DeviceProfile
+	// InitialFraction is the starting share of active tiles sent to
+	// the device, in [0,1]. Default 0.5.
+	InitialFraction float64
+	// Adapt disables the controller when false (fixed split).
+	Adapt bool
+	// MaxIters aborts runaway runs; 0 means sandpile.MaxIterations.
+	MaxIters int
+	// Recorder, when non-nil, receives one event per computed tile.
+	Recorder *trace.Recorder
+}
+
+// Report summarizes a hybrid run.
+type Report struct {
+	sandpile.Result
+	// DeviceTiles and CPUTiles count tile-tasks computed by each side.
+	DeviceTiles, CPUTiles int
+	// FinalFraction is the controller's device share when the run
+	// ended.
+	FinalFraction float64
+	// DeviceBusy and CPUBusy are the summed wall-clock times each
+	// side spent computing.
+	DeviceBusy, CPUBusy time.Duration
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("%v deviceTiles=%d cpuTiles=%d finalFraction=%.3f",
+		r.Result, r.DeviceTiles, r.CPUTiles, r.FinalFraction)
+}
+
+// Run stabilizes g with the hybrid lazy synchronous engine and writes
+// the final configuration into g.
+func Run(g *grid.Grid, p Params) Report {
+	if p.TileH <= 0 {
+		p.TileH = 32
+	}
+	if p.TileW <= 0 {
+		p.TileW = 32
+	}
+	if p.MaxIters <= 0 {
+		p.MaxIters = sandpile.MaxIterations
+	}
+	if p.InitialFraction <= 0 || p.InitialFraction > 1 {
+		p.InitialFraction = 0.5
+	}
+	if p.Device.Workers <= 0 {
+		p.InitialFraction = 0
+	}
+
+	tl := grid.NewTiling(g.H(), g.W(), p.TileH, p.TileW)
+	cpu := sched.NewPool(sched.Options{Workers: p.CPUWorkers, Policy: sched.Dynamic, ChunkSize: 1})
+	defer cpu.Close()
+	var dev *sched.Pool
+	if p.Device.Workers > 0 {
+		dev = sched.NewPool(sched.Options{Workers: p.Device.Workers, Policy: sched.Dynamic, ChunkSize: 4})
+		defer dev.Close()
+	}
+
+	before := g.Sum()
+	next := grid.New(g.H(), g.W())
+	cur := g
+	nTiles := tl.NumTiles()
+	dirty := make([]bool, nTiles)
+	changed := make([]bool, nTiles)
+	for i := range dirty {
+		dirty[i] = true
+	}
+	tileChanges := make([]int, nTiles)
+
+	frac := p.InitialFraction
+	rep := Report{FinalFraction: frac}
+	active := make([]int, 0, nTiles)
+
+	for {
+		rep.Iterations++
+		iter := rep.Iterations
+
+		active = active[:0]
+		for id := 0; id < nTiles; id++ {
+			if dirty[id] {
+				active = append(active, id)
+			}
+		}
+		// Inactive tiles still need buffer coherence under double
+		// buffering; copy them on the CPU pool.
+		c, n := cur, next
+		split := int(frac * float64(len(active)))
+		devTiles := active[:split]
+		cpuTiles := active[split:]
+
+		done := make(chan time.Duration, 1)
+		if dev != nil && len(devTiles) > 0 {
+			go func() {
+				start := time.Now()
+				time.Sleep(p.Device.LaunchOverhead)
+				dev.Run(len(devTiles), func(w, lo, hi int) {
+					for k := lo; k < hi; k++ {
+						id := devTiles[k]
+						t := tl.Tile(id)
+						var ts time.Duration
+						if p.Recorder != nil {
+							ts = p.Recorder.Now()
+						}
+						ch := sandpile.SyncRegion(c, n, t.Y, t.Y+t.H, t.X, t.X+t.W)
+						tileChanges[id] = ch
+						changed[id] = ch > 0
+						if p.Recorder != nil {
+							p.Recorder.Record(trace.Event{
+								Iteration: iter, Worker: DeviceID, Tile: id,
+								Start: ts, Duration: p.Recorder.Now() - ts,
+								Cells: t.H * t.W,
+							})
+						}
+					}
+				})
+				done <- time.Since(start)
+			}()
+		} else {
+			done <- 0
+		}
+
+		cpuStart := time.Now()
+		cpu.Run(len(cpuTiles), func(w, lo, hi int) {
+			for k := lo; k < hi; k++ {
+				id := cpuTiles[k]
+				t := tl.Tile(id)
+				var ts time.Duration
+				if p.Recorder != nil {
+					ts = p.Recorder.Now()
+				}
+				ch := sandpile.SyncRegion(c, n, t.Y, t.Y+t.H, t.X, t.X+t.W)
+				tileChanges[id] = ch
+				changed[id] = ch > 0
+				if p.Recorder != nil {
+					p.Recorder.Record(trace.Event{
+						Iteration: iter, Worker: w, Tile: id,
+						Start: ts, Duration: p.Recorder.Now() - ts,
+						Cells: t.H * t.W,
+					})
+				}
+			}
+		})
+		// Copy quiescent tiles to keep the double buffers coherent.
+		cpu.Run(nTiles, func(w, lo, hi int) {
+			for id := lo; id < hi; id++ {
+				if dirty[id] {
+					continue
+				}
+				t := tl.Tile(id)
+				for y := t.Y; y < t.Y+t.H; y++ {
+					copy(n.Row(y)[t.X:t.X+t.W], c.Row(y)[t.X:t.X+t.W])
+				}
+				tileChanges[id] = 0
+				changed[id] = false
+			}
+		})
+		cpuTime := time.Since(cpuStart)
+		devTime := <-done
+
+		rep.DeviceTiles += len(devTiles)
+		rep.CPUTiles += len(cpuTiles)
+		rep.DeviceBusy += devTime
+		rep.CPUBusy += cpuTime
+
+		if p.Adapt && dev != nil && len(devTiles) > 0 && len(cpuTiles) > 0 &&
+			devTime > 0 && cpuTime > 0 {
+			// Throughput-proportional rebalancing with damping.
+			devRate := float64(len(devTiles)) / devTime.Seconds()
+			cpuRate := float64(len(cpuTiles)) / cpuTime.Seconds()
+			target := devRate / (devRate + cpuRate)
+			frac = 0.5*frac + 0.5*target
+			if frac < 0.02 {
+				frac = 0.02
+			}
+			if frac > 0.98 {
+				frac = 0.98
+			}
+		}
+
+		total := 0
+		for _, id := range active {
+			total += tileChanges[id]
+		}
+		rep.Topples += uint64(total)
+		cur, next = next, cur
+		if total == 0 || rep.Iterations >= p.MaxIters {
+			break
+		}
+		// Lazy wake-up: a tile is dirty next iteration iff it or a
+		// neighbor changed.
+		for i := range dirty {
+			dirty[i] = changed[i]
+		}
+		var nbuf []int
+		for id, ch := range changed {
+			if !ch {
+				continue
+			}
+			nbuf = tl.Neighbors4(id, nbuf[:0])
+			for _, nb := range nbuf {
+				dirty[nb] = true
+			}
+		}
+	}
+	if cur != g {
+		g.CopyFrom(cur)
+	}
+	g.ClearHalo()
+	rep.FinalFraction = frac
+	rep.Absorbed = before - g.Sum()
+	return rep
+}

@@ -1,0 +1,90 @@
+package img
+
+// gif.go renders sandpile evolutions as animated GIFs — the paper
+// sells the assignment on "attractive fractal animations", and the
+// stdlib's image/gif makes that artifact reproducible without SDL.
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/gif"
+	"os"
+
+	"repro/internal/grid"
+)
+
+// gifPalette is the sandpile palette plus white for unstable cells,
+// as a GIF color table.
+var gifPalette = color.Palette{
+	SandpilePalette[0], SandpilePalette[1], SandpilePalette[2],
+	SandpilePalette[3], SandpilePalette[4],
+}
+
+// Frame converts a grid snapshot to a paletted GIF frame, scaling
+// each cell to scale×scale pixels.
+func Frame(g *grid.Grid, scale int) *image.Paletted {
+	if scale < 1 {
+		scale = 1
+	}
+	im := image.NewPaletted(image.Rect(0, 0, g.W()*scale, g.H()*scale), gifPalette)
+	for y := 0; y < g.H(); y++ {
+		for x, v := range g.Row(y) {
+			idx := uint8(4)
+			if v < 4 {
+				idx = uint8(v)
+			}
+			for dy := 0; dy < scale; dy++ {
+				row := im.Pix[(y*scale+dy)*im.Stride:]
+				for dx := 0; dx < scale; dx++ {
+					row[x*scale+dx] = idx
+				}
+			}
+		}
+	}
+	return im
+}
+
+// Animation assembles grid snapshots into an animated GIF. delay is
+// per-frame display time in 10ms units (GIF's native resolution); the
+// final frame lingers 10× longer so the stable configuration can be
+// admired.
+func Animation(frames []*grid.Grid, scale, delay int) (*gif.GIF, error) {
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("img: no frames")
+	}
+	if delay < 1 {
+		delay = 1
+	}
+	out := &gif.GIF{LoopCount: 0}
+	for i, g := range frames {
+		if g.H() != frames[0].H() || g.W() != frames[0].W() {
+			return nil, fmt.Errorf("img: frame %d is %dx%d, first frame %dx%d",
+				i, g.H(), g.W(), frames[0].H(), frames[0].W())
+		}
+		d := delay
+		if i == len(frames)-1 {
+			d = delay * 10
+		}
+		out.Image = append(out.Image, Frame(g, scale))
+		out.Delay = append(out.Delay, d)
+	}
+	return out, nil
+}
+
+// SaveGIF writes an animation built from the snapshots to path.
+func SaveGIF(path string, frames []*grid.Grid, scale, delay int) error {
+	anim, err := Animation(frames, scale, delay)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("img: %w", err)
+	}
+	defer f.Close()
+	if err := gif.EncodeAll(f, anim); err != nil {
+		return fmt.Errorf("img: encoding %s: %w", path, err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,94 @@
+package img
+
+import (
+	"image/gif"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestFramePaletteMapping(t *testing.T) {
+	g := grid.NewFrom([][]uint32{{0, 1, 2, 3, 9}})
+	im := Frame(g, 1)
+	for x, want := range []uint8{0, 1, 2, 3, 4} {
+		if got := im.Pix[x]; got != want {
+			t.Fatalf("pixel %d index = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestFrameScaling(t *testing.T) {
+	g := grid.NewFrom([][]uint32{{3}})
+	im := Frame(g, 3)
+	if im.Bounds().Dx() != 3 || im.Bounds().Dy() != 3 {
+		t.Fatalf("frame %v, want 3x3", im.Bounds())
+	}
+	for _, p := range im.Pix {
+		if p != 3 {
+			t.Fatalf("scaled pixels = %v", im.Pix)
+		}
+	}
+	if Frame(g, 0).Bounds().Dx() != 1 {
+		t.Fatal("scale clamp broken")
+	}
+}
+
+func TestAnimationStructure(t *testing.T) {
+	frames := []*grid.Grid{grid.New(4, 4), grid.New(4, 4), grid.New(4, 4)}
+	anim, err := Animation(frames, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anim.Image) != 3 || len(anim.Delay) != 3 {
+		t.Fatalf("frames = %d delays = %d", len(anim.Image), len(anim.Delay))
+	}
+	if anim.Delay[0] != 5 || anim.Delay[2] != 50 {
+		t.Fatalf("delays = %v; final frame should linger 10x", anim.Delay)
+	}
+	if anim.LoopCount != 0 {
+		t.Fatal("animation should loop forever")
+	}
+}
+
+func TestAnimationErrors(t *testing.T) {
+	if _, err := Animation(nil, 1, 1); err == nil {
+		t.Fatal("empty animation accepted")
+	}
+	mixed := []*grid.Grid{grid.New(4, 4), grid.New(5, 4)}
+	if _, err := Animation(mixed, 1, 1); err == nil {
+		t.Fatal("mismatched frames accepted")
+	}
+}
+
+func TestSaveGIFRoundTrip(t *testing.T) {
+	a := grid.New(8, 8)
+	b := a.Clone()
+	b.Set(4, 4, 3)
+	path := filepath.Join(t.TempDir(), "anim.gif")
+	if err := SaveGIF(path, []*grid.Grid{a, b}, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	decoded, err := gif.DecodeAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Image) != 2 {
+		t.Fatalf("decoded frames = %d, want 2", len(decoded.Image))
+	}
+	if decoded.Image[0].Bounds().Dx() != 16 {
+		t.Fatalf("frame width = %d, want 16", decoded.Image[0].Bounds().Dx())
+	}
+	if err := SaveGIF(filepath.Join(t.TempDir(), "no/dir/x.gif"), []*grid.Grid{a}, 1, 1); err == nil {
+		t.Fatal("bad path accepted")
+	}
+	if err := SaveGIF(path, nil, 1, 1); err == nil {
+		t.Fatal("empty frames accepted")
+	}
+}

@@ -1,0 +1,169 @@
+// Package img renders the paper's visual artifacts as PNG images: the
+// sandpile palette of Figure 1 (black/green/blue/red for 0/1/2/3
+// grains), the tile-ownership view of Figure 4 (worker colors, black
+// for stable tiles), and the warming-stripes bars of Figure 6 with a
+// diverging blue–white–red colormap.
+package img
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/grid"
+)
+
+// SandpilePalette maps grain counts 0..3 to the colors of the paper's
+// Figure 1: "Black pixels correspond to cells with 0 grains, green to
+// 1, blue to 2, and red to 3." Cells at 4+ (unstable snapshots) render
+// white.
+var SandpilePalette = [5]color.NRGBA{
+	{0x00, 0x00, 0x00, 0xff}, // 0: black
+	{0x00, 0xc0, 0x00, 0xff}, // 1: green
+	{0x20, 0x40, 0xff, 0xff}, // 2: blue
+	{0xe0, 0x20, 0x20, 0xff}, // 3: red
+	{0xff, 0xff, 0xff, 0xff}, // 4+: white (unstable)
+}
+
+// Sandpile renders a grid with the Figure 1 palette, scaling each cell
+// to scale×scale pixels (scale < 1 is treated as 1).
+func Sandpile(g *grid.Grid, scale int) *image.NRGBA {
+	if scale < 1 {
+		scale = 1
+	}
+	im := image.NewNRGBA(image.Rect(0, 0, g.W()*scale, g.H()*scale))
+	for y := 0; y < g.H(); y++ {
+		for x, v := range g.Row(y) {
+			c := SandpilePalette[4]
+			if int(v) < 4 {
+				c = SandpilePalette[v]
+			}
+			fillRect(im, x*scale, y*scale, scale, scale, c)
+		}
+	}
+	return im
+}
+
+// workerColors is a qualitative palette for tile-ownership maps; the
+// device (id -1) gets a dedicated violet, workers cycle through the
+// rest.
+var workerColors = []color.NRGBA{
+	{0xe6, 0x9f, 0x00, 0xff}, // orange
+	{0x56, 0xb4, 0xe9, 0xff}, // sky blue
+	{0x00, 0x9e, 0x73, 0xff}, // bluish green
+	{0xf0, 0xe4, 0x42, 0xff}, // yellow
+	{0x00, 0x72, 0xb2, 0xff}, // blue
+	{0xd5, 0x5e, 0x00, 0xff}, // vermillion
+	{0xcc, 0x79, 0xa7, 0xff}, // reddish purple
+	{0x99, 0x99, 0x99, 0xff}, // grey
+}
+
+// deviceColor marks accelerator-owned tiles in ownership maps.
+var deviceColor = color.NRGBA{0x8a, 0x2b, 0xe2, 0xff}
+
+// TileOwners renders the Figure 4 view: each tile is painted with its
+// owning worker's color; tiles absent from owners (never computed,
+// i.e. stable) are black. Tile geometry comes from tl; each tile cell
+// is one pixel.
+func TileOwners(tl *grid.Tiling, owners map[int]int) *image.NRGBA {
+	im := image.NewNRGBA(image.Rect(0, 0, tl.GridW, tl.GridH))
+	for _, t := range tl.Tiles() {
+		c := color.NRGBA{0, 0, 0, 0xff} // stable: black
+		if w, ok := owners[t.ID]; ok {
+			if w < 0 {
+				c = deviceColor
+			} else {
+				c = workerColors[w%len(workerColors)]
+			}
+		}
+		fillRect(im, t.X, t.Y, t.W, t.H, c)
+	}
+	return im
+}
+
+// Diverging maps v ∈ [lo, hi] onto a blue–white–red diverging ramp
+// (the RdBu-style scale of warming stripes): lo is saturated blue,
+// the midpoint white, hi saturated red. Values outside the range are
+// clamped, exactly how the assignment's colorbar is "manually
+// specified" from mean ± 1.5 °C.
+func Diverging(v, lo, hi float64) color.NRGBA {
+	if hi <= lo {
+		return color.NRGBA{0xff, 0xff, 0xff, 0xff}
+	}
+	t := (v - lo) / (hi - lo)
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	// Piecewise-linear ramp through (blue, white, red) endpoints taken
+	// from the ColorBrewer RdBu extremes.
+	var r, g, b float64
+	if t < 0.5 {
+		u := t * 2 // blue -> white
+		r = lerp(5, 255, u)
+		g = lerp(48, 255, u)
+		b = lerp(97, 255, u)
+	} else {
+		u := (t - 0.5) * 2 // white -> red
+		r = lerp(255, 103, u)
+		g = lerp(255, 0, u)
+		b = lerp(255, 31, u)
+	}
+	return color.NRGBA{uint8(math.Round(r)), uint8(math.Round(g)), uint8(math.Round(b)), 0xff}
+}
+
+// Stripes renders one vertical bar per value (a year), colored by the
+// diverging ramp over [lo, hi] — the Figure 6 warming-stripes image.
+// Missing values (NaN) render as grey gaps.
+func Stripes(values []float64, lo, hi float64, barWidth, height int) *image.NRGBA {
+	if barWidth < 1 {
+		barWidth = 1
+	}
+	if height < 1 {
+		height = 1
+	}
+	im := image.NewNRGBA(image.Rect(0, 0, len(values)*barWidth, height))
+	grey := color.NRGBA{0x60, 0x60, 0x60, 0xff}
+	for i, v := range values {
+		c := grey
+		if !math.IsNaN(v) {
+			c = Diverging(v, lo, hi)
+		}
+		fillRect(im, i*barWidth, 0, barWidth, height, c)
+	}
+	return im
+}
+
+// WritePNG encodes im to w.
+func WritePNG(w io.Writer, im image.Image) error {
+	return png.Encode(w, im)
+}
+
+// SavePNG writes im to path, creating or truncating the file.
+func SavePNG(path string, im image.Image) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("img: %w", err)
+	}
+	defer f.Close()
+	if err := png.Encode(f, im); err != nil {
+		return fmt.Errorf("img: encoding %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+func fillRect(im *image.NRGBA, x0, y0, w, h int, c color.NRGBA) {
+	for y := y0; y < y0+h; y++ {
+		for x := x0; x < x0+w; x++ {
+			im.SetNRGBA(x, y, c)
+		}
+	}
+}
+
+func lerp(a, b, t float64) float64 { return a + (b-a)*t }

@@ -1,0 +1,164 @@
+package img
+
+import (
+	"bytes"
+	"image/png"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestSandpilePaletteMapping(t *testing.T) {
+	g := grid.NewFrom([][]uint32{{0, 1, 2, 3, 7}})
+	im := Sandpile(g, 1)
+	for x, want := range []int{0, 1, 2, 3, 4} {
+		got := im.NRGBAAt(x, 0)
+		if got != SandpilePalette[want] {
+			t.Fatalf("pixel %d = %v, want palette[%d] = %v", x, got, want, SandpilePalette[want])
+		}
+	}
+}
+
+func TestSandpileScale(t *testing.T) {
+	g := grid.NewFrom([][]uint32{{3}})
+	im := Sandpile(g, 4)
+	b := im.Bounds()
+	if b.Dx() != 4 || b.Dy() != 4 {
+		t.Fatalf("scaled image %dx%d, want 4x4", b.Dx(), b.Dy())
+	}
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			if im.NRGBAAt(x, y) != SandpilePalette[3] {
+				t.Fatalf("pixel (%d,%d) not filled", x, y)
+			}
+		}
+	}
+	// scale < 1 clamps to 1
+	if b := Sandpile(g, 0).Bounds(); b.Dx() != 1 {
+		t.Fatalf("scale 0 image width = %d, want 1", b.Dx())
+	}
+}
+
+func TestTileOwnersColors(t *testing.T) {
+	tl := grid.NewTiling(8, 8, 4, 4)   // 4 tiles
+	owners := map[int]int{0: 0, 1: -1} // tile 2,3 stable
+	im := TileOwners(tl, owners)
+	if c := im.NRGBAAt(0, 0); c != workerColors[0] {
+		t.Fatalf("tile 0 color %v, want worker 0 color", c)
+	}
+	if c := im.NRGBAAt(4, 0); c != deviceColor {
+		t.Fatalf("tile 1 color %v, want device color", c)
+	}
+	black := im.NRGBAAt(0, 4)
+	if black.R != 0 || black.G != 0 || black.B != 0 {
+		t.Fatalf("stable tile not black: %v", black)
+	}
+}
+
+func TestDivergingEndpointsAndMidpoint(t *testing.T) {
+	lo := Diverging(0, 0, 10)
+	if lo.B <= lo.R {
+		t.Fatalf("low end not blue: %v", lo)
+	}
+	hi := Diverging(10, 0, 10)
+	if hi.R <= hi.B {
+		t.Fatalf("high end not red: %v", hi)
+	}
+	mid := Diverging(5, 0, 10)
+	if mid.R != 255 || mid.G != 255 || mid.B != 255 {
+		t.Fatalf("midpoint not white: %v", mid)
+	}
+}
+
+func TestDivergingClamps(t *testing.T) {
+	if Diverging(-100, 0, 10) != Diverging(0, 0, 10) {
+		t.Fatal("below-range value not clamped")
+	}
+	if Diverging(100, 0, 10) != Diverging(10, 0, 10) {
+		t.Fatal("above-range value not clamped")
+	}
+}
+
+func TestDivergingDegenerateRange(t *testing.T) {
+	c := Diverging(5, 10, 10)
+	if c.R != 255 || c.G != 255 || c.B != 255 {
+		t.Fatalf("degenerate range should render white, got %v", c)
+	}
+}
+
+func TestDivergingMonotoneRedness(t *testing.T) {
+	// Warmer years must never be bluer.
+	prev := math.Inf(-1)
+	for i := 0; i <= 20; i++ {
+		c := Diverging(float64(i), 0, 20)
+		redness := float64(c.R) - float64(c.B)
+		if redness < prev-1e-9 {
+			t.Fatalf("redness not monotone at %d", i)
+		}
+		prev = redness
+	}
+}
+
+func TestStripesGeometryAndGaps(t *testing.T) {
+	vals := []float64{0, math.NaN(), 10}
+	im := Stripes(vals, 0, 10, 3, 5)
+	b := im.Bounds()
+	if b.Dx() != 9 || b.Dy() != 5 {
+		t.Fatalf("stripes image %dx%d, want 9x5", b.Dx(), b.Dy())
+	}
+	if c := im.NRGBAAt(0, 0); c.B <= c.R {
+		t.Fatalf("cold stripe not blue: %v", c)
+	}
+	gap := im.NRGBAAt(4, 2)
+	if gap.R != gap.G || gap.G != gap.B {
+		t.Fatalf("missing-year stripe not grey: %v", gap)
+	}
+	if c := im.NRGBAAt(8, 4); c.R <= c.B {
+		t.Fatalf("warm stripe not red: %v", c)
+	}
+}
+
+func TestStripesDegenerateSizes(t *testing.T) {
+	im := Stripes([]float64{1}, 0, 1, 0, 0)
+	b := im.Bounds()
+	if b.Dx() != 1 || b.Dy() != 1 {
+		t.Fatalf("degenerate stripe image %dx%d, want 1x1", b.Dx(), b.Dy())
+	}
+}
+
+func TestWritePNGRoundTrip(t *testing.T) {
+	g := grid.NewFrom([][]uint32{{1, 2}, {3, 0}})
+	var buf bytes.Buffer
+	if err := WritePNG(&buf, Sandpile(g, 2)); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Bounds().Dx() != 4 {
+		t.Fatalf("decoded width %d, want 4", decoded.Bounds().Dx())
+	}
+}
+
+func TestSavePNG(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.png")
+	g := grid.NewFrom([][]uint32{{1}})
+	if err := SavePNG(path, Sandpile(g, 1)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || !bytes.HasPrefix(data, []byte("\x89PNG")) {
+		t.Fatal("output is not a PNG")
+	}
+	if err := SavePNG(filepath.Join(dir, "no/such/dir/x.png"), Sandpile(g, 1)); err == nil {
+		t.Fatal("SavePNG to missing directory should fail")
+	}
+}

@@ -1,0 +1,107 @@
+package mapreduce
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Engine throughput benchmarks, including the combiner's effect on
+// shuffle volume.
+
+func benchCorpus(lines int) []string {
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	out := make([]string, lines)
+	for i := range out {
+		var sb strings.Builder
+		for j := 0; j < 8; j++ {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(words[(i+j)%len(words)])
+		}
+		out[i] = sb.String()
+	}
+	return out
+}
+
+func benchWordCount(b *testing.B, cfg Config[string], combine bool) {
+	b.Helper()
+	lines := benchCorpus(2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		job := wordCountJobForBench(cfg)
+		if combine {
+			job.Combine = func(key string, values []int) ([]int, error) {
+				sum := 0
+				for _, v := range values {
+					sum += v
+				}
+				return []int{sum}, nil
+			}
+		}
+		if _, _, err := job.Run(lines); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(lines[0]) * len(lines)))
+}
+
+func wordCountJobForBench(cfg Config[string]) *Job[string, string, int, KV[string, int]] {
+	return &Job[string, string, int, KV[string, int]]{
+		Name:   "bench-wordcount",
+		Config: cfg,
+		Map: func(line string, emit func(string, int)) error {
+			for _, w := range strings.Fields(line) {
+				emit(w, 1)
+			}
+			return nil
+		},
+		Reduce: func(key string, values []int, emit func(KV[string, int])) error {
+			sum := 0
+			for _, v := range values {
+				sum += v
+			}
+			emit(KV[string, int]{key, sum})
+			return nil
+		},
+	}
+}
+
+func BenchmarkWordCountSerial(b *testing.B) {
+	benchWordCount(b, Config[string]{MapTasks: 1, ReduceTasks: 1, Parallelism: 1}, false)
+}
+
+func BenchmarkWordCountParallel(b *testing.B) {
+	benchWordCount(b, Config[string]{MapTasks: 8, ReduceTasks: 4, Parallelism: 4}, false)
+}
+
+func BenchmarkWordCountWithCombiner(b *testing.B) {
+	benchWordCount(b, Config[string]{MapTasks: 8, ReduceTasks: 4, Parallelism: 4}, true)
+}
+
+func BenchmarkShuffleManyKeys(b *testing.B) {
+	inputs := make([]int, 5000)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		job := &Job[int, string, int, int]{
+			Map: func(v int, emit func(string, int)) error {
+				emit(fmt.Sprintf("key-%d", v%1000), v)
+				return nil
+			},
+			Reduce: func(key string, values []int, emit func(int)) error {
+				emit(len(values))
+				return nil
+			},
+			Config: Config[string]{MapTasks: 8, ReduceTasks: 4, Parallelism: 4},
+		}
+		if _, _, err := job.Run(inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

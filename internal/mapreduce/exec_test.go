@@ -1,0 +1,135 @@
+package mapreduce
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// requireTools skips the test when the external commands the Hadoop
+// Streaming analogy shells out to are unavailable.
+func requireTools(t *testing.T, tools ...string) {
+	t.Helper()
+	for _, tool := range tools {
+		if _, err := exec.LookPath(tool); err != nil {
+			t.Skipf("%s not available: %v", tool, err)
+		}
+	}
+}
+
+func TestExecMapperIdentity(t *testing.T) {
+	requireTools(t, "cat")
+	m := ExecMapper("cat")
+	var got []string
+	if err := m("year\t7.5", func(k, v string) { got = append(got, FormatKV(k, v)) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "year\t7.5" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestExecMapperCommandFailure(t *testing.T) {
+	requireTools(t, "false")
+	m := ExecMapper("false")
+	if err := m("x", func(k, v string) {}); err == nil {
+		t.Fatal("failing command accepted")
+	}
+}
+
+func TestExecReducerPassThrough(t *testing.T) {
+	requireTools(t, "cat")
+	r := ExecReducer("cat")
+	var got []string
+	if err := r("k", []string{"1", "2"}, func(l string) { got = append(got, l) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "k\t1" || got[1] != "k\t2" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestStreamingPipelineWordCount runs the canonical Hadoop Streaming
+// demo with real subprocesses: a tr|awk-free pure-shell mapper is
+// overkill, so the mapper is awk emitting one word per line and the
+// reducer is awk summing counts — the exact programs the Hadoop docs
+// show.
+func TestStreamingPipelineWordCount(t *testing.T) {
+	requireTools(t, "awk")
+	mapper := []string{"awk", `{for (i = 1; i <= NF; i++) print $i "\t1"}`}
+	reducer := []string{"awk", `-F`, `\t`, `{sum[$1] += $2} END {for (k in sum) print k "\t" sum[k]}`}
+	out, stats, err := RunStreamingPipeline(corpus, mapper, reducer, Config[string]{MapTasks: 2, ReduceTasks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, line := range out {
+		k, v := ParseKV(line)
+		got[k] = v
+	}
+	if got["fox"] != "4" || got["the"] != "3" || got["dog"] != "2" {
+		t.Fatalf("wordcount wrong: %v", got)
+	}
+	if stats.MapOutputs != 15 {
+		t.Fatalf("MapOutputs = %d, want 15", stats.MapOutputs)
+	}
+	if stats.ReduceGroups == 0 {
+		t.Fatal("no reduce groups")
+	}
+}
+
+func TestStreamingPipelineMapperFailure(t *testing.T) {
+	requireTools(t, "false", "cat")
+	if _, _, err := RunStreamingPipeline([]string{"x"}, []string{"false"}, []string{"cat"}, Config[string]{}); err == nil {
+		t.Fatal("failing mapper accepted")
+	}
+}
+
+func TestStreamingPipelineMatchesInProcess(t *testing.T) {
+	requireTools(t, "awk")
+	mapper := []string{"awk", `{for (i = 1; i <= NF; i++) print $i "\t1"}`}
+	reducer := []string{"awk", `-F`, `\t`, `{sum[$1] += $2} END {for (k in sum) print k "\t" sum[k]}`}
+	ext, _, err := RunStreamingPipeline(corpus, mapper, reducer, Config[string]{MapTasks: 3, ReduceTasks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inProc, _, err := streamWordCount().RunLines(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := map[string]string{}
+	for _, l := range ext {
+		k, v := ParseKV(l)
+		a[k] = v
+	}
+	b := map[string]string{}
+	for _, l := range inProc {
+		k, v := ParseKV(l)
+		b[k] = v
+	}
+	if len(a) != len(b) {
+		t.Fatalf("external %d keys, in-process %d", len(a), len(b))
+	}
+	for k, v := range b {
+		if a[k] != v {
+			t.Fatalf("key %q: external %q vs in-process %q", k, a[k], v)
+		}
+	}
+}
+
+func TestRunCommandEmptyArgv(t *testing.T) {
+	if _, err := runCommand(nil, []string{"x"}); err == nil {
+		t.Fatal("empty argv accepted")
+	}
+}
+
+func TestExecMapperTablessLine(t *testing.T) {
+	requireTools(t, "echo")
+	m := ExecMapper("echo", "solo")
+	var k, v string
+	if err := m("ignored", func(key, value string) { k, v = key, value }); err != nil {
+		t.Fatal(err)
+	}
+	if k != "solo" || v != "" {
+		t.Fatalf("got %q=%q", k, v)
+	}
+}

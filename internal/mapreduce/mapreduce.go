@@ -1,0 +1,422 @@
+// Package mapreduce implements the three-phase MapReduce programming
+// model (Dean & Ghemawat 2008) that the Warming-Stripes assignment
+// teaches: a map phase over input splits, a group-by-keys shuffle, and
+// a reduce phase — plus the pieces a real runtime has and the course
+// discusses: hash partitioning, combiners, counters, configurable map
+// and reduce parallelism, and bounded task retry.
+//
+// The engine is deliberately deterministic: reduce input groups are
+// ordered by key, and within a group values appear in (map-task,
+// emission) order, so every job result is reproducible regardless of
+// the worker interleaving. A Hadoop-Streaming-style line-oriented
+// front end is provided in streaming.go.
+package mapreduce
+
+import (
+	"cmp"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"slices"
+	"sort"
+	"sync"
+)
+
+// KV is one key/value pair flowing between phases.
+type KV[K cmp.Ordered, V any] struct {
+	Key   K
+	Value V
+}
+
+// Mapper transforms one input record into zero or more intermediate
+// pairs via emit. Returning an error fails the map task (it will be
+// retried up to Config.MaxAttempts times).
+type Mapper[I any, K cmp.Ordered, V any] func(record I, emit func(K, V)) error
+
+// Reducer folds all values of one key into zero or more outputs via
+// emit. The values slice is owned by the caller; reducers must not
+// retain it.
+type Reducer[K cmp.Ordered, V, O any] func(key K, values []V, emit func(O)) error
+
+// Combiner locally pre-reduces the values a single map task emitted
+// for one key, producing the (smaller) value list actually shuffled.
+// It must be semantically idempotent with respect to the reducer —
+// the classic MapReduce combiner contract.
+type Combiner[K cmp.Ordered, V any] func(key K, values []V) ([]V, error)
+
+// Partitioner assigns a key to one of nReduce partitions. It must be
+// deterministic and return a value in [0, nReduce).
+type Partitioner[K cmp.Ordered] func(key K, nReduce int) int
+
+// HashPartitioner is the default: FNV-1a over the key's string form,
+// Hadoop's HashPartitioner in spirit.
+func HashPartitioner[K cmp.Ordered](key K, nReduce int) int {
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%v", key)
+	return int(h.Sum32() % uint32(nReduce))
+}
+
+// Config tunes a job run.
+type Config[K cmp.Ordered] struct {
+	// MapTasks is the number of map tasks the input is split into;
+	// 0 means one task per input chunk as provided.
+	MapTasks int
+	// ReduceTasks is the number of reduce partitions; 0 means 1.
+	ReduceTasks int
+	// Parallelism bounds concurrently running tasks; 0 means
+	// GOMAXPROCS.
+	Parallelism int
+	// MaxAttempts is the per-task retry budget; 0 means 1 (no retry).
+	MaxAttempts int
+	// Partitioner routes keys to reduce partitions; nil means
+	// HashPartitioner.
+	Partitioner Partitioner[K]
+}
+
+func (c Config[K]) withDefaults() Config[K] {
+	if c.ReduceTasks <= 0 {
+		c.ReduceTasks = 1
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 1
+	}
+	if c.Partitioner == nil {
+		c.Partitioner = HashPartitioner[K]
+	}
+	return c
+}
+
+// Counters collect named int64 metrics across tasks, like Hadoop job
+// counters. Safe for concurrent use.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters { return &Counters{m: map[string]int64{}} }
+
+// Add increments counter name by delta.
+func (c *Counters) Add(name string, delta int64) {
+	c.mu.Lock()
+	c.m[name] += delta
+	c.mu.Unlock()
+}
+
+// Get returns the value of counter name (0 if never touched).
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Stats describes an executed job.
+type Stats struct {
+	MapTasks       int
+	ReduceTasks    int
+	MapInputs      int // records consumed by mappers
+	MapOutputs     int // pairs emitted by mappers
+	CombineOutputs int // pairs after combining (== MapOutputs without a combiner)
+	ReduceGroups   int // distinct keys reduced
+	Outputs        int // records emitted by reducers
+	TaskRetries    int // failed task attempts that were retried
+}
+
+// Job binds the phases of one MapReduce computation.
+type Job[I any, K cmp.Ordered, V, O any] struct {
+	Name     string
+	Map      Mapper[I, K, V]
+	Combine  Combiner[K, V] // optional
+	Reduce   Reducer[K, V, O]
+	Config   Config[K]
+	Counters *Counters // optional; created on demand
+}
+
+// Run executes the job over the input records and returns the reduce
+// outputs in deterministic order (reduce partitions in index order,
+// keys ascending within each partition).
+func (j *Job[I, K, V, O]) Run(inputs []I) ([]O, Stats, error) {
+	cfg := j.Config.withDefaults()
+	if j.Map == nil || j.Reduce == nil {
+		return nil, Stats{}, errors.New("mapreduce: job needs both Map and Reduce")
+	}
+	if j.Counters == nil {
+		j.Counters = NewCounters()
+	}
+
+	splits := splitInputs(inputs, cfg.MapTasks)
+	stats := Stats{MapTasks: len(splits), ReduceTasks: cfg.ReduceTasks}
+
+	// ---- Map phase -------------------------------------------------
+	// mapOut[task][partition] holds the pairs task t routed to
+	// partition p, kept per-task so the shuffle can concatenate them
+	// in task order for deterministic value ordering.
+	mapOut := make([][][]KV[K, V], len(splits))
+	var (
+		wg      sync.WaitGroup
+		sem     = make(chan struct{}, cfg.Parallelism)
+		errMu   sync.Mutex
+		firstEr error
+		retries int64
+		statsMu sync.Mutex
+	)
+	for t, split := range splits {
+		wg.Add(1)
+		go func(t int, split []I) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out, emitted, attempts, err := j.runMapTask(split, cfg)
+			if err != nil {
+				errMu.Lock()
+				if firstEr == nil {
+					firstEr = fmt.Errorf("mapreduce: map task %d: %w", t, err)
+				}
+				errMu.Unlock()
+				return
+			}
+			mapOut[t] = out
+			statsMu.Lock()
+			retries += int64(attempts - 1)
+			stats.MapOutputs += emitted
+			statsMu.Unlock()
+			j.Counters.Add("map.outputs", int64(emitted))
+		}(t, split)
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return nil, stats, firstEr
+	}
+	for _, split := range splits {
+		stats.MapInputs += len(split)
+	}
+
+	out, redStats, err := j.reducePhase(mapOut, cfg)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.CombineOutputs = redStats.CombineOutputs
+	stats.ReduceGroups = redStats.ReduceGroups
+	stats.Outputs = len(out)
+	stats.TaskRetries = int(retries) + redStats.TaskRetries
+	return out, stats, nil
+}
+
+// reducePhase runs the shuffle (group by key per partition, keys
+// sorted, values in map-task order) and the parallel reduce over
+// already-partitioned map output. The returned Stats carries only the
+// fields this phase owns: CombineOutputs, ReduceGroups, TaskRetries.
+func (j *Job[I, K, V, O]) reducePhase(mapOut [][][]KV[K, V], cfg Config[K]) ([]O, Stats, error) {
+	var stats Stats
+	type group struct {
+		key    K
+		values []V
+	}
+	partGroups := make([][]group, cfg.ReduceTasks)
+	for p := 0; p < cfg.ReduceTasks; p++ {
+		idx := map[K]int{}
+		var groups []group
+		for t := range mapOut {
+			for _, kv := range mapOut[t][p] {
+				g, ok := idx[kv.Key]
+				if !ok {
+					g = len(groups)
+					idx[kv.Key] = g
+					groups = append(groups, group{key: kv.Key})
+				}
+				groups[g].values = append(groups[g].values, kv.Value)
+				stats.CombineOutputs++
+			}
+		}
+		sort.Slice(groups, func(a, b int) bool { return groups[a].key < groups[b].key })
+		partGroups[p] = groups
+		stats.ReduceGroups += len(groups)
+	}
+
+	var (
+		wg      sync.WaitGroup
+		sem     = make(chan struct{}, cfg.Parallelism)
+		errMu   sync.Mutex
+		firstEr error
+		retries int64
+		statsMu sync.Mutex
+	)
+	partOut := make([][]O, cfg.ReduceTasks)
+	for p := 0; p < cfg.ReduceTasks; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var out []O
+			emit := func(o O) { out = append(out, o) }
+			for _, g := range partGroups[p] {
+				attempts, err := retryTask(cfg.MaxAttempts, func() error {
+					checkpoint := len(out)
+					if err := j.Reduce(g.key, g.values, emit); err != nil {
+						out = out[:checkpoint] // discard partial emissions
+						return err
+					}
+					return nil
+				})
+				statsMu.Lock()
+				retries += int64(attempts - 1)
+				statsMu.Unlock()
+				if err != nil {
+					errMu.Lock()
+					if firstEr == nil {
+						firstEr = fmt.Errorf("mapreduce: reduce partition %d key %v: %w", p, g.key, err)
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+			partOut[p] = out
+		}(p)
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return nil, stats, firstEr
+	}
+
+	var out []O
+	for _, po := range partOut {
+		out = append(out, po...)
+	}
+	stats.TaskRetries = int(retries)
+	return out, stats, nil
+}
+
+// runMapTask executes one map task (with retry): maps every record of
+// the split, optionally combines, and partitions the result. It
+// returns the partitioned pairs, the raw emission count, the number
+// of attempts, and the final error.
+func (j *Job[I, K, V, O]) runMapTask(split []I, cfg Config[K]) ([][]KV[K, V], int, int, error) {
+	var parts [][]KV[K, V]
+	emitted := 0
+	attempts, err := retryTask(cfg.MaxAttempts, func() error {
+		var pairs []KV[K, V]
+		emit := func(k K, v V) { pairs = append(pairs, KV[K, V]{k, v}) }
+		for _, rec := range split {
+			if err := j.Map(rec, emit); err != nil {
+				return err
+			}
+		}
+		emitted = len(pairs)
+
+		if j.Combine != nil {
+			combined, err := combineLocal(pairs, j.Combine)
+			if err != nil {
+				return err
+			}
+			pairs = combined
+		}
+		parts = make([][]KV[K, V], cfg.ReduceTasks)
+		for _, kv := range pairs {
+			p := cfg.Partitioner(kv.Key, cfg.ReduceTasks)
+			if p < 0 || p >= cfg.ReduceTasks {
+				return fmt.Errorf("partitioner returned %d for %d partitions", p, cfg.ReduceTasks)
+			}
+			parts[p] = append(parts[p], kv)
+		}
+		return nil
+	})
+	return parts, emitted, attempts, err
+}
+
+// combineLocal groups a single task's output by key (preserving first-
+// appearance key order) and applies the combiner to each group.
+func combineLocal[K cmp.Ordered, V any](pairs []KV[K, V], combine Combiner[K, V]) ([]KV[K, V], error) {
+	idx := map[K]int{}
+	var keys []K
+	grouped := map[K][]V{}
+	for _, kv := range pairs {
+		if _, ok := idx[kv.Key]; !ok {
+			idx[kv.Key] = len(keys)
+			keys = append(keys, kv.Key)
+		}
+		grouped[kv.Key] = append(grouped[kv.Key], kv.Value)
+	}
+	var out []KV[K, V]
+	for _, k := range keys {
+		vs, err := combine(k, grouped[k])
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range vs {
+			out = append(out, KV[K, V]{k, v})
+		}
+	}
+	return out, nil
+}
+
+// retryTask runs fn up to maxAttempts times, returning the number of
+// attempts made and the last error (nil on success).
+func retryTask(maxAttempts int, fn func() error) (int, error) {
+	var err error
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		if err = fn(); err == nil {
+			return attempt, nil
+		}
+	}
+	return maxAttempts, err
+}
+
+// splitInputs partitions inputs into n contiguous splits (or one
+// record per split when n <= 0 is resolved to len(inputs) capped at
+// a sane default).
+func splitInputs[I any](inputs []I, n int) [][]I {
+	if len(inputs) == 0 {
+		return nil
+	}
+	if n <= 0 {
+		n = min(len(inputs), runtime.GOMAXPROCS(0)*4)
+	}
+	if n > len(inputs) {
+		n = len(inputs)
+	}
+	splits := make([][]I, 0, n)
+	base := len(inputs) / n
+	extra := len(inputs) % n
+	pos := 0
+	for i := 0; i < n; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		splits = append(splits, inputs[pos:pos+size])
+		pos += size
+	}
+	return splits
+}
+
+// SortOutputs sorts job outputs with the given less function; a
+// convenience for callers that want a global order over partitioned
+// results.
+func SortOutputs[O any](outputs []O, less func(a, b O) bool) {
+	slices.SortStableFunc(outputs, func(a, b O) int {
+		switch {
+		case less(a, b):
+			return -1
+		case less(b, a):
+			return 1
+		default:
+			return 0
+		}
+	})
+}

@@ -1,0 +1,537 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// wordCountJob is the canonical MapReduce example, used as the test
+// workhorse.
+func wordCountJob(cfg Config[string]) *Job[string, string, int, KV[string, int]] {
+	return &Job[string, string, int, KV[string, int]]{
+		Name:   "wordcount",
+		Config: cfg,
+		Map: func(line string, emit func(string, int)) error {
+			for _, w := range strings.Fields(line) {
+				emit(w, 1)
+			}
+			return nil
+		},
+		Reduce: func(key string, values []int, emit func(KV[string, int])) error {
+			sum := 0
+			for _, v := range values {
+				sum += v
+			}
+			emit(KV[string, int]{key, sum})
+			return nil
+		},
+	}
+}
+
+func runWordCount(t *testing.T, cfg Config[string], lines []string) map[string]int {
+	t.Helper()
+	out, _, err := wordCountJob(cfg).Run(lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := map[string]int{}
+	for _, kv := range out {
+		if _, dup := m[kv.Key]; dup {
+			t.Fatalf("key %q reduced twice", kv.Key)
+		}
+		m[kv.Key] = kv.Value
+	}
+	return m
+}
+
+var corpus = []string{
+	"the quick brown fox",
+	"jumps over the lazy dog",
+	"the dog barks",
+	"", // empty line: no emissions
+	"fox fox fox",
+}
+
+var wantCounts = map[string]int{
+	"the": 3, "quick": 1, "brown": 1, "fox": 4, "jumps": 1,
+	"over": 1, "lazy": 1, "dog": 2, "barks": 1,
+}
+
+func TestWordCountBasic(t *testing.T) {
+	got := runWordCount(t, Config[string]{}, corpus)
+	if len(got) != len(wantCounts) {
+		t.Fatalf("got %v, want %v", got, wantCounts)
+	}
+	for k, v := range wantCounts {
+		if got[k] != v {
+			t.Fatalf("count[%q] = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestResultInvariantUnderParallelismAndPartitions(t *testing.T) {
+	for _, mt := range []int{0, 1, 2, 5} {
+		for _, rt := range []int{1, 2, 4, 7} {
+			for _, par := range []int{1, 4} {
+				got := runWordCount(t, Config[string]{MapTasks: mt, ReduceTasks: rt, Parallelism: par}, corpus)
+				for k, v := range wantCounts {
+					if got[k] != v {
+						t.Fatalf("mt=%d rt=%d par=%d: count[%q] = %d, want %d", mt, rt, par, k, got[k], v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCombinerDoesNotChangeResultButShrinksShuffle(t *testing.T) {
+	plain := wordCountJob(Config[string]{MapTasks: 2})
+	_, plainStats, err := plain.Run(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	combined := wordCountJob(Config[string]{MapTasks: 2})
+	combined.Combine = func(key string, values []int) ([]int, error) {
+		sum := 0
+		for _, v := range values {
+			sum += v
+		}
+		return []int{sum}, nil
+	}
+	out, combStats, err := combined.Run(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	for _, kv := range out {
+		got[kv.Key] = kv.Value
+	}
+	for k, v := range wantCounts {
+		if got[k] != v {
+			t.Fatalf("combiner changed result: count[%q] = %d, want %d", k, got[k], v)
+		}
+	}
+	if combStats.CombineOutputs >= plainStats.CombineOutputs {
+		t.Fatalf("combiner did not shrink shuffle: %d vs %d",
+			combStats.CombineOutputs, plainStats.CombineOutputs)
+	}
+}
+
+func TestOutputDeterministicOrder(t *testing.T) {
+	job := wordCountJob(Config[string]{MapTasks: 3, ReduceTasks: 4})
+	a, _, err := job.Run(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		b, _, err := wordCountJob(Config[string]{MapTasks: 3, ReduceTasks: 4}).Run(corpus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("run %d: output %d differs: %v vs %v", i, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestKeysSortedWithinPartition(t *testing.T) {
+	job := wordCountJob(Config[string]{ReduceTasks: 1})
+	out, _, err := job.Run(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Key < out[i-1].Key {
+			t.Fatalf("keys not sorted: %q before %q", out[i-1].Key, out[i].Key)
+		}
+	}
+}
+
+func TestValueOrderPreservedByMapTaskOrder(t *testing.T) {
+	// Map emits (constant key, record index); the reducer must see
+	// values in input order because splits are contiguous and merged
+	// in task order.
+	job := &Job[int, string, int, []int]{
+		Map: func(i int, emit func(string, int)) error {
+			emit("k", i)
+			return nil
+		},
+		Reduce: func(key string, values []int, emit func([]int)) error {
+			emit(append([]int(nil), values...))
+			return nil
+		},
+		Config: Config[string]{MapTasks: 4, Parallelism: 4},
+	}
+	inputs := make([]int, 100)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	out, _, err := job.Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("groups = %d, want 1", len(out))
+	}
+	for i, v := range out[0] {
+		if v != i {
+			t.Fatalf("value order broken at %d: %v", i, out[0][:min(10, len(out[0]))])
+		}
+	}
+}
+
+func TestMapErrorPropagates(t *testing.T) {
+	job := wordCountJob(Config[string]{})
+	job.Map = func(line string, emit func(string, int)) error {
+		return errors.New("boom")
+	}
+	_, _, err := job.Run(corpus)
+	if err == nil || !strings.Contains(err.Error(), "map task") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReduceErrorPropagates(t *testing.T) {
+	job := wordCountJob(Config[string]{})
+	job.Reduce = func(key string, values []int, emit func(KV[string, int])) error {
+		if key == "fox" {
+			return errors.New("bad key")
+		}
+		emit(KV[string, int]{key, len(values)})
+		return nil
+	}
+	_, _, err := job.Run(corpus)
+	if err == nil || !strings.Contains(err.Error(), "fox") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRetryRecoversTransientMapFailure(t *testing.T) {
+	var failures atomic.Int32
+	job := wordCountJob(Config[string]{MapTasks: 1, MaxAttempts: 3})
+	inner := job.Map
+	job.Map = func(line string, emit func(string, int)) error {
+		if failures.Add(1) <= 2 { // first two calls fail
+			return errors.New("transient")
+		}
+		return inner(line, emit)
+	}
+	out, stats, err := job.Run(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TaskRetries == 0 {
+		t.Fatal("no retries recorded")
+	}
+	got := map[string]int{}
+	for _, kv := range out {
+		got[kv.Key] = kv.Value
+	}
+	if got["fox"] != 4 {
+		t.Fatalf("retried job wrong result: %v", got)
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	job := wordCountJob(Config[string]{MaxAttempts: 2})
+	job.Map = func(line string, emit func(string, int)) error {
+		return errors.New("permanent")
+	}
+	_, _, err := job.Run(corpus)
+	if err == nil {
+		t.Fatal("permanently failing job succeeded")
+	}
+}
+
+func TestReduceRetryDiscardsPartialEmissions(t *testing.T) {
+	var calls atomic.Int32
+	job := &Job[string, string, int, string]{
+		Map: func(line string, emit func(string, int)) error {
+			emit("k", 1)
+			return nil
+		},
+		Reduce: func(key string, values []int, emit func(string)) error {
+			emit("partial")
+			if calls.Add(1) == 1 {
+				return errors.New("fail after emitting")
+			}
+			emit("final")
+			return nil
+		},
+		Config: Config[string]{MaxAttempts: 2},
+	}
+	out, _, err := job.Run([]string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != "partial" || out[1] != "final" {
+		t.Fatalf("partial emissions not discarded on retry: %v", out)
+	}
+}
+
+func TestCustomPartitionerUsed(t *testing.T) {
+	var hits atomic.Int32
+	job := wordCountJob(Config[string]{
+		ReduceTasks: 3,
+		Partitioner: func(key string, n int) int {
+			hits.Add(1)
+			return len(key) % n
+		},
+	})
+	if _, _, err := job.Run(corpus); err != nil {
+		t.Fatal(err)
+	}
+	if hits.Load() == 0 {
+		t.Fatal("custom partitioner never called")
+	}
+}
+
+func TestBadPartitionerRejected(t *testing.T) {
+	job := wordCountJob(Config[string]{
+		ReduceTasks: 2,
+		Partitioner: func(key string, n int) int { return 99 },
+	})
+	if _, _, err := job.Run(corpus); err == nil {
+		t.Fatal("out-of-range partition accepted")
+	}
+}
+
+func TestMissingPhases(t *testing.T) {
+	job := &Job[string, string, int, string]{}
+	if _, _, err := job.Run([]string{"x"}); err == nil {
+		t.Fatal("job without phases ran")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	out, stats, err := wordCountJob(Config[string]{}).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 || stats.MapTasks != 0 {
+		t.Fatalf("empty input produced %v, %+v", out, stats)
+	}
+}
+
+func TestCountersAggregation(t *testing.T) {
+	job := wordCountJob(Config[string]{MapTasks: 2})
+	_, stats, err := job.Run(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := job.Counters.Get("map.outputs"); got != int64(stats.MapOutputs) {
+		t.Fatalf("counter map.outputs = %d, stats say %d", got, stats.MapOutputs)
+	}
+	snap := job.Counters.Snapshot()
+	if snap["map.outputs"] != job.Counters.Get("map.outputs") {
+		t.Fatal("snapshot mismatch")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	_, stats, err := wordCountJob(Config[string]{MapTasks: 2, ReduceTasks: 3}).Run(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MapInputs != len(corpus) {
+		t.Fatalf("MapInputs = %d, want %d", stats.MapInputs, len(corpus))
+	}
+	if stats.MapOutputs != 15 { // total words in corpus
+		t.Fatalf("MapOutputs = %d, want 15", stats.MapOutputs)
+	}
+	if stats.ReduceGroups != len(wantCounts) {
+		t.Fatalf("ReduceGroups = %d, want %d", stats.ReduceGroups, len(wantCounts))
+	}
+	if stats.Outputs != len(wantCounts) {
+		t.Fatalf("Outputs = %d, want %d", stats.Outputs, len(wantCounts))
+	}
+}
+
+func TestSplitInputsShapes(t *testing.T) {
+	in := []int{1, 2, 3, 4, 5, 6, 7}
+	splits := splitInputs(in, 3)
+	if len(splits) != 3 {
+		t.Fatalf("splits = %d, want 3", len(splits))
+	}
+	var flat []int
+	for _, s := range splits {
+		flat = append(flat, s...)
+	}
+	for i, v := range flat {
+		if v != in[i] {
+			t.Fatalf("splits reorder input: %v", splits)
+		}
+	}
+	if got := splitInputs(in, 100); len(got) != len(in) {
+		t.Fatalf("oversplit: %d splits for %d inputs", len(got), len(in))
+	}
+	if got := splitInputs([]int{}, 3); got != nil {
+		t.Fatalf("empty input splits = %v", got)
+	}
+}
+
+func TestHashPartitionerInRangeAndDeterministic(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		p := HashPartitioner(key, 7)
+		if p < 0 || p >= 7 {
+			t.Fatalf("partition %d out of range", p)
+		}
+		if p != HashPartitioner(key, 7) {
+			t.Fatal("partitioner not deterministic")
+		}
+	}
+}
+
+func TestSortOutputs(t *testing.T) {
+	xs := []int{3, 1, 2}
+	SortOutputs(xs, func(a, b int) bool { return a < b })
+	if xs[0] != 1 || xs[2] != 3 {
+		t.Fatalf("sorted = %v", xs)
+	}
+}
+
+// quick-check: summing per-key counts over random corpora matches a
+// direct sequential count, for random engine configurations.
+func TestQuickWordCountMatchesDirect(t *testing.T) {
+	words := []string{"a", "b", "c", "dd", "eee"}
+	f := func(seed int64, mt, rt, par uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		lines := make([]string, n)
+		direct := map[string]int{}
+		for i := range lines {
+			k := rng.Intn(6)
+			var sb []string
+			for j := 0; j < k; j++ {
+				w := words[rng.Intn(len(words))]
+				sb = append(sb, w)
+				direct[w]++
+			}
+			lines[i] = strings.Join(sb, " ")
+		}
+		cfg := Config[string]{
+			MapTasks:    int(mt) % 8,
+			ReduceTasks: int(rt)%6 + 1,
+			Parallelism: int(par)%4 + 1,
+		}
+		out, _, err := wordCountJob(cfg).Run(lines)
+		if err != nil {
+			return false
+		}
+		got := map[string]int{}
+		for _, kv := range out {
+			got[kv.Key] = kv.Value
+		}
+		if len(got) != len(direct) {
+			return false
+		}
+		for k, v := range direct {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// quick-check: every key lands in exactly one partition (no key is
+// split across reducers).
+func TestQuickPartitionConsistency(t *testing.T) {
+	f := func(keys []string, rtRaw uint8) bool {
+		rt := int(rtRaw)%8 + 1
+		seen := map[string]int{}
+		for _, k := range keys {
+			p := HashPartitioner(k, rt)
+			if p < 0 || p >= rt {
+				return false
+			}
+			if prev, ok := seen[k]; ok && prev != p {
+				return false
+			}
+			seen[k] = p
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupValuesCompleteAcrossPartitions(t *testing.T) {
+	// Every emitted value must arrive at exactly one reducer: reduce
+	// concatenation of all group sizes equals total map outputs.
+	job := &Job[int, string, int, int]{
+		Map: func(i int, emit func(string, int)) error {
+			emit(fmt.Sprintf("k%d", i%10), i)
+			return nil
+		},
+		Reduce: func(key string, values []int, emit func(int)) error {
+			emit(len(values))
+			return nil
+		},
+		Config: Config[string]{MapTasks: 5, ReduceTasks: 4},
+	}
+	inputs := make([]int, 237)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	out, stats, err := job.Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range out {
+		total += n
+	}
+	if total != stats.MapOutputs || total != 237 {
+		t.Fatalf("values lost in shuffle: %d reduced, %d emitted", total, stats.MapOutputs)
+	}
+}
+
+func TestLargeScaleStress(t *testing.T) {
+	n := 20000
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	job := &Job[int, int, int, KV[int, int]]{
+		Map: func(i int, emit func(int, int)) error {
+			emit(i%100, 1)
+			return nil
+		},
+		Reduce: func(key int, values []int, emit func(KV[int, int])) error {
+			emit(KV[int, int]{key, len(values)})
+			return nil
+		},
+		Config: Config[int]{MapTasks: 16, ReduceTasks: 8, Parallelism: 8},
+	}
+	out, _, err := job.Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 100 {
+		t.Fatalf("groups = %d, want 100", len(out))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	for _, kv := range out {
+		if kv.Value != n/100 {
+			t.Fatalf("group %d size %d, want %d", kv.Key, kv.Value, n/100)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package mapreduce
+
+// speculative.go implements Hadoop-style speculative execution: when a
+// map task straggles, a backup attempt of the same task is launched
+// and the first attempt to finish wins. Because mappers are required
+// to be pure functions of their split, both attempts produce identical
+// output and the race is benign — the classic tail-latency defense of
+// Dean & Ghemawat's original MapReduce paper, which the course's
+// "somewhat dated but still the methodological basis" framing makes
+// worth teaching.
+//
+// Stragglers do not occur naturally in an in-memory engine, so the
+// config exposes an injection hook (InjectDelay) used by tests and
+// benchmarks to create them deterministically.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SpecConfig tunes speculative execution.
+type SpecConfig struct {
+	// SpeculationAfter launches a backup attempt for any map task
+	// still running after this long. Zero disables speculation.
+	SpeculationAfter time.Duration
+	// InjectDelay, when non-nil, sleeps the given duration before a
+	// map-task attempt runs: attempt 0 is the original, 1 the backup.
+	// It exists to create stragglers deterministically in tests.
+	InjectDelay func(task, attempt int) time.Duration
+}
+
+// SpecStats extends Stats with speculation accounting.
+type SpecStats struct {
+	Stats
+	// BackupsLaunched counts speculative attempts started.
+	BackupsLaunched int
+	// BackupsWon counts tasks whose backup finished first.
+	BackupsWon int
+}
+
+// RunSpeculative executes the job like Job.Run but with speculative
+// backup attempts for straggling map tasks. The result is identical
+// to Job.Run's (mappers must be pure); only the wall-clock behavior
+// differs.
+func (j *Job[I, K, V, O]) RunSpeculative(inputs []I, spec SpecConfig) ([]O, SpecStats, error) {
+	cfg := j.Config.withDefaults()
+	if j.Map == nil || j.Reduce == nil {
+		return nil, SpecStats{}, fmt.Errorf("mapreduce: job needs both Map and Reduce")
+	}
+	if j.Counters == nil {
+		j.Counters = NewCounters()
+	}
+	splits := splitInputs(inputs, cfg.MapTasks)
+	stats := SpecStats{Stats: Stats{MapTasks: len(splits), ReduceTasks: cfg.ReduceTasks}}
+
+	type taskResult struct {
+		parts   [][]KV[K, V]
+		emitted int
+		err     error
+		attempt int
+	}
+	results := make([]taskResult, len(splits))
+	var (
+		wg      sync.WaitGroup
+		sem     = make(chan struct{}, cfg.Parallelism+len(splits)) // backups must not starve
+		mu      sync.Mutex
+		settled = make([]bool, len(splits))
+	)
+
+	runAttempt := func(t int, attempt int, done chan<- struct{}) {
+		sem <- struct{}{}
+		defer func() { <-sem }()
+		if spec.InjectDelay != nil {
+			if d := spec.InjectDelay(t, attempt); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		parts, emitted, _, err := j.runMapTask(splits[t], cfg)
+		mu.Lock()
+		if !settled[t] {
+			settled[t] = true
+			results[t] = taskResult{parts, emitted, err, attempt}
+		}
+		mu.Unlock()
+		select {
+		case done <- struct{}{}:
+		default:
+		}
+	}
+
+	for t := range splits {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			done := make(chan struct{}, 2)
+			go runAttempt(t, 0, done)
+			if spec.SpeculationAfter <= 0 {
+				<-done
+				return
+			}
+			select {
+			case <-done:
+				return
+			case <-time.After(spec.SpeculationAfter):
+				mu.Lock()
+				stats.BackupsLaunched++
+				mu.Unlock()
+				go runAttempt(t, 1, done)
+				<-done
+			}
+		}(t)
+	}
+	wg.Wait()
+
+	// Aggregate, honoring the winner of each race.
+	mapOut := make([][][]KV[K, V], len(splits))
+	for t, r := range results {
+		if r.err != nil {
+			return nil, stats, fmt.Errorf("mapreduce: map task %d: %w", t, r.err)
+		}
+		mapOut[t] = r.parts
+		stats.MapOutputs += r.emitted
+		stats.MapInputs += len(splits[t])
+		if r.attempt == 1 {
+			stats.BackupsWon++
+		}
+		j.Counters.Add("map.outputs", int64(r.emitted))
+	}
+
+	outs, redStats, err := j.reducePhase(mapOut, cfg)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.CombineOutputs = redStats.CombineOutputs
+	stats.ReduceGroups = redStats.ReduceGroups
+	stats.Outputs = len(outs)
+	return outs, stats, nil
+}

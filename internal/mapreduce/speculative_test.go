@@ -1,0 +1,117 @@
+package mapreduce
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpeculativeSameResultAsPlainRun(t *testing.T) {
+	plain, _, err := wordCountJob(Config[string]{MapTasks: 4}).Run(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, stats, err := wordCountJob(Config[string]{MapTasks: 4}).RunSpeculative(corpus, SpecConfig{
+		SpeculationAfter: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(spec) {
+		t.Fatalf("lengths differ: %d vs %d", len(plain), len(spec))
+	}
+	for i := range plain {
+		if plain[i] != spec[i] {
+			t.Fatalf("output %d differs: %v vs %v", i, plain[i], spec[i])
+		}
+	}
+	if stats.MapInputs != len(corpus) {
+		t.Fatalf("MapInputs = %d, want %d", stats.MapInputs, len(corpus))
+	}
+}
+
+func TestSpeculationRescuesStraggler(t *testing.T) {
+	// Task 0's original attempt hangs for 2 s; its backup is instant.
+	// With speculation after 20 ms the job must finish far sooner
+	// than the straggler would allow, with the identical result.
+	straggle := func(task, attempt int) time.Duration {
+		if task == 0 && attempt == 0 {
+			return 2 * time.Second
+		}
+		return 0
+	}
+	job := wordCountJob(Config[string]{MapTasks: 3, Parallelism: 4})
+	start := time.Now()
+	out, stats, err := job.RunSpeculative(corpus, SpecConfig{
+		SpeculationAfter: 20 * time.Millisecond,
+		InjectDelay:      straggle,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed > time.Second {
+		t.Fatalf("speculation did not rescue the straggler: took %v", elapsed)
+	}
+	if stats.BackupsLaunched == 0 {
+		t.Fatal("no backup launched for the straggler")
+	}
+	if stats.BackupsWon == 0 {
+		t.Fatal("the instant backup should have won")
+	}
+	got := map[string]int{}
+	for _, kv := range out {
+		got[kv.Key] = kv.Value
+	}
+	for k, v := range wantCounts {
+		if got[k] != v {
+			t.Fatalf("count[%q] = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestNoSpeculationWithoutTimeout(t *testing.T) {
+	job := wordCountJob(Config[string]{MapTasks: 2})
+	_, stats, err := job.RunSpeculative(corpus, SpecConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BackupsLaunched != 0 || stats.BackupsWon != 0 {
+		t.Fatalf("speculation fired with zero timeout: %+v", stats)
+	}
+}
+
+func TestFastTasksDontSpawnBackups(t *testing.T) {
+	job := wordCountJob(Config[string]{MapTasks: 4})
+	_, stats, err := job.RunSpeculative(corpus, SpecConfig{
+		SpeculationAfter: 5 * time.Second, // far beyond any task's runtime
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BackupsLaunched != 0 {
+		t.Fatalf("backups launched for fast tasks: %d", stats.BackupsLaunched)
+	}
+}
+
+func TestSpeculativeErrorsPropagate(t *testing.T) {
+	job := wordCountJob(Config[string]{MapTasks: 2})
+	job.Map = func(line string, emit func(string, int)) error {
+		return errTransient
+	}
+	if _, _, err := job.RunSpeculative(corpus, SpecConfig{SpeculationAfter: time.Millisecond}); err == nil {
+		t.Fatal("failing job succeeded")
+	}
+}
+
+func TestSpeculativeMissingPhases(t *testing.T) {
+	job := &Job[string, string, int, string]{}
+	if _, _, err := job.RunSpeculative([]string{"x"}, SpecConfig{}); err == nil {
+		t.Fatal("job without phases ran")
+	}
+}
+
+var errTransient = errFixed("transient")
+
+type errFixed string
+
+func (e errFixed) Error() string { return string(e) }

@@ -1,0 +1,105 @@
+package mapreduce
+
+import (
+	"strings"
+	"testing"
+)
+
+func streamWordCount() *StreamJob {
+	return &StreamJob{
+		Name: "stream-wordcount",
+		Map: func(line string, emit func(string, string)) error {
+			for _, w := range strings.Fields(line) {
+				emit(w, "1")
+			}
+			return nil
+		},
+		Reduce: func(key string, values []string, emit func(string)) error {
+			emit(FormatKV(key, itoa(len(values))))
+			return nil
+		},
+		Config: Config[string]{MapTasks: 2, ReduceTasks: 2},
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestStreamJobRunLines(t *testing.T) {
+	out, stats, err := streamWordCount().RunLines([]string{"a b a", "b a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, line := range out {
+		k, v := ParseKV(line)
+		got[k] = v
+	}
+	if got["a"] != "3" || got["b"] != "2" {
+		t.Fatalf("got %v", got)
+	}
+	if stats.MapInputs != 2 {
+		t.Fatalf("MapInputs = %d, want 2", stats.MapInputs)
+	}
+}
+
+func TestStreamJobRunReaders(t *testing.T) {
+	r1 := strings.NewReader("x y\nz\n")
+	r2 := strings.NewReader("x\n")
+	out, _, err := streamWordCount().RunReaders(r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, line := range out {
+		k, v := ParseKV(line)
+		got[k] = v
+	}
+	if got["x"] != "2" || got["y"] != "1" || got["z"] != "1" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestStreamCountersSurvive(t *testing.T) {
+	j := streamWordCount()
+	if _, _, err := j.RunLines([]string{"a a a"}); err != nil {
+		t.Fatal(err)
+	}
+	if j.Counters == nil || j.Counters.Get("map.outputs") != 3 {
+		t.Fatalf("counters not propagated: %+v", j.Counters)
+	}
+}
+
+func TestParseKV(t *testing.T) {
+	k, v := ParseKV("year\t12.5")
+	if k != "year" || v != "12.5" {
+		t.Fatalf("ParseKV = %q,%q", k, v)
+	}
+	k, v = ParseKV("noTabHere")
+	if k != "noTabHere" || v != "" {
+		t.Fatalf("tabless ParseKV = %q,%q", k, v)
+	}
+	k, v = ParseKV("a\tb\tc")
+	if k != "a" || v != "b\tc" {
+		t.Fatalf("multi-tab ParseKV = %q,%q", k, v)
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	line := FormatKV("k", "v1\tv2")
+	k, v := ParseKV(line)
+	if k != "k" || v != "v1\tv2" {
+		t.Fatalf("round trip = %q,%q", k, v)
+	}
+}

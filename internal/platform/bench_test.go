@@ -1,0 +1,57 @@
+package platform
+
+import (
+	"testing"
+
+	"repro/internal/carbon"
+	"repro/internal/des"
+)
+
+// Platform-model benchmarks: the event costs of the site and link
+// fluid models.
+
+func BenchmarkSiteThroughput(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var sim des.Simulation
+		m := carbon.NewMeter()
+		s := NewSite(&sim, m, "bench", 16, 10, 200, 80, carbon.LocalGrid)
+		for t := 0; t < 1000; t++ {
+			s.Submit(50, func() {})
+		}
+		sim.Run()
+		s.FinalizeIdle(sim.Now())
+	}
+}
+
+func BenchmarkLinkStagingStorm(b *testing.B) {
+	// 200 concurrent equal flows: the pattern a wide workflow level
+	// staging to the cloud produces; stresses the fair-share model.
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var sim des.Simulation
+		l := NewLink(&sim, 25e6, 0.05)
+		for f := 0; f < 200; f++ {
+			l.Transfer(14e6, func() {})
+		}
+		sim.Run()
+		if l.Transfers != 200 {
+			b.Fatal("lost transfers")
+		}
+	}
+}
+
+func BenchmarkLinkChurn(b *testing.B) {
+	// Staggered joins and finishes: every event re-settles the share.
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var sim des.Simulation
+		l := NewLink(&sim, 1e6, 0)
+		for f := 0; f < 100; f++ {
+			size := float64(1000 * (f + 1))
+			delay := float64(f) * 0.01
+			sim.Schedule(delay, func() { l.Transfer(size, func() {}) })
+		}
+		sim.Run()
+	}
+}

@@ -1,0 +1,142 @@
+package platform
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/des"
+)
+
+// Link models the bandwidth-limited connection between the local
+// cluster and the remote cloud. Concurrent transfers share the
+// capacity max–min fairly; on a single link that is an equal split,
+// recomputed whenever a flow starts or finishes (the same fluid model
+// SimGrid uses for a one-link platform). Each transfer additionally
+// pays a fixed latency up front.
+//
+// Implementation note: instead of one completion event per flow
+// (which would be cancelled and rescheduled on every rate change —
+// O(flows) event churn per change), the link keeps a single pending
+// "wake" event at the earliest completion; on each wake or join it
+// advances all flows by the elapsed time and finishes the drained
+// ones. This keeps big staging storms (hundreds of concurrent file
+// transfers) cheap.
+type Link struct {
+	sim       *des.Simulation
+	bandwidth float64 // bytes/s
+	latency   float64 // s
+
+	flows     []*flow // arrival order: determinism requires stable iteration
+	lastTouch float64
+	wake      *des.Event
+
+	// BytesMoved accumulates completed payload bytes for reporting.
+	BytesMoved float64
+	// Transfers counts completed transfers.
+	Transfers int
+}
+
+type flow struct {
+	original  float64
+	remaining float64
+	done      func()
+}
+
+// finishEps absorbs float round-off when deciding a flow has drained.
+const finishEps = 1e-6
+
+// NewLink creates a link with the given capacity (bytes/second) and
+// per-transfer latency (seconds).
+func NewLink(sim *des.Simulation, bandwidth, latency float64) *Link {
+	if bandwidth <= 0 || latency < 0 {
+		panic(fmt.Sprintf("platform: invalid link bw=%v lat=%v", bandwidth, latency))
+	}
+	return &Link{sim: sim, bandwidth: bandwidth, latency: latency}
+}
+
+// Transfer moves bytes across the link; done fires at completion.
+// Zero-byte transfers still pay the latency.
+func (l *Link) Transfer(bytes float64, done func()) {
+	if bytes < 0 || math.IsNaN(bytes) {
+		panic(fmt.Sprintf("platform: invalid transfer size %v", bytes))
+	}
+	l.sim.Schedule(l.latency, func() {
+		l.advance()
+		l.flows = append(l.flows, &flow{original: bytes, remaining: bytes, done: done})
+		l.settle()
+	})
+}
+
+// InFlight returns the number of active flows.
+func (l *Link) InFlight() int { return len(l.flows) }
+
+// advance drains every active flow by the time elapsed since the last
+// link event, at the equal-share rate that was in force.
+func (l *Link) advance() {
+	now := l.sim.Now()
+	if n := len(l.flows); n > 0 {
+		rate := l.bandwidth / float64(n)
+		dt := now - l.lastTouch
+		for _, f := range l.flows {
+			f.remaining -= rate * dt
+		}
+	}
+	l.lastTouch = now
+}
+
+// settle completes drained flows (which raises the share of the
+// survivors) and schedules the single wake event at the next earliest
+// completion. Completion callbacks run after the link state is
+// consistent.
+//
+// A flow also counts as drained when its remaining ETA is under a
+// microsecond: float round-off can leave a residual of a few
+// microbytes whose ETA is smaller than the clock's representable
+// resolution at large timestamps, and scheduling a wake that cannot
+// advance the clock would loop forever.
+func (l *Link) settle() {
+	if l.wake != nil {
+		l.sim.Cancel(l.wake)
+		l.wake = nil
+	}
+	var finished []*flow
+	for {
+		n := len(l.flows)
+		if n == 0 {
+			break
+		}
+		rate := l.bandwidth / float64(n)
+		thresh := math.Max(finishEps, rate*1e-6)
+		kept := l.flows[:0]
+		removed := false
+		for _, f := range l.flows {
+			if f.remaining <= thresh {
+				finished = append(finished, f)
+				removed = true
+			} else {
+				kept = append(kept, f)
+			}
+		}
+		l.flows = kept
+		if removed {
+			continue // survivors' rate rose; re-evaluate thresholds
+		}
+		minRemaining := math.Inf(1)
+		for _, f := range l.flows {
+			if f.remaining < minRemaining {
+				minRemaining = f.remaining
+			}
+		}
+		l.wake = l.sim.Schedule(minRemaining/rate, func() {
+			l.wake = nil
+			l.advance()
+			l.settle()
+		})
+		break
+	}
+	for _, f := range finished {
+		l.BytesMoved += f.original
+		l.Transfers++
+		f.done()
+	}
+}

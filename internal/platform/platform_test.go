@@ -1,0 +1,248 @@
+package platform
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/carbon"
+	"repro/internal/des"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDefaultPStatesShape(t *testing.T) {
+	ps := DefaultPStates()
+	if len(ps) != 7 {
+		t.Fatalf("p-states = %d, want 7 (the paper's seven power states)", len(ps))
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Freq <= ps[i-1].Freq || ps[i].Speed <= ps[i-1].Speed || ps[i].BusyPower <= ps[i-1].BusyPower {
+			t.Fatalf("p-states not monotone at %d: %v then %v", i, ps[i-1], ps[i])
+		}
+		if ps[i].IdlePower != ps[i-1].IdlePower {
+			t.Fatalf("idle power should be state-independent")
+		}
+	}
+	top := ps[6]
+	if !almost(top.Speed, 10, 0.01) {
+		t.Fatalf("top speed = %v, want ~10 Gflop/s", top.Speed)
+	}
+	if !almost(top.BusyPower, 200, 0.5) {
+		t.Fatalf("top busy power = %v, want ~200 W", top.BusyPower)
+	}
+}
+
+func TestPStateEnergyPerWorkImprovesWhenDownclockingFromTop(t *testing.T) {
+	// The cubic dynamic term means energy-per-Gflop at the top state
+	// exceeds some lower state — otherwise the downclocking option in
+	// the assignment would never help.
+	ps := DefaultPStates()
+	eTop := ps[6].BusyPower / ps[6].Speed
+	eMid := ps[3].BusyPower / ps[3].Speed
+	if eMid >= eTop {
+		t.Fatalf("downclocking never pays: e(top)=%v e(mid)=%v", eTop, eMid)
+	}
+}
+
+func newTestSite(sim *des.Simulation, slots int, speed float64) (*Site, *carbon.Meter) {
+	m := carbon.NewMeter()
+	s := NewSite(sim, m, "test", slots, speed, 200, 80, carbon.LocalGrid)
+	return s, m
+}
+
+func TestSiteSingleTaskTiming(t *testing.T) {
+	var sim des.Simulation
+	s, _ := newTestSite(&sim, 1, 10)
+	var end float64
+	s.Submit(100, func() { end = sim.Now() }) // 100 Gflop / 10 Gf/s = 10 s
+	sim.Run()
+	if !almost(end, 10, 1e-9) {
+		t.Fatalf("completion at %v, want 10", end)
+	}
+	if s.TasksRun() != 1 {
+		t.Fatalf("tasks run = %d", s.TasksRun())
+	}
+}
+
+func TestSiteQueueingWhenSlotsBusy(t *testing.T) {
+	var sim des.Simulation
+	s, _ := newTestSite(&sim, 2, 10)
+	var ends []float64
+	for i := 0; i < 4; i++ {
+		s.Submit(100, func() { ends = append(ends, sim.Now()) })
+	}
+	if s.QueueLen() != 2 {
+		t.Fatalf("queue = %d, want 2", s.QueueLen())
+	}
+	sim.Run()
+	sort.Float64s(ends)
+	want := []float64{10, 10, 20, 20}
+	for i := range want {
+		if !almost(ends[i], want[i], 1e-9) {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestSiteEnergyAccounting(t *testing.T) {
+	var sim des.Simulation
+	s, m := newTestSite(&sim, 2, 10)
+	s.Submit(100, func() {}) // 10 s busy
+	sim.Run()
+	s.FinalizeIdle(10)
+	// Busy-above-idle: (200-80)*10 = 1200 J; idle: 80*2 slots*10 s = 1600 J.
+	if got := m.Energy("test"); !almost(got, 2800, 1e-6) {
+		t.Fatalf("energy = %v J, want 2800", got)
+	}
+}
+
+func TestSiteFinalizeGuards(t *testing.T) {
+	var sim des.Simulation
+	s, _ := newTestSite(&sim, 1, 10)
+	s.FinalizeIdle(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double finalize did not panic")
+		}
+	}()
+	s.FinalizeIdle(5)
+}
+
+func TestSubmitToPoweredOffSitePanics(t *testing.T) {
+	var sim des.Simulation
+	m := carbon.NewMeter()
+	s := NewSite(&sim, m, "off", 0, 10, 200, 80, carbon.LocalGrid)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("submit to 0-slot site did not panic")
+		}
+	}()
+	s.Submit(1, func() {})
+}
+
+func TestSiteRejectsInvalidConstruction(t *testing.T) {
+	var sim des.Simulation
+	m := carbon.NewMeter()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid site accepted")
+		}
+	}()
+	NewSite(&sim, m, "bad", 1, 0, 1, 1, carbon.LocalGrid)
+}
+
+func TestLinkSingleTransfer(t *testing.T) {
+	var sim des.Simulation
+	l := NewLink(&sim, 100, 0.5) // 100 B/s, 0.5 s latency
+	var end float64
+	l.Transfer(200, func() { end = sim.Now() })
+	sim.Run()
+	if !almost(end, 2.5, 1e-9) {
+		t.Fatalf("transfer end = %v, want 2.5 (0.5 latency + 2 s)", end)
+	}
+	if l.Transfers != 1 || !almost(l.BytesMoved, 200, 1e-9) {
+		t.Fatalf("accounting: %d transfers, %v bytes", l.Transfers, l.BytesMoved)
+	}
+}
+
+func TestLinkFairSharingTwoFlows(t *testing.T) {
+	var sim des.Simulation
+	l := NewLink(&sim, 100, 0)
+	var endA, endB float64
+	l.Transfer(100, func() { endA = sim.Now() })
+	l.Transfer(100, func() { endB = sim.Now() })
+	sim.Run()
+	// Both share 50 B/s: both finish at 2 s (vs 1 s alone).
+	if !almost(endA, 2, 1e-9) || !almost(endB, 2, 1e-9) {
+		t.Fatalf("ends = %v, %v, want 2, 2", endA, endB)
+	}
+}
+
+func TestLinkFairSharingStaggeredFlows(t *testing.T) {
+	var sim des.Simulation
+	l := NewLink(&sim, 100, 0)
+	var endA, endB float64
+	l.Transfer(150, func() { endA = sim.Now() })
+	sim.Schedule(1, func() {
+		l.Transfer(50, func() { endB = sim.Now() })
+	})
+	sim.Run()
+	// A alone for 1 s (100 B done, 50 left). Then A and B at 50 B/s
+	// each: both have 50 B left -> both finish at t=2.
+	if !almost(endA, 2, 1e-9) || !almost(endB, 2, 1e-9) {
+		t.Fatalf("ends = %v, %v, want 2, 2", endA, endB)
+	}
+}
+
+func TestLinkConservesBytes(t *testing.T) {
+	var sim des.Simulation
+	l := NewLink(&sim, 1000, 0.01)
+	total := 0.0
+	for i := 1; i <= 20; i++ {
+		b := float64(i * 37)
+		total += b
+		delay := float64(i) * 0.1
+		b2 := b
+		sim.Schedule(delay, func() { l.Transfer(b2, func() {}) })
+	}
+	sim.Run()
+	if l.Transfers != 20 || !almost(l.BytesMoved, total, 1e-6) {
+		t.Fatalf("moved %v bytes in %d transfers, want %v in 20", l.BytesMoved, l.Transfers, total)
+	}
+}
+
+func TestLinkZeroByteTransferPaysLatency(t *testing.T) {
+	var sim des.Simulation
+	l := NewLink(&sim, 100, 0.25)
+	var end float64
+	l.Transfer(0, func() { end = sim.Now() })
+	sim.Run()
+	if !almost(end, 0.25, 1e-9) {
+		t.Fatalf("end = %v, want 0.25", end)
+	}
+}
+
+func TestLinkInvalidConstruction(t *testing.T) {
+	var sim des.Simulation
+	for _, c := range []struct{ bw, lat float64 }{{0, 0}, {-1, 0}, {1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("link bw=%v lat=%v accepted", c.bw, c.lat)
+				}
+			}()
+			NewLink(&sim, c.bw, c.lat)
+		}()
+	}
+}
+
+func TestLinkNegativeTransferPanics(t *testing.T) {
+	var sim des.Simulation
+	l := NewLink(&sim, 100, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative transfer accepted")
+		}
+	}()
+	l.Transfer(-5, func() {})
+}
+
+func TestLinkManyConcurrentFlowsSlowdown(t *testing.T) {
+	// n simultaneous equal flows must each take n times as long.
+	for _, n := range []int{1, 4, 10} {
+		var sim des.Simulation
+		l := NewLink(&sim, 100, 0)
+		ends := make([]float64, n)
+		for i := 0; i < n; i++ {
+			i := i
+			l.Transfer(100, func() { ends[i] = sim.Now() })
+		}
+		sim.Run()
+		for i, e := range ends {
+			if !almost(e, float64(n), 1e-6) {
+				t.Fatalf("n=%d flow %d ended at %v, want %d", n, i, e, n)
+			}
+		}
+	}
+}

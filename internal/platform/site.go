@@ -1,0 +1,119 @@
+package platform
+
+import (
+	"fmt"
+
+	"repro/internal/carbon"
+	"repro/internal/des"
+)
+
+// Site is a homogeneous pool of compute slots (cluster nodes or cloud
+// VMs) executing tasks under a simple space-shared model: one task
+// per slot, FIFO queue when all slots are busy. Energy accounting
+// charges each slot's idle power for the whole powered-on duration
+// (closed out by FinalizeIdle) plus the busy-idle difference for the
+// time slots actually compute — together exactly "busy power while
+// computing, idle power otherwise".
+type Site struct {
+	Name string
+
+	sim       *des.Simulation
+	slots     int
+	speed     float64 // Gflop/s per slot
+	busyPower float64 // W per computing slot
+	idlePower float64 // W per powered-on slot
+	meter     *carbon.Meter
+
+	freeSlots int
+	queue     []queuedTask
+	busyUntil float64 // latest task completion seen (for stats)
+	tasksRun  int
+	finalized bool
+}
+
+type queuedTask struct {
+	flops float64
+	done  func()
+}
+
+// NewSite creates a site with the given slot count, per-slot speed
+// (Gflop/s), and per-slot busy/idle power (W). Energy is charged to
+// the meter under the site's name with the given carbon intensity.
+func NewSite(sim *des.Simulation, meter *carbon.Meter, name string, slots int, speed, busyPower, idlePower float64, intensity carbon.Intensity) *Site {
+	if slots < 0 || speed <= 0 {
+		panic(fmt.Sprintf("platform: invalid site %q: slots=%d speed=%v", name, slots, speed))
+	}
+	meter.Register(name, intensity)
+	return &Site{
+		Name:      name,
+		sim:       sim,
+		slots:     slots,
+		speed:     speed,
+		busyPower: busyPower,
+		idlePower: idlePower,
+		meter:     meter,
+		freeSlots: slots,
+	}
+}
+
+// Slots returns the number of compute slots.
+func (s *Site) Slots() int { return s.slots }
+
+// Speed returns the per-slot speed in Gflop/s.
+func (s *Site) Speed() float64 { return s.speed }
+
+// TasksRun returns how many tasks completed on this site.
+func (s *Site) TasksRun() int { return s.tasksRun }
+
+// Submit queues a task of the given size (Gflop) for execution; done
+// fires (in simulated time) when it completes. Submitting to a
+// zero-slot site panics — the scheduler should never route there.
+func (s *Site) Submit(gflop float64, done func()) {
+	if s.slots == 0 {
+		panic(fmt.Sprintf("platform: submit to powered-off site %q", s.Name))
+	}
+	if gflop < 0 {
+		panic(fmt.Sprintf("platform: negative task size %v", gflop))
+	}
+	if s.freeSlots > 0 {
+		s.start(gflop, done)
+		return
+	}
+	s.queue = append(s.queue, queuedTask{gflop, done})
+}
+
+func (s *Site) start(gflop float64, done func()) {
+	s.freeSlots--
+	duration := gflop / s.speed
+	// Busy energy above idle, charged at completion.
+	s.sim.Schedule(duration, func() {
+		s.meter.Add(s.Name, (s.busyPower-s.idlePower)*duration)
+		s.tasksRun++
+		if end := s.sim.Now(); end > s.busyUntil {
+			s.busyUntil = end
+		}
+		s.freeSlots++
+		if len(s.queue) > 0 {
+			next := s.queue[0]
+			s.queue = s.queue[1:]
+			s.start(next.flops, next.done)
+		}
+		done()
+	})
+}
+
+// FinalizeIdle charges the idle draw of every powered-on slot for the
+// full makespan. Call exactly once, after the simulation drains.
+func (s *Site) FinalizeIdle(makespan float64) {
+	if s.finalized {
+		panic(fmt.Sprintf("platform: site %q finalized twice", s.Name))
+	}
+	s.finalized = true
+	if makespan < 0 {
+		panic("platform: negative makespan")
+	}
+	s.meter.Add(s.Name, s.idlePower*float64(s.slots)*makespan)
+}
+
+// QueueLen returns the number of tasks waiting for a slot.
+func (s *Site) QueueLen() int { return len(s.queue) }

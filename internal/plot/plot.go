@@ -1,0 +1,199 @@
+// Package plot is a small stdlib-only SVG chart writer, the analog of
+// EASYPAP's "performance graph plot tools": the sandpile assignment
+// expects students to justify their choices "with the help of
+// performance plots", so the harness renders its sweeps (tile sizes,
+// ghost widths, Pareto frontiers) as line and scatter charts.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strings"
+)
+
+// Series is one plotted line or point set.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Points bool // true: markers only (scatter); false: polyline + markers
+}
+
+// Chart is a single-panel XY chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// LogY plots the Y axis on a log10 scale (values must be > 0).
+	LogY bool
+	// Width and Height are the SVG dimensions; 0 means 640×420.
+	Width, Height int
+}
+
+// seriesColors is the qualitative palette (shared with the tile-owner
+// map aesthetics).
+var seriesColors = []string{
+	"#e69f00", "#56b4e9", "#009e73", "#d55e00",
+	"#0072b2", "#cc79a7", "#f0e442", "#999999",
+}
+
+const (
+	marginL = 62
+	marginR = 16
+	marginT = 34
+	marginB = 46
+)
+
+// SVG renders the chart. It returns an error when there is nothing
+// plottable (no series, empty series, or non-positive values under
+// LogY).
+func (c *Chart) SVG() (string, error) {
+	if len(c.Series) == 0 {
+		return "", fmt.Errorf("plot: no series")
+	}
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 640
+	}
+	if h <= 0 {
+		h = 420
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	n := 0
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("plot: series %q has %d xs but %d ys", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			y := s.Y[i]
+			if c.LogY {
+				if y <= 0 {
+					return "", fmt.Errorf("plot: series %q has y=%v on a log axis", s.Name, y)
+				}
+				y = math.Log10(y)
+			}
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+			n++
+		}
+	}
+	if n == 0 {
+		return "", fmt.Errorf("plot: all series empty")
+	}
+	if minX == maxX {
+		minX, maxX = minX-1, maxX+1
+	}
+	if minY == maxY {
+		minY, maxY = minY-1, maxY+1
+	}
+
+	plotW := float64(w - marginL - marginR)
+	plotH := float64(h - marginT - marginB)
+	px := func(x float64) float64 { return float64(marginL) + (x-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 {
+		if c.LogY {
+			y = math.Log10(y)
+		}
+		return float64(marginT) + (1-(y-minY)/(maxY-minY))*plotH
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", w, h)
+	fmt.Fprintf(&sb, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	if c.Title != "" {
+		fmt.Fprintf(&sb, `<text x="%d" y="18" font-size="13" font-weight="bold">%s</text>`+"\n", marginL, esc(c.Title))
+	}
+
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, h-marginB, w-marginR, h-marginB)
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, h-marginB)
+
+	// Ticks: 5 per axis, linear in plot space.
+	for i := 0; i <= 4; i++ {
+		fx := minX + (maxX-minX)*float64(i)/4
+		X := px(fx)
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n",
+			X, h-marginB, X, h-marginB+4)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			X, h-marginB+17, fmtTick(fx))
+
+		fy := minY + (maxY-minY)*float64(i)/4
+		val := fy
+		if c.LogY {
+			val = math.Pow(10, fy)
+		}
+		Y := float64(marginT) + (1-float64(i)/4)*plotH
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`+"\n",
+			marginL-4, Y, marginL, Y)
+		fmt.Fprintf(&sb, `<text x="%d" y="%.1f" text-anchor="end" dominant-baseline="middle">%s</text>`+"\n",
+			marginL-7, Y, fmtTick(val))
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			float64(marginL)+plotW/2, h-8, esc(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&sb, `<text x="14" y="%.1f" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`+"\n",
+			float64(marginT)+plotH/2, float64(marginT)+plotH/2, esc(c.YLabel))
+	}
+
+	// Series.
+	for si, s := range c.Series {
+		color := seriesColors[si%len(seriesColors)]
+		if !s.Points && len(s.X) > 1 {
+			var pts []string
+			for i := range s.X {
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+			}
+			fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		for i := range s.X {
+			fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n",
+				px(s.X[i]), py(s.Y[i]), color)
+		}
+		// Legend entry.
+		ly := marginT + 14*si
+		fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n",
+			w-marginR-120, ly, color)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d">%s</text>`+"\n",
+			w-marginR-105, ly+9, esc(s.Name))
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String(), nil
+}
+
+// Save writes the chart as an SVG file.
+func (c *Chart) Save(path string) error {
+	svg, err := c.SVG()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(svg), 0o644)
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}

@@ -1,0 +1,180 @@
+package plot
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func sampleChart() *Chart {
+	return &Chart{
+		Title:  "Tile sweep",
+		XLabel: "tile edge",
+		YLabel: "time (ms)",
+		Series: []Series{
+			{Name: "eager", X: []float64{8, 16, 32}, Y: []float64{10, 8, 9}},
+			{Name: "lazy", X: []float64{8, 16, 32}, Y: []float64{6, 4, 5}},
+		},
+	}
+}
+
+func TestSVGWellFormedAndComplete(t *testing.T) {
+	svg, err := sampleChart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<svg", "</svg>", "Tile sweep", "tile edge", "time (ms)",
+		"eager", "lazy", "<polyline", "<circle",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<circle") != 6 {
+		t.Fatalf("markers = %d, want 6", strings.Count(svg, "<circle"))
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Fatalf("polylines = %d, want 2", strings.Count(svg, "<polyline"))
+	}
+}
+
+func TestScatterHasNoPolyline(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "pts", X: []float64{1, 2}, Y: []float64{3, 4}, Points: true}}}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "<polyline") {
+		t.Fatal("scatter series rendered a line")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := (&Chart{}).SVG(); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+	bad := &Chart{Series: []Series{{X: []float64{1}, Y: []float64{1, 2}}}}
+	if _, err := bad.SVG(); err == nil {
+		t.Fatal("ragged series accepted")
+	}
+	empty := &Chart{Series: []Series{{Name: "e"}}}
+	if _, err := empty.SVG(); err == nil {
+		t.Fatal("all-empty series accepted")
+	}
+	logBad := &Chart{LogY: true, Series: []Series{{X: []float64{1}, Y: []float64{0}}}}
+	if _, err := logBad.SVG(); err == nil {
+		t.Fatal("non-positive value on log axis accepted")
+	}
+}
+
+func TestDegenerateRanges(t *testing.T) {
+	// A single point, identical xs and ys: must still render without
+	// NaN coordinates.
+	c := &Chart{Series: []Series{{Name: "p", X: []float64{5}, Y: []float64{5}}}}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "NaN") {
+		t.Fatal("NaN coordinates in SVG")
+	}
+}
+
+func TestLogYScale(t *testing.T) {
+	c := &Chart{
+		LogY: true,
+		Series: []Series{{
+			Name: "s", X: []float64{1, 2, 3}, Y: []float64{1, 100, 10000},
+		}},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 is the geometric midpoint, so its marker must sit at the
+	// vertical center of the plot area, not near the bottom as it
+	// would on a linear scale.
+	idx := strings.Index(svg, `cy=`)
+	if idx < 0 {
+		t.Fatal("no markers")
+	}
+	circles := strings.Split(svg, "<circle")
+	if len(circles) < 4 {
+		t.Fatalf("markers = %d", len(circles)-1)
+	}
+	var ys [3]float64
+	for i := 1; i <= 3; i++ {
+		v, err := circleCY(circles[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ys[i-1] = v
+	}
+	mid := (ys[0] + ys[2]) / 2
+	if diff := ys[1] - mid; diff < -1 || diff > 1 {
+		t.Fatalf("log scale not applied: ys=%v", ys)
+	}
+}
+
+// circleCY extracts the cy attribute from a circle fragment.
+func circleCY(fragment string) (float64, error) {
+	i := strings.Index(fragment, `cy="`)
+	if i < 0 {
+		return 0, os.ErrInvalid
+	}
+	j := i + 4
+	k := j
+	for k < len(fragment) && fragment[k] != '"' {
+		k++
+	}
+	return strconv.ParseFloat(fragment[j:k], 64)
+}
+
+func TestSaveWritesFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "chart.svg")
+	if err := sampleChart().Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Fatal("saved file is not SVG")
+	}
+	if err := (&Chart{}).Save(filepath.Join(dir, "bad.svg")); err == nil {
+		t.Fatal("Save of empty chart should fail")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	c := &Chart{
+		Title:  "a < b & c > d",
+		Series: []Series{{Name: "x<y", X: []float64{1, 2}, Y: []float64{1, 2}}},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "a < b") || strings.Contains(svg, "x<y") {
+		t.Fatal("unescaped markup in SVG")
+	}
+	if !strings.Contains(svg, "a &lt; b &amp; c &gt; d") {
+		t.Fatal("escaping wrong")
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{
+		2500000: "2.5M", 50000: "50k", 500: "500", 5: "5.0", 0.05: "0.05",
+	}
+	for v, want := range cases {
+		if got := fmtTick(v); got != want {
+			t.Fatalf("fmtTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

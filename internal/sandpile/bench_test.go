@@ -1,0 +1,77 @@
+package sandpile
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// Kernel micro-benchmarks: the per-cell costs the tiling and
+// vectorization sub-assignments optimize.
+
+func benchGrid(n int) *grid.Grid {
+	return Random(12).Build(n, n, rand.New(rand.NewSource(1)))
+}
+
+func BenchmarkSyncRow(b *testing.B) {
+	cur := benchGrid(1024)
+	next := grid.New(1024, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SyncRow(cur, next, i%1024, 0, 1024)
+	}
+	b.SetBytes(1024 * 4)
+}
+
+func BenchmarkSyncRegionGuarded(b *testing.B) {
+	cur := benchGrid(512)
+	next := grid.New(512, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SyncRegion(cur, next, 1, 511, 1, 511)
+	}
+	b.SetBytes(510 * 510 * 4)
+}
+
+func BenchmarkSyncRegionInner(b *testing.B) {
+	cur := benchGrid(512)
+	next := grid.New(512, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SyncRegionInner(cur, next, 1, 511, 1, 511)
+	}
+	b.SetBytes(510 * 510 * 4)
+}
+
+func BenchmarkAsyncRegionSweep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := benchGrid(512)
+		b.StartTimer()
+		AsyncRegion(g, 0, 512, 0, 512)
+	}
+	b.SetBytes(512 * 512 * 4)
+}
+
+func BenchmarkStabilizeAsyncCenter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := Center(10000).Build(128, 128, nil)
+		b.StartTimer()
+		StabilizeAsyncSeq(g)
+	}
+}
+
+func BenchmarkStabilizeSyncCenter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := Center(10000).Build(128, 128, nil)
+		b.StartTimer()
+		StabilizeSyncSeq(g)
+	}
+}

@@ -1,0 +1,79 @@
+package sandpile
+
+// identity.go computes the identity element of the Abelian sandpile
+// group — the classic extension of the sandpile exercise. Stable
+// configurations under "add cellwise, then stabilize" (⊕) form a
+// monoid; restricted to recurrent configurations it is a group (Dhar
+// 1990), and its identity is itself a striking fractal image, very
+// much in the paper's "cool and inspirational" spirit.
+//
+// The identity is computed with Creutz's recipe: with σ the maximal
+// stable configuration (3 grains everywhere) and S(·) the
+// stabilization operator,
+//
+//	e = S(2σ − S(2σ))
+//
+// 2σ − S(2σ) is the net amount stabilization "burns off", which lies
+// in the recurrent class; stabilizing it yields the group identity.
+
+import "repro/internal/grid"
+
+// MaxStable returns σ: the all-3s maximal stable configuration.
+func MaxStable(h, w int) *grid.Grid {
+	g := grid.New(h, w)
+	g.Fill(Threshold - 1)
+	return g
+}
+
+// Add returns the cellwise sum a + b (no stabilization). Grids must
+// have identical dimensions.
+func Add(a, b *grid.Grid) *grid.Grid {
+	out := a.Clone()
+	for y := 0; y < out.H(); y++ {
+		dst, src := out.Row(y), b.Row(y)
+		for x := range dst {
+			dst[x] += src[x]
+		}
+	}
+	return out
+}
+
+// StableAdd returns a ⊕ b: cellwise addition followed by
+// stabilization — the sandpile monoid operation.
+func StableAdd(a, b *grid.Grid) *grid.Grid {
+	out := Add(a, b)
+	StabilizeAsyncSeq(out)
+	return out
+}
+
+// Identity returns the identity element of the h×w sandpile group.
+// It satisfies Identity ⊕ Identity = Identity and c ⊕ Identity = c
+// for every recurrent configuration c (for example MaxStable).
+func Identity(h, w int) *grid.Grid {
+	sigma2 := grid.New(h, w)
+	sigma2.Fill(2 * (Threshold - 1)) // 2σ
+	burned := sigma2.Clone()
+	StabilizeAsyncSeq(burned) // S(2σ)
+
+	// e = S(2σ − S(2σ)), computed cellwise; 2σ ≥ S(2σ) does not hold
+	// per cell in general, but the difference is taken in the group
+	// sense: 2σ − S(2σ) has non-negative entries because S only moves
+	// grains outward from each cell's surplus... in fact per-cell
+	// 2σ(x) = 6 and S(2σ)(x) ≤ 3, so the difference is ≥ 3 > 0.
+	diff := grid.New(h, w)
+	for y := 0; y < h; y++ {
+		d, s2, b := diff.Row(y), sigma2.Row(y), burned.Row(y)
+		for x := range d {
+			d[x] = s2[x] - b[x]
+		}
+	}
+	StabilizeAsyncSeq(diff)
+	return diff
+}
+
+// IsIdentityFor reports whether e is neutral for configuration c,
+// i.e. c ⊕ e == c. For recurrent c this must hold for the group
+// identity.
+func IsIdentityFor(e, c *grid.Grid) bool {
+	return StableAdd(c, e).Equal(c)
+}

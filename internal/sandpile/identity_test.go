@@ -1,0 +1,132 @@
+package sandpile
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+)
+
+func TestIdentityIsStable(t *testing.T) {
+	e := Identity(32, 32)
+	if !Stable(e) {
+		t.Fatal("identity not stable")
+	}
+}
+
+func TestIdentityIdempotent(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 16, 32} {
+		e := Identity(n, n)
+		if !StableAdd(e, e).Equal(e) {
+			t.Fatalf("%dx%d: e ⊕ e != e", n, n)
+		}
+	}
+}
+
+func TestIdentityNeutralOnMaxStable(t *testing.T) {
+	// σ (all 3s) is always recurrent; the identity must fix it.
+	for _, n := range []int{2, 8, 24} {
+		e := Identity(n, n)
+		sigma := MaxStable(n, n)
+		if !IsIdentityFor(e, sigma) {
+			t.Fatalf("%dx%d: σ ⊕ e != σ", n, n)
+		}
+	}
+}
+
+func TestIdentityNeutralOnRecurrentConfigs(t *testing.T) {
+	// Recurrent configurations are exactly those reachable as
+	// S(σ + a) for a ≥ 0; the identity must fix all of them.
+	rng := rand.New(rand.NewSource(4))
+	e := Identity(20, 20)
+	for trial := 0; trial < 5; trial++ {
+		c := StableAdd(MaxStable(20, 20), Random(6).Build(20, 20, rng))
+		if !IsIdentityFor(e, c) {
+			t.Fatalf("trial %d: recurrent c ⊕ e != c", trial)
+		}
+	}
+}
+
+func TestIdentityNotNeutralOnTransientConfig(t *testing.T) {
+	// The empty configuration is transient (not recurrent) on any
+	// grid large enough that e != 0, so e does not fix it — the
+	// group structure only exists on the recurrent class.
+	e := Identity(16, 16)
+	zero := grid.New(16, 16)
+	if e.Sum() == 0 {
+		t.Fatal("16x16 identity should be non-trivial")
+	}
+	if IsIdentityFor(e, zero) {
+		t.Fatal("identity fixed the transient empty configuration")
+	}
+}
+
+func TestIdentityRectangular(t *testing.T) {
+	e := Identity(12, 30)
+	if !Stable(e) || !StableAdd(e, e).Equal(e) {
+		t.Fatal("rectangular identity broken")
+	}
+	if !IsIdentityFor(e, MaxStable(12, 30)) {
+		t.Fatal("rectangular identity not neutral on σ")
+	}
+}
+
+func TestIdentity1x1IsZero(t *testing.T) {
+	e := Identity(1, 1)
+	if e.Get(0, 0) != 0 {
+		t.Fatalf("1x1 identity = %d, want 0", e.Get(0, 0))
+	}
+}
+
+func TestAddAndStableAdd(t *testing.T) {
+	a := grid.NewFrom([][]uint32{{2, 3}, {1, 0}})
+	b := grid.NewFrom([][]uint32{{1, 1}, {2, 3}})
+	sum := Add(a, b)
+	want := grid.NewFrom([][]uint32{{3, 4}, {3, 3}})
+	if !sum.Equal(want) {
+		t.Fatalf("Add wrong:\n%v", sum)
+	}
+	if a.Get(0, 0) != 2 || b.Get(0, 0) != 1 {
+		t.Fatal("Add mutated its inputs")
+	}
+	st := StableAdd(a, b)
+	if !Stable(st) {
+		t.Fatal("StableAdd result unstable")
+	}
+}
+
+// quick-check: ⊕ is commutative and associative on stabilized
+// results — the monoid laws the sandpile group is built on.
+func TestQuickMonoidLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		a := Random(5).Build(n, n, rng)
+		b := Random(5).Build(n, n, rng)
+		c := Random(5).Build(n, n, rng)
+		StabilizeAsyncSeq(a)
+		StabilizeAsyncSeq(b)
+		StabilizeAsyncSeq(c)
+		if !StableAdd(a, b).Equal(StableAdd(b, a)) {
+			return false
+		}
+		return StableAdd(StableAdd(a, b), c).Equal(StableAdd(a, StableAdd(b, c)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdentityMatchesKnownSmallCase(t *testing.T) {
+	// The 2x2 sandpile identity is the all-2 configuration (a small
+	// classic; e.g. Perkinson's notes).
+	e := Identity(2, 2)
+	for y := 0; y < 2; y++ {
+		for x := 0; x < 2; x++ {
+			if e.Get(y, x) != 2 {
+				t.Fatalf("2x2 identity:\n%v\nwant all 2s", e)
+			}
+		}
+	}
+}

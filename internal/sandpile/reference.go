@@ -1,0 +1,86 @@
+package sandpile
+
+// reference.go holds the oracle solver every optimized variant is
+// validated against. It is deliberately simple: repeated full-grid
+// asynchronous sweeps until no cell topples.
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// Result summarizes a run to stability.
+type Result struct {
+	// Iterations is the number of full-grid steps (synchronous steps
+	// or asynchronous sweeps) executed, including the final step that
+	// observed stability.
+	Iterations int
+	// Topples is the total number of cell topplings (asynchronous
+	// kernels) or changed-cell observations (synchronous kernels).
+	Topples uint64
+	// Absorbed is the number of grains that fell into the sink.
+	Absorbed uint64
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("iterations=%d topples=%d absorbed=%d", r.Iterations, r.Topples, r.Absorbed)
+}
+
+// MaxIterations bounds run-to-stability loops. Stabilization of an
+// N×N pile with k grains takes O(k·N²) single topplings in the worst
+// case; the bound below is far above anything the test and bench
+// workloads need, so hitting it indicates a broken kernel rather than
+// a slow one.
+const MaxIterations = 50_000_000
+
+// StabilizeAsyncSeq runs asynchronous row-major sweeps over the whole
+// grid until stable, mutating g in place. This is the package oracle:
+// by the Abelian property every correct variant must produce exactly
+// this final configuration. It returns run statistics.
+func StabilizeAsyncSeq(g *grid.Grid) Result {
+	before := g.Sum()
+	var res Result
+	for {
+		res.Iterations++
+		t := AsyncRegion(g, 0, g.H(), 0, g.W())
+		res.Topples += uint64(t)
+		if t == 0 {
+			break
+		}
+		if res.Iterations >= MaxIterations {
+			panic("sandpile: StabilizeAsyncSeq exceeded MaxIterations; kernel is broken")
+		}
+	}
+	g.ClearHalo()
+	res.Absorbed = before - g.Sum()
+	return res
+}
+
+// StabilizeSyncSeq runs synchronous steps, ping-ponging between g and
+// an auxiliary buffer, until a step changes nothing. The final
+// configuration is written back into g.
+func StabilizeSyncSeq(g *grid.Grid) Result {
+	before := g.Sum()
+	next := grid.New(g.H(), g.W())
+	cur := g
+	var res Result
+	for {
+		res.Iterations++
+		ch := SyncStep(cur, next)
+		res.Topples += uint64(ch)
+		cur, next = next, cur
+		if ch == 0 {
+			break
+		}
+		if res.Iterations >= MaxIterations {
+			panic("sandpile: StabilizeSyncSeq exceeded MaxIterations; kernel is broken")
+		}
+	}
+	if cur != g {
+		g.CopyFrom(cur)
+	}
+	g.ClearHalo()
+	res.Absorbed = before - g.Sum()
+	return res
+}

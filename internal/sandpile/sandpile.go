@@ -1,0 +1,185 @@
+// Package sandpile implements the Bak–Tang–Wiesenfeld Abelian sandpile
+// automaton (Bak, Tang, Wiesenfeld 1988; Dhar 1990) on a 4-connected
+// N×M lattice whose border cells are connected to an absorbing sink.
+//
+// A cell holding fewer than 4 grains is stable. An unstable cell
+// topples: it keeps grains%4 and gives grains/4 to each of its four
+// neighbors. Grains pushed past the border fall into the sink and are
+// lost. Dhar proved the final stable configuration is independent of
+// the order in which unstable cells topple (the Abelian property),
+// which is exactly what makes the model a good parallelism exercise —
+// any schedule is correct, so all optimization effort can go into
+// performance.
+//
+// This package provides the sequential kernels of the assignment's
+// Figure 2 (synchronous with an auxiliary array, asynchronous
+// in-place), the specialized inner-region kernel the vectorization
+// assignment asks for, and the reference solver used as the oracle in
+// cross-variant tests.
+package sandpile
+
+import (
+	"repro/internal/grid"
+)
+
+// Threshold is the toppling threshold of the BTW model: a cell is
+// stable iff it holds fewer than Threshold grains.
+const Threshold = 4
+
+// SyncStep performs one synchronous step of the automaton: every
+// interior cell of cur is recomputed simultaneously into next using
+//
+//	next(y,x) = cur(y,x)%4 + cur(y,x-1)/4 + cur(y,x+1)/4
+//	          + cur(y-1,x)/4 + cur(y+1,x)/4
+//
+// (the sync_compute_new_state kernel of the paper's Figure 2). The
+// halo of cur acts as the sink and contributes nothing. It returns the
+// number of cells whose value changed; zero means cur is stable.
+func SyncStep(cur, next *grid.Grid) int {
+	changes := 0
+	for y := 0; y < cur.H(); y++ {
+		changes += SyncRow(cur, next, y, 0, cur.W())
+	}
+	return changes
+}
+
+// SyncRow applies the synchronous kernel to cells [x0, x1) of row y,
+// returning the number of changed cells. Parallel variants carve the
+// grid into row/tile ranges and call this from multiple goroutines;
+// it only writes to next, so concurrent calls on disjoint ranges are
+// race-free.
+func SyncRow(cur, next *grid.Grid, y, x0, x1 int) int {
+	stride := cur.Stride()
+	c := cur.Cells()
+	n := next.Cells()
+	base := cur.Idx(y, x0)
+	changes := 0
+	for i, x := base, x0; x < x1; i, x = i+1, x+1 {
+		v := c[i]%Threshold +
+			c[i-1]/Threshold + c[i+1]/Threshold +
+			c[i-stride]/Threshold + c[i+stride]/Threshold
+		n[i] = v
+		if v != c[i] {
+			changes++
+		}
+	}
+	return changes
+}
+
+// AsyncCell topples interior cell (y, x) in place if it is unstable
+// (the async_compute_new_state kernel of the paper's Figure 2),
+// distributing grains/4 to each 4-neighbor — including halo cells,
+// which act as the sink. It reports whether the cell toppled.
+func AsyncCell(g *grid.Grid, y, x int) bool {
+	c := g.Cells()
+	i := g.Idx(y, x)
+	v := c[i]
+	if v < Threshold {
+		return false
+	}
+	div4 := v / Threshold
+	stride := g.Stride()
+	c[i-1] += div4
+	c[i+1] += div4
+	c[i-stride] += div4
+	c[i+stride] += div4
+	c[i] = v % Threshold
+	return true
+}
+
+// AsyncRegion sweeps the asynchronous kernel over the cell rectangle
+// [y0,y1)×[x0,x1) in row-major order, toppling in place, and returns
+// the number of topplings performed. One sweep does not generally
+// stabilize the region: topplings re-destabilize earlier cells.
+func AsyncRegion(g *grid.Grid, y0, y1, x0, x1 int) int {
+	c := g.Cells()
+	stride := g.Stride()
+	topples := 0
+	for y := y0; y < y1; y++ {
+		i := g.Idx(y, x0)
+		for x := x0; x < x1; x++ {
+			if v := c[i]; v >= Threshold {
+				div4 := v / Threshold
+				c[i-1] += div4
+				c[i+1] += div4
+				c[i-stride] += div4
+				c[i+stride] += div4
+				c[i] = v % Threshold
+				topples++
+			}
+			i++
+		}
+	}
+	return topples
+}
+
+// SyncRegionInner is the specialized "inner tile" synchronous kernel
+// of the third assignment: it assumes the rectangle [y0,y1)×[x0,x1)
+// touches no grid border, so no sink handling is required and the loop
+// body is branch-free and straight-line — the shape a vectorizing
+// compiler (or, here, the Go compiler's BCE) wants. Callers must
+// guarantee 0 < y0, y1 < H, 0 < x0, x1 < W... the weaker and
+// sufficient condition is simply that reads at ±1/±stride stay inside
+// the halo, which holds for any interior rectangle. It returns the
+// number of changed cells.
+func SyncRegionInner(cur, next *grid.Grid, y0, y1, x0, x1 int) int {
+	stride := cur.Stride()
+	c := cur.Cells()
+	n := next.Cells()
+	changes := 0
+	for y := y0; y < y1; y++ {
+		base := (y+1)*stride + x0 + 1
+		row := c[base : base+(x1-x0)]
+		up := c[base-stride : base-stride+(x1-x0)]
+		down := c[base+stride : base+stride+(x1-x0)]
+		left := c[base-1 : base-1+(x1-x0)]
+		right := c[base+1 : base+1+(x1-x0)]
+		out := n[base : base+(x1-x0)]
+		for k := range row {
+			v := row[k]%Threshold + left[k]/Threshold + right[k]/Threshold +
+				up[k]/Threshold + down[k]/Threshold
+			out[k] = v
+			if v != row[k] {
+				changes++
+			}
+		}
+	}
+	return changes
+}
+
+// SyncRegion applies the guarded synchronous kernel to an arbitrary
+// rectangle (outer tiles included). It is the general-purpose
+// counterpart of SyncRegionInner.
+func SyncRegion(cur, next *grid.Grid, y0, y1, x0, x1 int) int {
+	changes := 0
+	for y := y0; y < y1; y++ {
+		changes += SyncRow(cur, next, y, x0, x1)
+	}
+	return changes
+}
+
+// Stable reports whether every interior cell holds fewer than
+// Threshold grains.
+func Stable(g *grid.Grid) bool {
+	for y := 0; y < g.H(); y++ {
+		for _, v := range g.Row(y) {
+			if v >= Threshold {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Unstable returns the number of interior cells at or above Threshold.
+func Unstable(g *grid.Grid) int {
+	n := 0
+	for y := 0; y < g.H(); y++ {
+		for _, v := range g.Row(y) {
+			if v >= Threshold {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,297 @@
+package sandpile
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+)
+
+func TestAsyncCellPaperExample(t *testing.T) {
+	// The paper's example: a cell with 11 grains gives 2 to each
+	// neighbor and keeps 3.
+	g := grid.New(3, 3)
+	g.Set(1, 1, 11)
+	if !AsyncCell(g, 1, 1) {
+		t.Fatal("unstable cell did not topple")
+	}
+	if got := g.Get(1, 1); got != 3 {
+		t.Fatalf("center kept %d grains, want 3", got)
+	}
+	for _, nb := range [][2]int{{0, 1}, {2, 1}, {1, 0}, {1, 2}} {
+		if got := g.Get(nb[0], nb[1]); got != 2 {
+			t.Fatalf("neighbor %v got %d grains, want 2", nb, got)
+		}
+	}
+}
+
+func TestAsyncCellStableNoop(t *testing.T) {
+	g := grid.New(3, 3)
+	for v := uint32(0); v < Threshold; v++ {
+		g.Set(1, 1, v)
+		if AsyncCell(g, 1, 1) {
+			t.Fatalf("stable cell with %d grains toppled", v)
+		}
+		if g.Get(1, 1) != v {
+			t.Fatalf("stable cell mutated: %d -> %d", v, g.Get(1, 1))
+		}
+	}
+}
+
+func TestAsyncCellBorderSpillsToSink(t *testing.T) {
+	g := grid.New(2, 2)
+	g.Set(0, 0, 8) // corner: two neighbors are sink
+	AsyncCell(g, 0, 0)
+	if got := g.Get(0, 0); got != 0 {
+		t.Fatalf("corner kept %d, want 0", got)
+	}
+	if got := g.Get(0, 1); got != 2 {
+		t.Fatalf("right neighbor = %d, want 2", got)
+	}
+	if got := g.Get(1, 0); got != 2 {
+		t.Fatalf("down neighbor = %d, want 2", got)
+	}
+	if got := g.HaloSum(); got != 4 {
+		t.Fatalf("sink absorbed %d, want 4", got)
+	}
+}
+
+func TestSyncStepMatchesFormula(t *testing.T) {
+	// 1x3 strip: [5, 0, 4] -> center receives 5/4 + 4/4 = 2.
+	g := grid.NewFrom([][]uint32{{5, 0, 4}})
+	next := grid.New(1, 3)
+	ch := SyncStep(g, next)
+	want := []uint32{1, 2, 0}
+	for x, v := range want {
+		if got := next.Get(0, x); got != v {
+			t.Fatalf("next[%d] = %d, want %d", x, got, v)
+		}
+	}
+	if ch != 3 {
+		t.Fatalf("changed = %d, want 3", ch)
+	}
+}
+
+func TestSyncStepStableFixedPoint(t *testing.T) {
+	g := grid.NewFrom([][]uint32{{3, 2, 1}, {0, 3, 2}})
+	next := grid.New(2, 3)
+	if ch := SyncStep(g, next); ch != 0 {
+		t.Fatalf("stable grid changed %d cells", ch)
+	}
+	if !next.Equal(g) {
+		t.Fatal("stable grid not preserved by sync step")
+	}
+}
+
+func TestStableUnstable(t *testing.T) {
+	g := grid.New(4, 4)
+	g.Fill(3)
+	if !Stable(g) || Unstable(g) != 0 {
+		t.Fatal("all-3 grid should be stable")
+	}
+	g.Set(2, 2, 4)
+	if Stable(g) {
+		t.Fatal("grid with a 4 should be unstable")
+	}
+	if Unstable(g) != 1 {
+		t.Fatalf("Unstable = %d, want 1", Unstable(g))
+	}
+}
+
+func TestStabilizeUniform4Empties16x16ToStable(t *testing.T) {
+	g := Uniform(4).Build(16, 16, nil)
+	res := StabilizeAsyncSeq(g)
+	if !Stable(g) {
+		t.Fatal("not stable after StabilizeAsyncSeq")
+	}
+	if res.Absorbed == 0 {
+		t.Fatal("uniform-4 on a finite grid must shed grains into the sink")
+	}
+	if res.Absorbed+g.Sum() != 4*16*16 {
+		t.Fatalf("grain accounting broken: absorbed=%d + remaining=%d != %d",
+			res.Absorbed, g.Sum(), 4*16*16)
+	}
+}
+
+func TestSyncAsyncSameFixedPointSmall(t *testing.T) {
+	for _, cfg := range []Config{Center(64), Center(1000), Uniform(4), Uniform(6)} {
+		a := cfg.Build(17, 17, nil)
+		b := a.Clone()
+		StabilizeAsyncSeq(a)
+		StabilizeSyncSeq(b)
+		if !a.Equal(b) {
+			t.Fatalf("%s: sync and async fixed points differ: %v", cfg.Name, a.Diff(b, 5))
+		}
+	}
+}
+
+// TestQuickAbelianSyncAsync is the master property test for the Dhar
+// theorem: the fixed point is schedule-independent, so the synchronous
+// and asynchronous solvers must agree on random configurations.
+func TestQuickAbelianSyncAsync(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h, w := 1+rng.Intn(24), 1+rng.Intn(24)
+		a := Random(12).Build(h, w, rng)
+		b := a.Clone()
+		StabilizeAsyncSeq(a)
+		StabilizeSyncSeq(b)
+		return a.Equal(b) && Stable(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAbelianSweepOrder checks schedule independence another way:
+// stabilizing by column-major region sweeps must match row-major.
+func TestQuickAbelianSweepOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h, w := 2+rng.Intn(20), 2+rng.Intn(20)
+		a := Random(10).Build(h, w, rng)
+		b := a.Clone()
+		StabilizeAsyncSeq(a)
+		// Column-by-column async stabilization.
+		for it := 0; ; it++ {
+			topples := 0
+			for x := 0; x < w; x++ {
+				topples += AsyncRegion(b, 0, h, x, x+1)
+			}
+			if topples == 0 {
+				break
+			}
+			if it > MaxIterations {
+				return false
+			}
+		}
+		b.ClearHalo()
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGrainConservation(t *testing.T) {
+	// Grains never appear from nowhere: absorbed + remaining == initial.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := Random(20).Build(1+rng.Intn(16), 1+rng.Intn(16), rng)
+		initial := g.Sum()
+		res := StabilizeAsyncSeq(g)
+		return res.Absorbed+g.Sum() == initial
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncRegionInnerMatchesGuarded(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cur := Random(15).Build(24, 24, rng)
+	a := grid.New(24, 24)
+	b := grid.New(24, 24)
+	// Interior rectangle only (inner kernel's contract).
+	chA := SyncRegion(cur, a, 4, 20, 4, 20)
+	chB := SyncRegionInner(cur, b, 4, 20, 4, 20)
+	if chA != chB {
+		t.Fatalf("change counts differ: guarded=%d inner=%d", chA, chB)
+	}
+	for y := 4; y < 20; y++ {
+		for x := 4; x < 20; x++ {
+			if a.Get(y, x) != b.Get(y, x) {
+				t.Fatalf("cell (%d,%d): guarded=%d inner=%d", y, x, a.Get(y, x), b.Get(y, x))
+			}
+		}
+	}
+}
+
+func TestQuickInnerKernelEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h, w := 6+rng.Intn(20), 6+rng.Intn(20)
+		cur := Random(9).Build(h, w, rng)
+		y0, x0 := 1+rng.Intn(2), 1+rng.Intn(2)
+		y1, x1 := h-1-rng.Intn(2), w-1-rng.Intn(2)
+		a, b := grid.New(h, w), grid.New(h, w)
+		if SyncRegion(cur, a, y0, y1, x0, x1) != SyncRegionInner(cur, b, y0, y1, x0, x1) {
+			return false
+		}
+		for y := y0; y < y1; y++ {
+			for x := x0; x < x1; x++ {
+				if a.Get(y, x) != b.Get(y, x) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCenterConfigPlacement(t *testing.T) {
+	g := Center(25000).Build(128, 128, nil)
+	if g.Get(64, 64) != 25000 {
+		t.Fatalf("center cell = %d, want 25000", g.Get(64, 64))
+	}
+	if g.Sum() != 25000 {
+		t.Fatalf("total grains = %d, want 25000", g.Sum())
+	}
+}
+
+func TestSparseConfigDeterministicWithSeed(t *testing.T) {
+	a := Sparse(0.01, 400).Build(64, 64, rand.New(rand.NewSource(5)))
+	b := Sparse(0.01, 400).Build(64, 64, rand.New(rand.NewSource(5)))
+	if !a.Equal(b) {
+		t.Fatal("Sparse with identical seeds produced different grids")
+	}
+	if a.Sum() == 0 {
+		t.Fatal("Sparse produced an empty grid")
+	}
+}
+
+func TestSparseNilRngDefaults(t *testing.T) {
+	a := Sparse(0.01, 100).Build(32, 32, nil)
+	b := Sparse(0.01, 100).Build(32, 32, nil)
+	if !a.Equal(b) {
+		t.Fatal("Sparse with nil rng should be deterministic")
+	}
+}
+
+func TestResultStringIsInformative(t *testing.T) {
+	s := Result{Iterations: 3, Topples: 10, Absorbed: 2}.String()
+	if s != "iterations=3 topples=10 absorbed=2" {
+		t.Fatalf("unexpected Result string %q", s)
+	}
+}
+
+func TestStabilizeCenter25000Is128Reproducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Fig 1a stabilization in -short mode")
+	}
+	g := Center(25000).Build(128, 128, nil)
+	res := StabilizeAsyncSeq(g)
+	if !Stable(g) {
+		t.Fatal("not stable")
+	}
+	// The pile fits the 128x128 grid: nothing reaches the sink, so the
+	// fractal is complete and conservation is exact.
+	if res.Absorbed != 0 {
+		t.Fatalf("absorbed = %d, want 0 (pile should fit the grid)", res.Absorbed)
+	}
+	if g.Sum() != 25000 {
+		t.Fatalf("grains = %d, want 25000", g.Sum())
+	}
+	// Deterministic artifact: the four-fold symmetry of the fixed point.
+	for y := 0; y < 128; y++ {
+		for x := 0; x < 128; x++ {
+			if g.Get(y, x) != g.Get(x, y) {
+				t.Fatalf("fixed point not symmetric at (%d,%d)", y, x)
+			}
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// Scheduling-overhead benchmarks: the cost per parallel region and
+// per chunk, which bounds how fine-grained a tile decomposition can
+// profitably be.
+
+func benchPolicy(b *testing.B, policy Policy, chunk int) {
+	b.Helper()
+	p := NewPool(Options{Workers: 4, Policy: policy, ChunkSize: chunk})
+	defer p.Close()
+	var sink atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Run(1024, func(w, lo, hi int) {
+			sink.Add(int64(hi - lo))
+		})
+	}
+}
+
+func BenchmarkRegionStatic(b *testing.B)  { benchPolicy(b, Static, 1) }
+func BenchmarkRegionCyclic(b *testing.B)  { benchPolicy(b, Cyclic, 16) }
+func BenchmarkRegionDynamic(b *testing.B) { benchPolicy(b, Dynamic, 16) }
+func BenchmarkRegionGuided(b *testing.B)  { benchPolicy(b, Guided, 1) }
+
+func BenchmarkDynamicFineChunks(b *testing.B) { benchPolicy(b, Dynamic, 1) }
+
+// BenchmarkPoolVsForEach quantifies what reusing a pool saves over
+// constructing one per region.
+func BenchmarkForEachOneShot(b *testing.B) {
+	var sink atomic.Int64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ForEach(1024, Options{Workers: 4, Policy: Static}, func(w, lo, hi int) {
+			sink.Add(int64(hi - lo))
+		})
+	}
+}

@@ -1,0 +1,279 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// coverage runs the pool over n iterations and returns a per-index
+// visit count plus a per-worker iteration tally.
+func coverage(t *testing.T, n int, o Options) ([]int32, []int64) {
+	t.Helper()
+	p := NewPool(o)
+	defer p.Close()
+	counts := make([]int32, n)
+	perWorker := make([]int64, p.Workers())
+	var mu sync.Mutex
+	p.Run(n, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&counts[i], 1)
+		}
+		mu.Lock()
+		perWorker[w] += int64(hi - lo)
+		mu.Unlock()
+	})
+	return counts, perWorker
+}
+
+func assertExactlyOnce(t *testing.T, counts []int32, policy Policy) {
+	t.Helper()
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("%v: index %d executed %d times, want 1", policy, i, c)
+		}
+	}
+}
+
+func TestEveryPolicyCoversEveryIndexOnce(t *testing.T) {
+	for _, policy := range Policies {
+		for _, n := range []int{1, 7, 64, 1000, 4097} {
+			for _, workers := range []int{1, 3, 8} {
+				counts, _ := coverage(t, n, Options{Workers: workers, Policy: policy, ChunkSize: 5})
+				assertExactlyOnce(t, counts, policy)
+			}
+		}
+	}
+}
+
+func TestStaticBlocksAreContiguous(t *testing.T) {
+	p := NewPool(Options{Workers: 4, Policy: Static})
+	defer p.Close()
+	type span struct{ lo, hi int }
+	var mu sync.Mutex
+	spans := map[int][]span{}
+	p.Run(100, func(w, lo, hi int) {
+		mu.Lock()
+		spans[w] = append(spans[w], span{lo, hi})
+		mu.Unlock()
+	})
+	for w, ss := range spans {
+		if len(ss) != 1 {
+			t.Fatalf("static: worker %d got %d spans, want 1", w, len(ss))
+		}
+		if ss[0].hi-ss[0].lo != 25 {
+			t.Fatalf("static: worker %d span %v, want 25 iterations", w, ss[0])
+		}
+	}
+}
+
+func TestCyclicDealsRoundRobin(t *testing.T) {
+	p := NewPool(Options{Workers: 2, Policy: Cyclic, ChunkSize: 3})
+	defer p.Close()
+	owner := make([]int32, 12)
+	p.Run(12, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.StoreInt32(&owner[i], int32(w))
+		}
+	})
+	want := []int32{0, 0, 0, 1, 1, 1, 0, 0, 0, 1, 1, 1}
+	for i := range want {
+		if owner[i] != want[i] {
+			t.Fatalf("cyclic owners = %v, want %v", owner, want)
+		}
+	}
+}
+
+func TestDynamicBalancesSkewedWork(t *testing.T) {
+	// One pathological heavy index at the front. Under dynamic
+	// scheduling the other workers should absorb nearly all remaining
+	// iterations while one worker is stuck.
+	p := NewPool(Options{Workers: 4, Policy: Dynamic, ChunkSize: 1})
+	defer p.Close()
+	perWorker := make([]int64, 4)
+	p.Run(400, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i == 0 {
+				time.Sleep(30 * time.Millisecond)
+			}
+		}
+		atomic.AddInt64(&perWorker[w], int64(hi-lo))
+	})
+	var total, max int64
+	for _, c := range perWorker {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total != 400 {
+		t.Fatalf("total = %d, want 400", total)
+	}
+	// The stuck worker should have executed far fewer than a static
+	// quarter share; equivalently no single worker ran everything and
+	// the minimum is tiny.
+	var min int64 = 1 << 62
+	for _, c := range perWorker {
+		if c < min {
+			min = c
+		}
+	}
+	if min > 50 {
+		t.Fatalf("dynamic did not offload the stuck worker: per-worker %v", perWorker)
+	}
+}
+
+func TestGuidedChunksShrink(t *testing.T) {
+	p := NewPool(Options{Workers: 2, Policy: Guided, ChunkSize: 1})
+	defer p.Close()
+	var mu sync.Mutex
+	var sizes []int
+	p.Run(1000, func(w, lo, hi int) {
+		mu.Lock()
+		sizes = append(sizes, hi-lo)
+		mu.Unlock()
+	})
+	if len(sizes) < 3 {
+		t.Fatalf("guided produced only %d chunks", len(sizes))
+	}
+	// First chunk claimed must be the large initial grab (n/2P = 250)
+	// and some later chunk must be the minimum size.
+	foundBig, foundSmall := false, false
+	for _, s := range sizes {
+		if s >= 200 {
+			foundBig = true
+		}
+		if s == 1 {
+			foundSmall = true
+		}
+	}
+	if !foundBig || !foundSmall {
+		t.Fatalf("guided chunk profile unexpected: %v", sizes)
+	}
+}
+
+func TestRunZeroAndNegativeN(t *testing.T) {
+	p := NewPool(Options{Workers: 2})
+	defer p.Close()
+	ran := false
+	p.Run(0, func(w, lo, hi int) { ran = true })
+	p.Run(-5, func(w, lo, hi int) { ran = true })
+	if ran {
+		t.Fatal("body ran for n <= 0")
+	}
+}
+
+func TestPoolReuseAcrossRuns(t *testing.T) {
+	p := NewPool(Options{Workers: 3, Policy: Dynamic, ChunkSize: 2})
+	defer p.Close()
+	for rep := 0; rep < 20; rep++ {
+		var sum int64
+		p.Run(101, func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt64(&sum, int64(i))
+			}
+		})
+		if sum != 101*100/2 {
+			t.Fatalf("rep %d: sum = %d, want %d", rep, sum, 101*100/2)
+		}
+	}
+}
+
+func TestRunAfterClosePanics(t *testing.T) {
+	p := NewPool(Options{Workers: 1})
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run on closed pool did not panic")
+		}
+	}()
+	p.Run(1, func(w, lo, hi int) {})
+}
+
+func TestCloseIsIdempotent(t *testing.T) {
+	p := NewPool(Options{Workers: 1})
+	p.Close()
+	p.Close() // must not panic
+}
+
+func TestWorkerIDsInRange(t *testing.T) {
+	for _, policy := range Policies {
+		p := NewPool(Options{Workers: 5, Policy: policy, ChunkSize: 2})
+		var bad atomic.Int32
+		p.Run(500, func(w, lo, hi int) {
+			if w < 0 || w >= 5 {
+				bad.Store(1)
+			}
+		})
+		p.Close()
+		if bad.Load() != 0 {
+			t.Fatalf("%v: worker id out of range", policy)
+		}
+	}
+}
+
+func TestForEachConvenience(t *testing.T) {
+	var sum int64
+	ForEach(64, Options{Workers: 4, Policy: Guided}, func(w, lo, hi int) {
+		atomic.AddInt64(&sum, int64(hi-lo))
+	})
+	if sum != 64 {
+		t.Fatalf("ForEach covered %d iterations, want 64", sum)
+	}
+}
+
+func TestPolicyStringRoundTrip(t *testing.T) {
+	for _, p := range Policies {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("round trip failed for %v: %v %v", p, got, err)
+		}
+	}
+	if _, err := ParsePolicy("mystery"); err == nil {
+		t.Fatal("ParsePolicy accepted garbage")
+	}
+	if s := Policy(99).String(); s != "policy(99)" {
+		t.Fatalf("unknown policy string = %q", s)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	p := NewPool(Options{})
+	defer p.Close()
+	if p.Workers() < 1 {
+		t.Fatalf("default workers = %d", p.Workers())
+	}
+	if p.Policy() != Static {
+		t.Fatalf("default policy = %v, want static", p.Policy())
+	}
+}
+
+// quick-check: arbitrary n/worker/chunk combinations cover [0, n)
+// exactly once under every policy.
+func TestQuickCoverage(t *testing.T) {
+	f := func(nRaw uint16, wRaw, cRaw uint8, pRaw uint8) bool {
+		n := int(nRaw)%2000 + 1
+		o := Options{
+			Workers:   int(wRaw)%8 + 1,
+			ChunkSize: int(cRaw)%32 + 1,
+			Policy:    Policies[int(pRaw)%len(Policies)],
+		}
+		counts := make([]int32, n)
+		ForEach(n, o, func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&counts[i], 1)
+			}
+		})
+		for _, c := range counts {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

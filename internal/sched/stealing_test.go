@@ -1,0 +1,98 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The generic policy tests (coverage, worker ids, reuse, quick-check)
+// iterate Policies and therefore already exercise Stealing; the tests
+// here pin down stealing-specific behavior.
+
+func TestStealingOffloadsStuckWorker(t *testing.T) {
+	// One heavy index at the front of worker 0's deque: the other
+	// workers must steal the rest of its chunks while it is stuck.
+	p := NewPool(Options{Workers: 4, Policy: Stealing, ChunkSize: 1})
+	defer p.Close()
+	perWorker := make([]int64, 4)
+	p.Run(400, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i == 0 {
+				time.Sleep(30 * time.Millisecond)
+			}
+		}
+		atomic.AddInt64(&perWorker[w], int64(hi-lo))
+	})
+	var total, min int64
+	min = 1 << 62
+	for _, c := range perWorker {
+		total += c
+		if c < min {
+			min = c
+		}
+	}
+	if total != 400 {
+		t.Fatalf("total = %d, want 400", total)
+	}
+	if min > 50 {
+		t.Fatalf("stealing did not offload the stuck worker: %v", perWorker)
+	}
+}
+
+func TestStealingChunkGranularity(t *testing.T) {
+	p := NewPool(Options{Workers: 2, Policy: Stealing, ChunkSize: 8})
+	defer p.Close()
+	var mu sync.Mutex
+	var sizes []int
+	p.Run(100, func(w, lo, hi int) {
+		mu.Lock()
+		sizes = append(sizes, hi-lo)
+		mu.Unlock()
+	})
+	total := 0
+	for _, s := range sizes {
+		if s > 8 {
+			t.Fatalf("chunk of %d exceeds ChunkSize 8", s)
+		}
+		total += s
+	}
+	if total != 100 {
+		t.Fatalf("chunks cover %d iterations, want 100", total)
+	}
+}
+
+func TestStealingSingleWorker(t *testing.T) {
+	p := NewPool(Options{Workers: 1, Policy: Stealing, ChunkSize: 4})
+	defer p.Close()
+	var sum int64
+	p.Run(37, func(w, lo, hi int) { atomic.AddInt64(&sum, int64(hi-lo)) })
+	if sum != 37 {
+		t.Fatalf("covered %d, want 37", sum)
+	}
+}
+
+func TestStealingDequeOps(t *testing.T) {
+	d := &stealDeque{}
+	if _, ok := d.popBack(); ok {
+		t.Fatal("popBack on empty deque")
+	}
+	if _, ok := d.popFront(); ok {
+		t.Fatal("popFront on empty deque")
+	}
+	d.chunks = [][2]int{{0, 1}, {1, 2}, {2, 3}}
+	if c, ok := d.popBack(); !ok || c != [2]int{2, 3} {
+		t.Fatalf("popBack = %v, %v", c, ok)
+	}
+	if c, ok := d.popFront(); !ok || c != [2]int{0, 1} {
+		t.Fatalf("popFront = %v, %v", c, ok)
+	}
+}
+
+func TestStealingParsePolicy(t *testing.T) {
+	p, err := ParsePolicy("stealing")
+	if err != nil || p != Stealing {
+		t.Fatalf("ParsePolicy(stealing) = %v, %v", p, err)
+	}
+}

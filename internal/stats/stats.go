@@ -1,0 +1,135 @@
+// Package stats provides the small statistics toolkit shared by the
+// benchmark harnesses: summary statistics, parallel speedup and
+// efficiency, and load-imbalance measures used when comparing
+// scheduling policies and tile sizes.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	N              int
+	Min, Max       float64
+	Mean, Stddev   float64
+	Median, P95    float64
+	Sum            float64
+	CoefficientVar float64 // Stddev/Mean, 0 when Mean == 0
+}
+
+// Summarize computes a Summary of xs. It returns a zero Summary for an
+// empty sample.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min = sorted[0]
+	s.Max = sorted[s.N-1]
+	s.Median = Quantile(sorted, 0.5)
+	s.P95 = Quantile(sorted, 0.95)
+	for _, x := range xs {
+		s.Sum += x
+	}
+	s.Mean = s.Sum / float64(s.N)
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.Stddev = math.Sqrt(ss / float64(s.N))
+	if s.Mean != 0 {
+		s.CoefficientVar = s.Stddev / s.Mean
+	}
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of an already-sorted
+// sample using linear interpolation between closest ranks.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= n {
+		hi = n - 1
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Speedup returns t1/tp, the classic parallel speedup.
+func Speedup(t1, tp time.Duration) float64 {
+	if tp <= 0 {
+		return math.NaN()
+	}
+	return float64(t1) / float64(tp)
+}
+
+// Efficiency returns Speedup(t1, tp)/p, the parallel efficiency on p
+// processors.
+func Efficiency(t1, tp time.Duration, p int) float64 {
+	if p <= 0 {
+		return math.NaN()
+	}
+	return Speedup(t1, tp) / float64(p)
+}
+
+// Imbalance quantifies load imbalance of per-worker work amounts as
+// max/mean − 1: 0 means perfectly balanced, 1 means the busiest worker
+// carries twice the average.
+func Imbalance(perWorker []float64) float64 {
+	if len(perWorker) == 0 {
+		return 0
+	}
+	var sum, max float64
+	for _, w := range perWorker {
+		sum += w
+		if w > max {
+			max = w
+		}
+	}
+	mean := sum / float64(len(perWorker))
+	if mean == 0 {
+		return 0
+	}
+	return max/mean - 1
+}
+
+// GeoMean returns the geometric mean of strictly positive samples, the
+// conventional way to average speedups; it returns NaN if any sample
+// is non-positive or the slice is empty.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.4g mean=%.4g median=%.4g p95=%.4g max=%.4g sd=%.4g",
+		s.N, s.Min, s.Mean, s.Median, s.P95, s.Max, s.Stddev)
+}

@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeKnownSample(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || !almost(s.Min, 1) || !almost(s.Max, 5) || !almost(s.Mean, 3) ||
+		!almost(s.Median, 3) || !almost(s.Sum, 15) {
+		t.Fatalf("unexpected summary: %+v", s)
+	}
+	if !almost(s.Stddev, math.Sqrt(2)) {
+		t.Fatalf("stddev = %v, want sqrt(2)", s.Stddev)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Sum != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s := Summarize([]float64{7})
+	if !almost(s.Min, 7) || !almost(s.Max, 7) || !almost(s.Median, 7) || !almost(s.P95, 7) || s.Stddev != 0 {
+		t.Fatalf("singleton summary wrong: %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10}
+	if q := Quantile(sorted, 0.5); !almost(q, 5) {
+		t.Fatalf("median of {0,10} = %v, want 5", q)
+	}
+	if q := Quantile(sorted, 0); !almost(q, 0) {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(sorted, 1); !almost(q, 10) {
+		t.Fatalf("q1 = %v", q)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("quantile of empty sample should be NaN")
+	}
+}
+
+func TestSpeedupEfficiency(t *testing.T) {
+	if s := Speedup(8*time.Second, 2*time.Second); !almost(s, 4) {
+		t.Fatalf("speedup = %v, want 4", s)
+	}
+	if e := Efficiency(8*time.Second, 2*time.Second, 8); !almost(e, 0.5) {
+		t.Fatalf("efficiency = %v, want 0.5", e)
+	}
+	if !math.IsNaN(Speedup(time.Second, 0)) {
+		t.Fatal("speedup with tp=0 should be NaN")
+	}
+	if !math.IsNaN(Efficiency(time.Second, time.Second, 0)) {
+		t.Fatal("efficiency with p=0 should be NaN")
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	if im := Imbalance([]float64{10, 10, 10}); !almost(im, 0) {
+		t.Fatalf("balanced imbalance = %v, want 0", im)
+	}
+	if im := Imbalance([]float64{20, 10, 0}); !almost(im, 1) {
+		t.Fatalf("imbalance = %v, want 1 (max=20, mean=10)", im)
+	}
+	if im := Imbalance(nil); im != 0 {
+		t.Fatalf("empty imbalance = %v, want 0", im)
+	}
+	if im := Imbalance([]float64{0, 0}); im != 0 {
+		t.Fatalf("all-zero imbalance = %v, want 0", im)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); !almost(g, 2) {
+		t.Fatalf("geomean(1,4) = %v, want 2", g)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, 0})) {
+		t.Fatal("geomean with zero should be NaN")
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Fatal("geomean of empty should be NaN")
+	}
+}
+
+func TestQuickSummaryBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(100))
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		s := Summarize(xs)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return s.Min == sorted[0] && s.Max == sorted[len(sorted)-1] &&
+			s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.Median <= s.P95+1e-12 && s.Stddev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickImbalanceNonNegative(t *testing.T) {
+	f := func(raw []uint16) bool {
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		return Imbalance(xs) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	if s := Summarize([]float64{1, 2}).String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}

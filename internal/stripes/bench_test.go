@@ -1,0 +1,57 @@
+package stripes
+
+import (
+	"testing"
+
+	"repro/internal/climate"
+	"repro/internal/mapreduce"
+)
+
+// Pipeline benchmarks: the cost of the four-phase warming-stripes
+// workflow at the paper's full 1881-2019 span.
+
+func BenchmarkPipelineMonthLayout(b *testing.B) {
+	d := climate.Generate(climate.Params{Seed: 42})
+	files := climate.MonthFiles(d)
+	cfg := mapreduce.Config[string]{MapTasks: 8, ReduceTasks: 4, Parallelism: 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ComputeSeries(MonthLayout, files, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineStationLayout(b *testing.B) {
+	d := climate.Generate(climate.Params{Seed: 42})
+	files := climate.StationFiles(d)
+	cfg := mapreduce.Config[string]{MapTasks: 8, ReduceTasks: 4, Parallelism: 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ComputeSeries(StationLayout, files, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateDataset(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		climate.Generate(climate.Params{Seed: int64(i)})
+	}
+}
+
+func BenchmarkRenderStripes(b *testing.B) {
+	d := climate.Generate(climate.Params{Seed: 42})
+	s, _, err := ComputeSeries(MonthLayout, climate.MonthFiles(d), mapreduce.Config[string]{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Render(s, 4, 120)
+	}
+}

@@ -1,0 +1,287 @@
+// Package stripes implements the Warming-Stripes assignment end to
+// end: the four phases of the data-science workflow the course walks
+// students through — (1) data acquisition (a climate.Dataset), (2)
+// pre-processing (normalizing either file layout into canonical
+// records, the assignment's "format-invariant mapper" requirement),
+// (3) analysis (a MapReduce job computing annual means), and (4)
+// result validation (detecting incomplete years that would bias the
+// averages).
+//
+// The output is the paper's Figure 6: one stripe per year, colored on
+// a diverging scale whose range is the whole-span mean temperature
+// ± 1.5 °C, exactly as the paper specifies.
+package stripes
+
+import (
+	"fmt"
+	"image"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/climate"
+	"repro/internal/img"
+	"repro/internal/mapreduce"
+)
+
+// Layout names an input file layout.
+type Layout int
+
+const (
+	// MonthLayout is 12 files, one per month (rows = years, columns =
+	// states).
+	MonthLayout Layout = iota
+	// StationLayout is one file per state (rows = year;month;temp).
+	StationLayout
+	// DWDLayout is the authentic Deutscher Wetterdienst
+	// regional-averages shape (description line, Monat column,
+	// Deutschland aggregate) the real assignment downloads.
+	DWDLayout
+)
+
+func (l Layout) String() string {
+	switch l {
+	case MonthLayout:
+		return "month-files"
+	case StationLayout:
+		return "station-files"
+	case DWDLayout:
+		return "dwd-regional-averages"
+	default:
+		return fmt.Sprintf("layout(%d)", int(l))
+	}
+}
+
+// Series is the analysis result: Germany-wide annual mean temperature
+// per year. Missing years hold NaN.
+type Series struct {
+	StartYear int
+	Means     []float64 // index i is year StartYear+i
+	// Counts is the number of observations behind each mean, used by
+	// validation.
+	Counts []int
+}
+
+// Year returns the mean for a calendar year (NaN if out of range or
+// missing).
+func (s *Series) Year(y int) float64 {
+	i := y - s.StartYear
+	if i < 0 || i >= len(s.Means) {
+		return math.NaN()
+	}
+	return s.Means[i]
+}
+
+// EndYear returns the last year of the series.
+func (s *Series) EndYear() int { return s.StartYear + len(s.Means) - 1 }
+
+// Normalize is the pre-processing phase: it parses files in the given
+// layout and re-emits every observation as a canonical "year<TAB>temp"
+// line, so the analysis job is identical no matter how the input was
+// shaped — the assignment's software-engineering requirement that the
+// mapper "be capable of averaging any kind of data".
+func Normalize(layout Layout, files map[string]string) ([]string, error) {
+	var recs []climate.Record
+	var err error
+	switch layout {
+	case MonthLayout:
+		recs, err = climate.ParseMonthFiles(files)
+	case StationLayout:
+		recs, err = climate.ParseStationFiles(files)
+	case DWDLayout:
+		recs, err = climate.ParseDWDFiles(files)
+	default:
+		return nil, fmt.Errorf("stripes: unknown layout %v", layout)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("stripes: normalize: %w", err)
+	}
+	// Canonical (year, month, state) order makes the pipeline
+	// bit-identical across layouts: float summation order in the
+	// reducer no longer depends on how the input files were shaped.
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.Year != b.Year {
+			return a.Year < b.Year
+		}
+		if a.Month != b.Month {
+			return a.Month < b.Month
+		}
+		return a.State < b.State
+	})
+	lines := make([]string, len(recs))
+	for i, r := range recs {
+		lines[i] = fmt.Sprintf("%d\t%s", r.Year, strconv.FormatFloat(r.Temp, 'f', 2, 64))
+	}
+	return lines, nil
+}
+
+// AnnualMeanJob builds the analysis-phase MapReduce job: the mapper
+// forwards (year, temp) pairs from canonical lines; the reducer
+// averages all observations of a year and emits
+// "year<TAB>mean<TAB>count".
+func AnnualMeanJob(cfg mapreduce.Config[string]) *mapreduce.StreamJob {
+	return &mapreduce.StreamJob{
+		Name:   "annual-means",
+		Config: cfg,
+		Map: func(line string, emit func(string, string)) error {
+			key, value := mapreduce.ParseKV(line)
+			if key == "" || value == "" {
+				return fmt.Errorf("stripes: malformed canonical line %q", line)
+			}
+			if _, err := strconv.Atoi(key); err != nil {
+				return fmt.Errorf("stripes: bad year %q", key)
+			}
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				return fmt.Errorf("stripes: bad temperature %q", value)
+			}
+			emit(key, value)
+			return nil
+		},
+		Reduce: func(year string, values []string, emit func(string)) error {
+			var sum float64
+			for _, v := range values {
+				t, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return fmt.Errorf("stripes: bad temperature %q for %s", v, year)
+				}
+				sum += t
+			}
+			mean := sum / float64(len(values))
+			emit(fmt.Sprintf("%s\t%.4f\t%d", year, mean, len(values)))
+			return nil
+		},
+	}
+}
+
+// ComputeSeries runs pre-processing + analysis over a dataset in the
+// given layout and returns the annual-mean series.
+func ComputeSeries(layout Layout, files map[string]string, cfg mapreduce.Config[string]) (*Series, mapreduce.Stats, error) {
+	lines, err := Normalize(layout, files)
+	if err != nil {
+		return nil, mapreduce.Stats{}, err
+	}
+	out, stats, err := AnnualMeanJob(cfg).RunLines(lines)
+	if err != nil {
+		return nil, stats, err
+	}
+	return seriesFromOutput(out, stats)
+}
+
+func seriesFromOutput(out []string, stats mapreduce.Stats) (*Series, mapreduce.Stats, error) {
+	type row struct {
+		year, count int
+		mean        float64
+	}
+	rows := make([]row, 0, len(out))
+	for _, line := range out {
+		fields := strings.Split(line, "\t")
+		if len(fields) != 3 {
+			return nil, stats, fmt.Errorf("stripes: malformed output %q", line)
+		}
+		y, err1 := strconv.Atoi(fields[0])
+		m, err2 := strconv.ParseFloat(fields[1], 64)
+		c, err3 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, stats, fmt.Errorf("stripes: malformed output %q", line)
+		}
+		rows = append(rows, row{y, c, m})
+	}
+	if len(rows) == 0 {
+		return nil, stats, fmt.Errorf("stripes: job produced no years")
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].year < rows[j].year })
+	start, end := rows[0].year, rows[len(rows)-1].year
+	s := &Series{
+		StartYear: start,
+		Means:     make([]float64, end-start+1),
+		Counts:    make([]int, end-start+1),
+	}
+	for i := range s.Means {
+		s.Means[i] = math.NaN()
+	}
+	for _, r := range rows {
+		s.Means[r.year-start] = r.mean
+		s.Counts[r.year-start] = r.count
+	}
+	return s, stats, nil
+}
+
+// Validation is the result of the fourth workflow phase.
+type Validation struct {
+	// SuspectYears have fewer observations than the series' typical
+	// year (e.g. a partially downloaded final year) or none at all.
+	SuspectYears []int
+	// ExpectedCount is the per-year observation count of a complete
+	// year (the modal count).
+	ExpectedCount int
+}
+
+// Validate flags years whose observation count deviates from the
+// modal count — the "critically evaluate the data set" lesson: an
+// incomplete final year silently biases its average.
+func Validate(s *Series) Validation {
+	counts := map[int]int{}
+	for i, c := range s.Counts {
+		if !math.IsNaN(s.Means[i]) {
+			counts[c]++
+		}
+	}
+	modal, best := 0, 0
+	for c, n := range counts {
+		if n > best || (n == best && c > modal) {
+			modal, best = c, n
+		}
+	}
+	v := Validation{ExpectedCount: modal}
+	for i := range s.Means {
+		if math.IsNaN(s.Means[i]) || s.Counts[i] != modal {
+			v.SuspectYears = append(v.SuspectYears, s.StartYear+i)
+		}
+	}
+	return v
+}
+
+// Exclude returns a copy of the series with the given years blanked
+// to NaN (used to re-run the analysis after validation flags years).
+func (s *Series) Exclude(years []int) *Series {
+	out := &Series{
+		StartYear: s.StartYear,
+		Means:     append([]float64(nil), s.Means...),
+		Counts:    append([]int(nil), s.Counts...),
+	}
+	for _, y := range years {
+		if i := y - s.StartYear; i >= 0 && i < len(out.Means) {
+			out.Means[i] = math.NaN()
+			out.Counts[i] = 0
+		}
+	}
+	return out
+}
+
+// ColorScale returns the stripe color range per the paper: "first
+// computing the average temperature of the whole time span and then
+// adding and subtracting 1.5 °C". Missing years are ignored.
+func ColorScale(s *Series) (lo, hi float64) {
+	var sum float64
+	n := 0
+	for _, m := range s.Means {
+		if !math.IsNaN(m) {
+			sum += m
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	mean := sum / float64(n)
+	return mean - 1.5, mean + 1.5
+}
+
+// Render draws the Figure 6 image: one barWidth×height stripe per
+// year on the ColorScale range.
+func Render(s *Series, barWidth, height int) *image.NRGBA {
+	lo, hi := ColorScale(s)
+	return img.Stripes(s.Means, lo, hi, barWidth, height)
+}

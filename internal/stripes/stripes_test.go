@@ -1,0 +1,231 @@
+package stripes
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/climate"
+	"repro/internal/mapreduce"
+)
+
+func genFiles(t *testing.T, p climate.Params, layout Layout) (*climate.Dataset, map[string]string) {
+	t.Helper()
+	d := climate.Generate(p)
+	switch layout {
+	case MonthLayout:
+		return d, climate.MonthFiles(d)
+	case StationLayout:
+		return d, climate.StationFiles(d)
+	case DWDLayout:
+		return d, climate.DWDFiles(d)
+	}
+	t.Fatal("bad layout")
+	return nil, nil
+}
+
+func TestComputeSeriesMatchesDirectOracle(t *testing.T) {
+	d, files := genFiles(t, climate.Params{Seed: 5, StartYear: 1990, EndYear: 2000}, MonthLayout)
+	s, stats, err := ComputeSeries(MonthLayout, files, mapreduce.Config[string]{MapTasks: 4, ReduceTasks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := d.AnnualMeans()
+	if s.StartYear != 1990 || s.EndYear() != 2000 {
+		t.Fatalf("span %d..%d, want 1990..2000", s.StartYear, s.EndYear())
+	}
+	for y := 1990; y <= 2000; y++ {
+		if math.Abs(s.Year(y)-want[y]) > 0.005 {
+			t.Fatalf("year %d: mapreduce %.4f vs direct %.4f", y, s.Year(y), want[y])
+		}
+	}
+	if stats.ReduceGroups != 11 {
+		t.Fatalf("reduce groups = %d, want 11 years", stats.ReduceGroups)
+	}
+	if stats.MapInputs != 11*12*16 {
+		t.Fatalf("map inputs = %d, want %d", stats.MapInputs, 11*12*16)
+	}
+}
+
+// TestFormatInvariance is experiment E13: every file layout —
+// including the authentic DWD regional-averages shape — must produce
+// the identical series through the same pipeline.
+func TestFormatInvariance(t *testing.T) {
+	p := climate.Params{Seed: 8, StartYear: 1950, EndYear: 1970}
+	_, monthFiles := genFiles(t, p, MonthLayout)
+	a, _, err := ComputeSeries(MonthLayout, monthFiles, mapreduce.Config[string]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, layout := range []Layout{StationLayout, DWDLayout} {
+		_, files := genFiles(t, p, layout)
+		b, _, err := ComputeSeries(layout, files, mapreduce.Config[string]{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.StartYear != b.StartYear || len(a.Means) != len(b.Means) {
+			t.Fatalf("%v: spans differ: %d+%d vs %d+%d", layout,
+				a.StartYear, len(a.Means), b.StartYear, len(b.Means))
+		}
+		for i := range a.Means {
+			if math.Abs(a.Means[i]-b.Means[i]) > 1e-9 {
+				t.Fatalf("year %d: month layout %.4f vs %v %.4f",
+					a.StartYear+i, a.Means[i], layout, b.Means[i])
+			}
+		}
+	}
+}
+
+func TestSeriesInvariantUnderEngineConfig(t *testing.T) {
+	_, files := genFiles(t, climate.Params{Seed: 2, StartYear: 2000, EndYear: 2005}, MonthLayout)
+	ref, _, err := ComputeSeries(MonthLayout, files, mapreduce.Config[string]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []mapreduce.Config[string]{
+		{MapTasks: 1, ReduceTasks: 1},
+		{MapTasks: 7, ReduceTasks: 5, Parallelism: 8},
+		{MapTasks: 3, ReduceTasks: 2, Parallelism: 1},
+	} {
+		s, _, err := ComputeSeries(MonthLayout, files, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref.Means {
+			if math.Abs(s.Means[i]-ref.Means[i]) > 1e-9 {
+				t.Fatalf("config %+v changed the result at year %d", cfg, ref.StartYear+i)
+			}
+		}
+	}
+}
+
+// TestValidationIncompleteYearDetected is experiment E12: the
+// incomplete final year must be flagged and shown to bias warm.
+func TestValidationIncompleteYearDetected(t *testing.T) {
+	p := climate.Params{Seed: 9, StartYear: 2000, EndYear: 2020, MissingFinalMonths: 3}
+	_, files := genFiles(t, p, MonthLayout)
+	s, _, err := ComputeSeries(MonthLayout, files, mapreduce.Config[string]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := Validate(s)
+	if v.ExpectedCount != 12*16 {
+		t.Fatalf("expected count = %d, want %d", v.ExpectedCount, 12*16)
+	}
+	if len(v.SuspectYears) != 1 || v.SuspectYears[0] != 2020 {
+		t.Fatalf("suspect years = %v, want [2020]", v.SuspectYears)
+	}
+	// The biased year must read warmer than the same year computed
+	// from the complete dataset (same seed: the present months'
+	// temperatures are identical; dropping winter inflates the mean).
+	pFull := p
+	pFull.MissingFinalMonths = 0
+	_, fullFiles := genFiles(t, pFull, MonthLayout)
+	full, _, err := ComputeSeries(MonthLayout, fullFiles, mapreduce.Config[string]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Year(2020) < full.Year(2020)+0.5 {
+		t.Fatalf("incomplete 2020 (%.2f) should be biased warm vs complete 2020 (%.2f)",
+			s.Year(2020), full.Year(2020))
+	}
+	// Excluding it yields NaN and a clean re-validation.
+	clean := s.Exclude(v.SuspectYears)
+	if !math.IsNaN(clean.Year(2020)) {
+		t.Fatal("excluded year still has a value")
+	}
+}
+
+func TestValidateCleanSeries(t *testing.T) {
+	_, files := genFiles(t, climate.Params{Seed: 1, StartYear: 2000, EndYear: 2010}, MonthLayout)
+	s, _, err := ComputeSeries(MonthLayout, files, mapreduce.Config[string]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := Validate(s); len(v.SuspectYears) != 0 {
+		t.Fatalf("clean series flagged: %v", v.SuspectYears)
+	}
+}
+
+func TestColorScaleMeanPlusMinus15(t *testing.T) {
+	s := &Series{StartYear: 2000, Means: []float64{8, 9, 10}, Counts: []int{1, 1, 1}}
+	lo, hi := ColorScale(s)
+	if math.Abs(lo-7.5) > 1e-9 || math.Abs(hi-10.5) > 1e-9 {
+		t.Fatalf("scale = [%v, %v], want [7.5, 10.5]", lo, hi)
+	}
+}
+
+func TestColorScaleIgnoresMissing(t *testing.T) {
+	s := &Series{StartYear: 2000, Means: []float64{8, math.NaN(), 10}, Counts: []int{1, 0, 1}}
+	lo, hi := ColorScale(s)
+	if math.Abs(lo-7.5) > 1e-9 || math.Abs(hi-10.5) > 1e-9 {
+		t.Fatalf("scale = [%v, %v], want [7.5, 10.5]", lo, hi)
+	}
+	empty := &Series{StartYear: 2000, Means: []float64{math.NaN()}, Counts: []int{0}}
+	if lo, hi := ColorScale(empty); lo != 0 || hi != 0 {
+		t.Fatalf("empty scale = [%v, %v]", lo, hi)
+	}
+}
+
+func TestRenderFig6Geometry(t *testing.T) {
+	_, files := genFiles(t, climate.Params{Seed: 4}, MonthLayout)
+	s, _, err := ComputeSeries(MonthLayout, files, mapreduce.Config[string]{MapTasks: 8, ReduceTasks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := Render(s, 2, 40)
+	if im.Bounds().Dx() != 139*2 || im.Bounds().Dy() != 40 {
+		t.Fatalf("image %dx%d, want %dx40", im.Bounds().Dx(), im.Bounds().Dy(), 139*2)
+	}
+	// The last stripe (2019) must be redder than the first (1881).
+	first := im.NRGBAAt(0, 0)
+	last := im.NRGBAAt(im.Bounds().Dx()-1, 0)
+	redFirst := int(first.R) - int(first.B)
+	redLast := int(last.R) - int(last.B)
+	if redLast <= redFirst {
+		t.Fatalf("warming not visible: first %v last %v", first, last)
+	}
+}
+
+func TestNormalizeErrors(t *testing.T) {
+	if _, err := Normalize(Layout(99), nil); err == nil {
+		t.Fatal("unknown layout accepted")
+	}
+	if _, err := Normalize(MonthLayout, map[string]string{}); err == nil {
+		t.Fatal("missing month files accepted")
+	}
+}
+
+func TestAnnualMeanJobRejectsGarbage(t *testing.T) {
+	job := AnnualMeanJob(mapreduce.Config[string]{})
+	if _, _, err := job.RunLines([]string{"notyear\t5.0"}); err == nil {
+		t.Fatal("bad year accepted")
+	}
+	job = AnnualMeanJob(mapreduce.Config[string]{})
+	if _, _, err := job.RunLines([]string{"2000\tnottemp"}); err == nil {
+		t.Fatal("bad temp accepted")
+	}
+	job = AnnualMeanJob(mapreduce.Config[string]{})
+	if _, _, err := job.RunLines([]string{"plainline"}); err == nil {
+		t.Fatal("tabless line accepted")
+	}
+}
+
+func TestSeriesYearOutOfRange(t *testing.T) {
+	s := &Series{StartYear: 2000, Means: []float64{8}, Counts: []int{1}}
+	if !math.IsNaN(s.Year(1999)) || !math.IsNaN(s.Year(2001)) {
+		t.Fatal("out-of-range year not NaN")
+	}
+	if s.Year(2000) != 8 {
+		t.Fatal("in-range year wrong")
+	}
+}
+
+func TestLayoutString(t *testing.T) {
+	if MonthLayout.String() != "month-files" || StationLayout.String() != "station-files" ||
+		DWDLayout.String() != "dwd-regional-averages" {
+		t.Fatal("layout names wrong")
+	}
+	if Layout(9).String() == "" {
+		t.Fatal("unknown layout empty")
+	}
+}

@@ -1,0 +1,91 @@
+package survey
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableIMatchesPaper(t *testing.T) {
+	s := TableI()
+	if s.N != 11 {
+		t.Fatalf("n = %d, want 11", s.N)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Items) != 6 {
+		t.Fatalf("questions = %d, want 6", len(s.Items))
+	}
+	// Spot-check the published counts.
+	if s.Items[0].Counts[1] != 6 { // "somewhat easy": 6
+		t.Fatalf("somewhat easy = %d, want 6", s.Items[0].Counts[1])
+	}
+	if s.Items[3].Counts[0] != 10 { // interested: yes 10
+		t.Fatalf("interested yes = %d, want 10", s.Items[3].Counts[0])
+	}
+	if s.Items[5].Counts[0] != 7 { // "very much": 7
+		t.Fatalf("very much = %d, want 7", s.Items[5].Counts[0])
+	}
+	// The published table has exactly one internally inconsistent row
+	// ("How useful is simulation..." sums to 12 for n = 11); every
+	// other question sums to exactly n. We archive it verbatim and
+	// surface it via Inconsistencies.
+	inc := s.Inconsistencies()
+	if len(inc) != 1 {
+		t.Fatalf("inconsistencies = %v, want exactly the one the paper published", inc)
+	}
+	if got := inc["How useful is simulation in this assignment?"]; got != 12 {
+		t.Fatalf("simulation-usefulness total = %d, want the paper's 12", got)
+	}
+}
+
+func TestFig5CompanionMatchesPaperProse(t *testing.T) {
+	s := Fig5()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 8 {
+		t.Fatalf("n = %d, want 8", s.N)
+	}
+	// "Six students thought ... sufficient, while two absolutely".
+	if s.Items[0].Counts[0] != 2 || s.Items[0].Counts[1] != 6 {
+		t.Fatalf("prerequisites counts = %v", s.Items[0].Counts)
+	}
+	// "Seven ... reasonable and one ... difficult".
+	if s.Items[1].Counts[1] != 1 || s.Items[1].Counts[2] != 7 {
+		t.Fatalf("difficulty counts = %v", s.Items[1].Counts)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	s := TableI()
+	s.Items[0].Counts = s.Items[0].Counts[:2]
+	if err := s.Validate(); err == nil {
+		t.Fatal("mismatched counts accepted")
+	}
+	s = TableI()
+	s.Items[0].Counts[0] = -1
+	if err := s.Validate(); err == nil {
+		t.Fatal("negative count accepted")
+	}
+	s = TableI()
+	s.Items[0].Counts[0] = 100
+	if len(s.Inconsistencies()) < 2 {
+		t.Fatal("inflated count not surfaced as inconsistency")
+	}
+}
+
+func TestRenderContainsEverything(t *testing.T) {
+	out := TableI().Render()
+	for _, want := range []string{
+		"Table I", "somewhat easy", "very useful", "not at all", "yes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Zero counts render as dashes, like the paper's table.
+	if !strings.Contains(out, " -") {
+		t.Fatal("zero counts should render as '-'")
+	}
+}

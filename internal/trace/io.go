@@ -1,0 +1,92 @@
+package trace
+
+// io.go persists traces for off-line exploration, the counterpart of
+// EASYPAP's trace files: a run records events once, and students dig
+// through them afterwards (Fig 3 is exactly such a post-mortem). The
+// format is JSON lines — one event per line — so traces stream, diff,
+// and grep well.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// wireEvent is the serialized form of Event; times are nanoseconds.
+type wireEvent struct {
+	Iteration int   `json:"iter"`
+	Worker    int   `json:"worker"`
+	Tile      int   `json:"tile"`
+	StartNS   int64 `json:"start_ns"`
+	DurNS     int64 `json:"dur_ns"`
+	Cells     int   `json:"cells"`
+}
+
+// Write streams events to w as JSON lines.
+func Write(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, e := range events {
+		we := wireEvent{
+			Iteration: e.Iteration, Worker: e.Worker, Tile: e.Tile,
+			StartNS: int64(e.Start), DurNS: int64(e.Duration), Cells: e.Cells,
+		}
+		if err := enc.Encode(we); err != nil {
+			return fmt.Errorf("trace: encoding event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a JSON-lines trace back into events.
+func Read(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var events []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var we wireEvent
+		if err := json.Unmarshal(sc.Bytes(), &we); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		events = append(events, Event{
+			Iteration: we.Iteration, Worker: we.Worker, Tile: we.Tile,
+			Start: time.Duration(we.StartNS), Duration: time.Duration(we.DurNS),
+			Cells: we.Cells,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: scanning: %w", err)
+	}
+	return events, nil
+}
+
+// Save writes a recorder's events to a trace file.
+func Save(path string, r *Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	if err := Write(f, r.Events()); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a trace file.
+func Load(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	if err := Write(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("round trip lost events: %d vs %d", len(back), len(events))
+	}
+	for i := range events {
+		if back[i] != events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, back[i], events[i])
+		}
+	}
+}
+
+func TestReadSkipsBlankLinesAndRejectsGarbage(t *testing.T) {
+	good := `{"iter":1,"worker":0,"tile":2,"start_ns":5,"dur_ns":7,"cells":3}`
+	events, err := Read(strings.NewReader(good + "\n\n" + good + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	if events[0].Tile != 2 || events[0].Start != 5*time.Nanosecond {
+		t.Fatalf("decoded wrong: %+v", events[0])
+	}
+	if _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	rec := NewRecorder()
+	for _, e := range sampleEvents() {
+		rec.Record(e)
+	}
+	path := filepath.Join(t.TempDir(), "run.trace")
+	if err := Save(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	events, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != rec.Len() {
+		t.Fatalf("loaded %d events, recorded %d", len(events), rec.Len())
+	}
+	// Off-line analysis works on the loaded trace.
+	st := Iteration(events, 5)
+	if st.Tasks != 4 {
+		t.Fatalf("post-mortem stats wrong: %+v", st)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.trace")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestWriteEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	events, err := Read(&buf)
+	if err != nil || len(events) != 0 {
+		t.Fatalf("empty round trip: %v, %d events", err, len(events))
+	}
+}

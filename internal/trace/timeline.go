@@ -1,0 +1,108 @@
+package trace
+
+// timeline.go renders per-worker timelines as ASCII art — the textual
+// counterpart of EASYPAP's trace-explorer view that the paper's
+// Figure 3 screenshots. Each worker gets one row; time runs left to
+// right; a filled cell means the worker was executing a task during
+// that time slice, '.' means idle.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Timeline renders the events of one iteration as an ASCII Gantt
+// chart with the given width in character columns. Workers are sorted
+// by id; the device id -1 sorts first and is labelled "dev".
+func Timeline(events []Event, iteration, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var filtered []Event
+	var first, last time.Duration
+	firstSet := false
+	for _, e := range events {
+		if e.Iteration != iteration {
+			continue
+		}
+		filtered = append(filtered, e)
+		if !firstSet || e.Start < first {
+			first, firstSet = e.Start, true
+		}
+		if end := e.Start + e.Duration; end > last {
+			last = end
+		}
+	}
+	if len(filtered) == 0 {
+		return fmt.Sprintf("iteration %d: no events\n", iteration)
+	}
+	span := last - first
+	if span <= 0 {
+		span = 1
+	}
+
+	workers := map[int][]Event{}
+	for _, e := range filtered {
+		workers[e.Worker] = append(workers[e.Worker], e)
+	}
+	ids := make([]int, 0, len(workers))
+	for id := range workers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "iteration %d: %d tasks over %s\n", iteration, len(filtered), span)
+	for _, id := range ids {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, e := range workers[id] {
+			lo := int(float64(e.Start-first) / float64(span) * float64(width))
+			hi := int(float64(e.Start+e.Duration-first) / float64(span) * float64(width))
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if hi > width {
+				hi = width
+			}
+			glyph := byte('#')
+			if e.Cells == 0 {
+				glyph = 'o' // skipped tile: scheduled but no compute
+			}
+			for i := lo; i < hi && i < width; i++ {
+				row[i] = glyph
+			}
+		}
+		label := fmt.Sprintf("w%d", id)
+		if id < 0 {
+			label = "dev"
+		}
+		fmt.Fprintf(&sb, "%4s |%s|\n", label, row)
+	}
+	return sb.String()
+}
+
+// Utilization returns each worker's busy fraction of the iteration's
+// wall-clock span — the quantity a student reads off the EASYPAP
+// timeline when diagnosing load imbalance.
+func Utilization(events []Event, iteration int) map[int]float64 {
+	st := Iteration(events, iteration)
+	if st.Span <= 0 {
+		return nil
+	}
+	busy := map[int]time.Duration{}
+	for _, e := range events {
+		if e.Iteration == iteration {
+			busy[e.Worker] += e.Duration
+		}
+	}
+	out := make(map[int]float64, len(busy))
+	for id, d := range busy {
+		out[id] = float64(d) / float64(st.Span)
+	}
+	return out
+}

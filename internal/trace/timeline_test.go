@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func timelineEvents() []Event {
+	return []Event{
+		{Iteration: 1, Worker: 0, Tile: 0, Start: 0, Duration: 50 * time.Millisecond, Cells: 10},
+		{Iteration: 1, Worker: 1, Tile: 1, Start: 50 * time.Millisecond, Duration: 50 * time.Millisecond, Cells: 10},
+		{Iteration: 1, Worker: -1, Tile: 2, Start: 0, Duration: 100 * time.Millisecond, Cells: 10},
+		{Iteration: 1, Worker: 2, Tile: 3, Start: 25 * time.Millisecond, Duration: 0, Cells: 0},
+		{Iteration: 2, Worker: 0, Tile: 0, Start: 200 * time.Millisecond, Duration: 10 * time.Millisecond, Cells: 5},
+	}
+}
+
+func TestTimelineStructure(t *testing.T) {
+	out := Timeline(timelineEvents(), 1, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header + dev + w0 + w1 + w2
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], " dev") {
+		t.Fatalf("device row should sort first: %q", lines[1])
+	}
+	// Device is busy the whole span: its row is solid '#'.
+	devBar := lines[1][strings.Index(lines[1], "|")+1 : strings.LastIndex(lines[1], "|")]
+	if strings.ContainsAny(devBar, ".o") {
+		t.Fatalf("device row should be fully busy: %q", devBar)
+	}
+	// Worker 0 busy first half, idle second half.
+	w0 := lines[2][strings.Index(lines[2], "|")+1 : strings.LastIndex(lines[2], "|")]
+	if w0[0] != '#' || w0[len(w0)-1] != '.' {
+		t.Fatalf("w0 pattern wrong: %q", w0)
+	}
+	// Worker 2's zero-cell task renders as 'o'.
+	if !strings.Contains(lines[4], "o") {
+		t.Fatalf("skipped task not marked: %q", lines[4])
+	}
+}
+
+func TestTimelineEmptyIteration(t *testing.T) {
+	out := Timeline(timelineEvents(), 99, 40)
+	if !strings.Contains(out, "no events") {
+		t.Fatalf("empty iteration output: %q", out)
+	}
+}
+
+func TestTimelineMinWidth(t *testing.T) {
+	out := Timeline(timelineEvents(), 1, 1)
+	if !strings.Contains(out, "|") {
+		t.Fatal("degenerate width broke rendering")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	u := Utilization(timelineEvents(), 1)
+	if len(u) != 4 {
+		t.Fatalf("workers = %d, want 4", len(u))
+	}
+	if u[-1] < 0.99 || u[-1] > 1.01 {
+		t.Fatalf("device utilization = %v, want ~1", u[-1])
+	}
+	if u[0] < 0.49 || u[0] > 0.51 {
+		t.Fatalf("w0 utilization = %v, want ~0.5", u[0])
+	}
+	if u[2] != 0 {
+		t.Fatalf("skipped-only worker utilization = %v, want 0", u[2])
+	}
+	if Utilization(nil, 1) != nil {
+		t.Fatal("empty events should return nil")
+	}
+}

@@ -1,0 +1,188 @@
+// Package trace records per-task execution events the way EASYPAP's
+// trace explorer does: each scheduled unit of work (a tile, in the
+// sandpile engine) is logged with its worker, iteration, tile id, and
+// begin/end timestamps. The analyses the students perform on EASYPAP
+// traces — how many tasks ran in an iteration, how busy each worker
+// was, how balanced the iteration was, which tiles were skipped by the
+// lazy variant (the black areas of the paper's Figures 3 and 4) — are
+// provided as queries over the recorded events.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Event is one executed task.
+type Event struct {
+	Iteration int
+	Worker    int           // worker id, or the hetero device id
+	Tile      int           // dense tile index
+	Start     time.Duration // offset from trace start
+	Duration  time.Duration
+	Cells     int // cells actually computed (0 for skipped/stable tiles)
+}
+
+// Recorder collects events from concurrently running workers. The
+// zero value is invalid; use NewRecorder. A nil *Recorder is a valid
+// no-op sink, so engines can leave tracing off with no branching.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	epoch  time.Time
+}
+
+// NewRecorder returns an empty recorder whose clock starts now.
+func NewRecorder() *Recorder {
+	return &Recorder{epoch: time.Now()}
+}
+
+// Record appends an event; it is safe for concurrent use. The event's
+// Start is expected to be relative to the recorder's epoch (see Now).
+func (r *Recorder) Record(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Now returns the current offset from the recorder's epoch. A nil
+// recorder returns 0, letting callers compute timestamps only when
+// tracing is on.
+func (r *Recorder) Now() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Since(r.epoch)
+}
+
+// Enabled reports whether events are actually being kept.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Events returns a copy of all recorded events sorted by start time.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := append([]Event(nil), r.events...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// IterationStats aggregates the events of a single iteration, the
+// unit of comparison in the paper's Figure 3 (two traces of the same
+// 500th iteration under different tile sizes).
+type IterationStats struct {
+	Iteration  int
+	Tasks      int           // tasks executed
+	ActiveTile int           // tiles that computed at least one cell
+	Cells      int           // total cells computed
+	Workers    int           // distinct workers that ran at least one task
+	Span       time.Duration // last end − first start
+	BusyTotal  time.Duration // summed task durations
+	Imbalance  float64       // stats.Imbalance over per-worker busy time
+}
+
+// Iteration filters the recorder's events to one iteration and
+// aggregates them.
+func Iteration(events []Event, iter int) IterationStats {
+	st := IterationStats{Iteration: iter}
+	var first, last time.Duration
+	firstSet := false
+	busy := map[int]time.Duration{}
+	for _, e := range events {
+		if e.Iteration != iter {
+			continue
+		}
+		st.Tasks++
+		st.Cells += e.Cells
+		if e.Cells > 0 {
+			st.ActiveTile++
+		}
+		if !firstSet || e.Start < first {
+			first = e.Start
+			firstSet = true
+		}
+		if end := e.Start + e.Duration; end > last {
+			last = end
+		}
+		busy[e.Worker] += e.Duration
+		st.BusyTotal += e.Duration
+	}
+	if firstSet {
+		st.Span = last - first
+	}
+	st.Workers = len(busy)
+	per := make([]float64, 0, len(busy))
+	for _, d := range busy {
+		per = append(per, float64(d))
+	}
+	st.Imbalance = stats.Imbalance(per)
+	return st
+}
+
+// WorkerBusy returns per-worker total busy time across all events.
+func WorkerBusy(events []Event) map[int]time.Duration {
+	busy := map[int]time.Duration{}
+	for _, e := range events {
+		busy[e.Worker] += e.Duration
+	}
+	return busy
+}
+
+// TileOwners returns, for each tile id present in events, the worker
+// that executed it most recently — the coloring of the paper's
+// Figure 4 tile-distribution view. Tiles absent from the map were
+// never computed in the traced window (stable/black tiles).
+func TileOwners(events []Event) map[int]int {
+	lastStart := map[int]time.Duration{}
+	owners := map[int]int{}
+	for _, e := range events {
+		if e.Cells == 0 {
+			continue
+		}
+		if s, ok := lastStart[e.Tile]; !ok || e.Start >= s {
+			lastStart[e.Tile] = e.Start
+			owners[e.Tile] = e.Worker
+		}
+	}
+	return owners
+}
+
+// Compare renders a side-by-side comparison of the same iteration
+// under two labelled traces, the textual equivalent of Figure 3's two
+// stacked trace views.
+func Compare(labelA string, a IterationStats, labelB string, b IterationStats) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "iteration %d: %-18s vs %-18s\n", a.Iteration, labelA, labelB)
+	row := func(name, av, bv string) {
+		fmt.Fprintf(&sb, "  %-14s %-18s %-18s\n", name, av, bv)
+	}
+	row("tasks", fmt.Sprint(a.Tasks), fmt.Sprint(b.Tasks))
+	row("active tiles", fmt.Sprint(a.ActiveTile), fmt.Sprint(b.ActiveTile))
+	row("cells", fmt.Sprint(a.Cells), fmt.Sprint(b.Cells))
+	row("workers", fmt.Sprint(a.Workers), fmt.Sprint(b.Workers))
+	row("span", a.Span.String(), b.Span.String())
+	row("busy total", a.BusyTotal.String(), b.BusyTotal.String())
+	row("imbalance", fmt.Sprintf("%.3f", a.Imbalance), fmt.Sprintf("%.3f", b.Imbalance))
+	return sb.String()
+}

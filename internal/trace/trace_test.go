@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsNoop(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{}) // must not panic
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	if r.Now() != 0 {
+		t.Fatal("nil recorder Now != 0")
+	}
+	if r.Events() != nil || r.Len() != 0 {
+		t.Fatal("nil recorder has events")
+	}
+}
+
+func TestRecordAndSortByStart(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{Tile: 2, Start: 20})
+	r.Record(Event{Tile: 0, Start: 5})
+	r.Record(Event{Tile: 1, Start: 10})
+	ev := r.Events()
+	if len(ev) != 3 || r.Len() != 3 {
+		t.Fatalf("recorded %d events, want 3", len(ev))
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Start < ev[i-1].Start {
+			t.Fatalf("events not sorted: %v", ev)
+		}
+	}
+	if ev[0].Tile != 0 || ev[2].Tile != 2 {
+		t.Fatalf("sort order wrong: %v", ev)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(Event{Worker: w, Tile: i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Fatalf("lost events: %d, want 800", r.Len())
+	}
+}
+
+func TestNowMonotonic(t *testing.T) {
+	r := NewRecorder()
+	a := r.Now()
+	time.Sleep(time.Millisecond)
+	b := r.Now()
+	if b <= a {
+		t.Fatalf("Now not increasing: %v then %v", a, b)
+	}
+}
+
+func sampleEvents() []Event {
+	return []Event{
+		{Iteration: 5, Worker: 0, Tile: 0, Start: 0, Duration: 10 * time.Millisecond, Cells: 100},
+		{Iteration: 5, Worker: 0, Tile: 1, Start: 10 * time.Millisecond, Duration: 10 * time.Millisecond, Cells: 100},
+		{Iteration: 5, Worker: 1, Tile: 2, Start: 0, Duration: 5 * time.Millisecond, Cells: 50},
+		{Iteration: 5, Worker: 1, Tile: 3, Start: 5 * time.Millisecond, Duration: 0, Cells: 0}, // skipped tile
+		{Iteration: 6, Worker: 0, Tile: 0, Start: 30 * time.Millisecond, Duration: 10 * time.Millisecond, Cells: 100},
+	}
+}
+
+func TestIterationStats(t *testing.T) {
+	st := Iteration(sampleEvents(), 5)
+	if st.Tasks != 4 {
+		t.Fatalf("tasks = %d, want 4", st.Tasks)
+	}
+	if st.ActiveTile != 3 {
+		t.Fatalf("active tiles = %d, want 3 (one skipped)", st.ActiveTile)
+	}
+	if st.Cells != 250 {
+		t.Fatalf("cells = %d, want 250", st.Cells)
+	}
+	if st.Workers != 2 {
+		t.Fatalf("workers = %d, want 2", st.Workers)
+	}
+	if st.Span != 20*time.Millisecond {
+		t.Fatalf("span = %v, want 20ms", st.Span)
+	}
+	if st.BusyTotal != 25*time.Millisecond {
+		t.Fatalf("busy = %v, want 25ms", st.BusyTotal)
+	}
+	// busy: worker0=20ms worker1=5ms, mean 12.5 -> imbalance 0.6
+	if got := st.Imbalance; got < 0.59 || got > 0.61 {
+		t.Fatalf("imbalance = %v, want 0.6", got)
+	}
+}
+
+func TestIterationStatsEmpty(t *testing.T) {
+	st := Iteration(sampleEvents(), 99)
+	if st.Tasks != 0 || st.Span != 0 || st.Workers != 0 || st.Imbalance != 0 {
+		t.Fatalf("stats of absent iteration not zero: %+v", st)
+	}
+}
+
+func TestWorkerBusy(t *testing.T) {
+	busy := WorkerBusy(sampleEvents())
+	if busy[0] != 30*time.Millisecond {
+		t.Fatalf("worker 0 busy = %v, want 30ms", busy[0])
+	}
+	if busy[1] != 5*time.Millisecond {
+		t.Fatalf("worker 1 busy = %v, want 5ms", busy[1])
+	}
+}
+
+func TestTileOwnersLatestWins(t *testing.T) {
+	events := []Event{
+		{Worker: 0, Tile: 7, Start: 0, Cells: 10},
+		{Worker: 1, Tile: 7, Start: 10, Cells: 10}, // later: worker 1 owns tile 7
+		{Worker: 2, Tile: 8, Start: 5, Cells: 0},   // skipped: never owned
+	}
+	owners := TileOwners(events)
+	if owners[7] != 1 {
+		t.Fatalf("tile 7 owner = %d, want 1", owners[7])
+	}
+	if _, ok := owners[8]; ok {
+		t.Fatal("skipped tile should have no owner")
+	}
+}
+
+func TestCompareRendersBothColumns(t *testing.T) {
+	a := Iteration(sampleEvents(), 5)
+	b := Iteration(sampleEvents(), 6)
+	out := Compare("32x32", a, "64x64", b)
+	for _, want := range []string{"32x32", "64x64", "tasks", "imbalance", "active tiles"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Compare output missing %q:\n%s", want, out)
+		}
+	}
+}

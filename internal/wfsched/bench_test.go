@@ -1,0 +1,54 @@
+package wfsched
+
+import (
+	"testing"
+
+	"repro/internal/workflow"
+)
+
+// Simulator throughput benchmarks: simulations per second bound how
+// large a placement search (E20) can afford to be.
+
+func BenchmarkSimulateTab1Full(b *testing.B) {
+	base, ps := Tab1Base()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SimulateCluster(base, ps, ClusterConfig{Nodes: 64, PState: 6})
+	}
+}
+
+func BenchmarkSimulateTab2AllCloud(b *testing.B) {
+	sc := Tab2Scenario()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Simulate(sc, AllCloud)
+	}
+}
+
+func BenchmarkSimulateTab2Mixed(b *testing.B) {
+	sc := Tab2Scenario()
+	fr := []float64{0.5, 0.75, 1, 1, 1, 1, 1, 1, 1}
+	place := LevelFractions(sc.Workflow, fr)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Simulate(sc, place)
+	}
+}
+
+func BenchmarkBossHeuristicFull(b *testing.B) {
+	base, ps := Tab1Base()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := BossHeuristic(base, ps, Tab1MaxNodes, Tab1BoundSec); !ok {
+			b.Fatal("infeasible")
+		}
+	}
+}
+
+func BenchmarkGreedyFractionsSmall(b *testing.B) {
+	sc := Tab2Scenario()
+	sc.Workflow = workflow.Montage(workflow.MontageParams{Projections: 20, TargetBytes: 1e9})
+	choices := Tab2Choices(sc.Workflow)
+	for i := 0; i < b.N; i++ {
+		GreedyFractions(sc, choices)
+	}
+}

@@ -1,0 +1,85 @@
+package wfsched
+
+// pareto.go extends the treasure hunt with the time/CO2 trade-off
+// analysis: the assignment optimizes CO2 alone, but a student (or
+// their hypothetical boss) ultimately faces a bi-objective choice —
+// how much execution time must be given up for each gram saved. The
+// Pareto frontier over the exhaustive sweep makes that explicit.
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// EvaluateFractions simulates every combination of the per-level
+// choices and returns all results in deterministic (mixed-radix
+// index) order, fanning the independent simulations out over all
+// CPUs. It is the data source for ParetoFrontier and for exhaustive
+// optimization over criteria other than CO2.
+func EvaluateFractions(sc Scenario, choices [][]float64) []FractionResult {
+	depth := len(choices)
+	total := 1
+	for _, c := range choices {
+		if len(c) == 0 {
+			panic("wfsched: empty choice list")
+		}
+		total *= len(c)
+	}
+	decode := func(idx int) []float64 {
+		fr := make([]float64, depth)
+		for l := depth - 1; l >= 0; l-- {
+			n := len(choices[l])
+			fr[l] = choices[l][idx%n]
+			idx /= n
+		}
+		return fr
+	}
+	results := make([]FractionResult, total)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				fr := decode(i)
+				results[i] = FractionResult{fr, Simulate(sc, LevelFractions(sc.Workflow, fr))}
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// ParetoFrontier filters results down to the placements that are not
+// dominated in (Makespan, CO2): no other placement is at least as
+// good on both objectives and strictly better on one. The frontier is
+// returned sorted by makespan ascending (hence CO2 descending).
+func ParetoFrontier(results []FractionResult) []FractionResult {
+	if len(results) == 0 {
+		return nil
+	}
+	sorted := append([]FractionResult(nil), results...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a, b := sorted[i].Outcome, sorted[j].Outcome
+		if a.Makespan != b.Makespan {
+			return a.Makespan < b.Makespan
+		}
+		return a.CO2 < b.CO2
+	})
+	var frontier []FractionResult
+	bestCO2 := sorted[0].Outcome.CO2 + 1
+	for _, r := range sorted {
+		if r.Outcome.CO2 < bestCO2 {
+			frontier = append(frontier, r)
+			bestCO2 = r.Outcome.CO2
+		}
+	}
+	return frontier
+}

@@ -1,0 +1,112 @@
+package wfsched
+
+import (
+	"math"
+	"testing"
+)
+
+func paretoChoices() [][]float64 {
+	return [][]float64{{0, 1}, {0, 1}, {0, 1}, {0, 1}, {0, 1}, {0, 1}, {0, 1}, {0, 1}, {0, 1}}
+}
+
+func TestEvaluateFractionsCountAndOrder(t *testing.T) {
+	sc := smallScenario()
+	results := EvaluateFractions(sc, paretoChoices())
+	if len(results) != 512 {
+		t.Fatalf("results = %d, want 2^9", len(results))
+	}
+	// First combination is all-zero (all-local), last is all-one.
+	for _, f := range results[0].Fractions {
+		if f != 0 {
+			t.Fatalf("first combination not all-local: %v", results[0].Fractions)
+		}
+	}
+	for _, f := range results[len(results)-1].Fractions {
+		if f != 1 {
+			t.Fatalf("last combination not all-cloud: %v", results[len(results)-1].Fractions)
+		}
+	}
+	// Deterministic across calls.
+	again := EvaluateFractions(sc, paretoChoices())
+	for i := range results {
+		if results[i].Outcome != again[i].Outcome {
+			t.Fatalf("evaluation %d not deterministic", i)
+		}
+	}
+}
+
+func TestParetoFrontierNoDominatedPoints(t *testing.T) {
+	sc := smallScenario()
+	results := EvaluateFractions(sc, paretoChoices())
+	frontier := ParetoFrontier(results)
+	if len(frontier) == 0 {
+		t.Fatal("empty frontier")
+	}
+	if len(frontier) > len(results) {
+		t.Fatal("frontier larger than input")
+	}
+	// Frontier is sorted by makespan ascending with strictly
+	// decreasing CO2.
+	for i := 1; i < len(frontier); i++ {
+		if frontier[i].Outcome.Makespan < frontier[i-1].Outcome.Makespan {
+			t.Fatal("frontier not sorted by makespan")
+		}
+		if frontier[i].Outcome.CO2 >= frontier[i-1].Outcome.CO2 {
+			t.Fatal("frontier CO2 not strictly decreasing")
+		}
+	}
+	// No frontier point is dominated by any evaluated point.
+	for _, f := range frontier {
+		for _, r := range results {
+			if r.Outcome.Makespan <= f.Outcome.Makespan && r.Outcome.CO2 <= f.Outcome.CO2 &&
+				(r.Outcome.Makespan < f.Outcome.Makespan || r.Outcome.CO2 < f.Outcome.CO2) {
+				t.Fatalf("frontier point %v dominated by %v", f.Outcome, r.Outcome)
+			}
+		}
+	}
+}
+
+func TestParetoFrontierEndpoints(t *testing.T) {
+	sc := smallScenario()
+	results := EvaluateFractions(sc, paretoChoices())
+	frontier := ParetoFrontier(results)
+	// The frontier's CO2 minimum must equal the exhaustive optimum.
+	best := ExhaustiveFractions(sc, paretoChoices())
+	minCO2 := math.Inf(1)
+	for _, f := range frontier {
+		minCO2 = math.Min(minCO2, f.Outcome.CO2)
+	}
+	if math.Abs(minCO2-best.Outcome.CO2) > 1e-9 {
+		t.Fatalf("frontier min CO2 %.3f != exhaustive optimum %.3f", minCO2, best.Outcome.CO2)
+	}
+	// The fastest placement overall must be on the frontier.
+	fastest := math.Inf(1)
+	for _, r := range results {
+		fastest = math.Min(fastest, r.Outcome.Makespan)
+	}
+	if frontier[0].Outcome.Makespan != fastest {
+		t.Fatalf("frontier head %.2f is not the fastest placement %.2f",
+			frontier[0].Outcome.Makespan, fastest)
+	}
+}
+
+func TestParetoFrontierDegenerate(t *testing.T) {
+	if ParetoFrontier(nil) != nil {
+		t.Fatal("nil input should yield nil frontier")
+	}
+	one := []FractionResult{{Fractions: []float64{0}, Outcome: Outcome{Makespan: 1, CO2: 1}}}
+	if got := ParetoFrontier(one); len(got) != 1 {
+		t.Fatalf("singleton frontier = %d points", len(got))
+	}
+	// Two mutually non-dominating points both survive; a dominated
+	// third does not.
+	pts := []FractionResult{
+		{Outcome: Outcome{Makespan: 1, CO2: 10}},
+		{Outcome: Outcome{Makespan: 10, CO2: 1}},
+		{Outcome: Outcome{Makespan: 10, CO2: 10}}, // dominated by both
+	}
+	got := ParetoFrontier(pts)
+	if len(got) != 2 {
+		t.Fatalf("frontier = %d points, want 2", len(got))
+	}
+}

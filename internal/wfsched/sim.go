@@ -1,0 +1,284 @@
+// Package wfsched binds the workflow DAG to the platform model and
+// implements the scheduling/placement policies of the carbon-footprint
+// assignment: Tab 1's cluster sizing and p-state selection (including
+// the binary searches and the boss heuristic that combines powering
+// off with downclocking) and Tab 2's local-vs-cloud task placement
+// with per-level cloud fractions, data locality, and the exhaustive
+// CO2 optimizer the paper lists as future work.
+package wfsched
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/carbon"
+	"repro/internal/des"
+	"repro/internal/platform"
+	"repro/internal/workflow"
+)
+
+// SiteID distinguishes the two execution sites.
+type SiteID int
+
+const (
+	// Local is the organization's own cluster (non-green power).
+	Local SiteID = iota
+	// Cloud is the remote green cloud.
+	Cloud
+)
+
+func (s SiteID) String() string {
+	if s == Local {
+		return "local"
+	}
+	return "cloud"
+}
+
+// Scenario describes the platform a workflow runs on.
+type Scenario struct {
+	Workflow *workflow.Workflow
+
+	// LocalNodes is the number of powered-on cluster nodes (the rest
+	// are off and draw nothing).
+	LocalNodes int
+	// PState is the (uniform) p-state of the powered-on nodes, per
+	// the assignment's homogeneity assumption.
+	PState platform.PState
+	// LocalIntensity is the cluster power source's carbon intensity.
+	// Zero means the paper's 291 gCO2e/kWh.
+	LocalIntensity carbon.Intensity
+
+	// CloudVMs is the number of cloud VM instances (0 = no cloud).
+	CloudVMs int
+	// VMSpeed is the per-VM speed in Gflop/s.
+	VMSpeed float64
+	// VMBusyPower/VMIdlePower model the cloud-side draw (charged at
+	// the green intensity).
+	VMBusyPower, VMIdlePower float64
+	// CloudIntensity is the cloud source's intensity; zero means the
+	// green default.
+	CloudIntensity carbon.Intensity
+
+	// LinkBandwidth (bytes/s) and LinkLatency (s) describe the
+	// cluster<->cloud connection.
+	LinkBandwidth, LinkLatency float64
+}
+
+func (sc Scenario) withDefaults() Scenario {
+	if sc.LocalIntensity == 0 {
+		sc.LocalIntensity = carbon.LocalGrid
+	}
+	if sc.CloudIntensity == 0 {
+		sc.CloudIntensity = carbon.GreenCloud
+	}
+	return sc
+}
+
+// Placement decides, per task, whether it runs on the cloud.
+type Placement func(t *workflow.Task) SiteID
+
+// AllLocal places every task on the cluster.
+func AllLocal(*workflow.Task) SiteID { return Local }
+
+// AllCloud places every task on the cloud.
+func AllCloud(*workflow.Task) SiteID { return Cloud }
+
+// LevelFractions places the first fraction[L] share of each level L's
+// tasks (in deterministic ID order) on the cloud — the knob the
+// assignment's Tab 2 simulator exposes. Levels beyond the slice run
+// locally.
+func LevelFractions(w *workflow.Workflow, fractions []float64) Placement {
+	cloudSet := make(map[*workflow.Task]bool)
+	for li, level := range w.Levels {
+		if li >= len(fractions) {
+			break
+		}
+		f := fractions[li]
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		n := int(math.Round(f * float64(len(level))))
+		for i := 0; i < n; i++ {
+			cloudSet[level[i]] = true
+		}
+	}
+	return func(t *workflow.Task) SiteID {
+		if cloudSet[t] {
+			return Cloud
+		}
+		return Local
+	}
+}
+
+// Outcome reports one simulated execution.
+type Outcome struct {
+	// Makespan is the workflow execution time in seconds.
+	Makespan float64
+	// EnergyLocalKWh and EnergyCloudKWh are the energy drawn by each
+	// site over the makespan (busy + idle).
+	EnergyLocalKWh, EnergyCloudKWh float64
+	// CO2Local, CO2Cloud, and CO2 are emissions in gCO2e.
+	CO2Local, CO2Cloud, CO2 float64
+	// TasksLocal and TasksCloud count task placements.
+	TasksLocal, TasksCloud int
+	// BytesTransferred and Transfers describe link usage.
+	BytesTransferred float64
+	Transfers        int
+}
+
+func (o Outcome) String() string {
+	return fmt.Sprintf("time=%.1fs energy=%.3f+%.3fkWh co2=%.1fg (local %.1f + cloud %.1f) tasks=%d/%d xfer=%.2fGB",
+		o.Makespan, o.EnergyLocalKWh, o.EnergyCloudKWh, o.CO2, o.CO2Local, o.CO2Cloud,
+		o.TasksLocal, o.TasksCloud, o.BytesTransferred/1e9)
+}
+
+// Simulate executes the scenario's workflow under the placement and
+// returns the outcome. The execution model: a task becomes ready when
+// all parents finish; a ready task's missing input files are staged
+// to its site over the link (concurrently, fair-shared); it then
+// occupies one slot until its compute finishes; outputs materialize
+// at its site. Workflow input files start on local storage.
+func Simulate(sc Scenario, place Placement) Outcome {
+	sc = sc.withDefaults()
+	w := sc.Workflow
+	if w == nil {
+		panic("wfsched: nil workflow")
+	}
+	if sc.LocalNodes <= 0 && sc.CloudVMs <= 0 {
+		panic("wfsched: no compute anywhere")
+	}
+
+	sim := &des.Simulation{}
+	meter := carbon.NewMeter()
+
+	local := platform.NewSite(sim, meter, "local", sc.LocalNodes,
+		sc.PState.Speed, sc.PState.BusyPower, sc.PState.IdlePower, sc.LocalIntensity)
+	var cloud *platform.Site
+	var link *platform.Link
+	if sc.CloudVMs > 0 {
+		cloud = platform.NewSite(sim, meter, "cloud", sc.CloudVMs,
+			sc.VMSpeed, sc.VMBusyPower, sc.VMIdlePower, sc.CloudIntensity)
+		link = platform.NewLink(sim, sc.LinkBandwidth, sc.LinkLatency)
+	}
+
+	// File presence per site, plus in-flight transfer deduplication.
+	present := map[SiteID]map[*workflow.File]bool{Local: {}, Cloud: {}}
+	for _, f := range w.Files {
+		if f.Producer == nil {
+			present[Local][f] = true // inputs staged on local storage
+		}
+	}
+	type xferKey struct {
+		file *workflow.File
+		to   SiteID
+	}
+	inflight := map[xferKey][]func(){}
+
+	var out Outcome
+	pendingParents := make(map[*workflow.Task]int, len(w.Tasks))
+	done := 0
+
+	var runTask func(t *workflow.Task)
+	taskFinished := func(t *workflow.Task) {
+		done++
+		for _, c := range t.Children {
+			pendingParents[c]--
+			if pendingParents[c] == 0 {
+				runTask(c)
+			}
+		}
+	}
+
+	runTask = func(t *workflow.Task) {
+		site := place(t)
+		if site == Cloud && cloud == nil {
+			panic(fmt.Sprintf("wfsched: task %s placed on absent cloud", t.ID))
+		}
+		if site == Local && sc.LocalNodes == 0 {
+			panic(fmt.Sprintf("wfsched: task %s placed on powered-off cluster", t.ID))
+		}
+		// Stage missing inputs, then submit.
+		missing := 0
+		submit := func() {
+			target := local
+			if site == Cloud {
+				target = cloud
+			}
+			target.Submit(t.Gflop, func() {
+				for _, f := range t.Outputs {
+					present[site][f] = true
+				}
+				taskFinished(t)
+			})
+		}
+		onStaged := func() {
+			missing--
+			if missing == 0 {
+				submit()
+			}
+		}
+		for _, f := range t.Inputs {
+			if present[site][f] {
+				continue
+			}
+			missing++
+			key := xferKey{f, site}
+			if waiters, ok := inflight[key]; ok {
+				inflight[key] = append(waiters, onStaged)
+				continue
+			}
+			inflight[key] = []func(){onStaged}
+			f := f
+			site := site
+			link.Transfer(f.Bytes, func() {
+				present[site][f] = true
+				out.BytesTransferred += f.Bytes
+				out.Transfers++
+				waiters := inflight[xferKey{f, site}]
+				delete(inflight, xferKey{f, site})
+				for _, w := range waiters {
+					w()
+				}
+			})
+		}
+		if missing == 0 {
+			submit()
+		}
+	}
+
+	// Seed: count parents, launch the roots.
+	for _, t := range w.Tasks {
+		pendingParents[t] = len(t.Parents)
+		if place(t) == Cloud {
+			out.TasksCloud++
+		} else {
+			out.TasksLocal++
+		}
+	}
+	for _, t := range w.Tasks {
+		if pendingParents[t] == 0 {
+			t := t
+			sim.Schedule(0, func() { runTask(t) })
+		}
+	}
+
+	sim.Run()
+	if done != len(w.Tasks) {
+		panic(fmt.Sprintf("wfsched: deadlock: %d of %d tasks completed", done, len(w.Tasks)))
+	}
+	out.Makespan = sim.Now()
+
+	local.FinalizeIdle(out.Makespan)
+	out.EnergyLocalKWh = meter.EnergyKWh("local")
+	out.CO2Local = meter.SourceEmissions("local")
+	if cloud != nil {
+		cloud.FinalizeIdle(out.Makespan)
+		out.EnergyCloudKWh = meter.EnergyKWh("cloud")
+		out.CO2Cloud = meter.SourceEmissions("cloud")
+	}
+	out.CO2 = out.CO2Local + out.CO2Cloud
+	return out
+}

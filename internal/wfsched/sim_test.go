@@ -1,0 +1,239 @@
+package wfsched
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workflow"
+)
+
+// smallScenario builds a fast Tab-2-like scenario over a reduced
+// Montage instance for unit tests.
+func smallScenario() Scenario {
+	sc := Tab2Scenario()
+	sc.Workflow = workflow.Montage(workflow.MontageParams{Projections: 20, TargetBytes: 1e9})
+	return sc
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	sc := smallScenario()
+	a := Simulate(sc, AllCloud)
+	b := Simulate(sc, AllCloud)
+	if a != b {
+		t.Fatalf("two identical simulations differ:\n%v\n%v", a, b)
+	}
+}
+
+func TestAllLocalNoTransfers(t *testing.T) {
+	sc := smallScenario()
+	out := Simulate(sc, AllLocal)
+	if out.Transfers != 0 || out.BytesTransferred != 0 {
+		t.Fatalf("all-local moved data: %+v", out)
+	}
+	if out.TasksCloud != 0 || out.TasksLocal != sc.Workflow.NumTasks() {
+		t.Fatalf("placement accounting wrong: %+v", out)
+	}
+	if out.EnergyCloudKWh == 0 {
+		// 16 idle VMs still draw their idle power.
+		t.Fatal("cloud idle energy missing")
+	}
+}
+
+func TestAllCloudStagesInputsOnce(t *testing.T) {
+	sc := smallScenario()
+	out := Simulate(sc, AllCloud)
+	if out.TasksLocal != 0 {
+		t.Fatalf("all-cloud ran local tasks: %+v", out)
+	}
+	// Exactly the 20 raw input files cross the link (all intermediate
+	// data stays cloud-side thanks to locality), each exactly once.
+	if out.Transfers != 20 {
+		t.Fatalf("transfers = %d, want 20 input files", out.Transfers)
+	}
+}
+
+func TestMakespanRespectsLowerBounds(t *testing.T) {
+	sc := smallScenario()
+	w := sc.Workflow
+	for _, place := range []Placement{AllLocal, AllCloud} {
+		out := Simulate(sc, place)
+		// Critical path at the fastest slot speed involved.
+		speed := math.Max(sc.PState.Speed, sc.VMSpeed)
+		if cpBound := w.CriticalPathGflop() / speed; out.Makespan < cpBound-1e-9 {
+			t.Fatalf("makespan %.2f below critical-path bound %.2f", out.Makespan, cpBound)
+		}
+		// Total-work bound over all slots.
+		capacity := float64(sc.LocalNodes)*sc.PState.Speed + float64(sc.CloudVMs)*sc.VMSpeed
+		if wBound := w.TotalGflop() / capacity; out.Makespan < wBound-1e-9 {
+			t.Fatalf("makespan %.2f below work bound %.2f", out.Makespan, wBound)
+		}
+	}
+}
+
+func TestCO2Additive(t *testing.T) {
+	out := Simulate(smallScenario(), AllCloud)
+	if math.Abs(out.CO2-(out.CO2Local+out.CO2Cloud)) > 1e-9 {
+		t.Fatalf("CO2 not additive: %+v", out)
+	}
+	if out.CO2Local < 0 || out.CO2Cloud < 0 || out.EnergyLocalKWh < 0 {
+		t.Fatalf("negative accounting: %+v", out)
+	}
+}
+
+func TestMoreNodesNeverSlower(t *testing.T) {
+	base, ps := Tab1Base()
+	base.Workflow = workflow.Montage(workflow.MontageParams{Projections: 30})
+	prev := math.Inf(1)
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64} {
+		out := SimulateCluster(base, ps, ClusterConfig{n, 6})
+		if out.Makespan > prev+1e-9 {
+			t.Fatalf("%d nodes slower than fewer: %.2f > %.2f", n, out.Makespan, prev)
+		}
+		prev = out.Makespan
+	}
+}
+
+func TestHigherPStateNeverSlower(t *testing.T) {
+	base, ps := Tab1Base()
+	base.Workflow = workflow.Montage(workflow.MontageParams{Projections: 30})
+	prev := math.Inf(1)
+	for p := range ps {
+		out := SimulateCluster(base, ps, ClusterConfig{16, p})
+		if out.Makespan > prev+1e-9 {
+			t.Fatalf("p%d slower than p%d: %.2f > %.2f", p, p-1, out.Makespan, prev)
+		}
+		prev = out.Makespan
+	}
+}
+
+func TestLocalityCoPlacementAvoidsBackhaul(t *testing.T) {
+	// With L0 (producers of the projected files) and L4 (their other
+	// consumers) on the cloud, inserting L1 locally forces the
+	// projected files across the link; keeping L1 on the cloud too
+	// keeps them cloud-side ("the output of a task executed on the
+	// cloud is available locally to a subsequent child task").
+	sc := smallScenario()
+	depth := len(sc.Workflow.Levels)
+	colocated := make([]float64, depth)
+	colocated[0], colocated[1], colocated[4] = 1, 1, 1
+	a := Simulate(sc, LevelFractions(sc.Workflow, colocated))
+	split := make([]float64, depth)
+	split[0], split[4] = 1, 1 // L1 local
+	b := Simulate(sc, LevelFractions(sc.Workflow, split))
+	if a.BytesTransferred >= b.BytesTransferred {
+		t.Fatalf("locality broken: co-located moved %.0f bytes, split moved %.0f",
+			a.BytesTransferred, b.BytesTransferred)
+	}
+	// In the split run, the projected files cross the link exactly
+	// once (to local for L1) and are reused from cloud storage by L4:
+	// 20 raw + 20 proj + 1 corrections + 20 corrected back = 61.
+	if b.Transfers != 61 {
+		t.Fatalf("split transfers = %d, want 61 (each file crosses at most once per site)", b.Transfers)
+	}
+}
+
+func TestSharedInputTransferredOnce(t *testing.T) {
+	// The bgModel corrections file feeds every mBackground task; with
+	// all of L4 on the cloud it must cross the link exactly once.
+	sc := smallScenario()
+	depth := len(sc.Workflow.Levels)
+	fr := make([]float64, depth)
+	fr[4] = 1
+	out := Simulate(sc, LevelFractions(sc.Workflow, fr))
+	// Transfers: 20 projected files + 1 corrections file to cloud,
+	// then 20 corrected files back for L5/L6 locally.
+	if out.Transfers != 41 {
+		t.Fatalf("transfers = %d, want 41 (20 proj + 1 corrections + 20 corrected back)", out.Transfers)
+	}
+}
+
+func TestLevelFractionsPlacementCounts(t *testing.T) {
+	sc := smallScenario()
+	w := sc.Workflow
+	depth := len(w.Levels)
+	fr := make([]float64, depth)
+	fr[0], fr[1] = 0.5, 0.25
+	place := LevelFractions(w, fr)
+	cloud0, cloud1 := 0, 0
+	for _, task := range w.Levels[0] {
+		if place(task) == Cloud {
+			cloud0++
+		}
+	}
+	for _, task := range w.Levels[1] {
+		if place(task) == Cloud {
+			cloud1++
+		}
+	}
+	if cloud0 != 10 {
+		t.Fatalf("level 0 cloud tasks = %d, want 10 (half of 20)", cloud0)
+	}
+	want1 := int(math.Round(0.25 * float64(len(w.Levels[1]))))
+	if cloud1 != want1 {
+		t.Fatalf("level 1 cloud tasks = %d, want %d", cloud1, want1)
+	}
+	// Short fraction vectors leave deeper levels local; out-of-range
+	// values clamp.
+	clamped := LevelFractions(w, []float64{-1, 2})
+	if clamped(w.Levels[0][0]) != Local {
+		t.Fatal("fraction -1 did not clamp to 0")
+	}
+	if clamped(w.Levels[1][0]) != Cloud {
+		t.Fatal("fraction 2 did not clamp to 1")
+	}
+	if clamped(w.Levels[4][0]) != Local {
+		t.Fatal("level beyond vector not local")
+	}
+}
+
+func TestSimulatePanicsOnImpossiblePlacement(t *testing.T) {
+	base, ps := Tab1Base()
+	base.Workflow = workflow.Montage(workflow.MontageParams{Projections: 5})
+	sc := Tab1Scenario(base, ps, ClusterConfig{4, 6})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cloud placement without a cloud did not panic")
+		}
+	}()
+	Simulate(sc, AllCloud)
+}
+
+func TestSimulatePanicsWithoutCompute(t *testing.T) {
+	sc := smallScenario()
+	sc.LocalNodes = 0
+	sc.CloudVMs = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty platform did not panic")
+		}
+	}()
+	Simulate(sc, AllLocal)
+}
+
+func TestOutcomeString(t *testing.T) {
+	if Simulate(smallScenario(), AllLocal).String() == "" {
+		t.Fatal("empty outcome string")
+	}
+	if Local.String() != "local" || Cloud.String() != "cloud" {
+		t.Fatal("site names wrong")
+	}
+}
+
+func TestIdleClusterStillEmits(t *testing.T) {
+	// The Tab 2 insight: even an all-cloud run pays the local
+	// cluster's idle draw for the whole makespan.
+	out := Simulate(smallScenario(), AllCloud)
+	if out.CO2Local <= 0 {
+		t.Fatalf("idle local cluster emitted nothing: %+v", out)
+	}
+}
+
+func TestDefaultPStatesUsedBySimulator(t *testing.T) {
+	base, ps := Tab1Base()
+	if len(ps) != 7 {
+		t.Fatalf("p-states = %d", len(ps))
+	}
+	if base.Workflow.NumTasks() != 738 {
+		t.Fatalf("base workflow tasks = %d", base.Workflow.NumTasks())
+	}
+}

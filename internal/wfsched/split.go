@@ -1,0 +1,186 @@
+package wfsched
+
+// split.go relaxes Tab 1's homogeneity assumption ("all powered on
+// nodes operate in the same p-state"). A split cluster runs one group
+// of nodes at one p-state and a second group at another; the greedy
+// list scheduler prefers the faster free slot. Since the search space
+// includes every homogeneous configuration (empty second group), the
+// split optimum can only improve on the homogeneous one — the
+// ablation quantifies by how much.
+
+import (
+	"fmt"
+
+	"repro/internal/carbon"
+	"repro/internal/des"
+	"repro/internal/platform"
+	"repro/internal/workflow"
+)
+
+// SplitConfig is a two-group cluster configuration.
+type SplitConfig struct {
+	A, B ClusterConfig // B.Nodes may be 0 (homogeneous)
+}
+
+func (s SplitConfig) String() string {
+	if s.B.Nodes == 0 {
+		return s.A.String()
+	}
+	return fmt.Sprintf("%s + %s", s.A.String(), s.B.String())
+}
+
+// SimulateSplitCluster executes the workflow all-local on a cluster
+// split into two p-state groups. Ready tasks go to the fastest free
+// slot; when no slot is free they wait in a FIFO queue drained on
+// completions.
+func SimulateSplitCluster(base Scenario, pstates []platform.PState, cfg SplitConfig) Outcome {
+	base = base.withDefaults()
+	w := base.Workflow
+	if w == nil {
+		panic("wfsched: nil workflow")
+	}
+	if cfg.A.Nodes <= 0 {
+		panic("wfsched: split group A must have nodes")
+	}
+
+	sim := &des.Simulation{}
+	meter := carbon.NewMeter()
+	psA := pstates[cfg.A.PState]
+	siteA := platform.NewSite(sim, meter, "local-a", cfg.A.Nodes,
+		psA.Speed, psA.BusyPower, psA.IdlePower, base.LocalIntensity)
+	var siteB *platform.Site
+	var psB platform.PState
+	if cfg.B.Nodes > 0 {
+		psB = pstates[cfg.B.PState]
+		siteB = platform.NewSite(sim, meter, "local-b", cfg.B.Nodes,
+			psB.Speed, psB.BusyPower, psB.IdlePower, base.LocalIntensity)
+	}
+
+	freeA, freeB := cfg.A.Nodes, cfg.B.Nodes
+	var pending []*workflow.Task
+	pendingParents := make(map[*workflow.Task]int, len(w.Tasks))
+	done := 0
+	var out Outcome
+
+	var dispatch func(t *workflow.Task)
+	var onReady func(t *workflow.Task)
+
+	finish := func(t *workflow.Task) {
+		done++
+		for _, c := range t.Children {
+			pendingParents[c]--
+			if pendingParents[c] == 0 {
+				onReady(c)
+			}
+		}
+	}
+
+	dispatch = func(t *workflow.Task) {
+		// Prefer the faster group among those with a free slot.
+		useA := freeA > 0
+		if useA && freeB > 0 && psB.Speed > psA.Speed {
+			useA = false
+		}
+		if useA {
+			freeA--
+			siteA.Submit(t.Gflop, func() {
+				freeA++
+				finish(t)
+				if len(pending) > 0 && (freeA > 0 || freeB > 0) {
+					next := pending[0]
+					pending = pending[1:]
+					dispatch(next)
+				}
+			})
+			return
+		}
+		freeB--
+		siteB.Submit(t.Gflop, func() {
+			freeB++
+			finish(t)
+			if len(pending) > 0 && (freeA > 0 || freeB > 0) {
+				next := pending[0]
+				pending = pending[1:]
+				dispatch(next)
+			}
+		})
+	}
+
+	onReady = func(t *workflow.Task) {
+		if freeA > 0 || freeB > 0 {
+			dispatch(t)
+		} else {
+			pending = append(pending, t)
+		}
+	}
+
+	out.TasksLocal = len(w.Tasks)
+	for _, t := range w.Tasks {
+		pendingParents[t] = len(t.Parents)
+	}
+	for _, t := range w.Tasks {
+		if pendingParents[t] == 0 {
+			t := t
+			sim.Schedule(0, func() { onReady(t) })
+		}
+	}
+	sim.Run()
+	if done != len(w.Tasks) {
+		panic(fmt.Sprintf("wfsched: split deadlock: %d of %d tasks completed", done, len(w.Tasks)))
+	}
+	out.Makespan = sim.Now()
+	siteA.FinalizeIdle(out.Makespan)
+	out.EnergyLocalKWh = meter.EnergyKWh("local-a")
+	out.CO2Local = meter.SourceEmissions("local-a")
+	if siteB != nil {
+		siteB.FinalizeIdle(out.Makespan)
+		out.EnergyLocalKWh += meter.EnergyKWh("local-b")
+		out.CO2Local += meter.SourceEmissions("local-b")
+	}
+	out.CO2 = out.CO2Local
+	return out
+}
+
+// AblationResult compares the homogeneous and split-cluster optima.
+type AblationResult struct {
+	Homogeneous        ClusterConfig
+	HomogeneousOutcome Outcome
+	Split              SplitConfig
+	SplitOutcome       Outcome
+}
+
+// HeterogeneousAblation finds the bound-feasible minimum-CO2
+// configuration in both decision spaces: homogeneous (nodes, p-state)
+// and split (two groups, node counts in steps of nodeStep). The split
+// space contains every homogeneous point, so SplitOutcome.CO2 ≤
+// HomogeneousOutcome.CO2 whenever both are feasible.
+func HeterogeneousAblation(base Scenario, maxNodes int, bound float64) (AblationResult, error) {
+	pstates := platform.DefaultPStates()
+	homCfg, homOut, ok := ExhaustiveCluster(base, pstates, maxNodes, bound)
+	if !ok {
+		return AblationResult{}, fmt.Errorf("wfsched: bound %.0fs infeasible even homogeneously", bound)
+	}
+	res := AblationResult{
+		Homogeneous: homCfg, HomogeneousOutcome: homOut,
+		Split:        SplitConfig{A: homCfg},
+		SplitOutcome: homOut,
+	}
+	const nodeStep = 4
+	for pA := range pstates {
+		for pB := 0; pB < pA; pB++ {
+			for nA := 1; nA <= maxNodes; nA += nodeStep {
+				for nB := nodeStep; nA+nB <= maxNodes; nB += nodeStep {
+					cfg := SplitConfig{A: ClusterConfig{nA, pA}, B: ClusterConfig{nB, pB}}
+					out := SimulateSplitCluster(base, pstates, cfg)
+					if out.Makespan > bound {
+						continue
+					}
+					if out.CO2 < res.SplitOutcome.CO2 {
+						res.Split, res.SplitOutcome = cfg, out
+					}
+				}
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,170 @@
+package workflow
+
+import "fmt"
+
+// MontageParams sizes the generated Montage-shaped workflow.
+type MontageParams struct {
+	// Projections is the number of input images (mProject tasks).
+	// The default 157 yields the paper's 738 total tasks.
+	Projections int
+	// Diffs is the number of mDiffFit tasks; 0 derives the count so
+	// the total matches 738-style proportions (≈2.66 per projection).
+	Diffs int
+	// TargetBytes scales all file sizes so the workflow's total data
+	// footprint matches; default 7.5 GB, the paper's figure.
+	TargetBytes float64
+	// FlopScale multiplies every task's compute demand; default 1.
+	FlopScale float64
+}
+
+func (p MontageParams) withDefaults() MontageParams {
+	if p.Projections <= 0 {
+		p.Projections = 157
+	}
+	if p.Diffs <= 0 {
+		// 738 = N + diffs + N + 6 for N = 157 -> diffs = 418.
+		p.Diffs = 738 - 2*157 - 6
+		if p.Projections != 157 {
+			p.Diffs = (p.Projections * 418) / 157 // keep the ratio
+		}
+		if p.Diffs < 1 {
+			p.Diffs = 1
+		}
+	}
+	if p.TargetBytes <= 0 {
+		p.TargetBytes = 7.5e9
+	}
+	if p.FlopScale <= 0 {
+		p.FlopScale = 1
+	}
+	return p
+}
+
+// Per-kind nominal compute demand (Gflop). Calibrated so the default
+// workflow on the default 64-node cluster at the highest p-state runs
+// in about 1.5 minutes of simulated time, making the assignment's
+// 3-minute bound a real constraint.
+var montageGflop = map[string]float64{
+	"mProject":    90,
+	"mDiffFit":    12,
+	"mConcatFit":  15,
+	"mBgModel":    75,
+	"mBackground": 45,
+	"mImgtbl":     15,
+	"mAdd":        300,
+	"mShrink":     60,
+	"mJPEG":       30,
+}
+
+// Montage generates the nine-level Montage-shaped workflow:
+//
+//	L0 mProject×N -> L1 mDiffFit×D -> L2 mConcatFit -> L3 mBgModel ->
+//	L4 mBackground×N -> L5 mImgtbl -> L6 mAdd -> L7 mShrink -> L8 mJPEG
+//
+// With defaults it has 738 tasks and a 7.5 GB data footprint, the
+// instance the assignment describes.
+func Montage(p MontageParams) *Workflow {
+	p = p.withDefaults()
+	N, D := p.Projections, p.Diffs
+	w := &Workflow{Name: fmt.Sprintf("montage-%d", N*2+D+6)}
+
+	newFile := func(name string, mb float64, producer *Task) *File {
+		f := &File{Name: name, Bytes: mb * 1e6, Producer: producer}
+		w.Files = append(w.Files, f)
+		if producer != nil {
+			producer.Outputs = append(producer.Outputs, f)
+		}
+		return f
+	}
+	newTask := func(kind string, idx, level int) *Task {
+		t := &Task{
+			ID:    fmt.Sprintf("%s-%d", kind, idx),
+			Kind:  kind,
+			Level: level,
+			Gflop: montageGflop[kind] * p.FlopScale,
+		}
+		w.Tasks = append(w.Tasks, t)
+		return t
+	}
+
+	// L0: projections read raw input images.
+	projects := make([]*Task, N)
+	projected := make([]*File, N)
+	for i := 0; i < N; i++ {
+		projects[i] = newTask("mProject", i, 0)
+		raw := newFile(fmt.Sprintf("raw-%d.fits", i), 12, nil)
+		projects[i].Inputs = append(projects[i].Inputs, raw)
+		projected[i] = newFile(fmt.Sprintf("proj-%d.fits", i), 14, projects[i])
+	}
+
+	// L1: diff-fits read two overlapping projections each.
+	diffs := make([]*Task, D)
+	fits := make([]*File, D)
+	for j := 0; j < D; j++ {
+		diffs[j] = newTask("mDiffFit", j, 1)
+		a := j % N
+		b := (j*7 + 1) % N
+		if a == b {
+			b = (a + 1) % N
+		}
+		link(projects[a], diffs[j], projected[a])
+		link(projects[b], diffs[j], projected[b])
+		fits[j] = newFile(fmt.Sprintf("fit-%d.tbl", j), 0.3, diffs[j])
+	}
+
+	// L2..L3: global fit and background model.
+	concat := newTask("mConcatFit", 0, 2)
+	for j := 0; j < D; j++ {
+		link(diffs[j], concat, fits[j])
+	}
+	concatOut := newFile("concat.tbl", 3, concat)
+
+	bgModel := newTask("mBgModel", 0, 3)
+	link(concat, bgModel, concatOut)
+	corrections := newFile("corrections.tbl", 1, bgModel)
+
+	// L4: per-image background correction.
+	backgrounds := make([]*Task, N)
+	corrected := make([]*File, N)
+	for i := 0; i < N; i++ {
+		backgrounds[i] = newTask("mBackground", i, 4)
+		link(projects[i], backgrounds[i], projected[i])
+		link(bgModel, backgrounds[i], corrections)
+		corrected[i] = newFile(fmt.Sprintf("corr-%d.fits", i), 14, backgrounds[i])
+	}
+
+	// L5..L8: table, co-add, shrink, render.
+	imgtbl := newTask("mImgtbl", 0, 5)
+	for i := 0; i < N; i++ {
+		link(backgrounds[i], imgtbl, corrected[i])
+	}
+	tableOut := newFile("images.tbl", 2, imgtbl)
+
+	add := newTask("mAdd", 0, 6)
+	link(imgtbl, add, tableOut)
+	for i := 0; i < N; i++ {
+		link(backgrounds[i], add, corrected[i])
+	}
+	mosaic := newFile("mosaic.fits", 700, add)
+
+	shrink := newTask("mShrink", 0, 7)
+	link(add, shrink, mosaic)
+	shrunk := newFile("shrunk.fits", 70, shrink)
+
+	jpeg := newTask("mJPEG", 0, 8)
+	link(shrink, jpeg, shrunk)
+	newFile("mosaic.jpg", 7, jpeg)
+
+	// Scale file sizes to the target footprint.
+	var total float64
+	for _, f := range w.Files {
+		total += f.Bytes
+	}
+	scale := p.TargetBytes / total
+	for _, f := range w.Files {
+		f.Bytes *= scale
+	}
+
+	w.buildLevels()
+	return w
+}

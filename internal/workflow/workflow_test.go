@@ -1,0 +1,187 @@
+package workflow
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMontageDefaultsMatchPaper(t *testing.T) {
+	w := Montage(MontageParams{})
+	if w.NumTasks() != 738 {
+		t.Fatalf("tasks = %d, want the paper's 738", w.NumTasks())
+	}
+	if got := w.TotalBytes(); math.Abs(got-7.5e9) > 1 {
+		t.Fatalf("data footprint = %v bytes, want the paper's 7.5 GB", got)
+	}
+	if len(w.Levels) != 9 {
+		t.Fatalf("levels = %d, want 9 (Montage pipeline stages)", len(w.Levels))
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMontageLevelSizes(t *testing.T) {
+	w := Montage(MontageParams{})
+	want := []int{157, 418, 1, 1, 157, 1, 1, 1, 1}
+	for i, n := range want {
+		if len(w.Levels[i]) != n {
+			t.Fatalf("level %d has %d tasks, want %d", i, len(w.Levels[i]), n)
+		}
+	}
+	if w.Width() != 418 {
+		t.Fatalf("width = %d, want 418", w.Width())
+	}
+}
+
+func TestMontageKindsPerLevel(t *testing.T) {
+	w := Montage(MontageParams{})
+	wantKinds := []string{
+		"mProject", "mDiffFit", "mConcatFit", "mBgModel",
+		"mBackground", "mImgtbl", "mAdd", "mShrink", "mJPEG",
+	}
+	for i, kind := range wantKinds {
+		for _, task := range w.Levels[i] {
+			if task.Kind != kind {
+				t.Fatalf("level %d task %s has kind %s, want %s", i, task.ID, task.Kind, kind)
+			}
+		}
+	}
+}
+
+func TestMontageDependencyShape(t *testing.T) {
+	w := Montage(MontageParams{})
+	for _, task := range w.Levels[1] { // mDiffFit
+		if len(task.Parents) != 2 {
+			t.Fatalf("%s has %d parents, want 2 projections", task.ID, len(task.Parents))
+		}
+	}
+	concat := w.Levels[2][0]
+	if len(concat.Parents) != 418 {
+		t.Fatalf("mConcatFit has %d parents, want all 418 diffs", len(concat.Parents))
+	}
+	for _, task := range w.Levels[4] { // mBackground
+		if len(task.Parents) != 2 {
+			t.Fatalf("%s has %d parents, want projection + bgModel", task.ID, len(task.Parents))
+		}
+	}
+	add := w.Levels[6][0]
+	if len(add.Parents) != 158 { // imgtbl + 157 backgrounds
+		t.Fatalf("mAdd has %d parents, want 158", len(add.Parents))
+	}
+}
+
+func TestMontageCriticalPath(t *testing.T) {
+	w := Montage(MontageParams{})
+	cp := w.CriticalPathGflop()
+	// Critical path: mProject + mDiffFit + mConcatFit + mBgModel +
+	// mBackground + mImgtbl + mAdd + mShrink + mJPEG.
+	want := 90.0 + 12 + 15 + 75 + 45 + 15 + 300 + 60 + 30
+	if math.Abs(cp-want) > 1e-6 {
+		t.Fatalf("critical path = %v Gflop, want %v", cp, want)
+	}
+	if cp >= w.TotalGflop() {
+		t.Fatal("critical path not shorter than total work")
+	}
+}
+
+func TestMontageScaling(t *testing.T) {
+	w := Montage(MontageParams{Projections: 50, TargetBytes: 1e9, FlopScale: 2})
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w.TotalBytes()-1e9) > 1 {
+		t.Fatalf("scaled footprint = %v, want 1e9", w.TotalBytes())
+	}
+	base := Montage(MontageParams{Projections: 50})
+	if math.Abs(w.TotalGflop()-2*base.TotalGflop()) > 1e-6 {
+		t.Fatalf("FlopScale=2 did not double compute: %v vs %v", w.TotalGflop(), base.TotalGflop())
+	}
+}
+
+func TestMontageDeterministic(t *testing.T) {
+	a, b := Montage(MontageParams{}), Montage(MontageParams{})
+	if a.NumTasks() != b.NumTasks() || a.TotalGflop() != b.TotalGflop() {
+		t.Fatal("generator not deterministic")
+	}
+	for i := range a.Tasks {
+		if a.Tasks[i].ID != b.Tasks[i].ID || len(a.Tasks[i].Parents) != len(b.Tasks[i].Parents) {
+			t.Fatalf("task %d differs between generations", i)
+		}
+	}
+}
+
+func TestValidateCatchesBrokenDAGs(t *testing.T) {
+	w := Montage(MontageParams{Projections: 5})
+	// Break level ordering.
+	w.Levels[1][0].Level = 0
+	if err := w.Validate(); err == nil {
+		t.Fatal("level inversion not caught")
+	}
+}
+
+func TestValidateCatchesAsymmetricEdge(t *testing.T) {
+	w := Montage(MontageParams{Projections: 5})
+	child := w.Levels[1][0]
+	parent := child.Parents[0]
+	// Remove child from parent's children, breaking symmetry.
+	for i, c := range parent.Children {
+		if c == child {
+			parent.Children = append(parent.Children[:i], parent.Children[i+1:]...)
+			break
+		}
+	}
+	if err := w.Validate(); err == nil {
+		t.Fatal("asymmetric edge not caught")
+	}
+}
+
+func TestValidateCatchesDuplicateIDs(t *testing.T) {
+	w := Montage(MontageParams{Projections: 5})
+	w.Tasks[1].ID = w.Tasks[0].ID
+	if err := w.Validate(); err == nil {
+		t.Fatal("duplicate id not caught")
+	}
+}
+
+func TestInputFilesHaveNoProducer(t *testing.T) {
+	w := Montage(MontageParams{})
+	inputs := 0
+	for _, f := range w.Files {
+		if f.Producer == nil {
+			inputs++
+		}
+	}
+	if inputs != 157 {
+		t.Fatalf("workflow inputs = %d, want 157 raw images", inputs)
+	}
+}
+
+func TestQuickMontageInvariants(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw)%100 + 2
+		w := Montage(MontageParams{Projections: n})
+		if w.Validate() != nil {
+			return false
+		}
+		// Task count: 2N + diffs + 6.
+		diffs := (n * 418) / 157
+		if diffs < 1 {
+			diffs = 1
+		}
+		if w.NumTasks() != 2*n+diffs+6 {
+			return false
+		}
+		// Every non-input file has its producer among the tasks.
+		for _, file := range w.Files {
+			if file.Bytes <= 0 {
+				return false
+			}
+		}
+		return w.CriticalPathGflop() <= w.TotalGflop()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
