@@ -1,0 +1,24 @@
+# Tier-1 verification plus race detection in one command: `make check`.
+GO ?= go
+
+.PHONY: build test race vet check bench-baseline
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test race
+
+# Record the perf trajectory future PRs diff against. -benchtime=100ms
+# keeps the sweep to a couple of minutes; bump it for headline numbers.
+bench-baseline:
+	$(GO) test -run '^$$' -bench . -benchtime=100ms ./... \
+		| $(GO) run ./cmd/benchjson -go-version "$$($(GO) env GOVERSION)" -out BENCH_baseline.json

@@ -1,0 +1,146 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON baseline, so successive PRs can diff ns/op
+// per benchmark instead of eyeballing logs:
+//
+//	go test -run '^$' -bench . -benchtime=100ms ./... | benchjson > BENCH_baseline.json
+//	benchjson -in bench.log -out BENCH_baseline.json
+//
+// The GOMAXPROCS suffix (-8) is stripped from names so baselines
+// recorded on different machines stay comparable by key.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Entry is one benchmark's measurements.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	Iterations  int64   `json:"iterations"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+// Baseline is the file format: benchmark name -> entry, plus the
+// environment the numbers were recorded in.
+type Baseline struct {
+	GoVersion  string           `json:"go_version,omitempty"`
+	GOOS       string           `json:"goos,omitempty"`
+	GOARCH     string           `json:"goarch,omitempty"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+var (
+	benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+	extraStat = regexp.MustCompile(`([0-9.]+) (B/op|allocs/op)`)
+	metaLine  = regexp.MustCompile(`^(goos|goarch|pkg|cpu): (.+)$`)
+)
+
+// Parse scans go-test bench output and collects entries. Non-bench
+// lines (PASS, ok, pkg headers) are ignored; a benchmark appearing
+// twice (e.g. from -count) keeps the faster run.
+func Parse(r io.Reader) (Baseline, error) {
+	b := Baseline{Benchmarks: map[string]Entry{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if m := metaLine.FindStringSubmatch(line); m != nil {
+			switch m[1] {
+			case "goos":
+				b.GOOS = m[2]
+			case "goarch":
+				b.GOARCH = m[2]
+			}
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return b, fmt.Errorf("benchjson: bad ns/op in %q", line)
+		}
+		e := Entry{NsPerOp: ns, Iterations: iters}
+		for _, s := range extraStat.FindAllStringSubmatch(m[4], -1) {
+			v, err := strconv.ParseFloat(s[1], 64)
+			if err != nil {
+				continue
+			}
+			n := int64(v)
+			if s[2] == "B/op" {
+				e.BytesPerOp = &n
+			} else {
+				e.AllocsPerOp = &n
+			}
+		}
+		if old, ok := b.Benchmarks[m[1]]; !ok || e.NsPerOp < old.NsPerOp {
+			b.Benchmarks[m[1]] = e
+		}
+	}
+	return b, sc.Err()
+}
+
+// Names returns the benchmark names in sorted order.
+func (b Baseline) Names() []string {
+	names := make([]string, 0, len(b.Benchmarks))
+	for n := range b.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func main() {
+	in := flag.String("in", "", "bench output file (default stdin)")
+	out := flag.String("out", "", "JSON baseline file (default stdout)")
+	goVersion := flag.String("go-version", "", "record this Go version in the baseline")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	b, err := Parse(r)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(b.Benchmarks) == 0 {
+		fatalf("no benchmark lines found")
+	}
+	b.GoVersion = *goVersion
+
+	buf, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("wrote %d benchmarks to %s\n", len(b.Benchmarks), *out)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

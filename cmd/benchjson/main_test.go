@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/sched
+cpu: some cpu
+BenchmarkPoolStatic-8   	    1234	    972345 ns/op
+BenchmarkPoolStealing-8 	     500	   2000000 ns/op	     128 B/op	       3 allocs/op
+BenchmarkNoSuffix       	      10	 100000000 ns/op
+PASS
+ok  	repro/internal/sched	2.345s
+`
+
+func TestParse(t *testing.T) {
+	b, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.GOOS != "linux" || b.GOARCH != "amd64" {
+		t.Fatalf("env = %q/%q", b.GOOS, b.GOARCH)
+	}
+	if len(b.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(b.Benchmarks), b.Names())
+	}
+	e := b.Benchmarks["BenchmarkPoolStatic"]
+	if e.NsPerOp != 972345 || e.Iterations != 1234 {
+		t.Fatalf("PoolStatic = %+v", e)
+	}
+	s := b.Benchmarks["BenchmarkPoolStealing"]
+	if s.BytesPerOp == nil || *s.BytesPerOp != 128 || s.AllocsPerOp == nil || *s.AllocsPerOp != 3 {
+		t.Fatalf("PoolStealing extras = %+v", s)
+	}
+	if _, ok := b.Benchmarks["BenchmarkNoSuffix"]; !ok {
+		t.Fatal("suffix-less benchmark not parsed")
+	}
+}
+
+func TestParseKeepsFasterDuplicate(t *testing.T) {
+	in := "BenchmarkX-4 100 2000 ns/op\nBenchmarkX-4 100 1500 ns/op\n"
+	b, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Benchmarks["BenchmarkX"].NsPerOp; got != 1500 {
+		t.Fatalf("kept %v ns/op, want the faster 1500", got)
+	}
+}

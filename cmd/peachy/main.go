@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/img"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -26,6 +27,8 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced workloads")
 	out := flag.String("out", "artifacts", "directory for PNG artifacts")
 	md := flag.String("md", "", "also write a markdown report to this file")
+	metrics := flag.Bool("metrics", false, "print a metrics snapshot (JSON) after the run")
+	traceFile := flag.String("trace", "", "write a Perfetto-loadable Chrome trace to this file")
 	flag.Parse()
 
 	if *list {
@@ -41,7 +44,8 @@ func main() {
 			ids = append(ids, e.ID)
 		}
 	}
-	cfg := core.Config{Quick: *quick, OutDir: *out}
+	sink, flush := obs.Setup(*metrics, *traceFile)
+	cfg := core.Config{Quick: *quick, OutDir: *out, Obs: sink}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintf(os.Stderr, "peachy: %v\n", err)
 		os.Exit(1)
@@ -100,6 +104,14 @@ func main() {
 			failed++
 		} else {
 			fmt.Printf("wrote report to %s\n", *md)
+		}
+	}
+	if sink.Enabled() {
+		if err := flush(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "peachy: %v\n", err)
+			failed++
+		} else if *traceFile != "" {
+			fmt.Fprintf(os.Stderr, "wrote trace to %s\n", *traceFile)
 		}
 	}
 	if failed > 0 {

@@ -21,6 +21,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/grid"
 	"repro/internal/img"
+	"repro/internal/obs"
 	"repro/internal/sandpile"
 	"repro/internal/sched"
 	"repro/internal/trace"
@@ -44,6 +45,8 @@ func main() {
 		timeline  = flag.Bool("timeline", false, "render an ASCII timeline of the traced iteration")
 		gifOut    = flag.String("gif", "", "write an animated GIF of the evolution")
 		gifEvery  = flag.Int("gif-every", 20, "capture a GIF frame every N iterations")
+		metrics   = flag.Bool("metrics", false, "print a metrics snapshot (JSON) after the run")
+		traceFile = flag.String("trace", "", "write a Perfetto-loadable Chrome trace to this file")
 	)
 	flag.Parse()
 
@@ -75,9 +78,11 @@ func main() {
 
 	g := cfg.Build(*size, *size, rand.New(rand.NewSource(*seed)))
 	initial := g.Sum()
+	sink, flush := obs.Setup(*metrics, *traceFile)
 	params := engine.Params{
 		TileH: *tile, TileW: *tile,
 		Workers: *workers, Policy: pol, MaxIters: *maxIters,
+		Obs: sink,
 	}
 	var rec *trace.Recorder
 	if *traceIter > 0 {
@@ -141,6 +146,14 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Printf("wrote %s (%d frames)\n", *gifOut, len(frames))
+	}
+	if sink.Enabled() {
+		if err := flush(os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+		if *traceFile != "" {
+			fmt.Printf("wrote trace to %s\n", *traceFile)
+		}
 	}
 }
 

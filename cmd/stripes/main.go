@@ -19,6 +19,7 @@ import (
 	"repro/internal/climate"
 	"repro/internal/img"
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 	"repro/internal/stripes"
 )
 
@@ -34,6 +35,8 @@ func main() {
 		png        = flag.String("png", "", "write the warming-stripes PNG here")
 		exclude    = flag.Bool("exclude-suspect", false, "blank years flagged by validation")
 		dumpData   = flag.String("dump-data", "", "write the generated input files to this directory and exit")
+		metrics    = flag.Bool("metrics", false, "print a metrics snapshot (JSON) after the run")
+		traceFile  = flag.String("trace", "", "write a Perfetto-loadable Chrome trace to this file")
 	)
 	flag.Parse()
 
@@ -68,8 +71,9 @@ func main() {
 		return
 	}
 
+	sink, flush := obs.Setup(*metrics, *traceFile)
 	series, stats, err := stripes.ComputeSeries(layout, files, mapreduce.Config[string]{
-		MapTasks: *mapTasks, ReduceTasks: *redTasks,
+		MapTasks: *mapTasks, ReduceTasks: *redTasks, Obs: sink,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -113,6 +117,14 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Printf("wrote %s\n", *png)
+	}
+	if sink.Enabled() {
+		if err := flush(os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+		if *traceFile != "" {
+			fmt.Printf("wrote trace to %s\n", *traceFile)
+		}
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wfsched"
 )
 
@@ -34,11 +35,27 @@ func main() {
 		greedy    = flag.Bool("greedy", false, "Tab 2: run the greedy hill-climb optimizer")
 		pareto    = flag.Bool("pareto", false, "Tab 2: print the time/CO2 Pareto frontier")
 		split     = flag.Bool("split", false, "Tab 1: relax homogeneity — search two-group p-state clusters")
+		metrics   = flag.Bool("metrics", false, "print a metrics snapshot (JSON) after the run")
+		traceFile = flag.String("trace", "", "write a Perfetto-loadable Chrome trace to this file")
 	)
 	flag.Parse()
 
+	sink, flush := obs.Setup(*metrics, *traceFile)
+	defer func() {
+		if !sink.Enabled() {
+			return
+		}
+		if err := flush(os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+		if *traceFile != "" {
+			fmt.Printf("wrote trace to %s\n", *traceFile)
+		}
+	}()
+
 	if *split {
 		base, _ := wfsched.Tab1Base()
+		base.Obs = sink
 		res, err := wfsched.HeterogeneousAblation(base, wfsched.Tab1MaxNodes, wfsched.Tab1BoundSec)
 		if err != nil {
 			fatalf("%v", err)
@@ -52,6 +69,7 @@ func main() {
 
 	if !*tab2 {
 		base, ps := wfsched.Tab1Base()
+		base.Obs = sink
 		if *pstate < 0 || *pstate >= len(ps) {
 			fatalf("pstate must be 0..%d", len(ps)-1)
 		}
@@ -70,6 +88,7 @@ func main() {
 	}
 
 	sc := wfsched.Tab2Scenario()
+	sc.Obs = sink
 	switch {
 	case *pareto:
 		start := time.Now()

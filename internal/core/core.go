@@ -15,6 +15,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Config tunes experiment execution.
@@ -24,6 +26,10 @@ type Config struct {
 	Quick bool
 	// OutDir, when non-empty, receives the PNG artifacts.
 	OutDir string
+	// Obs attaches the observability layer; experiments thread it into
+	// the substrates they drive (sched pools, ghost ranks, mapreduce
+	// jobs, ...). The zero Sink disables it.
+	Obs obs.Sink
 }
 
 // Table is an aligned text table in a result.

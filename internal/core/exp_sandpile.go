@@ -118,6 +118,7 @@ func init() {
 				if _, err := engine.Run("lazy-sync", g, engine.Params{
 					TileH: 32, TileW: 32, Workers: 4, Policy: policy, ChunkSize: 1,
 					MaxIters: iter + 10, Recorder: rec, TraceFrom: iter, TraceTo: iter + 10,
+					Obs: cfg.Obs,
 				}); err != nil {
 					return nil, err
 				}
@@ -156,6 +157,7 @@ func init() {
 				if _, err := engine.Run("lazy-sync", g, engine.Params{
 					TileH: tile, TileW: tile, Workers: 4, Policy: sched.Dynamic,
 					MaxIters: iter, Recorder: rec, TraceFrom: iter, TraceTo: iter,
+					Obs: cfg.Obs,
 				}); err != nil {
 					return nil, err
 				}
@@ -195,6 +197,7 @@ func init() {
 						start := time.Now()
 						res, err := engine.Run(variant, g, engine.Params{
 							TileH: tile, TileW: tile, Workers: 4, Policy: sched.Dynamic,
+							Obs: cfg.Obs,
 						})
 						if err != nil {
 							return nil, err
@@ -268,7 +271,7 @@ func init() {
 			rep := hetero.Run(g, hetero.Params{
 				TileH: 16, TileW: 16, CPUWorkers: 3,
 				Device: hetero.DeviceProfile{Workers: 2, LaunchOverhead: 200 * time.Microsecond},
-				Adapt:  true, Recorder: rec,
+				Adapt:  true, Recorder: rec, Obs: cfg.Obs,
 			})
 			tl := grid.NewTiling(n, n, 16, 16)
 			var later []trace.Event
@@ -307,7 +310,7 @@ func init() {
 			msgs.Name, redundant.Name = "messages", "redundant cells"
 			for _, k := range []int{1, 2, 4, 8, 16} {
 				g := init.Clone()
-				rep, err := ghost.Run(g, ghost.Params{Ranks: 4, GhostWidth: k})
+				rep, err := ghost.Run(g, ghost.Params{Ranks: 4, GhostWidth: k, Obs: cfg.Obs})
 				if err != nil {
 					return nil, err
 				}

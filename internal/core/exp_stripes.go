@@ -28,7 +28,7 @@ func init() {
 			d := climate.Generate(climate.Params{Seed: 42, StartYear: start, EndYear: end})
 			files := climate.MonthFiles(d)
 			s, stats, err := stripes.ComputeSeries(stripes.MonthLayout, files,
-				mapreduce.Config[string]{MapTasks: 8, ReduceTasks: 4, Parallelism: 4})
+				mapreduce.Config[string]{MapTasks: 8, ReduceTasks: 4, Parallelism: 4, Obs: cfg.Obs})
 			if err != nil {
 				return nil, err
 			}
@@ -77,7 +77,7 @@ func init() {
 					Seed: 9, StartYear: 2000, EndYear: 2020, MissingFinalMonths: missing,
 				})
 				files := climate.MonthFiles(d)
-				s, _, err := stripes.ComputeSeries(stripes.MonthLayout, files, mapreduce.Config[string]{})
+				s, _, err := stripes.ComputeSeries(stripes.MonthLayout, files, mapreduce.Config[string]{Obs: cfg.Obs})
 				if err != nil {
 					return nil, err
 				}
@@ -108,11 +108,11 @@ func init() {
 			}
 			p := climate.Params{Seed: 8, StartYear: start, EndYear: end}
 			d := climate.Generate(p)
-			a, _, err := stripes.ComputeSeries(stripes.MonthLayout, climate.MonthFiles(d), mapreduce.Config[string]{MapTasks: 4})
+			a, _, err := stripes.ComputeSeries(stripes.MonthLayout, climate.MonthFiles(d), mapreduce.Config[string]{MapTasks: 4, Obs: cfg.Obs})
 			if err != nil {
 				return nil, err
 			}
-			b, _, err := stripes.ComputeSeries(stripes.StationLayout, climate.StationFiles(d), mapreduce.Config[string]{MapTasks: 7, ReduceTasks: 3})
+			b, _, err := stripes.ComputeSeries(stripes.StationLayout, climate.StationFiles(d), mapreduce.Config[string]{MapTasks: 7, ReduceTasks: 3, Obs: cfg.Obs})
 			if err != nil {
 				return nil, err
 			}

@@ -18,6 +18,7 @@ func tab1Base(cfg Config) wfsched.Scenario {
 	if cfg.Quick {
 		base.Workflow = workflow.Montage(workflow.MontageParams{Projections: 40})
 	}
+	base.Obs = cfg.Obs
 	return base
 }
 
@@ -26,6 +27,7 @@ func tab2Scenario(cfg Config) wfsched.Scenario {
 	if cfg.Quick {
 		sc.Workflow = workflow.Montage(workflow.MontageParams{Projections: 40, TargetBytes: 2e9})
 	}
+	sc.Obs = cfg.Obs
 	return sc
 }
 

@@ -10,16 +10,20 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Simulation owns the clock and the pending-event queue. The zero
 // value is ready to use. Simulations are single-goroutine by design,
 // as DES logic is inherently sequential in simulated time.
 type Simulation struct {
-	now   float64
-	seq   int64
-	queue eventHeap
-	steps int64
+	now    float64
+	seq    int64
+	queue  eventHeap
+	steps  int64
+	cSteps *obs.Counter // nil unless Observe attached metrics
 }
 
 // Event is a scheduled callback. Cancel it via Cancel; a cancelled
@@ -43,6 +47,19 @@ func (s *Simulation) Now() float64 { return s.now }
 
 // Steps returns the number of events executed so far.
 func (s *Simulation) Steps() int64 { return s.steps }
+
+// Clock returns an obs.Clock that reads the simulation's virtual
+// time, so a tracer built on it timestamps spans in simulated seconds
+// rather than wall time.
+func (s *Simulation) Clock() obs.Clock {
+	return obs.ClockFunc(func() time.Duration { return obs.Seconds(s.now) })
+}
+
+// Observe attaches the observability layer: every executed event
+// increments the des.events counter. A zero Sink detaches.
+func (s *Simulation) Observe(sink obs.Sink) {
+	s.cSteps = sink.Metrics.Counter("des.events") // nil registry -> nil counter
+}
 
 // Schedule enqueues fn to run after delay seconds of simulated time
 // and returns a handle for cancellation. It panics on negative or NaN
@@ -86,6 +103,7 @@ func (s *Simulation) Step() bool {
 		}
 		s.now = e.time
 		s.steps++
+		s.cSteps.Inc()
 		e.fn()
 		return true
 	}

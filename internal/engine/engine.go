@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/sandpile"
 	"repro/internal/sched"
 	"repro/internal/trace"
@@ -43,6 +44,11 @@ type Params struct {
 	// live progress — the analog of EASYPAP's real-time monitoring
 	// window. It runs on the coordinating goroutine; keep it cheap.
 	OnIteration func(IterStats)
+	// Obs attaches the observability layer: the worker pool of parallel
+	// variants reports per-worker chunk spans and sched.* counters,
+	// Run() adds engine.* counters and per-iteration spans on the
+	// "engine" track. The zero Sink disables it at no cost.
+	Obs obs.Sink
 }
 
 // IterStats is the per-iteration progress reported to OnIteration.
@@ -134,7 +140,32 @@ func Run(name string, g *grid.Grid, p Params) (sandpile.Result, error) {
 	if err != nil {
 		return sandpile.Result{}, err
 	}
-	return v.Run(g, p), nil
+	if tr := p.Obs.Tracer; tr != nil {
+		// Piggyback per-iteration spans on the monitor hook: wrapping
+		// OnIteration switches every variant to its monitored loop, so
+		// each iteration lands as one span on the engine track.
+		track := tr.Track("engine", 0, name)
+		last := tr.Now()
+		user := p.OnIteration
+		p.OnIteration = func(st IterStats) {
+			now := tr.Now()
+			tr.Span(track, "iteration", last, now-last,
+				obs.Arg{Key: "iter", Value: int64(st.Iteration)},
+				obs.Arg{Key: "changes", Value: int64(st.Changes)},
+				obs.Arg{Key: "active_tiles", Value: int64(st.ActiveTiles)})
+			last = now
+			if user != nil {
+				user(st)
+			}
+		}
+	}
+	res := v.Run(g, p)
+	if m := p.Obs.Metrics; m != nil {
+		m.Counter("engine.runs").Inc()
+		m.Counter("engine.iterations").Add(int64(res.Iterations))
+		m.Counter("engine.topples").Add(int64(res.Topples))
+	}
+	return res, nil
 }
 
 func init() {
@@ -254,7 +285,7 @@ func runSeqAsyncMonitored(g *grid.Grid, p Params) sandpile.Result {
 // loop.
 func runOmpSync(g *grid.Grid, p Params) sandpile.Result {
 	p = p.withDefaults()
-	pool := sched.NewPool(sched.Options{Workers: p.Workers, Policy: p.Policy, ChunkSize: p.ChunkSize})
+	pool := sched.NewPool(sched.Options{Workers: p.Workers, Policy: p.Policy, ChunkSize: p.ChunkSize, Obs: p.Obs})
 	defer pool.Close()
 
 	before := g.Sum()
@@ -321,7 +352,7 @@ func makeTiledSync(lazy, inner bool) func(*grid.Grid, Params) sandpile.Result {
 	return func(g *grid.Grid, p Params) sandpile.Result {
 		p = p.withDefaults()
 		tl := grid.NewTiling(g.H(), g.W(), p.TileH, p.TileW)
-		pool := sched.NewPool(sched.Options{Workers: p.Workers, Policy: p.Policy, ChunkSize: p.ChunkSize})
+		pool := sched.NewPool(sched.Options{Workers: p.Workers, Policy: p.Policy, ChunkSize: p.ChunkSize, Obs: p.Obs})
 		defer pool.Close()
 
 		before := g.Sum()
@@ -427,7 +458,7 @@ func makeAsyncWaves(lazy bool) func(*grid.Grid, Params) sandpile.Result {
 			panic("engine: async wave variants require tiles of at least 2x2 cells")
 		}
 		tl := grid.NewTiling(g.H(), g.W(), p.TileH, p.TileW)
-		pool := sched.NewPool(sched.Options{Workers: p.Workers, Policy: p.Policy, ChunkSize: p.ChunkSize})
+		pool := sched.NewPool(sched.Options{Workers: p.Workers, Policy: p.Policy, ChunkSize: p.ChunkSize, Obs: p.Obs})
 		defer pool.Close()
 
 		before := g.Sum()

@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/obs"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// TestRunObsSpansPerWorker is the monitor-hook contract with obs
+// enabled: every pool worker contributes at least one chunk span, the
+// engine track carries one span per iteration, and the counters agree
+// with the run result.
+func TestRunObsSpansPerWorker(t *testing.T) {
+	const workers = 3
+	sink := obs.Sink{Metrics: obs.NewRegistry(), Tracer: obs.NewTracer(nil)}
+	g := grid.New(64, 64)
+	g.Set(32, 32, 50000)
+
+	var monitored int
+	res, err := Run("tiled-sync", g, Params{
+		Workers: workers, Policy: sched.Static, TileH: 8, TileW: 8,
+		Obs:         sink,
+		OnIteration: func(IterStats) { monitored++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if monitored != res.Iterations {
+		t.Fatalf("user monitor hook fired %d times, want %d", monitored, res.Iterations)
+	}
+
+	perWorker := map[int]int{}
+	engineSpans := 0
+	for _, sp := range sink.Tracer.Spans() {
+		switch sink.Tracer.ProcessName(sp.Track.PID) {
+		case "sched":
+			perWorker[sp.Track.TID]++
+		case "engine":
+			engineSpans++
+		}
+	}
+	if len(perWorker) != workers {
+		t.Fatalf("chunk spans cover %d workers, want %d: %v", len(perWorker), workers, perWorker)
+	}
+	for w, n := range perWorker {
+		if n < 1 {
+			t.Fatalf("worker %d has no spans", w)
+		}
+	}
+	if engineSpans != res.Iterations {
+		t.Fatalf("engine iteration spans = %d, want %d", engineSpans, res.Iterations)
+	}
+
+	s := sink.Metrics.Snapshot()
+	if s.Counters["engine.runs"] != 1 {
+		t.Fatalf("engine.runs = %d, want 1", s.Counters["engine.runs"])
+	}
+	if s.Counters["engine.iterations"] != int64(res.Iterations) {
+		t.Fatalf("engine.iterations = %d, want %d", s.Counters["engine.iterations"], res.Iterations)
+	}
+	if s.Counters["sched.chunks"] == 0 || s.Counters["sched.regions"] == 0 {
+		t.Fatalf("pool counters empty: %+v", s.Counters)
+	}
+}
+
+// TestDisabledObsRecordPathZeroAlloc pins the disabled-path contract at
+// the engine's granularity: the tracing/monitoring calls the variants
+// make per task are zero-allocation no-ops when nothing is attached.
+func TestDisabledObsRecordPathZeroAlloc(t *testing.T) {
+	var rec *trace.Recorder
+	p := Params{}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if p.traced(1) {
+			t.Fatal("traced with nil recorder")
+		}
+		start := rec.Now()
+		rec.Record(trace.Event{Iteration: 1, Worker: 0, Tile: 3, Start: start, Cells: 64})
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled record path allocates %.1f per event, want 0", allocs)
+	}
+}

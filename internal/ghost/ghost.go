@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/sandpile"
 )
 
@@ -33,6 +34,10 @@ type Params struct {
 	GhostWidth int
 	// MaxIters aborts runaway runs; 0 means sandpile.MaxIterations.
 	MaxIters int
+	// Obs attaches the observability layer: per-rank exchange/compute
+	// spans on the "ghost" track and ghost.* counters (halo messages,
+	// bytes, redundant cells). The zero Sink disables it.
+	Obs obs.Sink
 }
 
 // Report summarizes a distributed run.
@@ -75,6 +80,8 @@ type rank struct {
 	bytes      uint64
 	redundant  uint64
 	ownedCells uint64
+	tr         *obs.Tracer // nil when tracing is off
+	track      obs.TrackID
 }
 
 // Run stabilizes g with the distributed synchronous automaton and
@@ -117,6 +124,10 @@ func Run(g *grid.Grid, p Params) (Report, error) {
 			globalTop: top,
 			changes:   make(chan int, 1),
 			proceed:   make(chan bool, 1),
+		}
+		if tr := p.Obs.Tracer; tr != nil {
+			r.tr = tr
+			r.track = tr.Track("ghost", i, fmt.Sprintf("rank %d", i))
 		}
 		if i > 0 {
 			r.topGhost = K
@@ -190,6 +201,13 @@ func Run(g *grid.Grid, p Params) (Report, error) {
 	g.ClearHalo()
 	report.Iterations = iters
 	report.Absorbed = before - g.Sum()
+	if m := p.Obs.Metrics; m != nil {
+		m.Counter("ghost.exchanges").Add(int64(report.Exchanges))
+		m.Counter("ghost.halo.messages").Add(int64(report.Messages))
+		m.Counter("ghost.halo.bytes").Add(int64(report.BytesSent))
+		m.Counter("ghost.cells.redundant").Add(int64(report.RedundantCells))
+		m.Counter("ghost.cells.owned").Add(int64(report.OwnedCells))
+	}
 	return report, nil
 }
 
@@ -202,7 +220,13 @@ func (r *rank) run(K int) {
 		// Fill (or refresh) ghost zones before the round's K steps.
 		// The first exchange distributes the scattered initial state's
 		// boundary rows; later ones refresh post-round state.
+		exTS := r.tr.Now()
 		r.exchange(K)
+		if r.tr != nil {
+			r.tr.Span(r.track, "exchange", exTS, r.tr.Now()-exTS,
+				obs.Arg{Key: "K", Value: int64(K)})
+		}
+		compTS := r.tr.Now()
 		roundChanges := 0
 		for s := 1; s <= K; s++ {
 			// Valid band shrinks by one row per step on each side that
@@ -224,6 +248,10 @@ func (r *rank) run(K int) {
 				}
 			}
 			r.cur, r.next = r.next, r.cur
+		}
+		if r.tr != nil {
+			r.tr.Span(r.track, "compute", compTS, r.tr.Now()-compTS,
+				obs.Arg{Key: "changes", Value: int64(roundChanges)})
 		}
 		r.changes <- roundChanges
 		if !<-r.proceed {

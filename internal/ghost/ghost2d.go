@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/sandpile"
 )
 
@@ -28,6 +29,10 @@ type Params2D struct {
 	GhostWidth int
 	// MaxIters aborts runaway runs; 0 means sandpile.MaxIterations.
 	MaxIters int
+	// Obs attaches the observability layer: per-rank exchange/compute
+	// spans on the "ghost2d" track and the same ghost.* counters the
+	// strip decomposition reports. The zero Sink disables it.
+	Obs obs.Sink
 }
 
 // rank2d is one simulated process of the block decomposition.
@@ -48,6 +53,8 @@ type rank2d struct {
 	msgs      int
 	bytes     uint64
 	redundant uint64
+	tr        *obs.Tracer // nil when tracing is off
+	track     obs.TrackID
 }
 
 // Run2D stabilizes g with the 2-D block-decomposed synchronous
@@ -94,6 +101,10 @@ func Run2D(g *grid.Grid, p Params2D) (Report, error) {
 			}
 			if pc < C-1 {
 				r.gRight = K
+			}
+			if tr := p.Obs.Tracer; tr != nil {
+				r.tr = tr
+				r.track = tr.Track("ghost2d", pr*C+pc, fmt.Sprintf("rank (%d,%d)", pr, pc))
 			}
 			r.cur = grid.New(r.ownH+r.gTop+r.gBot, r.ownW+r.gLeft+r.gRight)
 			r.next = grid.New(r.cur.H(), r.cur.W())
@@ -167,6 +178,13 @@ func Run2D(g *grid.Grid, p Params2D) (Report, error) {
 	g.ClearHalo()
 	report.Iterations = iters
 	report.Absorbed = before - g.Sum()
+	if m := p.Obs.Metrics; m != nil {
+		m.Counter("ghost.exchanges").Add(int64(report.Exchanges))
+		m.Counter("ghost.halo.messages").Add(int64(report.Messages))
+		m.Counter("ghost.halo.bytes").Add(int64(report.BytesSent))
+		m.Counter("ghost.cells.redundant").Add(int64(report.RedundantCells))
+		m.Counter("ghost.cells.owned").Add(int64(report.OwnedCells))
+	}
 	return report, nil
 }
 
@@ -190,7 +208,13 @@ func splitExtents(total, n int) []int {
 func (r *rank2d) run(K int) {
 	H, W := r.cur.H(), r.cur.W()
 	for {
+		exTS := r.tr.Now()
 		r.exchange(K)
+		if r.tr != nil {
+			r.tr.Span(r.track, "exchange", exTS, r.tr.Now()-exTS,
+				obs.Arg{Key: "K", Value: int64(K)})
+		}
+		compTS := r.tr.Now()
 		roundChanges := 0
 		for s := 1; s <= K; s++ {
 			y0, y1, x0, x1 := 0, H, 0, W
@@ -226,6 +250,10 @@ func (r *rank2d) run(K int) {
 				}
 			}
 			r.cur, r.next = r.next, r.cur
+		}
+		if r.tr != nil {
+			r.tr.Span(r.track, "compute", compTS, r.tr.Now()-compTS,
+				obs.Arg{Key: "changes", Value: int64(roundChanges)})
 		}
 		r.changes <- roundChanges
 		if !<-r.proceed {

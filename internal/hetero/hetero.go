@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/sandpile"
 	"repro/internal/sched"
 	"repro/internal/trace"
@@ -56,6 +57,11 @@ type Params struct {
 	MaxIters int
 	// Recorder, when non-nil, receives one event per computed tile.
 	Recorder *trace.Recorder
+	// Obs attaches the observability layer: per-iteration batch spans
+	// on the "hetero-device"/"hetero-cpu" tracks (the occupancy view),
+	// hetero.tiles.* counters, and a hetero.fraction gauge tracking the
+	// controller. The zero Sink disables it.
+	Obs obs.Sink
 }
 
 // Report summarizes a hybrid run.
@@ -119,6 +125,21 @@ func Run(g *grid.Grid, p Params) Report {
 	rep := Report{FinalFraction: frac}
 	active := make([]int, 0, nTiles)
 
+	tr := p.Obs.Tracer
+	var devTrack, cpuTrack obs.TrackID
+	if tr != nil {
+		devTrack = tr.Track("hetero-device", 0, "device")
+		cpuTrack = tr.Track("hetero-cpu", 0, "cpu team")
+	}
+	var cDevTiles, cCPUTiles *obs.Counter
+	var gFrac *obs.Gauge
+	if m := p.Obs.Metrics; m != nil {
+		cDevTiles = m.Counter("hetero.tiles.device")
+		cCPUTiles = m.Counter("hetero.tiles.cpu")
+		gFrac = m.Gauge("hetero.fraction")
+		gFrac.Set(frac)
+	}
+
 	for {
 		rep.Iterations++
 		iter := rep.Iterations
@@ -140,6 +161,7 @@ func Run(g *grid.Grid, p Params) Report {
 		if dev != nil && len(devTiles) > 0 {
 			go func() {
 				start := time.Now()
+				batchTS := tr.Now()
 				time.Sleep(p.Device.LaunchOverhead)
 				dev.Run(len(devTiles), func(w, lo, hi int) {
 					for k := lo; k < hi; k++ {
@@ -161,13 +183,20 @@ func Run(g *grid.Grid, p Params) Report {
 						}
 					}
 				})
-				done <- time.Since(start)
+				el := time.Since(start)
+				if tr != nil {
+					tr.Span(devTrack, "device batch", batchTS, el,
+						obs.Arg{Key: "iter", Value: int64(iter)},
+						obs.Arg{Key: "tiles", Value: int64(len(devTiles))})
+				}
+				done <- el
 			}()
 		} else {
 			done <- 0
 		}
 
 		cpuStart := time.Now()
+		cpuTS := tr.Now()
 		cpu.Run(len(cpuTiles), func(w, lo, hi int) {
 			for k := lo; k < hi; k++ {
 				id := cpuTiles[k]
@@ -204,11 +233,18 @@ func Run(g *grid.Grid, p Params) Report {
 		})
 		cpuTime := time.Since(cpuStart)
 		devTime := <-done
+		if tr != nil {
+			tr.Span(cpuTrack, "cpu batch", cpuTS, cpuTime,
+				obs.Arg{Key: "iter", Value: int64(iter)},
+				obs.Arg{Key: "tiles", Value: int64(len(cpuTiles))})
+		}
 
 		rep.DeviceTiles += len(devTiles)
 		rep.CPUTiles += len(cpuTiles)
 		rep.DeviceBusy += devTime
 		rep.CPUBusy += cpuTime
+		cDevTiles.Add(int64(len(devTiles)))
+		cCPUTiles.Add(int64(len(cpuTiles)))
 
 		if p.Adapt && dev != nil && len(devTiles) > 0 && len(cpuTiles) > 0 &&
 			devTime > 0 && cpuTime > 0 {
@@ -223,6 +259,7 @@ func Run(g *grid.Grid, p Params) Report {
 			if frac > 0.98 {
 				frac = 0.98
 			}
+			gFrac.Set(frac)
 		}
 
 		total := 0

@@ -21,6 +21,8 @@ import (
 	"slices"
 	"sort"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // KV is one key/value pair flowing between phases.
@@ -72,6 +74,10 @@ type Config[K cmp.Ordered] struct {
 	// Partitioner routes keys to reduce partitions; nil means
 	// HashPartitioner.
 	Partitioner Partitioner[K]
+	// Obs attaches the observability layer: map/shuffle/reduce task
+	// spans on the "mapreduce-*" tracks, mapreduce.* counters, and a
+	// group-size histogram. The zero Sink disables it.
+	Obs obs.Sink
 }
 
 func (c Config[K]) withDefaults() Config[K] {
@@ -175,13 +181,21 @@ func (j *Job[I, K, V, O]) Run(inputs []I) ([]O, Stats, error) {
 		retries int64
 		statsMu sync.Mutex
 	)
+	tr := cfg.Obs.Tracer
 	for t, split := range splits {
 		wg.Add(1)
 		go func(t int, split []I) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			mapTS := tr.Now()
 			out, emitted, attempts, err := j.runMapTask(split, cfg)
+			if tr != nil {
+				tr.Span(tr.Track("mapreduce-map", t, fmt.Sprintf("map task %d", t)),
+					"map", mapTS, tr.Now()-mapTS,
+					obs.Arg{Key: "records", Value: int64(len(split))},
+					obs.Arg{Key: "emitted", Value: int64(emitted)})
+			}
 			if err != nil {
 				errMu.Lock()
 				if firstEr == nil {
@@ -214,6 +228,14 @@ func (j *Job[I, K, V, O]) Run(inputs []I) ([]O, Stats, error) {
 	stats.ReduceGroups = redStats.ReduceGroups
 	stats.Outputs = len(out)
 	stats.TaskRetries = int(retries) + redStats.TaskRetries
+	if m := cfg.Obs.Metrics; m != nil {
+		m.Counter("mapreduce.tasks.map").Add(int64(stats.MapTasks))
+		m.Counter("mapreduce.tasks.reduce").Add(int64(stats.ReduceTasks))
+		m.Counter("mapreduce.records.in").Add(int64(stats.MapInputs))
+		m.Counter("mapreduce.records.out").Add(int64(stats.Outputs))
+		m.Counter("mapreduce.groups").Add(int64(stats.ReduceGroups))
+		m.Counter("mapreduce.retries").Add(int64(stats.TaskRetries))
+	}
 	return out, stats, nil
 }
 
@@ -227,6 +249,9 @@ func (j *Job[I, K, V, O]) reducePhase(mapOut [][][]KV[K, V], cfg Config[K]) ([]O
 		key    K
 		values []V
 	}
+	tr := cfg.Obs.Tracer
+	hGroup := cfg.Obs.Metrics.Histogram("mapreduce.group_size", nil) // nil-safe
+	shufTS := tr.Now()
 	partGroups := make([][]group, cfg.ReduceTasks)
 	for p := 0; p < cfg.ReduceTasks; p++ {
 		idx := map[K]int{}
@@ -246,6 +271,14 @@ func (j *Job[I, K, V, O]) reducePhase(mapOut [][][]KV[K, V], cfg Config[K]) ([]O
 		sort.Slice(groups, func(a, b int) bool { return groups[a].key < groups[b].key })
 		partGroups[p] = groups
 		stats.ReduceGroups += len(groups)
+		for _, g := range groups {
+			hGroup.Observe(float64(len(g.values)))
+		}
+	}
+	if tr != nil {
+		tr.Span(tr.Track("mapreduce-shuffle", 0, "shuffle"),
+			"shuffle", shufTS, tr.Now()-shufTS,
+			obs.Arg{Key: "groups", Value: int64(stats.ReduceGroups)})
 	}
 
 	var (
@@ -263,6 +296,14 @@ func (j *Job[I, K, V, O]) reducePhase(mapOut [][][]KV[K, V], cfg Config[K]) ([]O
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			redTS := tr.Now()
+			defer func() {
+				if tr != nil {
+					tr.Span(tr.Track("mapreduce-reduce", p, fmt.Sprintf("reduce %d", p)),
+						"reduce", redTS, tr.Now()-redTS,
+						obs.Arg{Key: "groups", Value: int64(len(partGroups[p]))})
+				}
+			}()
 			var out []O
 			emit := func(o O) { out = append(out, o) }
 			for _, g := range partGroups[p] {

@@ -1,0 +1,63 @@
+package mapreduce
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestJobReportsObs(t *testing.T) {
+	sink := obs.Sink{Metrics: obs.NewRegistry(), Tracer: obs.NewTracer(nil)}
+	job := &Job[string, string, int, KV[string, int]]{
+		Name: "wordcount",
+		Map: func(line string, emit func(string, int)) error {
+			for _, w := range strings.Fields(line) {
+				emit(w, 1)
+			}
+			return nil
+		},
+		Reduce: func(k string, vs []int, emit func(KV[string, int])) error {
+			sum := 0
+			for _, v := range vs {
+				sum += v
+			}
+			emit(KV[string, int]{k, sum})
+			return nil
+		},
+		Config: Config[string]{MapTasks: 3, ReduceTasks: 2, Obs: sink},
+	}
+	_, stats, err := job.Run([]string{"a b a", "b c", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := sink.Metrics.Snapshot()
+	if s.Counters["mapreduce.tasks.map"] != int64(stats.MapTasks) || stats.MapTasks == 0 {
+		t.Fatalf("map task counter = %d, stats = %d", s.Counters["mapreduce.tasks.map"], stats.MapTasks)
+	}
+	if s.Counters["mapreduce.records.in"] != 3 {
+		t.Fatalf("records.in = %d, want 3", s.Counters["mapreduce.records.in"])
+	}
+	if s.Counters["mapreduce.groups"] != 3 { // a, b, c
+		t.Fatalf("groups = %d, want 3", s.Counters["mapreduce.groups"])
+	}
+	hs := s.Histograms["mapreduce.group_size"]
+	if hs.Count != 3 || hs.Sum != 6 { // group sizes 3(a)+2(b)+1(c)
+		t.Fatalf("group_size histogram = %+v, want count 3 sum 6", hs)
+	}
+
+	phases := map[string]int{}
+	for _, sp := range sink.Tracer.Spans() {
+		phases[sp.Name]++
+	}
+	if phases["map"] != stats.MapTasks {
+		t.Fatalf("map spans = %d, want %d", phases["map"], stats.MapTasks)
+	}
+	if phases["shuffle"] != 1 {
+		t.Fatalf("shuffle spans = %d, want 1", phases["shuffle"])
+	}
+	if phases["reduce"] != stats.ReduceTasks {
+		t.Fatalf("reduce spans = %d, want %d", phases["reduce"], stats.ReduceTasks)
+	}
+}

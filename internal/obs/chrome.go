@@ -1,0 +1,120 @@
+package obs
+
+// chrome.go serializes a tracer into the Chrome trace-event JSON
+// array format (the "JSON Array Format" of the trace-event spec),
+// which Perfetto and chrome://tracing load directly: one complete
+// "X" event per span with microsecond timestamps, preceded by "M"
+// metadata events naming each process and thread track.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// chromeEvent is one entry of the trace array. Field presence follows
+// the spec: metadata events carry args.name; complete events carry
+// ts/dur in fractional microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Cat  string         `json:"cat,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// WriteChrome writes the tracer's spans as a Chrome trace-event JSON
+// array. A nil tracer writes an empty array.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var events []chromeEvent
+	if t != nil {
+		t.mu.Lock()
+		for pid, proc := range t.procs {
+			events = append(events, chromeEvent{
+				Name: "process_name", Ph: "M", PID: pid + 1,
+				Args: map[string]any{"name": proc},
+			})
+		}
+		type namedTrack struct {
+			id   TrackID
+			name string
+		}
+		tracks := make([]namedTrack, 0, len(t.threads))
+		for id, name := range t.threads {
+			tracks = append(tracks, namedTrack{id, name})
+		}
+		sort.Slice(tracks, func(i, j int) bool {
+			if tracks[i].id.PID != tracks[j].id.PID {
+				return tracks[i].id.PID < tracks[j].id.PID
+			}
+			return tracks[i].id.TID < tracks[j].id.TID
+		})
+		for _, tk := range tracks {
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: tk.id.PID, TID: tk.id.TID,
+				Args: map[string]any{"name": tk.name},
+			})
+		}
+		spans := append([]Span(nil), t.spans...)
+		t.mu.Unlock()
+		sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+		for _, s := range spans {
+			ev := chromeEvent{
+				Name: s.Name, Ph: "X", PID: s.Track.PID, TID: s.Track.TID,
+				TS: micros(s.Start), Dur: micros(s.Dur), Cat: t.ProcessName(s.Track.PID),
+			}
+			if len(s.Args) > 0 {
+				ev.Args = make(map[string]any, len(s.Args))
+				for _, a := range s.Args {
+					ev.Args[a.Key] = a.Value
+				}
+			}
+			events = append(events, ev)
+		}
+	}
+
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return fmt.Errorf("obs: encoding trace event %d: %w", i, err)
+		}
+		if i > 0 {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// SaveChrome writes the Chrome trace to a file.
+func (t *Tracer) SaveChrome(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	defer f.Close()
+	if err := t.WriteChrome(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// Setup builds a Sink for the CLI convention the repro binaries share:
+// -metrics attaches a fresh Registry, -trace FILE attaches a
+// wall-clock Tracer. The returned flush saves the Chrome trace to
+// tracePath and writes the metrics snapshot (JSON) to w; call it once
+// after the work finishes. Both Sink and flush are no-ops when neither
+// option is requested.
+func Setup(metrics bool, tracePath string) (Sink, func(w io.Writer) error) {
+	var s Sink
+	if metrics {
+		s.Metrics = NewRegistry()
+	}
+	if tracePath != "" {
+		s.Tracer = NewTracer(nil)
+	}
+	flush := func(w io.Writer) error {
+		if s.Tracer != nil {
+			if err := s.Tracer.SaveChrome(tracePath); err != nil {
+				return fmt.Errorf("saving trace: %w", err)
+			}
+		}
+		if s.Metrics != nil {
+			if err := s.Metrics.WriteJSON(w); err != nil {
+				return fmt.Errorf("writing metrics: %w", err)
+			}
+		}
+		return nil
+	}
+	return s, flush
+}

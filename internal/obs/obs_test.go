@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x.count")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("x.count") != c {
+		t.Fatal("counter not interned by name")
+	}
+	g := r.Gauge("x.gauge")
+	g.Set(2.5)
+	g.Add(1.5)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %v, want 4", g.Value())
+	}
+	h := r.Histogram("x.hist", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("histogram count = %d, want 4", h.Count())
+	}
+	s := r.Snapshot()
+	hs := s.Histograms["x.hist"]
+	if hs.Sum != 555.5 {
+		t.Fatalf("histogram sum = %v, want 555.5", hs.Sum)
+	}
+	want := []int64{1, 1, 1, 1}
+	for i, b := range hs.Buckets {
+		if b.Count != want[i] {
+			t.Fatalf("bucket %d count = %d, want %d", i, b.Count, want[i])
+		}
+	}
+	if !math.IsInf(hs.Buckets[3].UpperBound, 1) {
+		t.Fatal("overflow bucket bound not +Inf")
+	}
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", nil).Observe(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8000 {
+		t.Fatalf("lost counter updates: %d, want 8000", got)
+	}
+	if got := r.Gauge("g").Value(); got != 8000 {
+		t.Fatalf("lost gauge updates: %v, want 8000", got)
+	}
+	if got := r.Histogram("h", nil).Count(); got != 8000 {
+		t.Fatalf("lost histogram updates: %d, want 8000", got)
+	}
+}
+
+func TestSnapshotJSONRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sched.steals").Add(7)
+	r.Gauge("hetero.fraction").Set(0.25)
+	r.Histogram("mr.groups", []float64{2, 4}).Observe(3)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, buf.String())
+	}
+	ctrs := back["counters"].(map[string]any)
+	if ctrs["sched.steals"].(float64) != 7 {
+		t.Fatalf("counter lost in JSON: %v", back)
+	}
+}
+
+// TestNoopZeroAlloc is the disabled-path contract: nil instruments and
+// a nil tracer must not allocate per event.
+func TestNoopZeroAlloc(t *testing.T) {
+	var (
+		c   *Counter
+		g   *Gauge
+		h   *Histogram
+		tr  *Tracer
+		reg *Registry
+	)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1)
+		g.Add(1)
+		h.Observe(2)
+		tr.Span(TrackID{}, "x", 0, 0)
+		tr.Instant(TrackID{}, "y", 0)
+		_ = tr.Now()
+		_ = tr.Track("p", 0, "t")
+		_ = reg.Counter("x")
+		_ = reg.Gauge("y")
+		_ = reg.Histogram("z", nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled observability allocates %.1f per event, want 0", allocs)
+	}
+}
+
+func TestTracerTracksAndSpans(t *testing.T) {
+	tr := NewTracer(nil)
+	w0 := tr.Track("sched", 0, "worker 0")
+	w1 := tr.Track("sched", 1, "worker 1")
+	r0 := tr.Track("ghost", 0, "rank 0")
+	if w0.PID != w1.PID {
+		t.Fatalf("same process got different pids: %v %v", w0, w1)
+	}
+	if w0.PID == r0.PID {
+		t.Fatal("distinct processes share a pid")
+	}
+	if again := tr.Track("sched", 0, "other name"); again != w0 {
+		t.Fatalf("re-registration moved the track: %v vs %v", again, w0)
+	}
+	if tr.ThreadName(w0) != "worker 0" {
+		t.Fatalf("thread name = %q", tr.ThreadName(w0))
+	}
+	if tr.ProcessName(r0.PID) != "ghost" {
+		t.Fatalf("process name = %q", tr.ProcessName(r0.PID))
+	}
+
+	tr.Span(w1, "chunk", 30*time.Microsecond, 5*time.Microsecond)
+	tr.Span(w0, "chunk", 10*time.Microsecond, 20*time.Microsecond, Arg{"lo", 0}, Arg{"hi", 64})
+	spans := tr.Spans()
+	if len(spans) != 2 || tr.Len() != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Track != w0 || spans[1].Track != w1 {
+		t.Fatalf("spans not sorted by start: %+v", spans)
+	}
+	if spans[0].Args[1].Value != 64 {
+		t.Fatalf("span args lost: %+v", spans[0])
+	}
+}
+
+func TestClockInjection(t *testing.T) {
+	// Virtual clock: the tracer reads whatever the driver last set —
+	// the DES substrates' contract.
+	var sim SimClock
+	tr := NewTracer(&sim)
+	if tr.Now() != 0 {
+		t.Fatalf("fresh sim clock reads %v", tr.Now())
+	}
+	sim.Set(Seconds(42.5))
+	if tr.Now() != 42500*time.Millisecond {
+		t.Fatalf("sim clock reads %v, want 42.5s", tr.Now())
+	}
+	// ClockFunc adapter.
+	fixed := NewTracer(ClockFunc(func() time.Duration { return time.Hour }))
+	if fixed.Now() != time.Hour {
+		t.Fatalf("ClockFunc clock reads %v", fixed.Now())
+	}
+	// Wall clock: default, monotonic.
+	wall := NewTracer(nil)
+	a := wall.Now()
+	time.Sleep(time.Millisecond)
+	if b := wall.Now(); b <= a {
+		t.Fatalf("wall clock not increasing: %v then %v", a, b)
+	}
+}
+
+func TestConcurrentSpanRecording(t *testing.T) {
+	tr := NewTracer(nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			track := tr.Track("p", w, "t")
+			for i := 0; i < 200; i++ {
+				tr.Span(track, "s", time.Duration(i), 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 1600 {
+		t.Fatalf("lost spans: %d, want 1600", tr.Len())
+	}
+}
+
+func TestWriteChromeFormat(t *testing.T) {
+	tr := NewTracer(nil)
+	w0 := tr.Track("sched", 0, "worker 0")
+	tr.Span(w0, "chunk", 100*time.Microsecond, 50*time.Microsecond, Arg{"lo", 3})
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("chrome trace is not a JSON array: %v\n%s", err, buf.String())
+	}
+	var meta, complete int
+	for _, e := range events {
+		switch e["ph"] {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if e["ts"].(float64) != 100 || e["dur"].(float64) != 50 {
+				t.Fatalf("ts/dur not microseconds: %v", e)
+			}
+			if e["pid"].(float64) != float64(w0.PID) {
+				t.Fatalf("wrong pid: %v", e)
+			}
+			if e["args"].(map[string]any)["lo"].(float64) != 3 {
+				t.Fatalf("args lost: %v", e)
+			}
+		default:
+			t.Fatalf("unexpected phase %v", e["ph"])
+		}
+	}
+	if meta != 2 { // process_name + thread_name
+		t.Fatalf("metadata events = %d, want 2", meta)
+	}
+	if complete != 1 {
+		t.Fatalf("complete events = %d, want 1", complete)
+	}
+}
+
+func TestWriteChromeNilTracer(t *testing.T) {
+	var tr *Tracer
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil || len(events) != 0 {
+		t.Fatalf("nil tracer chrome output: %v, %s", err, buf.String())
+	}
+}
+
+func TestSinkEnabled(t *testing.T) {
+	var s Sink
+	if s.Enabled() {
+		t.Fatal("zero sink enabled")
+	}
+	if !(Sink{Metrics: NewRegistry()}).Enabled() {
+		t.Fatal("metrics-only sink disabled")
+	}
+	if !(Sink{Tracer: NewTracer(nil)}).Enabled() {
+		t.Fatal("tracer-only sink disabled")
+	}
+}

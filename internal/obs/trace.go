@@ -1,0 +1,209 @@
+package obs
+
+// trace.go is the span/event half of the layer: substrates record
+// named spans onto tracks (a Perfetto process/thread pair), with
+// timestamps supplied either by the tracer's injected clock (wall
+// clock for real goroutine work) or passed explicitly (virtual time
+// for the DES/workflow substrates). chrome.go serializes the result.
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Clock supplies span timestamps as offsets from the trace epoch.
+type Clock interface {
+	Now() time.Duration
+}
+
+// ClockFunc adapts a function to a Clock — the hook the DES kernel
+// uses to inject simulated time.
+type ClockFunc func() time.Duration
+
+// Now implements Clock.
+func (f ClockFunc) Now() time.Duration { return f() }
+
+// wallClock measures real time since its creation.
+type wallClock struct {
+	epoch time.Time
+}
+
+// NewWallClock returns a Clock reading real time elapsed since now.
+func NewWallClock() Clock { return &wallClock{epoch: time.Now()} }
+
+func (c *wallClock) Now() time.Duration { return time.Since(c.epoch) }
+
+// SimClock is a manually advanced virtual clock, for drivers that own
+// a simulated-time loop. Safe for concurrent use.
+type SimClock struct {
+	now atomic.Int64 // nanoseconds
+}
+
+// Set moves the clock to t.
+func (c *SimClock) Set(t time.Duration) { c.now.Store(int64(t)) }
+
+// Now implements Clock.
+func (c *SimClock) Now() time.Duration { return time.Duration(c.now.Load()) }
+
+// Seconds converts simulated seconds to the trace time unit.
+func Seconds(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// TrackID locates one timeline row: Perfetto renders one process
+// group per PID and one thread lane per TID within it.
+type TrackID struct {
+	PID, TID int
+}
+
+// Arg is one integer key/value annotation on a span.
+type Arg struct {
+	Key   string
+	Value int64
+}
+
+// Span is one completed slice of work on a track.
+type Span struct {
+	Track TrackID
+	Name  string
+	Start time.Duration
+	Dur   time.Duration
+	Args  []Arg
+}
+
+// Tracer collects spans from concurrent recorders. A nil *Tracer is a
+// valid no-op sink, so instrumented code needs no branching; the
+// recording methods on non-nil tracers take a short mutex.
+type Tracer struct {
+	clock Clock
+
+	mu      sync.Mutex
+	spans   []Span
+	pids    map[string]int     // process name -> pid
+	procs   []string           // pid -> process name
+	threads map[TrackID]string // track -> thread name
+}
+
+// NewTracer returns an empty tracer using the given clock (nil means
+// a wall clock started now).
+func NewTracer(clock Clock) *Tracer {
+	if clock == nil {
+		clock = NewWallClock()
+	}
+	return &Tracer{
+		clock:   clock,
+		pids:    map[string]int{},
+		threads: map[TrackID]string{},
+	}
+}
+
+// Enabled reports whether spans are actually kept.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Now returns the current clock offset (0 on nil), letting callers
+// compute timestamps only when tracing is on.
+func (t *Tracer) Now() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.clock.Now()
+}
+
+// Track registers (idempotently) a timeline row for the given process
+// name and thread id and returns its TrackID. PIDs are assigned per
+// distinct process name in registration order, starting at 1.
+func (t *Tracer) Track(process string, tid int, thread string) TrackID {
+	if t == nil {
+		return TrackID{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pid, ok := t.pids[process]
+	if !ok {
+		pid = len(t.procs) + 1
+		t.pids[process] = pid
+		t.procs = append(t.procs, process)
+	}
+	id := TrackID{PID: pid, TID: tid}
+	if _, ok := t.threads[id]; !ok {
+		t.threads[id] = thread
+	}
+	return id
+}
+
+// Span records a completed span with explicit timestamps. Use
+// tracer.Now() for wall-clock work, or pass virtual timestamps for
+// simulated time. Safe for concurrent use; no-op on nil.
+func (t *Tracer) Span(track TrackID, name string, start, dur time.Duration, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Track: track, Name: name, Start: start, Dur: dur, Args: args})
+	t.mu.Unlock()
+}
+
+// Instant records a zero-duration marker.
+func (t *Tracer) Instant(track TrackID, name string, ts time.Duration, args ...Arg) {
+	t.Span(track, name, ts, 0, args...)
+}
+
+// Len returns the number of recorded spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Spans returns a copy of all spans, stably sorted by start time (ties
+// keep recording order).
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]Span(nil), t.spans...)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// ProcessName returns the process name registered for pid ("" if
+// unknown or nil tracer).
+func (t *Tracer) ProcessName(pid int) string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if pid < 1 || pid > len(t.procs) {
+		return ""
+	}
+	return t.procs[pid-1]
+}
+
+// ThreadName returns the thread name registered for a track.
+func (t *Tracer) ThreadName(id TrackID) string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.threads[id]
+}
+
+// Sink bundles the two halves of the layer so substrates can accept a
+// single optional parameter. The zero value means "observability
+// off", and both fields are independently optional.
+type Sink struct {
+	Metrics *Registry
+	Tracer  *Tracer
+}
+
+// Enabled reports whether either half is attached.
+func (s Sink) Enabled() bool { return s.Metrics != nil || s.Tracer != nil }

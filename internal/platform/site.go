@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/carbon"
 	"repro/internal/des"
+	"repro/internal/obs"
 )
 
 // Site is a homogeneous pool of compute slots (cluster nodes or cloud
@@ -24,11 +25,15 @@ type Site struct {
 	idlePower float64 // W per powered-on slot
 	meter     *carbon.Meter
 
-	freeSlots int
+	freeIDs   []int // free slot ids, LIFO; slot identity keys trace tracks
 	queue     []queuedTask
 	busyUntil float64 // latest task completion seen (for stats)
 	tasksRun  int
 	finalized bool
+
+	tr     *obs.Tracer // nil unless Observe attached a tracer
+	tracks []obs.TrackID
+	cTasks *obs.Counter
 }
 
 type queuedTask struct {
@@ -44,6 +49,10 @@ func NewSite(sim *des.Simulation, meter *carbon.Meter, name string, slots int, s
 		panic(fmt.Sprintf("platform: invalid site %q: slots=%d speed=%v", name, slots, speed))
 	}
 	meter.Register(name, intensity)
+	free := make([]int, slots)
+	for i := range free {
+		free[i] = slots - 1 - i // pop order: slot 0 first
+	}
 	return &Site{
 		Name:      name,
 		sim:       sim,
@@ -52,8 +61,22 @@ func NewSite(sim *des.Simulation, meter *carbon.Meter, name string, slots int, s
 		busyPower: busyPower,
 		idlePower: idlePower,
 		meter:     meter,
-		freeSlots: slots,
+		freeIDs:   free,
 	}
+}
+
+// Observe attaches the observability layer: each executed task becomes
+// a span on its slot's lane of the "site:<name>" track, timestamped in
+// simulated seconds, and completions bump the platform.tasks counter.
+func (s *Site) Observe(sink obs.Sink) {
+	if tr := sink.Tracer; tr != nil {
+		s.tr = tr
+		s.tracks = make([]obs.TrackID, s.slots)
+		for i := range s.tracks {
+			s.tracks[i] = tr.Track("site:"+s.Name, i, fmt.Sprintf("slot %d", i))
+		}
+	}
+	s.cTasks = sink.Metrics.Counter("platform.tasks") // nil registry -> nil counter
 }
 
 // Slots returns the number of compute slots.
@@ -75,7 +98,7 @@ func (s *Site) Submit(gflop float64, done func()) {
 	if gflop < 0 {
 		panic(fmt.Sprintf("platform: negative task size %v", gflop))
 	}
-	if s.freeSlots > 0 {
+	if len(s.freeIDs) > 0 {
 		s.start(gflop, done)
 		return
 	}
@@ -83,16 +106,24 @@ func (s *Site) Submit(gflop float64, done func()) {
 }
 
 func (s *Site) start(gflop float64, done func()) {
-	s.freeSlots--
+	slot := s.freeIDs[len(s.freeIDs)-1]
+	s.freeIDs = s.freeIDs[:len(s.freeIDs)-1]
 	duration := gflop / s.speed
+	if s.tr != nil {
+		// The span is fully known up front: it starts now (virtual
+		// time) and lasts exactly the compute duration.
+		s.tr.Span(s.tracks[slot], "task", obs.Seconds(s.sim.Now()), obs.Seconds(duration),
+			obs.Arg{Key: "gflop", Value: int64(gflop)})
+	}
 	// Busy energy above idle, charged at completion.
 	s.sim.Schedule(duration, func() {
 		s.meter.Add(s.Name, (s.busyPower-s.idlePower)*duration)
 		s.tasksRun++
+		s.cTasks.Inc()
 		if end := s.sim.Now(); end > s.busyUntil {
 			s.busyUntil = end
 		}
-		s.freeSlots++
+		s.freeIDs = append(s.freeIDs, slot)
 		if len(s.queue) > 0 {
 			next := s.queue[0]
 			s.queue = s.queue[1:]

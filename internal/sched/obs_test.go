@@ -1,0 +1,85 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestPoolObsCountersAndSpans(t *testing.T) {
+	sink := obs.Sink{Metrics: obs.NewRegistry(), Tracer: obs.NewTracer(nil)}
+	p := NewPool(Options{Workers: 4, Policy: Static, Obs: sink})
+	defer p.Close()
+
+	var ran atomic.Int64
+	p.Run(64, func(w, lo, hi int) { ran.Add(int64(hi - lo)) })
+	if ran.Load() != 64 {
+		t.Fatalf("body covered %d iterations, want 64", ran.Load())
+	}
+
+	s := sink.Metrics.Snapshot()
+	if s.Counters["sched.regions"] != 1 {
+		t.Fatalf("regions = %d, want 1", s.Counters["sched.regions"])
+	}
+	if s.Counters["sched.chunks"] != 4 { // static: one block per worker
+		t.Fatalf("chunks = %d, want 4", s.Counters["sched.chunks"])
+	}
+	if s.Counters["sched.idle_ns"] < 0 || s.Counters["sched.busy_ns"] < 0 {
+		t.Fatalf("negative time accounting: %+v", s.Counters)
+	}
+
+	// One chunk span per worker on the "sched" process track.
+	spans := sink.Tracer.Spans()
+	perWorker := map[int]int{}
+	for _, sp := range spans {
+		if sink.Tracer.ProcessName(sp.Track.PID) != "sched" {
+			t.Fatalf("span on unexpected process %q", sink.Tracer.ProcessName(sp.Track.PID))
+		}
+		if sp.Name != "chunk" {
+			t.Fatalf("span name = %q, want chunk", sp.Name)
+		}
+		perWorker[sp.Track.TID]++
+	}
+	if len(perWorker) != 4 {
+		t.Fatalf("spans cover %d workers, want 4: %v", len(perWorker), perWorker)
+	}
+}
+
+func TestStealingCountsSteals(t *testing.T) {
+	// Skew the work so worker 1 drains its own deque and must steal:
+	// round-robin dealing sends even chunks to worker 0's deque, and
+	// those are the slow ones. Retry a few times since stealing is
+	// timing-dependent.
+	for attempt := 0; attempt < 5; attempt++ {
+		reg := obs.NewRegistry()
+		p := NewPool(Options{Workers: 2, Policy: Stealing, ChunkSize: 1,
+			Obs: obs.Sink{Metrics: reg}})
+		p.Run(32, func(w, lo, hi int) {
+			if lo%2 == 0 {
+				time.Sleep(200 * time.Microsecond)
+			}
+		})
+		p.Close()
+		if reg.Counter("sched.steals").Value() > 0 {
+			return
+		}
+	}
+	t.Fatal("no steals recorded across 5 skewed runs")
+}
+
+// TestDisabledPoolZeroAlloc pins the perf contract: with no Sink
+// attached, a region run must not allocate — the instrumentation is
+// completely absent from the hot path.
+func TestDisabledPoolZeroAlloc(t *testing.T) {
+	p := NewPool(Options{Workers: 2, Policy: Static})
+	defer p.Close()
+	body := func(w, lo, hi int) {}
+	allocs := testing.AllocsPerRun(100, func() {
+		p.Run(128, body)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled pool allocates %.1f per region, want 0", allocs)
+	}
+}

@@ -17,6 +17,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Policy selects how loop iterations are distributed over workers.
@@ -80,6 +83,7 @@ type Pool struct {
 	chunk   int
 
 	body   func(worker, lo, hi int)
+	exec   func(worker, lo, hi int) // body, or the obs wrapper around it
 	n      int
 	cursor atomic.Int64
 	done   sync.WaitGroup
@@ -89,7 +93,23 @@ type Pool struct {
 	work      []chan struct{} // one start channel per worker, so each region runs exactly once per worker
 	stop      chan struct{}
 	stopped   bool
+
+	// observability (nil/empty when disabled; the disabled hot path is
+	// untouched because exec == body then)
+	obsOn    bool
+	instr    func(worker, lo, hi int)
+	tr       *obs.Tracer
+	tracks   []obs.TrackID
+	busy     []int64 // per-worker busy ns, strided to avoid false sharing
+	cRegions *obs.Counter
+	cChunks  *obs.Counter
+	cSteals  *obs.Counter
+	cBusyNS  *obs.Counter
+	cIdleNS  *obs.Counter
 }
+
+// busyStride spaces per-worker busy slots one cache line apart.
+const busyStride = 8
 
 // Options configures a Pool.
 type Options struct {
@@ -100,6 +120,10 @@ type Options struct {
 	// ChunkSize is the chunk granularity for Cyclic/Dynamic and the
 	// minimum chunk for Guided; 0 means 1.
 	ChunkSize int
+	// Obs attaches the observability layer: per-worker chunk spans on
+	// the "sched" track, plus sched.* counters (regions, chunks,
+	// steals, busy/idle time). The zero Sink disables it at no cost.
+	Obs obs.Sink
 }
 
 // NewPool starts the worker team. Callers must Close it.
@@ -117,11 +141,44 @@ func NewPool(o Options) *Pool {
 		work:    make([]chan struct{}, o.Workers),
 		stop:    make(chan struct{}),
 	}
+	if o.Obs.Enabled() {
+		p.obsOn = true
+		p.tr = o.Obs.Tracer
+		p.busy = make([]int64, p.workers*busyStride)
+		m := o.Obs.Metrics
+		p.cRegions = m.Counter("sched.regions")
+		p.cChunks = m.Counter("sched.chunks")
+		p.cSteals = m.Counter("sched.steals")
+		p.cBusyNS = m.Counter("sched.busy_ns")
+		p.cIdleNS = m.Counter("sched.idle_ns")
+		if p.tr != nil {
+			p.tracks = make([]obs.TrackID, p.workers)
+			for w := 0; w < p.workers; w++ {
+				p.tracks[w] = p.tr.Track("sched", w, fmt.Sprintf("worker %d", w))
+			}
+		}
+		p.instr = p.observedExec
+	}
 	for w := 0; w < p.workers; w++ {
 		p.work[w] = make(chan struct{}, 1)
 		go p.worker(w)
 	}
 	return p
+}
+
+// observedExec wraps the region body with per-chunk timing: a span on
+// the worker's track and busy-time accounting for the idle counter.
+func (p *Pool) observedExec(worker, lo, hi int) {
+	t0 := time.Now()
+	ts := p.tr.Now() // 0 without a tracer
+	p.body(worker, lo, hi)
+	el := time.Since(t0)
+	p.busy[worker*busyStride] += int64(el)
+	p.cChunks.Inc()
+	if p.tr != nil {
+		p.tr.Span(p.tracks[worker], "chunk", ts, el,
+			obs.Arg{Key: "lo", Value: int64(lo)}, obs.Arg{Key: "hi", Value: int64(hi)})
+	}
 }
 
 // Workers returns the team size.
@@ -150,6 +207,15 @@ func (p *Pool) Run(n int, body func(worker, lo, hi int)) {
 		panic("sched: Run on closed Pool")
 	}
 	p.body = body
+	p.exec = body
+	var regionStart time.Time
+	if p.obsOn {
+		regionStart = time.Now()
+		for w := 0; w < p.workers; w++ {
+			p.busy[w*busyStride] = 0
+		}
+		p.exec = p.instr
+	}
 	p.n = n
 	p.cursor.Store(0)
 	p.stealOnce = sync.Once{}
@@ -158,7 +224,22 @@ func (p *Pool) Run(n int, body func(worker, lo, hi int)) {
 		p.work[i] <- struct{}{}
 	}
 	p.done.Wait()
+	if p.obsOn {
+		wall := time.Since(regionStart)
+		var busy int64
+		for w := 0; w < p.workers; w++ {
+			busy += p.busy[w*busyStride]
+		}
+		idle := int64(wall)*int64(p.workers) - busy
+		if idle < 0 {
+			idle = 0
+		}
+		p.cRegions.Inc()
+		p.cBusyNS.Add(busy)
+		p.cIdleNS.Add(idle)
+	}
 	p.body = nil
+	p.exec = nil
 }
 
 func (p *Pool) worker(id int) {
@@ -185,7 +266,7 @@ func (p *Pool) runRegion(id int) {
 		if hi > p.n {
 			hi = p.n
 		}
-		p.body(id, lo, hi)
+		p.exec(id, lo, hi)
 	case Cyclic:
 		stridePer := p.chunk * p.workers
 		for base := id * p.chunk; base < p.n; base += stridePer {
@@ -193,7 +274,7 @@ func (p *Pool) runRegion(id int) {
 			if hi > p.n {
 				hi = p.n
 			}
-			p.body(id, base, hi)
+			p.exec(id, base, hi)
 		}
 	case Dynamic:
 		for {
@@ -205,7 +286,7 @@ func (p *Pool) runRegion(id int) {
 			if hi > p.n {
 				hi = p.n
 			}
-			p.body(id, lo, hi)
+			p.exec(id, lo, hi)
 		}
 	case Stealing:
 		p.runStealing(id)
@@ -230,7 +311,7 @@ func (p *Pool) runRegion(id int) {
 					if hi > p.n {
 						hi = p.n
 					}
-					p.body(id, lo, hi)
+					p.exec(id, lo, hi)
 					break
 				}
 			}

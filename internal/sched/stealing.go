@@ -77,7 +77,7 @@ func (p *Pool) runStealing(id int) {
 	own := p.deques[id]
 	for {
 		if c, ok := own.popBack(); ok {
-			p.body(id, c[0], c[1])
+			p.exec(id, c[0], c[1])
 			continue
 		}
 		// Steal sweep: try every victim once; if all empty, the
@@ -87,7 +87,8 @@ func (p *Pool) runStealing(id int) {
 		for off := 1; off < p.workers; off++ {
 			victim := p.deques[(id+off)%p.workers]
 			if c, ok := victim.popFront(); ok {
-				p.body(id, c[0], c[1])
+				p.cSteals.Inc() // nil-safe: no-op with obs off
+				p.exec(id, c[0], c[1])
 				stolen = true
 				break
 			}

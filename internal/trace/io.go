@@ -16,13 +16,17 @@ import (
 )
 
 // wireEvent is the serialized form of Event; times are nanoseconds.
+// Kind was added after the first trace release: Write always emits it,
+// and Read defaults a missing kind to DefaultKind so traces written by
+// older versions still load.
 type wireEvent struct {
-	Iteration int   `json:"iter"`
-	Worker    int   `json:"worker"`
-	Tile      int   `json:"tile"`
-	StartNS   int64 `json:"start_ns"`
-	DurNS     int64 `json:"dur_ns"`
-	Cells     int   `json:"cells"`
+	Kind      string `json:"kind,omitempty"`
+	Iteration int    `json:"iter"`
+	Worker    int    `json:"worker"`
+	Tile      int    `json:"tile"`
+	StartNS   int64  `json:"start_ns"`
+	DurNS     int64  `json:"dur_ns"`
+	Cells     int    `json:"cells"`
 }
 
 // Write streams events to w as JSON lines.
@@ -30,7 +34,12 @@ func Write(w io.Writer, events []Event) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for i, e := range events {
+		kind := e.Kind
+		if kind == "" {
+			kind = DefaultKind
+		}
 		we := wireEvent{
+			Kind:      kind,
 			Iteration: e.Iteration, Worker: e.Worker, Tile: e.Tile,
 			StartNS: int64(e.Start), DurNS: int64(e.Duration), Cells: e.Cells,
 		}
@@ -56,7 +65,11 @@ func Read(r io.Reader) ([]Event, error) {
 		if err := json.Unmarshal(sc.Bytes(), &we); err != nil {
 			return nil, fmt.Errorf("trace: line %d: %w", line, err)
 		}
+		if we.Kind == "" {
+			we.Kind = DefaultKind
+		}
 		events = append(events, Event{
+			Kind:      we.Kind,
 			Iteration: we.Iteration, Worker: we.Worker, Tile: we.Tile,
 			Start: time.Duration(we.StartNS), Duration: time.Duration(we.DurNS),
 			Cells: we.Cells,

@@ -28,6 +28,41 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestKindRoundTrip covers both generations of the wire format: lines
+// written before the kind field existed must load with Kind defaulting
+// to "tile", and new lines must preserve an explicit kind.
+func TestKindRoundTrip(t *testing.T) {
+	oldLine := `{"iter":1,"worker":0,"tile":2,"start_ns":5,"dur_ns":7,"cells":3}`
+	newLine := `{"kind":"halo","iter":1,"worker":3,"tile":0,"start_ns":9,"dur_ns":1,"cells":0}`
+	events, err := Read(strings.NewReader(oldLine + "\n" + newLine + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	if events[0].Kind != "tile" {
+		t.Fatalf("old-format line kind = %q, want tile", events[0].Kind)
+	}
+	if events[1].Kind != "halo" {
+		t.Fatalf("new-format line kind = %q, want halo", events[1].Kind)
+	}
+
+	// Writing an event with an empty kind normalizes it to "tile", so
+	// re-written old traces stay stable.
+	var buf bytes.Buffer
+	if err := Write(&buf, []Event{{Iteration: 1, Tile: 2}, {Kind: "halo", Worker: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0].Kind != "tile" || back[1].Kind != "halo" {
+		t.Fatalf("write round trip kinds: %q, %q", back[0].Kind, back[1].Kind)
+	}
+}
+
 func TestReadSkipsBlankLinesAndRejectsGarbage(t *testing.T) {
 	good := `{"iter":1,"worker":0,"tile":2,"start_ns":5,"dur_ns":7,"cells":3}`
 	events, err := Read(strings.NewReader(good + "\n\n" + good + "\n"))

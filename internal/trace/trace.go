@@ -10,16 +10,20 @@ package trace
 
 import (
 	"fmt"
-	"sort"
 	"strings"
-	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
+// DefaultKind is the event kind assumed when none is given — the tile
+// tasks the original recorder was built for.
+const DefaultKind = "tile"
+
 // Event is one executed task.
 type Event struct {
+	Kind      string // task kind ("" means DefaultKind, "tile")
 	Iteration int
 	Worker    int           // worker id, or the hetero device id
 	Tile      int           // dense tile index
@@ -28,18 +32,43 @@ type Event struct {
 	Cells     int // cells actually computed (0 for skipped/stable tiles)
 }
 
-// Recorder collects events from concurrently running workers. The
-// zero value is invalid; use NewRecorder. A nil *Recorder is a valid
-// no-op sink, so engines can leave tracing off with no branching.
+// Recorder collects events from concurrently running workers. It is a
+// thin adapter over the unified obs.Tracer event model: every Record
+// becomes a span on the worker's track, so a recorded run can be
+// exported both as the legacy JSON-lines trace and as a Chrome trace
+// via Tracer(). The zero value is invalid; use NewRecorder. A nil
+// *Recorder is a valid no-op sink, so engines can leave tracing off
+// with no branching.
 type Recorder struct {
-	mu     sync.Mutex
-	events []Event
-	epoch  time.Time
+	tr *obs.Tracer
 }
+
+// Span arg keys under which Event fields ride on the obs span.
+const (
+	argIter  = "iter"
+	argTile  = "tile"
+	argCells = "cells"
+)
 
 // NewRecorder returns an empty recorder whose clock starts now.
 func NewRecorder() *Recorder {
-	return &Recorder{epoch: time.Now()}
+	return &Recorder{tr: obs.NewTracer(nil)}
+}
+
+// Tracer exposes the underlying obs tracer, e.g. for Chrome trace
+// export of a recorded kernel run. Nil for a nil recorder.
+func (r *Recorder) Tracer() *obs.Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tr
+}
+
+func workerThreadName(w int) string {
+	if w < 0 {
+		return "device"
+	}
+	return fmt.Sprintf("worker %d", w)
 }
 
 // Record appends an event; it is safe for concurrent use. The event's
@@ -48,9 +77,15 @@ func (r *Recorder) Record(e Event) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	r.events = append(r.events, e)
-	r.mu.Unlock()
+	kind := e.Kind
+	if kind == "" {
+		kind = DefaultKind
+	}
+	track := r.tr.Track("kernel", e.Worker, workerThreadName(e.Worker))
+	r.tr.Span(track, kind, e.Start, e.Duration,
+		obs.Arg{Key: argIter, Value: int64(e.Iteration)},
+		obs.Arg{Key: argTile, Value: int64(e.Tile)},
+		obs.Arg{Key: argCells, Value: int64(e.Cells)})
 }
 
 // Now returns the current offset from the recorder's epoch. A nil
@@ -60,7 +95,7 @@ func (r *Recorder) Now() time.Duration {
 	if r == nil {
 		return 0
 	}
-	return time.Since(r.epoch)
+	return r.tr.Now()
 }
 
 // Enabled reports whether events are actually being kept.
@@ -71,10 +106,22 @@ func (r *Recorder) Events() []Event {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	out := append([]Event(nil), r.events...)
-	r.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	spans := r.tr.Spans()
+	out := make([]Event, 0, len(spans))
+	for _, s := range spans {
+		e := Event{Kind: s.Name, Worker: s.Track.TID, Start: s.Start, Duration: s.Dur}
+		for _, a := range s.Args {
+			switch a.Key {
+			case argIter:
+				e.Iteration = int(a.Value)
+			case argTile:
+				e.Tile = int(a.Value)
+			case argCells:
+				e.Cells = int(a.Value)
+			}
+		}
+		out = append(out, e)
+	}
 	return out
 }
 
@@ -83,9 +130,7 @@ func (r *Recorder) Len() int {
 	if r == nil {
 		return 0
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.events)
+	return r.tr.Len()
 }
 
 // IterationStats aggregates the events of a single iteration, the

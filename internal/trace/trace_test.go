@@ -70,11 +70,11 @@ func TestNowMonotonic(t *testing.T) {
 
 func sampleEvents() []Event {
 	return []Event{
-		{Iteration: 5, Worker: 0, Tile: 0, Start: 0, Duration: 10 * time.Millisecond, Cells: 100},
-		{Iteration: 5, Worker: 0, Tile: 1, Start: 10 * time.Millisecond, Duration: 10 * time.Millisecond, Cells: 100},
-		{Iteration: 5, Worker: 1, Tile: 2, Start: 0, Duration: 5 * time.Millisecond, Cells: 50},
-		{Iteration: 5, Worker: 1, Tile: 3, Start: 5 * time.Millisecond, Duration: 0, Cells: 0}, // skipped tile
-		{Iteration: 6, Worker: 0, Tile: 0, Start: 30 * time.Millisecond, Duration: 10 * time.Millisecond, Cells: 100},
+		{Kind: "tile", Iteration: 5, Worker: 0, Tile: 0, Start: 0, Duration: 10 * time.Millisecond, Cells: 100},
+		{Kind: "tile", Iteration: 5, Worker: 0, Tile: 1, Start: 10 * time.Millisecond, Duration: 10 * time.Millisecond, Cells: 100},
+		{Kind: "tile", Iteration: 5, Worker: 1, Tile: 2, Start: 0, Duration: 5 * time.Millisecond, Cells: 50},
+		{Kind: "tile", Iteration: 5, Worker: 1, Tile: 3, Start: 5 * time.Millisecond, Duration: 0, Cells: 0}, // skipped tile
+		{Kind: "tile", Iteration: 6, Worker: 0, Tile: 0, Start: 30 * time.Millisecond, Duration: 10 * time.Millisecond, Cells: 100},
 	}
 }
 

@@ -1,0 +1,58 @@
+package wfsched
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestSimulateReportsObs checks the virtual-clock contract: task spans
+// land on per-slot site tracks with timestamps in simulated seconds
+// (bounded by the makespan), and the energy gauges mirror the outcome.
+func TestSimulateReportsObs(t *testing.T) {
+	sc := smallScenario()
+	sink := obs.Sink{Metrics: obs.NewRegistry(), Tracer: obs.NewTracer(nil)}
+	sc.Obs = sink
+	out := Simulate(sc, AllCloud)
+
+	s := sink.Metrics.Snapshot()
+	if s.Counters["platform.tasks"] != int64(sc.Workflow.NumTasks()) {
+		t.Fatalf("platform.tasks = %d, want %d", s.Counters["platform.tasks"], sc.Workflow.NumTasks())
+	}
+	if s.Counters["des.events"] == 0 {
+		t.Fatal("des.events counter empty")
+	}
+	if g := s.Gauges["wfsched.makespan_s"]; g != out.Makespan {
+		t.Fatalf("makespan gauge = %v, outcome = %v", g, out.Makespan)
+	}
+	if s.Gauges["wfsched.co2.total_g"] != out.CO2 || out.CO2 == 0 {
+		t.Fatalf("co2 gauge = %v, outcome = %v", s.Gauges["wfsched.co2.total_g"], out.CO2)
+	}
+	if s.Counters["wfsched.tasks.cloud"] != int64(out.TasksCloud) {
+		t.Fatalf("cloud task counter = %d, outcome = %d", s.Counters["wfsched.tasks.cloud"], out.TasksCloud)
+	}
+
+	makespan := obs.Seconds(out.Makespan)
+	taskSpans := 0
+	slots := map[obs.TrackID]bool{}
+	for _, sp := range sink.Tracer.Spans() {
+		if sp.Name != "task" {
+			continue
+		}
+		taskSpans++
+		slots[sp.Track] = true
+		if sp.Start < 0 || sp.Start+sp.Dur > makespan+time.Millisecond {
+			t.Fatalf("span outside simulated run: start=%v dur=%v makespan=%v", sp.Start, sp.Dur, makespan)
+		}
+		if sink.Tracer.ProcessName(sp.Track.PID) != "site:cloud" {
+			t.Fatalf("all-cloud run has span on %q", sink.Tracer.ProcessName(sp.Track.PID))
+		}
+	}
+	if taskSpans != sc.Workflow.NumTasks() {
+		t.Fatalf("task spans = %d, want %d", taskSpans, sc.Workflow.NumTasks())
+	}
+	if len(slots) < 2 {
+		t.Fatalf("all tasks on %d slot(s); expected parallel slot usage", len(slots))
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/carbon"
 	"repro/internal/des"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/workflow"
 )
@@ -62,6 +63,12 @@ type Scenario struct {
 	// LinkBandwidth (bytes/s) and LinkLatency (s) describe the
 	// cluster<->cloud connection.
 	LinkBandwidth, LinkLatency float64
+
+	// Obs attaches the observability layer: per-slot task spans in
+	// simulated time on the "site:*" tracks, des.events/platform.tasks
+	// counters, and wfsched.* energy/CO2 gauges. The zero Sink
+	// disables it.
+	Obs obs.Sink
 }
 
 func (sc Scenario) withDefaults() Scenario {
@@ -153,14 +160,17 @@ func Simulate(sc Scenario, place Placement) Outcome {
 
 	sim := &des.Simulation{}
 	meter := carbon.NewMeter()
+	sim.Observe(sc.Obs)
 
 	local := platform.NewSite(sim, meter, "local", sc.LocalNodes,
 		sc.PState.Speed, sc.PState.BusyPower, sc.PState.IdlePower, sc.LocalIntensity)
+	local.Observe(sc.Obs)
 	var cloud *platform.Site
 	var link *platform.Link
 	if sc.CloudVMs > 0 {
 		cloud = platform.NewSite(sim, meter, "cloud", sc.CloudVMs,
 			sc.VMSpeed, sc.VMBusyPower, sc.VMIdlePower, sc.CloudIntensity)
+		cloud.Observe(sc.Obs)
 		link = platform.NewLink(sim, sc.LinkBandwidth, sc.LinkLatency)
 	}
 
@@ -280,5 +290,14 @@ func Simulate(sc Scenario, place Placement) Outcome {
 		out.CO2Cloud = meter.SourceEmissions("cloud")
 	}
 	out.CO2 = out.CO2Local + out.CO2Cloud
+	if m := sc.Obs.Metrics; m != nil {
+		m.Gauge("wfsched.makespan_s").Set(out.Makespan)
+		m.Gauge("wfsched.energy.local_kwh").Set(out.EnergyLocalKWh)
+		m.Gauge("wfsched.energy.cloud_kwh").Set(out.EnergyCloudKWh)
+		m.Gauge("wfsched.co2.total_g").Set(out.CO2)
+		m.Counter("wfsched.tasks.local").Add(int64(out.TasksLocal))
+		m.Counter("wfsched.tasks.cloud").Add(int64(out.TasksCloud))
+		m.Counter("wfsched.transfers").Add(int64(out.Transfers))
+	}
 	return out
 }
