@@ -1,7 +1,7 @@
 # Tier-1 verification plus race detection in one command: `make check`.
 GO ?= go
 
-.PHONY: build test race vet check bench-baseline
+.PHONY: build test race vet check bench-baseline bench-compare
 
 build:
 	$(GO) build ./...
@@ -22,3 +22,10 @@ check: build vet test race
 bench-baseline:
 	$(GO) test -run '^$$' -bench . -benchtime=100ms ./... \
 		| $(GO) run ./cmd/benchjson -go-version "$$($(GO) env GOVERSION)" -out BENCH_baseline.json
+
+# Sweep the current tree and diff it against the recorded baseline;
+# fails if any benchmark regressed more than 10%.
+bench-compare:
+	$(GO) test -run '^$$' -bench . -benchtime=100ms ./... \
+		| $(GO) run ./cmd/benchjson -go-version "$$($(GO) env GOVERSION)" -out BENCH_current.json
+	$(GO) run ./cmd/benchjson -compare BENCH_baseline.json BENCH_current.json

@@ -5,6 +5,13 @@
 //	go test -run '^$' -bench . -benchtime=100ms ./... | benchjson > BENCH_baseline.json
 //	benchjson -in bench.log -out BENCH_baseline.json
 //
+// It also diffs two recorded baselines, printing per-benchmark ns/op
+// deltas and exiting nonzero when any benchmark regressed beyond the
+// threshold (default 10%):
+//
+//	benchjson -compare BENCH_baseline.json BENCH_pr2.json
+//	benchjson -compare -threshold 5 old.json new.json
+//
 // The GOMAXPROCS suffix (-8) is stripped from names so baselines
 // recorded on different machines stay comparable by key.
 package main
@@ -101,11 +108,118 @@ func (b Baseline) Names() []string {
 	return names
 }
 
+// Load reads a baseline JSON file.
+func Load(path string) (Baseline, error) {
+	var b Baseline
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(buf, &b); err != nil {
+		return b, fmt.Errorf("benchjson: parsing %s: %w", path, err)
+	}
+	return b, nil
+}
+
+// Delta is one benchmark's old-vs-new comparison.
+type Delta struct {
+	Name     string
+	Old, New float64 // ns/op; 0 when absent on that side
+	Pct      float64 // (new-old)/old * 100; meaningless unless InBoth
+	InBoth   bool
+}
+
+// Regressed reports whether the delta is a slowdown beyond
+// thresholdPct percent.
+func (d Delta) Regressed(thresholdPct float64) bool {
+	return d.InBoth && d.Pct > thresholdPct
+}
+
+// Compare diffs two baselines by benchmark name, sorted. Benchmarks
+// present on only one side are reported with InBoth=false and never
+// count as regressions.
+func Compare(old, new Baseline) []Delta {
+	names := map[string]bool{}
+	for n := range old.Benchmarks {
+		names[n] = true
+	}
+	for n := range new.Benchmarks {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	out := make([]Delta, 0, len(sorted))
+	for _, n := range sorted {
+		o, hasOld := old.Benchmarks[n]
+		e, hasNew := new.Benchmarks[n]
+		d := Delta{Name: n, Old: o.NsPerOp, New: e.NsPerOp, InBoth: hasOld && hasNew}
+		if d.InBoth && o.NsPerOp > 0 {
+			d.Pct = (e.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// RenderCompare formats the deltas as an aligned table and returns the
+// names of benchmarks regressed beyond thresholdPct.
+func RenderCompare(w io.Writer, deltas []Delta, thresholdPct float64) []string {
+	var regressed []string
+	fmt.Fprintf(w, "%-52s %15s %15s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, d := range deltas {
+		switch {
+		case !d.InBoth && d.Old == 0:
+			fmt.Fprintf(w, "%-52s %15s %15.0f %9s\n", d.Name, "-", d.New, "added")
+		case !d.InBoth:
+			fmt.Fprintf(w, "%-52s %15.0f %15s %9s\n", d.Name, d.Old, "-", "removed")
+		default:
+			mark := ""
+			if d.Regressed(thresholdPct) {
+				mark = "  << regression"
+				regressed = append(regressed, d.Name)
+			}
+			fmt.Fprintf(w, "%-52s %15.0f %15.0f %+8.1f%%%s\n", d.Name, d.Old, d.New, d.Pct, mark)
+		}
+	}
+	return regressed
+}
+
+func runCompare(oldPath, newPath string, thresholdPct float64) int {
+	oldB, err := Load(oldPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	newB, err := Load(newPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	regressed := RenderCompare(os.Stdout, Compare(oldB, newB), thresholdPct)
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed > %.1f%%: %v\n",
+			len(regressed), thresholdPct, regressed)
+		return 1
+	}
+	fmt.Printf("no regressions > %.1f%% (%d benchmarks compared)\n", thresholdPct, len(oldB.Benchmarks))
+	return 0
+}
+
 func main() {
 	in := flag.String("in", "", "bench output file (default stdin)")
 	out := flag.String("out", "", "JSON baseline file (default stdout)")
 	goVersion := flag.String("go-version", "", "record this Go version in the baseline")
+	compare := flag.Bool("compare", false, "compare two baseline JSON files (args: old.json new.json); exit 1 on regressions")
+	threshold := flag.Float64("threshold", 10, "regression threshold in percent for -compare")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatalf("-compare needs exactly two args: old.json new.json")
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold))
+	}
 
 	var r io.Reader = os.Stdin
 	if *in != "" {

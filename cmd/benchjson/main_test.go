@@ -40,6 +40,76 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func baselineOf(pairs map[string]float64) Baseline {
+	b := Baseline{Benchmarks: map[string]Entry{}}
+	for n, ns := range pairs {
+		b.Benchmarks[n] = Entry{NsPerOp: ns, Iterations: 1}
+	}
+	return b
+}
+
+func TestCompareDetectsRegressionsAndImprovements(t *testing.T) {
+	old := baselineOf(map[string]float64{
+		"BenchmarkA": 1000, // will regress 20%
+		"BenchmarkB": 1000, // will improve 50%
+		"BenchmarkC": 1000, // exactly +10%: not a regression
+		"BenchmarkD": 1000, // removed
+	})
+	new := baselineOf(map[string]float64{
+		"BenchmarkA": 1200,
+		"BenchmarkB": 500,
+		"BenchmarkC": 1100,
+		"BenchmarkE": 42, // added
+	})
+	deltas := Compare(old, new)
+	if len(deltas) != 5 {
+		t.Fatalf("got %d deltas, want 5: %+v", len(deltas), deltas)
+	}
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if !byName["BenchmarkA"].Regressed(10) {
+		t.Fatalf("A at +20%% not flagged: %+v", byName["BenchmarkA"])
+	}
+	if byName["BenchmarkB"].Regressed(10) || byName["BenchmarkB"].Pct != -50 {
+		t.Fatalf("B improvement misreported: %+v", byName["BenchmarkB"])
+	}
+	if byName["BenchmarkC"].Regressed(10) {
+		t.Fatalf("C at exactly +10%% must not be a regression: %+v", byName["BenchmarkC"])
+	}
+	if byName["BenchmarkD"].InBoth || byName["BenchmarkE"].InBoth {
+		t.Fatal("added/removed benchmarks marked as present in both")
+	}
+	if byName["BenchmarkD"].Regressed(10) || byName["BenchmarkE"].Regressed(10) {
+		t.Fatal("added/removed benchmarks must never count as regressions")
+	}
+
+	var sb strings.Builder
+	regressed := RenderCompare(&sb, deltas, 10)
+	if len(regressed) != 1 || regressed[0] != "BenchmarkA" {
+		t.Fatalf("regressed = %v, want [BenchmarkA]", regressed)
+	}
+	out := sb.String()
+	for _, want := range []string{"<< regression", "added", "removed", "-50.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareThreshold(t *testing.T) {
+	old := baselineOf(map[string]float64{"BenchmarkX": 100})
+	new := baselineOf(map[string]float64{"BenchmarkX": 106})
+	d := Compare(old, new)[0]
+	if d.Regressed(10) {
+		t.Fatal("+6% flagged at 10% threshold")
+	}
+	if !d.Regressed(5) {
+		t.Fatal("+6% not flagged at 5% threshold")
+	}
+}
+
 func TestParseKeepsFasterDuplicate(t *testing.T) {
 	in := "BenchmarkX-4 100 2000 ns/op\nBenchmarkX-4 100 1500 ns/op\n"
 	b, err := Parse(strings.NewReader(in))

@@ -199,37 +199,37 @@ func init() {
 		Name:        "tiled-sync",
 		Description: "tile-parallel synchronous steps for cache reuse (assignment 2)",
 		Parallel:    true,
-		Run:         makeTiledSync(false, false),
+		Run:         makeTiledEager(false),
 	})
 	Register(Variant{
 		Name:        "lazy-sync",
-		Description: "tile-parallel synchronous steps skipping steady-state neighborhoods (assignment 2)",
+		Description: "frontier-scheduled synchronous steps: only tiles in the active worklist compute (assignment 2)",
 		Parallel:    true,
-		Run:         makeTiledSync(true, false),
+		Run:         makeLazyFrontier(false),
 	})
 	Register(Variant{
 		Name:        "tiled-sync-inner",
 		Description: "tiled-sync with the specialized branch-free kernel on inner tiles (assignment 3)",
 		Parallel:    true,
-		Run:         makeTiledSync(false, true),
+		Run:         makeTiledEager(true),
 	})
 	Register(Variant{
 		Name:        "lazy-sync-inner",
 		Description: "lazy-sync with the specialized inner-tile kernel (assignments 2+3)",
 		Parallel:    true,
-		Run:         makeTiledSync(true, true),
+		Run:         makeLazyFrontier(true),
 	})
 	Register(Variant{
 		Name:        "async-waves",
 		Description: "in-place asynchronous tiles in four checkerboard waves (race-free multi-wave scheduling)",
 		Parallel:    true,
-		Run:         makeAsyncWaves(false),
+		Run:         runAsyncWavesEager,
 	})
 	Register(Variant{
 		Name:        "lazy-async-waves",
-		Description: "async-waves skipping tiles whose neighborhood is quiescent",
+		Description: "async-waves over per-wave frontier worklists: quiescent neighborhoods are never scheduled",
 		Parallel:    true,
-		Run:         makeAsyncWaves(true),
+		Run:         runAsyncWavesFrontier,
 	})
 }
 
@@ -279,6 +279,12 @@ func runSeqAsyncMonitored(g *grid.Grid, p Params) sandpile.Result {
 	return res
 }
 
+// changesStride spaces per-worker change accumulators one cache line
+// apart (8 ints = 64 bytes), the same trick sched.Pool uses for its
+// busy slots: adjacent workers bouncing one line between cores would
+// otherwise serialize the reduction.
+const changesStride = 8
+
 // runOmpSync is the first assignment's variant: a plain parallel-for
 // over rows, double-buffered, with a barrier per step — the direct
 // analog of `#pragma omp parallel for schedule(...)` around the y
@@ -292,23 +298,25 @@ func runOmpSync(g *grid.Grid, p Params) sandpile.Result {
 	next := grid.New(g.H(), g.W())
 	cur := g
 	var res sandpile.Result
-	changes := make([]int, pool.Workers())
+	changes := make([]int, pool.Workers()*changesStride)
+	var c, n *grid.Grid
+	body := func(w, lo, hi int) {
+		ch := 0
+		for y := lo; y < hi; y++ {
+			ch += sandpile.SyncRow(c, n, y, 0, c.W())
+		}
+		changes[w*changesStride] += ch
+	}
 	for {
 		res.Iterations++
-		for i := range changes {
-			changes[i] = 0
+		for w := 0; w < pool.Workers(); w++ {
+			changes[w*changesStride] = 0
 		}
-		c, n := cur, next
-		pool.Run(g.H(), func(w, lo, hi int) {
-			ch := 0
-			for y := lo; y < hi; y++ {
-				ch += sandpile.SyncRow(c, n, y, 0, c.W())
-			}
-			changes[w] += ch
-		})
+		c, n = cur, next
+		pool.Run(g.H(), body)
 		total := 0
-		for _, ch := range changes {
-			total += ch
+		for w := 0; w < pool.Workers(); w++ {
+			total += changes[w*changesStride]
 		}
 		res.Topples += uint64(total)
 		if p.OnIteration != nil {
@@ -340,15 +348,17 @@ func tileTask(cur, next *grid.Grid, t grid.Tile, useInner bool) int {
 	return sandpile.SyncRegion(cur, next, t.Y, t.Y+t.H, t.X, t.X+t.W)
 }
 
-// copyTile copies a tile's cells from src to dst, used when the lazy
-// variant skips a tile: the double buffers must stay coherent.
-func copyTile(dst, src *grid.Grid, t grid.Tile) {
-	for y := t.Y; y < t.Y+t.H; y++ {
-		copy(dst.Row(y)[t.X:t.X+t.W], src.Row(y)[t.X:t.X+t.W])
+// frontierObs resolves the frontier instruments from a sink. Both are
+// nil-safe, so the per-iteration updates cost nothing when obs is off.
+func frontierObs(p Params) (*obs.Gauge, *obs.Counter) {
+	m := p.Obs.Metrics
+	if m == nil {
+		return nil, nil
 	}
+	return m.Gauge("engine.frontier_tiles"), m.Counter("engine.tiles_skipped")
 }
 
-func makeTiledSync(lazy, inner bool) func(*grid.Grid, Params) sandpile.Result {
+func makeTiledEager(inner bool) func(*grid.Grid, Params) sandpile.Result {
 	return func(g *grid.Grid, p Params) sandpile.Result {
 		p = p.withDefaults()
 		tl := grid.NewTiling(g.H(), g.W(), p.TileH, p.TileW)
@@ -359,87 +369,47 @@ func makeTiledSync(lazy, inner bool) func(*grid.Grid, Params) sandpile.Result {
 		next := grid.New(g.H(), g.W())
 		cur := g
 		nTiles := tl.NumTiles()
-
-		dirty := make([]bool, nTiles)   // recompute this iteration?
-		changed := make([]bool, nTiles) // changed during this iteration
-		for i := range dirty {
-			dirty[i] = true
-		}
 		tileChanges := make([]int, nTiles)
+
+		var c, n *grid.Grid
+		var doTrace bool
+		var iter int
+		body := func(w, lo, hi int) {
+			for id := lo; id < hi; id++ {
+				t := tl.Tile(id)
+				var start time.Duration
+				if doTrace {
+					start = p.Recorder.Now()
+				}
+				tileChanges[id] = tileTask(c, n, t, inner)
+				if doTrace {
+					p.Recorder.Record(trace.Event{
+						Iteration: iter, Worker: w, Tile: id,
+						Start: start, Duration: p.Recorder.Now() - start,
+						Cells: t.H * t.W,
+					})
+				}
+			}
+		}
 
 		var res sandpile.Result
 		for {
 			res.Iterations++
-			c, n := cur, next
-			doTrace := p.traced(res.Iterations)
-			iter := res.Iterations
-			pool.Run(nTiles, func(w, lo, hi int) {
-				for id := lo; id < hi; id++ {
-					t := tl.Tile(id)
-					var start time.Duration
-					if doTrace {
-						start = p.Recorder.Now()
-					}
-					cells := 0
-					if !lazy || dirty[id] {
-						ch := tileTask(c, n, t, inner)
-						tileChanges[id] = ch
-						changed[id] = ch > 0
-						cells = t.H * t.W
-					} else {
-						copyTile(n, c, t)
-						tileChanges[id] = 0
-						changed[id] = false
-					}
-					if doTrace {
-						p.Recorder.Record(trace.Event{
-							Iteration: iter, Worker: w, Tile: id,
-							Start: start, Duration: p.Recorder.Now() - start,
-							Cells: cells,
-						})
-					}
-				}
-			})
+			iter = res.Iterations
+			doTrace = p.traced(iter)
+			c, n = cur, next
+			pool.Run(nTiles, body)
 			total := 0
 			for _, ch := range tileChanges {
 				total += ch
 			}
 			res.Topples += uint64(total)
 			if p.OnIteration != nil {
-				active := nTiles
-				if lazy {
-					active = 0
-					for _, d := range dirty {
-						if d {
-							active++
-						}
-					}
-				}
-				p.OnIteration(IterStats{Iteration: res.Iterations, Changes: total, ActiveTiles: active, Grid: next})
+				p.OnIteration(IterStats{Iteration: iter, Changes: total, ActiveTiles: nTiles, Grid: next})
 			}
 			cur, next = next, cur
-			if total == 0 {
+			if total == 0 || res.Iterations >= p.MaxIters {
 				break
-			}
-			if res.Iterations >= p.MaxIters {
-				break
-			}
-			if lazy {
-				// A tile must be recomputed next iteration iff it or a
-				// 4-neighbor changed in this one.
-				for i := range dirty {
-					dirty[i] = changed[i]
-				}
-				var nbuf []int
-				for id, ch := range changed {
-					if !ch {
-						continue
-					}
-					nbuf = tl.Neighbors4(id, nbuf[:0])
-					for _, nb := range nbuf {
-						dirty[nb] = true
-					}
-				}
 			}
 		}
 		if cur != g {
@@ -451,104 +421,303 @@ func makeTiledSync(lazy, inner bool) func(*grid.Grid, Params) sandpile.Result {
 	}
 }
 
-func makeAsyncWaves(lazy bool) func(*grid.Grid, Params) sandpile.Result {
+// makeLazyFrontier builds the worklist-driven lazy synchronous
+// variants: each iteration schedules only the compacted frontier of
+// active tiles via Pool.RunIndexed, and the next frontier is rebuilt
+// from the tiles that changed — every per-iteration cost (scheduling,
+// change reduction, wake-up) is O(frontier), not O(grid), and nothing
+// in the loop allocates.
+//
+// Quiescent tiles are neither computed nor copied. Skipping the old
+// copyTile pass is sound because of an invariant of the lazy wake-up
+// rule: a tile leaves the frontier only after an iteration in which it
+// was computed and did not change, at which point the kernel has
+// written identical cells into both buffers — so both buffers hold its
+// latest state for as long as it stays quiescent, and whichever buffer
+// is "cur" when it re-activates (or when the run ends) is already
+// fresh. A tile that did change is always re-scheduled the very next
+// iteration, overwriting the stale copy in the write buffer before any
+// kernel can read it.
+//
+// Wake-ups are edge-gated: the synchronous kernel reads a neighboring
+// tile's cells only through value/Threshold, so a changed tile wakes a
+// neighbor only when a cell on the facing edge changed its quotient
+// (SyncEdgeMask). A neighbor left asleep keeps provably identical
+// inputs — its own cells are untouched and every facing edge's
+// contribution is unchanged since it last computed — so its output
+// could not differ. This is what stops the avalanche front from
+// fruitlessly recomputing every quiescent tile bordering a toppling
+// one, iteration after iteration, until the wave actually reaches the
+// shared edge.
+func makeLazyFrontier(inner bool) func(*grid.Grid, Params) sandpile.Result {
 	return func(g *grid.Grid, p Params) sandpile.Result {
 		p = p.withDefaults()
-		if p.TileH < 2 || p.TileW < 2 {
-			panic("engine: async wave variants require tiles of at least 2x2 cells")
-		}
 		tl := grid.NewTiling(g.H(), g.W(), p.TileH, p.TileW)
 		pool := sched.NewPool(sched.Options{Workers: p.Workers, Policy: p.Policy, ChunkSize: p.ChunkSize, Obs: p.Obs})
 		defer pool.Close()
 
 		before := g.Sum()
-		waves := tl.Waves()
+		next := grid.New(g.H(), g.W())
+		cur := g
 		nTiles := tl.NumTiles()
-		dirty := make([]bool, nTiles)
-		nextDirty := make([]bool, nTiles)
-		for i := range dirty {
-			dirty[i] = true
+		tileChanges := make([]int, nTiles)
+		tileEdges := make([]uint8, nTiles)
+		fr := grid.NewFrontier(nTiles, 1)
+		fr.SeedAll(nil)
+		gFrontier, cSkipped := frontierObs(p)
+
+		var c, n *grid.Grid
+		var doTrace bool
+		var iter int
+		body := func(w int, ids []int32) {
+			for _, id32 := range ids {
+				id := int(id32)
+				t := tl.Tile(id)
+				var start time.Duration
+				if doTrace {
+					start = p.Recorder.Now()
+				}
+				ch := tileTask(c, n, t, inner)
+				tileChanges[id] = ch
+				if ch > 0 {
+					tileEdges[id] = sandpile.SyncEdgeMask(c, n, t.Y, t.Y+t.H, t.X, t.X+t.W)
+				}
+				if doTrace {
+					p.Recorder.Record(trace.Event{
+						Iteration: iter, Worker: w, Tile: id,
+						Start: start, Duration: p.Recorder.Now() - start,
+						Cells: t.H * t.W,
+					})
+				}
+			}
 		}
-		topples := make([]int, nTiles)
 
 		var res sandpile.Result
 		for {
 			res.Iterations++
-			doTrace := p.traced(res.Iterations)
-			iter := res.Iterations
-			for i := range topples {
-				topples[i] = 0
-			}
-			for _, wave := range waves {
-				if len(wave) == 0 {
-					continue
-				}
-				wv := wave
-				pool.Run(len(wv), func(w, lo, hi int) {
-					for k := lo; k < hi; k++ {
-						id := wv[k]
-						if lazy && !dirty[id] {
-							continue
-						}
-						t := tl.Tile(id)
-						var start time.Duration
-						if doTrace {
-							start = p.Recorder.Now()
-						}
-						tp := sandpile.AsyncRegion(g, t.Y, t.Y+t.H, t.X, t.X+t.W)
-						topples[id] = tp
-						if doTrace {
-							p.Recorder.Record(trace.Event{
-								Iteration: iter, Worker: w, Tile: id,
-								Start: start, Duration: p.Recorder.Now() - start,
-								Cells: t.H * t.W,
-							})
-						}
-					}
-				})
-			}
+			iter = res.Iterations
+			doTrace = p.traced(iter)
+			c, n = cur, next
+			active := fr.Active()
+			gFrontier.Set(float64(len(active)))
+			cSkipped.Add(int64(nTiles - len(active)))
+			pool.RunIndexed(active, body)
 			total := 0
-			for _, tp := range topples {
-				total += tp
+			for _, id := range active {
+				total += tileChanges[id]
 			}
 			res.Topples += uint64(total)
 			if p.OnIteration != nil {
-				active := nTiles
-				if lazy {
-					active = 0
-					for _, d := range dirty {
-						if d {
-							active++
+				p.OnIteration(IterStats{Iteration: iter, Changes: total, ActiveTiles: len(active), Grid: next})
+			}
+			cur, next = next, cur
+			if total == 0 || res.Iterations >= p.MaxIters {
+				break
+			}
+			// A changed tile reruns; a neighbor reruns only if the
+			// facing edge changed its outward contribution.
+			fr.Begin()
+			for _, id := range active {
+				if tileChanges[id] == 0 {
+					continue
+				}
+				fr.Add(id, 0)
+				for _, d := range grid.Dirs {
+					if tileEdges[id]&d != 0 {
+						if nbID := tl.Neighbor(int(id), d); nbID >= 0 {
+							fr.Add(int32(nbID), 0)
 						}
 					}
 				}
-				p.OnIteration(IterStats{Iteration: res.Iterations, Changes: total, ActiveTiles: active, Grid: g})
 			}
-			if total == 0 {
-				break
-			}
-			if res.Iterations >= p.MaxIters {
-				break
-			}
-			if lazy {
-				for i := range nextDirty {
-					nextDirty[i] = topples[i] > 0
-				}
-				var nbuf []int
-				for id, tp := range topples {
-					if tp == 0 {
-						continue
-					}
-					nbuf = tl.Neighbors4(id, nbuf[:0])
-					for _, nb := range nbuf {
-						nextDirty[nb] = true
-					}
-				}
-				dirty, nextDirty = nextDirty, dirty
-			}
+			fr.Flip()
+		}
+		if cur != g {
+			g.CopyFrom(cur)
 		}
 		g.ClearHalo()
 		res.Absorbed = before - g.Sum()
 		return res
 	}
+}
+
+// checkWaveTiles validates the wave variants' minimum tile extent:
+// same-wave tiles write one cell past their borders, and a ≥2-cell gap
+// tile between them keeps those fringes disjoint.
+func checkWaveTiles(p Params) {
+	if p.TileH < 2 || p.TileW < 2 {
+		panic("engine: async wave variants require tiles of at least 2x2 cells")
+	}
+}
+
+func runAsyncWavesEager(g *grid.Grid, p Params) sandpile.Result {
+	p = p.withDefaults()
+	checkWaveTiles(p)
+	tl := grid.NewTiling(g.H(), g.W(), p.TileH, p.TileW)
+	pool := sched.NewPool(sched.Options{Workers: p.Workers, Policy: p.Policy, ChunkSize: p.ChunkSize, Obs: p.Obs})
+	defer pool.Close()
+
+	before := g.Sum()
+	waves := tl.Waves()
+	nTiles := tl.NumTiles()
+	topples := make([]int, nTiles)
+
+	var wv []int
+	var doTrace bool
+	var iter int
+	body := func(w, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			id := wv[k]
+			t := tl.Tile(id)
+			var start time.Duration
+			if doTrace {
+				start = p.Recorder.Now()
+			}
+			topples[id] = sandpile.AsyncRegion(g, t.Y, t.Y+t.H, t.X, t.X+t.W)
+			if doTrace {
+				p.Recorder.Record(trace.Event{
+					Iteration: iter, Worker: w, Tile: id,
+					Start: start, Duration: p.Recorder.Now() - start,
+					Cells: t.H * t.W,
+				})
+			}
+		}
+	}
+
+	var res sandpile.Result
+	for {
+		res.Iterations++
+		iter = res.Iterations
+		doTrace = p.traced(iter)
+		for _, wave := range waves {
+			if len(wave) == 0 {
+				continue
+			}
+			wv = wave
+			pool.Run(len(wv), body)
+		}
+		total := 0
+		for _, tp := range topples {
+			total += tp
+		}
+		res.Topples += uint64(total)
+		if p.OnIteration != nil {
+			p.OnIteration(IterStats{Iteration: iter, Changes: total, ActiveTiles: nTiles, Grid: g})
+		}
+		if total == 0 || res.Iterations >= p.MaxIters {
+			break
+		}
+	}
+	g.ClearHalo()
+	res.Absorbed = before - g.Sum()
+	return res
+}
+
+// facingUnstable reports whether neighbor tile t, lying in direction d
+// from a toppled tile, has an unstable cell on the edge line facing
+// the toppler. Asynchronous topples push grains only into directly
+// adjacent cells, so this line is the only place an asleep neighbor
+// can have been destabilized from that side.
+func facingUnstable(g *grid.Grid, t grid.Tile, d uint8) bool {
+	switch d {
+	case grid.DirUp: // neighbor above: its bottom row faces us
+		return sandpile.RegionUnstable(g, t.Y+t.H-1, t.Y+t.H, t.X, t.X+t.W)
+	case grid.DirDown: // neighbor below: its top row
+		return sandpile.RegionUnstable(g, t.Y, t.Y+1, t.X, t.X+t.W)
+	case grid.DirLeft: // neighbor left: its right column
+		return sandpile.RegionUnstable(g, t.Y, t.Y+t.H, t.X+t.W-1, t.X+t.W)
+	default: // neighbor right: its left column
+		return sandpile.RegionUnstable(g, t.Y, t.Y+t.H, t.X, t.X+1)
+	}
+}
+
+// runAsyncWavesFrontier is the lazy multi-wave variant over per-wave
+// frontier worklists: one frontier lane per checkerboard wave, so each
+// wave schedules only its active tiles and the wake-up rebuild is
+// O(frontier). The kernel is in-place (single buffer), so unlike the
+// synchronous variants there is no coherence question at all — skipped
+// tiles are simply untouched memory. Wake-ups are edge-gated: a
+// toppled tile wakes a neighbor only when the neighbor's facing edge
+// line actually holds an unstable cell — a stable tile stays stable
+// until grains arriving on a boundary line push some cell to the
+// threshold, and every arrival re-runs this check.
+func runAsyncWavesFrontier(g *grid.Grid, p Params) sandpile.Result {
+	p = p.withDefaults()
+	checkWaveTiles(p)
+	tl := grid.NewTiling(g.H(), g.W(), p.TileH, p.TileW)
+	pool := sched.NewPool(sched.Options{Workers: p.Workers, Policy: p.Policy, ChunkSize: p.ChunkSize, Obs: p.Obs})
+	defer pool.Close()
+
+	before := g.Sum()
+	nTiles := tl.NumTiles()
+	topples := make([]int, nTiles)
+	fr := grid.NewFrontier(nTiles, 4)
+	fr.SeedAll(func(id int32) int { return tl.Wave(int(id)) })
+	gFrontier, cSkipped := frontierObs(p)
+
+	var doTrace bool
+	var iter int
+	body := func(w int, ids []int32) {
+		for _, id32 := range ids {
+			id := int(id32)
+			t := tl.Tile(id)
+			var start time.Duration
+			if doTrace {
+				start = p.Recorder.Now()
+			}
+			topples[id] = sandpile.AsyncRegion(g, t.Y, t.Y+t.H, t.X, t.X+t.W)
+			if doTrace {
+				p.Recorder.Record(trace.Event{
+					Iteration: iter, Worker: w, Tile: id,
+					Start: start, Duration: p.Recorder.Now() - start,
+					Cells: t.H * t.W,
+				})
+			}
+		}
+	}
+
+	var res sandpile.Result
+	for {
+		res.Iterations++
+		iter = res.Iterations
+		doTrace = p.traced(iter)
+		activeTiles := fr.Len()
+		gFrontier.Set(float64(activeTiles))
+		cSkipped.Add(int64(nTiles - activeTiles))
+		for k := 0; k < fr.Lanes(); k++ {
+			pool.RunIndexed(fr.Lane(k), body)
+		}
+		total := 0
+		for k := 0; k < fr.Lanes(); k++ {
+			for _, id := range fr.Lane(k) {
+				total += topples[id]
+			}
+		}
+		res.Topples += uint64(total)
+		if p.OnIteration != nil {
+			p.OnIteration(IterStats{Iteration: iter, Changes: total, ActiveTiles: activeTiles, Grid: g})
+		}
+		if total == 0 || res.Iterations >= p.MaxIters {
+			break
+		}
+		fr.Begin()
+		for k := 0; k < fr.Lanes(); k++ {
+			for _, id := range fr.Lane(k) {
+				if topples[id] == 0 {
+					continue
+				}
+				fr.Add(id, k)
+				for _, d := range grid.Dirs {
+					nbID := tl.Neighbor(int(id), d)
+					if nbID >= 0 && facingUnstable(g, tl.Tile(nbID), d) {
+						fr.Add(int32(nbID), tl.Wave(nbID))
+					}
+				}
+			}
+		}
+		fr.Flip()
+	}
+	g.ClearHalo()
+	res.Absorbed = before - g.Sum()
+	return res
 }

@@ -1,0 +1,111 @@
+package grid
+
+// frontier.go provides the compacted active-id worklist the lazy
+// engines iterate over. Instead of sweeping a dirty []bool of size
+// NumTiles every iteration (O(grid) even when three tiles are active),
+// a Frontier keeps the active ids dense, and the next iteration's set
+// is rebuilt in place from the tiles that actually changed — so the
+// per-iteration cost is O(active), not O(grid).
+//
+// The rebuild is deduplicated with an epoch-stamped membership array:
+// Begin bumps the epoch, Add records an id only if its stamp is stale,
+// and Flip swaps the freshly built set in. No per-iteration clearing
+// of the membership array and no allocation: all storage is sized at
+// construction.
+
+import "fmt"
+
+// Frontier is a double-buffered worklist of dense ids in [0, n),
+// optionally partitioned into lanes (the async-waves engines use one
+// lane per checkerboard wave; single-worklist users pass lanes=1 and
+// lane 0 everywhere). Build the next set with Begin/Add/Flip while
+// reading the current one via Active/Lane. Frontier methods must not
+// be called concurrently.
+type Frontier struct {
+	active [][]int32
+	next   [][]int32
+	mark   []int32 // mark[id] == epoch means id is already in the next set
+	epoch  int32
+}
+
+// NewFrontier returns an empty frontier over ids [0, n) with the given
+// number of lanes. Every lane is pre-sized to hold all n ids, so
+// Add never allocates.
+func NewFrontier(n, lanes int) *Frontier {
+	if n < 0 || lanes <= 0 {
+		panic(fmt.Sprintf("grid: invalid frontier geometry n=%d lanes=%d", n, lanes))
+	}
+	f := &Frontier{
+		active: make([][]int32, lanes),
+		next:   make([][]int32, lanes),
+		mark:   make([]int32, n),
+	}
+	for k := 0; k < lanes; k++ {
+		f.active[k] = make([]int32, 0, n)
+		f.next[k] = make([]int32, 0, n)
+	}
+	return f
+}
+
+// Lanes returns the number of lanes.
+func (f *Frontier) Lanes() int { return len(f.active) }
+
+// SeedAll makes every id active, in ascending order within each lane.
+// laneOf assigns ids to lanes; nil puts everything in lane 0.
+func (f *Frontier) SeedAll(laneOf func(id int32) int) {
+	for k := range f.active {
+		f.active[k] = f.active[k][:0]
+	}
+	for id := int32(0); id < int32(len(f.mark)); id++ {
+		k := 0
+		if laneOf != nil {
+			k = laneOf(id)
+		}
+		f.active[k] = append(f.active[k], id)
+	}
+}
+
+// Active returns lane 0's current worklist (the whole frontier for
+// single-lane users). The slice is owned by the frontier: it is valid
+// until the next Flip and must not be mutated.
+func (f *Frontier) Active() []int32 { return f.active[0] }
+
+// Lane returns lane k's current worklist, under the same ownership
+// rules as Active.
+func (f *Frontier) Lane(k int) []int32 { return f.active[k] }
+
+// Len returns the total number of active ids across all lanes.
+func (f *Frontier) Len() int {
+	n := 0
+	for _, l := range f.active {
+		n += len(l)
+	}
+	return n
+}
+
+// Begin starts building the next iteration's set: it empties the
+// next-side lanes (retaining storage) and invalidates all membership
+// stamps by bumping the epoch.
+func (f *Frontier) Begin() {
+	f.epoch++
+	for k := range f.next {
+		f.next[k] = f.next[k][:0]
+	}
+}
+
+// Add inserts id into the next set's given lane if it is not already
+// present this epoch. Duplicate adds — the common case when a changed
+// tile wakes a neighbor that also changed — are O(1) no-ops.
+func (f *Frontier) Add(id int32, lane int) {
+	if f.mark[id] == f.epoch {
+		return
+	}
+	f.mark[id] = f.epoch
+	f.next[lane] = append(f.next[lane], id)
+}
+
+// Flip publishes the set built since Begin as the active one. The
+// previously active storage becomes the next build's scratch space.
+func (f *Frontier) Flip() {
+	f.active, f.next = f.next, f.active
+}

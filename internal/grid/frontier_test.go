@@ -1,0 +1,143 @@
+package grid
+
+import "testing"
+
+func ids(f *Frontier, lane int) []int32 {
+	out := make([]int32, len(f.Lane(lane)))
+	copy(out, f.Lane(lane))
+	return out
+}
+
+func TestFrontierSeedAllSingleLane(t *testing.T) {
+	f := NewFrontier(5, 1)
+	if f.Len() != 0 {
+		t.Fatalf("new frontier Len = %d, want 0", f.Len())
+	}
+	f.SeedAll(nil)
+	got := ids(f, 0)
+	if len(got) != 5 || f.Len() != 5 {
+		t.Fatalf("seeded = %v (Len %d), want all 5 ids", got, f.Len())
+	}
+	for i, id := range got {
+		if id != int32(i) {
+			t.Fatalf("seeded[%d] = %d, want %d", i, id, i)
+		}
+	}
+}
+
+func TestFrontierSeedAllLanes(t *testing.T) {
+	f := NewFrontier(10, 2)
+	f.SeedAll(func(id int32) int { return int(id % 2) })
+	if f.Lanes() != 2 {
+		t.Fatalf("Lanes = %d, want 2", f.Lanes())
+	}
+	if len(f.Lane(0)) != 5 || len(f.Lane(1)) != 5 || f.Len() != 10 {
+		t.Fatalf("lane split = %d/%d (Len %d), want 5/5 (10)",
+			len(f.Lane(0)), len(f.Lane(1)), f.Len())
+	}
+	for _, id := range f.Lane(1) {
+		if id%2 != 1 {
+			t.Fatalf("even id %d in odd lane", id)
+		}
+	}
+}
+
+func TestFrontierAddDedupsWithinEpoch(t *testing.T) {
+	f := NewFrontier(8, 1)
+	f.Begin()
+	f.Add(3, 0)
+	f.Add(5, 0)
+	f.Add(3, 0) // duplicate
+	f.Add(5, 0) // duplicate
+	f.Flip()
+	got := ids(f, 0)
+	if len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Fatalf("active = %v, want [3 5]", got)
+	}
+
+	// A fresh epoch must forget the previous stamps.
+	f.Begin()
+	f.Add(3, 0)
+	f.Flip()
+	if got := ids(f, 0); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("after re-add, active = %v, want [3]", got)
+	}
+}
+
+func TestFrontierFlipRetainsStorage(t *testing.T) {
+	f := NewFrontier(100, 1)
+	f.SeedAll(nil)
+	base := &f.Active()[0]
+	f.Begin()
+	for id := int32(0); id < 100; id++ {
+		f.Add(id, 0)
+	}
+	f.Flip()
+	f.Begin()
+	f.Add(7, 0)
+	f.Flip()
+	// Two flips later we are back on the original backing array.
+	if &f.Active()[0] != base {
+		t.Fatal("Flip allocated new storage instead of reusing the seeded array")
+	}
+	if got := ids(f, 0); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("active = %v, want [7]", got)
+	}
+}
+
+// TestFrontierRebuildZeroAlloc pins the tentpole contract: one full
+// Begin/Add(+neighbors)/Flip rebuild cycle — the per-iteration work of
+// the lazy engines — allocates nothing.
+func TestFrontierRebuildZeroAlloc(t *testing.T) {
+	tl := NewTiling(64, 64, 8, 8)
+	n := tl.NumTiles()
+	f := NewFrontier(n, 1)
+	f.SeedAll(nil)
+	var nb [4]int32
+	allocs := testing.AllocsPerRun(100, func() {
+		active := f.Active()
+		f.Begin()
+		for _, id := range active {
+			if id%3 == 0 { // pretend every third tile changed
+				f.Add(id, 0)
+				for i, cnt := 0, tl.Neighbors4Into(int(id), &nb); i < cnt; i++ {
+					f.Add(nb[i], 0)
+				}
+			}
+		}
+		f.Flip()
+	})
+	if allocs != 0 {
+		t.Fatalf("frontier rebuild allocates %.1f per iteration, want 0", allocs)
+	}
+}
+
+func TestFrontierBadGeometryPanics(t *testing.T) {
+	for _, tc := range []struct{ n, lanes int }{{-1, 1}, {4, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewFrontier(%d, %d) did not panic", tc.n, tc.lanes)
+				}
+			}()
+			NewFrontier(tc.n, tc.lanes)
+		}()
+	}
+}
+
+func TestNeighbors4IntoMatchesNeighbors4(t *testing.T) {
+	tl := NewTiling(50, 70, 16, 16)
+	var nb [4]int32
+	for id := 0; id < tl.NumTiles(); id++ {
+		want := tl.Neighbors4(id, nil)
+		cnt := tl.Neighbors4Into(id, &nb)
+		if cnt != len(want) {
+			t.Fatalf("tile %d: count %d, want %d", id, cnt, len(want))
+		}
+		for i := 0; i < cnt; i++ {
+			if int(nb[i]) != want[i] {
+				t.Fatalf("tile %d: neighbor[%d] = %d, want %d", id, i, nb[i], want[i])
+			}
+		}
+	}
+}

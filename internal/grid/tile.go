@@ -110,6 +110,69 @@ func (tl *Tiling) Neighbors4(id int, dst []int) []int {
 	return dst
 }
 
+// Direction bits selecting a tile's 4-neighbors, used by the frontier
+// engines to wake only the neighbors a change can actually reach.
+const (
+	DirUp uint8 = 1 << iota
+	DirDown
+	DirLeft
+	DirRight
+)
+
+// Dirs lists the four direction bits for iteration.
+var Dirs = [4]uint8{DirUp, DirDown, DirLeft, DirRight}
+
+// Neighbor returns the dense id of tile id's neighbor in direction
+// dir, or -1 when the tile sits on that boundary.
+func (tl *Tiling) Neighbor(id int, dir uint8) int {
+	t := tl.tiles[id]
+	switch dir {
+	case DirUp:
+		if t.TY > 0 {
+			return id - tl.TilesX
+		}
+	case DirDown:
+		if t.TY < tl.TilesY-1 {
+			return id + tl.TilesX
+		}
+	case DirLeft:
+		if t.TX > 0 {
+			return id - 1
+		}
+	case DirRight:
+		if t.TX < tl.TilesX-1 {
+			return id + 1
+		}
+	}
+	return -1
+}
+
+// Neighbors4Into writes the dense indices of tile id's existing
+// up/down/left/right neighbors into nb and returns how many were
+// written. It is the allocation-free counterpart of Neighbors4 for the
+// frontier-rebuild hot path.
+func (tl *Tiling) Neighbors4Into(id int, nb *[4]int32) int {
+	t := tl.tiles[id]
+	n := 0
+	if t.TY > 0 {
+		nb[n] = int32(id - tl.TilesX)
+		n++
+	}
+	if t.TY < tl.TilesY-1 {
+		nb[n] = int32(id + tl.TilesX)
+		n++
+	}
+	if t.TX > 0 {
+		nb[n] = int32(id - 1)
+		n++
+	}
+	if t.TX < tl.TilesX-1 {
+		nb[n] = int32(id + 1)
+		n++
+	}
+	return n
+}
+
 // Wave classifies a tile into one of the four checkerboard waves
 // (TY parity, TX parity). Tiles within one wave are pairwise
 // non-adjacent, so asynchronous in-place kernels may process a whole

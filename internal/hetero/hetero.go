@@ -114,16 +114,19 @@ func Run(g *grid.Grid, p Params) Report {
 	next := grid.New(g.H(), g.W())
 	cur := g
 	nTiles := tl.NumTiles()
-	dirty := make([]bool, nTiles)
-	changed := make([]bool, nTiles)
-	for i := range dirty {
-		dirty[i] = true
-	}
+	// The active tiles live in a compacted frontier worklist rebuilt
+	// from the changed tiles each iteration, so per-iteration cost
+	// scales with the frontier, not the grid. Quiescent tiles are
+	// neither computed nor copied: a tile goes quiescent only after a
+	// no-change iteration, which leaves both buffers holding identical
+	// cells for it (see engine.makeLazyFrontier for the full argument).
+	fr := grid.NewFrontier(nTiles, 1)
+	fr.SeedAll(nil)
 	tileChanges := make([]int, nTiles)
+	tileEdges := make([]uint8, nTiles)
 
 	frac := p.InitialFraction
 	rep := Report{FinalFraction: frac}
-	active := make([]int, 0, nTiles)
 
 	tr := p.Obs.Tracer
 	var devTrack, cpuTrack obs.TrackID
@@ -132,105 +135,103 @@ func Run(g *grid.Grid, p Params) Report {
 		cpuTrack = tr.Track("hetero-cpu", 0, "cpu team")
 	}
 	var cDevTiles, cCPUTiles *obs.Counter
-	var gFrac *obs.Gauge
+	var cSkipped *obs.Counter
+	var gFrac, gFrontier *obs.Gauge
 	if m := p.Obs.Metrics; m != nil {
 		cDevTiles = m.Counter("hetero.tiles.device")
 		cCPUTiles = m.Counter("hetero.tiles.cpu")
+		cSkipped = m.Counter("hetero.tiles_skipped")
 		gFrac = m.Gauge("hetero.fraction")
+		gFrontier = m.Gauge("hetero.frontier_tiles")
 		gFrac.Set(frac)
+	}
+
+	// Both batch bodies are hoisted out of the loop; the per-iteration
+	// state they read (buffers, worklists, iteration) is written before
+	// the batches launch and not touched again until both have joined.
+	var c, n *grid.Grid
+	var iter int
+	var devTiles, cpuTiles []int32
+	devBody := func(w int, ids []int32) {
+		for _, id32 := range ids {
+			id := int(id32)
+			t := tl.Tile(id)
+			var ts time.Duration
+			if p.Recorder != nil {
+				ts = p.Recorder.Now()
+			}
+			ch := sandpile.SyncRegion(c, n, t.Y, t.Y+t.H, t.X, t.X+t.W)
+			tileChanges[id] = ch
+			if ch > 0 {
+				tileEdges[id] = sandpile.SyncEdgeMask(c, n, t.Y, t.Y+t.H, t.X, t.X+t.W)
+			}
+			if p.Recorder != nil {
+				p.Recorder.Record(trace.Event{
+					Iteration: iter, Worker: DeviceID, Tile: id,
+					Start: ts, Duration: p.Recorder.Now() - ts,
+					Cells: t.H * t.W,
+				})
+			}
+		}
+	}
+	cpuBody := func(w int, ids []int32) {
+		for _, id32 := range ids {
+			id := int(id32)
+			t := tl.Tile(id)
+			var ts time.Duration
+			if p.Recorder != nil {
+				ts = p.Recorder.Now()
+			}
+			ch := sandpile.SyncRegion(c, n, t.Y, t.Y+t.H, t.X, t.X+t.W)
+			tileChanges[id] = ch
+			if ch > 0 {
+				tileEdges[id] = sandpile.SyncEdgeMask(c, n, t.Y, t.Y+t.H, t.X, t.X+t.W)
+			}
+			if p.Recorder != nil {
+				p.Recorder.Record(trace.Event{
+					Iteration: iter, Worker: w, Tile: id,
+					Start: ts, Duration: p.Recorder.Now() - ts,
+					Cells: t.H * t.W,
+				})
+			}
+		}
+	}
+	done := make(chan time.Duration, 1)
+	deviceBatch := func() {
+		start := time.Now()
+		batchTS := tr.Now()
+		time.Sleep(p.Device.LaunchOverhead)
+		dev.RunIndexed(devTiles, devBody)
+		el := time.Since(start)
+		if tr != nil {
+			tr.Span(devTrack, "device batch", batchTS, el,
+				obs.Arg{Key: "iter", Value: int64(iter)},
+				obs.Arg{Key: "tiles", Value: int64(len(devTiles))})
+		}
+		done <- el
 	}
 
 	for {
 		rep.Iterations++
-		iter := rep.Iterations
+		iter = rep.Iterations
 
-		active = active[:0]
-		for id := 0; id < nTiles; id++ {
-			if dirty[id] {
-				active = append(active, id)
-			}
-		}
-		// Inactive tiles still need buffer coherence under double
-		// buffering; copy them on the CPU pool.
-		c, n := cur, next
+		active := fr.Active()
+		gFrontier.Set(float64(len(active)))
+		cSkipped.Add(int64(nTiles - len(active)))
+		c, n = cur, next
 		split := int(frac * float64(len(active)))
-		devTiles := active[:split]
-		cpuTiles := active[split:]
+		devTiles = active[:split]
+		cpuTiles = active[split:]
 
-		done := make(chan time.Duration, 1)
 		if dev != nil && len(devTiles) > 0 {
-			go func() {
-				start := time.Now()
-				batchTS := tr.Now()
-				time.Sleep(p.Device.LaunchOverhead)
-				dev.Run(len(devTiles), func(w, lo, hi int) {
-					for k := lo; k < hi; k++ {
-						id := devTiles[k]
-						t := tl.Tile(id)
-						var ts time.Duration
-						if p.Recorder != nil {
-							ts = p.Recorder.Now()
-						}
-						ch := sandpile.SyncRegion(c, n, t.Y, t.Y+t.H, t.X, t.X+t.W)
-						tileChanges[id] = ch
-						changed[id] = ch > 0
-						if p.Recorder != nil {
-							p.Recorder.Record(trace.Event{
-								Iteration: iter, Worker: DeviceID, Tile: id,
-								Start: ts, Duration: p.Recorder.Now() - ts,
-								Cells: t.H * t.W,
-							})
-						}
-					}
-				})
-				el := time.Since(start)
-				if tr != nil {
-					tr.Span(devTrack, "device batch", batchTS, el,
-						obs.Arg{Key: "iter", Value: int64(iter)},
-						obs.Arg{Key: "tiles", Value: int64(len(devTiles))})
-				}
-				done <- el
-			}()
+			go deviceBatch()
 		} else {
 			done <- 0
 		}
 
 		cpuStart := time.Now()
 		cpuTS := tr.Now()
-		cpu.Run(len(cpuTiles), func(w, lo, hi int) {
-			for k := lo; k < hi; k++ {
-				id := cpuTiles[k]
-				t := tl.Tile(id)
-				var ts time.Duration
-				if p.Recorder != nil {
-					ts = p.Recorder.Now()
-				}
-				ch := sandpile.SyncRegion(c, n, t.Y, t.Y+t.H, t.X, t.X+t.W)
-				tileChanges[id] = ch
-				changed[id] = ch > 0
-				if p.Recorder != nil {
-					p.Recorder.Record(trace.Event{
-						Iteration: iter, Worker: w, Tile: id,
-						Start: ts, Duration: p.Recorder.Now() - ts,
-						Cells: t.H * t.W,
-					})
-				}
-			}
-		})
-		// Copy quiescent tiles to keep the double buffers coherent.
-		cpu.Run(nTiles, func(w, lo, hi int) {
-			for id := lo; id < hi; id++ {
-				if dirty[id] {
-					continue
-				}
-				t := tl.Tile(id)
-				for y := t.Y; y < t.Y+t.H; y++ {
-					copy(n.Row(y)[t.X:t.X+t.W], c.Row(y)[t.X:t.X+t.W])
-				}
-				tileChanges[id] = 0
-				changed[id] = false
-			}
-		})
+		cpu.RunIndexed(cpuTiles, cpuBody)
 		cpuTime := time.Since(cpuStart)
 		devTime := <-done
 		if tr != nil {
@@ -271,21 +272,24 @@ func Run(g *grid.Grid, p Params) Report {
 		if total == 0 || rep.Iterations >= p.MaxIters {
 			break
 		}
-		// Lazy wake-up: a tile is dirty next iteration iff it or a
-		// neighbor changed.
-		for i := range dirty {
-			dirty[i] = changed[i]
-		}
-		var nbuf []int
-		for id, ch := range changed {
-			if !ch {
+		// Lazy wake-up: a changed tile reruns, and wakes a neighbor
+		// only when the facing edge changed its outward contribution
+		// (see engine.makeLazyFrontier).
+		fr.Begin()
+		for _, id := range active {
+			if tileChanges[id] == 0 {
 				continue
 			}
-			nbuf = tl.Neighbors4(id, nbuf[:0])
-			for _, nb := range nbuf {
-				dirty[nb] = true
+			fr.Add(id, 0)
+			for _, d := range grid.Dirs {
+				if tileEdges[id]&d != 0 {
+					if nbID := tl.Neighbor(int(id), d); nbID >= 0 {
+						fr.Add(int32(nbID), 0)
+					}
+				}
 			}
 		}
+		fr.Flip()
 	}
 	if cur != g {
 		g.CopyFrom(cur)

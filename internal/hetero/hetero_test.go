@@ -88,10 +88,16 @@ func TestAdaptationShiftsAwayFromSlowDevice(t *testing.T) {
 }
 
 func TestTraceOwnershipFig4(t *testing.T) {
-	// A corner pile on a large grid: far tiles must never be computed
-	// (black in Fig 4), computed tiles must have CPU or device owners.
+	// Piles in one quadrant of a large grid: far tiles must never be
+	// computed (black in Fig 4), computed tiles must have CPU or device
+	// owners. Three piles keep the steady-state frontier wide enough
+	// that the device split int(frac*len(active)) stays nonzero — a
+	// single pile's edge-gated frontier is 1–2 tiles, which starves the
+	// device side regardless of the controller.
 	g := grid.New(128, 128)
-	g.Set(3, 3, 4000)
+	g.Set(3, 3, 8000)
+	g.Set(3, 36, 8000)
+	g.Set(36, 3, 8000)
 	rec := trace.NewRecorder()
 	Run(g, Params{
 		TileH: 16, TileW: 16, CPUWorkers: 2,

@@ -47,6 +47,19 @@ func BenchmarkSyncRegionInner(b *testing.B) {
 	b.SetBytes(510 * 510 * 4)
 }
 
+// BenchmarkSyncRegionTile32 measures the kernel at the frontier
+// engines' actual call shape: one 32×32 tile inside a 512-wide grid.
+func BenchmarkSyncRegionTile32(b *testing.B) {
+	cur := benchGrid(512)
+	next := grid.New(512, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SyncRegion(cur, next, 64, 96, 64, 96)
+	}
+	b.SetBytes(32 * 32 * 4)
+}
+
 func BenchmarkAsyncRegionSweep(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

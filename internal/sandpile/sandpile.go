@@ -48,20 +48,43 @@ func SyncStep(cur, next *grid.Grid) int {
 // grid into row/tile ranges and call this from multiple goroutines;
 // it only writes to next, so concurrent calls on disjoint ranges are
 // race-free.
+//
+// The row is pre-sliced to its exact extent so the compiler drops the
+// per-cell bounds checks, and the left/center/right cells ride a
+// sliding window: each step loads only the incoming right cell plus
+// the up/down rows instead of re-reading all five stencil points. On
+// amd64 rows of at least four cells take the packed two-cells-per-
+// uint64 path (syncrow_amd64.go).
 func SyncRow(cur, next *grid.Grid, y, x0, x1 int) int {
 	stride := cur.Stride()
 	c := cur.Cells()
-	n := next.Cells()
 	base := cur.Idx(y, x0)
+	w := x1 - x0
+	if w <= 0 {
+		return 0
+	}
+	if hasPackedSyncRow && w >= 4 {
+		return syncRowPacked(c, next.Cells(), base, stride, w)
+	}
+	// The explicit re-slices pin each slice's length to w (w+2 for the
+	// shifted mid row), which is what lets the compiler prove every
+	// index below in bounds and drop the per-cell checks.
+	mid := c[base-1 : base+w+1][: w+2 : w+2] // shifted: mid[k+1] holds cell x0+k
+	up := c[base-stride : base-stride+w][:w:w]
+	down := c[base+stride : base+stride+w][:w:w]
+	out := next.Cells()[base : base+w][:w:w]
 	changes := 0
-	for i, x := base, x0; x < x1; i, x = i+1, x+1 {
-		v := c[i]%Threshold +
-			c[i-1]/Threshold + c[i+1]/Threshold +
-			c[i-stride]/Threshold + c[i+stride]/Threshold
-		n[i] = v
-		if v != c[i] {
+	left := mid[0]
+	center := mid[1]
+	for k := range out {
+		right := mid[k+2]
+		v := center%Threshold + left/Threshold + right/Threshold +
+			up[k]/Threshold + down[k]/Threshold
+		out[k] = v
+		if v != center {
 			changes++
 		}
+		left, center = center, right
 	}
 	return changes
 }
@@ -127,35 +150,103 @@ func SyncRegionInner(cur, next *grid.Grid, y0, y1, x0, x1 int) int {
 	c := cur.Cells()
 	n := next.Cells()
 	changes := 0
+	w := x1 - x0
+	if w <= 0 {
+		return 0
+	}
 	for y := y0; y < y1; y++ {
 		base := (y+1)*stride + x0 + 1
-		row := c[base : base+(x1-x0)]
-		up := c[base-stride : base-stride+(x1-x0)]
-		down := c[base+stride : base+stride+(x1-x0)]
-		left := c[base-1 : base-1+(x1-x0)]
-		right := c[base+1 : base+1+(x1-x0)]
-		out := n[base : base+(x1-x0)]
-		for k := range row {
-			v := row[k]%Threshold + left[k]/Threshold + right[k]/Threshold +
+		mid := c[base-1 : base+w+1][: w+2 : w+2] // shifted: mid[k+1] holds cell x0+k
+		up := c[base-stride : base-stride+w][:w:w]
+		down := c[base+stride : base+stride+w][:w:w]
+		out := n[base : base+w][:w:w]
+		left := mid[0]
+		center := mid[1]
+		for k := range out {
+			right := mid[k+2]
+			v := center%Threshold + left/Threshold + right/Threshold +
 				up[k]/Threshold + down[k]/Threshold
 			out[k] = v
-			if v != row[k] {
+			if v != center {
 				changes++
 			}
+			left, center = center, right
 		}
 	}
 	return changes
 }
 
-// SyncRegion applies the guarded synchronous kernel to an arbitrary
-// rectangle (outer tiles included). It is the general-purpose
-// counterpart of SyncRegionInner.
+// SyncRegion applies the synchronous kernel to an arbitrary rectangle
+// (outer tiles included — the halo supplies the missing neighbors). It
+// is the general-purpose counterpart of SyncRegionInner.
 func SyncRegion(cur, next *grid.Grid, y0, y1, x0, x1 int) int {
 	changes := 0
 	for y := y0; y < y1; y++ {
 		changes += SyncRow(cur, next, y, x0, x1)
 	}
 	return changes
+}
+
+// SyncEdgeMask reports which edges of the region [y0,y1)×[x0,x1)
+// changed their outward contribution between cur and next, as
+// grid.Dir* bits. The synchronous kernel reads neighboring cells only
+// through their value/Threshold quotient, so after a tile step the
+// adjacent tile's inputs changed iff the facing bit is set — the
+// frontier engines use this to wake only neighbors a change can reach.
+func SyncEdgeMask(cur, next *grid.Grid, y0, y1, x0, x1 int) uint8 {
+	c := cur.Cells()
+	n := next.Cells()
+	stride := cur.Stride()
+	var m uint8
+	w := x1 - x0
+	top := cur.Idx(y0, x0)
+	for k := 0; k < w; k++ {
+		if c[top+k]/Threshold != n[top+k]/Threshold {
+			m |= grid.DirUp
+			break
+		}
+	}
+	bot := cur.Idx(y1-1, x0)
+	for k := 0; k < w; k++ {
+		if c[bot+k]/Threshold != n[bot+k]/Threshold {
+			m |= grid.DirDown
+			break
+		}
+	}
+	h := y1 - y0
+	left := cur.Idx(y0, x0)
+	for k, i := 0, left; k < h; k, i = k+1, i+stride {
+		if c[i]/Threshold != n[i]/Threshold {
+			m |= grid.DirLeft
+			break
+		}
+	}
+	right := cur.Idx(y0, x1-1)
+	for k, i := 0, right; k < h; k, i = k+1, i+stride {
+		if c[i]/Threshold != n[i]/Threshold {
+			m |= grid.DirRight
+			break
+		}
+	}
+	return m
+}
+
+// RegionUnstable reports whether any cell in [y0,y1)×[x0,x1) holds at
+// least Threshold grains. The frontier engines use it on single edge
+// lines: an asleep tile can only be destabilized by grains arriving on
+// a boundary line, so scanning that line decides whether a wake-up is
+// needed.
+func RegionUnstable(g *grid.Grid, y0, y1, x0, x1 int) bool {
+	c := g.Cells()
+	for y := y0; y < y1; y++ {
+		base := g.Idx(y, x0)
+		for i := base; i < base+(x1-x0); i++ {
+			if c[i] >= Threshold {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Stable reports whether every interior cell holds fewer than

@@ -1,0 +1,65 @@
+//go:build amd64
+
+package sandpile
+
+import "unsafe"
+
+// Vectorized synchronous kernel: the five-point BTW stencil is
+// embarrassingly lane-parallel — each output cell is
+//
+//	center%4 + left/4 + right/4 + up/4 + down/4
+//
+// with %4 = AND 3 and /4 = logical shift, both of which SSE2 applies
+// per 32-bit lane with no cross-lane interaction. The assembly kernel
+// (syncrow_amd64.s) processes four cells per iteration with unaligned
+// 16-byte loads (the left/right taps are the center load shifted one
+// cell, always inside the halo'd backing array) and counts changed
+// cells branch-free by accumulating PCMPEQL masks. SSE2 is part of the
+// amd64 baseline, so no feature detection is needed; other
+// architectures use the scalar row kernel.
+
+const hasPackedSyncRow = true
+
+// syncRowSSE2 computes n cells (n % 4 == 0) of an interior row, where
+// cur/nxt point at the first cell in the current/next buffers and
+// strideBytes is the row stride in bytes. It returns the number of
+// UNchanged cells (the natural output of accumulating equality masks).
+// All 16-byte taps must stay inside the backing arrays; syncRowPacked
+// establishes that.
+//
+//go:noescape
+func syncRowSSE2(cur, nxt unsafe.Pointer, strideBytes, n uintptr) uintptr
+
+// syncRowPacked computes w cells of an interior row (base is the flat
+// index of the first cell) via the SSE2 kernel plus a scalar tail.
+// Requires w >= 2 and a halo cell on each side of the row.
+func syncRowPacked(c, n []uint32, base, stride, w int) int {
+	// Touch the extreme indices once so the raw-pointer kernel below
+	// is covered by real bounds checks. The furthest taps are the
+	// right load of the last vector group (cell base+w at most) and
+	// the down load (base+stride+w-1 at most).
+	_ = c[base+stride+w-1]
+	_ = c[base-stride-1]
+	_ = c[base+w]
+	_ = n[base+w-1]
+
+	changes := 0
+	w4 := w &^ 3
+	if w4 > 0 {
+		unchanged := syncRowSSE2(
+			unsafe.Pointer(&c[base]), unsafe.Pointer(&n[base]),
+			uintptr(stride)*4, uintptr(w4))
+		changes = w4 - int(unchanged)
+	}
+	// Scalar tail for the last w%4 cells.
+	for k := w4; k < w; k++ {
+		i := base + k
+		v := c[i]%Threshold + c[i-1]/Threshold + c[i+1]/Threshold +
+			c[i-stride]/Threshold + c[i+stride]/Threshold
+		n[i] = v
+		if v != c[i] {
+			changes++
+		}
+	}
+	return changes
+}

@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package sandpile
+
+// Architectures without guaranteed-cheap unaligned 8-byte loads use
+// the scalar row kernel; see syncrow_amd64.go for the packed variant.
+
+const hasPackedSyncRow = false
+
+func syncRowPacked(c, n []uint32, base, stride, w int) int {
+	panic("sandpile: packed kernel unavailable on this architecture")
+}

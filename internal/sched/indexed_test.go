@@ -1,0 +1,184 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// Tests for RunIndexed, the worklist-scheduling entry point the lazy
+// engines' active-tile frontier runs through.
+
+// runIndexedCoverage executes ids through RunIndexed and returns how
+// often each position was visited.
+func runIndexedCoverage(t *testing.T, ids []int32, o Options) []int32 {
+	t.Helper()
+	p := NewPool(o)
+	defer p.Close()
+	counts := make([]int32, len(ids))
+	index := map[int32]int{}
+	for pos, id := range ids {
+		index[id] = pos
+	}
+	p.RunIndexed(ids, func(w int, chunk []int32) {
+		for _, id := range chunk {
+			atomic.AddInt32(&counts[index[id]], 1)
+		}
+	})
+	return counts
+}
+
+func TestRunIndexedCoversEveryIDOnceUnderEveryPolicy(t *testing.T) {
+	for _, policy := range Policies {
+		for _, n := range []int{1, 7, 64, 1000} {
+			ids := make([]int32, n)
+			for i := range ids {
+				// Sparse, unordered ids: worklists are not permutations
+				// of [0, n).
+				ids[i] = int32(n - i*3)
+			}
+			counts := runIndexedCoverage(t, ids, Options{Workers: 3, Policy: policy, ChunkSize: 5})
+			for pos, c := range counts {
+				if c != 1 {
+					t.Fatalf("%v: id at position %d executed %d times, want 1", policy, pos, c)
+				}
+			}
+		}
+	}
+}
+
+func TestRunIndexedChunksAreSubSlices(t *testing.T) {
+	ids := []int32{10, 20, 30, 40, 50, 60, 70}
+	p := NewPool(Options{Workers: 2, Policy: Dynamic, ChunkSize: 2})
+	defer p.Close()
+	var total atomic.Int64
+	p.RunIndexed(ids, func(w int, chunk []int32) {
+		if len(chunk) == 0 || len(chunk) > 2 {
+			t.Errorf("chunk size %d out of range", len(chunk))
+		}
+		for _, id := range chunk {
+			total.Add(int64(id))
+		}
+	})
+	if total.Load() != 280 {
+		t.Fatalf("sum over chunks = %d, want 280", total.Load())
+	}
+}
+
+func TestRunIndexedEmptyIsNoOp(t *testing.T) {
+	p := NewPool(Options{Workers: 2})
+	defer p.Close()
+	ran := false
+	p.RunIndexed(nil, func(int, []int32) { ran = true })
+	p.RunIndexed([]int32{}, func(int, []int32) { ran = true })
+	if ran {
+		t.Fatal("body ran for an empty worklist")
+	}
+}
+
+func TestRunIndexedInterleavesWithRun(t *testing.T) {
+	p := NewPool(Options{Workers: 3, Policy: Guided})
+	defer p.Close()
+	ids := []int32{5, 6, 7, 8}
+	for rep := 0; rep < 5; rep++ {
+		var a, b atomic.Int64
+		p.Run(10, func(w, lo, hi int) { a.Add(int64(hi - lo)) })
+		p.RunIndexed(ids, func(w int, chunk []int32) { b.Add(int64(len(chunk))) })
+		if a.Load() != 10 || b.Load() != 4 {
+			t.Fatalf("rep %d: Run covered %d, RunIndexed covered %d", rep, a.Load(), b.Load())
+		}
+	}
+}
+
+// TestRunIndexedZeroAlloc pins the frontier-path contract: after the
+// first region (which warms the stealing deques), scheduling a
+// worklist allocates nothing under any policy.
+func TestRunIndexedZeroAlloc(t *testing.T) {
+	ids := make([]int32, 97)
+	for i := range ids {
+		ids[i] = int32(i * 2)
+	}
+	for _, policy := range Policies {
+		p := NewPool(Options{Workers: 4, Policy: policy, ChunkSize: 3})
+		var sink atomic.Int64
+		body := func(w int, chunk []int32) {
+			s := int64(0)
+			for _, id := range chunk {
+				s += int64(id)
+			}
+			sink.Add(s)
+		}
+		p.RunIndexed(ids, body) // warm-up: stealing builds its deques once
+		allocs := testing.AllocsPerRun(50, func() {
+			p.RunIndexed(ids, body)
+		})
+		p.Close()
+		if allocs != 0 {
+			t.Errorf("%v: RunIndexed allocates %.1f per region, want 0", policy, allocs)
+		}
+	}
+}
+
+func TestRunZeroAllocAfterWarmup(t *testing.T) {
+	for _, policy := range Policies {
+		p := NewPool(Options{Workers: 3, Policy: policy, ChunkSize: 4})
+		var sink atomic.Int64
+		body := func(w, lo, hi int) { sink.Add(int64(hi - lo)) }
+		p.Run(200, body)
+		allocs := testing.AllocsPerRun(50, func() {
+			p.Run(200, body)
+		})
+		p.Close()
+		if allocs != 0 {
+			t.Errorf("%v: Run allocates %.1f per region, want 0", policy, allocs)
+		}
+	}
+}
+
+func TestConcurrentCloseIsSafe(t *testing.T) {
+	p := NewPool(Options{Workers: 2})
+	var ready, done atomic.Int32
+	for i := 0; i < 8; i++ {
+		go func() {
+			ready.Add(1)
+			for ready.Load() < 8 {
+			}
+			p.Close()
+			done.Add(1)
+		}()
+	}
+	for done.Load() < 8 {
+	}
+}
+
+func TestQuickRunIndexedCoverage(t *testing.T) {
+	f := func(nRaw uint8, wRaw, cRaw uint8, pRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		ids := make([]int32, n)
+		for i := range ids {
+			ids[i] = int32(i * 7)
+		}
+		o := Options{
+			Workers:   int(wRaw)%6 + 1,
+			ChunkSize: int(cRaw)%16 + 1,
+			Policy:    Policies[int(pRaw)%len(Policies)],
+		}
+		p := NewPool(o)
+		defer p.Close()
+		counts := make([]int32, n)
+		p.RunIndexed(ids, func(w int, chunk []int32) {
+			for _, id := range chunk {
+				atomic.AddInt32(&counts[id/7], 1)
+			}
+		})
+		for _, c := range counts {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -87,12 +87,22 @@ type Pool struct {
 	n      int
 	cursor atomic.Int64
 	done   sync.WaitGroup
-	// stealing-policy region state, reset by Run
-	stealOnce sync.Once
-	deques    []*stealDeque
-	work      []chan struct{} // one start channel per worker, so each region runs exactly once per worker
-	stop      chan struct{}
-	stopped   bool
+	// indexed-run state: RunIndexed stores the id slice and user body
+	// here and routes through Run with the pre-built idxExec trampoline,
+	// so scheduling an index worklist costs no allocation.
+	ids     []int32
+	idxBody func(worker int, ids []int32)
+	idxExec func(worker, lo, hi int)
+	// stealing-policy region state, reset by Run. The deques and their
+	// chunk storage are built lazily once and reused across regions
+	// (buildDeques is pre-bound so Once.Do gets a loop-invariant func).
+	stealOnce   sync.Once
+	deques      []*stealDeque
+	buildDeques func()
+	work        []chan struct{} // one start channel per worker, so each region runs exactly once per worker
+	stop        chan struct{}
+	closeOnce   sync.Once
+	stopped     atomic.Bool
 
 	// observability (nil/empty when disabled; the disabled hot path is
 	// untouched because exec == body then)
@@ -159,6 +169,8 @@ func NewPool(o Options) *Pool {
 		}
 		p.instr = p.observedExec
 	}
+	p.idxExec = func(worker, lo, hi int) { p.idxBody(worker, p.ids[lo:hi]) }
+	p.buildDeques = p.dealDeques
 	for w := 0; w < p.workers; w++ {
 		p.work[w] = make(chan struct{}, 1)
 		go p.worker(w)
@@ -187,23 +199,26 @@ func (p *Pool) Workers() int { return p.workers }
 // Policy returns the configured schedule.
 func (p *Pool) Policy() Policy { return p.policy }
 
-// Close terminates the worker team. The pool is unusable afterwards.
+// Close terminates the worker team. It is idempotent and safe to call
+// from multiple goroutines concurrently. The pool is unusable
+// afterwards: Run (and RunIndexed) on a closed pool panics.
 func (p *Pool) Close() {
-	if !p.stopped {
-		p.stopped = true
+	p.closeOnce.Do(func() {
+		p.stopped.Store(true)
 		close(p.stop)
-	}
+	})
 }
 
 // Run executes body over [0, n) according to the pool's policy and
 // blocks until all iterations complete (an implicit barrier, like the
 // end of an OpenMP parallel-for). body receives the worker id and a
-// half-open index range [lo, hi).
+// half-open index range [lo, hi). Run panics if the pool has been
+// closed.
 func (p *Pool) Run(n int, body func(worker, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	if p.stopped {
+	if p.stopped.Load() {
 		panic("sched: Run on closed Pool")
 	}
 	p.body = body
@@ -240,6 +255,25 @@ func (p *Pool) Run(n int, body func(worker, lo, hi int)) {
 	}
 	p.body = nil
 	p.exec = nil
+}
+
+// RunIndexed executes body over an arbitrary id worklist under the
+// pool's policy: positions [0, len(ids)) are partitioned exactly as
+// Run partitions them, and body receives the worker id plus the
+// ids[lo:hi] sub-slice of each chunk. This is how compacted worklists
+// (e.g. the lazy engines' active-tile frontier) are scheduled under
+// static, cyclic, dynamic, guided, and stealing without copying ids
+// per chunk: beyond what Run itself does, RunIndexed allocates
+// nothing. Like Run, it panics on a closed pool.
+func (p *Pool) RunIndexed(ids []int32, body func(worker int, ids []int32)) {
+	if len(ids) == 0 {
+		return
+	}
+	p.ids = ids
+	p.idxBody = body
+	p.Run(len(ids), p.idxExec)
+	p.ids = nil
+	p.idxBody = nil
 }
 
 func (p *Pool) worker(id int) {

@@ -17,10 +17,19 @@ const Stealing Policy = 4
 
 // stealDeque is a mutex-protected chunk deque. A fancier lock-free
 // Chase-Lev deque is overkill at tile granularity: the lock is held
-// for a few nanoseconds per chunk.
+// for a few nanoseconds per chunk. The chunk storage persists across
+// regions (head marks the consumed prefix) so refilling it reuses the
+// backing array instead of reallocating per region.
 type stealDeque struct {
 	mu     sync.Mutex
-	chunks [][2]int // [lo, hi) ranges
+	chunks [][2]int // [lo, hi) ranges; live entries are chunks[head:]
+	head   int
+}
+
+// reset empties the deque, retaining its storage.
+func (d *stealDeque) reset() {
+	d.chunks = d.chunks[:0]
+	d.head = 0
 }
 
 // popBack removes the newest chunk (owner side).
@@ -28,7 +37,7 @@ func (d *stealDeque) popBack() ([2]int, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	n := len(d.chunks)
-	if n == 0 {
+	if n <= d.head {
 		return [2]int{}, false
 	}
 	c := d.chunks[n-1]
@@ -40,39 +49,49 @@ func (d *stealDeque) popBack() ([2]int, bool) {
 func (d *stealDeque) popFront() ([2]int, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if len(d.chunks) == 0 {
+	if len(d.chunks) <= d.head {
 		return [2]int{}, false
 	}
-	c := d.chunks[0]
-	d.chunks = d.chunks[1:]
+	c := d.chunks[d.head]
+	d.head++
 	return c, true
 }
 
+// dealDeques (re)fills the per-worker deques for the current region.
+// It is bound to Pool.buildDeques at construction so handing it to
+// Once.Do creates no per-region closure. After the first region the
+// deque storage is warm and dealing allocates nothing.
+func (p *Pool) dealDeques() {
+	if p.deques == nil {
+		p.deques = make([]*stealDeque, p.workers)
+		for w := range p.deques {
+			p.deques[w] = &stealDeque{}
+		}
+	}
+	for _, d := range p.deques {
+		d.reset()
+	}
+	// Deal chunks round-robin so each deque holds a spread of the
+	// index space (better balance when work clusters spatially).
+	w := 0
+	for lo := 0; lo < p.n; lo += p.chunk {
+		hi := lo + p.chunk
+		if hi > p.n {
+			hi = p.n
+		}
+		d := p.deques[w]
+		d.chunks = append(d.chunks, [2]int{lo, hi})
+		w = (w + 1) % p.workers
+	}
+}
+
 // runStealing executes one parallel region under the stealing policy.
-// Deques are rebuilt per region; the build cost is O(n/chunk).
+// Deques are refilled per region; the deal cost is O(n/chunk).
 func (p *Pool) runStealing(id int) {
-	// The first worker to arrive builds the deques for this region;
-	// others spin-wait on the ready flag. A sync.Once lives in the
-	// region state reset by Run.
-	p.stealOnce.Do(func() {
-		deques := make([]*stealDeque, p.workers)
-		for w := range deques {
-			deques[w] = &stealDeque{}
-		}
-		// Deal chunks round-robin so each deque holds a spread of the
-		// index space (better balance when work clusters spatially).
-		w := 0
-		for lo := 0; lo < p.n; lo += p.chunk {
-			hi := lo + p.chunk
-			if hi > p.n {
-				hi = p.n
-			}
-			d := deques[w]
-			d.chunks = append(d.chunks, [2]int{lo, hi})
-			w = (w + 1) % p.workers
-		}
-		p.deques = deques
-	})
+	// The first worker to arrive deals the deques for this region;
+	// others wait inside the Once. The sync.Once lives in the region
+	// state reset by Run.
+	p.stealOnce.Do(p.buildDeques)
 
 	own := p.deques[id]
 	for {
