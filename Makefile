@@ -24,8 +24,12 @@ bench-baseline:
 		| $(GO) run ./cmd/benchjson -go-version "$$($(GO) env GOVERSION)" -out BENCH_baseline.json
 
 # Sweep the current tree and diff it against the recorded baseline;
-# fails if any benchmark regressed more than 10%.
+# fails if any benchmark regressed more than 10%. Override BASELINE to
+# diff against a specific snapshot, e.g.
+# `make bench-compare BASELINE=BENCH_pr2.json`.
+BASELINE ?= BENCH_baseline.json
+
 bench-compare:
 	$(GO) test -run '^$$' -bench . -benchtime=100ms ./... \
 		| $(GO) run ./cmd/benchjson -go-version "$$($(GO) env GOVERSION)" -out BENCH_current.json
-	$(GO) run ./cmd/benchjson -compare BENCH_baseline.json BENCH_current.json
+	$(GO) run ./cmd/benchjson -compare $(BASELINE) BENCH_current.json

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/img"
 	"repro/internal/obs"
 )
@@ -29,6 +30,7 @@ func main() {
 	md := flag.String("md", "", "also write a markdown report to this file")
 	metrics := flag.Bool("metrics", false, "print a metrics snapshot (JSON) after the run")
 	traceFile := flag.String("trace", "", "write a Perfetto-loadable Chrome trace to this file")
+	faults := flag.String("faults", "", "fault plan for fault-aware experiments, e.g. seed=9,crash=1@2,hostfail=0.1 (see internal/fault)")
 	flag.Parse()
 
 	if *list {
@@ -46,6 +48,14 @@ func main() {
 	}
 	sink, flush := obs.Setup(*metrics, *traceFile)
 	cfg := core.Config{Quick: *quick, OutDir: *out, Obs: sink}
+	if *faults != "" {
+		plan, err := fault.Parse(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "peachy: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Faults = plan
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintf(os.Stderr, "peachy: %v\n", err)
 		os.Exit(1)

@@ -19,7 +19,10 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/ghost"
 	"repro/internal/grid"
+	"repro/internal/hetero"
 	"repro/internal/img"
 	"repro/internal/obs"
 	"repro/internal/sandpile"
@@ -47,8 +50,24 @@ func main() {
 		gifEvery  = flag.Int("gif-every", 20, "capture a GIF frame every N iterations")
 		metrics   = flag.Bool("metrics", false, "print a metrics snapshot (JSON) after the run")
 		traceFile = flag.String("trace", "", "write a Perfetto-loadable Chrome trace to this file")
+		ranks     = flag.Int("ranks", 0, "run the simulated-MPI ghost-cell engine with N ranks instead of a variant")
+		ghostW    = flag.Int("ghost-width", 1, "ghost-cell band width for -ranks mode")
+		heteroRun = flag.Bool("hetero", false, "run the hybrid CPU+device engine instead of a variant")
+		devWork   = flag.Int("device-workers", 4, "simulated device parallelism for -hetero")
+		faults    = flag.String("faults", "", "fault plan for -ranks/-hetero, e.g. seed=7,crash=1@3 or seed=7,stall=5 (see internal/fault)")
 	)
 	flag.Parse()
+
+	var plan *fault.Plan
+	if *faults != "" {
+		var err error
+		if plan, err = fault.Parse(*faults); err != nil {
+			fatalf("%v", err)
+		}
+		if *ranks <= 0 && !*heteroRun {
+			fatalf("-faults needs a fault-aware mode: -ranks N (crash/drop/dup/delay) or -hetero (stall)")
+		}
+	}
 
 	if *list {
 		for _, name := range engine.Names() {
@@ -79,6 +98,57 @@ func main() {
 	g := cfg.Build(*size, *size, rand.New(rand.NewSource(*seed)))
 	initial := g.Sum()
 	sink, flush := obs.Setup(*metrics, *traceFile)
+
+	finish := func() {
+		if *png != "" {
+			if err := img.SavePNG(*png, img.Sandpile(g, 4)); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Printf("wrote %s\n", *png)
+		}
+		if sink.Enabled() {
+			if err := flush(os.Stdout); err != nil {
+				fatalf("%v", err)
+			}
+			if *traceFile != "" {
+				fmt.Printf("wrote trace to %s\n", *traceFile)
+			}
+		}
+	}
+
+	switch {
+	case *ranks > 0:
+		start := time.Now()
+		rep, err := ghost.New(g,
+			ghost.WithRanks(*ranks),
+			ghost.WithWidth(*ghostW),
+			ghost.WithMaxIters(*maxIters),
+			ghost.WithFaults(plan),
+			ghost.WithObs(sink),
+		).Run()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("ghost on %s %dx%d: %v in %s\n", cfg.Name, *size, *size, rep, time.Since(start).Round(time.Microsecond))
+		for _, line := range rep.FaultSchedule {
+			fmt.Printf("fault: %s\n", line)
+		}
+		finish()
+		return
+	case *heteroRun:
+		start := time.Now()
+		rep := hetero.New(g,
+			hetero.WithTile(*tile, *tile),
+			hetero.WithCPUWorkers(*workers),
+			hetero.WithDevice(*devWork, 0),
+			hetero.WithMaxIters(*maxIters),
+			hetero.WithFaults(plan),
+			hetero.WithObs(sink),
+		).Run()
+		fmt.Printf("hetero on %s %dx%d: %v in %s\n", cfg.Name, *size, *size, rep, time.Since(start).Round(time.Microsecond))
+		finish()
+		return
+	}
 	params := engine.Params{
 		TileH: *tile, TileW: *tile,
 		Workers: *workers, Policy: pol, MaxIters: *maxIters,

@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/climate"
+	"repro/internal/fault"
 	"repro/internal/img"
 	"repro/internal/mapreduce"
 	"repro/internal/obs"
@@ -37,8 +38,17 @@ func main() {
 		dumpData   = flag.String("dump-data", "", "write the generated input files to this directory and exit")
 		metrics    = flag.Bool("metrics", false, "print a metrics snapshot (JSON) after the run")
 		traceFile  = flag.String("trace", "", "write a Perfetto-loadable Chrome trace to this file")
+		faults     = flag.String("faults", "", "task-failure plan, e.g. seed=7,taskfail=0.2 (absorbed by MapReduce retry)")
 	)
 	flag.Parse()
+
+	var plan *fault.Plan
+	if *faults != "" {
+		var err error
+		if plan, err = fault.Parse(*faults); err != nil {
+			fatalf("%v", err)
+		}
+	}
 
 	d := climate.Generate(climate.Params{
 		Seed: *seed, StartYear: *start, EndYear: *end, MissingFinalMonths: *missing,
@@ -73,13 +83,16 @@ func main() {
 
 	sink, flush := obs.Setup(*metrics, *traceFile)
 	series, stats, err := stripes.ComputeSeries(layout, files, mapreduce.Config[string]{
-		MapTasks: *mapTasks, ReduceTasks: *redTasks, Obs: sink,
+		MapTasks: *mapTasks, ReduceTasks: *redTasks, Obs: sink, Faults: plan,
 	})
 	if err != nil {
 		fatalf("%v", err)
 	}
 	fmt.Printf("MapReduce: %d map tasks over %d records, %d reduce groups, %d outputs\n",
 		stats.MapTasks, stats.MapInputs, stats.ReduceGroups, stats.Outputs)
+	if stats.TaskRetries > 0 {
+		fmt.Printf("fault injection: %d task attempts failed and were retried\n", stats.TaskRetries)
+	}
 
 	v := stripes.Validate(series)
 	if len(v.SuspectYears) > 0 {

@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/wfsched"
 )
@@ -37,8 +38,17 @@ func main() {
 		split     = flag.Bool("split", false, "Tab 1: relax homogeneity — search two-group p-state clusters")
 		metrics   = flag.Bool("metrics", false, "print a metrics snapshot (JSON) after the run")
 		traceFile = flag.String("trace", "", "write a Perfetto-loadable Chrome trace to this file")
+		faults    = flag.String("faults", "", "host-failure plan, e.g. seed=7,hostfail=0.1,repair=5 (see internal/fault)")
 	)
 	flag.Parse()
+
+	var plan *fault.Plan
+	if *faults != "" {
+		var err error
+		if plan, err = fault.Parse(*faults); err != nil {
+			fatalf("%v", err)
+		}
+	}
 
 	sink, flush := obs.Setup(*metrics, *traceFile)
 	defer func() {
@@ -56,6 +66,7 @@ func main() {
 	if *split {
 		base, _ := wfsched.Tab1Base()
 		base.Obs = sink
+		base.Faults = plan
 		res, err := wfsched.HeterogeneousAblation(base, wfsched.Tab1MaxNodes, wfsched.Tab1BoundSec)
 		if err != nil {
 			fatalf("%v", err)
@@ -70,6 +81,7 @@ func main() {
 	if !*tab2 {
 		base, ps := wfsched.Tab1Base()
 		base.Obs = sink
+		base.Faults = plan
 		if *pstate < 0 || *pstate >= len(ps) {
 			fatalf("pstate must be 0..%d", len(ps)-1)
 		}
@@ -89,6 +101,7 @@ func main() {
 
 	sc := wfsched.Tab2Scenario()
 	sc.Obs = sink
+	sc.Faults = plan
 	switch {
 	case *pareto:
 		start := time.Now()

@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -30,6 +31,9 @@ type Config struct {
 	// the substrates they drive (sched pools, ghost ranks, mapreduce
 	// jobs, ...). The zero Sink disables it.
 	Obs obs.Sink
+	// Faults overrides the fault plans of fault-aware experiments
+	// (E24); nil keeps each demo's built-in deterministic plan.
+	Faults *fault.Plan
 }
 
 // Table is an aligned text table in a result.

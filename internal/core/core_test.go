@@ -7,8 +7,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 23 {
-		t.Fatalf("experiments = %d, want 23 (E1-E21 per DESIGN.md plus extensions E22-E23)", len(all))
+	if len(all) != 24 {
+		t.Fatalf("experiments = %d, want 24 (E1-E21 per DESIGN.md plus extensions E22-E24)", len(all))
 	}
 	for i, e := range all {
 		want := i + 1

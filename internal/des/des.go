@@ -8,6 +8,7 @@ package des
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -113,6 +114,24 @@ func (s *Simulation) Step() bool {
 // Run executes events until the queue drains.
 func (s *Simulation) Run() {
 	for s.Step() {
+	}
+}
+
+// RunContext executes events until the queue drains or ctx is
+// cancelled, polling ctx between batches of events (cancellation is
+// checked every 64 steps, so a cancelled run stops promptly without
+// paying a per-event check). It returns ctx.Err() if cancellation cut
+// the run short, else nil.
+func (s *Simulation) RunContext(ctx context.Context) error {
+	for i := 0; ; i++ {
+		if i&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if !s.Step() {
+			return nil
+		}
 	}
 }
 

@@ -159,13 +159,29 @@ func Run(name string, g *grid.Grid, p Params) (sandpile.Result, error) {
 			}
 		}
 	}
-	res := v.Run(g, p)
+	res, err := runGuarded(name, v, g, p)
+	if err != nil {
+		return sandpile.Result{}, err
+	}
 	if m := p.Obs.Metrics; m != nil {
 		m.Counter("engine.runs").Inc()
 		m.Counter("engine.iterations").Add(int64(res.Iterations))
 		m.Counter("engine.topples").Add(int64(res.Topples))
 	}
 	return res, nil
+}
+
+// runGuarded executes the variant, converting a panic — including a
+// worker-body panic that sched.Pool.Run propagated to the caller —
+// into an error instead of unwinding through the whole program. The
+// grid is left in an unspecified intermediate state on failure.
+func runGuarded(name string, v Variant, g *grid.Grid, p Params) (res sandpile.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: variant %q panicked: %v", name, r)
+		}
+	}()
+	return v.Run(g, p), nil
 }
 
 func init() {

@@ -210,13 +210,13 @@ func TestNoTracingWithoutRecorder(t *testing.T) {
 }
 
 func TestAsyncWavesRejectsTinyTiles(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("async-waves with 1-wide tiles did not panic")
-		}
-	}()
+	// The variant's validation panic is converted to an error by Run's
+	// panic guard rather than unwinding the caller.
 	g := sandpile.Uniform(4).Build(16, 16, nil)
-	Run("async-waves", g, Params{TileH: 1, TileW: 4})
+	_, err := Run("async-waves", g, Params{TileH: 1, TileW: 4})
+	if err == nil || !strings.Contains(err.Error(), "at least 2x2") {
+		t.Fatalf("err = %v, want tile-size rejection", err)
+	}
 }
 
 func TestMaxItersAborts(t *testing.T) {
@@ -267,5 +267,31 @@ func TestResultAccounting(t *testing.T) {
 		if res.Topples == 0 {
 			t.Fatalf("%s: no topples recorded for an unstable start", name)
 		}
+	}
+}
+
+func TestRunRecoversWorkerPanic(t *testing.T) {
+	// A variant whose parallel body panics: sched.Pool.Run propagates
+	// the panic to the caller, and engine.Run must convert it into an
+	// error instead of crashing the process. Exercised via runGuarded
+	// (the path Run takes) so the global registry stays clean — other
+	// tests iterate over every registered variant.
+	v := Variant{
+		Name:        "test-panicky",
+		Description: "panics from a worker body (test only)",
+		Run: func(g *grid.Grid, p Params) sandpile.Result {
+			pool := sched.New(sched.WithWorkers(2))
+			defer pool.Close()
+			pool.Run(8, func(w, lo, hi int) {
+				if lo <= 5 && 5 < hi {
+					panic("tile exploded")
+				}
+			})
+			return sandpile.Result{}
+		},
+	}
+	_, err := runGuarded(v.Name, v, grid.New(8, 8), Params{})
+	if err == nil || !strings.Contains(err.Error(), "tile exploded") {
+		t.Fatalf("err = %v, want wrapped worker panic", err)
 	}
 }

@@ -1,0 +1,182 @@
+package fault
+
+import (
+	"time"
+)
+
+// packet carries one payload plus the delivery metadata the receiver
+// needs to dedupe duplicates and honor injected delays.
+type packet[T any] struct {
+	seq       uint64
+	payload   T
+	notBefore time.Time // zero = deliver immediately
+}
+
+// Link is one direction of a point-to-point channel between two
+// simulated ranks, with the injector sitting on the wire. Sends are
+// sequence-numbered; the sender retains its last payload in a
+// retransmit buffer, so a receiver that times out waiting for a
+// dropped message pulls the retained copy instead (counted as a
+// retransmit). Duplicated deliveries are discarded by sequence
+// number; delayed deliveries are held until their release time.
+//
+// A Link with a nil injector is a plain reliable channel. Each
+// endpoint of a Link must be used by one goroutine at a time (the
+// ghost ranks' usage pattern); the retransmit buffer is protected for
+// the cross-goroutine receiver access.
+type Link[T any] struct {
+	in   *Injector
+	from, to int
+
+	ch chan packet[T]
+
+	mu      chanMutex
+	lastSeq uint64 // sender side: last sequence sent
+	last    T      // sender side: retained payload for retransmit
+	haveLast bool
+
+	recvSeq uint64 // receiver side: last sequence accepted
+}
+
+// chanMutex is a 1-slot semaphore used as a mutex so Link stays free
+// of sync imports in its hot path signature. Lock with acquire,
+// unlock with release.
+type chanMutex chan struct{}
+
+func (m chanMutex) acquire() { m <- struct{}{} }
+func (m chanMutex) release() { <-m }
+
+// NewLink wires one directed link from -> to through the injector
+// (nil for a reliable link). cap is the channel capacity; ghost uses
+// 1 plus headroom for duplicates.
+func NewLink[T any](in *Injector, from, to, cap int) *Link[T] {
+	if cap < 1 {
+		cap = 1
+	}
+	return &Link[T]{
+		in:   in,
+		from: from,
+		to:   to,
+		// Every in-flight message may be duplicated, and an undrained
+		// duplicate from the previous round may still sit in the
+		// channel when the next round's send lands, so size the buffer
+		// for the worst case — Send must never block in the barrier-
+		// synchronized usage pattern.
+		ch: make(chan packet[T], 2*cap+2),
+		mu: make(chanMutex, 1),
+	}
+}
+
+// Send transmits payload, applying the injector's fate: dropped
+// messages are retained (retransmit buffer) but not delivered,
+// duplicated messages are enqueued twice, delayed messages carry a
+// release time the receiver honors. Send never blocks in the ghost
+// usage pattern (round barrier bounds in-flight messages below cap).
+// abort aborts a full-channel send (returns false).
+func (l *Link[T]) Send(payload T, abort <-chan struct{}) bool {
+	l.mu.acquire()
+	l.lastSeq++
+	seq := l.lastSeq
+	l.last = payload
+	l.haveLast = true
+	l.mu.release()
+
+	fate := l.in.MessageFate(l.from, l.to, seq)
+	if fate == Drop {
+		return true // retained for retransmit; never hits the wire
+	}
+	p := packet[T]{seq: seq, payload: payload}
+	if fate == Delay {
+		p.notBefore = time.Now().Add(l.in.MessageDelay())
+	}
+	n := 1
+	if fate == Dup {
+		n = 2
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case l.ch <- p:
+		case <-abort:
+			return false
+		}
+	}
+	return true
+}
+
+// Recv returns the next fresh payload. It discards duplicates, sleeps
+// out injected delays, and — when timeout elapses with nothing fresh
+// (the dropped-message case) — recovers the sender's retained copy
+// from the retransmit buffer. A zero timeout waits forever (the
+// fault-free configuration). Returns ok=false when abort closes or a
+// timed-out recovery finds no retained payload (peer death).
+func (l *Link[T]) Recv(timeout time.Duration, abort <-chan struct{}) (T, bool) {
+	var zero T
+	for {
+		var timer <-chan time.Time
+		var stop func() bool
+		if timeout > 0 {
+			t := time.NewTimer(timeout)
+			timer = t.C
+			stop = t.Stop
+		}
+		got, ok, timedOut := l.recvOne(timer, abort)
+		if stop != nil {
+			stop()
+		}
+		if timedOut {
+			break
+		}
+		if !ok {
+			return zero, false
+		}
+		if got != nil {
+			return *got, true
+		}
+		// duplicate: loop and wait again with a fresh timer
+	}
+	// Nothing arrived within timeout: the message was dropped (pull
+	// the retransmit buffer) or the peer is dead (give up and let the
+	// heartbeat layer handle it).
+	l.mu.acquire()
+	have := l.haveLast && l.lastSeq > l.recvSeq
+	var payload T
+	var seq uint64
+	if have {
+		payload, seq = l.last, l.lastSeq
+		l.recvSeq = seq
+	}
+	l.mu.release()
+	if !have {
+		return zero, false
+	}
+	l.in.NoteRetransmit(l.from, l.to, seq)
+	return payload, true
+}
+
+// recvOne waits for one delivery: (payload, true, false) on a fresh
+// message, (nil, true, false) on a discarded duplicate, (nil, false,
+// false) on abort, (nil, false, true) on timeout.
+func (l *Link[T]) recvOne(timer <-chan time.Time, abort <-chan struct{}) (*T, bool, bool) {
+	select {
+	case p := <-l.ch:
+		if !p.notBefore.IsZero() {
+			if d := time.Until(p.notBefore); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		l.mu.acquire()
+		stale := p.seq <= l.recvSeq
+		if !stale {
+			l.recvSeq = p.seq
+		}
+		l.mu.release()
+		if stale {
+			return nil, true, false // duplicate: already accepted
+		}
+		return &p.payload, true, false
+	case <-timer:
+		return nil, false, true
+	case <-abort:
+		return nil, false, false
+	}
+}

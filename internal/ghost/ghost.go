@@ -2,8 +2,8 @@
 // distributed-memory run of the synchronous automaton using the Ghost
 // Cell Pattern (Kjolstad & Snir 2010). MPI ranks are simulated by
 // goroutines that own horizontal strips of the global grid and
-// exchange halo rows over channels; no memory is shared between ranks
-// except the channels.
+// exchange halo rows over links; no memory is shared between ranks
+// except the links.
 //
 // The assignment's central trade-off — redundant computation for
 // less-frequent communication — is a first-class parameter here: with
@@ -12,18 +12,32 @@
 // recomputes a shrinking band of its neighbors' rows. The run report
 // counts messages, bytes, and redundantly computed cells so the
 // trade-off can be measured rather than imagined.
+//
+// Runs are fault-tolerant when configured with WithFaults: halo
+// links absorb injected message drop/delay/duplication (internal/
+// fault's retransmit + dedupe link), and rank crashes are survived by
+// heartbeat detection plus coordinated checkpoint rollback
+// (recover.go). Determinism makes recovery exact: the post-recovery
+// fixed point and committed topple count equal the fault-free run's.
 package ghost
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/grid"
 	"repro/internal/obs"
 	"repro/internal/sandpile"
 )
 
 // Params configures a distributed run.
+//
+// Deprecated: prefer New with functional options (options.go), which
+// also exposes fault injection and the 2-D decomposition through one
+// constructor. Params remains supported as a thin equivalent.
 type Params struct {
 	// Ranks is the number of simulated processes (strips). It must be
 	// at least 1 and small enough that every rank owns at least
@@ -45,16 +59,27 @@ type Report struct {
 	sandpile.Result
 	Ranks          int
 	GhostWidth     int
-	Exchanges      int    // halo-exchange rounds performed
-	Messages       int    // point-to-point messages sent
+	Exchanges      int    // halo-exchange rounds started (committed + replayed)
+	Messages       int    // point-to-point messages sent (including replays)
 	BytesSent      uint64 // payload bytes across all messages
 	RedundantCells uint64 // ghost-band cells recomputed beyond owned work
 	OwnedCells     uint64 // owned cells computed
+	// Recoveries counts coordinated rollbacks (heartbeat-detected rank
+	// deaths recovered by restart-from-checkpoint).
+	Recoveries int
+	// FaultSchedule is the injector's sorted fired-fault log — the
+	// reproducibility artifact: same seed, byte-identical schedule.
+	// Empty without WithFaults.
+	FaultSchedule []string
 }
 
 func (r Report) String() string {
-	return fmt.Sprintf("ranks=%d K=%d %v exchanges=%d msgs=%d bytes=%d redundant=%d",
+	s := fmt.Sprintf("ranks=%d K=%d %v exchanges=%d msgs=%d bytes=%d redundant=%d",
 		r.Ranks, r.GhostWidth, r.Result, r.Exchanges, r.Messages, r.BytesSent, r.RedundantCells)
+	if r.Recoveries > 0 {
+		s += fmt.Sprintf(" recoveries=%d", r.Recoveries)
+	}
+	return s
 }
 
 // message is one halo payload: K rows of W cells.
@@ -62,20 +87,26 @@ type message struct {
 	rows [][]uint32
 }
 
-// rank is the per-process state of the simulated run.
+// rank is the per-process state of the simulated run. Ranks are
+// rebuilt from checkpoints on every recovery generation, so all
+// fields are generation-local.
 type rank struct {
 	id         int
+	gen        int
 	owned      int // owned rows
 	globalTop  int // global index of first owned row
 	topGhost   int // K if an upper neighbor exists, else 0
 	botGhost   int
 	cur, next  *grid.Grid
-	sendUp     chan message // to rank id-1
-	sendDown   chan message // to rank id+1
-	recvUp     chan message // from rank id-1
-	recvDown   chan message // from rank id+1
-	changes    chan int     // per-round owned-row change count, to coordinator
-	proceed    chan bool    // coordinator verdict: continue?
+	sendUp     *fault.Link[message] // to rank id-1
+	sendDown   *fault.Link[message] // to rank id+1
+	recvUp     *fault.Link[message] // from rank id-1
+	recvDown   *fault.Link[message] // from rank id+1
+	reports    chan<- roundReport
+	proceed    chan bool
+	abort      chan struct{}
+	inj        *fault.Injector
+	linkWait   time.Duration // halo-receive timeout; 0 = block forever
 	msgs       int
 	bytes      uint64
 	redundant  uint64
@@ -88,140 +119,174 @@ type rank struct {
 // writes the final configuration back into g. It returns the run
 // report. The result is bit-identical to the sequential solvers (the
 // Abelian/determinism property), which the tests enforce.
+//
+// Deprecated: prefer New(g, WithRanks(p.Ranks), ...).Run(); Run
+// remains as a thin wrapper over it.
 func Run(g *grid.Grid, p Params) (Report, error) {
-	if p.Ranks <= 0 {
-		return Report{}, fmt.Errorf("ghost: Ranks must be >= 1, got %d", p.Ranks)
+	return RunContext(context.Background(), g, p)
+}
+
+// RunContext is Run with cancellation.
+func RunContext(ctx context.Context, g *grid.Grid, p Params) (Report, error) {
+	return run1d(ctx, g, config{
+		ranks: p.Ranks, width: p.GhostWidth, maxIters: p.MaxIters, obs: p.Obs,
+	})
+}
+
+// run1d executes the strip decomposition under the shared recovery
+// coordinator.
+func run1d(ctx context.Context, g *grid.Grid, cfg config) (Report, error) {
+	if cfg.ranks <= 0 {
+		return Report{}, fmt.Errorf("ghost: Ranks must be >= 1, got %d", cfg.ranks)
 	}
-	if p.GhostWidth <= 0 {
-		return Report{}, fmt.Errorf("ghost: GhostWidth must be >= 1, got %d", p.GhostWidth)
+	if cfg.width <= 0 {
+		return Report{}, fmt.Errorf("ghost: GhostWidth must be >= 1, got %d", cfg.width)
 	}
-	if p.MaxIters <= 0 {
-		p.MaxIters = sandpile.MaxIterations
+	if cfg.maxIters <= 0 {
+		cfg.maxIters = sandpile.MaxIterations
 	}
-	minOwned := g.H() / p.Ranks
-	if minOwned < p.GhostWidth {
+	minOwned := g.H() / cfg.ranks
+	if minOwned < cfg.width {
 		return Report{}, fmt.Errorf("ghost: %d ranks over %d rows leaves %d rows/rank; need >= GhostWidth (%d)",
-			p.Ranks, g.H(), minOwned, p.GhostWidth)
+			cfg.ranks, g.H(), minOwned, cfg.width)
 	}
 
 	before := g.Sum()
-	K := p.GhostWidth
-	W := g.W()
+	K, W := cfg.width, g.W()
+	inj := fault.NewInjector(cfg.faults, cfg.obs)
+	hb := cfg.heartbeat
+	if hb <= 0 {
+		hb = 2 * time.Second
+	}
+	var linkWait time.Duration
+	if inj != nil {
+		linkWait = hb / 4 // must detect a dropped halo before the coordinator gives up
+	}
 
 	// Carve strips: the first (H mod Ranks) ranks get one extra row.
-	ranks := make([]*rank, p.Ranks)
-	base := g.H() / p.Ranks
-	extra := g.H() % p.Ranks
+	// The scattered owned rows double as the round-0 checkpoint set.
+	owned := make([]int, cfg.ranks)
+	tops := make([]int, cfg.ranks)
+	ckpts := make([][][]uint32, cfg.ranks)
+	base, extra := g.H()/cfg.ranks, g.H()%cfg.ranks
 	top := 0
-	for i := range ranks {
-		owned := base
+	for i := range owned {
+		owned[i] = base
 		if i < extra {
-			owned++
+			owned[i]++
 		}
-		r := &rank{
-			id:        i,
-			owned:     owned,
-			globalTop: top,
-			changes:   make(chan int, 1),
-			proceed:   make(chan bool, 1),
+		tops[i] = top
+		rows := make([][]uint32, owned[i])
+		for y := range rows {
+			rows[y] = append([]uint32(nil), g.Row(top+y)...)
 		}
-		if tr := p.Obs.Tracer; tr != nil {
-			r.tr = tr
-			r.track = tr.Track("ghost", i, fmt.Sprintf("rank %d", i))
-		}
-		if i > 0 {
-			r.topGhost = K
-		}
-		if i < p.Ranks-1 {
-			r.botGhost = K
-		}
-		localH := owned + r.topGhost + r.botGhost
-		r.cur = grid.New(localH, W)
-		r.next = grid.New(localH, W)
-		// Scatter: copy owned rows from the global grid.
-		for y := 0; y < owned; y++ {
-			copy(r.cur.Row(r.topGhost+y), g.Row(top+y))
-		}
-		ranks[i] = r
-		top += owned
-	}
-	// Wire neighbor channels (capacity 1 so send-then-receive cannot
-	// deadlock).
-	for i := 0; i < p.Ranks-1; i++ {
-		down := make(chan message, 1) // i -> i+1
-		up := make(chan message, 1)   // i+1 -> i
-		ranks[i].sendDown = down
-		ranks[i+1].recvUp = down
-		ranks[i+1].sendUp = up
-		ranks[i].recvDown = up
+		ckpts[i] = rows
+		top += owned[i]
 	}
 
-	var wg sync.WaitGroup
-	for _, r := range ranks {
-		wg.Add(1)
-		go func(r *rank) {
-			defer wg.Done()
-			r.run(K)
-		}(r)
+	var live []*rank // the most recently launched generation
+	launch := func(genID, startRound int, ckpts [][][]uint32) *generation {
+		gen := &generation{
+			reports: make(chan roundReport, cfg.ranks),
+			proceed: make([]chan bool, cfg.ranks),
+			abort:   make(chan struct{}),
+			wg:      &sync.WaitGroup{},
+		}
+		rs := make([]*rank, cfg.ranks)
+		for i := range rs {
+			r := &rank{
+				id: i, gen: genID,
+				owned: owned[i], globalTop: tops[i],
+				reports: gen.reports,
+				proceed: make(chan bool, 1),
+				abort:   gen.abort,
+				inj:     inj, linkWait: linkWait,
+			}
+			gen.proceed[i] = r.proceed
+			if tr := cfg.obs.Tracer; tr != nil {
+				r.tr = tr
+				r.track = tr.Track("ghost", i, fmt.Sprintf("rank %d", i))
+			}
+			if i > 0 {
+				r.topGhost = K
+			}
+			if i < cfg.ranks-1 {
+				r.botGhost = K
+			}
+			r.cur = grid.New(r.owned+r.topGhost+r.botGhost, W)
+			r.next = grid.New(r.cur.H(), W)
+			for y := 0; y < r.owned; y++ {
+				copy(r.cur.Row(r.topGhost+y), ckpts[i][y])
+			}
+			rs[i] = r
+		}
+		for i := 0; i < cfg.ranks-1; i++ {
+			down := fault.NewLink[message](inj, i, i+1, 1)
+			up := fault.NewLink[message](inj, i+1, i, 1)
+			rs[i].sendDown, rs[i+1].recvUp = down, down
+			rs[i+1].sendUp, rs[i].recvDown = up, up
+		}
+		gen.harvest = func(rep *Report) {
+			for _, r := range rs {
+				rep.Messages += r.msgs
+				rep.BytesSent += r.bytes
+				rep.RedundantCells += r.redundant
+				rep.OwnedCells += r.ownedCells
+			}
+		}
+		for _, r := range rs {
+			gen.wg.Add(1)
+			go func(r *rank) {
+				defer gen.wg.Done()
+				r.run(K, startRound)
+			}(r)
+		}
+		live = rs
+		return gen
 	}
 
-	// Coordinator: sum per-round owned changes; broadcast continue
-	// until a whole round changes nothing or the iteration budget is
-	// exhausted.
-	report := Report{Ranks: p.Ranks, GhostWidth: K}
-	iters := 0
-	for {
-		report.Exchanges++ // each round starts with a halo exchange
-		total := 0
-		for _, r := range ranks {
-			total += <-r.changes
-		}
-		iters += K
-		report.Topples += uint64(total)
-		cont := total != 0 && iters < p.MaxIters
-		for _, r := range ranks {
-			r.proceed <- cont
-		}
-		if !cont {
-			break
-		}
+	rep := Report{Ranks: cfg.ranks, GhostWidth: K}
+	if err := coordinate(ctx, cfg.ranks, K, cfg.maxIters, inj, hb, launch, ckpts, &rep); err != nil {
+		return rep, err
 	}
-	wg.Wait()
 
 	// Gather: copy owned rows back into the global grid.
-	for _, r := range ranks {
+	for _, r := range live {
 		for y := 0; y < r.owned; y++ {
 			copy(g.Row(r.globalTop+y), r.cur.Row(r.topGhost+y))
 		}
-		report.Messages += r.msgs
-		report.BytesSent += r.bytes
-		report.RedundantCells += r.redundant
-		report.OwnedCells += r.ownedCells
 	}
 	g.ClearHalo()
-	report.Iterations = iters
-	report.Absorbed = before - g.Sum()
-	if m := p.Obs.Metrics; m != nil {
-		m.Counter("ghost.exchanges").Add(int64(report.Exchanges))
-		m.Counter("ghost.halo.messages").Add(int64(report.Messages))
-		m.Counter("ghost.halo.bytes").Add(int64(report.BytesSent))
-		m.Counter("ghost.cells.redundant").Add(int64(report.RedundantCells))
-		m.Counter("ghost.cells.owned").Add(int64(report.OwnedCells))
+	rep.Absorbed = before - g.Sum()
+	rep.FaultSchedule = inj.Schedule()
+	if m := cfg.obs.Metrics; m != nil {
+		m.Counter("ghost.exchanges").Add(int64(rep.Exchanges))
+		m.Counter("ghost.halo.messages").Add(int64(rep.Messages))
+		m.Counter("ghost.halo.bytes").Add(int64(rep.BytesSent))
+		m.Counter("ghost.cells.redundant").Add(int64(rep.RedundantCells))
+		m.Counter("ghost.cells.owned").Add(int64(rep.OwnedCells))
 	}
-	return report, nil
+	return rep, nil
 }
 
 // run executes one simulated rank: rounds of K synchronous steps over
-// a shrinking valid band, a change report to the coordinator, and (if
-// the coordinator says continue) a halo exchange.
-func (r *rank) run(K int) {
+// a shrinking valid band, a report (heartbeat + checkpoint) to the
+// coordinator, and the coordinator's continue verdict. An injected
+// crash makes the rank go silent mid-protocol — exactly the failure
+// mode the coordinator's heartbeat timeout exists to catch.
+func (r *rank) run(K, startRound int) {
 	H := r.cur.H()
-	for {
+	for round := startRound + 1; ; round++ {
+		if r.inj.CrashAt(r.id, round) {
+			return
+		}
 		// Fill (or refresh) ghost zones before the round's K steps.
 		// The first exchange distributes the scattered initial state's
 		// boundary rows; later ones refresh post-round state.
 		exTS := r.tr.Now()
-		r.exchange(K)
+		if !r.exchange(K) {
+			return // aborted, or a peer died and the link drained
+		}
 		if r.tr != nil {
 			r.tr.Span(r.track, "exchange", exTS, r.tr.Now()-exTS,
 				obs.Arg{Key: "K", Value: int64(K)})
@@ -253,23 +318,46 @@ func (r *rank) run(K int) {
 			r.tr.Span(r.track, "compute", compTS, r.tr.Now()-compTS,
 				obs.Arg{Key: "changes", Value: int64(roundChanges)})
 		}
-		r.changes <- roundChanges
-		if !<-r.proceed {
+		// With fault injection on, the report carries a checkpoint of
+		// the owned rows; the coordinator installs it once the whole
+		// round commits.
+		var rows [][]uint32
+		if r.inj != nil {
+			rows = make([][]uint32, r.owned)
+			for y := range rows {
+				rows[y] = append([]uint32(nil), r.cur.Row(r.topGhost+y)...)
+			}
+		}
+		select {
+		case r.reports <- roundReport{gen: r.gen, id: r.id, round: round, changes: roundChanges, rows: rows}:
+		case <-r.abort:
+			return
+		}
+		select {
+		case cont := <-r.proceed:
+			if !cont {
+				return
+			}
+		case <-r.abort:
 			return
 		}
 	}
 }
 
 // exchange sends this rank's boundary-owned rows to each neighbor and
-// refills its ghost zones with what the neighbors send back.
-func (r *rank) exchange(K int) {
+// refills its ghost zones with what the neighbors send back. It
+// returns false when the generation aborted or a receive found the
+// peer dead (timeout with nothing to retransmit).
+func (r *rank) exchange(K int) bool {
 	W := r.cur.W()
 	if r.sendUp != nil {
 		m := message{rows: make([][]uint32, K)}
 		for k := 0; k < K; k++ {
 			m.rows[k] = append([]uint32(nil), r.cur.Row(r.topGhost+k)...)
 		}
-		r.sendUp <- m
+		if !r.sendUp.Send(m, r.abort) {
+			return false
+		}
 		r.msgs++
 		r.bytes += uint64(K * W * 4)
 	}
@@ -278,20 +366,29 @@ func (r *rank) exchange(K int) {
 		for k := 0; k < K; k++ {
 			m.rows[k] = append([]uint32(nil), r.cur.Row(r.topGhost+r.owned-K+k)...)
 		}
-		r.sendDown <- m
+		if !r.sendDown.Send(m, r.abort) {
+			return false
+		}
 		r.msgs++
 		r.bytes += uint64(K * W * 4)
 	}
 	if r.recvUp != nil {
-		m := <-r.recvUp
+		m, ok := r.recvUp.Recv(r.linkWait, r.abort)
+		if !ok {
+			return false
+		}
 		for k := 0; k < K; k++ {
 			copy(r.cur.Row(k), m.rows[k])
 		}
 	}
 	if r.recvDown != nil {
-		m := <-r.recvDown
+		m, ok := r.recvDown.Recv(r.linkWait, r.abort)
+		if !ok {
+			return false
+		}
 		for k := 0; k < K; k++ {
 			copy(r.cur.Row(r.topGhost+r.owned+k), m.rows[k])
 		}
 	}
+	return true
 }

@@ -9,18 +9,26 @@ package ghost
 // first east/west halo columns are exchanged over owned rows, then
 // north/south halo rows are exchanged over the *full local width*,
 // so the just-received E/W columns carry the diagonal neighbors'
-// corners along.
+// corners along. Fault tolerance (rank crashes, message faults) is
+// the same coordinated checkpoint rollback the strips use; see
+// recover.go.
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/grid"
 	"repro/internal/obs"
 	"repro/internal/sandpile"
 )
 
 // Params2D configures a 2-D distributed run.
+//
+// Deprecated: prefer New with WithProcessGrid (options.go). Params2D
+// remains supported as a thin equivalent.
 type Params2D struct {
 	// RankRows × RankCols is the process grid.
 	RankRows, RankCols int
@@ -35,8 +43,11 @@ type Params2D struct {
 	Obs obs.Sink
 }
 
-// rank2d is one simulated process of the block decomposition.
+// rank2d is one simulated process of the block decomposition,
+// generation-local like rank.
 type rank2d struct {
+	id             int // linear rank index pr*C+pc
+	gen            int
 	pr, pc         int // position in the process grid
 	ownH, ownW     int
 	gTop, gBot     int // ghost extents per side (K or 0)
@@ -44,11 +55,14 @@ type rank2d struct {
 	globTop, globL int
 	cur, next      *grid.Grid
 
-	sendW, sendE, sendN, sendS chan message
-	recvW, recvE, recvN, recvS chan message
+	sendW, sendE, sendN, sendS *fault.Link[message]
+	recvW, recvE, recvN, recvS *fault.Link[message]
 
-	changes chan int
-	proceed chan bool
+	reports  chan<- roundReport
+	proceed  chan bool
+	abort    chan struct{}
+	inj      *fault.Injector
+	linkWait time.Duration
 
 	msgs      int
 	bytes     uint64
@@ -59,133 +73,176 @@ type rank2d struct {
 
 // Run2D stabilizes g with the 2-D block-decomposed synchronous
 // automaton and writes the final configuration back into g.
+//
+// Deprecated: prefer New(g, WithProcessGrid(r, c), ...).Run(); Run2D
+// remains as a thin wrapper over it.
 func Run2D(g *grid.Grid, p Params2D) (Report, error) {
-	if p.RankRows <= 0 || p.RankCols <= 0 {
-		return Report{}, fmt.Errorf("ghost: invalid process grid %dx%d", p.RankRows, p.RankCols)
+	return Run2DContext(context.Background(), g, p)
+}
+
+// Run2DContext is Run2D with cancellation.
+func Run2DContext(ctx context.Context, g *grid.Grid, p Params2D) (Report, error) {
+	return run2d(ctx, g, config{
+		procRows: p.RankRows, procCols: p.RankCols,
+		width: p.GhostWidth, maxIters: p.MaxIters, obs: p.Obs,
+	})
+}
+
+// run2d executes the block decomposition under the shared recovery
+// coordinator.
+func run2d(ctx context.Context, g *grid.Grid, cfg config) (Report, error) {
+	R, C := cfg.procRows, cfg.procCols
+	if R <= 0 || C <= 0 {
+		return Report{}, fmt.Errorf("ghost: invalid process grid %dx%d", R, C)
 	}
-	if p.GhostWidth <= 0 {
-		return Report{}, fmt.Errorf("ghost: GhostWidth must be >= 1, got %d", p.GhostWidth)
+	if cfg.width <= 0 {
+		return Report{}, fmt.Errorf("ghost: GhostWidth must be >= 1, got %d", cfg.width)
 	}
-	if p.MaxIters <= 0 {
-		p.MaxIters = sandpile.MaxIterations
+	if cfg.maxIters <= 0 {
+		cfg.maxIters = sandpile.MaxIterations
 	}
-	K := p.GhostWidth
-	if g.H()/p.RankRows < K || g.W()/p.RankCols < K {
+	K := cfg.width
+	if g.H()/R < K || g.W()/C < K {
 		return Report{}, fmt.Errorf("ghost: blocks of %dx%d grid over %dx%d ranks smaller than K=%d",
-			g.H(), g.W(), p.RankRows, p.RankCols, K)
+			g.H(), g.W(), R, C, K)
 	}
 
 	before := g.Sum()
-	R, C := p.RankRows, p.RankCols
-	ranks := make([]*rank2d, R*C)
+	n := R * C
+	inj := fault.NewInjector(cfg.faults, cfg.obs)
+	hb := cfg.heartbeat
+	if hb <= 0 {
+		hb = 2 * time.Second
+	}
+	var linkWait time.Duration
+	if inj != nil {
+		linkWait = hb / 4
+	}
 
 	rowOf := splitExtents(g.H(), R)
 	colOf := splitExtents(g.W(), C)
+	// The scattered owned blocks double as the round-0 checkpoint set.
+	ckpts := make([][][]uint32, n)
 	for pr := 0; pr < R; pr++ {
 		for pc := 0; pc < C; pc++ {
-			r := &rank2d{
-				pr: pr, pc: pc,
-				ownH: rowOf[pr+1] - rowOf[pr], ownW: colOf[pc+1] - colOf[pc],
-				globTop: rowOf[pr], globL: colOf[pc],
-				changes: make(chan int, 1),
-				proceed: make(chan bool, 1),
+			ownH, ownW := rowOf[pr+1]-rowOf[pr], colOf[pc+1]-colOf[pc]
+			rows := make([][]uint32, ownH)
+			for y := range rows {
+				rows[y] = append([]uint32(nil), g.Row(rowOf[pr]+y)[colOf[pc]:colOf[pc]+ownW]...)
 			}
-			if pr > 0 {
-				r.gTop = K
-			}
-			if pr < R-1 {
-				r.gBot = K
-			}
-			if pc > 0 {
-				r.gLeft = K
-			}
-			if pc < C-1 {
-				r.gRight = K
-			}
-			if tr := p.Obs.Tracer; tr != nil {
-				r.tr = tr
-				r.track = tr.Track("ghost2d", pr*C+pc, fmt.Sprintf("rank (%d,%d)", pr, pc))
-			}
-			r.cur = grid.New(r.ownH+r.gTop+r.gBot, r.ownW+r.gLeft+r.gRight)
-			r.next = grid.New(r.cur.H(), r.cur.W())
-			for y := 0; y < r.ownH; y++ {
-				copy(r.cur.Row(r.gTop + y)[r.gLeft:r.gLeft+r.ownW],
-					g.Row(r.globTop + y)[r.globL:r.globL+r.ownW])
-			}
-			ranks[pr*C+pc] = r
-		}
-	}
-	// Wire neighbor channels.
-	for pr := 0; pr < R; pr++ {
-		for pc := 0; pc < C; pc++ {
-			r := ranks[pr*C+pc]
-			if pc < C-1 {
-				east := ranks[pr*C+pc+1]
-				toEast := make(chan message, 1)
-				toWest := make(chan message, 1)
-				r.sendE, east.recvW = toEast, toEast
-				east.sendW, r.recvE = toWest, toWest
-			}
-			if pr < R-1 {
-				south := ranks[(pr+1)*C+pc]
-				toSouth := make(chan message, 1)
-				toNorth := make(chan message, 1)
-				r.sendS, south.recvN = toSouth, toSouth
-				south.sendN, r.recvS = toNorth, toNorth
-			}
+			ckpts[pr*C+pc] = rows
 		}
 	}
 
-	var wg sync.WaitGroup
-	for _, r := range ranks {
-		wg.Add(1)
-		go func(r *rank2d) {
-			defer wg.Done()
-			r.run(K)
-		}(r)
+	var live []*rank2d
+	launch := func(genID, startRound int, ckpts [][][]uint32) *generation {
+		gen := &generation{
+			reports: make(chan roundReport, n),
+			proceed: make([]chan bool, n),
+			abort:   make(chan struct{}),
+			wg:      &sync.WaitGroup{},
+		}
+		rs := make([]*rank2d, n)
+		for pr := 0; pr < R; pr++ {
+			for pc := 0; pc < C; pc++ {
+				id := pr*C + pc
+				r := &rank2d{
+					id: id, gen: genID, pr: pr, pc: pc,
+					ownH: rowOf[pr+1] - rowOf[pr], ownW: colOf[pc+1] - colOf[pc],
+					globTop: rowOf[pr], globL: colOf[pc],
+					reports: gen.reports,
+					proceed: make(chan bool, 1),
+					abort:   gen.abort,
+					inj:     inj, linkWait: linkWait,
+				}
+				gen.proceed[id] = r.proceed
+				if pr > 0 {
+					r.gTop = K
+				}
+				if pr < R-1 {
+					r.gBot = K
+				}
+				if pc > 0 {
+					r.gLeft = K
+				}
+				if pc < C-1 {
+					r.gRight = K
+				}
+				if tr := cfg.obs.Tracer; tr != nil {
+					r.tr = tr
+					r.track = tr.Track("ghost2d", id, fmt.Sprintf("rank (%d,%d)", pr, pc))
+				}
+				r.cur = grid.New(r.ownH+r.gTop+r.gBot, r.ownW+r.gLeft+r.gRight)
+				r.next = grid.New(r.cur.H(), r.cur.W())
+				for y := 0; y < r.ownH; y++ {
+					copy(r.cur.Row(r.gTop+y)[r.gLeft:r.gLeft+r.ownW], ckpts[id][y])
+				}
+				rs[id] = r
+			}
+		}
+		// Wire neighbor links (endpoints are linear rank indices, so
+		// message-fault decisions stay keyed to stable identities).
+		for pr := 0; pr < R; pr++ {
+			for pc := 0; pc < C; pc++ {
+				id := pr*C + pc
+				r := rs[id]
+				if pc < C-1 {
+					east := rs[id+1]
+					toEast := fault.NewLink[message](inj, id, id+1, 1)
+					toWest := fault.NewLink[message](inj, id+1, id, 1)
+					r.sendE, east.recvW = toEast, toEast
+					east.sendW, r.recvE = toWest, toWest
+				}
+				if pr < R-1 {
+					south := rs[id+C]
+					toSouth := fault.NewLink[message](inj, id, id+C, 1)
+					toNorth := fault.NewLink[message](inj, id+C, id, 1)
+					r.sendS, south.recvN = toSouth, toSouth
+					south.sendN, r.recvS = toNorth, toNorth
+				}
+			}
+		}
+		gen.harvest = func(rep *Report) {
+			for _, r := range rs {
+				rep.Messages += r.msgs
+				rep.BytesSent += r.bytes
+				rep.RedundantCells += r.redundant
+				rep.OwnedCells += uint64(r.ownH * r.ownW)
+			}
+		}
+		for _, r := range rs {
+			gen.wg.Add(1)
+			go func(r *rank2d) {
+				defer gen.wg.Done()
+				r.run(K, startRound)
+			}(r)
+		}
+		live = rs
+		return gen
 	}
 
-	report := Report{Ranks: R * C, GhostWidth: K}
-	iters := 0
-	for {
-		report.Exchanges++
-		total := 0
-		for _, r := range ranks {
-			total += <-r.changes
-		}
-		iters += K
-		report.Topples += uint64(total)
-		cont := total != 0 && iters < p.MaxIters
-		for _, r := range ranks {
-			r.proceed <- cont
-		}
-		if !cont {
-			break
-		}
+	rep := Report{Ranks: n, GhostWidth: K}
+	if err := coordinate(ctx, n, K, cfg.maxIters, inj, hb, launch, ckpts, &rep); err != nil {
+		return rep, err
 	}
-	wg.Wait()
 
-	for _, r := range ranks {
+	for _, r := range live {
 		for y := 0; y < r.ownH; y++ {
-			copy(g.Row(r.globTop + y)[r.globL:r.globL+r.ownW],
-				r.cur.Row(r.gTop + y)[r.gLeft:r.gLeft+r.ownW])
+			copy(g.Row(r.globTop+y)[r.globL:r.globL+r.ownW],
+				r.cur.Row(r.gTop+y)[r.gLeft:r.gLeft+r.ownW])
 		}
-		report.Messages += r.msgs
-		report.BytesSent += r.bytes
-		report.RedundantCells += r.redundant
-		report.OwnedCells += uint64(r.ownH * r.ownW)
 	}
 	g.ClearHalo()
-	report.Iterations = iters
-	report.Absorbed = before - g.Sum()
-	if m := p.Obs.Metrics; m != nil {
-		m.Counter("ghost.exchanges").Add(int64(report.Exchanges))
-		m.Counter("ghost.halo.messages").Add(int64(report.Messages))
-		m.Counter("ghost.halo.bytes").Add(int64(report.BytesSent))
-		m.Counter("ghost.cells.redundant").Add(int64(report.RedundantCells))
-		m.Counter("ghost.cells.owned").Add(int64(report.OwnedCells))
+	rep.Absorbed = before - g.Sum()
+	rep.FaultSchedule = inj.Schedule()
+	if m := cfg.obs.Metrics; m != nil {
+		m.Counter("ghost.exchanges").Add(int64(rep.Exchanges))
+		m.Counter("ghost.halo.messages").Add(int64(rep.Messages))
+		m.Counter("ghost.halo.bytes").Add(int64(rep.BytesSent))
+		m.Counter("ghost.cells.redundant").Add(int64(rep.RedundantCells))
+		m.Counter("ghost.cells.owned").Add(int64(rep.OwnedCells))
 	}
-	return report, nil
+	return rep, nil
 }
 
 // splitExtents returns n+1 boundaries splitting total cells into n
@@ -205,11 +262,16 @@ func splitExtents(total, n int) []int {
 	return out
 }
 
-func (r *rank2d) run(K int) {
+func (r *rank2d) run(K, startRound int) {
 	H, W := r.cur.H(), r.cur.W()
-	for {
+	for round := startRound + 1; ; round++ {
+		if r.inj.CrashAt(r.id, round) {
+			return
+		}
 		exTS := r.tr.Now()
-		r.exchange(K)
+		if !r.exchange(K) {
+			return
+		}
 		if r.tr != nil {
 			r.tr.Span(r.track, "exchange", exTS, r.tr.Now()-exTS,
 				obs.Arg{Key: "K", Value: int64(K)})
@@ -255,8 +317,24 @@ func (r *rank2d) run(K int) {
 			r.tr.Span(r.track, "compute", compTS, r.tr.Now()-compTS,
 				obs.Arg{Key: "changes", Value: int64(roundChanges)})
 		}
-		r.changes <- roundChanges
-		if !<-r.proceed {
+		var rows [][]uint32
+		if r.inj != nil {
+			rows = make([][]uint32, r.ownH)
+			for y := range rows {
+				rows[y] = append([]uint32(nil), r.cur.Row(r.gTop+y)[r.gLeft:r.gLeft+r.ownW]...)
+			}
+		}
+		select {
+		case r.reports <- roundReport{gen: r.gen, id: r.id, round: round, changes: roundChanges, rows: rows}:
+		case <-r.abort:
+			return
+		}
+		select {
+		case cont := <-r.proceed:
+			if !cont {
+				return
+			}
+		case <-r.abort:
 			return
 		}
 	}
@@ -264,36 +342,46 @@ func (r *rank2d) run(K int) {
 
 // exchange performs the two-phase halo exchange: E/W columns over
 // owned rows first, then N/S rows over the full local width (carrying
-// the corners).
-func (r *rank2d) exchange(K int) {
+// the corners). Returns false on abort or peer death.
+func (r *rank2d) exchange(K int) bool {
 	// Phase 1: east/west columns, owned rows only.
 	colPayload := func(x0 int) message {
 		m := message{rows: make([][]uint32, r.ownH)}
 		for y := 0; y < r.ownH; y++ {
-			m.rows[y] = append([]uint32(nil), r.cur.Row(r.gTop + y)[x0:x0+K]...)
+			m.rows[y] = append([]uint32(nil), r.cur.Row(r.gTop+y)[x0:x0+K]...)
 		}
 		return m
 	}
 	if r.sendW != nil {
-		r.sendW <- colPayload(r.gLeft)
+		if !r.sendW.Send(colPayload(r.gLeft), r.abort) {
+			return false
+		}
 		r.msgs++
 		r.bytes += uint64(K * r.ownH * 4)
 	}
 	if r.sendE != nil {
-		r.sendE <- colPayload(r.gLeft + r.ownW - K)
+		if !r.sendE.Send(colPayload(r.gLeft+r.ownW-K), r.abort) {
+			return false
+		}
 		r.msgs++
 		r.bytes += uint64(K * r.ownH * 4)
 	}
 	if r.recvW != nil {
-		m := <-r.recvW
+		m, ok := r.recvW.Recv(r.linkWait, r.abort)
+		if !ok {
+			return false
+		}
 		for y := 0; y < r.ownH; y++ {
-			copy(r.cur.Row(r.gTop + y)[0:K], m.rows[y])
+			copy(r.cur.Row(r.gTop+y)[0:K], m.rows[y])
 		}
 	}
 	if r.recvE != nil {
-		m := <-r.recvE
+		m, ok := r.recvE.Recv(r.linkWait, r.abort)
+		if !ok {
+			return false
+		}
 		for y := 0; y < r.ownH; y++ {
-			copy(r.cur.Row(r.gTop + y)[r.gLeft+r.ownW:], m.rows[y])
+			copy(r.cur.Row(r.gTop+y)[r.gLeft+r.ownW:], m.rows[y])
 		}
 	}
 
@@ -308,25 +396,36 @@ func (r *rank2d) exchange(K int) {
 		return m
 	}
 	if r.sendN != nil {
-		r.sendN <- rowPayload(r.gTop)
+		if !r.sendN.Send(rowPayload(r.gTop), r.abort) {
+			return false
+		}
 		r.msgs++
 		r.bytes += uint64(K * W * 4)
 	}
 	if r.sendS != nil {
-		r.sendS <- rowPayload(r.gTop + r.ownH - K)
+		if !r.sendS.Send(rowPayload(r.gTop+r.ownH-K), r.abort) {
+			return false
+		}
 		r.msgs++
 		r.bytes += uint64(K * W * 4)
 	}
 	if r.recvN != nil {
-		m := <-r.recvN
+		m, ok := r.recvN.Recv(r.linkWait, r.abort)
+		if !ok {
+			return false
+		}
 		for k := 0; k < K; k++ {
 			copy(r.cur.Row(k), m.rows[k])
 		}
 	}
 	if r.recvS != nil {
-		m := <-r.recvS
+		m, ok := r.recvS.Recv(r.linkWait, r.abort)
+		if !ok {
+			return false
+		}
 		for k := 0; k < K; k++ {
 			copy(r.cur.Row(r.gTop+r.ownH+k), m.rows[k])
 		}
 	}
+	return true
 }

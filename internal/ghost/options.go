@@ -1,0 +1,92 @@
+package ghost
+
+// options.go is the redesigned constructor for distributed runs: a
+// functional-options Runner that unifies the strip and block
+// decompositions, threads context.Context through, and carries the
+// fault-injection plan. The positional Params/Params2D structs and
+// the package-level Run/Run2D remain as thin deprecated shims.
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/obs"
+)
+
+// config is the merged configuration both decompositions run from.
+type config struct {
+	ranks              int // strip decomposition (1-D)
+	procRows, procCols int // block decomposition (2-D); set via WithProcessGrid
+	width              int
+	maxIters           int
+	obs                obs.Sink
+	faults             *fault.Plan
+	heartbeat          time.Duration
+}
+
+// Option configures a Runner built with New.
+type Option func(*config)
+
+// WithRanks selects the strip decomposition with n simulated ranks.
+func WithRanks(n int) Option { return func(c *config) { c.ranks = n } }
+
+// WithProcessGrid selects the 2-D block decomposition with a
+// rows x cols process grid (overrides WithRanks).
+func WithProcessGrid(rows, cols int) Option {
+	return func(c *config) { c.procRows, c.procCols = rows, cols }
+}
+
+// WithWidth sets the ghost-zone width K: halo rows/columns exchanged
+// per boundary and iterations between exchanges.
+func WithWidth(k int) Option { return func(c *config) { c.width = k } }
+
+// WithMaxIters bounds runaway runs (0 means sandpile.MaxIterations).
+func WithMaxIters(n int) Option { return func(c *config) { c.maxIters = n } }
+
+// WithObs attaches the observability layer.
+func WithObs(sink obs.Sink) Option { return func(c *config) { c.obs = sink } }
+
+// WithFaults enables deterministic fault injection under the plan:
+// rank crashes and halo-message drop/delay/duplication, recovered via
+// heartbeat detection and coordinated checkpoint rollback. nil
+// disables injection (and checkpointing).
+func WithFaults(p *fault.Plan) Option { return func(c *config) { c.faults = p } }
+
+// WithHeartbeat sets how long the coordinator waits for a round's
+// reports before declaring a rank dead (default 2s; only meaningful
+// with WithFaults). Halo receives time out at a quarter of this.
+func WithHeartbeat(d time.Duration) Option { return func(c *config) { c.heartbeat = d } }
+
+// Runner is a configured distributed run over one grid.
+type Runner struct {
+	g   *grid.Grid
+	cfg config
+}
+
+// New builds a distributed run of g, e.g.
+//
+//	ghost.New(g, ghost.WithRanks(4), ghost.WithWidth(2), ghost.WithFaults(plan))
+//
+// This is the preferred constructor; Run(g, Params) and
+// Run2D(g, Params2D) are the legacy positional forms.
+func New(g *grid.Grid, opts ...Option) *Runner {
+	r := &Runner{g: g, cfg: config{width: 1}}
+	for _, opt := range opts {
+		opt(&r.cfg)
+	}
+	return r
+}
+
+// Run executes the configured run to the fixed point.
+func (r *Runner) Run() (Report, error) { return r.RunContext(context.Background()) }
+
+// RunContext is Run with cancellation: the coordinator stops
+// launching rounds once ctx is cancelled and returns ctx.Err().
+func (r *Runner) RunContext(ctx context.Context) (Report, error) {
+	if r.cfg.procRows > 0 || r.cfg.procCols > 0 {
+		return run2d(ctx, r.g, r.cfg)
+	}
+	return run1d(ctx, r.g, r.cfg)
+}

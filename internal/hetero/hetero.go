@@ -14,9 +14,11 @@
 package hetero
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/grid"
 	"repro/internal/obs"
 	"repro/internal/sandpile"
@@ -62,6 +64,12 @@ type Params struct {
 	// hetero.tiles.* counters, and a hetero.fraction gauge tracking the
 	// controller. The zero Sink disables it.
 	Obs obs.Sink
+	// Faults enables deterministic fault injection: at the plan's
+	// StallIter the simulated device stalls mid-launch and the engine
+	// degrades gracefully — the device's tiles are reclaimed and
+	// drained by the CPU pool, the controller fraction drops to zero,
+	// and the rest of the run is CPU-only. nil disables.
+	Faults *fault.Plan
 }
 
 // Report summarizes a hybrid run.
@@ -75,16 +83,38 @@ type Report struct {
 	// DeviceBusy and CPUBusy are the summed wall-clock times each
 	// side spent computing.
 	DeviceBusy, CPUBusy time.Duration
+	// DeviceStalled reports whether an injected stall took the device
+	// out of the run; Recoveries counts the degradations (0 or 1).
+	DeviceStalled bool
+	Recoveries    int
 }
 
 func (r Report) String() string {
-	return fmt.Sprintf("%v deviceTiles=%d cpuTiles=%d finalFraction=%.3f",
+	s := fmt.Sprintf("%v deviceTiles=%d cpuTiles=%d finalFraction=%.3f",
 		r.Result, r.DeviceTiles, r.CPUTiles, r.FinalFraction)
+	if r.DeviceStalled {
+		s += " deviceStalled"
+	}
+	return s
 }
 
 // Run stabilizes g with the hybrid lazy synchronous engine and writes
 // the final configuration into g.
 func Run(g *grid.Grid, p Params) Report {
+	rep, err := RunContext(context.Background(), g, p)
+	if err != nil {
+		// Unreachable: only cancellation produces an error, and the
+		// background context cannot be cancelled.
+		panic(err)
+	}
+	return rep
+}
+
+// RunContext is Run with cancellation: the iteration loop stops
+// promptly once ctx is cancelled and the partial report is returned
+// alongside ctx.Err(). The grid is left in a consistent (but
+// unconverged) intermediate state.
+func RunContext(ctx context.Context, g *grid.Grid, p Params) (Report, error) {
 	if p.TileH <= 0 {
 		p.TileH = 32
 	}
@@ -101,12 +131,13 @@ func Run(g *grid.Grid, p Params) Report {
 		p.InitialFraction = 0
 	}
 
+	inj := fault.NewInjector(p.Faults, p.Obs)
 	tl := grid.NewTiling(g.H(), g.W(), p.TileH, p.TileW)
-	cpu := sched.NewPool(sched.Options{Workers: p.CPUWorkers, Policy: sched.Dynamic, ChunkSize: 1})
+	cpu := sched.New(sched.WithWorkers(p.CPUWorkers), sched.WithPolicy(sched.Dynamic), sched.WithChunkSize(1))
 	defer cpu.Close()
 	var dev *sched.Pool
 	if p.Device.Workers > 0 {
-		dev = sched.NewPool(sched.Options{Workers: p.Device.Workers, Policy: sched.Dynamic, ChunkSize: 4})
+		dev = sched.New(sched.WithWorkers(p.Device.Workers), sched.WithPolicy(sched.Dynamic), sched.WithChunkSize(4))
 		defer dev.Close()
 	}
 
@@ -211,7 +242,13 @@ func Run(g *grid.Grid, p Params) Report {
 		done <- el
 	}
 
+	var runErr error
+	stalledNow := false
 	for {
+		if err := ctx.Err(); err != nil {
+			runErr = err
+			break
+		}
 		rep.Iterations++
 		iter = rep.Iterations
 
@@ -222,6 +259,21 @@ func Run(g *grid.Grid, p Params) Report {
 		split := int(frac * float64(len(active)))
 		devTiles = active[:split]
 		cpuTiles = active[split:]
+
+		if dev != nil && inj.DeviceStall(iter) {
+			// The device stalls mid-launch: its tiles for this
+			// iteration are reclaimed by the CPU pool (drained below as
+			// part of the ordinary CPU batch) and the device never gets
+			// work again — graceful degradation to CPU-only.
+			cpuTiles = active
+			devTiles = nil
+			dev = nil
+			frac = 0
+			gFrac.Set(0)
+			rep.DeviceStalled = true
+			rep.Recoveries++
+			stalledNow = true
+		}
 
 		if dev != nil && len(devTiles) > 0 {
 			go deviceBatch()
@@ -238,6 +290,14 @@ func Run(g *grid.Grid, p Params) Report {
 			tr.Span(cpuTrack, "cpu batch", cpuTS, cpuTime,
 				obs.Arg{Key: "iter", Value: int64(iter)},
 				obs.Arg{Key: "tiles", Value: int64(len(cpuTiles))})
+		}
+		if stalledNow {
+			// The recovery span covers the CPU pool draining the
+			// reclaimed device share.
+			inj.NoteRecovery("hetero", cpuTS, cpuTime,
+				obs.Arg{Key: "iter", Value: int64(iter)},
+				obs.Arg{Key: "reclaimed_tiles", Value: int64(len(cpuTiles))})
+			stalledNow = false
 		}
 
 		rep.DeviceTiles += len(devTiles)
@@ -297,5 +357,5 @@ func Run(g *grid.Grid, p Params) Report {
 	g.ClearHalo()
 	rep.FinalFraction = frac
 	rep.Absorbed = before - g.Sum()
-	return rep
+	return rep, runErr
 }

@@ -10,6 +10,7 @@ package mapreduce
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"fmt"
 	"os/exec"
 	"strings"
@@ -122,7 +123,7 @@ func RunStreamingPipeline(inputs []string, mapperArgv, reducerArgv []string, cfg
 		},
 		Counters: NewCounters(),
 	}
-	out, redStats, err := job.reducePhase(mapOut, cfg)
+	out, redStats, err := job.reducePhase(context.Background(), mapOut, cfg, nil)
 	if err != nil {
 		return nil, stats, err
 	}

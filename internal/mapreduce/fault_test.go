@@ -1,0 +1,80 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+var faultLines = []string{
+	"to be or not to be",
+	"that is the question",
+	"whether tis nobler in the mind to suffer",
+	"the slings and arrows of outrageous fortune",
+}
+
+func TestInjectedTaskFailuresAbsorbedByRetry(t *testing.T) {
+	plain, _, err := wordCountJob(Config[string]{MapTasks: 4, ReduceTasks: 3}).Run(faultLines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := wordCountJob(Config[string]{
+		MapTasks: 4, ReduceTasks: 3, MaxAttempts: 8,
+		Faults: &fault.Plan{Seed: 11, TaskFail: 0.4},
+	})
+	faulty, stats, err := job.Run(faultLines)
+	if err != nil {
+		t.Fatalf("injected failures leaked past the retry budget: %v", err)
+	}
+	if !reflect.DeepEqual(plain, faulty) {
+		t.Fatalf("injection changed the output:\n%v\n%v", plain, faulty)
+	}
+	if stats.TaskRetries == 0 {
+		t.Fatal("40% task-failure rate caused zero retries")
+	}
+}
+
+func TestInjectedFailuresDeterministic(t *testing.T) {
+	run := func() (Stats, []KV[string, int]) {
+		out, stats, err := wordCountJob(Config[string]{
+			MapTasks: 4, ReduceTasks: 3, MaxAttempts: 8,
+			Faults: &fault.Plan{Seed: 5, TaskFail: 0.4},
+		}).Run(faultLines)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats, out
+	}
+	sa, oa := run()
+	sb, ob := run()
+	if sa != sb {
+		t.Fatalf("same seed, different stats: %+v vs %+v", sa, sb)
+	}
+	if !reflect.DeepEqual(oa, ob) {
+		t.Fatal("same seed, different outputs")
+	}
+}
+
+func TestInjectedFailuresExhaustBudget(t *testing.T) {
+	// TaskFail = 1 fails every attempt; the explicit 2-attempt budget
+	// cannot absorb it, so the job must surface ErrInjected.
+	_, _, err := wordCountJob(Config[string]{
+		MaxAttempts: 2,
+		Faults:      &fault.Plan{Seed: 1, TaskFail: 1},
+	}).Run(faultLines)
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+}
+
+func TestRunContextCancelledMapReduce(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := wordCountJob(Config[string]{}).RunContext(ctx, faultLines)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

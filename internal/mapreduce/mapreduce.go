@@ -14,6 +14,7 @@ package mapreduce
 
 import (
 	"cmp"
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -22,6 +23,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -78,6 +80,13 @@ type Config[K cmp.Ordered] struct {
 	// spans on the "mapreduce-*" tracks, mapreduce.* counters, and a
 	// group-size histogram. The zero Sink disables it.
 	Obs obs.Sink
+	// Faults enables deterministic task-failure injection: map and
+	// reduce task attempts fail with the plan's TaskFail probability
+	// and are absorbed by the ordinary retry budget (injection
+	// defaults MaxAttempts to 3 when left zero). Same seed, same
+	// failure schedule, same final output — the retries are invisible
+	// except in Stats.TaskRetries. nil disables.
+	Faults *fault.Plan
 }
 
 func (c Config[K]) withDefaults() Config[K] {
@@ -89,6 +98,14 @@ func (c Config[K]) withDefaults() Config[K] {
 	}
 	if c.MaxAttempts <= 0 {
 		c.MaxAttempts = 1
+		if c.Faults != nil && c.Faults.TaskFail > 0 {
+			// Injected failures need retry headroom: the plan's own
+			// attempts budget when given, else a small default.
+			c.MaxAttempts = 3
+			if n := c.Faults.Retry.MaxAttempts; n > 0 {
+				c.MaxAttempts = n
+			}
+		}
 	}
 	if c.Partitioner == nil {
 		c.Partitioner = HashPartitioner[K]
@@ -157,6 +174,14 @@ type Job[I any, K cmp.Ordered, V, O any] struct {
 // outputs in deterministic order (reduce partitions in index order,
 // keys ascending within each partition).
 func (j *Job[I, K, V, O]) Run(inputs []I) ([]O, Stats, error) {
+	return j.RunContext(context.Background(), inputs)
+}
+
+// RunContext is Run with cancellation: queued tasks are skipped once
+// ctx is cancelled and ctx.Err() is returned (already-running task
+// attempts finish — map and reduce functions are not interrupted
+// mid-record).
+func (j *Job[I, K, V, O]) RunContext(ctx context.Context, inputs []I) ([]O, Stats, error) {
 	cfg := j.Config.withDefaults()
 	if j.Map == nil || j.Reduce == nil {
 		return nil, Stats{}, errors.New("mapreduce: job needs both Map and Reduce")
@@ -164,6 +189,7 @@ func (j *Job[I, K, V, O]) Run(inputs []I) ([]O, Stats, error) {
 	if j.Counters == nil {
 		j.Counters = NewCounters()
 	}
+	inj := fault.NewInjector(cfg.Faults, cfg.Obs)
 
 	splits := splitInputs(inputs, cfg.MapTasks)
 	stats := Stats{MapTasks: len(splits), ReduceTasks: cfg.ReduceTasks}
@@ -188,8 +214,16 @@ func (j *Job[I, K, V, O]) Run(inputs []I) ([]O, Stats, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				errMu.Lock()
+				if firstEr == nil {
+					firstEr = err
+				}
+				errMu.Unlock()
+				return
+			}
 			mapTS := tr.Now()
-			out, emitted, attempts, err := j.runMapTask(split, cfg)
+			out, emitted, attempts, err := j.runMapTask(t, split, cfg, inj)
 			if tr != nil {
 				tr.Span(tr.Track("mapreduce-map", t, fmt.Sprintf("map task %d", t)),
 					"map", mapTS, tr.Now()-mapTS,
@@ -220,7 +254,7 @@ func (j *Job[I, K, V, O]) Run(inputs []I) ([]O, Stats, error) {
 		stats.MapInputs += len(split)
 	}
 
-	out, redStats, err := j.reducePhase(mapOut, cfg)
+	out, redStats, err := j.reducePhase(ctx, mapOut, cfg, inj)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -243,7 +277,7 @@ func (j *Job[I, K, V, O]) Run(inputs []I) ([]O, Stats, error) {
 // sorted, values in map-task order) and the parallel reduce over
 // already-partitioned map output. The returned Stats carries only the
 // fields this phase owns: CombineOutputs, ReduceGroups, TaskRetries.
-func (j *Job[I, K, V, O]) reducePhase(mapOut [][][]KV[K, V], cfg Config[K]) ([]O, Stats, error) {
+func (j *Job[I, K, V, O]) reducePhase(ctx context.Context, mapOut [][][]KV[K, V], cfg Config[K], inj *fault.Injector) ([]O, Stats, error) {
 	var stats Stats
 	type group struct {
 		key    K
@@ -296,6 +330,14 @@ func (j *Job[I, K, V, O]) reducePhase(mapOut [][][]KV[K, V], cfg Config[K]) ([]O
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				errMu.Lock()
+				if firstEr == nil {
+					firstEr = err
+				}
+				errMu.Unlock()
+				return
+			}
 			redTS := tr.Now()
 			defer func() {
 				if tr != nil {
@@ -306,8 +348,11 @@ func (j *Job[I, K, V, O]) reducePhase(mapOut [][][]KV[K, V], cfg Config[K]) ([]O
 			}()
 			var out []O
 			emit := func(o O) { out = append(out, o) }
-			for _, g := range partGroups[p] {
-				attempts, err := retryTask(cfg.MaxAttempts, func() error {
+			for gi, g := range partGroups[p] {
+				attempts, err := retryTask(cfg.MaxAttempts, func(attempt int) error {
+					if inj.TaskFails("reduce", attempt, p, gi) {
+						return fault.ErrInjected
+					}
 					checkpoint := len(out)
 					if err := j.Reduce(g.key, g.values, emit); err != nil {
 						out = out[:checkpoint] // discard partial emissions
@@ -347,10 +392,13 @@ func (j *Job[I, K, V, O]) reducePhase(mapOut [][][]KV[K, V], cfg Config[K]) ([]O
 // the split, optionally combines, and partitions the result. It
 // returns the partitioned pairs, the raw emission count, the number
 // of attempts, and the final error.
-func (j *Job[I, K, V, O]) runMapTask(split []I, cfg Config[K]) ([][]KV[K, V], int, int, error) {
+func (j *Job[I, K, V, O]) runMapTask(t int, split []I, cfg Config[K], inj *fault.Injector) ([][]KV[K, V], int, int, error) {
 	var parts [][]KV[K, V]
 	emitted := 0
-	attempts, err := retryTask(cfg.MaxAttempts, func() error {
+	attempts, err := retryTask(cfg.MaxAttempts, func(attempt int) error {
+		if inj.TaskFails("map", attempt, t) {
+			return fault.ErrInjected
+		}
 		var pairs []KV[K, V]
 		emit := func(k K, v V) { pairs = append(pairs, KV[K, V]{k, v}) }
 		for _, rec := range split {
@@ -406,12 +454,13 @@ func combineLocal[K cmp.Ordered, V any](pairs []KV[K, V], combine Combiner[K, V]
 	return out, nil
 }
 
-// retryTask runs fn up to maxAttempts times, returning the number of
-// attempts made and the last error (nil on success).
-func retryTask(maxAttempts int, fn func() error) (int, error) {
+// retryTask runs fn up to maxAttempts times (fn receives the 1-based
+// attempt number), returning the number of attempts made and the last
+// error (nil on success).
+func retryTask(maxAttempts int, fn func(attempt int) error) (int, error) {
 	var err error
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
-		if err = fn(); err == nil {
+		if err = fn(attempt); err == nil {
 			return attempt, nil
 		}
 	}

@@ -14,6 +14,7 @@ package mapreduce
 // benchmarks to create them deterministically.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -76,7 +77,7 @@ func (j *Job[I, K, V, O]) RunSpeculative(inputs []I, spec SpecConfig) ([]O, Spec
 				time.Sleep(d)
 			}
 		}
-		parts, emitted, _, err := j.runMapTask(splits[t], cfg)
+		parts, emitted, _, err := j.runMapTask(t, splits[t], cfg, nil)
 		mu.Lock()
 		if !settled[t] {
 			settled[t] = true
@@ -128,7 +129,7 @@ func (j *Job[I, K, V, O]) RunSpeculative(inputs []I, spec SpecConfig) ([]O, Spec
 		j.Counters.Add("map.outputs", int64(r.emitted))
 	}
 
-	outs, redStats, err := j.reducePhase(mapOut, cfg)
+	outs, redStats, err := j.reducePhase(context.Background(), mapOut, cfg, nil)
 	if err != nil {
 		return nil, stats, err
 	}

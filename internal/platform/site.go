@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/carbon"
 	"repro/internal/des"
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -31,14 +32,34 @@ type Site struct {
 	tasksRun  int
 	finalized bool
 
+	// Host-failure machinery (inactive without SetFaults): each task
+	// attempt may be killed partway by the injector; the slot then
+	// goes down for the repair time (drawing nothing) while the task
+	// is resubmitted under exponential backoff. Energy drawn by killed
+	// attempts is charged to the meter as real consumption AND
+	// tracked separately as wasted work.
+	inj      *fault.Injector
+	nextOrd  int // task ordinals key the injector's failure decisions
+	retries  int
+	wastedJ  float64
+	downtime []downInterval
+
 	tr     *obs.Tracer // nil unless Observe attached a tracer
 	tracks []obs.TrackID
 	cTasks *obs.Counter
 }
 
+// downInterval is one slot-repair window, subtracted from the idle
+// draw at finalize (a slot under repair is powered off).
+type downInterval struct {
+	start, dur float64
+}
+
 type queuedTask struct {
-	flops float64
-	done  func()
+	flops   float64
+	done    func()
+	ord     int
+	attempt int // completed attempts so far
 }
 
 // NewSite creates a site with the given slot count, per-slot speed
@@ -79,6 +100,20 @@ func (s *Site) Observe(sink obs.Sink) {
 	s.cTasks = sink.Metrics.Counter("platform.tasks") // nil registry -> nil counter
 }
 
+// SetFaults arms the host-failure machinery: task attempts may be
+// killed by the injector's HostFailure schedule, with the failing
+// slot down for inj.RepairSec and the task retried under the
+// injector's backoff policy. A nil injector leaves the site reliable.
+func (s *Site) SetFaults(inj *fault.Injector) { s.inj = inj }
+
+// Retries returns how many task re-executions host failures caused.
+func (s *Site) Retries() int { return s.retries }
+
+// WastedJoules returns the energy drawn by killed task attempts —
+// real consumption (it is also on the meter), reported separately so
+// outcomes can show the price of failures.
+func (s *Site) WastedJoules() float64 { return s.wastedJ }
+
 // Slots returns the number of compute slots.
 func (s *Site) Slots() int { return s.slots }
 
@@ -98,22 +133,77 @@ func (s *Site) Submit(gflop float64, done func()) {
 	if gflop < 0 {
 		panic(fmt.Sprintf("platform: negative task size %v", gflop))
 	}
-	if len(s.freeIDs) > 0 {
-		s.start(gflop, done)
-		return
-	}
-	s.queue = append(s.queue, queuedTask{gflop, done})
+	t := queuedTask{flops: gflop, done: done, ord: s.nextOrd}
+	s.nextOrd++
+	s.enqueue(t)
 }
 
-func (s *Site) start(gflop float64, done func()) {
+// enqueue starts the task if a slot is free, else queues it FIFO.
+// Retried tasks re-enter through here after their backoff.
+func (s *Site) enqueue(t queuedTask) {
+	if len(s.freeIDs) > 0 {
+		s.start(t)
+		return
+	}
+	s.queue = append(s.queue, t)
+}
+
+// release returns a slot to the pool and drains the queue head.
+func (s *Site) release(slot int) {
+	s.freeIDs = append(s.freeIDs, slot)
+	if len(s.queue) > 0 {
+		next := s.queue[0]
+		s.queue = s.queue[1:]
+		s.start(next)
+	}
+}
+
+func (s *Site) start(t queuedTask) {
 	slot := s.freeIDs[len(s.freeIDs)-1]
 	s.freeIDs = s.freeIDs[:len(s.freeIDs)-1]
-	duration := gflop / s.speed
+	duration := t.flops / s.speed
+	attempt := t.attempt + 1
+
+	if frac, fails := s.inj.HostFailure(s.Name, t.ord, attempt); fails {
+		// The host dies partway through the attempt: the DES kill
+		// event charges the partial draw (real consumption, tracked as
+		// wasted work), takes the slot down for the repair time, and
+		// resubmits the task after the retry policy's backoff. No
+		// completion event is ever scheduled for this attempt.
+		partial := frac * duration
+		if s.tr != nil {
+			s.tr.Span(s.tracks[slot], "task (killed)", obs.Seconds(s.sim.Now()), obs.Seconds(partial),
+				obs.Arg{Key: "gflop", Value: int64(t.flops)},
+				obs.Arg{Key: "attempt", Value: int64(attempt)})
+		}
+		s.sim.Schedule(partial, func() {
+			s.meter.Add(s.Name, (s.busyPower-s.idlePower)*partial)
+			s.wastedJ += s.busyPower * partial
+			repair := s.inj.RepairSec()
+			s.downtime = append(s.downtime, downInterval{start: s.sim.Now(), dur: repair})
+			if s.tr != nil {
+				s.tr.Span(s.tracks[slot], "repair", obs.Seconds(s.sim.Now()), obs.Seconds(repair))
+			}
+			s.sim.Schedule(repair, func() { s.release(slot) })
+
+			retry := s.inj.Retry()
+			if retry.MaxAttempts > 0 && attempt >= retry.MaxAttempts {
+				panic(fmt.Sprintf("platform: task %d on %q exhausted %d attempts", t.ord, s.Name, attempt))
+			}
+			s.retries++
+			s.inj.NoteTaskRetry(s.Name, t.ord, attempt)
+			rt := t
+			rt.attempt = attempt
+			s.sim.Schedule(retry.Backoff(attempt), func() { s.enqueue(rt) })
+		})
+		return
+	}
+
 	if s.tr != nil {
 		// The span is fully known up front: it starts now (virtual
 		// time) and lasts exactly the compute duration.
 		s.tr.Span(s.tracks[slot], "task", obs.Seconds(s.sim.Now()), obs.Seconds(duration),
-			obs.Arg{Key: "gflop", Value: int64(gflop)})
+			obs.Arg{Key: "gflop", Value: int64(t.flops)})
 	}
 	// Busy energy above idle, charged at completion.
 	s.sim.Schedule(duration, func() {
@@ -123,18 +213,14 @@ func (s *Site) start(gflop float64, done func()) {
 		if end := s.sim.Now(); end > s.busyUntil {
 			s.busyUntil = end
 		}
-		s.freeIDs = append(s.freeIDs, slot)
-		if len(s.queue) > 0 {
-			next := s.queue[0]
-			s.queue = s.queue[1:]
-			s.start(next.flops, next.done)
-		}
-		done()
+		s.release(slot)
+		t.done()
 	})
 }
 
 // FinalizeIdle charges the idle draw of every powered-on slot for the
-// full makespan. Call exactly once, after the simulation drains.
+// full makespan, minus repair downtime (a slot under repair draws
+// nothing). Call exactly once, after the simulation drains.
 func (s *Site) FinalizeIdle(makespan float64) {
 	if s.finalized {
 		panic(fmt.Sprintf("platform: site %q finalized twice", s.Name))
@@ -143,7 +229,22 @@ func (s *Site) FinalizeIdle(makespan float64) {
 	if makespan < 0 {
 		panic("platform: negative makespan")
 	}
-	s.meter.Add(s.Name, s.idlePower*float64(s.slots)*makespan)
+	idleSec := float64(s.slots) * makespan
+	for _, d := range s.downtime {
+		// Clamp each repair window to [0, makespan]: repairs can
+		// outlast the last task completion.
+		end := d.start + d.dur
+		if end > makespan {
+			end = makespan
+		}
+		if end > d.start {
+			idleSec -= end - d.start
+		}
+	}
+	if idleSec < 0 {
+		idleSec = 0
+	}
+	s.meter.Add(s.Name, s.idlePower*idleSec)
 }
 
 // QueueLen returns the number of tasks waiting for a slot.

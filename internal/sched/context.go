@@ -1,0 +1,60 @@
+package sched
+
+// context.go threads context.Context through the pool's entry points.
+// Cancellation rides the same abort flag a body panic uses: a watcher
+// goroutine trips it when ctx fires, the policy loops drain at the
+// next chunk boundary, and RunContext returns ctx.Err(). Completed
+// chunks are never rolled back — cancellation is a best-effort early
+// exit, matching the fault layer's "stop wasting work" semantics.
+
+import "context"
+
+// RunContext is Run with cancellation: it executes body over [0, n)
+// like Run, but stops claiming new chunks once ctx is cancelled and
+// then returns ctx.Err(). Chunks already executing run to completion
+// (bodies are not interrupted mid-chunk). A body panic propagates to
+// the caller exactly as in Run.
+func (p *Pool) RunContext(ctx context.Context, n int, body func(worker, lo, hi int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	stopWatch := make(chan struct{})
+	watcherDone := make(chan struct{})
+	go func() {
+		defer close(watcherDone)
+		select {
+		case <-ctx.Done():
+			p.abort()
+		case <-stopWatch:
+		}
+	}()
+	// The watcher must be fully stopped before RunContext returns:
+	// a late abort() would clobber the cursor of the caller's next
+	// region. Run's own prologue resets the abort flag, so a watcher
+	// firing in the tiny window before that reset only costs the
+	// early exit, never correctness.
+	defer func() {
+		close(stopWatch)
+		<-watcherDone
+	}()
+	p.Run(n, body)
+	return ctx.Err()
+}
+
+// RunIndexedContext is RunIndexed with the RunContext cancellation
+// contract.
+func (p *Pool) RunIndexedContext(ctx context.Context, ids []int32, body func(worker int, ids []int32)) error {
+	if len(ids) == 0 {
+		return ctx.Err()
+	}
+	p.ids = ids
+	p.idxBody = body
+	defer func() {
+		p.ids = nil
+		p.idxBody = nil
+	}()
+	return p.RunContext(ctx, len(ids), p.idxExec)
+}

@@ -1,0 +1,35 @@
+package sched
+
+// options.go is the functional-options constructor introduced by the
+// fault/recovery PR's API redesign: every substrate now exposes
+// New(...With*) so configuration surfaces grow without breaking
+// callers. NewPool(Options) remains as a thin deprecated shim.
+
+import "repro/internal/obs"
+
+// Option configures a Pool built with New.
+type Option func(*Options)
+
+// WithWorkers sets the team size (0 means GOMAXPROCS).
+func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
+
+// WithPolicy sets the loop schedule (default Static).
+func WithPolicy(p Policy) Option { return func(o *Options) { o.Policy = p } }
+
+// WithChunkSize sets the chunk granularity for Cyclic/Dynamic and the
+// minimum chunk for Guided (0 means 1).
+func WithChunkSize(n int) Option { return func(o *Options) { o.ChunkSize = n } }
+
+// WithObs attaches the observability layer.
+func WithObs(sink obs.Sink) Option { return func(o *Options) { o.Obs = sink } }
+
+// New starts a worker team configured by the options. Callers must
+// Close it. This is the preferred constructor; NewPool(Options) is
+// the legacy positional-struct form.
+func New(opts ...Option) *Pool {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return NewPool(o)
+}

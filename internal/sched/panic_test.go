@@ -1,0 +1,137 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunPropagatesBodyPanic is the regression test for the hang: a
+// body panicking in a worker used to kill the worker goroutine before
+// done.Done(), leaving Run blocked on the barrier forever. Run must
+// instead return by re-raising the panic in the caller, with the pool
+// left closed-but-safe.
+func TestRunPropagatesBodyPanic(t *testing.T) {
+	for _, pol := range Policies {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			p := New(WithWorkers(4), WithPolicy(pol), WithChunkSize(1))
+			defer p.Close()
+
+			finished := make(chan any, 1)
+			go func() {
+				defer func() { finished <- recover() }()
+				p.Run(1000, func(w, lo, hi int) {
+					if lo >= 500 {
+						panic("boom")
+					}
+				})
+				finished <- nil
+			}()
+			select {
+			case r := <-finished:
+				if r != "boom" {
+					t.Fatalf("Run recover = %v, want boom panic", r)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("Run hung after body panic")
+			}
+
+			// Closed-but-safe: a later Run fails fast with the closed-pool
+			// panic instead of computing on half-finished state.
+			defer func() {
+				if recover() == nil {
+					t.Fatal("Run on post-panic pool did not panic")
+				}
+			}()
+			p.Run(10, func(w, lo, hi int) {})
+		})
+	}
+}
+
+func TestRunContextCancelStopsClaiming(t *testing.T) {
+	for _, pol := range Policies {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			p := New(WithWorkers(4), WithPolicy(pol), WithChunkSize(1))
+			defer p.Close()
+
+			ctx, cancel := context.WithCancel(context.Background())
+			var ran atomic.Int64
+			err := p.RunContext(ctx, 100000, func(w, lo, hi int) {
+				if ran.Add(int64(hi-lo)) > 64 {
+					cancel()
+				}
+				time.Sleep(50 * time.Microsecond)
+			})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("RunContext err = %v, want Canceled", err)
+			}
+			if n := ran.Load(); n >= 100000 {
+				t.Fatalf("cancellation did not stop the region (ran %d)", n)
+			}
+
+			// The pool stays usable after a cancelled region.
+			var total atomic.Int64
+			if err := p.RunContext(context.Background(), 1000, func(w, lo, hi int) {
+				total.Add(int64(hi - lo))
+			}); err != nil {
+				t.Fatalf("follow-up RunContext err = %v", err)
+			}
+			if total.Load() != 1000 {
+				t.Fatalf("follow-up region ran %d of 1000", total.Load())
+			}
+		})
+	}
+}
+
+func TestRunContextAlreadyCancelled(t *testing.T) {
+	p := New(WithWorkers(2))
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	if err := p.RunContext(ctx, 100, func(w, lo, hi int) { ran = true }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if ran {
+		t.Fatal("body ran under pre-cancelled context")
+	}
+}
+
+func TestRunIndexedContext(t *testing.T) {
+	p := New(WithWorkers(3), WithPolicy(Dynamic))
+	defer p.Close()
+	ids := make([]int32, 500)
+	for i := range ids {
+		ids[i] = int32(i * 2)
+	}
+	var sum atomic.Int64
+	if err := p.RunIndexedContext(context.Background(), ids, func(w int, part []int32) {
+		var s int64
+		for _, id := range part {
+			s += int64(id)
+		}
+		sum.Add(s)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for _, id := range ids {
+		want += int64(id)
+	}
+	if sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+func TestNewOptionsMatchNewPool(t *testing.T) {
+	p := New(WithWorkers(3), WithPolicy(Guided), WithChunkSize(7))
+	defer p.Close()
+	if p.Workers() != 3 || p.Policy() != Guided || p.chunk != 7 {
+		t.Fatalf("New options not applied: workers=%d policy=%v chunk=%d",
+			p.Workers(), p.Policy(), p.chunk)
+	}
+}

@@ -104,6 +104,14 @@ type Pool struct {
 	closeOnce   sync.Once
 	stopped     atomic.Bool
 
+	// abort short-circuits the current region: set when a body panics
+	// (the panic is captured and re-raised in Run's caller) or when a
+	// RunContext watcher sees cancellation. Policy loops check it per
+	// chunk; bumping cursor past n unblocks the counter-based claims.
+	aborted  atomic.Bool
+	panicMu  sync.Mutex
+	panicVal any
+
 	// observability (nil/empty when disabled; the disabled hot path is
 	// untouched because exec == body then)
 	obsOn    bool
@@ -137,6 +145,10 @@ type Options struct {
 }
 
 // NewPool starts the worker team. Callers must Close it.
+//
+// Deprecated: prefer New with functional options (options.go), which
+// is the uniform constructor style across the repo's substrates.
+// NewPool remains supported as a thin equivalent.
 func NewPool(o Options) *Pool {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
@@ -233,12 +245,26 @@ func (p *Pool) Run(n int, body func(worker, lo, hi int)) {
 	}
 	p.n = n
 	p.cursor.Store(0)
+	p.aborted.Store(false)
 	p.stealOnce = sync.Once{}
 	p.done.Add(p.workers)
 	for i := 0; i < p.workers; i++ {
 		p.work[i] <- struct{}{}
 	}
 	p.done.Wait()
+	if p.panicVal != nil {
+		// A body panicked in a worker: the region was aborted, every
+		// worker has joined, and the panic now belongs to the caller.
+		// The pool is closed first so it is left in a safe, terminal
+		// state (later Runs fail fast instead of computing on a region
+		// that half-finished).
+		r := p.panicVal
+		p.panicVal = nil
+		p.body = nil
+		p.exec = nil
+		p.Close()
+		panic(r)
+	}
 	if p.obsOn {
 		wall := time.Since(regionStart)
 		var busy int64
@@ -282,10 +308,38 @@ func (p *Pool) worker(id int) {
 		case <-p.stop:
 			return
 		case <-p.work[id]:
-			p.runRegion(id)
+			p.runRegionGuarded(id)
 			p.done.Done()
 		}
 	}
+}
+
+// runRegionGuarded runs one region with panic containment: a body
+// panic is captured (first one wins), the region is aborted so the
+// other workers drain quickly, and the worker goroutine survives to
+// let Run's barrier complete — Run then re-raises the panic in the
+// caller. Without this a panicking body would kill the worker before
+// done.Done(), leaving Run blocked forever.
+func (p *Pool) runRegionGuarded(id int) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panicMu.Lock()
+			if p.panicVal == nil {
+				p.panicVal = r
+			}
+			p.panicMu.Unlock()
+			p.abort()
+		}
+	}()
+	p.runRegion(id)
+}
+
+// abort stops the in-flight region: policy loops check the flag per
+// chunk, and pushing cursor past n unblocks the Dynamic/Guided
+// counter claims immediately.
+func (p *Pool) abort() {
+	p.aborted.Store(true)
+	p.cursor.Store(int64(p.n))
 }
 
 func (p *Pool) runRegion(id int) {
@@ -294,7 +348,7 @@ func (p *Pool) runRegion(id int) {
 		per := (p.n + p.workers - 1) / p.workers
 		lo := id * per
 		hi := lo + per
-		if lo >= p.n {
+		if lo >= p.n || p.aborted.Load() {
 			return
 		}
 		if hi > p.n {
@@ -303,7 +357,7 @@ func (p *Pool) runRegion(id int) {
 		p.exec(id, lo, hi)
 	case Cyclic:
 		stridePer := p.chunk * p.workers
-		for base := id * p.chunk; base < p.n; base += stridePer {
+		for base := id * p.chunk; base < p.n && !p.aborted.Load(); base += stridePer {
 			hi := base + p.chunk
 			if hi > p.n {
 				hi = p.n
@@ -311,7 +365,7 @@ func (p *Pool) runRegion(id int) {
 			p.exec(id, base, hi)
 		}
 	case Dynamic:
-		for {
+		for !p.aborted.Load() {
 			lo := int(p.cursor.Add(int64(p.chunk))) - p.chunk
 			if lo >= p.n {
 				return
@@ -325,7 +379,7 @@ func (p *Pool) runRegion(id int) {
 	case Stealing:
 		p.runStealing(id)
 	case Guided:
-		for {
+		for !p.aborted.Load() {
 			// Estimate remaining work, then claim remaining/(2P)
 			// (floored at chunk) with a CAS-free reservation: claim a
 			// size first, then check the claimed range.

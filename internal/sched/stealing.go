@@ -94,7 +94,7 @@ func (p *Pool) runStealing(id int) {
 	p.stealOnce.Do(p.buildDeques)
 
 	own := p.deques[id]
-	for {
+	for !p.aborted.Load() {
 		if c, ok := own.popBack(); ok {
 			p.exec(id, c[0], c[1])
 			continue

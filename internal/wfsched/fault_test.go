@@ -1,0 +1,105 @@
+package wfsched
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// faultyScenario is smallScenario with a 10% host-failure rate — the
+// acceptance scenario: every workflow must still complete via retry,
+// with wasted-work energy reported separately.
+func faultyScenario(seed int64) Scenario {
+	sc := smallScenario()
+	sc.Faults = &fault.Plan{Seed: seed, HostFail: 0.10}
+	return sc
+}
+
+func TestHostFailuresCompleteViaRetry(t *testing.T) {
+	sc := faultyScenario(42)
+	// Simulate panics on deadlock (tasks not all completed), so merely
+	// returning proves every workflow task finished despite the kills.
+	out := Simulate(sc, AllCloud)
+
+	if out.Retries == 0 {
+		t.Fatal("10% host-failure rate injected zero retries")
+	}
+	if out.EnergyWastedKWh <= 0 {
+		t.Fatalf("retries without wasted energy: %+v", out)
+	}
+	total := out.EnergyLocalKWh + out.EnergyCloudKWh
+	if out.EnergyWastedKWh >= total {
+		t.Fatalf("wasted %.4f kWh >= total %.4f kWh", out.EnergyWastedKWh, total)
+	}
+
+	// Failures only ever add work: the faulty makespan and energy must
+	// dominate the fault-free run's.
+	ref := Simulate(smallScenario(), AllCloud)
+	if out.Makespan < ref.Makespan {
+		t.Fatalf("faulty makespan %.1f < fault-free %.1f", out.Makespan, ref.Makespan)
+	}
+	if total < ref.EnergyLocalKWh+ref.EnergyCloudKWh {
+		t.Fatalf("faulty energy %.4f < fault-free %.4f", total, ref.EnergyLocalKWh+ref.EnergyCloudKWh)
+	}
+}
+
+func TestHostFailuresDeterministic(t *testing.T) {
+	a := Simulate(faultyScenario(7), AllCloud)
+	b := Simulate(faultyScenario(7), AllCloud)
+	if a != b {
+		t.Fatalf("same seed, different outcomes:\n%v\n%v", a, b)
+	}
+	c := Simulate(faultyScenario(8), AllCloud)
+	if a == c {
+		t.Fatal("different seeds produced identical faulty outcomes")
+	}
+}
+
+func TestNilFaultsUnchanged(t *testing.T) {
+	plain := Simulate(smallScenario(), AllLocal)
+	sc := smallScenario()
+	sc.Faults = &fault.Plan{Seed: 1} // plan armed, but HostFail = 0
+	armed := Simulate(sc, AllLocal)
+	if plain != armed {
+		t.Fatalf("zero-rate fault plan changed the outcome:\n%v\n%v", plain, armed)
+	}
+	if armed.Retries != 0 || armed.EnergyWastedKWh != 0 {
+		t.Fatalf("zero-rate plan reported failures: %+v", armed)
+	}
+}
+
+func TestSimulateContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SimulateContext(ctx, smallScenario(), AllLocal)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestHostFailuresWithTransfers(t *testing.T) {
+	// Mixed placement exercises kills on both sites plus link staging.
+	sc := faultyScenario(3)
+	place := LevelFractions(sc.Workflow, []float64{0, 0.5, 0.5, 0.5})
+	out := Simulate(sc, place)
+	if out.TasksLocal == 0 || out.TasksCloud == 0 {
+		t.Fatalf("expected mixed placement: %+v", out)
+	}
+	if out.Retries == 0 {
+		t.Fatalf("no retries at 10%% failure over %d tasks", sc.Workflow.NumTasks())
+	}
+}
+
+func TestFaultyOutcomeStringShowsWaste(t *testing.T) {
+	out := Simulate(faultyScenario(42), AllCloud)
+	s := out.String()
+	if out.Retries > 0 {
+		for _, want := range []string{"retries=", "wasted="} {
+			if !strings.Contains(s, want) {
+				t.Fatalf("outcome string %q missing %q", s, want)
+			}
+		}
+	}
+}

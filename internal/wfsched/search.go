@@ -8,6 +8,7 @@ package wfsched
 // options so as to compute the actual optimal CO2 emission").
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -37,6 +38,12 @@ func Tab1Scenario(base Scenario, pstates []platform.PState, cfg ClusterConfig) S
 // SimulateCluster runs the workflow all-local under cfg.
 func SimulateCluster(base Scenario, pstates []platform.PState, cfg ClusterConfig) Outcome {
 	return Simulate(Tab1Scenario(base, pstates, cfg), AllLocal)
+}
+
+// SimulateClusterContext is SimulateCluster with cancellation,
+// mirroring SimulateContext's contract.
+func SimulateClusterContext(ctx context.Context, base Scenario, pstates []platform.PState, cfg ClusterConfig) (Outcome, error) {
+	return SimulateContext(ctx, Tab1Scenario(base, pstates, cfg), AllLocal)
 }
 
 // MinNodesUnderBound binary-searches the minimum number of powered-on

@@ -8,11 +8,13 @@
 package wfsched
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/carbon"
 	"repro/internal/des"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/workflow"
@@ -69,6 +71,13 @@ type Scenario struct {
 	// counters, and wfsched.* energy/CO2 gauges. The zero Sink
 	// disables it.
 	Obs obs.Sink
+
+	// Faults enables deterministic host-failure injection: task
+	// attempts are killed mid-run per the plan's HostFail rate,
+	// realized as DES events; the failed slot repairs for RepairSec
+	// while the task retries under the plan's backoff policy. Wasted
+	// energy is reported separately in the Outcome. nil disables.
+	Faults *fault.Plan
 }
 
 func (sc Scenario) withDefaults() Scenario {
@@ -134,12 +143,22 @@ type Outcome struct {
 	// BytesTransferred and Transfers describe link usage.
 	BytesTransferred float64
 	Transfers        int
+	// Retries counts task re-executions caused by injected host
+	// failures; EnergyWastedKWh is the energy their killed attempts
+	// drew. Wasted energy is part of the Energy*KWh totals (it was
+	// really consumed) — this field breaks it out.
+	Retries         int
+	EnergyWastedKWh float64
 }
 
 func (o Outcome) String() string {
-	return fmt.Sprintf("time=%.1fs energy=%.3f+%.3fkWh co2=%.1fg (local %.1f + cloud %.1f) tasks=%d/%d xfer=%.2fGB",
+	s := fmt.Sprintf("time=%.1fs energy=%.3f+%.3fkWh co2=%.1fg (local %.1f + cloud %.1f) tasks=%d/%d xfer=%.2fGB",
 		o.Makespan, o.EnergyLocalKWh, o.EnergyCloudKWh, o.CO2, o.CO2Local, o.CO2Cloud,
 		o.TasksLocal, o.TasksCloud, o.BytesTransferred/1e9)
+	if o.Retries > 0 {
+		s += fmt.Sprintf(" retries=%d wasted=%.4fkWh", o.Retries, o.EnergyWastedKWh)
+	}
+	return s
 }
 
 // Simulate executes the scenario's workflow under the placement and
@@ -149,6 +168,19 @@ func (o Outcome) String() string {
 // occupies one slot until its compute finishes; outputs materialize
 // at its site. Workflow input files start on local storage.
 func Simulate(sc Scenario, place Placement) Outcome {
+	out, err := SimulateContext(context.Background(), sc, place)
+	if err != nil {
+		// Unreachable: only cancellation produces an error, and the
+		// background context cannot be cancelled.
+		panic(err)
+	}
+	return out
+}
+
+// SimulateContext is Simulate with cancellation: the event loop stops
+// promptly once ctx is cancelled and the (partial, unfinalized)
+// outcome is returned alongside ctx.Err().
+func SimulateContext(ctx context.Context, sc Scenario, place Placement) (Outcome, error) {
 	sc = sc.withDefaults()
 	w := sc.Workflow
 	if w == nil {
@@ -161,16 +193,19 @@ func Simulate(sc Scenario, place Placement) Outcome {
 	sim := &des.Simulation{}
 	meter := carbon.NewMeter()
 	sim.Observe(sc.Obs)
+	inj := fault.NewInjector(sc.Faults, sc.Obs)
 
 	local := platform.NewSite(sim, meter, "local", sc.LocalNodes,
 		sc.PState.Speed, sc.PState.BusyPower, sc.PState.IdlePower, sc.LocalIntensity)
 	local.Observe(sc.Obs)
+	local.SetFaults(inj)
 	var cloud *platform.Site
 	var link *platform.Link
 	if sc.CloudVMs > 0 {
 		cloud = platform.NewSite(sim, meter, "cloud", sc.CloudVMs,
 			sc.VMSpeed, sc.VMBusyPower, sc.VMIdlePower, sc.CloudIntensity)
 		cloud.Observe(sc.Obs)
+		cloud.SetFaults(inj)
 		link = platform.NewLink(sim, sc.LinkBandwidth, sc.LinkLatency)
 	}
 
@@ -190,10 +225,17 @@ func Simulate(sc Scenario, place Placement) Outcome {
 	var out Outcome
 	pendingParents := make(map[*workflow.Task]int, len(w.Tasks))
 	done := 0
+	// The makespan is the last task completion, NOT the last DES
+	// event: trailing slot repairs after the final task must not
+	// inflate it.
+	lastDone := 0.0
 
 	var runTask func(t *workflow.Task)
 	taskFinished := func(t *workflow.Task) {
 		done++
+		if now := sim.Now(); now > lastDone {
+			lastDone = now
+		}
 		for _, c := range t.Children {
 			pendingParents[c]--
 			if pendingParents[c] == 0 {
@@ -275,20 +317,28 @@ func Simulate(sc Scenario, place Placement) Outcome {
 		}
 	}
 
-	sim.Run()
+	if err := sim.RunContext(ctx); err != nil {
+		return out, err
+	}
 	if done != len(w.Tasks) {
 		panic(fmt.Sprintf("wfsched: deadlock: %d of %d tasks completed", done, len(w.Tasks)))
 	}
-	out.Makespan = sim.Now()
+	out.Makespan = lastDone
 
+	wastedJ := 0.0
 	local.FinalizeIdle(out.Makespan)
 	out.EnergyLocalKWh = meter.EnergyKWh("local")
 	out.CO2Local = meter.SourceEmissions("local")
+	out.Retries = local.Retries()
+	wastedJ = local.WastedJoules()
 	if cloud != nil {
 		cloud.FinalizeIdle(out.Makespan)
 		out.EnergyCloudKWh = meter.EnergyKWh("cloud")
 		out.CO2Cloud = meter.SourceEmissions("cloud")
+		out.Retries += cloud.Retries()
+		wastedJ += cloud.WastedJoules()
 	}
+	out.EnergyWastedKWh = wastedJ / 3.6e6
 	out.CO2 = out.CO2Local + out.CO2Cloud
 	if m := sc.Obs.Metrics; m != nil {
 		m.Gauge("wfsched.makespan_s").Set(out.Makespan)
@@ -298,6 +348,8 @@ func Simulate(sc Scenario, place Placement) Outcome {
 		m.Counter("wfsched.tasks.local").Add(int64(out.TasksLocal))
 		m.Counter("wfsched.tasks.cloud").Add(int64(out.TasksCloud))
 		m.Counter("wfsched.transfers").Add(int64(out.Transfers))
+		m.Counter("wfsched.retries").Add(int64(out.Retries))
+		m.Gauge("fault.energy.wasted_kwh").Set(out.EnergyWastedKWh)
 	}
-	return out
+	return out, nil
 }
