@@ -7,8 +7,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 24 {
-		t.Fatalf("experiments = %d, want 24 (E1-E21 per DESIGN.md plus extensions E22-E24)", len(all))
+	if len(all) != 25 {
+		t.Fatalf("experiments = %d, want 25 (E1-E21 per DESIGN.md plus extensions E22-E25)", len(all))
 	}
 	for i, e := range all {
 		want := i + 1

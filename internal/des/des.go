@@ -23,6 +23,7 @@ type Simulation struct {
 	now    float64
 	seq    int64
 	queue  eventHeap
+	live   int // queued, non-cancelled events — Pending() in O(1)
 	steps  int64
 	cSteps *obs.Counter // nil unless Observe attached metrics
 }
@@ -83,32 +84,47 @@ func (s *Simulation) At(t float64, fn func()) *Event {
 	e := &Event{time: t, seq: s.seq, fn: fn}
 	s.seq++
 	heap.Push(&s.queue, e)
+	s.live++
 	return e
 }
 
 // Cancel marks an event so it will not fire. Cancelling an already-
-// fired or already-cancelled event is a no-op.
+// fired or already-cancelled event is a no-op. A still-queued event
+// is decounted immediately (Pending stays O(1)); its entry is lazily
+// skipped when it reaches the head of the queue.
 func (s *Simulation) Cancel(e *Event) {
-	if e != nil {
+	if e != nil && !e.cancelled {
 		e.cancelled = true
+		if e.index >= 0 {
+			s.live--
+		}
 	}
 }
 
 // Step executes the next non-cancelled event, advancing the clock to
-// its timestamp. It reports whether an event ran.
+// its timestamp. It reports whether an event ran. When only cancelled
+// entries remain, it releases them wholesale instead of draining the
+// heap one pop at a time.
 func (s *Simulation) Step() bool {
-	for s.queue.Len() > 0 {
+	if s.live == 0 {
+		for _, e := range s.queue {
+			e.index = -1
+		}
+		s.queue = s.queue[:0]
+		return false
+	}
+	for {
 		e := heap.Pop(&s.queue).(*Event)
 		if e.cancelled {
 			continue
 		}
+		s.live--
 		s.now = e.time
 		s.steps++
 		s.cSteps.Inc()
 		e.fn()
 		return true
 	}
-	return false
 }
 
 // Run executes events until the queue drains.
@@ -136,9 +152,11 @@ func (s *Simulation) RunContext(ctx context.Context) error {
 }
 
 // RunUntil executes events with timestamps <= t, then advances the
-// clock to exactly t (if it is ahead of the last event).
+// clock to exactly t (if it is ahead of the last event). The live
+// counter lets it stop as soon as only cancelled events remain, not
+// just when the queue is physically empty.
 func (s *Simulation) RunUntil(t float64) {
-	for s.queue.Len() > 0 {
+	for s.live > 0 {
 		next := s.queue[0]
 		if next.cancelled {
 			heap.Pop(&s.queue)
@@ -154,16 +172,10 @@ func (s *Simulation) RunUntil(t float64) {
 	}
 }
 
-// Pending returns the number of queued, non-cancelled events.
-func (s *Simulation) Pending() int {
-	n := 0
-	for _, e := range s.queue {
-		if !e.cancelled {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of queued, non-cancelled events. It is
+// O(1): the count is maintained by At, Cancel, and Step rather than
+// scanned out of the queue.
+func (s *Simulation) Pending() int { return s.live }
 
 // eventHeap orders events by (time, seq) so simultaneous events fire
 // in scheduling order — determinism the cross-run tests rely on.
@@ -190,6 +202,7 @@ func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	e := old[n-1]
+	e.index = -1 // no longer queued: Cancel must not decrement live
 	old[n-1] = nil
 	*h = old[:n-1]
 	return e

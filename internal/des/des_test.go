@@ -260,3 +260,92 @@ func TestRunContextAlreadyCancelled(t *testing.T) {
 		t.Fatalf("RunContext = %v, want context.Canceled", err)
 	}
 }
+
+// The live counter behind O(1) Pending must survive every transition:
+// double cancels, cancels after firing, and queues reduced to an
+// all-cancelled residue.
+func TestPendingCounterTransitions(t *testing.T) {
+	var s Simulation
+	e1 := s.Schedule(1, func() {})
+	e2 := s.Schedule(2, func() {})
+	e3 := s.Schedule(3, func() {})
+	if s.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3", s.Pending())
+	}
+	s.Cancel(e2)
+	s.Cancel(e2) // double cancel must not decrement twice
+	if s.Pending() != 2 {
+		t.Fatalf("pending after double cancel = %d, want 2", s.Pending())
+	}
+	if !s.Step() { // fires e1
+		t.Fatal("step returned false with live events")
+	}
+	s.Cancel(e1) // cancel after firing must not decrement
+	if s.Pending() != 1 {
+		t.Fatalf("pending after fire = %d, want 1", s.Pending())
+	}
+	s.Cancel(e3)
+	if s.Pending() != 0 {
+		t.Fatalf("pending after last cancel = %d, want 0", s.Pending())
+	}
+	if s.Step() { // only cancelled residue left
+		t.Fatal("step fired a cancelled event")
+	}
+	if s.Now() != 1 {
+		t.Fatalf("clock moved by cancelled events: now = %v", s.Now())
+	}
+}
+
+// RunUntil on a queue whose prefix (or entirety) is cancelled must
+// stop via the live counter, not execute anything, and still advance
+// the clock to the target time.
+func TestRunUntilAllCancelled(t *testing.T) {
+	var s Simulation
+	var fired bool
+	events := make([]*Event, 10)
+	for i := range events {
+		events[i] = s.Schedule(float64(i), func() { fired = true })
+	}
+	for _, e := range events {
+		s.Cancel(e)
+	}
+	s.RunUntil(100)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if s.Pending() != 0 || s.Now() != 100 {
+		t.Fatalf("pending = %d now = %v, want 0 and 100", s.Pending(), s.Now())
+	}
+	if s.Steps() != 0 {
+		t.Fatalf("steps = %d, want 0", s.Steps())
+	}
+}
+
+// Pending must agree with a brute-force queue scan under a random
+// interleaving of schedules, cancels, and steps.
+func TestQuickPendingMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var s Simulation
+	var handles []*Event
+	for op := 0; op < 5000; op++ {
+		switch rng.Intn(4) {
+		case 0, 1:
+			handles = append(handles, s.Schedule(rng.Float64()*10, func() {}))
+		case 2:
+			if len(handles) > 0 {
+				s.Cancel(handles[rng.Intn(len(handles))])
+			}
+		case 3:
+			s.Step()
+		}
+		n := 0
+		for _, e := range s.queue {
+			if !e.cancelled {
+				n++
+			}
+		}
+		if n != s.Pending() {
+			t.Fatalf("op %d: Pending() = %d, scan = %d", op, s.Pending(), n)
+		}
+	}
+}

@@ -1,8 +1,11 @@
 package mapreduce
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -80,6 +83,94 @@ func BenchmarkWordCountParallel(b *testing.B) {
 func BenchmarkWordCountWithCombiner(b *testing.B) {
 	benchWordCount(b, Config[string]{MapTasks: 8, ReduceTasks: 4, Parallelism: 4}, true)
 }
+
+// --- million-record suite ------------------------------------------
+// The headline numbers for the sorted-run shuffle: 1M input lines
+// (3M intermediate pairs), uniform (~50k distinct keys, shuffle-bound)
+// and high-skew (Zipf, a few hot keys with huge value groups). Each
+// benchmark has a *Naive twin running the retained hash-group shuffle
+// (Config.ReferenceShuffle), so the speedup and allocs/op cut are
+// recorded side by side in the BENCH_pr4.json snapshot.
+
+var corpus1M struct {
+	uniformOnce, skewOnce sync.Once
+	uniform, skewed       []string
+}
+
+func uniformCorpus1M() []string {
+	corpus1M.uniformOnce.Do(func() {
+		rng := rand.New(rand.NewSource(42))
+		lines := make([]string, 1_000_000)
+		for i := range lines {
+			lines[i] = fmt.Sprintf("w%d w%d w%d", rng.Intn(50000), rng.Intn(50000), rng.Intn(50000))
+		}
+		corpus1M.uniform = lines
+	})
+	return corpus1M.uniform
+}
+
+func skewedCorpus1M() []string {
+	corpus1M.skewOnce.Do(func() {
+		rng := rand.New(rand.NewSource(43))
+		zipf := rand.NewZipf(rng, 1.3, 1, 50000)
+		lines := make([]string, 1_000_000)
+		for i := range lines {
+			lines[i] = fmt.Sprintf("z%d z%d z%d", zipf.Uint64(), zipf.Uint64(), zipf.Uint64())
+		}
+		corpus1M.skewed = lines
+	})
+	return corpus1M.skewed
+}
+
+func config1M(naive bool) Config[string] {
+	return Config[string]{MapTasks: 32, ReduceTasks: 8, ReferenceShuffle: naive}
+}
+
+func benchWordCount1M(b *testing.B, lines []string, naive bool) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := wordCountJobForBench(config1M(naive)).Run(lines); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWordCount1M(b *testing.B)      { benchWordCount1M(b, uniformCorpus1M(), false) }
+func BenchmarkWordCount1MNaive(b *testing.B) { benchWordCount1M(b, uniformCorpus1M(), true) }
+
+func BenchmarkWordCount1MHighSkew(b *testing.B)      { benchWordCount1M(b, skewedCorpus1M(), false) }
+func BenchmarkWordCount1MHighSkewNaive(b *testing.B) { benchWordCount1M(b, skewedCorpus1M(), true) }
+
+// benchShuffle1M isolates the shuffle+reduce phase: the map output is
+// materialized once outside the timer, and each iteration pays only
+// reducePhase — the measurement behind the "shuffle phase >=3x"
+// acceptance gate.
+func benchShuffle1M(b *testing.B, naive bool) {
+	b.Helper()
+	cfg := config1M(naive).withDefaults()
+	job := wordCountJobForBench(cfg)
+	splits := splitInputs(uniformCorpus1M(), cfg.MapTasks)
+	mapOut := make([][]run[string, int], len(splits))
+	for t, split := range splits {
+		out, _, _, err := job.runMapTask(t, split, cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mapOut[t] = out
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := job.reducePhase(context.Background(), mapOut, cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShuffle1M(b *testing.B)      { benchShuffle1M(b, false) }
+func BenchmarkShuffle1MNaive(b *testing.B) { benchShuffle1M(b, true) }
 
 func BenchmarkShuffleManyKeys(b *testing.B) {
 	inputs := make([]int, 5000)

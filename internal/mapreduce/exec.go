@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"os/exec"
+	"slices"
 	"strings"
 )
 
@@ -95,7 +96,7 @@ func RunStreamingPipeline(inputs []string, mapperArgv, reducerArgv []string, cfg
 	stats.ReduceTasks = cfg.ReduceTasks
 
 	// Map phase: one subprocess per split.
-	mapOut := make([][][]KV[string, string], len(splits))
+	mapOut := make([][]run[string, string], len(splits))
 	for t, split := range splits {
 		lines, err := runCommand(mapperArgv, split)
 		if err != nil {
@@ -103,14 +104,27 @@ func RunStreamingPipeline(inputs []string, mapperArgv, reducerArgv []string, cfg
 		}
 		stats.MapInputs += len(split)
 		stats.MapOutputs += len(lines)
-		parts := make([][]KV[string, string], cfg.ReduceTasks)
-		for _, l := range lines {
+		flat := make([][]prefKV[string, string], cfg.ReduceTasks)
+		for i, l := range lines {
 			k, v := ParseKV(l)
 			p := cfg.Partitioner(k, cfg.ReduceTasks)
 			if p < 0 || p >= cfg.ReduceTasks {
 				return nil, stats, fmt.Errorf("mapreduce: partitioner returned %d", p)
 			}
-			parts[p] = append(parts[p], KV[string, string]{k, v})
+			flat[p] = append(flat[p], prefKV[string, string]{pref: keyPrefix(k), seq: int32(i), kv: KV[string, string]{k, v}})
+		}
+		// The shuffle merges sorted runs; subprocess output arrives in
+		// print order, so sort and span-compress it here, exactly as
+		// runMapTask does for Go mappers.
+		parts := make([]run[string, string], cfg.ReduceTasks)
+		cmpPairs := pairCmp[string, string]()
+		for p, fp := range flat {
+			slices.SortFunc(fp, cmpPairs)
+			r, err := buildRun(fp, nil)
+			if err != nil {
+				return nil, stats, err
+			}
+			parts[p] = r
 		}
 		mapOut[t] = parts
 	}

@@ -5,6 +5,14 @@
 // discusses: hash partitioning, combiners, counters, configurable map
 // and reduce parallelism, and bounded task retry.
 //
+// The shuffle is Hadoop's sort-merge design: each map task emits
+// per-partition sorted runs (sorted inside the parallel map phase,
+// combiner applied to the run), and the reduce phase k-way merges a
+// partition's runs in one streaming pass that feeds equal keys
+// directly into the reducer — partitions concurrently, no hash-map
+// grouping, no global re-sort (merge.go; the retired hash-group
+// shuffle survives in naive.go as a validation oracle).
+//
 // The engine is deliberately deterministic: reduce input groups are
 // ordered by key, and within a group values appear in (map-task,
 // emission) order, so every job result is reproducible regardless of
@@ -20,7 +28,6 @@ import (
 	"hash/fnv"
 	"runtime"
 	"slices"
-	"sort"
 	"sync"
 
 	"repro/internal/fault"
@@ -87,6 +94,12 @@ type Config[K cmp.Ordered] struct {
 	// failure schedule, same final output — the retries are invisible
 	// except in Stats.TaskRetries. nil disables.
 	Faults *fault.Plan
+	// ReferenceShuffle selects the retained naive shuffle (serial
+	// hash-group per partition plus a post-hoc sort, the pre-sorted-run
+	// implementation) instead of the parallel k-way merge pipeline.
+	// It exists for validation (the randomized equivalence oracle) and
+	// benchmarking; outputs are identical either way.
+	ReferenceShuffle bool
 }
 
 func (c Config[K]) withDefaults() Config[K] {
@@ -158,6 +171,8 @@ type Stats struct {
 	ReduceGroups   int // distinct keys reduced
 	Outputs        int // records emitted by reducers
 	TaskRetries    int // failed task attempts that were retried
+	ShuffleRuns    int // non-empty sorted runs fed to the shuffle merges (0 with ReferenceShuffle)
+	MergePasses    int // per-partition k-way merge passes executed (0 with ReferenceShuffle)
 }
 
 // Job binds the phases of one MapReduce computation.
@@ -195,60 +210,38 @@ func (j *Job[I, K, V, O]) RunContext(ctx context.Context, inputs []I) ([]O, Stat
 	stats := Stats{MapTasks: len(splits), ReduceTasks: cfg.ReduceTasks}
 
 	// ---- Map phase -------------------------------------------------
-	// mapOut[task][partition] holds the pairs task t routed to
-	// partition p, kept per-task so the shuffle can concatenate them
-	// in task order for deterministic value ordering.
-	mapOut := make([][][]KV[K, V], len(splits))
+	// mapOut[task][partition] holds the sorted run task t routed to
+	// partition p, kept per-task so the shuffle merge can break key
+	// ties by task index for deterministic value ordering.
+	mapOut := make([][]run[K, V], len(splits))
 	var (
-		wg      sync.WaitGroup
-		sem     = make(chan struct{}, cfg.Parallelism)
-		errMu   sync.Mutex
-		firstEr error
 		retries int64
 		statsMu sync.Mutex
 	)
 	tr := cfg.Obs.Tracer
-	for t, split := range splits {
-		wg.Add(1)
-		go func(t int, split []I) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if err := ctx.Err(); err != nil {
-				errMu.Lock()
-				if firstEr == nil {
-					firstEr = err
-				}
-				errMu.Unlock()
-				return
-			}
-			mapTS := tr.Now()
-			out, emitted, attempts, err := j.runMapTask(t, split, cfg, inj)
-			if tr != nil {
-				tr.Span(tr.Track("mapreduce-map", t, fmt.Sprintf("map task %d", t)),
-					"map", mapTS, tr.Now()-mapTS,
-					obs.Arg{Key: "records", Value: int64(len(split))},
-					obs.Arg{Key: "emitted", Value: int64(emitted)})
-			}
-			if err != nil {
-				errMu.Lock()
-				if firstEr == nil {
-					firstEr = fmt.Errorf("mapreduce: map task %d: %w", t, err)
-				}
-				errMu.Unlock()
-				return
-			}
-			mapOut[t] = out
-			statsMu.Lock()
-			retries += int64(attempts - 1)
-			stats.MapOutputs += emitted
-			statsMu.Unlock()
-			j.Counters.Add("map.outputs", int64(emitted))
-		}(t, split)
-	}
-	wg.Wait()
-	if firstEr != nil {
-		return nil, stats, firstEr
+	err := runTasks(ctx, len(splits), cfg.Parallelism, func(t int) error {
+		split := splits[t]
+		mapTS := tr.Now()
+		out, emitted, attempts, err := j.runMapTask(t, split, cfg, inj)
+		if tr != nil {
+			tr.Span(tr.Track("mapreduce-map", t, fmt.Sprintf("map task %d", t)),
+				"map", mapTS, tr.Now()-mapTS,
+				obs.Arg{Key: "records", Value: int64(len(split))},
+				obs.Arg{Key: "emitted", Value: int64(emitted)})
+		}
+		if err != nil {
+			return fmt.Errorf("mapreduce: map task %d: %w", t, err)
+		}
+		mapOut[t] = out
+		statsMu.Lock()
+		retries += int64(attempts - 1)
+		stats.MapOutputs += emitted
+		statsMu.Unlock()
+		j.Counters.Add("map.outputs", int64(emitted))
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
 	}
 	for _, split := range splits {
 		stats.MapInputs += len(split)
@@ -262,6 +255,8 @@ func (j *Job[I, K, V, O]) RunContext(ctx context.Context, inputs []I) ([]O, Stat
 	stats.ReduceGroups = redStats.ReduceGroups
 	stats.Outputs = len(out)
 	stats.TaskRetries = int(retries) + redStats.TaskRetries
+	stats.ShuffleRuns = redStats.ShuffleRuns
+	stats.MergePasses = redStats.MergePasses
 	if m := cfg.Obs.Metrics; m != nil {
 		m.Counter("mapreduce.tasks.map").Add(int64(stats.MapTasks))
 		m.Counter("mapreduce.tasks.reduce").Add(int64(stats.ReduceTasks))
@@ -269,131 +264,152 @@ func (j *Job[I, K, V, O]) RunContext(ctx context.Context, inputs []I) ([]O, Stat
 		m.Counter("mapreduce.records.out").Add(int64(stats.Outputs))
 		m.Counter("mapreduce.groups").Add(int64(stats.ReduceGroups))
 		m.Counter("mapreduce.retries").Add(int64(stats.TaskRetries))
+		m.Counter("mapreduce.shuffle.runs").Add(int64(stats.ShuffleRuns))
+		m.Counter("mapreduce.shuffle.merge_passes").Add(int64(stats.MergePasses))
 	}
 	return out, stats, nil
 }
 
-// reducePhase runs the shuffle (group by key per partition, keys
-// sorted, values in map-task order) and the parallel reduce over
-// already-partitioned map output. The returned Stats carries only the
-// fields this phase owns: CombineOutputs, ReduceGroups, TaskRetries.
-func (j *Job[I, K, V, O]) reducePhase(ctx context.Context, mapOut [][][]KV[K, V], cfg Config[K], inj *fault.Injector) ([]O, Stats, error) {
-	var stats Stats
-	type group struct {
-		key    K
-		values []V
+// reducePhase runs the shuffle and reduce over already-partitioned,
+// per-task-sorted map output. Partitions are processed concurrently
+// under cfg.Parallelism; within a partition the k-way merge of the
+// task runs streams each key's values (in map-task order) directly
+// into the reducer — shuffle and reduce are one fused pass with no
+// group materialization. The returned Stats carries only the fields
+// this phase owns: CombineOutputs, ReduceGroups, TaskRetries,
+// ShuffleRuns, MergePasses.
+func (j *Job[I, K, V, O]) reducePhase(ctx context.Context, mapOut [][]run[K, V], cfg Config[K], inj *fault.Injector) ([]O, Stats, error) {
+	if cfg.ReferenceShuffle {
+		return j.naiveReducePhase(ctx, mapOut, cfg, inj)
 	}
-	tr := cfg.Obs.Tracer
-	hGroup := cfg.Obs.Metrics.Histogram("mapreduce.group_size", nil) // nil-safe
-	shufTS := tr.Now()
-	partGroups := make([][]group, cfg.ReduceTasks)
-	for p := 0; p < cfg.ReduceTasks; p++ {
-		idx := map[K]int{}
-		var groups []group
-		for t := range mapOut {
-			for _, kv := range mapOut[t][p] {
-				g, ok := idx[kv.Key]
-				if !ok {
-					g = len(groups)
-					idx[kv.Key] = g
-					groups = append(groups, group{key: kv.Key})
-				}
-				groups[g].values = append(groups[g].values, kv.Value)
-				stats.CombineOutputs++
-			}
-		}
-		sort.Slice(groups, func(a, b int) bool { return groups[a].key < groups[b].key })
-		partGroups[p] = groups
-		stats.ReduceGroups += len(groups)
-		for _, g := range groups {
-			hGroup.Observe(float64(len(g.values)))
-		}
-	}
-	if tr != nil {
-		tr.Span(tr.Track("mapreduce-shuffle", 0, "shuffle"),
-			"shuffle", shufTS, tr.Now()-shufTS,
-			obs.Arg{Key: "groups", Value: int64(stats.ReduceGroups)})
-	}
-
 	var (
-		wg      sync.WaitGroup
-		sem     = make(chan struct{}, cfg.Parallelism)
-		errMu   sync.Mutex
-		firstEr error
-		retries int64
+		stats   Stats
 		statsMu sync.Mutex
 	)
+	tr := cfg.Obs.Tracer
+	hGroup := cfg.Obs.Metrics.Histogram("mapreduce.group_size", nil) // nil-safe
 	partOut := make([][]O, cfg.ReduceTasks)
-	for p := 0; p < cfg.ReduceTasks; p++ {
-		wg.Add(1)
-		go func(p int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if err := ctx.Err(); err != nil {
-				errMu.Lock()
-				if firstEr == nil {
-					firstEr = err
-				}
-				errMu.Unlock()
-				return
+	err := runTasks(ctx, cfg.ReduceTasks, cfg.Parallelism, func(p int) error {
+		shufTS := tr.Now()
+		runs := make([]*run[K, V], 0, len(mapOut))
+		for t := range mapOut {
+			if p < len(mapOut[t]) && len(mapOut[t][p].keys) > 0 {
+				runs = append(runs, &mapOut[t][p])
 			}
-			redTS := tr.Now()
-			defer func() {
-				if tr != nil {
-					tr.Span(tr.Track("mapreduce-reduce", p, fmt.Sprintf("reduce %d", p)),
-						"reduce", redTS, tr.Now()-redTS,
-						obs.Arg{Key: "groups", Value: int64(len(partGroups[p]))})
+		}
+		var (
+			out     []O
+			retries int
+		)
+		emit := func(o O) { out = append(out, o) }
+		pairs, groups, err := mergeRuns(runs, func(key K, values []V, gi int) error {
+			hGroup.Observe(float64(len(values)))
+			attempts, rerr := retryTask(cfg.MaxAttempts, func(attempt int) error {
+				if inj.TaskFails("reduce", attempt, p, gi) {
+					return fault.ErrInjected
 				}
-			}()
-			var out []O
-			emit := func(o O) { out = append(out, o) }
-			for gi, g := range partGroups[p] {
-				attempts, err := retryTask(cfg.MaxAttempts, func(attempt int) error {
-					if inj.TaskFails("reduce", attempt, p, gi) {
-						return fault.ErrInjected
-					}
-					checkpoint := len(out)
-					if err := j.Reduce(g.key, g.values, emit); err != nil {
-						out = out[:checkpoint] // discard partial emissions
-						return err
-					}
-					return nil
-				})
-				statsMu.Lock()
-				retries += int64(attempts - 1)
-				statsMu.Unlock()
-				if err != nil {
-					errMu.Lock()
-					if firstEr == nil {
-						firstEr = fmt.Errorf("mapreduce: reduce partition %d key %v: %w", p, g.key, err)
-					}
-					errMu.Unlock()
-					return
+				checkpoint := len(out)
+				if err := j.Reduce(key, values, emit); err != nil {
+					out = out[:checkpoint] // discard partial emissions
+					return err
 				}
+				return nil
+			})
+			retries += attempts - 1
+			if rerr != nil {
+				return fmt.Errorf("mapreduce: reduce partition %d key %v: %w", p, key, rerr)
 			}
-			partOut[p] = out
-		}(p)
-	}
-	wg.Wait()
-	if firstEr != nil {
-		return nil, stats, firstEr
+			return nil
+		})
+		if tr != nil {
+			now := tr.Now()
+			// Shuffle and reduce are fused, so the per-partition spans
+			// cover the same interval on their two tracks; the shuffle
+			// span carries the merge shape.
+			tr.Span(tr.Track("mapreduce-shuffle", p, fmt.Sprintf("shuffle %d", p)),
+				"shuffle", shufTS, now-shufTS,
+				obs.Arg{Key: "runs", Value: int64(len(runs))},
+				obs.Arg{Key: "pairs", Value: int64(pairs)},
+				obs.Arg{Key: "groups", Value: int64(groups)})
+			tr.Span(tr.Track("mapreduce-reduce", p, fmt.Sprintf("reduce %d", p)),
+				"reduce", shufTS, now-shufTS,
+				obs.Arg{Key: "groups", Value: int64(groups)})
+		}
+		statsMu.Lock()
+		stats.CombineOutputs += pairs
+		stats.ReduceGroups += groups
+		stats.TaskRetries += retries
+		stats.ShuffleRuns += len(runs)
+		if len(runs) > 0 {
+			stats.MergePasses++
+		}
+		statsMu.Unlock()
+		if err != nil {
+			return err
+		}
+		partOut[p] = out
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
 	}
 
 	var out []O
 	for _, po := range partOut {
 		out = append(out, po...)
 	}
-	stats.TaskRetries = int(retries)
 	return out, stats, nil
 }
 
+// runTasks executes fn(task) for task in [0, n), at most parallelism
+// at a time, skipping tasks queued after ctx is cancelled (ctx.Err()
+// becomes the result). The first error wins; later tasks still run —
+// the map/reduce retry semantics are per task, not per phase. It is
+// the shared skeleton of the map phase, the shuffle-reduce phase, and
+// the naive reference reduce loop.
+func runTasks(ctx context.Context, n, parallelism int, fn func(task int) error) error {
+	var (
+		wg      sync.WaitGroup
+		sem     = make(chan struct{}, parallelism)
+		errMu   sync.Mutex
+		firstEr error
+	)
+	record := func(err error) {
+		errMu.Lock()
+		if firstEr == nil {
+			firstEr = err
+		}
+		errMu.Unlock()
+	}
+	for t := 0; t < n; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				record(err)
+				return
+			}
+			if err := fn(t); err != nil {
+				record(err)
+			}
+		}(t)
+	}
+	wg.Wait()
+	return firstEr
+}
+
 // runMapTask executes one map task (with retry): maps every record of
-// the split, optionally combines, and partitions the result. It
-// returns the partitioned pairs, the raw emission count, the number
-// of attempts, and the final error.
-func (j *Job[I, K, V, O]) runMapTask(t int, split []I, cfg Config[K], inj *fault.Injector) ([][]KV[K, V], int, int, error) {
-	var parts [][]KV[K, V]
+// the split, partitions the result, and turns each partition slice
+// into a sorted, span-compressed run (with map-side combining applied
+// as the spans are built, so combiner jobs shrink data before the
+// shuffle ever sees it). The sort happens here, at map-task
+// granularity, inside the already-parallel map phase — the shuffle
+// then only merges. It returns the per-partition runs, the raw
+// emission count, the number of attempts, and the final error.
+func (j *Job[I, K, V, O]) runMapTask(t int, split []I, cfg Config[K], inj *fault.Injector) ([]run[K, V], int, int, error) {
+	var parts []run[K, V]
 	emitted := 0
 	attempts, err := retryTask(cfg.MaxAttempts, func(attempt int) error {
 		if inj.TaskFails("map", attempt, t) {
@@ -408,50 +424,29 @@ func (j *Job[I, K, V, O]) runMapTask(t int, split []I, cfg Config[K], inj *fault
 		}
 		emitted = len(pairs)
 
-		if j.Combine != nil {
-			combined, err := combineLocal(pairs, j.Combine)
-			if err != nil {
-				return err
-			}
-			pairs = combined
-		}
-		parts = make([][]KV[K, V], cfg.ReduceTasks)
-		for _, kv := range pairs {
+		flat := make([][]prefKV[K, V], cfg.ReduceTasks)
+		for i, kv := range pairs {
 			p := cfg.Partitioner(kv.Key, cfg.ReduceTasks)
 			if p < 0 || p >= cfg.ReduceTasks {
 				return fmt.Errorf("partitioner returned %d for %d partitions", p, cfg.ReduceTasks)
 			}
-			parts[p] = append(parts[p], kv)
+			flat[p] = append(flat[p], prefKV[K, V]{pref: keyPrefix(kv.Key), seq: int32(i), kv: kv})
+		}
+		parts = make([]run[K, V], cfg.ReduceTasks)
+		cmpPairs := pairCmp[K, V]()
+		for p, fp := range flat {
+			// The emission-sequence tie-break makes this unstable (and
+			// faster) sort produce a stable order.
+			slices.SortFunc(fp, cmpPairs)
+			r, err := buildRun(fp, j.Combine)
+			if err != nil {
+				return err
+			}
+			parts[p] = r
 		}
 		return nil
 	})
 	return parts, emitted, attempts, err
-}
-
-// combineLocal groups a single task's output by key (preserving first-
-// appearance key order) and applies the combiner to each group.
-func combineLocal[K cmp.Ordered, V any](pairs []KV[K, V], combine Combiner[K, V]) ([]KV[K, V], error) {
-	idx := map[K]int{}
-	var keys []K
-	grouped := map[K][]V{}
-	for _, kv := range pairs {
-		if _, ok := idx[kv.Key]; !ok {
-			idx[kv.Key] = len(keys)
-			keys = append(keys, kv.Key)
-		}
-		grouped[kv.Key] = append(grouped[kv.Key], kv.Value)
-	}
-	var out []KV[K, V]
-	for _, k := range keys {
-		vs, err := combine(k, grouped[k])
-		if err != nil {
-			return nil, err
-		}
-		for _, v := range vs {
-			out = append(out, KV[K, V]{k, v})
-		}
-	}
-	return out, nil
 }
 
 // retryTask runs fn up to maxAttempts times (fn receives the 1-based

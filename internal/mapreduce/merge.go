@@ -1,0 +1,441 @@
+package mapreduce
+
+// merge.go is the shuffle's data plane: sorted, span-compressed runs
+// and the k-way merge over them. Each map task hands the reduce phase
+// one run per partition (sorted at map-task granularity, inside the
+// already-parallel map phase, combiner applied during span building),
+// and the shuffle merges a partition's runs in a single streaming
+// pass that feeds equal keys directly into the reducer. Nothing is
+// re-grouped through a hash map and nothing is globally re-sorted —
+// the per-run sort plus a stable merge is the whole shuffle, exactly
+// Hadoop's sort-merge design.
+//
+// Two representation choices carry the performance:
+//
+//   - Runs are span-compressed: distinct ascending keys, each owning a
+//     contiguous slice of a shared values array. The merge moves one
+//     span (a bulk append) per step instead of touching every pair, so
+//     per-pair work — and the cache miss of chasing every key's string
+//     bytes — drops out of the shuffle entirely.
+//   - Every key carries an 8-byte order-preserving prefix. For short
+//     strings and all integer widths the prefix is EXACT: prefix
+//     equality proves key equality, so both the map-side sort and the
+//     merge run on nothing but inline uint64 compares — no string
+//     bytes are touched at all unless keys are 8+ characters and share
+//     their first 7.
+//
+// The merge itself comes in two shapes. For small fan-in (the common
+// case: one run per map task) a linear scan of the cursor heads finds
+// each group — k inline integer compares beat a heap's O(log k)
+// generic-function comparisons by a wide margin on modern cores. A
+// binary min-heap of cursors takes over past scanMaxRuns, restoring
+// O(log k) per step for very wide merges.
+//
+// Stability argument (why outputs are byte-identical to the old
+// hash-group shuffle): within a run, equal keys keep emission order
+// because the map-side sort breaks key ties by emission sequence;
+// across runs, the merge drains a key's spans in task-index order, so
+// a group's values appear in (map-task, emission) order — the same
+// order the old shuffle produced by concatenating task outputs before
+// grouping.
+
+import "cmp"
+
+// Prefix exactness classes: what a prefix tie proves about the keys.
+const (
+	// prefExactTotal: the prefix is a bijective order-embedding, so
+	// prefix equality alone proves key equality (all integer widths).
+	prefExactTotal = iota
+	// prefExactMarked: prefix equality proves key equality unless the
+	// prefix's low byte is the 0xFF saturation marker (strings — see
+	// keyPrefix for the 7-bytes-plus-length encoding).
+	prefExactMarked
+	// prefInexact: prefix ties prove nothing; always fall back to
+	// comparing keys (floats, defined types).
+	prefInexact
+)
+
+// prefixClass reports the exactness class of keyPrefix for K.
+func prefixClass[K cmp.Ordered]() int {
+	var z K
+	switch any(z).(type) {
+	case int, int8, int16, int32, int64, uint, uint8, uint16, uint32, uint64, uintptr:
+		return prefExactTotal
+	case string:
+		return prefExactMarked
+	default:
+		return prefInexact
+	}
+}
+
+// prefProvesEqual reports whether, for K's class, equality of this
+// prefix value alone proves the underlying keys are equal.
+func prefProvesEqual(class int, pref uint64) bool {
+	return class == prefExactTotal || (class == prefExactMarked && pref&0xFF != 0xFF)
+}
+
+// keyPrefix returns an order-preserving 8-byte accelerator for k:
+// keyPrefix(a) < keyPrefix(b) implies a < b, and a < b implies
+// keyPrefix(a) <= keyPrefix(b), so comparisons may trust a prefix
+// difference and only fall back to cmp.Compare on prefix ties.
+//
+// Integers embed bijectively (sign bit flipped so the unsigned order
+// matches the signed one), making every prefix exact. Strings pack
+// their first 7 bytes big-endian into the top 56 bits and the length
+// into the low byte — 0..7 for short strings, 0xFF saturated for 8+.
+// The length byte both orders prefix-of relationships correctly
+// (including keys with embedded NULs: "ab" < "ab\x00") and marks short
+// strings' prefixes as exact, so a prefix tie between them proves the
+// keys equal and no byte comparison is ever needed. Types without a
+// cheap order-preserving embedding (floats) return 0 and always fall
+// back.
+func keyPrefix[K cmp.Ordered](k K) uint64 {
+	const signFlip = 1 << 63
+	switch v := any(k).(type) {
+	case string:
+		p := uint64(0xFF)
+		if len(v) < 8 {
+			p = uint64(len(v))
+		}
+		for i := 0; i < len(v) && i < 7; i++ {
+			p |= uint64(v[i]) << (56 - 8*i)
+		}
+		return p
+	case int:
+		return uint64(v) ^ signFlip
+	case int8:
+		return uint64(v) ^ signFlip
+	case int16:
+		return uint64(v) ^ signFlip
+	case int32:
+		return uint64(v) ^ signFlip
+	case int64:
+		return uint64(v) ^ signFlip
+	case uint:
+		return uint64(v)
+	case uint8:
+		return uint64(v)
+	case uint16:
+		return uint64(v)
+	case uint32:
+		return uint64(v)
+	case uint64:
+		return v
+	case uintptr:
+		return uint64(v)
+	default:
+		return 0
+	}
+}
+
+// run is one map task's sorted, span-compressed output for one reduce
+// partition: keys holds the task's distinct keys in ascending order,
+// vals[offs[i]:offs[i+1]] holds keys[i]'s values in emission order,
+// and prefs[i] is keys[i]'s comparison accelerator.
+type run[K cmp.Ordered, V any] struct {
+	keys  []K
+	prefs []uint64
+	offs  []int32 // len(keys)+1 span boundaries into vals
+	vals  []V
+}
+
+func (r *run[K, V]) pairs() int { return len(r.vals) }
+
+// prefKV is the map side's sortable pair: the key's prefix, the
+// emission sequence (the stable-sort tie-break, so an unstable — and
+// faster — sort yields a stable order), and the pair itself.
+type prefKV[K cmp.Ordered, V any] struct {
+	pref uint64
+	seq  int32
+	kv   KV[K, V]
+}
+
+// pairCmp returns the map-side sort order for prefKVs: (prefix, key,
+// emission sequence) — never 0 for distinct elements, which is what
+// makes the unstable sort stable. The key compare is skipped entirely
+// when the prefix tie already proves the keys equal.
+func pairCmp[K cmp.Ordered, V any]() func(a, b prefKV[K, V]) int {
+	class := prefixClass[K]()
+	return func(a, b prefKV[K, V]) int {
+		if a.pref != b.pref {
+			if a.pref < b.pref {
+				return -1
+			}
+			return 1
+		}
+		if !prefProvesEqual(class, a.pref) {
+			if c := cmp.Compare(a.kv.Key, b.kv.Key); c != 0 {
+				return c
+			}
+		}
+		return cmp.Compare(a.seq, b.seq)
+	}
+}
+
+// sameKey reports whether two adjacent sorted pairs share a key.
+func sameKey[K cmp.Ordered, V any](class int, a, b *prefKV[K, V]) bool {
+	return a.pref == b.pref && (prefProvesEqual(class, a.pref) || a.kv.Key == b.kv.Key)
+}
+
+// buildRun span-compresses sorted pairs into a run, applying the
+// combiner (when non-nil) to each key's values as the span is formed.
+// A combiner returning zero values drops its key from the run.
+func buildRun[K cmp.Ordered, V any](pairs []prefKV[K, V], combine Combiner[K, V]) (run[K, V], error) {
+	var r run[K, V]
+	if len(pairs) == 0 {
+		return r, nil
+	}
+	class := prefixClass[K]()
+	nk := countSpans(class, pairs)
+	r.keys = make([]K, 0, nk)
+	r.prefs = make([]uint64, 0, nk)
+	r.offs = make([]int32, 1, nk+1)
+	r.vals = make([]V, 0, len(pairs))
+	var values []V // combiner scratch
+	for i := 0; i < len(pairs); {
+		j := i + 1
+		for j < len(pairs) && sameKey(class, &pairs[j], &pairs[i]) {
+			j++
+		}
+		if combine == nil {
+			for _, p := range pairs[i:j] {
+				r.vals = append(r.vals, p.kv.Value)
+			}
+		} else {
+			values = values[:0]
+			for _, p := range pairs[i:j] {
+				values = append(values, p.kv.Value)
+			}
+			vs, err := combine(pairs[i].kv.Key, values)
+			if err != nil {
+				return run[K, V]{}, err
+			}
+			if len(vs) == 0 {
+				i = j
+				continue
+			}
+			r.vals = append(r.vals, vs...)
+		}
+		r.keys = append(r.keys, pairs[i].kv.Key)
+		r.prefs = append(r.prefs, pairs[i].pref)
+		r.offs = append(r.offs, int32(len(r.vals)))
+		i = j
+	}
+	return r, nil
+}
+
+// countSpans counts the distinct keys of sorted pairs, sizing
+// buildRun's allocations exactly.
+func countSpans[K cmp.Ordered, V any](class int, pairs []prefKV[K, V]) int {
+	n := 0
+	for i := 0; i < len(pairs); {
+		j := i + 1
+		for j < len(pairs) && sameKey(class, &pairs[j], &pairs[i]) {
+			j++
+		}
+		n++
+		i = j
+	}
+	return n
+}
+
+// cursor is one run's read position (a span index) inside a merge.
+// task is the run's position in the merge's input order (map-task
+// order), used to break key ties so the merge is stable.
+type cursor[K cmp.Ordered, V any] struct {
+	r    *run[K, V]
+	pos  int
+	task int
+}
+
+// scanMaxRuns is the fan-in up to which the merge scans cursor heads
+// linearly instead of maintaining a heap. Head scanning is k inline
+// integer compares per group; the heap is O(log k) calls through a
+// generic comparison — the crossover sits far above typical map-task
+// counts. Variable so tests can force the heap path.
+var scanMaxRuns = 64
+
+// mergeRuns merges the sorted runs of one reduce partition, calling
+// group once per distinct key with that key's values in (task,
+// emission) order and gi the 0-based ordinal of the group in
+// ascending-key order — the same ordinal the pre-merge shuffle used,
+// which keeps deterministic fault-injection schedules identical. The
+// values slice is reused between calls; group implementations must
+// not retain it (the Reducer contract). It returns the number of
+// pairs consumed and groups formed before stopping (all of them
+// unless group errors).
+func mergeRuns[K cmp.Ordered, V any](runs []*run[K, V], group func(key K, values []V, gi int) error) (pairs, groups int, err error) {
+	switch len(runs) {
+	case 0:
+		return 0, 0, nil
+	case 1:
+		// Single run: every span is already a complete group.
+		var values []V
+		r := runs[0]
+		for i, key := range r.keys {
+			values = values[:0]
+			values = append(values, r.vals[r.offs[i]:r.offs[i+1]]...)
+			pairs += len(values)
+			gi := groups
+			groups++
+			if err := group(key, values, gi); err != nil {
+				return pairs, groups, err
+			}
+		}
+		return pairs, groups, nil
+	}
+
+	class := prefixClass[K]()
+	cs := make([]cursor[K, V], 0, len(runs))
+	for t, r := range runs {
+		if len(r.keys) > 0 {
+			cs = append(cs, cursor[K, V]{r: r, task: t})
+		}
+	}
+	if len(cs) <= scanMaxRuns {
+		return scanMerge(cs, class, group)
+	}
+	return heapMerge(cs, class, group)
+}
+
+// scanMerge is the small-fan-in merge: each group is found by scanning
+// every cursor head for the minimum prefix, then drained in task order
+// (cs is task-ordered and stays that way). All the work in the common
+// case is inline uint64 compares and bulk span appends.
+func scanMerge[K cmp.Ordered, V any](cs []cursor[K, V], class int, group func(key K, values []V, gi int) error) (pairs, groups int, err error) {
+	var values []V
+	for len(cs) > 0 {
+		minPref := cs[0].r.prefs[cs[0].pos]
+		for i := 1; i < len(cs); i++ {
+			if p := cs[i].r.prefs[cs[i].pos]; p < minPref {
+				minPref = p
+			}
+		}
+		// An order-preserving prefix guarantees the minimum key sits
+		// under the minimum prefix; on an exact tie any holder's key is
+		// THE key, otherwise the tied heads' keys must be compared.
+		exact := prefProvesEqual(class, minPref)
+		var key K
+		found := false
+		for i := range cs {
+			c := &cs[i]
+			if c.r.prefs[c.pos] != minPref {
+				continue
+			}
+			k := c.r.keys[c.pos]
+			if !found || (!exact && k < key) {
+				key, found = k, true
+				if exact {
+					break
+				}
+			}
+		}
+		values = values[:0]
+		drained := false
+		for i := range cs {
+			c := &cs[i]
+			if c.r.prefs[c.pos] != minPref || (!exact && c.r.keys[c.pos] != key) {
+				continue
+			}
+			values = append(values, c.r.vals[c.r.offs[c.pos]:c.r.offs[c.pos+1]]...)
+			c.pos++
+			if c.pos == len(c.r.keys) {
+				drained = true
+			}
+		}
+		pairs += len(values)
+		gi := groups
+		groups++
+		if err := group(key, values, gi); err != nil {
+			return pairs, groups, err
+		}
+		if drained {
+			n := 0
+			for i := range cs {
+				if cs[i].pos < len(cs[i].r.keys) {
+					cs[n] = cs[i]
+					n++
+				}
+			}
+			cs = cs[:n]
+		}
+	}
+	return pairs, groups, nil
+}
+
+// cursorLess orders cursors by (head prefix, head key, task), the
+// heap-merge invariant. The key compare is skipped when the prefix
+// tie already proves the keys equal.
+func cursorLess[K cmp.Ordered, V any](a, b *cursor[K, V], class int) bool {
+	pa, pb := a.r.prefs[a.pos], b.r.prefs[b.pos]
+	if pa != pb {
+		return pa < pb
+	}
+	if !prefProvesEqual(class, pa) {
+		if c := cmp.Compare(a.r.keys[a.pos], b.r.keys[b.pos]); c != 0 {
+			return c < 0
+		}
+	}
+	return a.task < b.task
+}
+
+// siftDown restores the heap invariant for the subtree rooted at i.
+// The heap is hand-rolled rather than container/heap so the merge
+// inner loop pays no interface boxing or per-element allocation.
+func siftDown[K cmp.Ordered, V any](h []cursor[K, V], i, class int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < len(h) && cursorLess(&h[l], &h[least], class) {
+			least = l
+		}
+		if r < len(h) && cursorLess(&h[r], &h[least], class) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}
+
+// heapMerge is the wide-fan-in merge: a binary min-heap of cursors
+// keeps each step O(log k) when k is too large for head scanning.
+func heapMerge[K cmp.Ordered, V any](h []cursor[K, V], class int, group func(key K, values []V, gi int) error) (pairs, groups int, err error) {
+	var values []V
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(h, i, class)
+	}
+	for len(h) > 0 {
+		c := &h[0]
+		key, pref := c.r.keys[c.pos], c.r.prefs[c.pos]
+		values = values[:0]
+		// Drain every run's span for this key, lowest task first: the
+		// heap's tie-break surfaces contributing runs in task order.
+		for {
+			c := &h[0]
+			values = append(values, c.r.vals[c.r.offs[c.pos]:c.r.offs[c.pos+1]]...)
+			c.pos++
+			if c.pos == len(c.r.keys) {
+				h[0] = h[len(h)-1]
+				h = h[:len(h)-1]
+			}
+			siftDown(h, 0, class)
+			if len(h) == 0 {
+				break
+			}
+			c = &h[0]
+			if c.r.prefs[c.pos] != pref || (!prefProvesEqual(class, pref) && c.r.keys[c.pos] != key) {
+				break
+			}
+		}
+		pairs += len(values)
+		gi := groups
+		groups++
+		if err := group(key, values, gi); err != nil {
+			return pairs, groups, err
+		}
+	}
+	return pairs, groups, nil
+}

@@ -46,6 +46,12 @@ func TestJobReportsObs(t *testing.T) {
 	if hs.Count != 3 || hs.Sum != 6 { // group sizes 3(a)+2(b)+1(c)
 		t.Fatalf("group_size histogram = %+v, want count 3 sum 6", hs)
 	}
+	if s.Counters["mapreduce.shuffle.runs"] != int64(stats.ShuffleRuns) || stats.ShuffleRuns == 0 {
+		t.Fatalf("shuffle.runs counter = %d, stats = %d", s.Counters["mapreduce.shuffle.runs"], stats.ShuffleRuns)
+	}
+	if s.Counters["mapreduce.shuffle.merge_passes"] != int64(stats.MergePasses) || stats.MergePasses == 0 {
+		t.Fatalf("merge_passes counter = %d, stats = %d", s.Counters["mapreduce.shuffle.merge_passes"], stats.MergePasses)
+	}
 
 	phases := map[string]int{}
 	for _, sp := range sink.Tracer.Spans() {
@@ -54,8 +60,10 @@ func TestJobReportsObs(t *testing.T) {
 	if phases["map"] != stats.MapTasks {
 		t.Fatalf("map spans = %d, want %d", phases["map"], stats.MapTasks)
 	}
-	if phases["shuffle"] != 1 {
-		t.Fatalf("shuffle spans = %d, want 1", phases["shuffle"])
+	// The merge shuffle emits one span per partition (the old serial
+	// shuffle emitted a single span for the whole phase).
+	if phases["shuffle"] != stats.ReduceTasks {
+		t.Fatalf("shuffle spans = %d, want %d", phases["shuffle"], stats.ReduceTasks)
 	}
 	if phases["reduce"] != stats.ReduceTasks {
 		t.Fatalf("reduce spans = %d, want %d", phases["reduce"], stats.ReduceTasks)

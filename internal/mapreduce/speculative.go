@@ -43,7 +43,8 @@ type SpecStats struct {
 // RunSpeculative executes the job like Job.Run but with speculative
 // backup attempts for straggling map tasks. The result is identical
 // to Job.Run's (mappers must be pure); only the wall-clock behavior
-// differs.
+// differs. Both attempts of a task produce the same sorted runs, so
+// whichever wins feeds the merge shuffle identically.
 func (j *Job[I, K, V, O]) RunSpeculative(inputs []I, spec SpecConfig) ([]O, SpecStats, error) {
 	cfg := j.Config.withDefaults()
 	if j.Map == nil || j.Reduce == nil {
@@ -56,7 +57,7 @@ func (j *Job[I, K, V, O]) RunSpeculative(inputs []I, spec SpecConfig) ([]O, Spec
 	stats := SpecStats{Stats: Stats{MapTasks: len(splits), ReduceTasks: cfg.ReduceTasks}}
 
 	type taskResult struct {
-		parts   [][]KV[K, V]
+		parts   []run[K, V]
 		emitted int
 		err     error
 		attempt int
@@ -115,7 +116,7 @@ func (j *Job[I, K, V, O]) RunSpeculative(inputs []I, spec SpecConfig) ([]O, Spec
 	wg.Wait()
 
 	// Aggregate, honoring the winner of each race.
-	mapOut := make([][][]KV[K, V], len(splits))
+	mapOut := make([][]run[K, V], len(splits))
 	for t, r := range results {
 		if r.err != nil {
 			return nil, stats, fmt.Errorf("mapreduce: map task %d: %w", t, r.err)
