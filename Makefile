@@ -1,7 +1,7 @@
 # Tier-1 verification plus race detection in one command: `make check`.
 GO ?= go
 
-.PHONY: build test race vet check bench-baseline bench-compare
+.PHONY: build test race vet check soak bench-baseline bench-compare
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,16 @@ vet:
 	$(GO) vet ./...
 
 check: build vet test race
+
+# Kill–resume soak: SIGKILL each durable workload at random points,
+# resume it from its snapshots, and assert the final state is
+# byte-identical to a clean run. `-quick` keeps it CI-sized (<2 min);
+# drop it (`go run ./cmd/chaos`) for the full-size soak.
+SOAK_KILLS ?= 3
+SOAK_SEED ?= 1
+
+soak:
+	$(GO) run ./cmd/chaos -quick -kills $(SOAK_KILLS) -seed $(SOAK_SEED)
 
 # Record the perf trajectory future PRs diff against. -benchtime=100ms
 # keeps the sweep to a couple of minutes; bump it for headline numbers.

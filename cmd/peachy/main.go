@@ -17,11 +17,46 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/img"
 	"repro/internal/obs"
 )
+
+// peachyPayload tags the completed-experiment set inside the ckpt
+// frame: a killed multi-experiment run resumed with -resume skips the
+// experiments that already finished (their artifacts are on disk).
+const peachyPayload uint32 = 5
+
+func encodeDone(done []string) []byte {
+	var e ckpt.Enc
+	e.U32(peachyPayload)
+	e.U64(uint64(len(done)))
+	for _, id := range done {
+		e.Str(id)
+	}
+	return e.Bytes()
+}
+
+func decodeDone(payload []byte, epoch uint64) ([]string, error) {
+	dec := ckpt.NewDec(payload)
+	if tag := dec.U32(); tag != peachyPayload {
+		return nil, fmt.Errorf("snapshot has payload tag %d, want %d", tag, peachyPayload)
+	}
+	n := dec.U64()
+	ids := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		ids = append(ids, dec.Str())
+	}
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	if n != epoch {
+		return nil, fmt.Errorf("snapshot epoch %d holds %d experiments", epoch, n)
+	}
+	return ids, nil
+}
 
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
@@ -31,6 +66,8 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print a metrics snapshot (JSON) after the run")
 	traceFile := flag.String("trace", "", "write a Perfetto-loadable Chrome trace to this file")
 	faults := flag.String("faults", "", "fault plan for fault-aware experiments, e.g. seed=9,crash=1@2,hostfail=0.1 (see internal/fault)")
+	ckptDir := flag.String("checkpoint", "", "record completed experiments in this directory")
+	resumeDir := flag.String("resume", "", "skip experiments already completed by a run checkpointed into this directory")
 	flag.Parse()
 
 	if *list {
@@ -47,6 +84,27 @@ func main() {
 		}
 	}
 	sink, flush := obs.Setup(*metrics, *traceFile)
+	ck, err := ckpt.ForCLI("peachy", *ckptDir, *resumeDir, 1, sink)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "peachy: %v\n", err)
+		os.Exit(1)
+	}
+	var done []string
+	completed := map[string]bool{}
+	if ck != nil {
+		if epoch, payload, ok, err := ck.Load(); err != nil {
+			fmt.Fprintf(os.Stderr, "peachy: %v\n", err)
+			os.Exit(1)
+		} else if ok {
+			if done, err = decodeDone(payload, epoch); err != nil {
+				fmt.Fprintf(os.Stderr, "peachy: %v\n", err)
+				os.Exit(1)
+			}
+			for _, id := range done {
+				completed[id] = true
+			}
+		}
+	}
 	cfg := core.Config{Quick: *quick, OutDir: *out, Obs: sink}
 	if *faults != "" {
 		plan, err := fault.Parse(*faults)
@@ -71,6 +129,10 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "peachy: %v\n", err)
 			failed++
+			continue
+		}
+		if completed[e.ID] {
+			fmt.Printf("=== %s (%s): already completed, skipped (resume)\n", e.ID, e.Artifact)
 			continue
 		}
 		fmt.Printf("=== %s (%s): %s\n", e.ID, e.Artifact, e.Title)
@@ -106,6 +168,14 @@ func main() {
 			report.WriteByte('\n')
 			report.WriteString(res.Markdown())
 			report.WriteByte('\n')
+		}
+		if ck != nil {
+			done = append(done, e.ID)
+			completed[e.ID] = true
+			if err := ck.Save(uint64(len(done)), encodeDone(done)); err != nil {
+				fmt.Fprintf(os.Stderr, "peachy: checkpoint: %v\n", err)
+				failed++
+			}
 		}
 	}
 	if *md != "" {

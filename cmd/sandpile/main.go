@@ -18,6 +18,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/ghost"
@@ -55,6 +56,9 @@ func main() {
 		heteroRun = flag.Bool("hetero", false, "run the hybrid CPU+device engine instead of a variant")
 		devWork   = flag.Int("device-workers", 4, "simulated device parallelism for -hetero")
 		faults    = flag.String("faults", "", "fault plan for -ranks/-hetero, e.g. seed=7,crash=1@3 or seed=7,stall=5 (see internal/fault)")
+		ckptDir   = flag.String("checkpoint", "", "write durable snapshots into this directory")
+		resumeDir = flag.String("resume", "", "resume from the newest snapshot in this directory (and keep checkpointing there)")
+		ckptEvery = flag.Int64("checkpoint-every", 25, "iterations (rounds for -ranks) between snapshots")
 	)
 	flag.Parse()
 
@@ -98,6 +102,13 @@ func main() {
 	g := cfg.Build(*size, *size, rand.New(rand.NewSource(*seed)))
 	initial := g.Sum()
 	sink, flush := obs.Setup(*metrics, *traceFile)
+	ck, err := ckpt.ForCLI("sandpile", *ckptDir, *resumeDir, *ckptEvery, sink)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if ck != nil && *heteroRun {
+		fatalf("-checkpoint/-resume are not supported with -hetero")
+	}
 
 	finish := func() {
 		if *png != "" {
@@ -125,6 +136,7 @@ func main() {
 			ghost.WithMaxIters(*maxIters),
 			ghost.WithFaults(plan),
 			ghost.WithObs(sink),
+			ghost.WithCheckpoint(ck),
 		).Run()
 		if err != nil {
 			fatalf("%v", err)
@@ -152,7 +164,7 @@ func main() {
 	params := engine.Params{
 		TileH: *tile, TileW: *tile,
 		Workers: *workers, Policy: pol, MaxIters: *maxIters,
-		Obs: sink,
+		Obs: sink, Ckpt: ck,
 	}
 	var rec *trace.Recorder
 	if *traceIter > 0 {

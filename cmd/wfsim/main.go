@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/wfsched"
@@ -39,6 +40,9 @@ func main() {
 		metrics   = flag.Bool("metrics", false, "print a metrics snapshot (JSON) after the run")
 		traceFile = flag.String("trace", "", "write a Perfetto-loadable Chrome trace to this file")
 		faults    = flag.String("faults", "", "host-failure plan, e.g. seed=7,hostfail=0.1,repair=5 (see internal/fault)")
+		ckptDir   = flag.String("checkpoint", "", "-optimize/-pareto: write sweep snapshots into this directory")
+		resumeDir = flag.String("resume", "", "-optimize/-pareto: resume the sweep from this directory")
+		ckptEvery = flag.Int64("checkpoint-every", 256, "placements evaluated between sweep snapshots")
 	)
 	flag.Parse()
 
@@ -51,6 +55,13 @@ func main() {
 	}
 
 	sink, flush := obs.Setup(*metrics, *traceFile)
+	ck, err := ckpt.ForCLI("wfsim", *ckptDir, *resumeDir, *ckptEvery, sink)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if ck != nil && !(*tab2 && (*optimize || *pareto)) {
+		fatalf("-checkpoint/-resume apply to the sweep modes: -tab2 with -optimize or -pareto")
+	}
 	defer func() {
 		if !sink.Enabled() {
 			return
@@ -105,7 +116,10 @@ func main() {
 	switch {
 	case *pareto:
 		start := time.Now()
-		results := wfsched.EvaluateFractions(sc, wfsched.Tab2Choices(sc.Workflow))
+		results, err := wfsched.EvaluateFractionsCheckpointed(sc, wfsched.Tab2Choices(sc.Workflow), ck, int(*ckptEvery))
+		if err != nil {
+			fatalf("%v", err)
+		}
 		frontier := wfsched.ParetoFrontier(results)
 		fmt.Printf("Pareto frontier over %d placements (in %s):\n",
 			len(results), time.Since(start).Round(time.Millisecond))
@@ -115,7 +129,16 @@ func main() {
 		}
 	case *optimize:
 		start := time.Now()
-		best := wfsched.ExhaustiveFractions(sc, wfsched.Tab2Choices(sc.Workflow))
+		results, err := wfsched.EvaluateFractionsCheckpointed(sc, wfsched.Tab2Choices(sc.Workflow), ck, int(*ckptEvery))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		best := results[0]
+		for _, r := range results[1:] {
+			if r.Outcome.CO2 < best.Outcome.CO2 {
+				best = r
+			}
+		}
 		fmt.Printf("exhaustive optimum (in %s): fractions=%v\n%v\n",
 			time.Since(start).Round(time.Millisecond), best.Fractions, best.Outcome)
 	case *greedy:

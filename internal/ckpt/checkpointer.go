@@ -1,0 +1,75 @@
+package ckpt
+
+import "sync"
+
+// Checkpointer couples a Store with a cadence policy. Engines call
+// Due(pos) inside their loop — pos is any monotone position measure
+// (iteration count, committed round, evaluations done, or virtual
+// time in nanoseconds) — and Save when it fires. A nil *Checkpointer
+// is valid and means "checkpointing off": Due reports false and Load
+// reports no snapshot, so substrates take a single optional pointer
+// and never branch.
+type Checkpointer struct {
+	store  *Store
+	every  int64
+	resume bool
+
+	mu   sync.Mutex
+	last int64
+}
+
+// NewCheckpointer returns a Checkpointer saving roughly every `every`
+// position units. resume controls whether Load consults the store
+// (false = start fresh even if snapshots exist, e.g. -checkpoint
+// without -resume).
+func NewCheckpointer(store *Store, every int64, resume bool) *Checkpointer {
+	if every < 1 {
+		every = 1
+	}
+	return &Checkpointer{store: store, every: every, resume: resume}
+}
+
+// Due reports whether a snapshot is owed at position pos, advancing
+// the internal cadence marker when it fires. Returns false on nil.
+func (c *Checkpointer) Due(pos int64) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if pos-c.last < c.every {
+		return false
+	}
+	c.last = pos
+	return true
+}
+
+// Save persists one snapshot through the underlying store.
+func (c *Checkpointer) Save(epoch uint64, payload []byte) error {
+	return c.store.Save(epoch, payload)
+}
+
+// Load returns the newest valid snapshot if resuming is enabled. On
+// success the cadence marker advances to the snapshot's epoch so the
+// next Due fires one full interval later.
+func (c *Checkpointer) Load() (epoch uint64, payload []byte, ok bool, err error) {
+	if c == nil || !c.resume {
+		return 0, nil, false, nil
+	}
+	epoch, payload, ok, err = c.store.Load()
+	if ok {
+		c.mu.Lock()
+		c.last = int64(epoch)
+		c.mu.Unlock()
+	}
+	return epoch, payload, ok, err
+}
+
+// Store exposes the underlying store (nil on a nil Checkpointer),
+// for substrates that manage their own files in the same directory.
+func (c *Checkpointer) Store() *Store {
+	if c == nil {
+		return nil
+	}
+	return c.store
+}

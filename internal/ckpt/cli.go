@@ -1,0 +1,31 @@
+package ckpt
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// ForCLI resolves the conventional -checkpoint/-resume flag pair the
+// commands share into a Checkpointer. saveDir enables checkpointing
+// without restoring; resumeDir enables both (restore the newest valid
+// snapshot, keep checkpointing into the same directory). Both empty
+// returns nil — durability off. Naming both with different values is
+// an error: a resumed run always keeps saving where it loads from.
+func ForCLI(name, saveDir, resumeDir string, every int64, sink obs.Sink) (*Checkpointer, error) {
+	dir, resume := saveDir, false
+	if resumeDir != "" {
+		if saveDir != "" && saveDir != resumeDir {
+			return nil, fmt.Errorf("ckpt: -checkpoint %q and -resume %q disagree; name one directory", saveDir, resumeDir)
+		}
+		dir, resume = resumeDir, true
+	}
+	if dir == "" {
+		return nil, nil
+	}
+	store, err := Open(dir, name, WithObs(sink))
+	if err != nil {
+		return nil, err
+	}
+	return NewCheckpointer(store, every, resume), nil
+}

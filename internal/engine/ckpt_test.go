@@ -1,0 +1,237 @@
+package engine
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/sandpile"
+)
+
+// ckptParams returns the fixed run parameters used by the kill/resume
+// tests; segments must agree on them for the frontier fast path.
+func ckptParams() Params {
+	return Params{TileH: 8, TileW: 8, Workers: 4}
+}
+
+func openCheckpointer(t *testing.T, dir string, every int64) *ckpt.Checkpointer {
+	t.Helper()
+	store, err := ckpt.Open(dir, "engine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ckpt.NewCheckpointer(store, every, true)
+}
+
+// newestSnapshot returns the path of the highest-epoch snapshot file.
+func newestSnapshot(t *testing.T, dir string) string {
+	t.Helper()
+	files, _ := filepath.Glob(filepath.Join(dir, "engine.*.ckpt"))
+	best, bestEpoch := "", -1
+	for _, f := range files {
+		parts := strings.Split(filepath.Base(f), ".")
+		if len(parts) != 3 {
+			continue
+		}
+		if e, err := strconv.Atoi(parts[1]); err == nil && e > bestEpoch {
+			best, bestEpoch = f, e
+		}
+	}
+	if best == "" {
+		t.Fatalf("no snapshot files in %s", dir)
+	}
+	return best
+}
+
+// TestKillResumeDeterminism is the engine half of the acceptance
+// criterion: for every variant, a run cut short after taking durable
+// snapshots and then resumed from disk must produce the identical
+// final grid AND identical Iterations/Topples/Absorbed totals as the
+// same run left uninterrupted. The interrupted segment stops via
+// MaxIters, which exercises the same code path as a SIGKILL between
+// iterations (cmd/chaos covers the literal-SIGKILL half).
+func TestKillResumeDeterminism(t *testing.T) {
+	init := sandpile.Center(4000).Build(40, 40, nil)
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			ref := init.Clone()
+			want, err := Run(name, ref, ckptParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.Iterations < 8 {
+				t.Fatalf("reference run too short (%d iterations) to interrupt", want.Iterations)
+			}
+
+			dir := t.TempDir()
+			p1 := ckptParams()
+			p1.MaxIters = want.Iterations / 2
+			p1.Ckpt = openCheckpointer(t, dir, 3)
+			if _, err := Run(name, init.Clone(), p1); err != nil {
+				t.Fatalf("interrupted segment: %v", err)
+			}
+			newestSnapshot(t, dir) // at least one durable epoch exists
+
+			// Restart from scratch: a fresh initial grid, the full
+			// iteration budget, and a resuming checkpointer.
+			g := init.Clone()
+			p2 := ckptParams()
+			p2.Ckpt = openCheckpointer(t, dir, 3)
+			got, err := Run(name, g, p2)
+			if err != nil {
+				t.Fatalf("resumed segment: %v", err)
+			}
+			if got != want {
+				t.Fatalf("resumed totals %+v, want %+v", got, want)
+			}
+			if !g.Equal(ref) {
+				t.Fatalf("resumed fixed point differs: %v", g.Diff(ref, 5))
+			}
+		})
+	}
+}
+
+// A run killed and resumed several times still converges on the
+// uninterrupted totals and fixed point.
+func TestKillResumeRepeated(t *testing.T) {
+	init := sandpile.Random(8).Build(36, 36, rand.New(rand.NewSource(7)))
+	for _, name := range []string{"seq-sync", "lazy-sync", "async-waves", "lazy-async-waves"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			ref := init.Clone()
+			want, err := Run(name, ref, ckptParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := t.TempDir()
+			for _, frac := range []int{4, 2} { // two partial segments
+				p := ckptParams()
+				p.MaxIters = want.Iterations / frac
+				p.Ckpt = openCheckpointer(t, dir, 2)
+				if _, err := Run(name, init.Clone(), p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			g := init.Clone()
+			p := ckptParams()
+			p.Ckpt = openCheckpointer(t, dir, 2)
+			got, err := Run(name, g, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want || !g.Equal(ref) {
+				t.Fatalf("totals %+v want %+v; grid diff %v", got, want, g.Diff(ref, 5))
+			}
+		})
+	}
+}
+
+// Corrupting the newest snapshot must fall back to the previous valid
+// epoch (the store keeps two by default) and still reach the same
+// fixed point and totals — the second acceptance criterion.
+func TestResumeCorruptLatestFallsBack(t *testing.T) {
+	init := sandpile.Center(3000).Build(32, 32, nil)
+	const name = "lazy-sync"
+	ref := init.Clone()
+	want, err := Run(name, ref, ckptParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	p1 := ckptParams()
+	p1.MaxIters = want.Iterations * 3 / 4
+	p1.Ckpt = openCheckpointer(t, dir, 1) // every iteration → ≥2 retained epochs
+	if _, err := Run(name, init.Clone(), p1); err != nil {
+		t.Fatal(err)
+	}
+
+	newest := newestSnapshot(t, dir)
+	buf, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0xff
+	if err := os.WriteFile(newest, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	g := init.Clone()
+	p2 := ckptParams()
+	p2.Ckpt = openCheckpointer(t, dir, 1)
+	got, err := Run(name, g, p2)
+	if err != nil {
+		t.Fatalf("resume after corruption: %v", err)
+	}
+	if got != want || !g.Equal(ref) {
+		t.Fatalf("fallback resume diverged: totals %+v want %+v", got, want)
+	}
+}
+
+// Snapshots are variant-portable: a frontier saved by one variant (or
+// none at all, from an eager one) resumes correctly under another —
+// the worklist degrades to seed-everything, which is always sound.
+func TestCrossVariantResume(t *testing.T) {
+	init := sandpile.Uniform(6).Build(30, 30, nil)
+	want := oracle(init)
+	for _, pair := range [][2]string{
+		{"seq-sync", "lazy-sync"},        // eager snapshot → lazy resume
+		{"lazy-async-waves", "omp-sync"}, // lazy snapshot → eager resume
+		{"lazy-sync", "lazy-async-waves"},
+	} {
+		writer, reader := pair[0], pair[1]
+		dir := t.TempDir()
+		p1 := ckptParams()
+		p1.MaxIters = 10
+		p1.Ckpt = openCheckpointer(t, dir, 3)
+		if _, err := Run(writer, init.Clone(), p1); err != nil {
+			t.Fatal(err)
+		}
+		g := init.Clone()
+		p2 := ckptParams()
+		p2.Ckpt = openCheckpointer(t, dir, 3)
+		if _, err := Run(reader, g, p2); err != nil {
+			t.Fatalf("%s→%s: %v", writer, reader, err)
+		}
+		if !g.Equal(want) {
+			t.Fatalf("%s→%s: wrong fixed point: %v", writer, reader, g.Diff(want, 5))
+		}
+	}
+}
+
+// A checkpointer opened with resume=false ignores existing snapshots
+// and starts from the supplied grid.
+func TestNoResumeStartsFresh(t *testing.T) {
+	init := sandpile.Center(2000).Build(24, 24, nil)
+	dir := t.TempDir()
+	p1 := ckptParams()
+	p1.MaxIters = 6
+	p1.Ckpt = openCheckpointer(t, dir, 2)
+	if _, err := Run("seq-sync", init.Clone(), p1); err != nil {
+		t.Fatal(err)
+	}
+	store, err := ckpt.Open(dir, "engine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := init.Clone()
+	p2 := ckptParams()
+	p2.Ckpt = ckpt.NewCheckpointer(store, 2, false)
+	got, err := Run("seq-sync", g, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := init.Clone()
+	want, err := Run("seq-sync", ref, ckptParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("fresh run with stale snapshots present: %+v want %+v", got, want)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/grid"
 	"repro/internal/obs"
 	"repro/internal/sandpile"
@@ -49,6 +50,17 @@ type Params struct {
 	// Run() adds engine.* counters and per-iteration spans on the
 	// "engine" track. The zero Sink disables it at no cost.
 	Obs obs.Sink
+	// Ckpt enables durable checkpoint/restart (see checkpoint.go):
+	// Run saves a snapshot whenever the Checkpointer's cadence fires
+	// and, when the Checkpointer resumes, restores the newest valid
+	// snapshot before executing — a resumed run reaches the byte-
+	// identical fixed point, totals included. nil disables.
+	Ckpt *ckpt.Checkpointer
+
+	// resumeFrontier is the worklist restored from a snapshot, seeded
+	// (with its 4-neighborhood) into the lazy variants' frontier in
+	// place of SeedAll. Set only by setupCheckpoint.
+	resumeFrontier []int32
 }
 
 // IterStats is the per-iteration progress reported to OnIteration.
@@ -66,6 +78,11 @@ type IterStats struct {
 	// Clone it to retain a snapshot — this is how animations are
 	// captured.
 	Grid *grid.Grid
+
+	// frontier lazily yields the worklist this iteration computed
+	// (lazy variants only; nil otherwise). Called at most once, only
+	// when a checkpoint is actually saved.
+	frontier func() []int32
 }
 
 func (p Params) withDefaults() Params {
@@ -140,6 +157,16 @@ func Run(name string, g *grid.Grid, p Params) (sandpile.Result, error) {
 	if err != nil {
 		return sandpile.Result{}, err
 	}
+	var cs *ckptState
+	if p.Ckpt != nil {
+		// Install the checkpoint hook before the tracer wrap so
+		// iteration spans include the save cost (the store also emits
+		// its own ckpt.save spans).
+		cs, err = setupCheckpoint(&p, g)
+		if err != nil {
+			return sandpile.Result{}, fmt.Errorf("engine: checkpoint: %w", err)
+		}
+	}
 	if tr := p.Obs.Tracer; tr != nil {
 		// Piggyback per-iteration spans on the monitor hook: wrapping
 		// OnIteration switches every variant to its monitored loop, so
@@ -162,6 +189,14 @@ func Run(name string, g *grid.Grid, p Params) (sandpile.Result, error) {
 	res, err := runGuarded(name, v, g, p)
 	if err != nil {
 		return sandpile.Result{}, err
+	}
+	if cs != nil {
+		res.Iterations += cs.iters
+		res.Topples += cs.topples
+		res.Absorbed += cs.absorbed
+		if cs.err != nil {
+			return res, fmt.Errorf("engine: checkpoint save: %w", cs.err)
+		}
 	}
 	if m := p.Obs.Metrics; m != nil {
 		m.Counter("engine.runs").Inc()
@@ -479,7 +514,15 @@ func makeLazyFrontier(inner bool) func(*grid.Grid, Params) sandpile.Result {
 		tileChanges := make([]int, nTiles)
 		tileEdges := make([]uint8, nTiles)
 		fr := grid.NewFrontier(nTiles, 1)
-		fr.SeedAll(nil)
+		if seedResumeFrontier(fr, tl, p.resumeFrontier, func(int) int { return 0 }) {
+			// Resuming on a partial frontier: tiles outside it will
+			// never be computed into `next`, so restore the two-buffer
+			// coherence invariant up front by cloning the restored
+			// state into the write buffer.
+			next.CopyFrom(g)
+		} else {
+			fr.SeedAll(nil)
+		}
 		gFrontier, cSkipped := frontierObs(p)
 
 		var c, n *grid.Grid
@@ -524,7 +567,8 @@ func makeLazyFrontier(inner bool) func(*grid.Grid, Params) sandpile.Result {
 			}
 			res.Topples += uint64(total)
 			if p.OnIteration != nil {
-				p.OnIteration(IterStats{Iteration: iter, Changes: total, ActiveTiles: len(active), Grid: next})
+				p.OnIteration(IterStats{Iteration: iter, Changes: total, ActiveTiles: len(active), Grid: next,
+					frontier: func() []int32 { return active }})
 			}
 			cur, next = next, cur
 			if total == 0 || res.Iterations >= p.MaxIters {
@@ -668,7 +712,9 @@ func runAsyncWavesFrontier(g *grid.Grid, p Params) sandpile.Result {
 	nTiles := tl.NumTiles()
 	topples := make([]int, nTiles)
 	fr := grid.NewFrontier(nTiles, 4)
-	fr.SeedAll(func(id int32) int { return tl.Wave(int(id)) })
+	if !seedResumeFrontier(fr, tl, p.resumeFrontier, tl.Wave) {
+		fr.SeedAll(func(id int32) int { return tl.Wave(int(id)) })
+	}
 	gFrontier, cSkipped := frontierObs(p)
 
 	var doTrace bool
@@ -711,7 +757,14 @@ func runAsyncWavesFrontier(g *grid.Grid, p Params) sandpile.Result {
 		}
 		res.Topples += uint64(total)
 		if p.OnIteration != nil {
-			p.OnIteration(IterStats{Iteration: iter, Changes: total, ActiveTiles: activeTiles, Grid: g})
+			p.OnIteration(IterStats{Iteration: iter, Changes: total, ActiveTiles: activeTiles, Grid: g,
+				frontier: func() []int32 {
+					var ids []int32
+					for k := 0; k < fr.Lanes(); k++ {
+						ids = append(ids, fr.Lane(k)...)
+					}
+					return ids
+				}})
 		}
 		if total == 0 || res.Iterations >= p.MaxIters {
 			break

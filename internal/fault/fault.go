@@ -145,12 +145,17 @@ func Parse(spec string) (*Plan, error) {
 	if strings.TrimSpace(spec) == "" {
 		return nil, fmt.Errorf("fault: empty spec")
 	}
+	seen := map[string]bool{}
 	for _, part := range strings.Split(spec, ",") {
 		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
 		if len(kv) != 2 {
 			return nil, fmt.Errorf("fault: bad spec entry %q (want key=value)", part)
 		}
 		key, val := kv[0], kv[1]
+		if seen[key] {
+			return nil, fmt.Errorf("fault: duplicate key %q (each key may appear once; join crashes with +)", key)
+		}
+		seen[key] = true
 		num := func() (float64, error) { return strconv.ParseFloat(val, 64) }
 		switch key {
 		case "seed":
@@ -167,15 +172,23 @@ func Parse(spec string) (*Plan, error) {
 				}
 				rank, err1 := strconv.Atoi(rr[0])
 				round, err2 := strconv.Atoi(rr[1])
-				if err1 != nil || err2 != nil || rank < 0 || round < 1 {
+				if err1 != nil || err2 != nil || rank < 0 {
 					return nil, fmt.Errorf("fault: bad crash %q", c)
+				}
+				if round < 1 {
+					return nil, fmt.Errorf("fault: bad crash %q (round must be >= 1)", c)
+				}
+				for _, prev := range p.Crashes {
+					if prev.Rank == rank && prev.Round == round {
+						return nil, fmt.Errorf("fault: duplicate crash entry %q", c)
+					}
 				}
 				p.Crashes = append(p.Crashes, Crash{Rank: rank, Round: round})
 			}
 		case "crashp":
 			v, err := num()
-			if err != nil {
-				return nil, fmt.Errorf("fault: bad crashp %q", val)
+			if err != nil || v < 0 || v > 1 {
+				return nil, fmt.Errorf("fault: bad crashp %q (want probability in [0,1])", val)
 			}
 			p.CrashProb = v
 		case "crashwindow":
@@ -183,11 +196,20 @@ func Parse(spec string) (*Plan, error) {
 			if err != nil {
 				return nil, fmt.Errorf("fault: bad crashwindow %q", val)
 			}
+			if n < 1 {
+				return nil, fmt.Errorf("fault: bad crashwindow %q (want at least 1 iteration)", val)
+			}
 			p.CrashWindow = n
 		case "drop", "dup", "delayp", "hostfail", "taskfail", "repair", "retrybase", "retryfactor", "retrymax":
 			v, err := num()
 			if err != nil || v < 0 {
 				return nil, fmt.Errorf("fault: bad %s %q", key, val)
+			}
+			switch key {
+			case "drop", "dup", "delayp", "hostfail", "taskfail":
+				if v > 1 {
+					return nil, fmt.Errorf("fault: bad %s %q (want probability in [0,1])", key, val)
+				}
 			}
 			switch key {
 			case "drop":
@@ -211,14 +233,14 @@ func Parse(spec string) (*Plan, error) {
 			}
 		case "delay":
 			d, err := time.ParseDuration(val)
-			if err != nil {
-				return nil, fmt.Errorf("fault: bad delay %q", val)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("fault: bad delay %q (want non-negative duration)", val)
 			}
 			p.Delay = d
 		case "attempts":
 			n, err := strconv.Atoi(val)
-			if err != nil {
-				return nil, fmt.Errorf("fault: bad attempts %q", val)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("fault: bad attempts %q (want non-negative count)", val)
 			}
 			p.Retry.MaxAttempts = n
 		case "stall":

@@ -2,6 +2,7 @@ package fault
 
 import (
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -32,13 +33,62 @@ func TestParseRoundTrip(t *testing.T) {
 	}
 }
 
+// TestParseErrors is the malformed-spec contract: every bad -faults
+// spec must be rejected with a descriptive error naming the offending
+// key — never silently accepted (last-wins duplicates, negative
+// iterations, and out-of-range probabilities were all accepted before
+// PR 5).
 func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, spec, wantErr string
+	}{
+		{"empty", "", "empty spec"},
+		{"noValue", "seed", "key=value"},
+		{"badSeed", "seed=x", `bad seed "x"`},
+		{"unknownKey", "unknown=1", `unknown spec key "unknown"`},
+		{"crashNoRound", "crash=1", "rank@round"},
+		{"crashBadRank", "crash=x@2", `bad crash "x@2"`},
+		{"crashNegativeRank", "crash=-1@2", `bad crash "-1@2"`},
+		{"crashRoundZero", "crash=1@0", "round must be >= 1"},
+		{"crashRoundNegative", "crash=1@-4", "round must be >= 1"},
+		{"crashDuplicateEntry", "crash=1@3+1@3", `duplicate crash entry "1@3"`},
+		{"duplicateKey", "seed=1,seed=2", `duplicate key "seed"`},
+		{"duplicateCrashKey", "crash=1@3,crash=2@5", `duplicate key "crash"`},
+		{"duplicateProbKey", "drop=0.1,drop=0.2", `duplicate key "drop"`},
+		{"dropNegative", "drop=-1", `bad drop "-1"`},
+		{"dropNotANumber", "drop=x", `bad drop "x"`},
+		{"dropOverOne", "drop=1.5", "probability in [0,1]"},
+		{"crashpOverOne", "crashp=2", "probability in [0,1]"},
+		{"crashpNegative", "crashp=-0.5", "probability in [0,1]"},
+		{"taskfailOverOne", "taskfail=7", "probability in [0,1]"},
+		{"crashwindowZero", "crashwindow=0", "at least 1 iteration"},
+		{"crashwindowNegative", "crashwindow=-3", "at least 1 iteration"},
+		{"delayNoUnit", "delay=5", `bad delay "5"`},
+		{"delayNegative", "delay=-2ms", "non-negative duration"},
+		{"attemptsNegative", "attempts=-1", "non-negative count"},
+		{"stallNegative", "stall=-2", `bad stall "-2"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.spec)
+			if err == nil {
+				t.Fatalf("Parse(%q): want error containing %q, got nil", tc.spec, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Parse(%q): error %q does not mention %q", tc.spec, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// Boundary values stay accepted: probabilities of exactly 0 and 1,
+// round 1, window 1.
+func TestParseBoundaryValues(t *testing.T) {
 	for _, spec := range []string{
-		"", "seed", "seed=x", "crash=1", "crash=x@2", "crash=1@0",
-		"drop=-1", "drop=x", "delay=5", "unknown=1", "stall=-2",
+		"drop=0", "drop=1", "crashp=1,crashwindow=1", "crash=0@1", "attempts=0", "delay=0s",
 	} {
-		if _, err := Parse(spec); err == nil {
-			t.Errorf("Parse(%q): want error, got nil", spec)
+		if _, err := Parse(spec); err != nil {
+			t.Errorf("Parse(%q): unexpected error %v", spec, err)
 		}
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/fault"
 	"repro/internal/grid"
 	"repro/internal/obs"
@@ -107,6 +108,7 @@ type rank struct {
 	abort      chan struct{}
 	inj        *fault.Injector
 	linkWait   time.Duration // halo-receive timeout; 0 = block forever
+	durable    bool          // attach checkpoint rows even without injection
 	msgs       int
 	bytes      uint64
 	redundant  uint64
@@ -153,6 +155,20 @@ func run1d(ctx context.Context, g *grid.Grid, cfg config) (Report, error) {
 
 	before := g.Sum()
 	K, W := cfg.width, g.W()
+	// Durable resume happens before carving, so the strips below are
+	// cut from the restored committed state rather than the initial
+	// one. `before` stays the caller's initial sum: re-running from the
+	// same initial grid therefore reports the same Absorbed total as an
+	// uninterrupted run.
+	startRound, startTopples := 0, uint64(0)
+	var dur *durable
+	if cfg.ck != nil {
+		var err error
+		if startRound, startTopples, err = restoreGhost(cfg.ck, g); err != nil {
+			return Report{}, err
+		}
+		dur = &durable{ck: cfg.ck}
+	}
 	inj := fault.NewInjector(cfg.faults, cfg.obs)
 	hb := cfg.heartbeat
 	if hb <= 0 {
@@ -183,6 +199,23 @@ func run1d(ctx context.Context, g *grid.Grid, cfg config) (Report, error) {
 		ckpts[i] = rows
 		top += owned[i]
 	}
+	if dur != nil {
+		// Strips are stacked top to bottom, so concatenating the
+		// committed checkpoint rows reproduces the global grid.
+		h := g.H()
+		dur.encode = func(round int, topples uint64) []byte {
+			var e ckpt.Enc
+			encodeGhostHeader(&e, round, topples, h, W)
+			for _, rows := range ckpts {
+				for _, row := range rows {
+					for _, v := range row {
+						e.U32(v)
+					}
+				}
+			}
+			return e.Bytes()
+		}
+	}
 
 	var live []*rank // the most recently launched generation
 	launch := func(genID, startRound int, ckpts [][][]uint32) *generation {
@@ -201,6 +234,7 @@ func run1d(ctx context.Context, g *grid.Grid, cfg config) (Report, error) {
 				proceed: make(chan bool, 1),
 				abort:   gen.abort,
 				inj:     inj, linkWait: linkWait,
+				durable: dur != nil,
 			}
 			gen.proceed[i] = r.proceed
 			if tr := cfg.obs.Tracer; tr != nil {
@@ -246,7 +280,7 @@ func run1d(ctx context.Context, g *grid.Grid, cfg config) (Report, error) {
 	}
 
 	rep := Report{Ranks: cfg.ranks, GhostWidth: K}
-	if err := coordinate(ctx, cfg.ranks, K, cfg.maxIters, inj, hb, launch, ckpts, &rep); err != nil {
+	if err := coordinate(ctx, cfg.ranks, K, cfg.maxIters, inj, hb, launch, ckpts, &rep, dur, startRound, startTopples); err != nil {
 		return rep, err
 	}
 
@@ -318,11 +352,11 @@ func (r *rank) run(K, startRound int) {
 			r.tr.Span(r.track, "compute", compTS, r.tr.Now()-compTS,
 				obs.Arg{Key: "changes", Value: int64(roundChanges)})
 		}
-		// With fault injection on, the report carries a checkpoint of
-		// the owned rows; the coordinator installs it once the whole
-		// round commits.
+		// With fault injection or durability on, the report carries a
+		// checkpoint of the owned rows; the coordinator installs it
+		// once the whole round commits.
 		var rows [][]uint32
-		if r.inj != nil {
+		if r.inj != nil || r.durable {
 			rows = make([][]uint32, r.owned)
 			for y := range rows {
 				rows[y] = append([]uint32(nil), r.cur.Row(r.topGhost+y)...)

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/fault"
 	"repro/internal/grid"
 	"repro/internal/obs"
@@ -63,6 +64,7 @@ type rank2d struct {
 	abort    chan struct{}
 	inj      *fault.Injector
 	linkWait time.Duration
+	durable  bool // attach checkpoint rows even without injection
 
 	msgs      int
 	bytes     uint64
@@ -109,6 +111,18 @@ func run2d(ctx context.Context, g *grid.Grid, cfg config) (Report, error) {
 
 	before := g.Sum()
 	n := R * C
+	// Durable resume before carving, exactly as in run1d: blocks are
+	// cut from the restored committed state, and `before` keeps the
+	// caller's initial sum so Absorbed matches an uninterrupted run.
+	startRound, startTopples := 0, uint64(0)
+	var dur *durable
+	if cfg.ck != nil {
+		var err error
+		if startRound, startTopples, err = restoreGhost(cfg.ck, g); err != nil {
+			return Report{}, err
+		}
+		dur = &durable{ck: cfg.ck}
+	}
 	inj := fault.NewInjector(cfg.faults, cfg.obs)
 	hb := cfg.heartbeat
 	if hb <= 0 {
@@ -133,6 +147,25 @@ func run2d(ctx context.Context, g *grid.Grid, cfg config) (Report, error) {
 			ckpts[pr*C+pc] = rows
 		}
 	}
+	if dur != nil {
+		// Reassemble global rows from the committed blocks: each global
+		// row crosses the C blocks of one process-grid row.
+		h, w := g.H(), g.W()
+		dur.encode = func(round int, topples uint64) []byte {
+			var e ckpt.Enc
+			encodeGhostHeader(&e, round, topples, h, w)
+			for pr := 0; pr < R; pr++ {
+				for y := 0; y < rowOf[pr+1]-rowOf[pr]; y++ {
+					for pc := 0; pc < C; pc++ {
+						for _, v := range ckpts[pr*C+pc][y] {
+							e.U32(v)
+						}
+					}
+				}
+			}
+			return e.Bytes()
+		}
+	}
 
 	var live []*rank2d
 	launch := func(genID, startRound int, ckpts [][][]uint32) *generation {
@@ -154,6 +187,7 @@ func run2d(ctx context.Context, g *grid.Grid, cfg config) (Report, error) {
 					proceed: make(chan bool, 1),
 					abort:   gen.abort,
 					inj:     inj, linkWait: linkWait,
+					durable: dur != nil,
 				}
 				gen.proceed[id] = r.proceed
 				if pr > 0 {
@@ -222,7 +256,7 @@ func run2d(ctx context.Context, g *grid.Grid, cfg config) (Report, error) {
 	}
 
 	rep := Report{Ranks: n, GhostWidth: K}
-	if err := coordinate(ctx, n, K, cfg.maxIters, inj, hb, launch, ckpts, &rep); err != nil {
+	if err := coordinate(ctx, n, K, cfg.maxIters, inj, hb, launch, ckpts, &rep, dur, startRound, startTopples); err != nil {
 		return rep, err
 	}
 
@@ -318,7 +352,7 @@ func (r *rank2d) run(K, startRound int) {
 				obs.Arg{Key: "changes", Value: int64(roundChanges)})
 		}
 		var rows [][]uint32
-		if r.inj != nil {
+		if r.inj != nil || r.durable {
 			rows = make([][]uint32, r.ownH)
 			for y := range rows {
 				rows[y] = append([]uint32(nil), r.cur.Row(r.gTop+y)[r.gLeft:r.gLeft+r.ownW]...)

@@ -10,6 +10,7 @@ import (
 	"context"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/fault"
 	"repro/internal/grid"
 	"repro/internal/obs"
@@ -24,6 +25,7 @@ type config struct {
 	obs                obs.Sink
 	faults             *fault.Plan
 	heartbeat          time.Duration
+	ck                 *ckpt.Checkpointer
 }
 
 // Option configures a Runner built with New.
@@ -58,6 +60,13 @@ func WithFaults(p *fault.Plan) Option { return func(c *config) { c.faults = p } 
 // reports before declaring a rank dead (default 2s; only meaningful
 // with WithFaults). Halo receives time out at a quarter of this.
 func WithHeartbeat(d time.Duration) Option { return func(c *config) { c.heartbeat = d } }
+
+// WithCheckpoint enables durable checkpoint/restart (see ckpt.go):
+// committed rounds are persisted through ck at its cadence, and a
+// resuming checkpointer restores the newest valid snapshot before the
+// run starts, continuing from the committed round it holds. nil
+// disables durability.
+func WithCheckpoint(ck *ckpt.Checkpointer) Option { return func(c *config) { c.ck = ck } }
 
 // Runner is a configured distributed run over one grid.
 type Runner struct {

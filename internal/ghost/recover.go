@@ -55,21 +55,25 @@ type generation struct {
 // abort the generation and relaunch from the last committed
 // checkpoint set. launch builds a generation whose ranks resume after
 // startRound with the given owned-cell checkpoints. ckpts must hold
-// the initial scattered state on entry. On a nil return the final
-// generation has exited and its ranks hold the fixed point.
+// the scattered state of round startRound on entry (the initial state
+// on a fresh run, the restored snapshot on a durable resume), and
+// startTopples the topples already committed by those rounds. dur,
+// when non-nil, persists committed rounds at its cadence. On a nil
+// return the final generation has exited and its ranks hold the fixed
+// point.
 func coordinate(ctx context.Context, nRanks, K, maxIters int,
 	inj *fault.Injector, hb time.Duration,
 	launch func(genID, startRound int, ckpts [][][]uint32) *generation,
-	ckpts [][][]uint32, rep *Report) error {
+	ckpts [][][]uint32, rep *Report, dur *durable, startRound int, startTopples uint64) error {
 
-	committed := 0
-	var topples uint64
+	committed := startRound
+	topples := startTopples
 	genID := 0
 	for {
 		genID++
 		g := launch(genID, committed, ckpts)
 		err := collectRounds(ctx, g, genID, nRanks, K, maxIters, inj, hb,
-			&committed, &topples, ckpts, rep)
+			&committed, &topples, ckpts, rep, dur)
 		if err == errGenerationDead {
 			// Recovery: kill the survivors, then rebuild everything
 			// from the checkpoint set of round `committed`.
@@ -106,7 +110,7 @@ var errGenerationDead = fmt.Errorf("ghost: generation dead")
 // (errGenerationDead).
 func collectRounds(ctx context.Context, g *generation, genID, nRanks, K, maxIters int,
 	inj *fault.Injector, hb time.Duration,
-	committed *int, topples *uint64, ckpts [][][]uint32, rep *Report) error {
+	committed *int, topples *uint64, ckpts [][][]uint32, rep *Report, dur *durable) error {
 
 	for {
 		round := *committed + 1
@@ -114,7 +118,7 @@ func collectRounds(ctx context.Context, g *generation, genID, nRanks, K, maxIter
 		total := 0
 		seen := make([]bool, nRanks)
 		var rows [][][]uint32
-		if inj != nil {
+		if inj != nil || dur != nil {
 			rows = make([][][]uint32, nRanks)
 		}
 		var timeout <-chan time.Time
@@ -158,6 +162,14 @@ func collectRounds(ctx context.Context, g *generation, genID, nRanks, K, maxIter
 			copy(ckpts, rows)
 		}
 		cont := total != 0 && round*K < maxIters
+		if cont {
+			// Persist the committed round before releasing the ranks, so
+			// the on-disk snapshot never runs ahead of the generation.
+			// The finishing round is deliberately not saved (see ckpt.go).
+			if err := dur.save(round, *topples); err != nil {
+				return fmt.Errorf("ghost: checkpoint: %w", err)
+			}
+		}
 		for _, ch := range g.proceed {
 			ch <- cont
 		}

@@ -154,7 +154,7 @@ func benchShuffle1M(b *testing.B, naive bool) {
 	splits := splitInputs(uniformCorpus1M(), cfg.MapTasks)
 	mapOut := make([][]run[string, int], len(splits))
 	for t, split := range splits {
-		out, _, _, err := job.runMapTask(t, split, cfg, nil)
+		out, _, _, err := job.runMapTask(context.Background(), t, split, cfg, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

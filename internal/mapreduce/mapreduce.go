@@ -29,6 +29,7 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"time"
 
 	"repro/internal/fault"
 	"repro/internal/obs"
@@ -80,6 +81,11 @@ type Config[K cmp.Ordered] struct {
 	Parallelism int
 	// MaxAttempts is the per-task retry budget; 0 means 1 (no retry).
 	MaxAttempts int
+	// RetryBackoff is the base sleep between task attempts, growing
+	// exponentially (base, 2·base, 4·base, … capped at 32·base). The
+	// sleep is context-aware — cancellation aborts it immediately.
+	// 0 retries back-to-back.
+	RetryBackoff time.Duration
 	// Partitioner routes keys to reduce partitions; nil means
 	// HashPartitioner.
 	Partitioner Partitioner[K]
@@ -173,6 +179,7 @@ type Stats struct {
 	TaskRetries    int // failed task attempts that were retried
 	ShuffleRuns    int // non-empty sorted runs fed to the shuffle merges (0 with ReferenceShuffle)
 	MergePasses    int // per-partition k-way merge passes executed (0 with ReferenceShuffle)
+	MapTasksResumed int // map tasks restored from spill files instead of executed (0 without Job.Spill)
 }
 
 // Job binds the phases of one MapReduce computation.
@@ -183,6 +190,11 @@ type Job[I any, K cmp.Ordered, V, O any] struct {
 	Reduce   Reducer[K, V, O]
 	Config   Config[K]
 	Counters *Counters // optional; created on demand
+	// Spill makes map-task output durable: completed tasks persist
+	// their sorted runs to Spill.Dir and a re-run of the same job
+	// resumes from the first unfinished task (see spill.go). nil
+	// keeps everything in memory.
+	Spill *Spill[K, V]
 }
 
 // Run executes the job over the input records and returns the reduce
@@ -205,6 +217,11 @@ func (j *Job[I, K, V, O]) RunContext(ctx context.Context, inputs []I) ([]O, Stat
 		j.Counters = NewCounters()
 	}
 	inj := fault.NewInjector(cfg.Faults, cfg.Obs)
+	if j.Spill != nil {
+		if err := j.Spill.prepare(); err != nil {
+			return nil, Stats{}, err
+		}
+	}
 
 	splits := splitInputs(inputs, cfg.MapTasks)
 	stats := Stats{MapTasks: len(splits), ReduceTasks: cfg.ReduceTasks}
@@ -222,7 +239,26 @@ func (j *Job[I, K, V, O]) RunContext(ctx context.Context, inputs []I) ([]O, Stat
 	err := runTasks(ctx, len(splits), cfg.Parallelism, func(t int) error {
 		split := splits[t]
 		mapTS := tr.Now()
-		out, emitted, attempts, err := j.runMapTask(t, split, cfg, inj)
+		if j.Spill != nil {
+			if out, emitted, ok := j.Spill.load(t, cfg.ReduceTasks); ok {
+				mapOut[t] = out
+				statsMu.Lock()
+				stats.MapOutputs += emitted
+				stats.MapTasksResumed++
+				statsMu.Unlock()
+				j.Counters.Add("map.outputs", int64(emitted))
+				if m := cfg.Obs.Metrics; m != nil {
+					m.Counter("ckpt.spill_resumed").Inc()
+				}
+				if tr != nil {
+					tr.Span(tr.Track("mapreduce-map", t, fmt.Sprintf("map task %d", t)),
+						"map(resumed)", mapTS, tr.Now()-mapTS,
+						obs.Arg{Key: "emitted", Value: int64(emitted)})
+				}
+				return nil
+			}
+		}
+		out, emitted, attempts, err := j.runMapTask(ctx, t, split, cfg, inj)
 		if tr != nil {
 			tr.Span(tr.Track("mapreduce-map", t, fmt.Sprintf("map task %d", t)),
 				"map", mapTS, tr.Now()-mapTS,
@@ -231,6 +267,14 @@ func (j *Job[I, K, V, O]) RunContext(ctx context.Context, inputs []I) ([]O, Stat
 		}
 		if err != nil {
 			return fmt.Errorf("mapreduce: map task %d: %w", t, err)
+		}
+		if j.Spill != nil {
+			if err := j.Spill.save(t, out, emitted); err != nil {
+				return fmt.Errorf("mapreduce: map task %d spill: %w", t, err)
+			}
+			if m := cfg.Obs.Metrics; m != nil {
+				m.Counter("ckpt.spill_saves").Inc()
+			}
 		}
 		mapOut[t] = out
 		statsMu.Lock()
@@ -304,7 +348,7 @@ func (j *Job[I, K, V, O]) reducePhase(ctx context.Context, mapOut [][]run[K, V],
 		emit := func(o O) { out = append(out, o) }
 		pairs, groups, err := mergeRuns(runs, func(key K, values []V, gi int) error {
 			hGroup.Observe(float64(len(values)))
-			attempts, rerr := retryTask(cfg.MaxAttempts, func(attempt int) error {
+			attempts, rerr := retryTask(ctx, cfg.MaxAttempts, cfg.RetryBackoff, func(attempt int) error {
 				if inj.TaskFails("reduce", attempt, p, gi) {
 					return fault.ErrInjected
 				}
@@ -408,10 +452,10 @@ func runTasks(ctx context.Context, n, parallelism int, fn func(task int) error) 
 // granularity, inside the already-parallel map phase — the shuffle
 // then only merges. It returns the per-partition runs, the raw
 // emission count, the number of attempts, and the final error.
-func (j *Job[I, K, V, O]) runMapTask(t int, split []I, cfg Config[K], inj *fault.Injector) ([]run[K, V], int, int, error) {
+func (j *Job[I, K, V, O]) runMapTask(ctx context.Context, t int, split []I, cfg Config[K], inj *fault.Injector) ([]run[K, V], int, int, error) {
 	var parts []run[K, V]
 	emitted := 0
-	attempts, err := retryTask(cfg.MaxAttempts, func(attempt int) error {
+	attempts, err := retryTask(ctx, cfg.MaxAttempts, cfg.RetryBackoff, func(attempt int) error {
 		if inj.TaskFails("map", attempt, t) {
 			return fault.ErrInjected
 		}
@@ -451,15 +495,56 @@ func (j *Job[I, K, V, O]) runMapTask(t int, split []I, cfg Config[K], inj *fault
 
 // retryTask runs fn up to maxAttempts times (fn receives the 1-based
 // attempt number), returning the number of attempts made and the last
-// error (nil on success).
-func retryTask(maxAttempts int, fn func(attempt int) error) (int, error) {
+// error (nil on success). Between attempts it sleeps an exponential
+// backoff (backoff, 2·backoff, 4·backoff, … capped at 32·backoff;
+// zero backoff disables the sleep) — and the sleep is context-aware:
+// ctx cancellation aborts the wait immediately and surfaces ctx.Err()
+// instead of burning the remaining attempts.
+func retryTask(ctx context.Context, maxAttempts int, backoff time.Duration, fn func(attempt int) error) (int, error) {
 	var err error
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
 		if err = fn(attempt); err == nil {
 			return attempt, nil
 		}
+		if attempt == maxAttempts {
+			break
+		}
+		if cerr := sleepContext(ctx, backoffDelay(backoff, attempt)); cerr != nil {
+			return attempt, cerr
+		}
 	}
 	return maxAttempts, err
+}
+
+// backoffDelay is the attempt'th retry delay: base·2^(attempt-1),
+// capped at 32·base.
+func backoffDelay(base time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	shift := attempt - 1
+	if shift > 5 {
+		shift = 5
+	}
+	return base << shift
+}
+
+// sleepContext waits d or until ctx is cancelled, whichever comes
+// first, returning ctx.Err() on cancellation (also when d is zero and
+// ctx is already dead — a cancelled job never starts another
+// attempt).
+func sleepContext(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // splitInputs partitions inputs into n contiguous splits (or one

@@ -1,0 +1,93 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// The satellite-2 contract: an exponential-backoff sleep between task
+// attempts must abort immediately when the context is cancelled, not
+// finish the sleep. The always-fail mapper cancels the job on its
+// first attempt; with a 10s base backoff the job must still return in
+// well under a second, with ctx.Err() as the error.
+func TestRetryBackoffAbortsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("boom")
+	job := &Job[int, string, int, string]{
+		Map: func(rec int, emit func(string, int)) error {
+			cancel()
+			return boom
+		},
+		Reduce: func(k string, vs []int, emit func(string)) error { return nil },
+		Config: Config[string]{
+			MapTasks:     1,
+			MaxAttempts:  5,
+			RetryBackoff: 10 * time.Second,
+		},
+	}
+	start := time.Now()
+	_, _, err := job.RunContext(ctx, []int{1, 2, 3})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("job took %v — the backoff sleep ignored cancellation", elapsed)
+	}
+}
+
+// With a live context the backoff actually waits between attempts and
+// the retry budget still wins.
+func TestRetryBackoffDelaysAttempts(t *testing.T) {
+	var stamps []time.Time
+	job := &Job[int, string, int, string]{
+		Map: func(rec int, emit func(string, int)) error {
+			stamps = append(stamps, time.Now())
+			if len(stamps) < 3 {
+				return errors.New("transient")
+			}
+			emit("k", 1)
+			return nil
+		},
+		Reduce: func(k string, vs []int, emit func(string)) error {
+			emit("ok")
+			return nil
+		},
+		Config: Config[string]{
+			MapTasks:     1,
+			MaxAttempts:  3,
+			RetryBackoff: 20 * time.Millisecond,
+		},
+	}
+	out, stats, err := job.Run([]int{1})
+	if err != nil || len(out) != 1 {
+		t.Fatalf("out=%v stats=%+v err=%v", out, stats, err)
+	}
+	if len(stamps) != 3 || stats.TaskRetries != 2 {
+		t.Fatalf("attempts=%d retries=%d, want 3 attempts / 2 retries", len(stamps), stats.TaskRetries)
+	}
+	// Exponential: gap1 >= base, gap2 >= 2·base.
+	if g := stamps[1].Sub(stamps[0]); g < 20*time.Millisecond {
+		t.Fatalf("first backoff gap %v < base", g)
+	}
+	if g := stamps[2].Sub(stamps[1]); g < 40*time.Millisecond {
+		t.Fatalf("second backoff gap %v < 2·base", g)
+	}
+}
+
+func TestBackoffDelayCap(t *testing.T) {
+	base := 10 * time.Millisecond
+	for attempt, want := range map[int]time.Duration{
+		1: base, 2: 2 * base, 3: 4 * base, 6: 32 * base, 9: 32 * base,
+	} {
+		if got := backoffDelay(base, attempt); got != want {
+			t.Errorf("backoffDelay(base, %d) = %v, want %v", attempt, got, want)
+		}
+	}
+	if got := backoffDelay(0, 3); got != 0 {
+		t.Errorf("zero base gave %v", got)
+	}
+}

@@ -78,7 +78,7 @@ func (j *Job[I, K, V, O]) RunSpeculative(inputs []I, spec SpecConfig) ([]O, Spec
 				time.Sleep(d)
 			}
 		}
-		parts, emitted, _, err := j.runMapTask(t, splits[t], cfg, nil)
+		parts, emitted, _, err := j.runMapTask(context.Background(), t, splits[t], cfg, nil)
 		mu.Lock()
 		if !settled[t] {
 			settled[t] = true

@@ -1,0 +1,165 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+func spillWordCount(spill *Spill[string, int]) *Job[string, string, int, string] {
+	return &Job[string, string, int, string]{
+		Name: "wc",
+		Map: func(line string, emit func(string, int)) error {
+			for _, w := range strings.Fields(line) {
+				emit(w, 1)
+			}
+			return nil
+		},
+		Combine: func(k string, vs []int) ([]int, error) {
+			sum := 0
+			for _, v := range vs {
+				sum += v
+			}
+			return []int{sum}, nil
+		},
+		Reduce: func(k string, vs []int, emit func(string)) error {
+			sum := 0
+			for _, v := range vs {
+				sum += v
+			}
+			emit(fmt.Sprintf("%s %d", k, sum))
+			return nil
+		},
+		Config: Config[string]{MapTasks: 8, ReduceTasks: 3},
+		Spill:  spill,
+	}
+}
+
+func spillCorpus(seed int64, lines int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	vocab := []string{"the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog", "peachy", "parallel"}
+	out := make([]string, lines)
+	for i := range out {
+		var b strings.Builder
+		for w := 0; w < 5+rng.Intn(10); w++ {
+			b.WriteString(vocab[rng.Intn(len(vocab))])
+			b.WriteByte(' ')
+		}
+		out[i] = b.String()
+	}
+	return out
+}
+
+// A job with spills enabled must produce output identical to one
+// without, persist one file per map task, and — after some spills are
+// lost or corrupted — resume the surviving tasks while silently
+// re-executing the damaged ones.
+func TestSpillResumeProducesIdenticalOutput(t *testing.T) {
+	inputs := spillCorpus(1, 64)
+	ref, refStats, err := spillWordCount(nil).Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	out1, stats1, err := spillWordCount(NewStringIntSpill(dir, "wc")).Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(out1) != fmt.Sprint(ref) {
+		t.Fatalf("spill-enabled output diverged:\n%v\nvs\n%v", out1, ref)
+	}
+	if stats1.MapTasksResumed != 0 {
+		t.Fatalf("fresh run resumed %d tasks", stats1.MapTasksResumed)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "wc-map-*.ckpt"))
+	if len(files) != refStats.MapTasks {
+		t.Fatalf("spill files = %d, want %d", len(files), refStats.MapTasks)
+	}
+
+	// Simulate a killed run: lose one spill, truncate another, flip a
+	// byte in a third. The resumed job must re-execute exactly those
+	// three tasks and still match the reference byte for byte.
+	os.Remove(files[0])
+	os.Truncate(files[1], 7)
+	buf, _ := os.ReadFile(files[2])
+	buf[len(buf)/2] ^= 0xff
+	os.WriteFile(files[2], buf, 0o644)
+
+	out2, stats2, err := spillWordCount(NewStringIntSpill(dir, "wc")).Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(out2) != fmt.Sprint(ref) {
+		t.Fatalf("resumed output diverged:\n%v\nvs\n%v", out2, ref)
+	}
+	if want := refStats.MapTasks - 3; stats2.MapTasksResumed != want {
+		t.Fatalf("resumed %d tasks, want %d", stats2.MapTasksResumed, want)
+	}
+
+	// A fully-spilled rerun resumes every task.
+	out3, stats3, err := spillWordCount(NewStringIntSpill(dir, "wc")).Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(out3) != fmt.Sprint(ref) || stats3.MapTasksResumed != refStats.MapTasks {
+		t.Fatalf("full resume: resumed=%d want=%d", stats3.MapTasksResumed, refStats.MapTasks)
+	}
+}
+
+// Spills interoperate with fault injection: the injected failure
+// schedule is keyed by attempt, so a resumed run (which skips the
+// whole task) still converges on the identical output.
+func TestSpillWithFaultInjection(t *testing.T) {
+	inputs := spillCorpus(2, 48)
+	mk := func(spill *Spill[string, int]) *Job[string, string, int, string] {
+		j := spillWordCount(spill)
+		j.Config.Faults = &fault.Plan{Seed: 1, TaskFail: 0.3, Retry: fault.RetryPolicy{MaxAttempts: 6}}
+		return j
+	}
+	ref, _, err := mk(nil).Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, _, err := mk(NewStringIntSpill(dir, "wc")).Run(inputs); err != nil {
+		t.Fatal(err)
+	}
+	out, stats, err := mk(NewStringIntSpill(dir, "wc")).Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(out) != fmt.Sprint(ref) {
+		t.Fatal("fault-injected resume diverged from reference")
+	}
+	if stats.MapTasksResumed == 0 {
+		t.Fatal("no tasks resumed")
+	}
+}
+
+// The int codec round-trips negative and large values; the string
+// codec rejects truncation.
+func TestSpillCodecs(t *testing.T) {
+	for _, v := range []int{0, -1, 1 << 40, -(1 << 40)} {
+		buf := AppendInt(nil, v)
+		got, rest, err := ReadInt(buf)
+		if err != nil || got != v || len(rest) != 0 {
+			t.Fatalf("int %d: got %d err %v", v, got, err)
+		}
+	}
+	buf := AppendString(nil, "héllo wörld")
+	got, rest, err := ReadString(buf)
+	if err != nil || got != "héllo wörld" || len(rest) != 0 {
+		t.Fatalf("string round trip: %q %v", got, err)
+	}
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := ReadString(buf[:cut]); err == nil {
+			t.Fatalf("cut=%d: truncation accepted", cut)
+		}
+	}
+}

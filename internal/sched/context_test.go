@@ -1,0 +1,93 @@
+package sched
+
+import (
+	"context"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunContextDrainsInFlightChunks is the checkpoint-safety
+// contract: once RunContext returns — cancelled or not — no body may
+// still be executing, so state snapshotted right after cancellation
+// can never catch a half-written row. Run under -race this also
+// guards abort()'s cursor sentinel: the watcher goroutine fires
+// concurrently with Run's prologue, where reading p.n would race.
+func TestRunContextDrainsInFlightChunks(t *testing.T) {
+	for _, policy := range []Policy{Static, Cyclic, Dynamic, Guided, Stealing} {
+		t.Run(policy.String(), func(t *testing.T) {
+			p := NewPool(Options{Workers: 4, Policy: policy, ChunkSize: 3})
+			defer p.Close()
+
+			rng := rand.New(rand.NewSource(1))
+			var inFlight atomic.Int32
+			for iter := 0; iter < 60; iter++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				// Cancel from another goroutine at a random point —
+				// sometimes before the region starts, sometimes mid-
+				// iteration — to exercise the watcher/prologue window.
+				delay := time.Duration(rng.Intn(120)) * time.Microsecond
+				go func() {
+					time.Sleep(delay)
+					cancel()
+				}()
+				err := p.RunContext(ctx, 256, func(worker, lo, hi int) {
+					inFlight.Add(1)
+					time.Sleep(20 * time.Microsecond)
+					inFlight.Add(-1)
+				})
+				if n := inFlight.Load(); n != 0 {
+					t.Fatalf("iter %d: %d bodies still running after RunContext returned", iter, n)
+				}
+				if err != nil && err != context.Canceled {
+					t.Fatalf("iter %d: err = %v", iter, err)
+				}
+				cancel()
+			}
+		})
+	}
+}
+
+// TestRunContextCancelMidIteration pins the "cancel definitely lands
+// while chunks are executing" case: the body itself cancels partway
+// through, and the region must stop early yet leave every started
+// chunk fully applied (begin/end markers both written).
+func TestRunContextCancelMidIteration(t *testing.T) {
+	for _, policy := range []Policy{Dynamic, Guided, Stealing} {
+		t.Run(policy.String(), func(t *testing.T) {
+			p := NewPool(Options{Workers: 4, Policy: policy, ChunkSize: 1})
+			defer p.Close()
+
+			const n = 400
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var began, ended [n]atomic.Bool
+			err := p.RunContext(ctx, n, func(worker, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					began[i].Store(true)
+					if i == 37 {
+						cancel()
+					}
+					time.Sleep(5 * time.Microsecond)
+					ended[i].Store(true)
+				}
+			})
+			if err != context.Canceled {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			done := 0
+			for i := 0; i < n; i++ {
+				if began[i].Load() != ended[i].Load() {
+					t.Fatalf("index %d: chunk began but did not finish before return", i)
+				}
+				if ended[i].Load() {
+					done++
+				}
+			}
+			if done == n {
+				t.Fatal("cancellation did not stop the region early")
+			}
+		})
+	}
+}

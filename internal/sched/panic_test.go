@@ -69,7 +69,13 @@ func TestRunContextCancelStopsClaiming(t *testing.T) {
 			if !errors.Is(err, context.Canceled) {
 				t.Fatalf("RunContext err = %v, want Canceled", err)
 			}
-			if n := ran.Load(); n >= 100000 {
+			// Cancellation stops the claiming of NEW chunks. Static
+			// hands each worker exactly one contiguous block up front,
+			// so a worker that entered its block before the abort
+			// finishes it — whether any block is skipped is a race
+			// against worker startup, so the early-exit assertion
+			// only holds for the chunked policies.
+			if n := ran.Load(); pol != Static && n >= 100000 {
 				t.Fatalf("cancellation did not stop the region (ran %d)", n)
 			}
 

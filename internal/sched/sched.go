@@ -334,12 +334,24 @@ func (p *Pool) runRegionGuarded(id int) {
 	p.runRegion(id)
 }
 
+// abortCursor is the sentinel abort() pushes into the claim counter:
+// far past any region length, so Dynamic's "lo >= n" and Guided's
+// "remaining <= 0" exits trip on the very next claim. A sentinel —
+// not int64(p.n) — because abort runs on RunContext's watcher
+// goroutine, where reading the plain p.n field would race with the
+// next Run's prologue write.
+const abortCursor = int64(1) << 62
+
 // abort stops the in-flight region: policy loops check the flag per
-// chunk, and pushing cursor past n unblocks the Dynamic/Guided
-// counter claims immediately.
+// chunk, and pushing cursor past any possible n unblocks the
+// Dynamic/Guided counter claims immediately. In-flight chunks are
+// never interrupted — Run's completion barrier still waits for every
+// worker to finish its current body call, so when RunContext returns
+// no body is executing and a checkpoint taken right after
+// cancellation cannot observe a half-written row.
 func (p *Pool) abort() {
 	p.aborted.Store(true)
-	p.cursor.Store(int64(p.n))
+	p.cursor.Store(abortCursor)
 }
 
 func (p *Pool) runRegion(id int) {

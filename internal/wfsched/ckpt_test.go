@@ -1,0 +1,91 @@
+package wfsched
+
+import (
+	"testing"
+
+	"repro/internal/ckpt"
+)
+
+func sweepCheckpointer(t *testing.T, dir string, every int64) *ckpt.Checkpointer {
+	t.Helper()
+	store, err := ckpt.Open(dir, "sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ckpt.NewCheckpointer(store, every, true)
+}
+
+// A sweep interrupted mid-way (simulated by running only its first
+// chunks through the persistence path, then re-running) must produce
+// results identical to the uninterrupted sweep, with the restored
+// prefix byte-equal rather than re-simulated.
+func TestCheckpointedSweepMatchesUninterrupted(t *testing.T) {
+	sc := smallScenario()
+	choices := paretoChoices()
+	want := EvaluateFractions(sc, choices)
+
+	// Uninterrupted checkpointed run: identical output.
+	dir := t.TempDir()
+	got, err := EvaluateFractionsCheckpointed(sc, choices, sweepCheckpointer(t, dir, 128), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("results = %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Outcome != want[i].Outcome {
+			t.Fatalf("result %d diverged: %+v vs %+v", i, got[i].Outcome, want[i].Outcome)
+		}
+	}
+
+	// The run above saved intermediate prefixes; a fresh call resumes
+	// from the newest one and still matches.
+	resumed, err := EvaluateFractionsCheckpointed(sc, choices, sweepCheckpointer(t, dir, 128), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range resumed {
+		if resumed[i].Outcome != want[i].Outcome {
+			t.Fatalf("resumed result %d diverged", i)
+		}
+		if len(resumed[i].Fractions) != len(want[i].Fractions) {
+			t.Fatalf("resumed result %d missing fractions", i)
+		}
+		for l := range resumed[i].Fractions {
+			if resumed[i].Fractions[l] != want[i].Fractions[l] {
+				t.Fatalf("resumed result %d fractions %v, want %v",
+					i, resumed[i].Fractions, want[i].Fractions)
+			}
+		}
+	}
+}
+
+// A snapshot from a differently-shaped sweep is rejected.
+func TestCheckpointedSweepShapeMismatch(t *testing.T) {
+	sc := smallScenario()
+	dir := t.TempDir()
+	if _, err := EvaluateFractionsCheckpointed(sc, paretoChoices(), sweepCheckpointer(t, dir, 64), 64); err != nil {
+		t.Fatal(err)
+	}
+	small := [][]float64{{0, 1}, {0, 1}}
+	if _, err := EvaluateFractionsCheckpointed(sc, small, sweepCheckpointer(t, dir, 64), 64); err == nil {
+		t.Fatal("mismatched sweep shape resumed without error")
+	}
+}
+
+// nil checkpointer degrades to the plain sweep.
+func TestCheckpointedSweepNilCheckpointer(t *testing.T) {
+	sc := smallScenario()
+	choices := [][]float64{{0, 1}, {0, 1}, {0, 1}}
+	want := EvaluateFractions(sc, choices)
+	got, err := EvaluateFractionsCheckpointed(sc, choices, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i].Outcome != want[i].Outcome {
+			t.Fatalf("result %d diverged", i)
+		}
+	}
+}

@@ -19,15 +19,24 @@ import (
 // CPUs. It is the data source for ParetoFrontier and for exhaustive
 // optimization over criteria other than CO2.
 func EvaluateFractions(sc Scenario, choices [][]float64) []FractionResult {
+	total, _ := fractionSpace(choices)
+	results := make([]FractionResult, total)
+	evaluateRange(sc, choices, results, 0, total)
+	return results
+}
+
+// fractionSpace sizes the mixed-radix placement space and returns the
+// index decoder (index -> per-level fractions).
+func fractionSpace(choices [][]float64) (total int, decode func(int) []float64) {
 	depth := len(choices)
-	total := 1
+	total = 1
 	for _, c := range choices {
 		if len(c) == 0 {
 			panic("wfsched: empty choice list")
 		}
 		total *= len(c)
 	}
-	decode := func(idx int) []float64 {
+	decode = func(idx int) []float64 {
 		fr := make([]float64, depth)
 		for l := depth - 1; l >= 0; l-- {
 			n := len(choices[l])
@@ -36,8 +45,16 @@ func EvaluateFractions(sc Scenario, choices [][]float64) []FractionResult {
 		}
 		return fr
 	}
-	results := make([]FractionResult, total)
-	var next atomic.Int64
+	return total, decode
+}
+
+// evaluateRange simulates placements [lo, hi) into results, fanning
+// out over all CPUs. Entries outside the range are left untouched, so
+// a checkpointed sweep can fill the space chunk by chunk.
+func evaluateRange(sc Scenario, choices [][]float64, results []FractionResult, lo, hi int) {
+	_, decode := fractionSpace(choices)
+	next := atomic.Int64{}
+	next.Store(int64(lo))
 	var wg sync.WaitGroup
 	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
 		wg.Add(1)
@@ -45,7 +62,7 @@ func EvaluateFractions(sc Scenario, choices [][]float64) []FractionResult {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= total {
+				if i >= hi {
 					return
 				}
 				fr := decode(i)
@@ -54,7 +71,6 @@ func EvaluateFractions(sc Scenario, choices [][]float64) []FractionResult {
 		}()
 	}
 	wg.Wait()
-	return results
 }
 
 // ParetoFrontier filters results down to the placements that are not
