@@ -1,7 +1,7 @@
 # Tier-1 verification plus race detection in one command: `make check`.
 GO ?= go
 
-.PHONY: build test race vet check soak bench-baseline bench-compare
+.PHONY: build test race vet check soak smoke-telemetry bench-baseline bench-compare
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,12 @@ SOAK_SEED ?= 1
 
 soak:
 	$(GO) run ./cmd/chaos -quick -kills $(SOAK_KILLS) -seed $(SOAK_SEED)
+
+# Boot a real run with -obs-listen and scrape /metrics, /healthz,
+# /progress, and /events the way Prometheus / an operator would,
+# asserting on the payloads. See scripts/telemetry_smoke.sh.
+smoke-telemetry:
+	./scripts/telemetry_smoke.sh
 
 # Record the perf trajectory future PRs diff against. -benchtime=100ms
 # keeps the sweep to a couple of minutes; bump it for headline numbers.

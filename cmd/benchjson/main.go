@@ -26,6 +26,8 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+
+	"repro/internal/obs"
 )
 
 // Entry is one benchmark's measurements.
@@ -212,7 +214,15 @@ func main() {
 	goVersion := flag.String("go-version", "", "record this Go version in the baseline")
 	compare := flag.Bool("compare", false, "compare two baseline JSON files (args: old.json new.json); exit 1 on regressions")
 	threshold := flag.Float64("threshold", 10, "regression threshold in percent for -compare")
+	obsListen := flag.String("obs-listen", "", "serve live telemetry (/metrics /healthz /progress /events /debug/pprof/) on this address, e.g. :9090 (:0 picks a port)")
 	flag.Parse()
+
+	var sink obs.Sink
+	srv, err := obs.ServeTelemetry(&sink, *obsListen)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer srv.Close()
 
 	if *compare {
 		if flag.NArg() != 2 {
@@ -237,6 +247,8 @@ func main() {
 	if len(b.Benchmarks) == 0 {
 		fatalf("no benchmark lines found")
 	}
+	sink.Metrics.Counter("benchjson.benchmarks").Add(int64(len(b.Benchmarks)))
+	sink.Progress.Update("benchjson", obs.F("benchmarks", float64(len(b.Benchmarks))))
 	b.GoVersion = *goVersion
 
 	buf, err := json.MarshalIndent(b, "", "  ")

@@ -31,6 +31,7 @@ import (
 	"repro/internal/ghost"
 	"repro/internal/grid"
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 	"repro/internal/sandpile"
 	"repro/internal/wfsched"
 )
@@ -39,19 +40,26 @@ var workloads = []string{"sandpile", "sandpile-faults", "wfsim", "wordcount"}
 
 func main() {
 	var (
-		workload = flag.String("workload", "all", "workload to soak: "+strings.Join(workloads, "|")+"|all")
-		kills    = flag.Int("kills", 3, "SIGKILLs to deliver before the final clean run")
-		seed     = flag.Int64("seed", 1, "seed for the kill-timing RNG")
-		dir      = flag.String("dir", "", "scratch directory (default: a fresh temp dir)")
-		killMax  = flag.Duration("kill-max", 1200*time.Millisecond, "upper bound on the random kill delay")
-		quick    = flag.Bool("quick", false, "shrink workloads for fast CI soaks")
-		worker   = flag.Bool("worker", false, "internal: run one workload with resume and write the state file")
-		out      = flag.String("out", "", "internal: state-file path (worker mode)")
+		workload  = flag.String("workload", "all", "workload to soak: "+strings.Join(workloads, "|")+"|all")
+		kills     = flag.Int("kills", 3, "SIGKILLs to deliver before the final clean run")
+		seed      = flag.Int64("seed", 1, "seed for the kill-timing RNG")
+		dir       = flag.String("dir", "", "scratch directory (default: a fresh temp dir)")
+		killMax   = flag.Duration("kill-max", 1200*time.Millisecond, "upper bound on the random kill delay")
+		quick     = flag.Bool("quick", false, "shrink workloads for fast CI soaks")
+		obsListen = flag.String("obs-listen", "", "worker telemetry address, forwarded to every launched worker (workers run one at a time, so they can share it); the driver itself does not listen")
+		worker    = flag.Bool("worker", false, "internal: run one workload with resume and write the state file")
+		out       = flag.String("out", "", "internal: state-file path (worker mode)")
 	)
 	flag.Parse()
 
 	if *worker {
-		state, err := runWorkload(*workload, *dir, *quick)
+		var sink obs.Sink
+		srv, err := obs.ServeTelemetry(&sink, *obsListen)
+		if err != nil {
+			fatalf("worker %s: %v", *workload, err)
+		}
+		defer srv.Close()
+		state, err := runWorkload(*workload, *dir, *quick, sink)
 		if err != nil {
 			fatalf("worker %s: %v", *workload, err)
 		}
@@ -81,10 +89,14 @@ func main() {
 		fatalf("%v", err)
 	}
 
+	// The driver's kill/resume decisions are published as structured
+	// JSON-lines events on stderr, so soak logs are machine-greppable
+	// next to the workers' own telemetry.
+	log := obs.NewLogger(obs.WithLogWriter(os.Stderr))
 	rng := rand.New(rand.NewSource(*seed))
 	failed := 0
 	for _, wl := range list {
-		if err := soak(self, wl, scratch, *kills, *killMax, *quick, rng); err != nil {
+		if err := soak(self, wl, scratch, *kills, *killMax, *quick, rng, log, *obsListen); err != nil {
 			fmt.Fprintf(os.Stderr, "chaos: %s: FAIL: %v\n", wl, err)
 			failed++
 			continue
@@ -98,8 +110,8 @@ func main() {
 
 // soak drives one workload through the kill–resume cycle and compares
 // the survivor's state with the clean in-process reference.
-func soak(self, wl, scratch string, kills int, killMax time.Duration, quick bool, rng *rand.Rand) error {
-	ref, err := runWorkload(wl, "", quick) // clean reference, no durability
+func soak(self, wl, scratch string, kills int, killMax time.Duration, quick bool, rng *rand.Rand, log *obs.Logger, obsListen string) error {
+	ref, err := runWorkload(wl, "", quick, obs.Sink{}) // clean reference, no durability
 	if err != nil {
 		return fmt.Errorf("reference: %w", err)
 	}
@@ -113,6 +125,11 @@ func soak(self, wl, scratch string, kills int, killMax time.Duration, quick bool
 		if quick {
 			args = append(args, "-quick")
 		}
+		if obsListen != "" {
+			// Workers run strictly one at a time (each is dead before the
+			// next launches), so they can all serve the same address.
+			args = append(args, "-obs-listen", obsListen)
+		}
 		return args
 	}
 
@@ -124,6 +141,10 @@ func soak(self, wl, scratch string, kills int, killMax time.Duration, quick bool
 		if err := cmd.Start(); err != nil {
 			return err
 		}
+		log.Event(obs.LevelInfo, "chaos", "worker launched "+wl,
+			obs.Arg{Key: "attempt", Value: int64(k + 1)},
+			obs.Arg{Key: "pid", Value: int64(cmd.Process.Pid)},
+			obs.Arg{Key: "resumed", Value: int64(delivered)})
 		done := make(chan error, 1)
 		go func() { done <- cmd.Wait() }()
 		select {
@@ -133,16 +154,24 @@ func soak(self, wl, scratch string, kills int, killMax time.Duration, quick bool
 			if err != nil {
 				return fmt.Errorf("worker exited with %w before kill %d", err, k+1)
 			}
+			log.Event(obs.LevelInfo, "chaos", "worker finished before kill "+wl,
+				obs.Arg{Key: "attempt", Value: int64(k + 1)})
 			k = kills
 		case <-time.After(delay):
 			_ = cmd.Process.Kill() // SIGKILL: no cleanup, no final save
 			<-done
 			delivered++
+			log.Event(obs.LevelWarn, "chaos", "worker SIGKILLed "+wl,
+				obs.Arg{Key: "kill", Value: int64(delivered)},
+				obs.Arg{Key: "pid", Value: int64(cmd.Process.Pid)},
+				obs.Arg{Key: "delay_ms", Value: delay.Milliseconds()})
 		}
 	}
 
 	final := exec.Command(self, workerArgs()...)
 	final.Stderr = os.Stderr
+	log.Event(obs.LevelInfo, "chaos", "final resume "+wl,
+		obs.Arg{Key: "kills_delivered", Value: int64(delivered)})
 	if err := final.Run(); err != nil {
 		return fmt.Errorf("final run: %w", err)
 	}
@@ -162,10 +191,10 @@ func soak(self, wl, scratch string, kills int, killMax time.Duration, quick bool
 // deterministic final-state bytes. An empty dir disables durability
 // (the clean reference); otherwise the run checkpoints into dir and
 // resumes whatever snapshots a killed predecessor left there.
-func runWorkload(name, dir string, quick bool) ([]byte, error) {
+func runWorkload(name, dir string, quick bool, sink obs.Sink) ([]byte, error) {
 	switch name {
 	case "sandpile":
-		ck, err := checkpointer(dir, "chaos-sandpile", 40)
+		ck, err := checkpointer(dir, "chaos-sandpile", 40, sink)
 		if err != nil {
 			return nil, err
 		}
@@ -175,7 +204,7 @@ func runWorkload(name, dir string, quick bool) ([]byte, error) {
 		}
 		g := sandpile.Center(grains).Build(size, size, nil)
 		res, err := engine.Run("lazy-sync", g, engine.Params{
-			TileH: 16, TileW: 16, Workers: 4, Ckpt: ck,
+			TileH: 16, TileW: 16, Workers: 4, Ckpt: ck, Obs: sink,
 		})
 		if err != nil {
 			return nil, err
@@ -183,7 +212,7 @@ func runWorkload(name, dir string, quick bool) ([]byte, error) {
 		return sandpileState(res.Iterations, res.Topples, res.Absorbed, g), nil
 
 	case "sandpile-faults":
-		ck, err := checkpointer(dir, "chaos-ghost", 2)
+		ck, err := checkpointer(dir, "chaos-ghost", 2, sink)
 		if err != nil {
 			return nil, err
 		}
@@ -198,7 +227,7 @@ func runWorkload(name, dir string, quick bool) ([]byte, error) {
 		rep, err := ghost.New(g,
 			ghost.WithRanks(3), ghost.WithWidth(2),
 			ghost.WithFaults(plan), ghost.WithHeartbeat(300*time.Millisecond),
-			ghost.WithCheckpoint(ck),
+			ghost.WithCheckpoint(ck), ghost.WithObs(sink),
 		).Run()
 		if err != nil {
 			return nil, err
@@ -206,11 +235,12 @@ func runWorkload(name, dir string, quick bool) ([]byte, error) {
 		return sandpileState(rep.Iterations, rep.Topples, rep.Absorbed, g), nil
 
 	case "wfsim":
-		ck, err := checkpointer(dir, "chaos-wfsim", 200)
+		ck, err := checkpointer(dir, "chaos-wfsim", 200, sink)
 		if err != nil {
 			return nil, err
 		}
 		sc := wfsched.Tab2Scenario()
+		sc.Obs = sink
 		choices := wfsched.Tab2Choices(sc.Workflow)
 		if quick {
 			// All-or-nothing per level: 2^depth placements instead of
@@ -244,7 +274,9 @@ func runWorkload(name, dir string, quick bool) ([]byte, error) {
 		if quick {
 			lines = 1200
 		}
-		out, _, err := wordCountJob(spill).Run(chaosCorpus(lines))
+		job := wordCountJob(spill)
+		job.Config.Obs = sink
+		out, _, err := job.Run(chaosCorpus(lines))
 		if err != nil {
 			return nil, err
 		}
@@ -253,11 +285,11 @@ func runWorkload(name, dir string, quick bool) ([]byte, error) {
 	return nil, fmt.Errorf("unknown workload %q", name)
 }
 
-func checkpointer(dir, name string, every int64) (*ckpt.Checkpointer, error) {
+func checkpointer(dir, name string, every int64, sink obs.Sink) (*ckpt.Checkpointer, error) {
 	if dir == "" {
 		return nil, nil
 	}
-	store, err := ckpt.Open(dir, name)
+	store, err := ckpt.Open(dir, name, ckpt.WithObs(sink))
 	if err != nil {
 		return nil, err
 	}

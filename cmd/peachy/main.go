@@ -65,6 +65,7 @@ func main() {
 	md := flag.String("md", "", "also write a markdown report to this file")
 	metrics := flag.Bool("metrics", false, "print a metrics snapshot (JSON) after the run")
 	traceFile := flag.String("trace", "", "write a Perfetto-loadable Chrome trace to this file")
+	obsListen := flag.String("obs-listen", "", "serve live telemetry (/metrics /healthz /progress /events /debug/pprof/) on this address, e.g. :9090 (:0 picks a port)")
 	faults := flag.String("faults", "", "fault plan for fault-aware experiments, e.g. seed=9,crash=1@2,hostfail=0.1 (see internal/fault)")
 	ckptDir := flag.String("checkpoint", "", "record completed experiments in this directory")
 	resumeDir := flag.String("resume", "", "skip experiments already completed by a run checkpointed into this directory")
@@ -84,6 +85,12 @@ func main() {
 		}
 	}
 	sink, flush := obs.Setup(*metrics, *traceFile)
+	srv, err := obs.ServeTelemetry(&sink, *obsListen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "peachy: %v\n", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
 	ck, err := ckpt.ForCLI("peachy", *ckptDir, *resumeDir, 1, sink)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "peachy: %v\n", err)

@@ -51,6 +51,7 @@ func main() {
 		gifEvery  = flag.Int("gif-every", 20, "capture a GIF frame every N iterations")
 		metrics   = flag.Bool("metrics", false, "print a metrics snapshot (JSON) after the run")
 		traceFile = flag.String("trace", "", "write a Perfetto-loadable Chrome trace to this file")
+		obsListen = flag.String("obs-listen", "", "serve live telemetry (/metrics /healthz /progress /events /debug/pprof/) on this address, e.g. :9090 (:0 picks a port)")
 		ranks     = flag.Int("ranks", 0, "run the simulated-MPI ghost-cell engine with N ranks instead of a variant")
 		ghostW    = flag.Int("ghost-width", 1, "ghost-cell band width for -ranks mode")
 		heteroRun = flag.Bool("hetero", false, "run the hybrid CPU+device engine instead of a variant")
@@ -102,6 +103,11 @@ func main() {
 	g := cfg.Build(*size, *size, rand.New(rand.NewSource(*seed)))
 	initial := g.Sum()
 	sink, flush := obs.Setup(*metrics, *traceFile)
+	srv, err := obs.ServeTelemetry(&sink, *obsListen)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer srv.Close()
 	ck, err := ckpt.ForCLI("sandpile", *ckptDir, *resumeDir, *ckptEvery, sink)
 	if err != nil {
 		fatalf("%v", err)

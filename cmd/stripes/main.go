@@ -38,6 +38,7 @@ func main() {
 		dumpData   = flag.String("dump-data", "", "write the generated input files to this directory and exit")
 		metrics    = flag.Bool("metrics", false, "print a metrics snapshot (JSON) after the run")
 		traceFile  = flag.String("trace", "", "write a Perfetto-loadable Chrome trace to this file")
+		obsListen  = flag.String("obs-listen", "", "serve live telemetry (/metrics /healthz /progress /events /debug/pprof/) on this address, e.g. :9090 (:0 picks a port)")
 		faults     = flag.String("faults", "", "task-failure plan, e.g. seed=7,taskfail=0.2 (absorbed by MapReduce retry)")
 	)
 	flag.Parse()
@@ -82,6 +83,11 @@ func main() {
 	}
 
 	sink, flush := obs.Setup(*metrics, *traceFile)
+	srv, err := obs.ServeTelemetry(&sink, *obsListen)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer srv.Close()
 	series, stats, err := stripes.ComputeSeries(layout, files, mapreduce.Config[string]{
 		MapTasks: *mapTasks, ReduceTasks: *redTasks, Obs: sink, Faults: plan,
 	})

@@ -39,6 +39,7 @@ func main() {
 		split     = flag.Bool("split", false, "Tab 1: relax homogeneity — search two-group p-state clusters")
 		metrics   = flag.Bool("metrics", false, "print a metrics snapshot (JSON) after the run")
 		traceFile = flag.String("trace", "", "write a Perfetto-loadable Chrome trace to this file")
+		obsListen = flag.String("obs-listen", "", "serve live telemetry (/metrics /healthz /progress /events /debug/pprof/) on this address, e.g. :9090 (:0 picks a port)")
 		faults    = flag.String("faults", "", "host-failure plan, e.g. seed=7,hostfail=0.1,repair=5 (see internal/fault)")
 		ckptDir   = flag.String("checkpoint", "", "-optimize/-pareto: write sweep snapshots into this directory")
 		resumeDir = flag.String("resume", "", "-optimize/-pareto: resume the sweep from this directory")
@@ -55,6 +56,11 @@ func main() {
 	}
 
 	sink, flush := obs.Setup(*metrics, *traceFile)
+	srv, err := obs.ServeTelemetry(&sink, *obsListen)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer srv.Close()
 	ck, err := ckpt.ForCLI("wfsim", *ckptDir, *resumeDir, *ckptEvery, sink)
 	if err != nil {
 		fatalf("%v", err)

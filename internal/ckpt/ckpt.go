@@ -256,7 +256,10 @@ func (s *Store) writeManifest(epochs []uint64) error {
 // files a previous kill left behind).
 func (s *Store) Save(epoch uint64, payload []byte) error {
 	start := s.sink.Tracer.Now()
+	span := s.sink.Log.NextSpan()
 	if err := WriteFile(s.snapshotPath(epoch), epoch, payload); err != nil {
+		s.sink.Log.EventSpan(obs.LevelError, "ckpt", "save failed: "+err.Error(), span,
+			obs.Arg{Key: "epoch", Value: int64(epoch)})
 		return err
 	}
 	epochs, err := s.Epochs()
@@ -276,18 +279,29 @@ func (s *Store) Save(epoch uint64, payload []byte) error {
 	if err := s.writeManifest(keep); err != nil {
 		return err
 	}
+	removed := int64(0)
 	for _, e := range drop {
 		if os.Remove(s.snapshotPath(e)) == nil {
 			s.gcRemoved.Inc()
+			removed++
 		}
 	}
-	s.sweepOrphans(keep)
+	removed += s.sweepOrphans(keep)
 	s.saves.Inc()
 	s.saveBytes.Add(int64(len(payload)))
 	if t := s.sink.Tracer; t != nil {
 		t.Span(s.track, "ckpt.save", start, t.Now()-start,
 			obs.Arg{Key: "epoch", Value: int64(epoch)},
-			obs.Arg{Key: "bytes", Value: int64(len(payload))})
+			obs.Arg{Key: "bytes", Value: int64(len(payload))},
+			obs.Arg{Key: "span", Value: span})
+	}
+	s.sink.Log.EventSpan(obs.LevelInfo, "ckpt", "epoch saved", span,
+		obs.Arg{Key: "epoch", Value: int64(epoch)},
+		obs.Arg{Key: "bytes", Value: int64(len(payload))})
+	if removed > 0 {
+		s.sink.Log.EventSpan(obs.LevelDebug, "ckpt", "epochs gc'd", span,
+			obs.Arg{Key: "removed", Value: removed},
+			obs.Arg{Key: "kept", Value: int64(len(keep))})
 	}
 	return nil
 }
@@ -296,16 +310,17 @@ func (s *Store) Save(epoch uint64, payload []byte) error {
 // manifest does not list (e.g. a kill landed between the snapshot
 // rename and the manifest rename, or after GC dropped the manifest
 // entry but before the file unlink).
-func (s *Store) sweepOrphans(keep []uint64) {
+func (s *Store) sweepOrphans(keep []uint64) int64 {
 	matches, err := filepath.Glob(filepath.Join(s.dir, s.name+".*.ckpt"))
 	if err != nil {
-		return
+		return 0
 	}
 	kept := make(map[uint64]bool, len(keep))
 	for _, e := range keep {
 		kept[e] = true
 	}
 	prefix := s.name + "."
+	removed := int64(0)
 	for _, m := range matches {
 		base := filepath.Base(m)
 		num := strings.TrimSuffix(strings.TrimPrefix(base, prefix), ".ckpt")
@@ -315,8 +330,10 @@ func (s *Store) sweepOrphans(keep []uint64) {
 		}
 		if os.Remove(m) == nil {
 			s.gcRemoved.Inc()
+			removed++
 		}
 	}
+	return removed
 }
 
 // Load returns the newest snapshot that verifies, walking the
@@ -326,6 +343,7 @@ func (s *Store) sweepOrphans(keep []uint64) {
 // listed epoch is readable.
 func (s *Store) Load() (epoch uint64, payload []byte, ok bool, err error) {
 	start := s.sink.Tracer.Now()
+	span := s.sink.Log.NextSpan()
 	epochs, err := s.Epochs()
 	if err != nil {
 		return 0, nil, false, err
@@ -350,8 +368,13 @@ func (s *Store) Load() (epoch uint64, payload []byte, ok bool, err error) {
 			t.Span(s.track, "ckpt.load", start, t.Now()-start,
 				obs.Arg{Key: "epoch", Value: int64(e)},
 				obs.Arg{Key: "bytes", Value: int64(len(payload))},
-				obs.Arg{Key: "fallbacks", Value: int64(len(epochs) - 1 - i)})
+				obs.Arg{Key: "fallbacks", Value: int64(len(epochs) - 1 - i)},
+				obs.Arg{Key: "span", Value: span})
 		}
+		s.sink.Log.EventSpan(obs.LevelInfo, "ckpt", "epoch loaded", span,
+			obs.Arg{Key: "epoch", Value: int64(e)},
+			obs.Arg{Key: "bytes", Value: int64(len(payload))},
+			obs.Arg{Key: "fallbacks", Value: int64(len(epochs) - 1 - i)})
 		return e, payload, true, nil
 	}
 	return 0, nil, false, fmt.Errorf("ckpt: no readable snapshot among %d epochs: %w", len(epochs), lastErr)

@@ -41,7 +41,7 @@ func runFaultDemo(cfg Config) (*Result, error) {
 	if cfg.Quick {
 		size = 48
 	}
-	init := sandpile.Center(uint32(size * size)).Build(size, size, rand.New(rand.NewSource(9)))
+	init := sandpile.Center(uint32(size*size)).Build(size, size, rand.New(rand.NewSource(9)))
 	ref := init.Clone()
 	refRep, err := ghost.New(ref, ghost.WithRanks(4), ghost.WithObs(cfg.Obs)).Run()
 	if err != nil {

@@ -186,6 +186,24 @@ func Run(name string, g *grid.Grid, p Params) (sandpile.Result, error) {
 			}
 		}
 	}
+	if pr := p.Obs.Progress; pr != nil {
+		// Same trick for live progress: the wrap switches variants to
+		// their monitored loops, and every iteration publishes into the
+		// /progress stage plus a live gauge (a counter would double-book
+		// against the end-of-run engine.iterations total).
+		gIter := p.Obs.Metrics.Gauge("engine.iteration")
+		user := p.OnIteration
+		p.OnIteration = func(st IterStats) {
+			gIter.Set(float64(st.Iteration))
+			pr.Update("engine",
+				obs.F("iteration", float64(st.Iteration)),
+				obs.F("changes", float64(st.Changes)),
+				obs.F("active_tiles", float64(st.ActiveTiles)))
+			if user != nil {
+				user(st)
+			}
+		}
+	}
 	res, err := runGuarded(name, v, g, p)
 	if err != nil {
 		return sandpile.Result{}, err

@@ -283,6 +283,7 @@ type Injector struct {
 
 	tr    *obs.Tracer
 	track obs.TrackID
+	lg    *obs.Logger
 
 	cInjected, cCrashes, cDrop, cDelay, cDup, cRetransmit *obs.Counter
 	cHostFail, cTaskRetry, cStalls, cTaskFail, cRecovery  *obs.Counter
@@ -301,6 +302,7 @@ func NewInjector(p *Plan, sink obs.Sink) *Injector {
 		in.tr = tr
 		in.track = tr.Track("fault", 0, "injected faults")
 	}
+	in.lg = sink.Log  // nil-safe: events vanish without a logger
 	m := sink.Metrics // nil registry hands out nil instruments
 	in.cInjected = m.Counter("fault.injected")
 	in.cCrashes = m.Counter("fault.rank.crashes")
@@ -332,7 +334,8 @@ func (in *Injector) Retry() RetryPolicy {
 	return in.plan.Retry.withDefaults()
 }
 
-// note records a fired fault in the schedule log and bumps counters.
+// note records a fired fault in the schedule log, bumps counters, and
+// publishes a structured warn-level event on the live /events stream.
 func (in *Injector) note(c *obs.Counter, entry string) {
 	in.cInjected.Inc()
 	c.Inc()
@@ -342,6 +345,7 @@ func (in *Injector) note(c *obs.Counter, entry string) {
 	if in.tr != nil {
 		in.tr.Instant(in.track, entry, in.tr.Now())
 	}
+	in.lg.Event(obs.LevelWarn, "fault", entry)
 }
 
 // fireOnce consumes a one-shot event key, reporting whether this call
@@ -493,6 +497,7 @@ func (in *Injector) NoteRecovery(substrate string, start, dur time.Duration, arg
 	if in.tr != nil {
 		in.tr.Span(in.track, "recovery "+substrate, start, dur, args...)
 	}
+	in.lg.Event(obs.LevelInfo, "fault", "recovered "+substrate, args...)
 }
 
 // Now returns the injector's trace clock offset (0 without a tracer),

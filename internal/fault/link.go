@@ -25,14 +25,14 @@ type packet[T any] struct {
 // ghost ranks' usage pattern); the retransmit buffer is protected for
 // the cross-goroutine receiver access.
 type Link[T any] struct {
-	in   *Injector
+	in       *Injector
 	from, to int
 
 	ch chan packet[T]
 
-	mu      chanMutex
-	lastSeq uint64 // sender side: last sequence sent
-	last    T      // sender side: retained payload for retransmit
+	mu       chanMutex
+	lastSeq  uint64 // sender side: last sequence sent
+	last     T      // sender side: retained payload for retransmit
 	haveLast bool
 
 	recvSeq uint64 // receiver side: last sequence accepted

@@ -280,7 +280,7 @@ func run1d(ctx context.Context, g *grid.Grid, cfg config) (Report, error) {
 	}
 
 	rep := Report{Ranks: cfg.ranks, GhostWidth: K}
-	if err := coordinate(ctx, cfg.ranks, K, cfg.maxIters, inj, hb, launch, ckpts, &rep, dur, startRound, startTopples); err != nil {
+	if err := coordinate(ctx, cfg.ranks, K, cfg.maxIters, inj, hb, launch, ckpts, &rep, dur, startRound, startTopples, cfg.obs); err != nil {
 		return rep, err
 	}
 

@@ -142,7 +142,7 @@ func run2d(ctx context.Context, g *grid.Grid, cfg config) (Report, error) {
 			ownH, ownW := rowOf[pr+1]-rowOf[pr], colOf[pc+1]-colOf[pc]
 			rows := make([][]uint32, ownH)
 			for y := range rows {
-				rows[y] = append([]uint32(nil), g.Row(rowOf[pr]+y)[colOf[pc]:colOf[pc]+ownW]...)
+				rows[y] = append([]uint32(nil), g.Row(rowOf[pr] + y)[colOf[pc]:colOf[pc]+ownW]...)
 			}
 			ckpts[pr*C+pc] = rows
 		}
@@ -209,7 +209,7 @@ func run2d(ctx context.Context, g *grid.Grid, cfg config) (Report, error) {
 				r.cur = grid.New(r.ownH+r.gTop+r.gBot, r.ownW+r.gLeft+r.gRight)
 				r.next = grid.New(r.cur.H(), r.cur.W())
 				for y := 0; y < r.ownH; y++ {
-					copy(r.cur.Row(r.gTop+y)[r.gLeft:r.gLeft+r.ownW], ckpts[id][y])
+					copy(r.cur.Row(r.gTop + y)[r.gLeft:r.gLeft+r.ownW], ckpts[id][y])
 				}
 				rs[id] = r
 			}
@@ -256,14 +256,14 @@ func run2d(ctx context.Context, g *grid.Grid, cfg config) (Report, error) {
 	}
 
 	rep := Report{Ranks: n, GhostWidth: K}
-	if err := coordinate(ctx, n, K, cfg.maxIters, inj, hb, launch, ckpts, &rep, dur, startRound, startTopples); err != nil {
+	if err := coordinate(ctx, n, K, cfg.maxIters, inj, hb, launch, ckpts, &rep, dur, startRound, startTopples, cfg.obs); err != nil {
 		return rep, err
 	}
 
 	for _, r := range live {
 		for y := 0; y < r.ownH; y++ {
-			copy(g.Row(r.globTop+y)[r.globL:r.globL+r.ownW],
-				r.cur.Row(r.gTop+y)[r.gLeft:r.gLeft+r.ownW])
+			copy(g.Row(r.globTop + y)[r.globL:r.globL+r.ownW],
+				r.cur.Row(r.gTop + y)[r.gLeft:r.gLeft+r.ownW])
 		}
 	}
 	g.ClearHalo()
@@ -355,7 +355,7 @@ func (r *rank2d) run(K, startRound int) {
 		if r.inj != nil || r.durable {
 			rows = make([][]uint32, r.ownH)
 			for y := range rows {
-				rows[y] = append([]uint32(nil), r.cur.Row(r.gTop+y)[r.gLeft:r.gLeft+r.ownW]...)
+				rows[y] = append([]uint32(nil), r.cur.Row(r.gTop + y)[r.gLeft:r.gLeft+r.ownW]...)
 			}
 		}
 		select {
@@ -382,7 +382,7 @@ func (r *rank2d) exchange(K int) bool {
 	colPayload := func(x0 int) message {
 		m := message{rows: make([][]uint32, r.ownH)}
 		for y := 0; y < r.ownH; y++ {
-			m.rows[y] = append([]uint32(nil), r.cur.Row(r.gTop+y)[x0:x0+K]...)
+			m.rows[y] = append([]uint32(nil), r.cur.Row(r.gTop + y)[x0:x0+K]...)
 		}
 		return m
 	}
@@ -406,7 +406,7 @@ func (r *rank2d) exchange(K int) bool {
 			return false
 		}
 		for y := 0; y < r.ownH; y++ {
-			copy(r.cur.Row(r.gTop+y)[0:K], m.rows[y])
+			copy(r.cur.Row(r.gTop + y)[0:K], m.rows[y])
 		}
 	}
 	if r.recvE != nil {
@@ -415,7 +415,7 @@ func (r *rank2d) exchange(K int) bool {
 			return false
 		}
 		for y := 0; y < r.ownH; y++ {
-			copy(r.cur.Row(r.gTop+y)[r.gLeft+r.ownW:], m.rows[y])
+			copy(r.cur.Row(r.gTop + y)[r.gLeft+r.ownW:], m.rows[y])
 		}
 	}
 

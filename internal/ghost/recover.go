@@ -64,7 +64,8 @@ type generation struct {
 func coordinate(ctx context.Context, nRanks, K, maxIters int,
 	inj *fault.Injector, hb time.Duration,
 	launch func(genID, startRound int, ckpts [][][]uint32) *generation,
-	ckpts [][][]uint32, rep *Report, dur *durable, startRound int, startTopples uint64) error {
+	ckpts [][][]uint32, rep *Report, dur *durable, startRound int, startTopples uint64,
+	sink obs.Sink) error {
 
 	committed := startRound
 	topples := startTopples
@@ -73,7 +74,7 @@ func coordinate(ctx context.Context, nRanks, K, maxIters int,
 		genID++
 		g := launch(genID, committed, ckpts)
 		err := collectRounds(ctx, g, genID, nRanks, K, maxIters, inj, hb,
-			&committed, &topples, ckpts, rep, dur)
+			&committed, &topples, ckpts, rep, dur, sink)
 		if err == errGenerationDead {
 			// Recovery: kill the survivors, then rebuild everything
 			// from the checkpoint set of round `committed`.
@@ -110,7 +111,8 @@ var errGenerationDead = fmt.Errorf("ghost: generation dead")
 // (errGenerationDead).
 func collectRounds(ctx context.Context, g *generation, genID, nRanks, K, maxIters int,
 	inj *fault.Injector, hb time.Duration,
-	committed *int, topples *uint64, ckpts [][][]uint32, rep *Report, dur *durable) error {
+	committed *int, topples *uint64, ckpts [][][]uint32, rep *Report, dur *durable,
+	sink obs.Sink) error {
 
 	for {
 		round := *committed + 1
@@ -161,6 +163,12 @@ func collectRounds(ctx context.Context, g *generation, genID, nRanks, K, maxIter
 		if rows != nil {
 			copy(ckpts, rows)
 		}
+		sink.Progress.Update("ghost",
+			obs.F("round", float64(round)),
+			obs.F("generation", float64(genID)),
+			obs.F("changes", float64(total)),
+			obs.F("topples", float64(*topples)),
+			obs.F("recoveries", float64(rep.Recoveries)))
 		cont := total != 0 && round*K < maxIters
 		if cont {
 			// Persist the committed round before releasing the ranks, so

@@ -29,6 +29,7 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fault"
@@ -169,16 +170,16 @@ func (c *Counters) Snapshot() map[string]int64 {
 
 // Stats describes an executed job.
 type Stats struct {
-	MapTasks       int
-	ReduceTasks    int
-	MapInputs      int // records consumed by mappers
-	MapOutputs     int // pairs emitted by mappers
-	CombineOutputs int // pairs after combining (== MapOutputs without a combiner)
-	ReduceGroups   int // distinct keys reduced
-	Outputs        int // records emitted by reducers
-	TaskRetries    int // failed task attempts that were retried
-	ShuffleRuns    int // non-empty sorted runs fed to the shuffle merges (0 with ReferenceShuffle)
-	MergePasses    int // per-partition k-way merge passes executed (0 with ReferenceShuffle)
+	MapTasks        int
+	ReduceTasks     int
+	MapInputs       int // records consumed by mappers
+	MapOutputs      int // pairs emitted by mappers
+	CombineOutputs  int // pairs after combining (== MapOutputs without a combiner)
+	ReduceGroups    int // distinct keys reduced
+	Outputs         int // records emitted by reducers
+	TaskRetries     int // failed task attempts that were retried
+	ShuffleRuns     int // non-empty sorted runs fed to the shuffle merges (0 with ReferenceShuffle)
+	MergePasses     int // per-partition k-way merge passes executed (0 with ReferenceShuffle)
 	MapTasksResumed int // map tasks restored from spill files instead of executed (0 without Job.Spill)
 }
 
@@ -234,8 +235,15 @@ func (j *Job[I, K, V, O]) RunContext(ctx context.Context, inputs []I) ([]O, Stat
 	var (
 		retries int64
 		statsMu sync.Mutex
+		mapDone atomic.Int64
 	)
 	tr := cfg.Obs.Tracer
+	pr := cfg.Obs.Progress
+	pr.Update("mapreduce",
+		obs.F("map_tasks", float64(len(splits))),
+		obs.F("map_done", 0),
+		obs.F("reduce_tasks", float64(cfg.ReduceTasks)),
+		obs.F("reduce_done", 0))
 	err := runTasks(ctx, len(splits), cfg.Parallelism, func(t int) error {
 		split := splits[t]
 		mapTS := tr.Now()
@@ -255,6 +263,7 @@ func (j *Job[I, K, V, O]) RunContext(ctx context.Context, inputs []I) ([]O, Stat
 						"map(resumed)", mapTS, tr.Now()-mapTS,
 						obs.Arg{Key: "emitted", Value: int64(emitted)})
 				}
+				pr.Update("mapreduce", obs.F("map_done", float64(mapDone.Add(1))))
 				return nil
 			}
 		}
@@ -282,6 +291,7 @@ func (j *Job[I, K, V, O]) RunContext(ctx context.Context, inputs []I) ([]O, Stat
 		stats.MapOutputs += emitted
 		statsMu.Unlock()
 		j.Counters.Add("map.outputs", int64(emitted))
+		pr.Update("mapreduce", obs.F("map_done", float64(mapDone.Add(1))))
 		return nil
 	})
 	if err != nil {
@@ -329,8 +339,10 @@ func (j *Job[I, K, V, O]) reducePhase(ctx context.Context, mapOut [][]run[K, V],
 	var (
 		stats   Stats
 		statsMu sync.Mutex
+		redDone atomic.Int64
 	)
 	tr := cfg.Obs.Tracer
+	pr := cfg.Obs.Progress
 	hGroup := cfg.Obs.Metrics.Histogram("mapreduce.group_size", nil) // nil-safe
 	partOut := make([][]O, cfg.ReduceTasks)
 	err := runTasks(ctx, cfg.ReduceTasks, cfg.Parallelism, func(p int) error {
@@ -392,6 +404,7 @@ func (j *Job[I, K, V, O]) reducePhase(ctx context.Context, mapOut [][]run[K, V],
 			return err
 		}
 		partOut[p] = out
+		pr.Update("mapreduce", obs.F("reduce_done", float64(redDone.Add(1))))
 		return nil
 	})
 	if err != nil {

@@ -1,16 +1,22 @@
 package obs
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"os"
+	"sort"
 )
 
 // Setup builds a Sink for the CLI convention the repro binaries share:
 // -metrics attaches a fresh Registry, -trace FILE attaches a
 // wall-clock Tracer. The returned flush saves the Chrome trace to
 // tracePath and writes the metrics snapshot (JSON) to w; call it once
-// after the work finishes. Both Sink and flush are no-ops when neither
-// option is requested.
+// after the work finishes. A failed trace save no longer short-circuits
+// the metrics write — both halves always run and their errors are
+// joined, so one broken -trace path can't silently eat the -metrics
+// output. Both Sink and flush are no-ops when neither option is
+// requested.
 func Setup(metrics bool, tracePath string) (Sink, func(w io.Writer) error) {
 	var s Sink
 	if metrics {
@@ -20,17 +26,68 @@ func Setup(metrics bool, tracePath string) (Sink, func(w io.Writer) error) {
 		s.Tracer = NewTracer(nil)
 	}
 	flush := func(w io.Writer) error {
+		var traceErr, metricsErr error
 		if s.Tracer != nil {
 			if err := s.Tracer.SaveChrome(tracePath); err != nil {
-				return fmt.Errorf("saving trace: %w", err)
+				traceErr = fmt.Errorf("saving trace: %w", err)
 			}
 		}
 		if s.Metrics != nil {
 			if err := s.Metrics.WriteJSON(w); err != nil {
-				return fmt.Errorf("writing metrics: %w", err)
+				metricsErr = fmt.Errorf("writing metrics: %w", err)
 			}
+			WriteQuantileSummary(os.Stderr, s.Metrics.Snapshot())
 		}
-		return nil
+		return errors.Join(traceErr, metricsErr)
 	}
 	return s, flush
+}
+
+// WriteQuantileSummary prints one human-oriented line per histogram
+// with its count and interpolated p50/p95/p99. It goes to a side
+// channel (stderr in the CLIs) so the machine-readable JSON snapshot
+// on stdout stays clean.
+func WriteQuantileSummary(w io.Writer, s Snapshot) {
+	if len(s.Histograms) == 0 {
+		return
+	}
+	names := make([]string, 0, len(s.Histograms))
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		fmt.Fprintf(w, "obs: %s count=%d p50=%.4g p95=%.4g p99=%.4g\n",
+			n, h.Count, h.P50, h.P95, h.P99)
+	}
+}
+
+// ServeTelemetry starts the live telemetry endpoint on addr (the
+// shared -obs-listen flag; "" means disabled and returns a nil server,
+// which is safe to Close). It upgrades the sink in place: a Registry,
+// Progress reporter, and Logger are attached if not already present,
+// so a bare `-obs-listen :9090` gets live /metrics, /progress, and
+// /events without also requiring -metrics. The bound address is
+// announced on stderr so `-obs-listen :0` users can find the port.
+func ServeTelemetry(sink *Sink, addr string) (*Server, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	if sink.Metrics == nil {
+		sink.Metrics = NewRegistry()
+	}
+	if sink.Progress == nil {
+		sink.Progress = NewProgress(nil)
+	}
+	if sink.Log == nil {
+		sink.Log = NewLogger()
+	}
+	srv := NewServer(*sink)
+	bound, err := srv.Start(addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "obs: live telemetry on http://%s (/metrics /healthz /progress /events /debug/pprof/)\n", bound)
+	return srv, nil
 }

@@ -1,0 +1,124 @@
+package obs
+
+// expo.go renders a Registry snapshot in the Prometheus text
+// exposition format (version 0.0.4, which every OpenMetrics-era
+// scraper still ingests). The mapping from the Registry's model:
+//
+//   - metric names keep their dotted form internally; the exposition
+//     rewrites every character outside [a-zA-Z0-9_:] to '_'
+//     ("engine.frontier_tiles" -> "engine_frontier_tiles");
+//   - Counter  -> `# TYPE x counter` with its current value;
+//   - Gauge    -> `# TYPE x gauge`;
+//   - Histogram-> `# TYPE x histogram` with *cumulative* `x_bucket`
+//     series (the Registry stores disjoint per-bucket counts; the
+//     exposition integrates them), a closing `le="+Inf"` bucket equal
+//     to `x_count`, plus `x_sum` and `x_count`.
+//
+// Families are emitted in sorted metric-name order so the output is
+// deterministic — the server's golden test depends on that.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// PromContentType is the Content-Type the /metrics endpoint serves.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName sanitizes a Registry metric name into a legal Prometheus
+// metric name.
+func promName(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			out = append(out, c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				out = append(out, '_')
+			}
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// promFloat formats a value the way Prometheus expects (no exponent
+// for integral values, "+Inf" never appears here — bucket bounds are
+// handled separately).
+func promFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders a point-in-time snapshot of the registry in
+// the Prometheus text exposition format. A nil registry writes
+// nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return WriteSnapshotPrometheus(w, r.Snapshot())
+}
+
+// WriteSnapshotPrometheus renders an already-taken snapshot (see
+// WritePrometheus). Splitting the two lets tests and the /metrics
+// handler render without re-reading the live instruments.
+func WriteSnapshotPrometheus(w io.Writer, s Snapshot) error {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(s.Gauges[n])); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			le := "+Inf"
+			if !math.IsInf(b.UpperBound, 1) {
+				le = promFloat(b.UpperBound)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", pn, promFloat(h.Sum), pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureRegistry builds a deterministic registry exercising every
+// instrument kind plus name sanitization.
+func fixtureRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("engine.iterations").Add(42)
+	r.Counter("engine.topples").Add(1337)
+	r.Gauge("engine.frontier_tiles").Set(7)
+	r.Gauge("wfsched.sweep-fraction").Set(0.25) // '-' must sanitize to '_'
+	h := r.Histogram("shuffle.run_ms", []float64{1, 5, 10})
+	for _, v := range []float64{0.5, 0.5, 3, 7, 7, 7, 50} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := fixtureRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	got := sb.String()
+
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusCumulativeBuckets(t *testing.T) {
+	var sb strings.Builder
+	if err := fixtureRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Registry stores disjoint counts (2, 1, 3, 1); exposition must
+	// integrate them into cumulative 2, 3, 6, 7.
+	for _, line := range []string{
+		`shuffle_run_ms_bucket{le="1"} 2`,
+		`shuffle_run_ms_bucket{le="5"} 3`,
+		`shuffle_run_ms_bucket{le="10"} 6`,
+		`shuffle_run_ms_bucket{le="+Inf"} 7`,
+		`shuffle_run_ms_count 7`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("exposition missing %q:\n%s", line, out)
+		}
+	}
+	if !strings.Contains(out, "wfsched_sweep_fraction 0.25\n") {
+		t.Errorf("name sanitization failed:\n%s", out)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"engine.iterations":   "engine_iterations",
+		"a-b c/d":             "a_b_c_d",
+		"0leading":            "_0leading",
+		"ok_name:sub":         "ok_name:sub",
+		"runtime.gc_pause_ms": "runtime_gc_pause_ms",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestQuantileEstimates(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", []float64{10, 20, 30})
+	// 100 samples uniform-ish: 50 in (0,10], 40 in (10,20], 10 in (20,30].
+	for i := 0; i < 50; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 40; i++ {
+		h.Observe(15)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(25)
+	}
+	hs := r.Snapshot().Histograms["q"]
+	if hs.P50 != 10 { // rank 50 is exactly the end of bucket (0,10]
+		t.Errorf("p50 = %v, want 10", hs.P50)
+	}
+	// rank 95 = 5 past 90 into the 10-wide (20,30] bucket -> 25.
+	if hs.P95 != 25 {
+		t.Errorf("p95 = %v, want 25", hs.P95)
+	}
+	if hs.P99 != 29 {
+		t.Errorf("p99 = %v, want 29", hs.P99)
+	}
+
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+}
+
+func TestQuantileOverflowBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", []float64{1, 2})
+	h.Observe(100) // lands in overflow
+	hs := r.Snapshot().Histograms["q"]
+	// The histogram can't resolve past its last finite bound.
+	if hs.P99 != 2 {
+		t.Errorf("overflow p99 = %v, want 2", hs.P99)
+	}
+}

@@ -1,0 +1,204 @@
+package obs
+
+// logger.go is the structured-event half of the live telemetry plane:
+// a leveled JSON event log that previously-silent subsystems (ckpt
+// saves/loads/GC, fault injections and recoveries, chaos kill/resume)
+// publish into. Events carry the logger's clock offset, a source, an
+// optional span ID for correlating with tracer spans (emitters attach
+// the same ID to both), and integer key/value fields reusing the
+// tracer's Arg type.
+//
+// A Logger is simultaneously:
+//   - a fan-out hub: Subscribe hands out buffered channels the SSE
+//     /events endpoint streams from (slow subscribers drop events
+//     rather than stall the emitting hot path);
+//   - an optional JSON-lines mirror: WithLogWriter tees every event
+//     to an io.Writer, which is how cmd/chaos makes soak runs
+//     greppable without a live subscriber.
+//
+// As everywhere in obs, a nil *Logger is a zero-cost no-op.
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level classifies an event.
+type Level uint8
+
+// The levels, lowest to highest severity.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// Event is one structured log record.
+type Event struct {
+	// Seq is the logger-wide sequence number (1-based); the SSE
+	// endpoint uses it as the event id.
+	Seq int64 `json:"seq"`
+	// TMs is the logger clock's offset in milliseconds.
+	TMs float64 `json:"t_ms"`
+	// Level is the severity name ("debug".."error").
+	Level string `json:"level"`
+	// Source names the emitting subsystem ("ckpt", "fault", "chaos").
+	Source string `json:"source"`
+	// Msg is the human-readable event name/description.
+	Msg string `json:"msg"`
+	// Span, when nonzero, correlates the event with tracer spans
+	// carrying the same id in a "span" Arg.
+	Span int64 `json:"span,omitempty"`
+	// Fields are the integer annotations (epoch, bytes, rank, ...).
+	Fields map[string]int64 `json:"fields,omitempty"`
+}
+
+// Logger collects and fans out structured events.
+type Logger struct {
+	clock Clock
+	seq   atomic.Int64
+	spans atomic.Int64
+
+	mu      sync.Mutex
+	w       io.Writer // optional JSON-lines mirror
+	subs    map[int]chan Event
+	nextSub int
+}
+
+// LoggerOption configures NewLogger.
+type LoggerOption func(*Logger)
+
+// WithLogClock injects the logger's clock (nil means a wall clock
+// started at construction) — virtual-time drivers share their
+// tracer's clock.
+func WithLogClock(c Clock) LoggerOption {
+	return func(l *Logger) {
+		if c != nil {
+			l.clock = c
+		}
+	}
+}
+
+// WithLogWriter tees every event to w as one JSON object per line.
+func WithLogWriter(w io.Writer) LoggerOption {
+	return func(l *Logger) { l.w = w }
+}
+
+// NewLogger returns an empty event logger.
+func NewLogger(opts ...LoggerOption) *Logger {
+	l := &Logger{subs: map[int]chan Event{}}
+	for _, o := range opts {
+		o(l)
+	}
+	if l.clock == nil {
+		l.clock = NewWallClock()
+	}
+	return l
+}
+
+// NextSpan allocates a fresh span-correlation ID (0 on nil). Emitters
+// attach it to both an Event and the matching tracer span args.
+func (l *Logger) NextSpan() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.spans.Add(1)
+}
+
+// Event records one event. Args become the event's integer fields.
+// No-op on nil.
+func (l *Logger) Event(level Level, source, msg string, args ...Arg) {
+	l.EventSpan(level, source, msg, 0, args...)
+}
+
+// EventSpan is Event with an explicit span-correlation ID.
+func (l *Logger) EventSpan(level Level, source, msg string, span int64, args ...Arg) {
+	if l == nil {
+		return
+	}
+	e := Event{
+		Seq:    l.seq.Add(1),
+		TMs:    float64(l.clock.Now()) / float64(time.Millisecond),
+		Level:  level.String(),
+		Source: source,
+		Msg:    msg,
+		Span:   span,
+	}
+	if len(args) > 0 {
+		e.Fields = make(map[string]int64, len(args))
+		for _, a := range args {
+			e.Fields[a.Key] = a.Value
+		}
+	}
+	l.mu.Lock()
+	if l.w != nil {
+		if buf, err := json.Marshal(e); err == nil {
+			l.w.Write(append(buf, '\n'))
+		}
+	}
+	for _, ch := range l.subs {
+		select {
+		case ch <- e:
+		default: // slow subscriber: drop rather than stall the emitter
+		}
+	}
+	l.mu.Unlock()
+}
+
+// Subscribe registers a fan-out channel with the given buffer
+// (minimum 1) and returns it plus its cancel function. Events emitted
+// while the channel is full are dropped for that subscriber. The
+// channel is closed by cancel; cancel is idempotent. On a nil logger
+// the returned channel is nil (reads block forever) and cancel is a
+// no-op — callers gate on the logger's presence.
+func (l *Logger) Subscribe(buf int) (<-chan Event, func()) {
+	if l == nil {
+		return nil, func() {}
+	}
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan Event, buf)
+	l.mu.Lock()
+	id := l.nextSub
+	l.nextSub++
+	l.subs[id] = ch
+	l.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			l.mu.Lock()
+			delete(l.subs, id)
+			l.mu.Unlock()
+			close(ch)
+		})
+	}
+	return ch, cancel
+}
+
+// Subscribers reports the current fan-out count (0 on nil).
+func (l *Logger) Subscribers() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.subs)
+}

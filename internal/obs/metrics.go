@@ -115,6 +115,28 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// observeN records n samples of value v in one shot — the bulk path
+// the runtime/metrics collector uses to replay bucket-count deltas
+// from the Go runtime's own histograms without n separate walks.
+func (h *Histogram) observeN(v float64, n int64) {
+	if h == nil || n <= 0 {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(n)
+	h.count.Add(n)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v*float64(n))
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Count returns the number of observations (0 on nil).
 func (h *Histogram) Count() int64 {
 	if h == nil {
@@ -196,11 +218,60 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
-// HistogramSnapshot is the exported state of one histogram.
+// HistogramSnapshot is the exported state of one histogram. P50/P95/
+// P99 are quantile estimates interpolated from the bucket counts (see
+// Quantile); they are computed once at snapshot time so the end-of-run
+// JSON and the CLI summaries agree.
 type HistogramSnapshot struct {
 	Count   int64         `json:"count"`
 	Sum     float64       `json:"sum"`
+	P50     float64       `json:"p50"`
+	P95     float64       `json:"p95"`
+	P99     float64       `json:"p99"`
 	Buckets []BucketCount `json:"buckets"`
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket
+// counts by linear interpolation inside the bucket holding the target
+// rank: observations are assumed uniform within a bucket, the first
+// bucket's lower edge is 0 (or its bound, if negative), and ranks
+// landing in the overflow bucket report the highest finite bound —
+// the histogram cannot resolve beyond it. Returns 0 on an empty
+// snapshot.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum := int64(0)
+	lo := 0.0
+	if b := h.Buckets[0].UpperBound; b < 0 {
+		lo = b
+	}
+	for i, b := range h.Buckets {
+		if math.IsInf(b.UpperBound, 1) {
+			// Overflow bucket: the last finite bound is the best
+			// defensible answer.
+			if i > 0 {
+				return h.Buckets[i-1].UpperBound
+			}
+			return 0
+		}
+		next := cum + b.Count
+		if float64(next) >= rank && b.Count > 0 {
+			frac := (rank - float64(cum)) / float64(b.Count)
+			return lo + frac*(b.UpperBound-lo)
+		}
+		cum = next
+		lo = b.UpperBound
+	}
+	return lo
 }
 
 // BucketCount pairs a bucket's inclusive upper bound with its count.
@@ -254,6 +325,9 @@ func (r *Registry) Snapshot() Snapshot {
 				}
 				hs.Buckets[i] = BucketCount{UpperBound: ub, Count: h.buckets[i].Load()}
 			}
+			hs.P50 = hs.Quantile(0.50)
+			hs.P95 = hs.Quantile(0.95)
+			hs.P99 = hs.Quantile(0.99)
 			s.Histograms[n] = hs
 		}
 	}

@@ -1,0 +1,103 @@
+package obs
+
+// progress.go is the live-progress half of the telemetry plane: a
+// concurrent map of named stages, each holding the latest numeric
+// fields its substrate published ("engine" -> iteration + frontier
+// size, "ghost" -> committed round, "mapreduce" -> task counts,
+// "wfsched" -> sweep fraction). The /progress endpoint snapshots it;
+// substrates publish through the Sink unconditionally because a nil
+// *Progress is a no-op.
+
+import (
+	"sync"
+	"time"
+)
+
+// Field is one named numeric progress datum.
+type Field struct {
+	Key   string
+	Value float64
+}
+
+// F builds a Field — sugar for Update call sites.
+func F(key string, v float64) Field { return Field{Key: key, Value: v} }
+
+// Progress holds the latest per-stage progress fields.
+type Progress struct {
+	clock Clock
+
+	mu     sync.RWMutex
+	stages map[string]*stageState
+}
+
+type stageState struct {
+	fields  map[string]float64
+	updates int64
+	at      time.Duration // clock offset of the last update
+}
+
+// NewProgress returns an empty reporter using the given clock (nil
+// means a wall clock started now).
+func NewProgress(clock Clock) *Progress {
+	if clock == nil {
+		clock = NewWallClock()
+	}
+	return &Progress{clock: clock, stages: map[string]*stageState{}}
+}
+
+// Update merges the given fields into the named stage (existing
+// fields not named are kept, so different phases of one substrate can
+// publish disjoint field sets) and stamps the stage with the clock.
+// No-op on nil.
+func (p *Progress) Update(stage string, fields ...Field) {
+	if p == nil {
+		return
+	}
+	now := p.clock.Now()
+	p.mu.Lock()
+	st, ok := p.stages[stage]
+	if !ok {
+		st = &stageState{fields: make(map[string]float64, len(fields))}
+		p.stages[stage] = st
+	}
+	for _, f := range fields {
+		st.fields[f.Key] = f.Value
+	}
+	st.updates++
+	st.at = now
+	p.mu.Unlock()
+}
+
+// StageSnapshot is the exported state of one stage.
+type StageSnapshot struct {
+	// Updates counts Update calls on the stage.
+	Updates int64 `json:"updates"`
+	// AgeMs is how long ago (on the reporter's clock) the stage last
+	// updated.
+	AgeMs float64 `json:"age_ms"`
+	// Fields are the latest published values.
+	Fields map[string]float64 `json:"fields"`
+}
+
+// Snapshot copies the current per-stage state (empty map on nil).
+func (p *Progress) Snapshot() map[string]StageSnapshot {
+	out := map[string]StageSnapshot{}
+	if p == nil {
+		return out
+	}
+	now := p.clock.Now()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for name, st := range p.stages {
+		fields := make(map[string]float64, len(st.fields))
+		for k, v := range st.fields {
+			fields[k] = v
+		}
+		out[name] = StageSnapshot{
+			Updates: st.updates,
+			AgeMs:   float64(now-st.at) / float64(time.Millisecond),
+			Fields:  fields,
+		}
+	}
+	return out
+}

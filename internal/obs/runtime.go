@@ -1,0 +1,146 @@
+package obs
+
+// runtime.go feeds the Go runtime's own telemetry (runtime/metrics)
+// into a Registry so the /metrics exposition carries heap, GC, and
+// scheduler health next to the substrate counters:
+//
+//	runtime.heap_bytes        gauge     live heap (objects) bytes
+//	runtime.mem_total_bytes   gauge     total Go-managed memory
+//	runtime.goroutines        gauge     current goroutine count
+//	runtime.gc_cycles         gauge     completed GC cycles
+//	runtime.gc_cpu_seconds    gauge     cumulative GC CPU seconds
+//	runtime.gc_pause_ms       histogram stop-the-world pause durations
+//	runtime.sched_latency_ms  histogram goroutine scheduling latency
+//
+// The two histograms are replayed from the runtime's cumulative
+// bucket counts: each collection diffs against the previous sample
+// and records the delta at the source bucket's midpoint, so the
+// Registry histogram (and its p50/p95/p99 estimates) tracks the live
+// distribution without re-observing history.
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+)
+
+// msBuckets is the latency ladder for the runtime histograms,
+// in milliseconds: sub-10µs scheduling blips up to second-long
+// stalls.
+var msBuckets = []float64{0.01, 0.05, 0.1, 0.5, 1, 5, 10, 50, 100, 500, 1000}
+
+const (
+	sampleHeap       = "/memory/classes/heap/objects:bytes"
+	sampleMemTotal   = "/memory/classes/total:bytes"
+	sampleGoroutines = "/sched/goroutines:goroutines"
+	sampleGCCycles   = "/gc/cycles/total:gc-cycles"
+	sampleGCCPU      = "/cpu/classes/gc/total:cpu-seconds"
+	samplePauses     = "/gc/pauses:seconds"
+	sampleSchedLat   = "/sched/latencies:seconds"
+)
+
+// runtimeCollector samples runtime/metrics into a Registry.
+type runtimeCollector struct {
+	mu      sync.Mutex
+	samples []metrics.Sample
+
+	gHeap, gMemTotal, gGoroutines, gGCCycles, gGCCPU *Gauge
+	hPause, hSched                                   *Histogram
+
+	prevPause, prevSched []uint64 // previous cumulative bucket counts
+}
+
+// newRuntimeCollector wires the runtime series into reg. A nil reg
+// yields a collector whose instruments are all no-ops (every method
+// on them is nil-safe), which keeps the server code branch-free.
+func newRuntimeCollector(reg *Registry) *runtimeCollector {
+	c := &runtimeCollector{
+		samples: []metrics.Sample{
+			{Name: sampleHeap},
+			{Name: sampleMemTotal},
+			{Name: sampleGoroutines},
+			{Name: sampleGCCycles},
+			{Name: sampleGCCPU},
+			{Name: samplePauses},
+			{Name: sampleSchedLat},
+		},
+		gHeap:       reg.Gauge("runtime.heap_bytes"),
+		gMemTotal:   reg.Gauge("runtime.mem_total_bytes"),
+		gGoroutines: reg.Gauge("runtime.goroutines"),
+		gGCCycles:   reg.Gauge("runtime.gc_cycles"),
+		gGCCPU:      reg.Gauge("runtime.gc_cpu_seconds"),
+		hPause:      reg.Histogram("runtime.gc_pause_ms", msBuckets),
+		hSched:      reg.Histogram("runtime.sched_latency_ms", msBuckets),
+	}
+	return c
+}
+
+// collect reads one sample set and updates the instruments. Safe for
+// concurrent use (the ticker and ad-hoc /metrics scrapes both call
+// it).
+func (c *runtimeCollector) collect() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	metrics.Read(c.samples)
+	for _, s := range c.samples {
+		switch s.Name {
+		case sampleHeap:
+			c.gHeap.Set(float64(s.Value.Uint64()))
+		case sampleMemTotal:
+			c.gMemTotal.Set(float64(s.Value.Uint64()))
+		case sampleGoroutines:
+			c.gGoroutines.Set(float64(s.Value.Uint64()))
+		case sampleGCCycles:
+			c.gGCCycles.Set(float64(s.Value.Uint64()))
+		case sampleGCCPU:
+			c.gGCCPU.Set(s.Value.Float64())
+		case samplePauses:
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				c.prevPause = replayHistogram(c.hPause, s.Value.Float64Histogram(), c.prevPause)
+			}
+		case sampleSchedLat:
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				c.prevSched = replayHistogram(c.hSched, s.Value.Float64Histogram(), c.prevSched)
+			}
+		}
+	}
+}
+
+// replayHistogram records the delta between a runtime cumulative
+// histogram and its previous sample into dst, valuing each bucket at
+// its midpoint converted from seconds to milliseconds. It returns the
+// new cumulative counts for the next diff. The runtime may grow a
+// histogram's bucket set between reads (it never shrinks); counts
+// whose previous value is missing count from zero.
+func replayHistogram(dst *Histogram, h *metrics.Float64Histogram, prev []uint64) []uint64 {
+	counts := make([]uint64, len(h.Counts))
+	copy(counts, h.Counts)
+	for i, n := range counts {
+		var before uint64
+		if i < len(prev) {
+			before = prev[i]
+		}
+		if n <= before {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		v := bucketMid(lo, hi) * 1000 // seconds -> ms
+		dst.observeN(v, int64(n-before))
+	}
+	return counts
+}
+
+// bucketMid picks a representative value for a [lo, hi) runtime
+// bucket, tolerating the +/-Inf edge buckets.
+func bucketMid(lo, hi float64) float64 {
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+		return 0
+	case math.IsInf(lo, -1):
+		return hi
+	case math.IsInf(hi, 1):
+		return lo
+	default:
+		return (lo + hi) / 2
+	}
+}

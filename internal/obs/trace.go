@@ -197,13 +197,20 @@ func (t *Tracer) ThreadName(id TrackID) string {
 	return t.threads[id]
 }
 
-// Sink bundles the two halves of the layer so substrates can accept a
+// Sink bundles the halves of the layer so substrates can accept a
 // single optional parameter. The zero value means "observability
-// off", and both fields are independently optional.
+// off", and every field is independently optional: Metrics and Tracer
+// are the post-mortem pair PR 1 introduced; Progress and Log are the
+// live telemetry plane (obs.Server publishes them at /progress and
+// /events).
 type Sink struct {
-	Metrics *Registry
-	Tracer  *Tracer
+	Metrics  *Registry
+	Tracer   *Tracer
+	Progress *Progress
+	Log      *Logger
 }
 
-// Enabled reports whether either half is attached.
-func (s Sink) Enabled() bool { return s.Metrics != nil || s.Tracer != nil }
+// Enabled reports whether any half is attached.
+func (s Sink) Enabled() bool {
+	return s.Metrics != nil || s.Tracer != nil || s.Progress != nil || s.Log != nil
+}

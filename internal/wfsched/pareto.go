@@ -11,6 +11,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // EvaluateFractions simulates every combination of the per-level
@@ -52,9 +54,28 @@ func fractionSpace(choices [][]float64) (total int, decode func(int) []float64) 
 // out over all CPUs. Entries outside the range are left untouched, so
 // a checkpointed sweep can fill the space chunk by chunk.
 func evaluateRange(sc Scenario, choices [][]float64, results []FractionResult, lo, hi int) {
-	_, decode := fractionSpace(choices)
+	total, decode := fractionSpace(choices)
 	next := atomic.Int64{}
 	next.Store(int64(lo))
+	// Live sweep progress: workers bump a shared completion counter and
+	// publish the covered fraction of the whole placement space every
+	// pubEvery placements (chunked sweeps resume mid-space, hence lo).
+	// All of it is nil-safe no-ops when no Progress reporter is attached.
+	var done atomic.Int64
+	pr := sc.Obs.Progress
+	pubEvery := int64(total / 256)
+	if pubEvery < 1 {
+		pubEvery = 1
+	}
+	publish := func(n int64) {
+		pr.Update("wfsched",
+			obs.F("evaluated", float64(lo)+float64(n)),
+			obs.F("total", float64(total)),
+			obs.F("sweep_fraction", (float64(lo)+float64(n))/float64(total)))
+	}
+	if pr != nil {
+		publish(0)
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
 		wg.Add(1)
@@ -67,6 +88,9 @@ func evaluateRange(sc Scenario, choices [][]float64, results []FractionResult, l
 				}
 				fr := decode(i)
 				results[i] = FractionResult{fr, Simulate(sc, LevelFractions(sc.Workflow, fr))}
+				if n := done.Add(1); pr != nil && (n%pubEvery == 0 || int(n) == hi-lo) {
+					publish(n)
+				}
 			}
 		}()
 	}

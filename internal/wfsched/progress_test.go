@@ -1,0 +1,29 @@
+package wfsched
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// Probe that the exhaustive sweep publishes its fraction progress.
+func TestSweepPublishesProgress(t *testing.T) {
+	pr := obs.NewProgress(nil)
+	sc := Tab2Scenario()
+	sc.Obs = obs.Sink{Progress: pr}
+	choices := [][]float64{{0, 0.5, 1}, {0, 1}, {0, 1}}
+	if res := EvaluateFractions(sc, choices); len(res) != 12 {
+		t.Fatalf("got %d results, want 12", len(res))
+	}
+	snap := pr.Snapshot()
+	st, ok := snap["wfsched"]
+	if !ok {
+		t.Fatalf("no wfsched stage in %v", snap)
+	}
+	if st.Fields["sweep_fraction"] != 1 {
+		t.Fatalf("sweep_fraction = %v, want 1", st.Fields["sweep_fraction"])
+	}
+	if st.Fields["evaluated"] != st.Fields["total"] || st.Fields["total"] == 0 {
+		t.Fatalf("evaluated=%v total=%v", st.Fields["evaluated"], st.Fields["total"])
+	}
+}

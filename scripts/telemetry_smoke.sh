@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Telemetry smoke test: boots a real sandpile run with -obs-listen,
+# scrapes the live endpoints the way Prometheus / an operator would,
+# and asserts on the payloads. Two phases:
+#
+#   1. A long relaxation run: /metrics must carry engine counters,
+#      runtime/* series, and histogram _bucket lines; /healthz must
+#      answer 200 "ok"; /progress must report the engine stage. The
+#      worker is then killed cleanly (TERM, not KILL).
+#   2. A -ranks run with fault injection and checkpointing: /events
+#      must stream at least one structured ckpt or fault event while
+#      the run is live.
+#
+# Exits nonzero with a diagnostic on the first failed assertion.
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+SCRATCH="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+  done
+  rm -rf "$SCRATCH"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "telemetry-smoke: FAIL: $*" >&2
+  exit 1
+}
+
+echo "telemetry-smoke: building sandpile"
+go build -o "$SCRATCH/sandpile" ./cmd/sandpile || fail "build"
+
+# Launch a worker with -obs-listen and block until it announces its
+# bound address on stderr (127.0.0.1:0 makes the kernel pick a free
+# port, so parallel CI jobs never collide). Sets ADDR and WORKER.
+start_worker() { # args: stderr-log, then the sandpile args
+  local log="$1"
+  shift
+  "$SCRATCH/sandpile" -obs-listen 127.0.0.1:0 "$@" >/dev/null 2>"$log" &
+  WORKER=$!
+  PIDS+=("$WORKER")
+  ADDR=""
+  for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's#.*live telemetry on http://\([^ ]*\) .*#\1#p' "$log")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+  done
+  [ -n "$ADDR" ] || fail "worker never announced its telemetry address (log: $(cat "$log"))"
+}
+
+# ---- Phase 1: scrape /metrics, /healthz, /progress on a live run ----
+
+echo "telemetry-smoke: phase 1: scraping a live relaxation run"
+# No -max-iters: run to stability (~36k sweeps, several seconds) so the
+# endpoints stay up while we scrape them.
+start_worker "$SCRATCH/p1.stderr" -size 256 -grains 2000000
+sleep 0.5 # let the run get past its first iterations
+
+METRICS=$(curl -fsS --max-time 5 "http://$ADDR/metrics") || fail "/metrics not reachable"
+echo "$METRICS" | grep -q '^engine_'            || fail "/metrics has no engine_* series"
+echo "$METRICS" | grep -q '^runtime_goroutines' || fail "/metrics has no runtime_* series"
+echo "$METRICS" | grep -q '_bucket{le='         || fail "/metrics has no histogram _bucket lines"
+
+HEALTH_CODE=$(curl -sS --max-time 5 -o "$SCRATCH/healthz" -w '%{http_code}' "http://$ADDR/healthz") \
+  || fail "/healthz not reachable"
+[ "$HEALTH_CODE" = 200 ]                 || fail "/healthz returned $HEALTH_CODE"
+grep -q '"status":"ok"' "$SCRATCH/healthz" || fail "/healthz body is not ok: $(cat "$SCRATCH/healthz")"
+
+curl -fsS --max-time 5 "http://$ADDR/progress" | grep -q '"engine"' \
+  || fail "/progress has no engine stage"
+
+kill -TERM "$WORKER" 2>/dev/null || true
+wait "$WORKER" 2>/dev/null || true
+echo "telemetry-smoke: phase 1 OK (addr $ADDR)"
+
+# ---- Phase 2: /events streams ckpt + fault events during a faulty run ----
+
+echo "telemetry-smoke: phase 2: streaming /events from a -faults -checkpoint run"
+start_worker "$SCRATCH/p2.stderr" \
+  -ranks 4 -size 128 -grains 400000 \
+  -faults seed=7,crash=1@3 -checkpoint "$SCRATCH/ckpt" -checkpoint-every 10
+
+# curl -N keeps the SSE stream open; cap it so the script always ends.
+curl -sSN --max-time 10 "http://$ADDR/events" >"$SCRATCH/events" || true
+grep -Eq '"source":"(ckpt|fault)"' "$SCRATCH/events" \
+  || fail "/events streamed no ckpt/fault event: $(head -c 400 "$SCRATCH/events")"
+
+echo "telemetry-smoke: phase 2 OK ($(grep -c '^data:' "$SCRATCH/events") events streamed)"
+echo "telemetry-smoke: PASS"
