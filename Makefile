@@ -1,7 +1,7 @@
 # Tier-1 verification plus race detection in one command: `make check`.
 GO ?= go
 
-.PHONY: build test race vet check soak smoke-telemetry bench-baseline bench-compare
+.PHONY: build test race vet check soak smoke-telemetry smoke-external bench-baseline bench-compare
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,13 @@ soak:
 smoke-telemetry:
 	./scripts/telemetry_smoke.sh
 
+# Memory-capped out-of-core shuffle: a word count several times larger
+# than its shuffle budget runs under a hard GOMEMLIMIT, spills, merges
+# multi-pass, and must match the in-memory reference byte for byte.
+# See scripts/external_smoke.sh; EXT_SMOKE_LINES scales the corpus.
+smoke-external:
+	./scripts/external_smoke.sh
+
 # Record the perf trajectory future PRs diff against. -benchtime=100ms
 # keeps the sweep to a couple of minutes; bump it for headline numbers.
 # -count=$(BENCH_COUNT) runs each benchmark several times and benchjson
@@ -47,10 +54,11 @@ bench-baseline:
 # Sweep the current tree and diff it against the recorded baseline;
 # fails if any benchmark regressed more than 10%. Override BASELINE to
 # diff against a specific snapshot, e.g.
-# `make bench-compare BASELINE=BENCH_pr2.json`. BENCH_pr4.json is the
-# current reference: it records the sorted-run shuffle numbers,
-# including the million-record suite.
-BASELINE ?= BENCH_pr4.json
+# `make bench-compare BASELINE=BENCH_pr2.json`. BENCH_pr7.json is the
+# current reference: it adds the external-shuffle suite, the
+# per-kernel (scalar/SSE2/AVX2) row benchmarks, and the 2-D halo
+# exchange to the sorted-run shuffle numbers from BENCH_pr4.json.
+BASELINE ?= BENCH_pr7.json
 
 bench-compare:
 	$(GO) test -run '^$$' -bench . -benchtime=100ms -count=$(BENCH_COUNT) ./... \

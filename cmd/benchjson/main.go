@@ -166,6 +166,24 @@ func Compare(old, new Baseline) []Delta {
 	return out
 }
 
+// Summarize counts deltas by kind: benchmarks present in both
+// baselines (the only ones that can regress), added (new-only), and
+// removed (old-only). New benchmarks landing alongside a PR must show
+// up as "added" in the gate's summary, not fail it.
+func Summarize(deltas []Delta) (compared, added, removed int) {
+	for _, d := range deltas {
+		switch {
+		case d.InBoth:
+			compared++
+		case d.Old == 0:
+			added++
+		default:
+			removed++
+		}
+	}
+	return compared, added, removed
+}
+
 // RenderCompare formats the deltas as an aligned table and returns the
 // names of benchmarks regressed beyond thresholdPct.
 func RenderCompare(w io.Writer, deltas []Delta, thresholdPct float64) []string {
@@ -198,13 +216,16 @@ func runCompare(oldPath, newPath string, thresholdPct float64) int {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	regressed := RenderCompare(os.Stdout, Compare(oldB, newB), thresholdPct)
+	deltas := Compare(oldB, newB)
+	regressed := RenderCompare(os.Stdout, deltas, thresholdPct)
+	compared, added, removed := Summarize(deltas)
 	if len(regressed) > 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed > %.1f%%: %v\n",
 			len(regressed), thresholdPct, regressed)
 		return 1
 	}
-	fmt.Printf("no regressions > %.1f%% (%d benchmarks compared)\n", thresholdPct, len(oldB.Benchmarks))
+	fmt.Printf("no regressions > %.1f%% (%d compared, %d added, %d removed)\n",
+		thresholdPct, compared, added, removed)
 	return 0
 }
 

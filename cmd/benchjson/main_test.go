@@ -98,6 +98,34 @@ func TestCompareDetectsRegressionsAndImprovements(t *testing.T) {
 	}
 }
 
+// Summarize must classify one-sided benchmarks as added/removed and
+// keep them out of the compared count — the shape a PR landing new
+// benchmarks produces against an older baseline.
+func TestSummarizeCountsOneSidedBenchmarks(t *testing.T) {
+	old := baselineOf(map[string]float64{
+		"BenchmarkShared1": 100,
+		"BenchmarkShared2": 200,
+		"BenchmarkGone":    300,
+	})
+	new := baselineOf(map[string]float64{
+		"BenchmarkShared1": 110,
+		"BenchmarkShared2": 190,
+		"BenchmarkNew1":    10,
+		"BenchmarkNew2":    20,
+	})
+	deltas := Compare(old, new)
+	compared, added, removed := Summarize(deltas)
+	if compared != 2 || added != 2 || removed != 1 {
+		t.Fatalf("Summarize = (%d compared, %d added, %d removed), want (2, 2, 1)",
+			compared, added, removed)
+	}
+	// And none of the one-sided entries may trip the gate.
+	var sb strings.Builder
+	if regressed := RenderCompare(&sb, deltas, 10); len(regressed) != 0 {
+		t.Fatalf("one-sided benchmarks tripped the gate: %v", regressed)
+	}
+}
+
 func TestCompareThreshold(t *testing.T) {
 	old := baselineOf(map[string]float64{"BenchmarkX": 100})
 	new := baselineOf(map[string]float64{"BenchmarkX": 106})

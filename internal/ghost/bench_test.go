@@ -26,6 +26,23 @@ func BenchmarkGhostWidthSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkHaloExchange2D makes the coalesced-halo savings visible:
+// allocs/op counts one buffer per message (K-row payloads are packed
+// into a single contiguous buffer) instead of one per halo row, at a
+// corner-carrying K where the per-row cost used to dominate.
+func BenchmarkHaloExchange2D(b *testing.B) {
+	init := sandpile.Center(40000).Build(128, 128, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := init.Clone()
+		b.StartTimer()
+		if _, err := Run2D(g, Params2D{RankRows: 2, RankCols: 2, GhostWidth: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRankScaling measures strong scaling over simulated ranks.
 func BenchmarkRankScaling(b *testing.B) {
 	init := sandpile.Center(30000).Build(256, 256, nil)

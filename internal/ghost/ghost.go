@@ -83,9 +83,14 @@ func (r Report) String() string {
 	return s
 }
 
-// message is one halo payload: K rows of W cells.
+// message is one halo payload: k segments of w cells coalesced into a
+// single contiguous row-major buffer — one allocation and one copy
+// per exchange instead of one per row, the batched-halo optimization.
+// The receiver knows the segment geometry from its own decomposition,
+// so the wire carries no shape. Senders must build a fresh buffer per
+// Send: the link retains the payload for retransmission.
 type message struct {
-	rows [][]uint32
+	buf []uint32
 }
 
 // rank is the per-process state of the simulated run. Ranks are
@@ -384,23 +389,23 @@ func (r *rank) run(K, startRound int) {
 // peer dead (timeout with nothing to retransmit).
 func (r *rank) exchange(K int) bool {
 	W := r.cur.W()
-	if r.sendUp != nil {
-		m := message{rows: make([][]uint32, K)}
+	// K boundary rows coalesce into one flat K×W message per neighbor.
+	pack := func(y0 int) message {
+		buf := make([]uint32, 0, K*W)
 		for k := 0; k < K; k++ {
-			m.rows[k] = append([]uint32(nil), r.cur.Row(r.topGhost+k)...)
+			buf = append(buf, r.cur.Row(y0+k)...)
 		}
-		if !r.sendUp.Send(m, r.abort) {
+		return message{buf: buf}
+	}
+	if r.sendUp != nil {
+		if !r.sendUp.Send(pack(r.topGhost), r.abort) {
 			return false
 		}
 		r.msgs++
 		r.bytes += uint64(K * W * 4)
 	}
 	if r.sendDown != nil {
-		m := message{rows: make([][]uint32, K)}
-		for k := 0; k < K; k++ {
-			m.rows[k] = append([]uint32(nil), r.cur.Row(r.topGhost+r.owned-K+k)...)
-		}
-		if !r.sendDown.Send(m, r.abort) {
+		if !r.sendDown.Send(pack(r.topGhost+r.owned-K), r.abort) {
 			return false
 		}
 		r.msgs++
@@ -412,7 +417,7 @@ func (r *rank) exchange(K int) bool {
 			return false
 		}
 		for k := 0; k < K; k++ {
-			copy(r.cur.Row(k), m.rows[k])
+			copy(r.cur.Row(k), m.buf[k*W:(k+1)*W])
 		}
 	}
 	if r.recvDown != nil {
@@ -421,7 +426,7 @@ func (r *rank) exchange(K int) bool {
 			return false
 		}
 		for k := 0; k < K; k++ {
-			copy(r.cur.Row(r.topGhost+r.owned+k), m.rows[k])
+			copy(r.cur.Row(r.topGhost+r.owned+k), m.buf[k*W:(k+1)*W])
 		}
 	}
 	return true

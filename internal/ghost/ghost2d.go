@@ -378,13 +378,14 @@ func (r *rank2d) run(K, startRound int) {
 // owned rows first, then N/S rows over the full local width (carrying
 // the corners). Returns false on abort or peer death.
 func (r *rank2d) exchange(K int) bool {
-	// Phase 1: east/west columns, owned rows only.
+	// Phase 1: east/west columns, owned rows only, coalesced into one
+	// flat ownH×K message per neighbor.
 	colPayload := func(x0 int) message {
-		m := message{rows: make([][]uint32, r.ownH)}
+		buf := make([]uint32, 0, r.ownH*K)
 		for y := 0; y < r.ownH; y++ {
-			m.rows[y] = append([]uint32(nil), r.cur.Row(r.gTop + y)[x0:x0+K]...)
+			buf = append(buf, r.cur.Row(r.gTop + y)[x0:x0+K]...)
 		}
-		return m
+		return message{buf: buf}
 	}
 	if r.sendW != nil {
 		if !r.sendW.Send(colPayload(r.gLeft), r.abort) {
@@ -406,7 +407,7 @@ func (r *rank2d) exchange(K int) bool {
 			return false
 		}
 		for y := 0; y < r.ownH; y++ {
-			copy(r.cur.Row(r.gTop + y)[0:K], m.rows[y])
+			copy(r.cur.Row(r.gTop + y)[0:K], m.buf[y*K:(y+1)*K])
 		}
 	}
 	if r.recvE != nil {
@@ -415,19 +416,20 @@ func (r *rank2d) exchange(K int) bool {
 			return false
 		}
 		for y := 0; y < r.ownH; y++ {
-			copy(r.cur.Row(r.gTop + y)[r.gLeft+r.ownW:], m.rows[y])
+			copy(r.cur.Row(r.gTop + y)[r.gLeft+r.ownW:], m.buf[y*K:(y+1)*K])
 		}
 	}
 
 	// Phase 2: north/south rows over the full local width, including
 	// the halo columns just received — this is what fills corners.
+	// One flat K×W message per neighbor.
 	W := r.cur.W()
 	rowPayload := func(y0 int) message {
-		m := message{rows: make([][]uint32, K)}
+		buf := make([]uint32, 0, K*W)
 		for k := 0; k < K; k++ {
-			m.rows[k] = append([]uint32(nil), r.cur.Row(y0+k)...)
+			buf = append(buf, r.cur.Row(y0+k)...)
 		}
-		return m
+		return message{buf: buf}
 	}
 	if r.sendN != nil {
 		if !r.sendN.Send(rowPayload(r.gTop), r.abort) {
@@ -449,7 +451,7 @@ func (r *rank2d) exchange(K int) bool {
 			return false
 		}
 		for k := 0; k < K; k++ {
-			copy(r.cur.Row(k), m.rows[k])
+			copy(r.cur.Row(k), m.buf[k*W:(k+1)*W])
 		}
 	}
 	if r.recvS != nil {
@@ -458,7 +460,7 @@ func (r *rank2d) exchange(K int) bool {
 			return false
 		}
 		for k := 0; k < K; k++ {
-			copy(r.cur.Row(r.gTop+r.ownH+k), m.rows[k])
+			copy(r.cur.Row(r.gTop+r.ownH+k), m.buf[k*W:(k+1)*W])
 		}
 	}
 	return true

@@ -163,7 +163,7 @@ func benchShuffle1M(b *testing.B, naive bool) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := job.reducePhase(context.Background(), mapOut, cfg, nil); err != nil {
+		if _, _, err := job.reducePhase(context.Background(), mapOut, cfg, nil, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -171,6 +171,40 @@ func benchShuffle1M(b *testing.B, naive bool) {
 
 func BenchmarkShuffle1M(b *testing.B)      { benchShuffle1M(b, false) }
 func BenchmarkShuffle1MNaive(b *testing.B) { benchShuffle1M(b, true) }
+
+// The out-of-core twins: the same 1M word count with the shuffle
+// budgeted to a fraction of its resident footprint, so every iteration
+// spills and multi-pass-merges through disk. The delta against
+// BenchmarkWordCount1M is the measured price of running beyond RAM.
+func benchWordCount1MExternal(b *testing.B, budget int64, fanIn int) {
+	b.Helper()
+	lines := uniformCorpus1M()
+	dir := b.TempDir()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := config1M(false)
+		cfg.MaxShuffleBytes = budget
+		cfg.MergeFanIn = fanIn
+		job := wordCountJobForBench(cfg)
+		job.External = NewStringIntExternal(dir, "bench")
+		_, stats, err := job.Run(lines)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.SpilledRuns == 0 {
+			b.Fatalf("budget %d spilled nothing", budget)
+		}
+	}
+}
+
+func BenchmarkWordCount1MExternal(b *testing.B) {
+	benchWordCount1MExternal(b, 8<<20, 16)
+}
+
+func BenchmarkWordCount1MExternalTightBudget(b *testing.B) {
+	benchWordCount1MExternal(b, 1<<20, 4)
+}
 
 func BenchmarkShuffleManyKeys(b *testing.B) {
 	inputs := make([]int, 5000)

@@ -137,7 +137,7 @@ func RunStreamingPipeline(inputs []string, mapperArgv, reducerArgv []string, cfg
 		},
 		Counters: NewCounters(),
 	}
-	out, redStats, err := job.reducePhase(context.Background(), mapOut, cfg, nil)
+	out, redStats, err := job.reducePhase(context.Background(), mapOut, cfg, nil, nil)
 	if err != nil {
 		return nil, stats, err
 	}

@@ -105,8 +105,22 @@ type Config[K cmp.Ordered] struct {
 	// hash-group per partition plus a post-hoc sort, the pre-sorted-run
 	// implementation) instead of the parallel k-way merge pipeline.
 	// It exists for validation (the randomized equivalence oracle) and
-	// benchmarking; outputs are identical either way.
+	// benchmarking; outputs are identical either way. Incompatible with
+	// MaxShuffleBytes — the naive shuffle cannot run out-of-core.
 	ReferenceShuffle bool
+	// MaxShuffleBytes caps the approximate bytes of map output held
+	// resident for the shuffle. Once a completed map task would push
+	// the account past the cap, its runs are spilled to disk and the
+	// reduce phase switches that partition to the multi-pass external
+	// merge (external.go). Requires Job.External for the scratch dir
+	// and wire codecs. 0 keeps the whole shuffle in memory. Output is
+	// byte-identical either way.
+	MaxShuffleBytes int64
+	// MergeFanIn caps how many runs one external merge pass streams at
+	// once (intermediate merged runs are re-spilled until the final
+	// pass fits); 0 means 16, values below 2 are treated as 0. Only
+	// consulted when MaxShuffleBytes forces spilling.
+	MergeFanIn int
 }
 
 func (c Config[K]) withDefaults() Config[K] {
@@ -181,6 +195,10 @@ type Stats struct {
 	ShuffleRuns     int // non-empty sorted runs fed to the shuffle merges (0 with ReferenceShuffle)
 	MergePasses     int // per-partition k-way merge passes executed (0 with ReferenceShuffle)
 	MapTasksResumed int // map tasks restored from spill files instead of executed (0 without Job.Spill)
+	SpilledRuns     int // sorted runs written to external run files under the MaxShuffleBytes budget
+	// SpilledBytes counts external run-file bytes written, including
+	// intermediate multi-pass merge output (0 when nothing spilled).
+	SpilledBytes int64
 }
 
 // Job binds the phases of one MapReduce computation.
@@ -196,6 +214,10 @@ type Job[I any, K cmp.Ordered, V, O any] struct {
 	// resumes from the first unfinished task (see spill.go). nil
 	// keeps everything in memory.
 	Spill *Spill[K, V]
+	// External supplies the scratch directory and wire codecs for the
+	// out-of-core shuffle (external.go); required when
+	// Config.MaxShuffleBytes > 0 and ignored otherwise.
+	External *External[K, V]
 }
 
 // Run executes the job over the input records and returns the reduce
@@ -227,6 +249,22 @@ func (j *Job[I, K, V, O]) RunContext(ctx context.Context, inputs []I) ([]O, Stat
 	splits := splitInputs(inputs, cfg.MapTasks)
 	stats := Stats{MapTasks: len(splits), ReduceTasks: cfg.ReduceTasks}
 
+	var ext *extShuffle[K, V]
+	if cfg.MaxShuffleBytes > 0 {
+		if j.External == nil {
+			return nil, stats, errors.New("mapreduce: Config.MaxShuffleBytes needs Job.External (scratch dir + shuffle codecs)")
+		}
+		if cfg.ReferenceShuffle {
+			return nil, stats, errors.New("mapreduce: ReferenceShuffle cannot run out-of-core; unset Config.MaxShuffleBytes")
+		}
+		var eerr error
+		ext, eerr = newExtShuffle(j.External, cfg.MaxShuffleBytes, cfg.MergeFanIn, len(splits), cfg.ReduceTasks)
+		if eerr != nil {
+			return nil, stats, eerr
+		}
+		defer ext.cleanup()
+	}
+
 	// ---- Map phase -------------------------------------------------
 	// mapOut[task][partition] holds the sorted run task t routed to
 	// partition p, kept per-task so the shuffle merge can break key
@@ -250,6 +288,11 @@ func (j *Job[I, K, V, O]) RunContext(ctx context.Context, inputs []I) ([]O, Stat
 		if j.Spill != nil {
 			if out, emitted, ok := j.Spill.load(t, cfg.ReduceTasks); ok {
 				mapOut[t] = out
+				if ext != nil {
+					if err := ext.admit(t, mapOut[t]); err != nil {
+						return err
+					}
+				}
 				statsMu.Lock()
 				stats.MapOutputs += emitted
 				stats.MapTasksResumed++
@@ -286,6 +329,11 @@ func (j *Job[I, K, V, O]) RunContext(ctx context.Context, inputs []I) ([]O, Stat
 			}
 		}
 		mapOut[t] = out
+		if ext != nil {
+			if err := ext.admit(t, mapOut[t]); err != nil {
+				return err
+			}
+		}
 		statsMu.Lock()
 		retries += int64(attempts - 1)
 		stats.MapOutputs += emitted
@@ -301,7 +349,7 @@ func (j *Job[I, K, V, O]) RunContext(ctx context.Context, inputs []I) ([]O, Stat
 		stats.MapInputs += len(split)
 	}
 
-	out, redStats, err := j.reducePhase(ctx, mapOut, cfg, inj)
+	out, redStats, err := j.reducePhase(ctx, mapOut, cfg, inj, ext)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -311,6 +359,10 @@ func (j *Job[I, K, V, O]) RunContext(ctx context.Context, inputs []I) ([]O, Stat
 	stats.TaskRetries = int(retries) + redStats.TaskRetries
 	stats.ShuffleRuns = redStats.ShuffleRuns
 	stats.MergePasses = redStats.MergePasses
+	if ext != nil {
+		stats.SpilledRuns = int(ext.spilledRuns.Load())
+		stats.SpilledBytes = ext.spilledBytes.Load()
+	}
 	if m := cfg.Obs.Metrics; m != nil {
 		m.Counter("mapreduce.tasks.map").Add(int64(stats.MapTasks))
 		m.Counter("mapreduce.tasks.reduce").Add(int64(stats.ReduceTasks))
@@ -320,6 +372,10 @@ func (j *Job[I, K, V, O]) RunContext(ctx context.Context, inputs []I) ([]O, Stat
 		m.Counter("mapreduce.retries").Add(int64(stats.TaskRetries))
 		m.Counter("mapreduce.shuffle.runs").Add(int64(stats.ShuffleRuns))
 		m.Counter("mapreduce.shuffle.merge_passes").Add(int64(stats.MergePasses))
+		if ext != nil {
+			m.Counter("mapreduce.shuffle.spilled_runs").Add(int64(stats.SpilledRuns))
+			m.Counter("mapreduce.shuffle.spilled_bytes").Add(stats.SpilledBytes)
+		}
 	}
 	return out, stats, nil
 }
@@ -331,8 +387,10 @@ func (j *Job[I, K, V, O]) RunContext(ctx context.Context, inputs []I) ([]O, Stat
 // into the reducer — shuffle and reduce are one fused pass with no
 // group materialization. The returned Stats carries only the fields
 // this phase owns: CombineOutputs, ReduceGroups, TaskRetries,
-// ShuffleRuns, MergePasses.
-func (j *Job[I, K, V, O]) reducePhase(ctx context.Context, mapOut [][]run[K, V], cfg Config[K], inj *fault.Injector) ([]O, Stats, error) {
+// ShuffleRuns, MergePasses. A non-nil ext routes partitions with
+// spilled runs through the multi-pass external merge; output and
+// group ordinals are identical to the in-memory path.
+func (j *Job[I, K, V, O]) reducePhase(ctx context.Context, mapOut [][]run[K, V], cfg Config[K], inj *fault.Injector, ext *extShuffle[K, V]) ([]O, Stats, error) {
 	if cfg.ReferenceShuffle {
 		return j.naiveReducePhase(ctx, mapOut, cfg, inj)
 	}
@@ -347,18 +405,12 @@ func (j *Job[I, K, V, O]) reducePhase(ctx context.Context, mapOut [][]run[K, V],
 	partOut := make([][]O, cfg.ReduceTasks)
 	err := runTasks(ctx, cfg.ReduceTasks, cfg.Parallelism, func(p int) error {
 		shufTS := tr.Now()
-		runs := make([]*run[K, V], 0, len(mapOut))
-		for t := range mapOut {
-			if p < len(mapOut[t]) && len(mapOut[t][p].keys) > 0 {
-				runs = append(runs, &mapOut[t][p])
-			}
-		}
 		var (
 			out     []O
 			retries int
 		)
 		emit := func(o O) { out = append(out, o) }
-		pairs, groups, err := mergeRuns(runs, func(key K, values []V, gi int) error {
+		group := func(key K, values []V, gi int) error {
 			hGroup.Observe(float64(len(values)))
 			attempts, rerr := retryTask(ctx, cfg.MaxAttempts, cfg.RetryBackoff, func(attempt int) error {
 				if inj.TaskFails("reduce", attempt, p, gi) {
@@ -376,7 +428,24 @@ func (j *Job[I, K, V, O]) reducePhase(ctx context.Context, mapOut [][]run[K, V],
 				return fmt.Errorf("mapreduce: reduce partition %d key %v: %w", p, key, rerr)
 			}
 			return nil
-		})
+		}
+		var pairs, groups, nRuns, passes int
+		var err error
+		if ext != nil && ext.hasDisk(p) {
+			pairs, groups, nRuns, passes, err = ext.mergePartition(p, mapOut, group)
+		} else {
+			runs := make([]*run[K, V], 0, len(mapOut))
+			for t := range mapOut {
+				if p < len(mapOut[t]) && len(mapOut[t][p].keys) > 0 {
+					runs = append(runs, &mapOut[t][p])
+				}
+			}
+			nRuns = len(runs)
+			if nRuns > 0 {
+				passes = 1
+			}
+			pairs, groups, err = mergeRuns(runs, group)
+		}
 		if tr != nil {
 			now := tr.Now()
 			// Shuffle and reduce are fused, so the per-partition spans
@@ -384,7 +453,7 @@ func (j *Job[I, K, V, O]) reducePhase(ctx context.Context, mapOut [][]run[K, V],
 			// span carries the merge shape.
 			tr.Span(tr.Track("mapreduce-shuffle", p, fmt.Sprintf("shuffle %d", p)),
 				"shuffle", shufTS, now-shufTS,
-				obs.Arg{Key: "runs", Value: int64(len(runs))},
+				obs.Arg{Key: "runs", Value: int64(nRuns)},
 				obs.Arg{Key: "pairs", Value: int64(pairs)},
 				obs.Arg{Key: "groups", Value: int64(groups)})
 			tr.Span(tr.Track("mapreduce-reduce", p, fmt.Sprintf("reduce %d", p)),
@@ -395,10 +464,8 @@ func (j *Job[I, K, V, O]) reducePhase(ctx context.Context, mapOut [][]run[K, V],
 		stats.CombineOutputs += pairs
 		stats.ReduceGroups += groups
 		stats.TaskRetries += retries
-		stats.ShuffleRuns += len(runs)
-		if len(runs) > 0 {
-			stats.MergePasses++
-		}
+		stats.ShuffleRuns += nRuns
+		stats.MergePasses += passes
 		statsMu.Unlock()
 		if err != nil {
 			return err

@@ -130,7 +130,7 @@ func (j *Job[I, K, V, O]) RunSpeculative(inputs []I, spec SpecConfig) ([]O, Spec
 		j.Counters.Add("map.outputs", int64(r.emitted))
 	}
 
-	outs, redStats, err := j.reducePhase(context.Background(), mapOut, cfg, nil)
+	outs, redStats, err := j.reducePhase(context.Background(), mapOut, cfg, nil, nil)
 	if err != nil {
 		return nil, stats, err
 	}

@@ -1,0 +1,33 @@
+//go:build amd64
+
+package sandpile
+
+// Runtime CPU-feature detection via raw CPUID/XGETBV (cpu_amd64.s) —
+// the same checks golang.org/x/sys/cpu performs, done directly so the
+// module stays dependency-free.
+
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+// detectAVX2 reports whether AVX2 kernels may run: the CPU must
+// advertise AVX2, and the OS must have enabled saving the XMM and YMM
+// register state (OSXSAVE set and XCR0 bits 1–2 set) — AVX
+// instructions fault on kernels that don't context-switch YMM state,
+// however capable the silicon.
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx1&(osxsave|avx) != osxsave|avx {
+		return false
+	}
+	if xeax, _ := xgetbv0(); xeax&6 != 6 { // XMM and YMM state enabled
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	return ebx7&(1<<5) != 0 // AVX2
+}

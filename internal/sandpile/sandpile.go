@@ -63,7 +63,7 @@ func SyncRow(cur, next *grid.Grid, y, x0, x1 int) int {
 	if w <= 0 {
 		return 0
 	}
-	if hasPackedSyncRow && w >= 4 {
+	if usePackedRow && w >= 4 {
 		return syncRowPacked(c, next.Cells(), base, stride, w)
 	}
 	// The explicit re-slices pin each slice's length to w (w+2 for the

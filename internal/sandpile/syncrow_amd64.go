@@ -2,23 +2,87 @@
 
 package sandpile
 
-import "unsafe"
+import (
+	"os"
+	"unsafe"
+)
 
 // Vectorized synchronous kernel: the five-point BTW stencil is
 // embarrassingly lane-parallel — each output cell is
 //
 //	center%4 + left/4 + right/4 + up/4 + down/4
 //
-// with %4 = AND 3 and /4 = logical shift, both of which SSE2 applies
-// per 32-bit lane with no cross-lane interaction. The assembly kernel
-// (syncrow_amd64.s) processes four cells per iteration with unaligned
-// 16-byte loads (the left/right taps are the center load shifted one
-// cell, always inside the halo'd backing array) and counts changed
-// cells branch-free by accumulating PCMPEQL masks. SSE2 is part of the
-// amd64 baseline, so no feature detection is needed; other
-// architectures use the scalar row kernel.
+// with %4 = AND 3 and /4 = logical shift, both of which SIMD applies
+// per 32-bit lane with no cross-lane interaction. Two assembly
+// kernels implement it: the SSE2 baseline (syncrow_amd64.s, four
+// cells per iteration — SSE2 is part of the amd64 baseline, always
+// safe) and an AVX2 widening (syncrow_avx2_amd64.s, eight cells per
+// iteration) selected at startup when CPUID/XGETBV prove the CPU and
+// OS both support YMM state (cpu_amd64.go). Both use unaligned loads
+// for the left/right taps (the center load shifted one cell, always
+// inside the halo'd backing array) and count changed cells
+// branch-free by accumulating compare masks. Other architectures use
+// the scalar row kernel.
 
 const hasPackedSyncRow = true
+
+// Row-kernel dispatch levels, ascending capability. Startup picks the
+// best the machine supports; SANDPILE_KERNEL=scalar|sse2|avx2
+// force-selects one for tests and benchmarking (requesting avx2 on a
+// machine without it falls back to sse2, never crashes).
+const (
+	kernelScalar = iota
+	kernelSSE2
+	kernelAVX2
+)
+
+var (
+	hasAVX2      = detectAVX2()
+	kernelLevel  = selectKernel(hasAVX2, os.Getenv("SANDPILE_KERNEL"))
+	usePackedRow = kernelLevel > kernelScalar
+)
+
+// selectKernel resolves the dispatch level from the detected features
+// and the SANDPILE_KERNEL override. Pure function; tested directly.
+func selectKernel(avx2 bool, force string) int {
+	switch force {
+	case "scalar":
+		return kernelScalar
+	case "sse2":
+		return kernelSSE2
+	case "avx2":
+		if avx2 {
+			return kernelAVX2
+		}
+		return kernelSSE2 // graceful fallback, not a crash
+	}
+	// Empty or unrecognized override: best available.
+	if avx2 {
+		return kernelAVX2
+	}
+	return kernelSSE2
+}
+
+// forceKernel pins the dispatch to level and returns a restore func;
+// tests use it to drive every variant on one machine. Not safe under
+// concurrent Sync calls.
+func forceKernel(level int) func() {
+	prevLevel, prevUse := kernelLevel, usePackedRow
+	kernelLevel, usePackedRow = level, level > kernelScalar
+	return func() { kernelLevel, usePackedRow = prevLevel, prevUse }
+}
+
+// KernelName reports the selected row kernel: "scalar", "sse2", or
+// "avx2".
+func KernelName() string {
+	switch kernelLevel {
+	case kernelAVX2:
+		return "avx2"
+	case kernelSSE2:
+		return "sse2"
+	}
+	return "scalar"
+}
 
 // syncRowSSE2 computes n cells (n % 4 == 0) of an interior row, where
 // cur/nxt point at the first cell in the current/next buffers and
@@ -30,12 +94,20 @@ const hasPackedSyncRow = true
 //go:noescape
 func syncRowSSE2(cur, nxt unsafe.Pointer, strideBytes, n uintptr) uintptr
 
+// syncRowAVX2 is the same contract as syncRowSSE2 with n % 8 == 0 and
+// 32-byte taps; callers must have verified detectAVX2.
+//
+//go:noescape
+func syncRowAVX2(cur, nxt unsafe.Pointer, strideBytes, n uintptr) uintptr
+
 // syncRowPacked computes w cells of an interior row (base is the flat
-// index of the first cell) via the SSE2 kernel plus a scalar tail.
-// Requires w >= 2 and a halo cell on each side of the row.
+// index of the first cell) through the dispatched kernels: AVX2 over
+// the 8-aligned prefix when selected, SSE2 over the remaining
+// 4-aligned chunk, scalar for the tail. Requires w >= 2 and a halo
+// cell on each side of the row.
 func syncRowPacked(c, n []uint32, base, stride, w int) int {
-	// Touch the extreme indices once so the raw-pointer kernel below
-	// is covered by real bounds checks. The furthest taps are the
+	// Touch the extreme indices once so the raw-pointer kernels below
+	// are covered by real bounds checks. The furthest taps are the
 	// right load of the last vector group (cell base+w at most) and
 	// the down load (base+stride+w-1 at most).
 	_ = c[base+stride+w-1]
@@ -43,16 +115,24 @@ func syncRowPacked(c, n []uint32, base, stride, w int) int {
 	_ = c[base+w]
 	_ = n[base+w-1]
 
-	changes := 0
-	w4 := w &^ 3
-	if w4 > 0 {
-		unchanged := syncRowSSE2(
-			unsafe.Pointer(&c[base]), unsafe.Pointer(&n[base]),
-			uintptr(stride)*4, uintptr(w4))
-		changes = w4 - int(unchanged)
+	changes, k := 0, 0
+	if kernelLevel >= kernelAVX2 {
+		if w8 := w &^ 7; w8 > 0 {
+			unchanged := syncRowAVX2(
+				unsafe.Pointer(&c[base]), unsafe.Pointer(&n[base]),
+				uintptr(stride)*4, uintptr(w8))
+			changes, k = w8-int(unchanged), w8
+		}
 	}
-	// Scalar tail for the last w%4 cells.
-	for k := w4; k < w; k++ {
+	if rem := (w - k) &^ 3; rem > 0 {
+		unchanged := syncRowSSE2(
+			unsafe.Pointer(&c[base+k]), unsafe.Pointer(&n[base+k]),
+			uintptr(stride)*4, uintptr(rem))
+		changes += rem - int(unchanged)
+		k += rem
+	}
+	// Scalar tail for the cells no vector width covers.
+	for ; k < w; k++ {
 		i := base + k
 		v := c[i]%Threshold + c[i-1]/Threshold + c[i+1]/Threshold +
 			c[i-stride]/Threshold + c[i+stride]/Threshold

@@ -7,6 +7,14 @@ package sandpile
 
 const hasPackedSyncRow = false
 
+// usePackedRow mirrors the amd64 dispatch gate; constant false keeps
+// the packed call dead-code-eliminated here.
+const usePackedRow = false
+
+// KernelName reports the selected row kernel; always "scalar" off
+// amd64.
+func KernelName() string { return "scalar" }
+
 func syncRowPacked(c, n []uint32, base, stride, w int) int {
 	panic("sandpile: packed kernel unavailable on this architecture")
 }

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# External-shuffle smoke test: run the larger-than-budget word count
+# under a hard GOMEMLIMIT so the out-of-core path is exercised the way
+# a memory-squeezed deployment would hit it. The test itself asserts
+# the invariants that matter:
+#
+#   - the shuffle spills (SpilledRuns/SpilledBytes > 0) and the
+#     per-partition merges go multi-pass (MergePasses above the
+#     in-memory run's), and
+#   - the external output is byte-identical to the unconstrained
+#     in-memory reference run.
+#
+# EXT_SMOKE_LINES scales the generated corpus (16 words/line); the
+# default below shuffles far more than the budgeted fraction while
+# staying CI-sized. GOMEMLIMIT keeps the GC honest about the bound —
+# if the external path ever silently buffered everything, the capped
+# heap plus the test's spill assertions would catch it from two sides.
+set -eu -o pipefail
+
+cd "$(dirname "$0")/.."
+
+LINES="${EXT_SMOKE_LINES:-60000}"
+LIMIT="${EXT_SMOKE_GOMEMLIMIT:-128MiB}"
+
+echo "external-smoke: ${LINES} lines under GOMEMLIMIT=${LIMIT}"
+GOMEMLIMIT="$LIMIT" EXT_SMOKE_LINES="$LINES" \
+  go test ./internal/mapreduce/ -run 'TestExternalShuffleLargerThanBudget' -v -count=1 \
+  | grep -v '^=== ' || exit 1
+echo "external-smoke: PASS"
