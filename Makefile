@@ -1,7 +1,7 @@
 # Tier-1 verification plus race detection in one command: `make check`.
 GO ?= go
 
-.PHONY: build test race vet check soak smoke-telemetry smoke-external bench-baseline bench-compare
+.PHONY: build test race vet check soak smoke-telemetry smoke-external smoke-peachyd soak-peachyd bench-baseline bench-compare
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,21 @@ smoke-telemetry:
 # See scripts/external_smoke.sh; EXT_SMOKE_LINES scales the corpus.
 smoke-external:
 	./scripts/external_smoke.sh
+
+# Boot a real peachyd job server and assert the service guarantees
+# end to end: one job of each kind over HTTP, result bytes identical
+# to the CLI one-shot, SSE progress events, jobs_* metrics, and
+# kill -9 + restart resuming a journalled queued job. See
+# scripts/peachyd_smoke.sh.
+smoke-peachyd:
+	./scripts/peachyd_smoke.sh
+
+# Dozens of concurrent synthetic tenants against one server with a
+# tight per-tenant quota: every submission must eventually succeed,
+# with 429 backpressure absorbed by client retries along the way.
+# PEACHYD_SOAK_TENANTS / PEACHYD_SOAK_JOBS scale the load.
+soak-peachyd:
+	./scripts/peachyd_soak.sh
 
 # Record the perf trajectory future PRs diff against. -benchtime=100ms
 # keeps the sweep to a couple of minutes; bump it for headline numbers.

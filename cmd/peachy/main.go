@@ -3,6 +3,11 @@
 // prints their result tables. Image artifacts (Fig 1a/1b, Fig 4,
 // Fig 6) are written as PNGs under -out.
 //
+// The flags build a job spec and run it through the same
+// runners.Peachy adapter the peachyd job server executes; the CLI's
+// extras — saving image artifacts, the markdown report, live
+// per-experiment progress lines — ride on the adapter's hook fields.
+//
 // Usage:
 //
 //	peachy -list
@@ -10,6 +15,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,44 +26,11 @@ import (
 
 	"repro/internal/ckpt"
 	"repro/internal/core"
-	"repro/internal/fault"
 	"repro/internal/img"
+	"repro/internal/job"
+	"repro/internal/job/runners"
 	"repro/internal/obs"
 )
-
-// peachyPayload tags the completed-experiment set inside the ckpt
-// frame: a killed multi-experiment run resumed with -resume skips the
-// experiments that already finished (their artifacts are on disk).
-const peachyPayload uint32 = 5
-
-func encodeDone(done []string) []byte {
-	var e ckpt.Enc
-	e.U32(peachyPayload)
-	e.U64(uint64(len(done)))
-	for _, id := range done {
-		e.Str(id)
-	}
-	return e.Bytes()
-}
-
-func decodeDone(payload []byte, epoch uint64) ([]string, error) {
-	dec := ckpt.NewDec(payload)
-	if tag := dec.U32(); tag != peachyPayload {
-		return nil, fmt.Errorf("snapshot has payload tag %d, want %d", tag, peachyPayload)
-	}
-	n := dec.U64()
-	ids := make([]string, 0, n)
-	for i := uint64(0); i < n; i++ {
-		ids = append(ids, dec.Str())
-	}
-	if err := dec.Err(); err != nil {
-		return nil, err
-	}
-	if n != epoch {
-		return nil, fmt.Errorf("snapshot epoch %d holds %d experiments", epoch, n)
-	}
-	return ids, nil
-}
 
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
@@ -78,52 +52,31 @@ func main() {
 		return
 	}
 
-	ids := flag.Args()
-	if len(ids) == 0 {
-		for _, e := range core.All() {
-			ids = append(ids, e.ID)
-		}
+	params := runners.PeachyParams{
+		Experiments: flag.Args(), Quick: *quick, Faults: *faults,
 	}
+	raw, err := json.Marshal(params)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	spec := job.Spec{APIVersion: job.APIVersion, Kind: "peachy", Tenant: "cli", Params: raw}
+	adapter := &runners.Peachy{}
+	if err := adapter.Validate(spec); err != nil {
+		fatalf("%v", err)
+	}
+
 	sink, flush := obs.Setup(*metrics, *traceFile)
 	srv, err := obs.ServeTelemetry(&sink, *obsListen)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "peachy: %v\n", err)
-		os.Exit(1)
+		fatalf("%v", err)
 	}
 	defer srv.Close()
 	ck, err := ckpt.ForCLI("peachy", *ckptDir, *resumeDir, 1, sink)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "peachy: %v\n", err)
-		os.Exit(1)
-	}
-	var done []string
-	completed := map[string]bool{}
-	if ck != nil {
-		if epoch, payload, ok, err := ck.Load(); err != nil {
-			fmt.Fprintf(os.Stderr, "peachy: %v\n", err)
-			os.Exit(1)
-		} else if ok {
-			if done, err = decodeDone(payload, epoch); err != nil {
-				fmt.Fprintf(os.Stderr, "peachy: %v\n", err)
-				os.Exit(1)
-			}
-			for _, id := range done {
-				completed[id] = true
-			}
-		}
-	}
-	cfg := core.Config{Quick: *quick, OutDir: *out, Obs: sink}
-	if *faults != "" {
-		plan, err := fault.Parse(*faults)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "peachy: %v\n", err)
-			os.Exit(1)
-		}
-		cfg.Faults = plan
+		fatalf("%v", err)
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fmt.Fprintf(os.Stderr, "peachy: %v\n", err)
-		os.Exit(1)
+		fatalf("%v", err)
 	}
 
 	var report strings.Builder
@@ -131,25 +84,15 @@ func main() {
 		report.WriteString("# Peachy Parallel Assignments — experiment report\n\n")
 	}
 	failed := 0
-	for _, id := range ids {
-		e, err := core.Lookup(id)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "peachy: %v\n", err)
-			failed++
-			continue
-		}
-		if completed[e.ID] {
-			fmt.Printf("=== %s (%s): already completed, skipped (resume)\n", e.ID, e.Artifact)
-			continue
-		}
+	var started time.Time
+	adapter.OnStart = func(e core.Experiment) {
 		fmt.Printf("=== %s (%s): %s\n", e.ID, e.Artifact, e.Title)
-		start := time.Now()
-		res, err := e.Run(cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "peachy: %s failed: %v\n", e.ID, err)
-			failed++
-			continue
-		}
+		started = time.Now()
+	}
+	adapter.OnSkip = func(e core.Experiment) {
+		fmt.Printf("=== %s (%s): already completed, skipped (resume)\n", e.ID, e.Artifact)
+	}
+	adapter.OnResult = func(e core.Experiment, res *core.Result) {
 		fmt.Print(res.Render())
 		for name, image := range res.Images {
 			path := filepath.Join(*out, name)
@@ -169,22 +112,35 @@ func main() {
 			}
 			fmt.Printf("wrote %s\n", path)
 		}
-		fmt.Printf("(%s in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s in %s)\n\n", e.ID, time.Since(started).Round(time.Millisecond))
 		if *md != "" {
 			report.WriteString(e.MarkdownHeader())
 			report.WriteByte('\n')
 			report.WriteString(res.Markdown())
 			report.WriteByte('\n')
 		}
-		if ck != nil {
-			done = append(done, e.ID)
-			completed[e.ID] = true
-			if err := ck.Save(uint64(len(done)), encodeDone(done)); err != nil {
-				fmt.Fprintf(os.Stderr, "peachy: checkpoint: %v\n", err)
-				failed++
-			}
+	}
+
+	prog := sink.Progress
+	if prog == nil {
+		prog = obs.NewProgress(nil)
+	}
+	ctx := job.WithEnv(context.Background(), job.Env{Obs: sink, Ckpt: ck})
+	res, err := adapter.Run(ctx, spec, prog)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var po runners.PeachyOutput
+	if err := json.Unmarshal(res.Output, &po); err != nil {
+		fatalf("%v", err)
+	}
+	for _, e := range po.Experiments {
+		if e.Error != "" {
+			fmt.Fprintf(os.Stderr, "peachy: %s failed: %s\n", e.ID, e.Error)
+			failed++
 		}
 	}
+
 	if *md != "" {
 		if err := os.WriteFile(*md, []byte(report.String()), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "peachy: writing report: %v\n", err)
@@ -195,8 +151,7 @@ func main() {
 	}
 	if sink.Enabled() {
 		if err := flush(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "peachy: %v\n", err)
-			failed++
+			fatalf("%v", err)
 		} else if *traceFile != "" {
 			fmt.Fprintf(os.Stderr, "wrote trace to %s\n", *traceFile)
 		}
@@ -204,4 +159,9 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "peachy: "+format+"\n", args...)
+	os.Exit(1)
 }

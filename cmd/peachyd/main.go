@@ -1,0 +1,135 @@
+// Command peachyd is the long-lived job service: the repo's compute
+// substrates (sandpile, mapreduce, wfsim) behind one HTTP/JSON API.
+// Clients POST a versioned job spec, an admission controller applies
+// per-tenant quotas and priority classes with explicit 429
+// backpressure, and a shared executor fleet runs admitted jobs. With
+// -state the job table is journalled and jobs checkpoint, so a killed
+// server resumes queued and running work on restart.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs             submit a spec (202 + job view)
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status (result inline when done)
+//	GET    /v1/jobs/{id}/result finished job's result document
+//	GET    /v1/jobs/{id}/events live progress (server-sent events)
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /healthz             liveness
+//
+// Examples:
+//
+//	peachyd -listen :8080 -obs-listen :9090 -state /var/lib/peachyd
+//	curl -d '{"kind":"sandpile","tenant":"alice"}' localhost:8080/v1/jobs
+//	peachyd -oneshot spec.json   # run one spec inline, print its result
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/job"
+	"repro/internal/job/runners"
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", "127.0.0.1:8080", "job API listen address (port 0 picks one)")
+		obsListen   = flag.String("obs-listen", "", "serve live telemetry (/metrics /progress /events) on this address")
+		executors   = flag.Int("executors", 0, "executor fleet size (0 = GOMAXPROCS, negative = queue-only: admit and journal but never run)")
+		stateDir    = flag.String("state", "", "durable state directory (job journal + per-job checkpoints); empty = in-memory only")
+		queueDepth  = flag.Int("queue-depth", 256, "max queued jobs per priority class")
+		tenantQuota = flag.Int("tenant-quota", 32, "max queued+running jobs per tenant")
+		ckptEvery   = flag.Int64("checkpoint-every", 25, "default snapshot cadence for jobs that don't set one")
+		drain       = flag.Duration("drain", 5*time.Second, "shutdown drain timeout")
+		oneshot     = flag.String("oneshot", "", "run the job spec in this file inline and print its result JSON")
+	)
+	flag.Parse()
+
+	if *oneshot != "" {
+		if err := runOneshot(*oneshot); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+
+	sink := obs.Sink{Metrics: obs.NewRegistry(), Log: obs.NewLogger()}
+	opts := append(runners.Register(),
+		job.WithExecutors(*executors),
+		job.WithQueueDepth(*queueDepth),
+		job.WithTenantQuota(*tenantQuota),
+		job.WithDefaultCheckpointEvery(*ckptEvery),
+		job.WithManagerObs(sink),
+	)
+	if *stateDir != "" {
+		opts = append(opts, job.WithStateDir(*stateDir))
+	}
+	m, err := job.NewManager(opts...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	svc, err := job.StartService(job.ServiceConfig{
+		Manager:       m,
+		APIAddr:       *listen,
+		TelemetryAddr: *obsListen,
+		Obs:           &sink,
+		DrainTimeout:  *drain,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	// The smoke scripts parse this line to find the bound port.
+	fmt.Printf("peachyd: listening on %s\n", svc.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("peachyd: shutting down")
+	if err := svc.Close(); err != nil {
+		fatalf("shutdown: %v", err)
+	}
+}
+
+// runOneshot executes one spec inline — no server, no queue — and
+// prints exactly the Result JSON the running service would serve at
+// /v1/jobs/{id}/result. The smoke script diffs the two byte streams.
+func runOneshot(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var spec job.Spec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	runner, ok := runners.Defaults()[spec.Kind]
+	if !ok {
+		return fmt.Errorf("%w: %q", job.ErrUnknownKind, spec.Kind)
+	}
+	if err := runner.Validate(spec); err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := runner.Run(ctx, spec, obs.NewProgress(nil))
+	if err != nil {
+		return err
+	}
+	out, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "peachyd: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -4,6 +4,12 @@
 // parameters, and optionally write the stable configuration as a PNG
 // or dump a trace summary of one iteration.
 //
+// The flags build a job spec and run it through the same
+// runners.Sandpile adapter the peachyd job server executes, so a CLI
+// invocation and an HTTP submission with equal parameters are
+// literally the same code path; the CLI's extras (PNG/GIF/trace
+// artifacts) ride on the adapter's hook fields.
+//
 // Examples:
 //
 //	sandpile -variant seq-async -config center -grains 25000 -size 128 -png fig1a.png
@@ -12,22 +18,23 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"time"
 
 	"repro/internal/ckpt"
 	"repro/internal/engine"
-	"repro/internal/fault"
 	"repro/internal/ghost"
 	"repro/internal/grid"
 	"repro/internal/hetero"
 	"repro/internal/img"
+	"repro/internal/job"
+	"repro/internal/job/runners"
 	"repro/internal/obs"
 	"repro/internal/sandpile"
-	"repro/internal/sched"
 	"repro/internal/trace"
 )
 
@@ -63,17 +70,6 @@ func main() {
 	)
 	flag.Parse()
 
-	var plan *fault.Plan
-	if *faults != "" {
-		var err error
-		if plan, err = fault.Parse(*faults); err != nil {
-			fatalf("%v", err)
-		}
-		if *ranks <= 0 && !*heteroRun {
-			fatalf("-faults needs a fault-aware mode: -ranks N (crash/drop/dup/delay) or -hetero (stall)")
-		}
-	}
-
 	if *list {
 		for _, name := range engine.Names() {
 			v, _ := engine.Lookup(name)
@@ -82,26 +78,25 @@ func main() {
 		return
 	}
 
-	var cfg sandpile.Config
-	switch *config {
-	case "center":
-		cfg = sandpile.Center(uint32(*grains))
-	case "uniform":
-		cfg = sandpile.Uniform(uint32(*grains))
-	case "sparse":
-		cfg = sandpile.Sparse(0.001, uint32(*grains))
-	case "random":
-		cfg = sandpile.Random(uint32(*grains))
-	default:
-		fatalf("unknown config %q", *config)
+	params := runners.SandpileParams{
+		Variant: *variant, Config: *config, Grains: uint32(*grains),
+		Size: *size, Tile: *tile, Workers: *workers, Policy: *policy,
+		Seed: seed, MaxIters: *maxIters,
+		Ranks: *ranks, GhostWidth: *ghostW,
+		Hetero: *heteroRun, DeviceWorkers: *devWork,
+		Faults: *faults,
 	}
-	pol, err := sched.ParsePolicy(*policy)
+	raw, err := json.Marshal(params)
 	if err != nil {
 		fatalf("%v", err)
 	}
+	spec := job.Spec{APIVersion: job.APIVersion, Kind: "sandpile", Tenant: "cli", Params: raw}
+	adapter := &runners.Sandpile{}
+	if err := adapter.Validate(spec); err != nil {
+		fatalf("%v", err)
+	}
+	cfg, _ := params.BuildConfig()
 
-	g := cfg.Build(*size, *size, rand.New(rand.NewSource(*seed)))
-	initial := g.Sum()
 	sink, flush := obs.Setup(*metrics, *traceFile)
 	srv, err := obs.ServeTelemetry(&sink, *obsListen)
 	if err != nil {
@@ -116,68 +111,13 @@ func main() {
 		fatalf("-checkpoint/-resume are not supported with -hetero")
 	}
 
-	finish := func() {
-		if *png != "" {
-			if err := img.SavePNG(*png, img.Sandpile(g, 4)); err != nil {
-				fatalf("%v", err)
-			}
-			fmt.Printf("wrote %s\n", *png)
-		}
-		if sink.Enabled() {
-			if err := flush(os.Stdout); err != nil {
-				fatalf("%v", err)
-			}
-			if *traceFile != "" {
-				fmt.Printf("wrote trace to %s\n", *traceFile)
-			}
-		}
-	}
-
-	switch {
-	case *ranks > 0:
-		start := time.Now()
-		rep, err := ghost.New(g,
-			ghost.WithRanks(*ranks),
-			ghost.WithWidth(*ghostW),
-			ghost.WithMaxIters(*maxIters),
-			ghost.WithFaults(plan),
-			ghost.WithObs(sink),
-			ghost.WithCheckpoint(ck),
-		).Run()
-		if err != nil {
-			fatalf("%v", err)
-		}
-		fmt.Printf("ghost on %s %dx%d: %v in %s\n", cfg.Name, *size, *size, rep, time.Since(start).Round(time.Microsecond))
-		for _, line := range rep.FaultSchedule {
-			fmt.Printf("fault: %s\n", line)
-		}
-		finish()
-		return
-	case *heteroRun:
-		start := time.Now()
-		rep := hetero.New(g,
-			hetero.WithTile(*tile, *tile),
-			hetero.WithCPUWorkers(*workers),
-			hetero.WithDevice(*devWork, 0),
-			hetero.WithMaxIters(*maxIters),
-			hetero.WithFaults(plan),
-			hetero.WithObs(sink),
-		).Run()
-		fmt.Printf("hetero on %s %dx%d: %v in %s\n", cfg.Name, *size, *size, rep, time.Since(start).Round(time.Microsecond))
-		finish()
-		return
-	}
-	params := engine.Params{
-		TileH: *tile, TileW: *tile,
-		Workers: *workers, Policy: pol, MaxIters: *maxIters,
-		Obs: sink, Ckpt: ck,
-	}
+	// CLI-only artifacts hang off the adapter's hook fields.
 	var rec *trace.Recorder
 	if *traceIter > 0 {
 		rec = trace.NewRecorder()
-		params.Recorder = rec
-		params.TraceFrom = *traceIter
-		params.TraceTo = *traceIter
+		adapter.Recorder = rec
+		adapter.TraceFrom = *traceIter
+		adapter.TraceTo = *traceIter
 	}
 	if *traceOut != "" && rec == nil {
 		fatalf("-trace-out requires -trace-iter")
@@ -187,24 +127,58 @@ func main() {
 		if *gifEvery < 1 {
 			*gifEvery = 1
 		}
-		params.OnIteration = func(st engine.IterStats) {
+		adapter.OnIteration = func(st engine.IterStats) {
 			if st.Iteration%*gifEvery == 0 || st.Changes == 0 {
 				frames = append(frames, st.Grid.Clone())
 			}
 		}
 	}
+	var final *grid.Grid
+	adapter.GridSink = func(g *grid.Grid) { final = g }
+
+	prog := sink.Progress
+	if prog == nil {
+		prog = obs.NewProgress(nil)
+	}
+	ctx := job.WithEnv(context.Background(), job.Env{Obs: sink, Ckpt: ck})
 
 	start := time.Now()
-	res, err := engine.Run(*variant, g, params)
+	res, err := adapter.Run(ctx, spec, prog)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	elapsed := time.Since(start)
+	var out runners.SandpileOutput
+	if err := json.Unmarshal(res.Output, &out); err != nil {
+		fatalf("%v", err)
+	}
 
-	fmt.Printf("%s on %s %dx%d: %v in %s\n", *variant, cfg.Name, *size, *size, res, elapsed.Round(time.Microsecond))
-	h := g.Histogram(4)
-	fmt.Printf("grains: initial=%d final=%d cells by value: 0:%d 1:%d 2:%d 3:%d stable=%v\n",
-		initial, g.Sum(), h[0], h[1], h[2], h[3], sandpile.Stable(g))
+	result := sandpile.Result{Iterations: out.Iterations, Topples: out.Topples, Absorbed: out.Absorbed}
+	switch out.Mode {
+	case "ghost":
+		rep := ghost.Report{
+			Result: result,
+			Ranks:  out.Ghost.Ranks, GhostWidth: out.Ghost.GhostWidth,
+			Exchanges: out.Ghost.Exchanges, Messages: out.Ghost.Messages,
+			BytesSent: out.Ghost.BytesSent, RedundantCells: out.Ghost.RedundantCells,
+			Recoveries: out.Ghost.Recoveries,
+		}
+		fmt.Printf("ghost on %s %dx%d: %v in %s\n", cfg.Name, *size, *size, rep, elapsed.Round(time.Microsecond))
+		for _, line := range out.Ghost.FaultSchedule {
+			fmt.Printf("fault: %s\n", line)
+		}
+	case "hetero":
+		rep := hetero.Report{
+			Result:      result,
+			DeviceTiles: out.Hetero.DeviceTiles, CPUTiles: out.Hetero.CPUTiles,
+			FinalFraction: out.Hetero.FinalFraction, DeviceStalled: out.Hetero.DeviceStalled,
+		}
+		fmt.Printf("hetero on %s %dx%d: %v in %s\n", cfg.Name, *size, *size, rep, elapsed.Round(time.Microsecond))
+	default:
+		fmt.Printf("%s on %s %dx%d: %v in %s\n", *variant, cfg.Name, *size, *size, result, elapsed.Round(time.Microsecond))
+		fmt.Printf("grains: initial=%d final=%d cells by value: 0:%d 1:%d 2:%d 3:%d stable=%v\n",
+			out.InitialGrains, out.FinalGrains, out.Cells[0], out.Cells[1], out.Cells[2], out.Cells[3], out.Stable)
+	}
 
 	if rec != nil {
 		st := trace.Iteration(rec.Events(), *traceIter)
@@ -224,7 +198,7 @@ func main() {
 		}
 	}
 	if *png != "" {
-		if err := img.SavePNG(*png, img.Sandpile(g, 4)); err != nil {
+		if err := img.SavePNG(*png, img.Sandpile(final, 4)); err != nil {
 			fatalf("%v", err)
 		}
 		fmt.Printf("wrote %s\n", *png)

@@ -4,6 +4,12 @@
 // cluster with a chosen node count and p-state; Tab 2 mode adds the
 // green cloud and per-level placement fractions.
 //
+// Every mode except -split builds a job spec and runs it through the
+// same runners.Wfsim adapter the peachyd job server executes, so a
+// CLI invocation and an HTTP submission with equal parameters share
+// one code path. -split (the two-group heterogeneity ablation) is a
+// research extra that stays a direct library call.
+//
 // Examples:
 //
 //	wfsim -nodes 64 -pstate 6                     # Tab 1 baseline
@@ -13,6 +19,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +30,8 @@ import (
 
 	"repro/internal/ckpt"
 	"repro/internal/fault"
+	"repro/internal/job"
+	"repro/internal/job/runners"
 	"repro/internal/obs"
 	"repro/internal/wfsched"
 )
@@ -95,77 +105,92 @@ func main() {
 		return
 	}
 
-	if !*tab2 {
-		base, ps := wfsched.Tab1Base()
-		base.Obs = sink
-		base.Faults = plan
-		if *pstate < 0 || *pstate >= len(ps) {
-			fatalf("pstate must be 0..%d", len(ps)-1)
+	// Map the flag surface onto the adapter's parameter schema.
+	params := runners.WfsimParams{Faults: *faults}
+	switch {
+	case !*tab2:
+		params.Mode = "tab1"
+		params.Nodes, params.PState = nodes, pstate
+	case *pareto:
+		params.Mode = "pareto"
+	case *optimize:
+		params.Mode = "optimize"
+	case *greedy:
+		params.Mode = "greedy"
+	default:
+		params.Mode = "tab2"
+		params.AllCloud = *allCloud
+		if *fractions != "" && !*allCloud {
+			parts := strings.Split(*fractions, ",")
+			fr := make([]float64, len(parts))
+			for i, p := range parts {
+				v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+				if err != nil {
+					fatalf("bad fraction %q", p)
+				}
+				fr[i] = v
+			}
+			params.Fractions = fr
 		}
-		if *nodes < 1 || *nodes > wfsched.Tab1MaxNodes {
-			fatalf("nodes must be 1..%d", wfsched.Tab1MaxNodes)
-		}
+	}
+	raw, err := json.Marshal(params)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	spec := job.Spec{
+		APIVersion: job.APIVersion, Kind: "wfsim", Tenant: "cli",
+		CheckpointEvery: *ckptEvery, Params: raw,
+	}
+	adapter := &runners.Wfsim{}
+	if err := adapter.Validate(spec); err != nil {
+		fatalf("%v", err)
+	}
+
+	prog := sink.Progress
+	if prog == nil {
+		prog = obs.NewProgress(nil)
+	}
+	ctx := job.WithEnv(context.Background(), job.Env{Obs: sink, Ckpt: ck})
+	start := time.Now()
+	res, err := adapter.Run(ctx, spec, prog)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	elapsed := time.Since(start).Round(time.Millisecond)
+	var out runners.WfsimOutput
+	if err := json.Unmarshal(res.Output, &out); err != nil {
+		fatalf("%v", err)
+	}
+
+	switch out.Mode {
+	case "tab1":
+		_, ps := wfsched.Tab1Base()
 		cfg := wfsched.ClusterConfig{Nodes: *nodes, PState: *pstate}
-		out := wfsched.SimulateCluster(base, ps, cfg)
-		fmt.Printf("Tab 1: %v (%s)\n%v\n", cfg, ps[*pstate], out)
-		if out.Makespan <= wfsched.Tab1BoundSec {
+		fmt.Printf("Tab 1: %v (%s)\n%v\n", cfg, ps[*pstate], out.Outcome)
+		if *out.MeetsBound {
 			fmt.Printf("meets the %.0f s bound\n", wfsched.Tab1BoundSec)
 		} else {
 			fmt.Printf("MISSES the %.0f s bound\n", wfsched.Tab1BoundSec)
 		}
-		return
-	}
-
-	sc := wfsched.Tab2Scenario()
-	sc.Obs = sink
-	sc.Faults = plan
-	switch {
-	case *pareto:
-		start := time.Now()
-		results, err := wfsched.EvaluateFractionsCheckpointed(sc, wfsched.Tab2Choices(sc.Workflow), ck, int(*ckptEvery))
-		if err != nil {
-			fatalf("%v", err)
-		}
-		frontier := wfsched.ParetoFrontier(results)
-		fmt.Printf("Pareto frontier over %d placements (in %s):\n",
-			len(results), time.Since(start).Round(time.Millisecond))
+	case "pareto":
+		fmt.Printf("Pareto frontier over %d placements (in %s):\n", out.Simulations, elapsed)
 		fmt.Printf("%10s  %10s  %s\n", "time(s)", "gCO2e", "fractions")
-		for _, f := range frontier {
-			fmt.Printf("%10.1f  %10.2f  %v\n", f.Outcome.Makespan, f.Outcome.CO2, f.Fractions)
+		for _, f := range out.Frontier {
+			fmt.Printf("%10.1f  %10.2f  %v\n", f.Makespan, f.CO2, f.Fractions)
 		}
-	case *optimize:
-		start := time.Now()
-		results, err := wfsched.EvaluateFractionsCheckpointed(sc, wfsched.Tab2Choices(sc.Workflow), ck, int(*ckptEvery))
-		if err != nil {
-			fatalf("%v", err)
+	case "optimize":
+		fmt.Printf("exhaustive optimum (in %s): fractions=%v\n%v\n", elapsed, out.Fractions, out.Outcome)
+	case "greedy":
+		fmt.Printf("greedy optimum (%d simulations): fractions=%v\n%v\n", out.Simulations, out.Fractions, out.Outcome)
+	default: // tab2
+		switch {
+		case *allCloud:
+			fmt.Printf("all-cloud: %v\n", out.Outcome)
+		case len(out.Fractions) > 0:
+			fmt.Printf("fractions %v: %v\n", out.Fractions, out.Outcome)
+		default:
+			fmt.Printf("all-local: %v\n", out.Outcome)
 		}
-		best := results[0]
-		for _, r := range results[1:] {
-			if r.Outcome.CO2 < best.Outcome.CO2 {
-				best = r
-			}
-		}
-		fmt.Printf("exhaustive optimum (in %s): fractions=%v\n%v\n",
-			time.Since(start).Round(time.Millisecond), best.Fractions, best.Outcome)
-	case *greedy:
-		best, sims := wfsched.GreedyFractions(sc, wfsched.Tab2Choices(sc.Workflow))
-		fmt.Printf("greedy optimum (%d simulations): fractions=%v\n%v\n", sims, best.Fractions, best.Outcome)
-	case *allCloud:
-		fmt.Printf("all-cloud: %v\n", wfsched.Simulate(sc, wfsched.AllCloud))
-	case *fractions != "":
-		parts := strings.Split(*fractions, ",")
-		fr := make([]float64, len(parts))
-		for i, p := range parts {
-			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
-			if err != nil {
-				fatalf("bad fraction %q", p)
-			}
-			fr[i] = v
-		}
-		out := wfsched.Simulate(sc, wfsched.LevelFractions(sc.Workflow, fr))
-		fmt.Printf("fractions %v: %v\n", fr, out)
-	default:
-		fmt.Printf("all-local: %v\n", wfsched.Simulate(sc, wfsched.AllLocal))
 	}
 }
 

@@ -31,7 +31,7 @@ func main() {
 	for _, k := range []int{1, 2, 4, 8, 16, 32} {
 		g := init.Clone()
 		start := time.Now()
-		rep, err := ghost.Run(g, ghost.Params{Ranks: 4, GhostWidth: k})
+		rep, err := ghost.New(g, ghost.WithRanks(4), ghost.WithWidth(k)).Run()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -49,7 +49,7 @@ func main() {
 	for _, k := range []int{1, 4, 16} {
 		g := init.Clone()
 		start := time.Now()
-		rep, err := ghost.Run2D(g, ghost.Params2D{RankRows: 2, RankCols: 2, GhostWidth: k})
+		rep, err := ghost.New(g, ghost.WithProcessGrid(2, 2), ghost.WithWidth(k)).Run()
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -268,11 +268,13 @@ func init() {
 			g := grid.New(n, n)
 			g.Set(n/4, n/4, uint32(n)*60)
 			rec := trace.NewRecorder()
-			rep := hetero.Run(g, hetero.Params{
-				TileH: 16, TileW: 16, CPUWorkers: 3,
-				Device: hetero.DeviceProfile{Workers: 2, LaunchOverhead: 200 * time.Microsecond},
-				Adapt:  true, Recorder: rec, Obs: cfg.Obs,
-			})
+			rep := hetero.New(g,
+				hetero.WithTile(16, 16),
+				hetero.WithCPUWorkers(3),
+				hetero.WithDevice(2, 200*time.Microsecond),
+				hetero.WithRecorder(rec),
+				hetero.WithObs(cfg.Obs),
+			).Run()
 			tl := grid.NewTiling(n, n, 16, 16)
 			var later []trace.Event
 			for _, e := range rec.Events() {
@@ -310,7 +312,7 @@ func init() {
 			msgs.Name, redundant.Name = "messages", "redundant cells"
 			for _, k := range []int{1, 2, 4, 8, 16} {
 				g := init.Clone()
-				rep, err := ghost.Run(g, ghost.Params{Ranks: 4, GhostWidth: k, Obs: cfg.Obs})
+				rep, err := ghost.New(g, ghost.WithRanks(4), ghost.WithWidth(k), ghost.WithObs(cfg.Obs)).Run()
 				if err != nil {
 					return nil, err
 				}

@@ -11,6 +11,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -61,6 +62,12 @@ type Params struct {
 	// (with its 4-neighborhood) into the lazy variants' frontier in
 	// place of SeedAll. Set only by setupCheckpoint.
 	resumeFrontier []int32
+
+	// ctx carries cancellation into the variant loops: parallel
+	// variants stop claiming chunks and sequential variants break
+	// between iterations once it fires. Set by RunContext; nil means
+	// context.Background() (never fires, zero cost).
+	ctx context.Context
 }
 
 // IterStats is the per-iteration progress reported to OnIteration.
@@ -86,6 +93,9 @@ type IterStats struct {
 }
 
 func (p Params) withDefaults() Params {
+	if p.ctx == nil {
+		p.ctx = context.Background()
+	}
 	if p.TileH <= 0 {
 		p.TileH = 32
 	}
@@ -153,10 +163,20 @@ func Names() []string {
 // Run looks up and executes a variant on g, which is stabilized in
 // place.
 func Run(name string, g *grid.Grid, p Params) (sandpile.Result, error) {
+	return RunContext(context.Background(), name, g, p)
+}
+
+// RunContext is Run with cancellation: once ctx fires, parallel
+// variants stop claiming chunks (in-flight tiles finish — the grid is
+// never left mid-kernel), sequential variants break between
+// iterations, and ctx.Err() is returned alongside the partial result.
+// A background context costs nothing on the hot loops.
+func RunContext(ctx context.Context, name string, g *grid.Grid, p Params) (sandpile.Result, error) {
 	v, err := Lookup(name)
 	if err != nil {
 		return sandpile.Result{}, err
 	}
+	p.ctx = ctx
 	var cs *ckptState
 	if p.Ckpt != nil {
 		// Install the checkpoint hook before the tracer wrap so
@@ -216,6 +236,9 @@ func Run(name string, g *grid.Grid, p Params) (sandpile.Result, error) {
 			return res, fmt.Errorf("engine: checkpoint save: %w", cs.err)
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 	if m := p.Obs.Metrics; m != nil {
 		m.Counter("engine.runs").Inc()
 		m.Counter("engine.iterations").Add(int64(res.Iterations))
@@ -242,7 +265,7 @@ func init() {
 		Name:        "seq-sync",
 		Description: "sequential synchronous steps with an auxiliary array (Fig 2 top)",
 		Run: func(g *grid.Grid, p Params) sandpile.Result {
-			if p.OnIteration == nil {
+			if p.OnIteration == nil && !cancellable(p.ctx) {
 				return sandpile.StabilizeSyncSeq(g)
 			}
 			return runSeqSyncMonitored(g, p)
@@ -252,7 +275,7 @@ func init() {
 		Name:        "seq-async",
 		Description: "sequential in-place asynchronous sweeps (Fig 2 bottom); the oracle",
 		Run: func(g *grid.Grid, p Params) sandpile.Result {
-			if p.OnIteration == nil {
+			if p.OnIteration == nil && !cancellable(p.ctx) {
 				return sandpile.StabilizeAsyncSeq(g)
 			}
 			return runSeqAsyncMonitored(g, p)
@@ -302,6 +325,13 @@ func init() {
 	})
 }
 
+// cancellable reports whether ctx can ever fire (nil and Background
+// contexts cannot) — it gates the seq variants' switch from the
+// direct stabilize kernels to their per-iteration monitored loops.
+func cancellable(ctx context.Context) bool {
+	return ctx != nil && ctx.Done() != nil
+}
+
 // runSeqSyncMonitored is the seq-sync loop with per-iteration
 // reporting.
 func runSeqSyncMonitored(g *grid.Grid, p Params) sandpile.Result {
@@ -314,9 +344,11 @@ func runSeqSyncMonitored(g *grid.Grid, p Params) sandpile.Result {
 		res.Iterations++
 		ch := sandpile.SyncStep(cur, next)
 		res.Topples += uint64(ch)
-		p.OnIteration(IterStats{Iteration: res.Iterations, Changes: ch, ActiveTiles: -1, Grid: next})
+		if p.OnIteration != nil {
+			p.OnIteration(IterStats{Iteration: res.Iterations, Changes: ch, ActiveTiles: -1, Grid: next})
+		}
 		cur, next = next, cur
-		if ch == 0 || res.Iterations >= p.MaxIters {
+		if ch == 0 || res.Iterations >= p.MaxIters || p.ctx.Err() != nil {
 			break
 		}
 	}
@@ -338,14 +370,27 @@ func runSeqAsyncMonitored(g *grid.Grid, p Params) sandpile.Result {
 		res.Iterations++
 		t := sandpile.AsyncRegion(g, 0, g.H(), 0, g.W())
 		res.Topples += uint64(t)
-		p.OnIteration(IterStats{Iteration: res.Iterations, Changes: t, ActiveTiles: -1, Grid: g})
-		if t == 0 || res.Iterations >= p.MaxIters {
+		if p.OnIteration != nil {
+			p.OnIteration(IterStats{Iteration: res.Iterations, Changes: t, ActiveTiles: -1, Grid: g})
+		}
+		if t == 0 || res.Iterations >= p.MaxIters || p.ctx.Err() != nil {
 			break
 		}
 	}
 	g.ClearHalo()
 	res.Absorbed = before - g.Sum()
 	return res
+}
+
+// newVariantPool builds the worker team a parallel variant schedules
+// its iterations over, from the run's Params.
+func newVariantPool(p Params) *sched.Pool {
+	return sched.New(
+		sched.WithWorkers(p.Workers),
+		sched.WithPolicy(p.Policy),
+		sched.WithChunkSize(p.ChunkSize),
+		sched.WithObs(p.Obs),
+	)
 }
 
 // changesStride spaces per-worker change accumulators one cache line
@@ -360,7 +405,7 @@ const changesStride = 8
 // loop.
 func runOmpSync(g *grid.Grid, p Params) sandpile.Result {
 	p = p.withDefaults()
-	pool := sched.NewPool(sched.Options{Workers: p.Workers, Policy: p.Policy, ChunkSize: p.ChunkSize, Obs: p.Obs})
+	pool := newVariantPool(p)
 	defer pool.Close()
 
 	before := g.Sum()
@@ -382,7 +427,9 @@ func runOmpSync(g *grid.Grid, p Params) sandpile.Result {
 			changes[w*changesStride] = 0
 		}
 		c, n = cur, next
-		pool.Run(g.H(), body)
+		if pool.RunContext(p.ctx, g.H(), body) != nil {
+			break
+		}
 		total := 0
 		for w := 0; w < pool.Workers(); w++ {
 			total += changes[w*changesStride]
@@ -431,7 +478,7 @@ func makeTiledEager(inner bool) func(*grid.Grid, Params) sandpile.Result {
 	return func(g *grid.Grid, p Params) sandpile.Result {
 		p = p.withDefaults()
 		tl := grid.NewTiling(g.H(), g.W(), p.TileH, p.TileW)
-		pool := sched.NewPool(sched.Options{Workers: p.Workers, Policy: p.Policy, ChunkSize: p.ChunkSize, Obs: p.Obs})
+		pool := newVariantPool(p)
 		defer pool.Close()
 
 		before := g.Sum()
@@ -467,7 +514,9 @@ func makeTiledEager(inner bool) func(*grid.Grid, Params) sandpile.Result {
 			iter = res.Iterations
 			doTrace = p.traced(iter)
 			c, n = cur, next
-			pool.Run(nTiles, body)
+			if pool.RunContext(p.ctx, nTiles, body) != nil {
+				break
+			}
 			total := 0
 			for _, ch := range tileChanges {
 				total += ch
@@ -522,7 +571,7 @@ func makeLazyFrontier(inner bool) func(*grid.Grid, Params) sandpile.Result {
 	return func(g *grid.Grid, p Params) sandpile.Result {
 		p = p.withDefaults()
 		tl := grid.NewTiling(g.H(), g.W(), p.TileH, p.TileW)
-		pool := sched.NewPool(sched.Options{Workers: p.Workers, Policy: p.Policy, ChunkSize: p.ChunkSize, Obs: p.Obs})
+		pool := newVariantPool(p)
 		defer pool.Close()
 
 		before := g.Sum()
@@ -578,7 +627,9 @@ func makeLazyFrontier(inner bool) func(*grid.Grid, Params) sandpile.Result {
 			active := fr.Active()
 			gFrontier.Set(float64(len(active)))
 			cSkipped.Add(int64(nTiles - len(active)))
-			pool.RunIndexed(active, body)
+			if pool.RunIndexedContext(p.ctx, active, body) != nil {
+				break
+			}
 			total := 0
 			for _, id := range active {
 				total += tileChanges[id]
@@ -632,7 +683,7 @@ func runAsyncWavesEager(g *grid.Grid, p Params) sandpile.Result {
 	p = p.withDefaults()
 	checkWaveTiles(p)
 	tl := grid.NewTiling(g.H(), g.W(), p.TileH, p.TileW)
-	pool := sched.NewPool(sched.Options{Workers: p.Workers, Policy: p.Policy, ChunkSize: p.ChunkSize, Obs: p.Obs})
+	pool := newVariantPool(p)
 	defer pool.Close()
 
 	before := g.Sum()
@@ -667,12 +718,19 @@ func runAsyncWavesEager(g *grid.Grid, p Params) sandpile.Result {
 		res.Iterations++
 		iter = res.Iterations
 		doTrace = p.traced(iter)
+		cancelled := false
 		for _, wave := range waves {
 			if len(wave) == 0 {
 				continue
 			}
 			wv = wave
-			pool.Run(len(wv), body)
+			if pool.RunContext(p.ctx, len(wv), body) != nil {
+				cancelled = true
+				break
+			}
+		}
+		if cancelled {
+			break
 		}
 		total := 0
 		for _, tp := range topples {
@@ -723,7 +781,7 @@ func runAsyncWavesFrontier(g *grid.Grid, p Params) sandpile.Result {
 	p = p.withDefaults()
 	checkWaveTiles(p)
 	tl := grid.NewTiling(g.H(), g.W(), p.TileH, p.TileW)
-	pool := sched.NewPool(sched.Options{Workers: p.Workers, Policy: p.Policy, ChunkSize: p.ChunkSize, Obs: p.Obs})
+	pool := newVariantPool(p)
 	defer pool.Close()
 
 	before := g.Sum()
@@ -764,8 +822,15 @@ func runAsyncWavesFrontier(g *grid.Grid, p Params) sandpile.Result {
 		activeTiles := fr.Len()
 		gFrontier.Set(float64(activeTiles))
 		cSkipped.Add(int64(nTiles - activeTiles))
+		cancelled := false
 		for k := 0; k < fr.Lanes(); k++ {
-			pool.RunIndexed(fr.Lane(k), body)
+			if pool.RunIndexedContext(p.ctx, fr.Lane(k), body) != nil {
+				cancelled = true
+				break
+			}
+		}
+		if cancelled {
+			break
 		}
 		total := 0
 		for k := 0; k < fr.Lanes(); k++ {

@@ -37,7 +37,7 @@ func BenchmarkHaloExchange2D(b *testing.B) {
 		b.StopTimer()
 		g := init.Clone()
 		b.StartTimer()
-		if _, err := Run2D(g, Params2D{RankRows: 2, RankCols: 2, GhostWidth: 8}); err != nil {
+		if _, err := New(g, WithProcessGrid(2, 2), WithWidth(8)).Run(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -12,7 +12,7 @@ import (
 func TestRun2DSingleRankMatchesOracle(t *testing.T) {
 	g := sandpile.Uniform(4).Build(24, 24, nil)
 	want := oracle(g)
-	rep, err := Run2D(g, Params2D{RankRows: 1, RankCols: 1, GhostWidth: 2})
+	rep, err := New(g, WithProcessGrid(1, 1), WithWidth(2)).Run()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +30,7 @@ func TestRun2DMatchesOracleAcrossGrids(t *testing.T) {
 	for _, pg := range []struct{ r, c int }{{1, 2}, {2, 1}, {2, 2}, {3, 3}, {2, 4}} {
 		for _, k := range []int{1, 2, 4} {
 			g := init.Clone()
-			rep, err := Run2D(g, Params2D{RankRows: pg.r, RankCols: pg.c, GhostWidth: k})
+			rep, err := New(g, WithProcessGrid(pg.r, pg.c), WithWidth(k)).Run()
 			if err != nil {
 				t.Fatalf("%dx%d K=%d: %v", pg.r, pg.c, k, err)
 			}
@@ -55,7 +55,7 @@ func TestRun2DCornersMatter(t *testing.T) {
 	for _, k := range []int{2, 4, 8} {
 		got := grid.New(40, 40)
 		got.Set(19, 19, 50000)
-		if _, err := Run2D(got, Params2D{RankRows: 2, RankCols: 2, GhostWidth: k}); err != nil {
+		if _, err := New(got, WithProcessGrid(2, 2), WithWidth(k)).Run(); err != nil {
 			t.Fatal(err)
 		}
 		if !got.Equal(want) {
@@ -71,7 +71,7 @@ func TestRun2DMatches1DOnStrips(t *testing.T) {
 	if _, err := Run(a, Params{Ranks: 4, GhostWidth: 2}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run2D(b, Params2D{RankRows: 4, RankCols: 1, GhostWidth: 2}); err != nil {
+	if _, err := New(b, WithProcessGrid(4, 1), WithWidth(2)).Run(); err != nil {
 		t.Fatal(err)
 	}
 	if !a.Equal(b) {
@@ -81,20 +81,20 @@ func TestRun2DMatches1DOnStrips(t *testing.T) {
 
 func TestRun2DValidation(t *testing.T) {
 	g := grid.New(16, 16)
-	if _, err := Run2D(g, Params2D{RankRows: 0, RankCols: 1, GhostWidth: 1}); err == nil {
+	if _, err := New(g, WithProcessGrid(0, 1), WithWidth(1)).Run(); err == nil {
 		t.Fatal("zero rank rows accepted")
 	}
-	if _, err := Run2D(g, Params2D{RankRows: 1, RankCols: 1, GhostWidth: 0}); err == nil {
+	if _, err := New(g, WithProcessGrid(1, 1), WithWidth(0)).Run(); err == nil {
 		t.Fatal("zero ghost width accepted")
 	}
-	if _, err := Run2D(g, Params2D{RankRows: 4, RankCols: 4, GhostWidth: 8}); err == nil {
+	if _, err := New(g, WithProcessGrid(4, 4), WithWidth(8)).Run(); err == nil {
 		t.Fatal("K larger than block accepted")
 	}
 }
 
 func TestRun2DMessageAccounting(t *testing.T) {
 	g := sandpile.Uniform(4).Build(32, 32, nil)
-	rep, err := Run2D(g, Params2D{RankRows: 2, RankCols: 2, GhostWidth: 2})
+	rep, err := New(g, WithProcessGrid(2, 2), WithWidth(2)).Run()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestQuickRun2DAbelian(t *testing.T) {
 		}
 		k := 1 + rng.Intn(maxK)
 		g := init.Clone()
-		if _, err := Run2D(g, Params2D{RankRows: rr, RankCols: rc, GhostWidth: k}); err != nil {
+		if _, err := New(g, WithProcessGrid(rr, rc), WithWidth(k)).Run(); err != nil {
 			return false
 		}
 		return g.Equal(want)

@@ -57,7 +57,7 @@ func TestRunReportsObs(t *testing.T) {
 func TestRun2DReportsObs(t *testing.T) {
 	sink := obs.Sink{Metrics: obs.NewRegistry(), Tracer: obs.NewTracer(nil)}
 	g := centerLoaded(32, 32, 4096)
-	rep, err := Run2D(g, Params2D{RankRows: 2, RankCols: 2, GhostWidth: 2, Obs: sink})
+	rep, err := New(g, WithProcessGrid(2, 2), WithWidth(2), WithObs(sink)).Run()
 	if err != nil {
 		t.Fatal(err)
 	}

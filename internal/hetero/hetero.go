@@ -232,7 +232,9 @@ func RunContext(ctx context.Context, g *grid.Grid, p Params) (Report, error) {
 		start := time.Now()
 		batchTS := tr.Now()
 		time.Sleep(p.Device.LaunchOverhead)
-		dev.RunIndexed(devTiles, devBody)
+		// Cancellation is handled at the iteration loop's top; the
+		// batch itself drains early via the shared abort flag.
+		_ = dev.RunIndexedContext(ctx, devTiles, devBody)
 		el := time.Since(start)
 		if tr != nil {
 			tr.Span(devTrack, "device batch", batchTS, el,
@@ -283,7 +285,7 @@ func RunContext(ctx context.Context, g *grid.Grid, p Params) (Report, error) {
 
 		cpuStart := time.Now()
 		cpuTS := tr.Now()
-		cpu.RunIndexed(cpuTiles, cpuBody)
+		_ = cpu.RunIndexedContext(ctx, cpuTiles, cpuBody)
 		cpuTime := time.Since(cpuStart)
 		devTime := <-done
 		if tr != nil {

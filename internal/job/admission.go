@@ -1,0 +1,111 @@
+package job
+
+// admission.go is the gate between Submit and the executor fleet:
+// three bounded FIFO queues (one per priority class) and a per-tenant
+// live-jobs account. Rejections are typed — ErrQueueFull and
+// ErrTenantQuota — so the HTTP layer can answer 429 with Retry-After
+// instead of letting load build up invisibly, and the caps make the
+// server's memory footprint a configuration fact rather than an
+// emergent one.
+
+import "sync"
+
+type admission struct {
+	mu sync.Mutex
+	// queues[c] holds queued job ids of class c, FIFO.
+	queues [numClasses][]string
+	// live counts queued+running jobs per tenant; the quota releases
+	// only when a job reaches a terminal state, so a tenant cannot
+	// hold more than tenantCap in flight no matter how it times
+	// submissions.
+	live map[string]int
+
+	classCap  int // max queued per class
+	tenantCap int // max live per tenant
+
+	// notify wakes one idle executor after a push; buffered so a push
+	// with no waiter doesn't block.
+	notify chan struct{}
+}
+
+func newAdmission(classCap, tenantCap int) *admission {
+	return &admission{
+		live:      map[string]int{},
+		classCap:  classCap,
+		tenantCap: tenantCap,
+		notify:    make(chan struct{}, 1),
+	}
+}
+
+// admit queues a job id, charging the tenant. The class index must
+// come from Priority.class.
+func (a *admission) admit(id, tenant string, class int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.queues[class]) >= a.classCap {
+		return ErrQueueFull
+	}
+	if a.live[tenant] >= a.tenantCap {
+		return ErrTenantQuota
+	}
+	a.queues[class] = append(a.queues[class], id)
+	a.live[tenant]++
+	select {
+	case a.notify <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// pop removes and returns the next job id — strictest class first,
+// FIFO within a class — or "" when everything is empty.
+func (a *admission) pop() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for c := range a.queues {
+		if q := a.queues[c]; len(q) > 0 {
+			id := q[0]
+			a.queues[c] = q[1:]
+			return id
+		}
+	}
+	return ""
+}
+
+// remove deletes a queued id (cancellation before execution) and
+// reports whether it was found.
+func (a *admission) remove(id string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for c, q := range a.queues {
+		for i, v := range q {
+			if v == id {
+				a.queues[c] = append(q[:i:i], q[i+1:]...)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// release returns a tenant's quota slot when its job goes terminal.
+func (a *admission) release(tenant string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.live[tenant] > 1 {
+		a.live[tenant]--
+	} else {
+		delete(a.live, tenant)
+	}
+}
+
+// queued reports the total queued jobs across classes.
+func (a *admission) queued() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, q := range a.queues {
+		n += len(q)
+	}
+	return n
+}

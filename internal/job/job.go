@@ -1,0 +1,174 @@
+// Package job is the unified submission API over the repo's compute
+// substrates. A client describes work as a versioned Spec (a kind
+// plus kind-specific params), an admission controller decides whether
+// it may queue (per-tenant quotas, priority classes, bounded queues),
+// and a Manager executes admitted jobs on a shared sched.Pool fleet
+// through one Runner interface per substrate. The same Runner
+// adapters back both the HTTP server (cmd/peachyd) and the one-shot
+// CLIs, so a job submitted over the wire computes byte-for-byte what
+// the equivalent command-line invocation computes.
+package job
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/ckpt"
+	"repro/internal/obs"
+)
+
+// APIVersion is the wire-schema version this package speaks. Specs
+// with an empty apiVersion are taken as current; anything else must
+// match exactly.
+const APIVersion = "v1"
+
+// MaxSpecBytes bounds the encoded size of one Spec; larger
+// submissions are rejected with ErrTooLarge before decoding work is
+// attempted.
+const MaxSpecBytes = 1 << 20
+
+// Priority is a job's scheduling class. Admitted jobs drain
+// strictly by class (all queued high jobs before any normal job),
+// FIFO within a class.
+type Priority string
+
+const (
+	PriorityLow    Priority = "low"
+	PriorityNormal Priority = "normal"
+	PriorityHigh   Priority = "high"
+)
+
+// class maps a priority to its queue index, 0 draining first.
+func (p Priority) class() (int, bool) {
+	switch p {
+	case PriorityHigh:
+		return 0, true
+	case PriorityNormal, "":
+		return 1, true
+	case PriorityLow:
+		return 2, true
+	}
+	return 0, false
+}
+
+// numClasses is the number of priority queues.
+const numClasses = 3
+
+// Spec is one job submission: everything needed to reproduce the
+// computation. Params is opaque here — each kind's Runner owns its
+// schema — so new substrates extend the API without touching it.
+type Spec struct {
+	// APIVersion is the wire-schema version; "" or "v1".
+	APIVersion string `json:"apiVersion,omitempty"`
+	// Kind selects the Runner: "sandpile", "mapreduce", "wfsim", or
+	// "peachy".
+	Kind string `json:"kind"`
+	// Name is an optional human label echoed back in status.
+	Name string `json:"name,omitempty"`
+	// Tenant attributes the job for quota accounting. Required.
+	Tenant string `json:"tenant"`
+	// Priority is the scheduling class; "" means normal.
+	Priority Priority `json:"priority,omitempty"`
+	// CheckpointEvery overrides the kind's snapshot cadence (units
+	// are the kind's natural progress step); 0 keeps the default.
+	CheckpointEvery int64 `json:"checkpointEvery,omitempty"`
+	// Params is the kind-specific parameter object.
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
+// Result is a finished job's output: the kind it came from plus the
+// kind-specific output object. Marshalling a Result is the wire
+// contract the byte-identical CLI/HTTP guarantee rests on.
+type Result struct {
+	Kind   string          `json:"kind"`
+	Output json.RawMessage `json:"output"`
+}
+
+// Runner executes one kind of job. Implementations live in
+// job/runners, one per substrate.
+type Runner interface {
+	// Validate rejects a malformed Spec before admission; errors wrap
+	// ErrBadSpec.
+	Validate(spec Spec) error
+	// Run executes the job, publishing through prog (never nil) and
+	// honouring ctx cancellation. The Env in ctx carries the
+	// observability sink and the job's checkpointer, when any.
+	Run(ctx context.Context, spec Spec, prog *obs.Progress) (Result, error)
+}
+
+// Typed errors the HTTP layer maps onto status codes.
+var (
+	// ErrBadSpec: the submission is malformed — 400.
+	ErrBadSpec = errors.New("invalid job spec")
+	// ErrUnknownKind: no Runner for spec.Kind — 400.
+	ErrUnknownKind = errors.New("unknown job kind")
+	// ErrTooLarge: the encoded spec exceeds MaxSpecBytes — 413.
+	ErrTooLarge = errors.New("job spec too large")
+	// ErrQueueFull: the priority class's queue is at capacity — 429.
+	ErrQueueFull = errors.New("job queue full")
+	// ErrTenantQuota: the tenant is at its live-jobs quota — 429.
+	ErrTenantQuota = errors.New("tenant quota exceeded")
+	// ErrNotFound: no such job id — 404.
+	ErrNotFound = errors.New("no such job")
+	// ErrClosed: the manager is shutting down — 503.
+	ErrClosed = errors.New("job manager closed")
+)
+
+// Badf wraps ErrBadSpec with detail; runners use it from Validate.
+func Badf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrBadSpec}, args...)...)
+}
+
+// validate checks the kind-independent half of a Spec. Size is
+// checked against the re-encoded spec so the bound holds regardless
+// of transport framing.
+func (s Spec) validate() error {
+	if s.APIVersion != "" && s.APIVersion != APIVersion {
+		return Badf("apiVersion %q (want %q)", s.APIVersion, APIVersion)
+	}
+	if s.Kind == "" {
+		return Badf("kind is required")
+	}
+	if s.Tenant == "" {
+		return Badf("tenant is required")
+	}
+	if len(s.Tenant) > 64 {
+		return Badf("tenant longer than 64 bytes")
+	}
+	if _, ok := s.Priority.class(); !ok {
+		return Badf("priority %q (want low|normal|high)", s.Priority)
+	}
+	if s.CheckpointEvery < 0 {
+		return Badf("checkpointEvery must be >= 0")
+	}
+	if enc, err := json.Marshal(s); err != nil {
+		return Badf("unencodable spec: %v", err)
+	} else if len(enc) > MaxSpecBytes {
+		return fmt.Errorf("%w: %d bytes (max %d)", ErrTooLarge, len(enc), MaxSpecBytes)
+	}
+	return nil
+}
+
+// Env is the execution environment a Runner reads from its context:
+// the process observability sink and, when the manager is durable,
+// the job's checkpointer (already primed to resume).
+type Env struct {
+	Obs  obs.Sink
+	Ckpt *ckpt.Checkpointer
+}
+
+type envKey struct{}
+
+// WithEnv returns ctx carrying env for a Runner.
+func WithEnv(ctx context.Context, env Env) context.Context {
+	return context.WithValue(ctx, envKey{}, env)
+}
+
+// EnvFrom extracts the Env from ctx; the zero Env when absent, so
+// runners work under plain contexts (tests, CLIs without telemetry).
+func EnvFrom(ctx context.Context) Env {
+	env, _ := ctx.Value(envKey{}).(Env)
+	return env
+}

@@ -1,0 +1,541 @@
+package job
+
+// manager.go owns the job table and the executor fleet. Jobs move
+// queued -> running -> {succeeded, failed, cancelled}; every
+// transition is journalled through internal/ckpt when a state
+// directory is configured, so a SIGKILLed server re-opens its journal
+// and re-enqueues whatever was queued or running — running jobs
+// resume from their own per-job checkpoint directory rather than
+// starting over. The fleet is a shared sched.Pool: each worker index
+// is one executor looping over the admission queues.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/obs"
+	"repro/internal/sched"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateSucceeded State = "succeeded"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateSucceeded || s == StateFailed || s == StateCancelled
+}
+
+// View is a point-in-time snapshot of one job, the unit the HTTP
+// layer serves and the journal persists.
+type View struct {
+	ID     string  `json:"id"`
+	Spec   Spec    `json:"spec"`
+	State  State   `json:"state"`
+	Error  string  `json:"error,omitempty"`
+	Result *Result `json:"result,omitempty"`
+}
+
+// record is the manager's mutable side of a job; all fields are
+// guarded by Manager.mu.
+type record struct {
+	view       View
+	prog       *obs.Progress
+	cancel     context.CancelFunc // non-nil while running
+	userCancel bool               // Cancel() was called (vs shutdown)
+}
+
+// Manager admits, schedules, and tracks jobs.
+type Manager struct {
+	runners   map[string]Runner
+	executors int
+	obs       obs.Sink
+	stateDir  string
+	defEvery  int64
+
+	adm *admission
+
+	mu    sync.Mutex
+	jobs  map[string]*record
+	seq   int64
+	store *ckpt.Store // jobs journal; nil when not durable
+	epoch uint64
+	open  bool
+
+	fleetOnce sync.Once
+	done      chan struct{} // closed when the fleet has exited
+}
+
+// Option configures a Manager.
+type Option func(*Manager)
+
+// WithRunner registers the Runner for one kind.
+func WithRunner(kind string, r Runner) Option {
+	return func(m *Manager) { m.runners[kind] = r }
+}
+
+// WithExecutors sets the fleet size; 0 means GOMAXPROCS, negative
+// means no executors at all (queue-only mode — jobs are admitted and
+// journalled but never started, which makes kill/restart tests
+// deterministic).
+func WithExecutors(n int) Option {
+	return func(m *Manager) { m.executors = n }
+}
+
+// WithQueueDepth bounds each priority class's queue.
+func WithQueueDepth(n int) Option {
+	return func(m *Manager) {
+		if n > 0 {
+			m.adm.classCap = n
+		}
+	}
+}
+
+// WithTenantQuota bounds one tenant's queued+running jobs.
+func WithTenantQuota(n int) Option {
+	return func(m *Manager) {
+		if n > 0 {
+			m.adm.tenantCap = n
+		}
+	}
+}
+
+// WithStateDir makes the manager durable: the job table is
+// journalled under dir and each job checkpoints under dir/jobs/<id>.
+func WithStateDir(dir string) Option {
+	return func(m *Manager) { m.stateDir = dir }
+}
+
+// WithManagerObs attaches the process observability sink: job
+// counters and queue gauges on Metrics, runner spans on Tracer.
+func WithManagerObs(sink obs.Sink) Option {
+	return func(m *Manager) { m.obs = sink }
+}
+
+// WithDefaultCheckpointEvery sets the snapshot cadence used when a
+// Spec doesn't name one.
+func WithDefaultCheckpointEvery(every int64) Option {
+	return func(m *Manager) {
+		if every > 0 {
+			m.defEvery = every
+		}
+	}
+}
+
+// NewManager builds a Manager and, when durable, replays its journal:
+// terminal jobs become queryable history, queued and running jobs are
+// re-admitted in their original order.
+func NewManager(opts ...Option) (*Manager, error) {
+	m := &Manager{
+		runners:  map[string]Runner{},
+		adm:      newAdmission(256, 32),
+		jobs:     map[string]*record{},
+		defEvery: 25,
+		open:     true,
+		done:     make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	if m.executors == 0 {
+		m.executors = runtime.GOMAXPROCS(0)
+	}
+	if m.stateDir != "" {
+		store, err := ckpt.Open(filepath.Join(m.stateDir, "journal"), "jobs",
+			ckpt.WithObs(m.obs))
+		if err != nil {
+			return nil, fmt.Errorf("job journal: %w", err)
+		}
+		m.store = store
+		if err := m.replay(); err != nil {
+			return nil, err
+		}
+	}
+	m.gauges()
+	return m, nil
+}
+
+// journal is the persisted job table.
+type journal struct {
+	Seq  int64  `json:"seq"`
+	Jobs []View `json:"jobs"`
+}
+
+// replay loads the newest journal snapshot into the job table.
+func (m *Manager) replay() error {
+	epoch, payload, ok, err := m.store.Load()
+	if err != nil {
+		return fmt.Errorf("job journal: %w", err)
+	}
+	if !ok {
+		return nil
+	}
+	var j journal
+	if err := json.Unmarshal(payload, &j); err != nil {
+		return fmt.Errorf("job journal: %w", err)
+	}
+	m.epoch = epoch
+	m.seq = j.Seq
+	for _, v := range j.Jobs {
+		v := v
+		rec := &record{view: v, prog: obs.NewProgress(nil)}
+		m.jobs[v.ID] = rec
+		if v.State == StateQueued || v.State == StateRunning {
+			// The process died with this job live; run it (again).
+			// Its per-job checkpointer resumes from the last snapshot.
+			rec.view.State = StateQueued
+			class, _ := v.Spec.Priority.class()
+			if err := m.adm.admit(v.ID, v.Spec.Tenant, class); err != nil {
+				rec.view.State = StateFailed
+				rec.view.Error = fmt.Sprintf("not re-admitted after restart: %v", err)
+			}
+		}
+	}
+	return nil
+}
+
+// persist journals the job table; callers hold m.mu.
+func (m *Manager) persist() {
+	if m.store == nil {
+		return
+	}
+	j := journal{Seq: m.seq, Jobs: make([]View, 0, len(m.jobs))}
+	for _, rec := range m.jobs {
+		j.Jobs = append(j.Jobs, rec.view)
+	}
+	// Deterministic order keeps snapshots diffable.
+	for i := 1; i < len(j.Jobs); i++ {
+		for k := i; k > 0 && j.Jobs[k-1].ID > j.Jobs[k].ID; k-- {
+			j.Jobs[k-1], j.Jobs[k] = j.Jobs[k], j.Jobs[k-1]
+		}
+	}
+	payload, err := json.Marshal(j)
+	if err != nil {
+		return
+	}
+	m.epoch++
+	if err := m.store.Save(m.epoch, payload); err != nil && m.obs.Log != nil {
+		m.obs.Log.Event(obs.LevelError, "job", "journal save failed: "+err.Error())
+	}
+}
+
+// counter bumps a jobs.* counter when metrics are attached.
+func (m *Manager) counter(name string) {
+	if m.obs.Metrics != nil {
+		m.obs.Metrics.Counter(name).Inc()
+	}
+}
+
+// gauges refreshes the queue-depth gauges; callers need not hold
+// m.mu (the admission layer has its own lock and gauge writes are
+// atomic).
+func (m *Manager) gauges() {
+	if m.obs.Metrics == nil {
+		return
+	}
+	m.obs.Metrics.Gauge("jobs.queued").Set(float64(m.adm.queued()))
+}
+
+// Submit validates, admits, and journals a job, returning its View.
+func (m *Manager) Submit(spec Spec) (View, error) {
+	if err := spec.validate(); err != nil {
+		return View{}, err
+	}
+	runner, ok := m.runners[spec.Kind]
+	if !ok {
+		return View{}, fmt.Errorf("%w: %q", ErrUnknownKind, spec.Kind)
+	}
+	if err := runner.Validate(spec); err != nil {
+		return View{}, err
+	}
+	class, _ := spec.Priority.class()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.open {
+		return View{}, ErrClosed
+	}
+	id := fmt.Sprintf("j-%06d", m.seq+1)
+	if err := m.adm.admit(id, spec.Tenant, class); err != nil {
+		m.counter("jobs.rejected")
+		return View{}, err
+	}
+	m.seq++
+	rec := &record{
+		view: View{ID: id, Spec: spec, State: StateQueued},
+		prog: obs.NewProgress(nil),
+	}
+	m.jobs[id] = rec
+	m.persist()
+	m.counter("jobs.submitted")
+	m.gauges()
+	return rec.view, nil
+}
+
+// Get returns a job's current View.
+func (m *Manager) Get(id string) (View, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.jobs[id]
+	if !ok {
+		return View{}, false
+	}
+	return rec.view, true
+}
+
+// List returns every job's View in id order.
+func (m *Manager) List() []View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]View, 0, len(m.jobs))
+	for _, rec := range m.jobs {
+		out = append(out, rec.view)
+	}
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k-1].ID > out[k].ID; k-- {
+			out[k-1], out[k] = out[k], out[k-1]
+		}
+	}
+	return out
+}
+
+// Progress snapshots a job's live progress stages.
+func (m *Manager) Progress(id string) (map[string]obs.StageSnapshot, bool) {
+	m.mu.Lock()
+	rec, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return rec.prog.Snapshot(), true
+}
+
+// Cancel stops a job: queued jobs go terminal immediately, running
+// jobs get their context cancelled (the executor marks them
+// cancelled when the runner returns). Cancelling a terminal job is a
+// no-op.
+func (m *Manager) Cancel(id string) (View, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.jobs[id]
+	if !ok {
+		return View{}, ErrNotFound
+	}
+	rec.userCancel = true
+	switch {
+	case rec.view.State == StateQueued && m.adm.remove(id):
+		rec.view.State = StateCancelled
+		m.adm.release(rec.view.Spec.Tenant)
+		m.persist()
+		m.counter("jobs.cancelled")
+		m.gauges()
+	case rec.view.State == StateRunning && rec.cancel != nil:
+		rec.cancel()
+	}
+	return rec.view, nil
+}
+
+// Await polls until the job is terminal or ctx fires.
+func (m *Manager) Await(ctx context.Context, id string) (View, error) {
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		v, ok := m.Get(id)
+		if !ok {
+			return View{}, ErrNotFound
+		}
+		if v.State.Terminal() {
+			return v, nil
+		}
+		select {
+		case <-ctx.Done():
+			return v, ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Start launches the executor fleet; it returns immediately and the
+// fleet runs until ctx is cancelled. Running jobs interrupted by
+// cancellation are journalled back to queued so a restart resumes
+// them. Start is idempotent; only the first call takes effect.
+func (m *Manager) Start(ctx context.Context) {
+	m.fleetOnce.Do(func() {
+		if m.executors < 0 {
+			close(m.done)
+			return
+		}
+		pool := sched.New(
+			sched.WithWorkers(m.executors),
+			sched.WithPolicy(sched.Static),
+			sched.WithChunkSize(1),
+		)
+		go func() {
+			defer close(m.done)
+			defer pool.Close()
+			// One iteration per executor: sched hands each worker
+			// exactly one index, and each index is a dequeue loop.
+			_ = pool.RunContext(context.Background(), m.executors, func(w, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					m.executorLoop(ctx)
+				}
+			})
+		}()
+	})
+}
+
+// Done is closed once the fleet has fully exited after Start's ctx
+// was cancelled.
+func (m *Manager) Done() <-chan struct{} { return m.done }
+
+// CloseIntake rejects further Submits; inflight work is untouched.
+func (m *Manager) CloseIntake() {
+	m.mu.Lock()
+	m.open = false
+	m.mu.Unlock()
+}
+
+// executorLoop is one fleet worker: pop, execute, repeat.
+func (m *Manager) executorLoop(ctx context.Context) {
+	for {
+		id := m.adm.pop()
+		if id == "" {
+			select {
+			case <-ctx.Done():
+				return
+			case <-m.adm.notify:
+				continue
+			}
+		}
+		// A single notify token can absorb several pushes; hand the
+		// token back so sibling executors wake for the rest.
+		if m.adm.queued() > 0 {
+			select {
+			case m.adm.notify <- struct{}{}:
+			default:
+			}
+		}
+		m.execute(ctx, id)
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// execute runs one admitted job end to end.
+func (m *Manager) execute(ctx context.Context, id string) {
+	m.mu.Lock()
+	rec, ok := m.jobs[id]
+	if !ok || rec.view.State != StateQueued || rec.userCancel {
+		// Cancelled in the pop window.
+		if ok && !rec.view.State.Terminal() {
+			rec.view.State = StateCancelled
+			m.adm.release(rec.view.Spec.Tenant)
+			m.persist()
+			m.counter("jobs.cancelled")
+		}
+		m.mu.Unlock()
+		m.gauges()
+		return
+	}
+	jctx, cancel := context.WithCancel(ctx)
+	rec.cancel = cancel
+	rec.view.State = StateRunning
+	spec := rec.view.Spec
+	prog := rec.prog
+	m.persist()
+	m.mu.Unlock()
+	m.gauges()
+	defer cancel()
+
+	if m.obs.Metrics != nil {
+		m.obs.Metrics.Gauge("jobs.running").Add(1)
+		defer m.obs.Metrics.Gauge("jobs.running").Add(-1)
+	}
+	prog.Update("job", obs.F("running", 1))
+
+	env := Env{Obs: obs.Sink{
+		Metrics:  m.obs.Metrics,
+		Tracer:   m.obs.Tracer,
+		Progress: prog, // per-job stream: stage names can't collide across jobs
+		Log:      m.obs.Log,
+	}}
+	var ckErr error
+	if env.Ckpt, ckErr = m.checkpointer(spec, id); ckErr != nil {
+		m.finish(id, Result{}, fmt.Errorf("checkpointer: %w", ckErr))
+		return
+	}
+
+	res, err := m.runners[spec.Kind].Run(WithEnv(jctx, env), spec, prog)
+	if err == nil {
+		err = jctx.Err() // belt and braces: a runner may swallow cancellation
+	}
+	m.finish(id, res, err)
+}
+
+// checkpointer builds the per-job checkpointer, primed to resume.
+func (m *Manager) checkpointer(spec Spec, id string) (*ckpt.Checkpointer, error) {
+	if m.stateDir == "" {
+		return nil, nil
+	}
+	store, err := ckpt.Open(filepath.Join(m.stateDir, "jobs", id), spec.Kind,
+		ckpt.WithObs(m.obs))
+	if err != nil {
+		return nil, err
+	}
+	every := spec.CheckpointEvery
+	if every <= 0 {
+		every = m.defEvery
+	}
+	return ckpt.NewCheckpointer(store, every, true), nil
+}
+
+// finish records a job's terminal state (or re-queues it when the
+// fleet itself was shut down under it).
+func (m *Manager) finish(id string, res Result, err error) {
+	m.mu.Lock()
+	defer func() {
+		m.mu.Unlock()
+		m.gauges()
+	}()
+	rec := m.jobs[id]
+	rec.cancel = nil
+	switch {
+	case err == nil:
+		rec.view.State = StateSucceeded
+		rec.view.Result = &res
+		m.counter("jobs.completed")
+	case rec.userCancel || !errors.Is(err, context.Canceled):
+		if rec.userCancel {
+			rec.view.State = StateCancelled
+			m.counter("jobs.cancelled")
+		} else {
+			rec.view.State = StateFailed
+			rec.view.Error = err.Error()
+			m.counter("jobs.failed")
+		}
+	default:
+		// Shutdown cancellation: journal it back to queued so the
+		// next process run re-admits and resumes it.
+		rec.view.State = StateQueued
+		m.persist()
+		return
+	}
+	rec.prog.Update("job", obs.F("done", 1))
+	m.adm.release(rec.view.Spec.Tenant)
+	m.persist()
+}

@@ -1,0 +1,281 @@
+package job
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// seqRunner records execution order and can block until released.
+type seqRunner struct {
+	mu    sync.Mutex
+	order []string
+	gate  chan struct{} // non-nil: Run waits here (or for ctx)
+}
+
+func (r *seqRunner) Validate(Spec) error { return nil }
+func (r *seqRunner) Run(ctx context.Context, spec Spec, prog *obs.Progress) (Result, error) {
+	r.mu.Lock()
+	r.order = append(r.order, spec.Name)
+	gate := r.gate
+	r.mu.Unlock()
+	prog.Update("test", obs.F("ran", 1))
+	if gate != nil {
+		select {
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		case <-gate:
+		}
+	}
+	return Result{Kind: spec.Kind, Output: json.RawMessage(`{"name":"` + spec.Name + `"}`)}, nil
+}
+
+func (r *seqRunner) ran() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.order...)
+}
+
+func await(t *testing.T, m *Manager, id string) View {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	v, err := m.Await(ctx, id)
+	if err != nil {
+		t.Fatalf("Await(%s): %v (state %s)", id, err, v.State)
+	}
+	return v
+}
+
+func TestSubmitRunAwait(t *testing.T) {
+	r := &seqRunner{}
+	m, err := NewManager(WithRunner("t", r), WithExecutors(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m.Start(ctx)
+
+	v, err := m.Submit(Spec{Kind: "t", Name: "a", Tenant: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := await(t, m, v.ID)
+	if done.State != StateSucceeded {
+		t.Fatalf("state = %s, want succeeded", done.State)
+	}
+	if done.Result == nil || string(done.Result.Output) != `{"name":"a"}` {
+		t.Fatalf("result = %+v", done.Result)
+	}
+	if snap, ok := m.Progress(v.ID); !ok || snap["test"].Updates == 0 {
+		t.Fatalf("progress not recorded: %+v", snap)
+	}
+}
+
+// TestPriorityDrainOrder blocks the single executor with one job,
+// queues low before high, and checks high drains first.
+func TestPriorityDrainOrder(t *testing.T) {
+	gate := make(chan struct{})
+	r := &seqRunner{gate: gate}
+	m, err := NewManager(WithRunner("t", r), WithExecutors(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m.Start(ctx)
+
+	first, _ := m.Submit(Spec{Kind: "t", Name: "first", Tenant: "a"})
+	// Wait until the executor holds the gate so the rest truly queue.
+	for {
+		if v, _ := m.Get(first.ID); v.State == StateRunning {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	lo, _ := m.Submit(Spec{Kind: "t", Name: "lo", Tenant: "a", Priority: PriorityLow})
+	hi, _ := m.Submit(Spec{Kind: "t", Name: "hi", Tenant: "a", Priority: PriorityHigh})
+	close(gate)
+	r.mu.Lock()
+	r.gate = nil
+	r.mu.Unlock()
+
+	await(t, m, lo.ID)
+	await(t, m, hi.ID)
+	order := r.ran()
+	if len(order) != 3 || order[0] != "first" || order[1] != "hi" || order[2] != "lo" {
+		t.Fatalf("execution order = %v, want [first hi lo]", order)
+	}
+}
+
+func TestQueueDepthAndTenantQuota(t *testing.T) {
+	m, err := NewManager(WithRunner("t", &seqRunner{}),
+		WithExecutors(-1), // queue-only: nothing drains
+		WithQueueDepth(3), WithTenantQuota(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(Spec{Kind: "t", Tenant: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(Spec{Kind: "t", Tenant: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(Spec{Kind: "t", Tenant: "a"}); err != ErrTenantQuota {
+		t.Fatalf("3rd job for tenant a: %v, want ErrTenantQuota", err)
+	}
+	// Another tenant still fits, then the class queue itself fills.
+	if _, err := m.Submit(Spec{Kind: "t", Tenant: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(Spec{Kind: "t", Tenant: "b"}); err != ErrQueueFull {
+		t.Fatalf("4th queued job: %v, want ErrQueueFull", err)
+	}
+	// A different priority class has its own queue.
+	if _, err := m.Submit(Spec{Kind: "t", Tenant: "b", Priority: PriorityHigh}); err != nil {
+		t.Fatalf("high-priority job: %v", err)
+	}
+}
+
+func TestCancelQueuedReleasesQuota(t *testing.T) {
+	m, err := NewManager(WithRunner("t", &seqRunner{}),
+		WithExecutors(-1), WithTenantQuota(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Submit(Spec{Kind: "t", Tenant: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, err := m.Cancel(v.ID)
+	if err != nil || cv.State != StateCancelled {
+		t.Fatalf("Cancel = %+v, %v", cv, err)
+	}
+	// The quota slot came back.
+	if _, err := m.Submit(Spec{Kind: "t", Tenant: "a"}); err != nil {
+		t.Fatalf("submit after cancel: %v", err)
+	}
+}
+
+func TestCancelRunning(t *testing.T) {
+	r := &seqRunner{gate: make(chan struct{})}
+	m, err := NewManager(WithRunner("t", r), WithExecutors(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m.Start(ctx)
+
+	v, _ := m.Submit(Spec{Kind: "t", Name: "x", Tenant: "a"})
+	for {
+		if got, _ := m.Get(v.ID); got.State == StateRunning {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := m.Cancel(v.ID); err != nil {
+		t.Fatal(err)
+	}
+	done := await(t, m, v.ID)
+	if done.State != StateCancelled {
+		t.Fatalf("state = %s, want cancelled", done.State)
+	}
+}
+
+// TestRestartResumesQueuedJobs is the durability contract: a manager
+// dies (simulated by dropping it) with journalled queued jobs; a new
+// manager on the same state dir re-admits and runs them.
+func TestRestartResumesQueuedJobs(t *testing.T) {
+	dir := t.TempDir()
+	m1, err := NewManager(WithRunner("t", &seqRunner{}),
+		WithExecutors(-1), WithStateDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := m1.Submit(Spec{Kind: "t", Name: "a", Tenant: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m1.Submit(Spec{Kind: "t", Name: "b", Tenant: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m1 is never started; its journal holds both jobs queued. A new
+	// manager (same dir) replays and an executor fleet drains them.
+	r := &seqRunner{}
+	m2, err := NewManager(WithRunner("t", r),
+		WithExecutors(1), WithStateDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m2.Start(ctx)
+	if v := await(t, m2, a.ID); v.State != StateSucceeded {
+		t.Fatalf("job a after restart: %s", v.State)
+	}
+	if v := await(t, m2, b.ID); v.State != StateSucceeded {
+		t.Fatalf("job b after restart: %s", v.State)
+	}
+	if got := r.ran(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("resume order = %v, want [a b]", got)
+	}
+}
+
+// TestShutdownRequeuesRunningJob: cancelling the fleet's context mid
+// run journals the job back to queued (not cancelled/failed), which
+// is what lets a restarted server pick it up.
+func TestShutdownRequeuesRunningJob(t *testing.T) {
+	dir := t.TempDir()
+	r := &seqRunner{gate: make(chan struct{})} // blocks until ctx fires
+	m, err := NewManager(WithRunner("t", r),
+		WithExecutors(1), WithStateDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m.Start(ctx)
+	v, _ := m.Submit(Spec{Kind: "t", Name: "x", Tenant: "a"})
+	for {
+		if got, _ := m.Get(v.ID); got.State == StateRunning {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-m.Done()
+	got, _ := m.Get(v.ID)
+	if got.State != StateQueued {
+		t.Fatalf("state after shutdown = %s, want queued", got.State)
+	}
+
+	// And the journal agrees: a fresh manager re-admits it.
+	m2, err := NewManager(WithRunner("t", &seqRunner{}),
+		WithExecutors(1), WithStateDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	m2.Start(ctx2)
+	if got := await(t, m2, v.ID); got.State != StateSucceeded {
+		t.Fatalf("state after restart = %s, want succeeded", got.State)
+	}
+}
+
+func TestCloseIntake(t *testing.T) {
+	m, err := NewManager(WithRunner("t", &seqRunner{}), WithExecutors(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.CloseIntake()
+	if _, err := m.Submit(Spec{Kind: "t", Tenant: "a"}); err != ErrClosed {
+		t.Fatalf("Submit after CloseIntake = %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,213 @@
+package runners
+
+import (
+	"context"
+	"math/rand"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/fault"
+	"repro/internal/job"
+	"repro/internal/mapreduce"
+	"repro/internal/obs"
+)
+
+// MapReduceParams is the "mapreduce" kind's parameter schema. The
+// only built-in job is the canonical word count over a deterministic
+// synthetic corpus — same seed, same corpus, same counts — which
+// keeps server results reproducible without shipping input files
+// over the wire.
+type MapReduceParams struct {
+	// Job names the computation; only "wordcount" exists.
+	Job string `json:"job,omitempty"`
+	// Docs is the synthetic corpus size in documents; default 500.
+	Docs int `json:"docs,omitempty"`
+	// Seed drives corpus generation; default 99.
+	Seed *int64 `json:"seed,omitempty"`
+	// MapTasks/ReduceTasks shape the run; defaults 16 and 4.
+	MapTasks    int `json:"mapTasks,omitempty"`
+	ReduceTasks int `json:"reduceTasks,omitempty"`
+	// Parallelism bounds concurrent tasks; 0 means GOMAXPROCS.
+	Parallelism int `json:"parallelism,omitempty"`
+	// MaxAttempts is the per-task retry budget.
+	MaxAttempts int `json:"maxAttempts,omitempty"`
+	// TopK bounds the ranked word list in the output; default 10.
+	TopK int `json:"topK,omitempty"`
+	// Faults is a fault-plan string enabling task-failure injection.
+	Faults string `json:"faults,omitempty"`
+}
+
+func (p *MapReduceParams) withDefaults() {
+	if p.Job == "" {
+		p.Job = "wordcount"
+	}
+	if p.Docs == 0 {
+		p.Docs = 500
+	}
+	if p.Seed == nil {
+		s := int64(99)
+		p.Seed = &s
+	}
+	if p.MapTasks == 0 {
+		p.MapTasks = 16
+	}
+	if p.ReduceTasks == 0 {
+		p.ReduceTasks = 4
+	}
+	if p.TopK == 0 {
+		p.TopK = 10
+	}
+}
+
+// WordCount is one ranked entry in the output.
+type WordCount struct {
+	Word  string `json:"word"`
+	Count int    `json:"count"`
+}
+
+// MapReduceOutput is the "mapreduce" kind's result schema.
+type MapReduceOutput struct {
+	Job         string      `json:"job"`
+	Docs        int         `json:"docs"`
+	Records     int         `json:"records"`
+	Words       int         `json:"words"`
+	UniqueWords int         `json:"uniqueWords"`
+	TaskRetries int         `json:"taskRetries"`
+	Top         []WordCount `json:"top"`
+}
+
+// MapReduce adapts the MapReduce runtime to job.Runner.
+type MapReduce struct{}
+
+func (r *MapReduce) decode(spec job.Spec) (MapReduceParams, error) {
+	var p MapReduceParams
+	if err := decodeParams(spec, &p); err != nil {
+		return p, err
+	}
+	p.withDefaults()
+	if p.Job != "wordcount" {
+		return p, job.Badf("unknown mapreduce job %q (only wordcount)", p.Job)
+	}
+	if p.Docs < 1 || p.Docs > 1_000_000 {
+		return p, job.Badf("docs must be 1..1000000")
+	}
+	if p.Faults != "" {
+		if _, err := fault.Parse(p.Faults); err != nil {
+			return p, job.Badf("%v", err)
+		}
+	}
+	return p, nil
+}
+
+func (r *MapReduce) Validate(spec job.Spec) error {
+	_, err := r.decode(spec)
+	return err
+}
+
+// corpus builds the deterministic synthetic document set.
+func corpus(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	vocab := []string{"peachy", "parallel", "assignments", "sandpile", "montage",
+		"ghost", "cells", "carbon", "treasure", "hunt", "stripes", "workflow"}
+	lines := make([]string, n)
+	for i := range lines {
+		var b strings.Builder
+		for w := 0; w < 6+rng.Intn(10); w++ {
+			b.WriteString(vocab[rng.Intn(len(vocab))])
+			b.WriteByte(' ')
+		}
+		lines[i] = strings.TrimSpace(b.String())
+	}
+	return lines
+}
+
+func (r *MapReduce) Run(ctx context.Context, spec job.Spec, prog *obs.Progress) (job.Result, error) {
+	p, err := r.decode(spec)
+	if err != nil {
+		return job.Result{}, err
+	}
+	env := job.EnvFrom(ctx)
+	var plan *fault.Plan
+	if p.Faults != "" {
+		plan, _ = fault.Parse(p.Faults)
+	}
+	docs := corpus(p.Docs, *p.Seed)
+	prog.Update("mapreduce", obs.F("docs", float64(p.Docs)))
+
+	wc := &mapreduce.Job[string, string, int, mapreduce.KV[string, int]]{
+		Name: "wordcount",
+		Map: func(line string, emit func(string, int)) error {
+			for _, w := range strings.Fields(line) {
+				emit(w, 1)
+			}
+			return nil
+		},
+		Combine: func(k string, vs []int) ([]int, error) {
+			sum := 0
+			for _, v := range vs {
+				sum += v
+			}
+			return []int{sum}, nil
+		},
+		Reduce: func(k string, vs []int, emit func(mapreduce.KV[string, int])) error {
+			sum := 0
+			for _, v := range vs {
+				sum += v
+			}
+			emit(mapreduce.KV[string, int]{Key: k, Value: sum})
+			return nil
+		},
+		Config: mapreduce.NewConfig(
+			mapreduce.WithMapTasks[string](p.MapTasks),
+			mapreduce.WithReduceTasks[string](p.ReduceTasks),
+			mapreduce.WithParallelism[string](p.Parallelism),
+			mapreduce.WithMaxAttempts[string](p.MaxAttempts),
+			mapreduce.WithObs[string](env.Obs),
+			mapreduce.WithFaults[string](plan),
+		),
+	}
+	if env.Ckpt != nil {
+		// Durable map output: a restarted job resumes from the first
+		// unfinished map task instead of remapping the corpus.
+		wc.Spill = mapreduce.NewStringIntSpill(
+			filepath.Join(env.Ckpt.Store().Dir(), "spill"), "wordcount")
+	}
+
+	out, stats, err := wc.RunContext(ctx, docs)
+	if err != nil {
+		return job.Result{}, err
+	}
+	res := MapReduceOutput{
+		Job: p.Job, Docs: p.Docs,
+		Records:     stats.MapInputs,
+		Words:       stats.MapOutputs,
+		UniqueWords: stats.ReduceGroups,
+		TaskRetries: stats.TaskRetries,
+	}
+	// Rank by count descending, ties by word ascending; the reduce
+	// output is already key-sorted so the sort is stable across runs.
+	ranked := make([]WordCount, len(out))
+	for i, kv := range out {
+		ranked[i] = WordCount{Word: kv.Key, Count: kv.Value}
+	}
+	for i := 1; i < len(ranked); i++ {
+		for k := i; k > 0 && less(ranked[k], ranked[k-1]); k-- {
+			ranked[k-1], ranked[k] = ranked[k], ranked[k-1]
+		}
+	}
+	if len(ranked) > p.TopK {
+		ranked = ranked[:p.TopK]
+	}
+	res.Top = ranked
+	prog.Update("mapreduce", obs.F("uniqueWords", float64(res.UniqueWords)))
+	return marshalOutput("mapreduce", res)
+}
+
+func less(a, b WordCount) bool {
+	if a.Count != b.Count {
+		return a.Count > b.Count
+	}
+	return a.Word < b.Word
+}
+
+var _ job.Runner = (*MapReduce)(nil)

@@ -1,0 +1,60 @@
+// Package runners adapts the repo's compute substrates — the sandpile
+// engines, the MapReduce runtime, and the workflow-scheduling
+// simulator — to the job.Runner interface, so one Manager executes
+// all of them and one Spec schema submits them. Each adapter is also
+// what the corresponding CLI calls directly: the command-line paths
+// and the HTTP paths run the same code, which is what makes the
+// byte-identical result guarantee checkable.
+package runners
+
+import (
+	"bytes"
+	"encoding/json"
+
+	"repro/internal/job"
+)
+
+// Defaults returns the standard kind -> Runner table.
+func Defaults() map[string]job.Runner {
+	return map[string]job.Runner{
+		"sandpile":  &Sandpile{},
+		"mapreduce": &MapReduce{},
+		"wfsim":     &Wfsim{},
+		"peachy":    &Peachy{},
+	}
+}
+
+// Register returns the manager options installing every default
+// runner — sugar for job.NewManager(append(runners.Register(), ...)...).
+func Register() []job.Option {
+	var opts []job.Option
+	for kind, r := range Defaults() {
+		opts = append(opts, job.WithRunner(kind, r))
+	}
+	return opts
+}
+
+// decodeParams strictly decodes a Spec's params into dst: unknown
+// fields are a validation error, so a typo'd parameter fails the
+// submission instead of silently running defaults. A missing params
+// object decodes as all-defaults.
+func decodeParams(spec job.Spec, dst any) error {
+	if len(spec.Params) == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(spec.Params))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return job.Badf("%s params: %v", spec.Kind, err)
+	}
+	return nil
+}
+
+// marshalOutput wraps a kind's output object into a job.Result.
+func marshalOutput(kind string, out any) (job.Result, error) {
+	raw, err := json.Marshal(out)
+	if err != nil {
+		return job.Result{}, err
+	}
+	return job.Result{Kind: kind, Output: raw}, nil
+}

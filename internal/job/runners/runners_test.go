@@ -1,0 +1,177 @@
+package runners
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/job"
+	"repro/internal/obs"
+	"repro/internal/wfsched"
+)
+
+func spec(kind, params string) job.Spec {
+	return job.Spec{Kind: kind, Tenant: "test", Params: json.RawMessage(params)}
+}
+
+// TestValidateRejections: every adapter turns malformed params into
+// job.ErrBadSpec (the HTTP 400 class), including unknown keys — a
+// typo'd parameter must fail the submission, not silently run
+// defaults.
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		kind   string
+		params string
+	}{
+		{"sandpile typo'd key", "sandpile", `{"siez":64}`},
+		{"sandpile bad config", "sandpile", `{"config":"spiral"}`},
+		{"sandpile bad policy", "sandpile", `{"policy":"chaotic"}`},
+		{"sandpile bad variant", "sandpile", `{"variant":"nope"}`},
+		{"sandpile size over limit", "sandpile", `{"size":99999}`},
+		{"sandpile ranks+hetero", "sandpile", `{"ranks":4,"hetero":true}`},
+		{"sandpile faults without mode", "sandpile", `{"faults":"seed=7,crash=1@3"}`},
+		{"sandpile bad fault plan", "sandpile", `{"ranks":4,"faults":"explode=now"}`},
+		{"mapreduce typo'd key", "mapreduce", `{"documents":5}`},
+		{"mapreduce unknown job", "mapreduce", `{"job":"grep"}`},
+		{"mapreduce docs out of range", "mapreduce", `{"docs":2000000}`},
+		{"wfsim unknown mode", "wfsim", `{"mode":"tab3"}`},
+		{"wfsim pstate out of range", "wfsim", `{"pstate":99}`},
+		{"wfsim nodes out of range", "wfsim", `{"nodes":1000}`},
+		{"wfsim fraction out of range", "wfsim", `{"mode":"tab2","fractions":[1.5]}`},
+		{"peachy unknown experiment", "peachy", `{"experiments":["E999"]}`},
+		{"peachy bad fault plan", "peachy", `{"faults":"zap"}`},
+	}
+	table := Defaults()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := table[tc.kind].Validate(spec(tc.kind, tc.params))
+			if !errors.Is(err, job.ErrBadSpec) {
+				t.Fatalf("Validate = %v, want ErrBadSpec", err)
+			}
+		})
+	}
+	// Empty params mean all-defaults and validate clean.
+	for kind, r := range table {
+		if err := r.Validate(job.Spec{Kind: kind, Tenant: "test"}); err != nil {
+			t.Errorf("%s with no params: %v", kind, err)
+		}
+	}
+}
+
+// TestManagerMatchesDirectRun is the unit-level half of the
+// byte-identical guarantee: the Result a Manager produces for a spec
+// equals the Result of calling the adapter directly (what the CLIs
+// and peachyd -oneshot do).
+func TestManagerMatchesDirectRun(t *testing.T) {
+	specs := []job.Spec{
+		spec("sandpile", `{"size":64,"grains":5000}`),
+		spec("sandpile", `{"ranks":4,"size":64,"grains":20000}`),
+		spec("mapreduce", `{"docs":100}`),
+		spec("wfsim", `{"mode":"tab2","fractions":[0.5,1,1,1,1,1,1,1,1]}`),
+	}
+
+	opts := append(Register(), job.WithExecutors(2))
+	m, err := job.NewManager(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m.Start(ctx)
+
+	for _, s := range specs {
+		t.Run(s.Kind+string(s.Params), func(t *testing.T) {
+			direct, err := Defaults()[s.Kind].Run(context.Background(), s, obs.NewProgress(nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			directBytes, _ := json.Marshal(direct)
+
+			v, err := m.Submit(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			actx, acancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer acancel()
+			done, err := m.Await(actx, v.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done.State != job.StateSucceeded {
+				t.Fatalf("job %s: %s (%s)", v.ID, done.State, done.Error)
+			}
+			managed, _ := json.Marshal(done.Result)
+			if !bytes.Equal(directBytes, managed) {
+				t.Fatalf("managed result differs from direct run:\n direct: %s\nmanaged: %s",
+					directBytes, managed)
+			}
+		})
+	}
+}
+
+// TestWfsimMatchesLibrary pins the adapter to the library it wraps:
+// tab1 output must equal a direct SimulateCluster call.
+func TestWfsimMatchesLibrary(t *testing.T) {
+	var w Wfsim
+	res, err := w.Run(context.Background(),
+		spec("wfsim", `{"nodes":21,"pstate":6}`), obs.NewProgress(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out WfsimOutput
+	if err := json.Unmarshal(res.Output, &out); err != nil {
+		t.Fatal(err)
+	}
+	base, ps := wfsched.Tab1Base()
+	want := wfsched.SimulateCluster(base, ps, wfsched.ClusterConfig{Nodes: 21, PState: 6})
+	if out.Outcome != want {
+		t.Fatalf("adapter outcome %+v != library outcome %+v", out.Outcome, want)
+	}
+	if out.MeetsBound == nil || *out.MeetsBound != (want.Makespan <= wfsched.Tab1BoundSec) {
+		t.Fatalf("meetsBound = %v", out.MeetsBound)
+	}
+}
+
+// TestMapReduceDeterminism: same spec, same corpus, same counts —
+// the property the synthetic-corpus design exists for.
+func TestMapReduceDeterminism(t *testing.T) {
+	var r MapReduce
+	s := spec("mapreduce", `{"docs":200,"seed":7,"topK":5}`)
+	a, err := r.Run(context.Background(), s, obs.NewProgress(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run(context.Background(), s, obs.NewProgress(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Output, b.Output) {
+		t.Fatalf("nondeterministic output:\n%s\n%s", a.Output, b.Output)
+	}
+	var out MapReduceOutput
+	json.Unmarshal(a.Output, &out)
+	if out.Docs != 200 || out.Words == 0 || len(out.Top) != 5 {
+		t.Fatalf("output = %+v", out)
+	}
+	for i := 1; i < len(out.Top); i++ {
+		if out.Top[i].Count > out.Top[i-1].Count {
+			t.Fatalf("top list not ranked: %+v", out.Top)
+		}
+	}
+}
+
+// TestSandpileCancellation: a cancelled context stops a run with
+// context.Canceled instead of computing to stability.
+func TestSandpileCancellation(t *testing.T) {
+	var sp Sandpile
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := sp.Run(ctx, spec("sandpile", `{"size":256,"grains":2000000}`), obs.NewProgress(nil))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run on cancelled ctx = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,290 @@
+package runners
+
+import (
+	"context"
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/ghost"
+	"repro/internal/grid"
+	"repro/internal/hetero"
+	"repro/internal/job"
+	"repro/internal/obs"
+	"repro/internal/sandpile"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// SandpileParams is the "sandpile" kind's parameter schema: the same
+// knobs cmd/sandpile exposes as flags, minus the output artifacts
+// (PNG/GIF/trace files), which stay CLI-only through the adapter's
+// hook fields.
+type SandpileParams struct {
+	// Variant is the kernel variant name (engine.Names); default
+	// "seq-async". Ignored when Ranks > 0 or Hetero is set.
+	Variant string `json:"variant,omitempty"`
+	// Config is the initial pile: center|uniform|sparse|random.
+	Config string `json:"config,omitempty"`
+	// Grains seeds the pile; default 25000.
+	Grains uint32 `json:"grains,omitempty"`
+	// Size is the grid edge length; default 128.
+	Size int `json:"size,omitempty"`
+	// Tile is the tile edge for tiled variants; default 32.
+	Tile int `json:"tile,omitempty"`
+	// Workers is the worker-team size; 0 means GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+	// Policy is the loop schedule; default "dynamic".
+	Policy string `json:"policy,omitempty"`
+	// Seed drives stochastic configurations; default 42.
+	Seed *int64 `json:"seed,omitempty"`
+	// MaxIters caps iterations; 0 runs to stability.
+	MaxIters int `json:"maxIters,omitempty"`
+	// Ranks > 0 selects the simulated-MPI ghost-cell engine.
+	Ranks int `json:"ranks,omitempty"`
+	// GhostWidth is the ghost band width for Ranks mode; default 1.
+	GhostWidth int `json:"ghostWidth,omitempty"`
+	// Hetero selects the hybrid CPU+device engine.
+	Hetero bool `json:"hetero,omitempty"`
+	// DeviceWorkers is the simulated device parallelism; default 4.
+	DeviceWorkers int `json:"deviceWorkers,omitempty"`
+	// Faults is a fault-plan string for Ranks/Hetero modes (see
+	// internal/fault).
+	Faults string `json:"faults,omitempty"`
+}
+
+func (p *SandpileParams) withDefaults() {
+	if p.Variant == "" {
+		p.Variant = "seq-async"
+	}
+	if p.Config == "" {
+		p.Config = "center"
+	}
+	if p.Grains == 0 {
+		p.Grains = 25000
+	}
+	if p.Size == 0 {
+		p.Size = 128
+	}
+	if p.Tile == 0 {
+		p.Tile = 32
+	}
+	if p.Policy == "" {
+		p.Policy = "dynamic"
+	}
+	if p.Seed == nil {
+		s := int64(42)
+		p.Seed = &s
+	}
+	if p.GhostWidth == 0 {
+		p.GhostWidth = 1
+	}
+	if p.DeviceWorkers == 0 {
+		p.DeviceWorkers = 4
+	}
+}
+
+// BuildConfig maps the config name to its sandpile.Config. Exported
+// so cmd/sandpile can reuse the mapping (it prints cfg.Name).
+func (p SandpileParams) BuildConfig() (sandpile.Config, error) {
+	switch p.Config {
+	case "center":
+		return sandpile.Center(p.Grains), nil
+	case "uniform":
+		return sandpile.Uniform(p.Grains), nil
+	case "sparse":
+		return sandpile.Sparse(0.001, p.Grains), nil
+	case "random":
+		return sandpile.Random(p.Grains), nil
+	}
+	return sandpile.Config{}, job.Badf("unknown sandpile config %q", p.Config)
+}
+
+// SandpileOutput is the "sandpile" kind's result schema.
+type SandpileOutput struct {
+	Mode       string `json:"mode"` // variant|ghost|hetero
+	Variant    string `json:"variant,omitempty"`
+	Iterations int    `json:"iterations"`
+	Topples    uint64 `json:"topples"`
+	Absorbed   uint64 `json:"absorbed"`
+	// InitialGrains is the pile's grain count at build time (the
+	// conservation check: InitialGrains = FinalGrains + Absorbed).
+	InitialGrains uint64 `json:"initialGrains"`
+	// FinalGrains and Cells describe the stable configuration:
+	// remaining grains and the cell count per value 0..3.
+	FinalGrains uint64 `json:"finalGrains"`
+	Cells       []int  `json:"cells"`
+	Stable      bool   `json:"stable"`
+	// Ghost carries the distributed-mode communication report.
+	Ghost *GhostOutput `json:"ghost,omitempty"`
+	// Hetero carries the hybrid-mode split report.
+	Hetero *HeteroOutput `json:"hetero,omitempty"`
+}
+
+// GhostOutput is the Ranks-mode extra: the communication ledger.
+type GhostOutput struct {
+	Ranks          int    `json:"ranks"`
+	GhostWidth     int    `json:"ghostWidth"`
+	Exchanges      int    `json:"exchanges"`
+	Messages       int    `json:"messages"`
+	BytesSent      uint64 `json:"bytesSent"`
+	RedundantCells uint64 `json:"redundantCells"`
+	Recoveries     int    `json:"recoveries"`
+	// FaultSchedule is the injector's fired-fault log (reproducible:
+	// same seed, same schedule); empty without faults.
+	FaultSchedule []string `json:"faultSchedule,omitempty"`
+}
+
+// HeteroOutput is the Hetero-mode extra: the CPU/device split.
+type HeteroOutput struct {
+	DeviceTiles   int     `json:"deviceTiles"`
+	CPUTiles      int     `json:"cpuTiles"`
+	FinalFraction float64 `json:"finalFraction"`
+	DeviceStalled bool    `json:"deviceStalled,omitempty"`
+}
+
+// Sandpile adapts the sandpile engines to job.Runner. The exported
+// hook fields are CLI-only extras — live monitoring, trace capture,
+// and access to the final grid for image output — and stay zero under
+// the job server.
+type Sandpile struct {
+	// OnIteration observes every engine iteration (variant mode).
+	OnIteration func(engine.IterStats)
+	// Recorder captures tile-task events for iterations in
+	// [TraceFrom, TraceTo] (variant mode).
+	Recorder           *trace.Recorder
+	TraceFrom, TraceTo int
+	// GridSink receives the final grid before Run returns.
+	GridSink func(*grid.Grid)
+}
+
+func (s *Sandpile) decode(spec job.Spec) (SandpileParams, error) {
+	var p SandpileParams
+	if err := decodeParams(spec, &p); err != nil {
+		return p, err
+	}
+	p.withDefaults()
+	if p.Size < 1 {
+		return p, job.Badf("size must be >= 1")
+	}
+	if p.Size > 1<<14 {
+		return p, job.Badf("size %d over the 16384 limit", p.Size)
+	}
+	if _, err := sched.ParsePolicy(p.Policy); err != nil {
+		return p, job.Badf("%v", err)
+	}
+	if _, err := p.BuildConfig(); err != nil {
+		return p, err
+	}
+	if p.Ranks > 0 && p.Hetero {
+		return p, job.Badf("ranks and hetero are mutually exclusive")
+	}
+	if p.Ranks == 0 && !p.Hetero {
+		if _, err := engine.Lookup(p.Variant); err != nil {
+			return p, job.Badf("%v", err)
+		}
+	}
+	if p.Faults != "" {
+		if p.Ranks == 0 && !p.Hetero {
+			return p, job.Badf("faults need ranks or hetero mode")
+		}
+		if _, err := fault.Parse(p.Faults); err != nil {
+			return p, job.Badf("%v", err)
+		}
+	}
+	return p, nil
+}
+
+func (s *Sandpile) Validate(spec job.Spec) error {
+	_, err := s.decode(spec)
+	return err
+}
+
+func (s *Sandpile) Run(ctx context.Context, spec job.Spec, prog *obs.Progress) (job.Result, error) {
+	p, err := s.decode(spec)
+	if err != nil {
+		return job.Result{}, err
+	}
+	env := job.EnvFrom(ctx)
+	cfg, _ := p.BuildConfig()
+	var plan *fault.Plan
+	if p.Faults != "" {
+		plan, _ = fault.Parse(p.Faults)
+	}
+	g := cfg.Build(p.Size, p.Size, rand.New(rand.NewSource(*p.Seed)))
+	initial := g.Sum()
+	prog.Update("sandpile",
+		obs.F("size", float64(p.Size)),
+		obs.F("grains", float64(initial)))
+
+	out := SandpileOutput{Mode: "variant", Variant: p.Variant}
+	switch {
+	case p.Ranks > 0:
+		out.Mode, out.Variant = "ghost", ""
+		rep, err := ghost.New(g,
+			ghost.WithRanks(p.Ranks),
+			ghost.WithWidth(p.GhostWidth),
+			ghost.WithMaxIters(p.MaxIters),
+			ghost.WithFaults(plan),
+			ghost.WithObs(env.Obs),
+			ghost.WithCheckpoint(env.Ckpt),
+		).RunContext(ctx)
+		if err != nil {
+			return job.Result{}, err
+		}
+		out.Iterations, out.Topples, out.Absorbed = rep.Iterations, rep.Topples, rep.Absorbed
+		out.Ghost = &GhostOutput{
+			Ranks: rep.Ranks, GhostWidth: rep.GhostWidth,
+			Exchanges: rep.Exchanges, Messages: rep.Messages,
+			BytesSent: rep.BytesSent, RedundantCells: rep.RedundantCells,
+			Recoveries: rep.Recoveries, FaultSchedule: rep.FaultSchedule,
+		}
+	case p.Hetero:
+		out.Mode, out.Variant = "hetero", ""
+		rep, err := hetero.New(g,
+			hetero.WithTile(p.Tile, p.Tile),
+			hetero.WithCPUWorkers(p.Workers),
+			hetero.WithDevice(p.DeviceWorkers, 0),
+			hetero.WithMaxIters(p.MaxIters),
+			hetero.WithFaults(plan),
+			hetero.WithObs(env.Obs),
+			hetero.WithRecorder(s.Recorder),
+		).RunContext(ctx)
+		if err != nil {
+			return job.Result{}, err
+		}
+		out.Iterations, out.Topples, out.Absorbed = rep.Iterations, rep.Topples, rep.Absorbed
+		out.Hetero = &HeteroOutput{
+			DeviceTiles:   rep.DeviceTiles,
+			CPUTiles:      rep.CPUTiles,
+			FinalFraction: rep.FinalFraction,
+			DeviceStalled: rep.DeviceStalled,
+		}
+	default:
+		pol, _ := sched.ParsePolicy(p.Policy)
+		params := engine.Params{
+			TileH: p.Tile, TileW: p.Tile,
+			Workers: p.Workers, Policy: pol, MaxIters: p.MaxIters,
+			Obs: env.Obs, Ckpt: env.Ckpt,
+			Recorder: s.Recorder, TraceFrom: s.TraceFrom, TraceTo: s.TraceTo,
+			OnIteration: s.OnIteration,
+		}
+		res, err := engine.RunContext(ctx, p.Variant, g, params)
+		if err != nil {
+			return job.Result{}, err
+		}
+		out.Iterations, out.Topples, out.Absorbed = res.Iterations, res.Topples, res.Absorbed
+	}
+
+	out.InitialGrains = initial
+	out.FinalGrains = g.Sum()
+	out.Cells = g.Histogram(4)[:4]
+	out.Stable = sandpile.Stable(g)
+	prog.Update("sandpile", obs.F("iterations", float64(out.Iterations)))
+	if s.GridSink != nil {
+		s.GridSink(g)
+	}
+	return marshalOutput("sandpile", out)
+}
+
+var _ job.Runner = (*Sandpile)(nil)

@@ -1,0 +1,232 @@
+package job
+
+// server.go is the HTTP/JSON face of the Manager: submit, inspect,
+// cancel, and stream. Errors map onto status codes through the typed
+// errors in job.go — admission rejections answer 429 with a
+// Retry-After so well-behaved clients back off instead of hammering
+// a full queue.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// API wraps a Manager in an http.Handler.
+type API struct {
+	m   *Manager
+	mux *http.ServeMux
+	// pollEvery paces the SSE poll loop; tests shrink it.
+	pollEvery time.Duration
+	// stop ends open SSE streams so http.Server.Shutdown's drain
+	// isn't held hostage by a long-lived watch.
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// Stop ends the API's open event streams; idempotent.
+func (a *API) Stop() {
+	a.stopOnce.Do(func() { close(a.stop) })
+}
+
+// NewAPI builds the job-service handler:
+//
+//	POST   /v1/jobs             submit a Spec           -> 202 View
+//	GET    /v1/jobs             list jobs               -> 200 []View
+//	GET    /v1/jobs/{id}        job status              -> 200 View
+//	GET    /v1/jobs/{id}/result finished job's Result   -> 200 Result
+//	GET    /v1/jobs/{id}/events live progress via SSE
+//	DELETE /v1/jobs/{id}        cancel                  -> 200 View
+func NewAPI(m *Manager) *API {
+	a := &API{
+		m:         m,
+		mux:       http.NewServeMux(),
+		pollEvery: 150 * time.Millisecond,
+		stop:      make(chan struct{}),
+	}
+	a.mux.HandleFunc("POST /v1/jobs", a.submit)
+	a.mux.HandleFunc("GET /v1/jobs", a.list)
+	a.mux.HandleFunc("GET /v1/jobs/{id}", a.get)
+	a.mux.HandleFunc("GET /v1/jobs/{id}/result", a.result)
+	a.mux.HandleFunc("GET /v1/jobs/{id}/events", a.events)
+	a.mux.HandleFunc("DELETE /v1/jobs/{id}", a.cancel)
+	a.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return a
+}
+
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	a.mux.ServeHTTP(w, r)
+}
+
+// status maps a typed job error onto its HTTP status code.
+func status(err error) int {
+	switch {
+	case errors.Is(err, ErrBadSpec), errors.Is(err, ErrUnknownKind):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrTooLarge):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrTenantQuota):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	code := status(err)
+	if code == http.StatusTooManyRequests {
+		// Explicit backpressure: the queue is full or the tenant is at
+		// quota; retrying sooner than a second cannot succeed.
+		w.Header().Set("Retry-After", "1")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (a *API) submit(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, MaxSpecBytes+1)
+	var spec Spec
+	if err := json.NewDecoder(body).Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, fmt.Errorf("%w: body over %d bytes", ErrTooLarge, MaxSpecBytes))
+			return
+		}
+		writeErr(w, Badf("bad JSON: %v", err))
+		return
+	}
+	v, err := a.m.Submit(spec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+v.ID)
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+func (a *API) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, a.m.List())
+}
+
+func (a *API) get(w http.ResponseWriter, r *http.Request) {
+	v, ok := a.m.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, ErrNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// result serves exactly json.Marshal(Result) — the bytes the
+// equivalent CLI one-shot prints, which the smoke test diffs.
+func (a *API) result(w http.ResponseWriter, r *http.Request) {
+	v, ok := a.m.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, ErrNotFound)
+		return
+	}
+	if v.Result == nil {
+		writeErr(w, fmt.Errorf("%w: job %s is %s, no result", ErrNotFound, v.ID, v.State))
+		return
+	}
+	out, err := json.Marshal(v.Result)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out)
+}
+
+func (a *API) cancel(w http.ResponseWriter, r *http.Request) {
+	v, err := a.m.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// events streams a job's life as server-sent events: a "state" event
+// on every transition, a "progress" event whenever the job publishes,
+// and a final "result" event when it goes terminal, after which the
+// stream closes. The loop polls — the progress plane is a snapshot
+// API — so cadence is bounded by pollEvery.
+func (a *API) events(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := a.m.Get(id); !ok {
+		writeErr(w, ErrNotFound)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, errors.New("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(event string, v any) {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		flusher.Flush()
+	}
+
+	var lastState State
+	var lastProg int64 = -1
+	tick := time.NewTicker(a.pollEvery)
+	defer tick.Stop()
+	for {
+		v, ok := a.m.Get(id)
+		if !ok {
+			return
+		}
+		if v.State != lastState {
+			lastState = v.State
+			emit("state", v)
+		}
+		if snap, ok := a.m.Progress(id); ok {
+			var version int64
+			for _, st := range snap {
+				version += st.Updates
+			}
+			if version != lastProg && len(snap) > 0 {
+				lastProg = version
+				emit("progress", snap)
+			}
+		}
+		if v.State.Terminal() {
+			emit("result", v)
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-a.stop:
+			return
+		case <-tick.C:
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package job
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestAPI(t *testing.T, opts ...Option) (*API, *httptest.Server, *Manager) {
+	t.Helper()
+	m, err := NewManager(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAPI(m)
+	a.pollEvery = 5 * time.Millisecond
+	ts := httptest.NewServer(a)
+	t.Cleanup(ts.Close)
+	return a, ts, m
+}
+
+func post(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp, b
+}
+
+func TestAPISubmitGetResult(t *testing.T) {
+	_, ts, m := newTestAPI(t, WithRunner("t", okRunner{}), WithExecutors(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m.Start(ctx)
+
+	resp, body := post(t, ts.URL+"/v1/jobs", `{"kind":"t","tenant":"alice","name":"n1"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST = %d, body %s", resp.StatusCode, body)
+	}
+	var v View
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/jobs/"+v.ID {
+		t.Fatalf("Location = %q", loc)
+	}
+	await(t, m, v.ID)
+
+	// GET /v1/jobs/{id} sees the terminal state.
+	resp2, err := http.Get(ts.URL + "/v1/jobs/" + v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	var got View
+	if err := json.Unmarshal(b2, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateSucceeded || got.Result == nil {
+		t.Fatalf("GET view = %+v", got)
+	}
+
+	// GET result serves exactly json.Marshal(Result) — the wire bytes
+	// the byte-identical CLI/HTTP guarantee compares.
+	resp3, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, _ := io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	want, _ := json.Marshal(got.Result)
+	if !bytes.Equal(b3, want) {
+		t.Fatalf("result bytes = %s, want %s", b3, want)
+	}
+
+	// List includes it.
+	resp4, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b4, _ := io.ReadAll(resp4.Body)
+	resp4.Body.Close()
+	var list []View
+	if err := json.Unmarshal(b4, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != v.ID {
+		t.Fatalf("list = %+v", list)
+	}
+}
+
+func TestAPIErrors(t *testing.T) {
+	_, ts, _ := newTestAPI(t, WithRunner("t", okRunner{}),
+		WithExecutors(-1), WithQueueDepth(1))
+
+	cases := []struct {
+		name string
+		body string
+		code int
+	}{
+		{"bad JSON", `{`, http.StatusBadRequest},
+		{"unknown kind", `{"kind":"zzz","tenant":"a"}`, http.StatusBadRequest},
+		{"missing tenant", `{"kind":"t"}`, http.StatusBadRequest},
+		{"bad priority", `{"kind":"t","tenant":"a","priority":"max"}`, http.StatusBadRequest},
+		{"oversized body", `{"kind":"t","tenant":"a","params":{"pad":"` +
+			strings.Repeat("x", MaxSpecBytes) + `"}}`, http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := post(t, ts.URL+"/v1/jobs", tc.body)
+			if resp.StatusCode != tc.code {
+				t.Fatalf("code = %d, want %d (body %s)", resp.StatusCode, tc.code, body)
+			}
+			var e map[string]string
+			if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
+				t.Fatalf("error body not JSON: %s", body)
+			}
+		})
+	}
+
+	// Queue depth 1, queue-only mode: the second submission answers
+	// 429 with Retry-After.
+	if resp, body := post(t, ts.URL+"/v1/jobs", `{"kind":"t","tenant":"a"}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit = %d %s", resp.StatusCode, body)
+	}
+	resp, _ := post(t, ts.URL+"/v1/jobs", `{"kind":"t","tenant":"b"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("backpressure code = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	// Unknown ids 404 on every per-job route.
+	for _, path := range []string{"/v1/jobs/j-999999", "/v1/jobs/j-999999/result", "/v1/jobs/j-999999/events"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestAPICancel(t *testing.T) {
+	_, ts, _ := newTestAPI(t, WithRunner("t", okRunner{}), WithExecutors(-1))
+	_, body := post(t, ts.URL+"/v1/jobs", `{"kind":"t","tenant":"a"}`)
+	var v View
+	json.Unmarshal(body, &v)
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+v.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var got View
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateCancelled {
+		t.Fatalf("cancel -> %s, want cancelled", got.State)
+	}
+}
+
+// TestAPIEvents watches a job over SSE and requires the stream to
+// carry a state event, at least one progress event, and the final
+// result event before closing.
+func TestAPIEvents(t *testing.T) {
+	_, ts, m := newTestAPI(t, WithRunner("t", &seqRunner{}), WithExecutors(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m.Start(ctx)
+
+	_, body := post(t, ts.URL+"/v1/jobs", `{"kind":"t","tenant":"a","name":"sse"}`)
+	var v View
+	json.Unmarshal(body, &v)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	events := map[string]int{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if name, ok := strings.CutPrefix(line, "event: "); ok {
+			events[name]++
+		}
+	}
+	// The stream closed by itself after the terminal event.
+	if events["state"] == 0 || events["progress"] == 0 || events["result"] != 1 {
+		t.Fatalf("events = %v, want state>=1 progress>=1 result==1", events)
+	}
+}
+
+// TestAPIStopEndsEventStreams: Stop() must end an open SSE watch so
+// server drain can finish even with clients attached.
+func TestAPIStopEndsEventStreams(t *testing.T) {
+	a, ts, m := newTestAPI(t, WithRunner("t", &seqRunner{gate: make(chan struct{})}), WithExecutors(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m.Start(ctx)
+
+	_, body := post(t, ts.URL+"/v1/jobs", `{"kind":"t","tenant":"a"}`)
+	var v View
+	json.Unmarshal(body, &v)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	done := make(chan struct{})
+	go func() {
+		io.Copy(io.Discard, resp.Body) // blocks while the stream lives
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond) // let the watch settle in its poll loop
+	a.Stop()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE stream survived API.Stop")
+	}
+}

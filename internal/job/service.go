@@ -1,0 +1,160 @@
+package job
+
+// service.go ties the three long-lived pieces of a job server — the
+// API listener, the telemetry listener, and the executor fleet —
+// into one lifecycle. Start brings them up together; Close tears
+// them down in dependency order under a drain timeout, so neither
+// listener is yanked while the other half still serves and a slow
+// runner can't wedge shutdown forever. The group type is the
+// stdlib-only errgroup shape: first error wins, Wait blocks for all.
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// group runs goroutines and collects the first error.
+type group struct {
+	wg   sync.WaitGroup
+	once sync.Once
+	err  error
+}
+
+// Go runs fn, keeping its error if it is the group's first.
+func (g *group) Go(fn func() error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		if err := fn(); err != nil {
+			g.once.Do(func() { g.err = err })
+		}
+	}()
+}
+
+// Wait blocks until every Go'd function returned.
+func (g *group) Wait() error {
+	g.wg.Wait()
+	return g.err
+}
+
+// ServiceConfig configures StartService.
+type ServiceConfig struct {
+	// Manager is the configured (not yet started) job manager.
+	Manager *Manager
+	// APIAddr is the job API listen address (e.g. "127.0.0.1:8080";
+	// port 0 picks one).
+	APIAddr string
+	// TelemetryAddr serves the obs plane (/metrics /progress
+	// /events); "" disables it.
+	TelemetryAddr string
+	// Obs is the process sink, shared with the Manager; the
+	// telemetry server upgrades it in place.
+	Obs *obs.Sink
+	// DrainTimeout bounds Close: in-flight HTTP requests and the
+	// fleet get this long to drain before being abandoned. 0 means
+	// 5s.
+	DrainTimeout time.Duration
+}
+
+// Service is a running job server.
+type Service struct {
+	cfg       ServiceConfig
+	handler   *API
+	api       *http.Server
+	apiLis    net.Listener
+	telemetry *obs.Server
+	cancel    context.CancelFunc
+	serveErrs group
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// StartService binds both listeners, starts the fleet, and returns.
+// On any startup error, everything already started is closed before
+// returning — no half-up server.
+func StartService(cfg ServiceConfig) (*Service, error) {
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = &obs.Sink{}
+	}
+	lis, err := net.Listen("tcp", cfg.APIAddr)
+	if err != nil {
+		return nil, err
+	}
+	telemetry, err := obs.ServeTelemetry(cfg.Obs, cfg.TelemetryAddr)
+	if err != nil {
+		lis.Close()
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	handler := NewAPI(cfg.Manager)
+	s := &Service{
+		cfg:       cfg,
+		handler:   handler,
+		api:       &http.Server{Handler: handler},
+		apiLis:    lis,
+		telemetry: telemetry,
+		cancel:    cancel,
+	}
+	cfg.Manager.Start(ctx)
+	s.serveErrs.Go(func() error {
+		if err := s.api.Serve(lis); !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	})
+	return s, nil
+}
+
+// Addr is the bound API address.
+func (s *Service) Addr() string { return s.apiLis.Addr().String() }
+
+// Close shuts the service down jointly: stop intake, drain the API
+// listener, stop the fleet (running jobs are journalled back to
+// queued), then close telemetry last so /metrics stays observable
+// through the drain. Safe to call more than once.
+func (s *Service) Close() error {
+	s.closeOnce.Do(func() {
+		drainCtx, done := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+		defer done()
+
+		s.cfg.Manager.CloseIntake()
+		s.handler.Stop()
+
+		var g group
+		g.Go(func() error {
+			// Shutdown closes the listener and waits for in-flight
+			// requests (SSE streams exit when their clients do; the
+			// drain deadline bounds stragglers).
+			return s.api.Shutdown(drainCtx)
+		})
+		g.Go(func() error {
+			s.cancel()
+			select {
+			case <-s.cfg.Manager.Done():
+				return nil
+			case <-drainCtx.Done():
+				return errors.New("job fleet did not drain in time")
+			}
+		})
+		err := g.Wait()
+		if serveErr := s.serveErrs.Wait(); err == nil {
+			err = serveErr
+		}
+		if s.telemetry != nil {
+			if terr := s.telemetry.Close(); err == nil {
+				err = terr
+			}
+		}
+		s.closeErr = err
+	})
+	return s.closeErr
+}

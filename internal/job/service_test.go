@@ -1,0 +1,137 @@
+package job
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestServiceStartStop brings the joint API+telemetry lifecycle up
+// and down repeatedly with live traffic. Run under -race (make race /
+// CI) this is the regression net for listener-shutdown races: the two
+// servers and the fleet must come down jointly without leaking
+// goroutines into each other's teardown.
+func TestServiceStartStop(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		sink := obs.Sink{Metrics: obs.NewRegistry()}
+		m, err := NewManager(
+			WithRunner("t", &seqRunner{}),
+			WithExecutors(2),
+			WithManagerObs(sink),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc, err := StartService(ServiceConfig{
+			Manager:       m,
+			APIAddr:       "127.0.0.1:0",
+			TelemetryAddr: "127.0.0.1:0",
+			Obs:           &sink,
+			DrainTimeout:  5 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Live traffic while the service is up: a completed job, a
+		// watch on its event stream, and telemetry scrapes.
+		resp, err := http.Post("http://"+svc.Addr()+"/v1/jobs", "application/json",
+			strings.NewReader(`{"kind":"t","tenant":"race"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var v View
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatalf("submit: %v (%s)", err, body)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if _, err := m.Await(ctx, v.ID); err != nil {
+			t.Fatal(err)
+		}
+		cancel()
+
+		// An open SSE stream on a queued job must not wedge Close.
+		hang, err := http.Post("http://"+svc.Addr()+"/v1/jobs", "application/json",
+			strings.NewReader(`{"kind":"t","tenant":"race","priority":"low"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hv View
+		hb, _ := io.ReadAll(hang.Body)
+		hang.Body.Close()
+		json.Unmarshal(hb, &hv)
+		watch, err := http.Get("http://" + svc.Addr() + "/v1/jobs/" + hv.ID + "/events")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go io.Copy(io.Discard, watch.Body)
+		defer watch.Body.Close()
+
+		closed := make(chan error, 1)
+		go func() { closed <- svc.Close() }()
+		select {
+		case err := <-closed:
+			if err != nil {
+				t.Fatalf("iteration %d: Close: %v", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("iteration %d: Close wedged", i)
+		}
+
+		// Closed means closed: the API socket no longer accepts.
+		if _, err := http.Get("http://" + svc.Addr() + "/healthz"); err == nil {
+			t.Fatalf("iteration %d: API still serving after Close", i)
+		}
+	}
+}
+
+// TestServiceDoubleClose: Close is idempotent and returns the same
+// result.
+func TestServiceDoubleClose(t *testing.T) {
+	m, err := NewManager(WithRunner("t", okRunner{}), WithExecutors(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := StartService(ServiceConfig{Manager: m, APIAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServiceRejectsAfterIntakeClose: once Close begins, submissions
+// answer 503 rather than silently queueing into a dying server.
+func TestServiceIntakeCloses(t *testing.T) {
+	m, err := NewManager(WithRunner("t", okRunner{}), WithExecutors(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := StartService(ServiceConfig{Manager: m, APIAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	m.CloseIntake()
+	resp, err := http.Post("http://"+svc.Addr()+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kind":"t","tenant":"a"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit after intake close = %d, want 503", resp.StatusCode)
+	}
+}

@@ -1,0 +1,176 @@
+package job
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// okRunner accepts everything and echoes a fixed output.
+type okRunner struct{}
+
+func (okRunner) Validate(Spec) error { return nil }
+func (okRunner) Run(ctx context.Context, spec Spec, prog *obs.Progress) (Result, error) {
+	return Result{Kind: spec.Kind, Output: json.RawMessage(`{"ok":true}`)}, nil
+}
+
+// pickyRunner rejects params containing "bad".
+type pickyRunner struct{ okRunner }
+
+func (pickyRunner) Validate(spec Spec) error {
+	if bytes.Contains(spec.Params, []byte("bad")) {
+		return Badf("picky: bad params")
+	}
+	return nil
+}
+
+// TestSpecValidation drives Submit through every kind-independent
+// rejection and checks both the typed error and the HTTP status it
+// maps to.
+func TestSpecValidation(t *testing.T) {
+	m, err := NewManager(
+		WithRunner("ok", okRunner{}),
+		WithRunner("picky", pickyRunner{}),
+		WithExecutors(-1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := json.RawMessage(`{"pad":"` + strings.Repeat("x", MaxSpecBytes) + `"}`)
+	cases := []struct {
+		name string
+		spec Spec
+		want error
+		code int
+	}{
+		{"unknown kind", Spec{Kind: "nope", Tenant: "t"}, ErrUnknownKind, http.StatusBadRequest},
+		{"missing kind", Spec{Tenant: "t"}, ErrBadSpec, http.StatusBadRequest},
+		{"missing tenant", Spec{Kind: "ok"}, ErrBadSpec, http.StatusBadRequest},
+		{"tenant too long", Spec{Kind: "ok", Tenant: strings.Repeat("t", 65)}, ErrBadSpec, http.StatusBadRequest},
+		{"bad priority", Spec{Kind: "ok", Tenant: "t", Priority: "urgent"}, ErrBadSpec, http.StatusBadRequest},
+		{"bad apiVersion", Spec{APIVersion: "v2", Kind: "ok", Tenant: "t"}, ErrBadSpec, http.StatusBadRequest},
+		{"negative checkpointEvery", Spec{Kind: "ok", Tenant: "t", CheckpointEvery: -1}, ErrBadSpec, http.StatusBadRequest},
+		{"oversized params", Spec{Kind: "ok", Tenant: "t", Params: huge}, ErrTooLarge, http.StatusRequestEntityTooLarge},
+		{"runner rejects params", Spec{Kind: "picky", Tenant: "t", Params: json.RawMessage(`{"x":"bad"}`)}, ErrBadSpec, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := m.Submit(tc.spec)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Submit = %v, want %v", err, tc.want)
+			}
+			if got := status(err); got != tc.code {
+				t.Fatalf("status(%v) = %d, want %d", err, got, tc.code)
+			}
+		})
+	}
+
+	// The happy path still admits.
+	v, err := m.Submit(Spec{Kind: "ok", Tenant: "t", Priority: PriorityHigh})
+	if err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if v.State != StateQueued {
+		t.Fatalf("state = %q, want queued", v.State)
+	}
+}
+
+// TestAdmissionErrorStatuses covers the 429 and 503 mappings the
+// validation table can't reach.
+func TestAdmissionErrorStatuses(t *testing.T) {
+	for err, code := range map[error]int{
+		ErrQueueFull:       http.StatusTooManyRequests,
+		ErrTenantQuota:     http.StatusTooManyRequests,
+		ErrNotFound:        http.StatusNotFound,
+		ErrClosed:          http.StatusServiceUnavailable,
+		errors.New("boom"): http.StatusInternalServerError,
+	} {
+		if got := status(fmt.Errorf("wrapped: %w", err)); got != code {
+			t.Errorf("status(%v) = %d, want %d", err, got, code)
+		}
+	}
+}
+
+// wireSpec is the canonical Spec used for the wire-schema goldens:
+// every field populated, so any tag rename or type change shows up as
+// a golden diff.
+func wireSpec() Spec {
+	return Spec{
+		APIVersion:      APIVersion,
+		Kind:            "sandpile",
+		Name:            "smoke",
+		Tenant:          "alice",
+		Priority:        PriorityHigh,
+		CheckpointEvery: 10,
+		Params:          json.RawMessage(`{"size":64,"grains":5000}`),
+	}
+}
+
+func wireResult() Result {
+	return Result{
+		Kind:   "sandpile",
+		Output: json.RawMessage(`{"iterations":516,"topples":307656}`),
+	}
+}
+
+// TestWireSchemaGolden pins the JSON wire schema of Spec and Result
+// to golden files. A failing diff means the API changed shape; that
+// is a compatibility event, not a test to silently regenerate
+// (update testdata/*.golden.json deliberately, with a version bump
+// when the change is breaking).
+func TestWireSchemaGolden(t *testing.T) {
+	for _, tc := range []struct {
+		golden string
+		v      any
+	}{
+		{"spec.golden.json", wireSpec()},
+		{"result.golden.json", wireResult()},
+	} {
+		t.Run(tc.golden, func(t *testing.T) {
+			got, err := json.MarshalIndent(tc.v, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", tc.golden)
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (regenerate deliberately): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("wire schema drifted from %s:\n got: %s\nwant: %s", path, got, want)
+			}
+		})
+	}
+}
+
+// TestWireSchemaRoundTrip checks decode(encode(x)) is lossless for
+// the wire structs.
+func TestWireSchemaRoundTrip(t *testing.T) {
+	enc, _ := json.Marshal(wireSpec())
+	var s2 Spec
+	if err := json.Unmarshal(enc, &s2); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Kind != "sandpile" || s2.Tenant != "alice" || s2.Priority != PriorityHigh ||
+		s2.CheckpointEvery != 10 || string(s2.Params) != `{"size":64,"grains":5000}` {
+		t.Fatalf("round trip lost fields: %+v", s2)
+	}
+	enc, _ = json.Marshal(wireResult())
+	var r2 Result
+	if err := json.Unmarshal(enc, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Kind != "sandpile" || string(r2.Output) != `{"iterations":516,"topples":307656}` {
+		t.Fatalf("round trip lost fields: %+v", r2)
+	}
+}

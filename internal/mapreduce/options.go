@@ -1,0 +1,86 @@
+package mapreduce
+
+// options.go gives Config the same functional-options constructor the
+// other substrates grew (sched.New, ghost.New, hetero.New), so a job
+// submission decoded from the wire maps field-for-field onto option
+// calls instead of a positional literal. Config remains exported and
+// a plain literal keeps working; NewConfig is the preferred spelling.
+
+import (
+	"cmp"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// Option mutates a Config under construction. The type parameter
+// mirrors Config's: options for a string-keyed job are
+// Option[string].
+type Option[K cmp.Ordered] func(*Config[K])
+
+// NewConfig assembles a Config from options. Zero-value semantics are
+// identical to a zero Config literal — defaults are applied by the
+// job run, not here — so NewConfig() is exactly Config[K]{}.
+func NewConfig[K cmp.Ordered](opts ...Option[K]) Config[K] {
+	var c Config[K]
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// WithMapTasks sets the number of map tasks the input is split into.
+func WithMapTasks[K cmp.Ordered](n int) Option[K] {
+	return func(c *Config[K]) { c.MapTasks = n }
+}
+
+// WithReduceTasks sets the number of reduce partitions.
+func WithReduceTasks[K cmp.Ordered](n int) Option[K] {
+	return func(c *Config[K]) { c.ReduceTasks = n }
+}
+
+// WithParallelism bounds concurrently running tasks.
+func WithParallelism[K cmp.Ordered](n int) Option[K] {
+	return func(c *Config[K]) { c.Parallelism = n }
+}
+
+// WithMaxAttempts sets the per-task retry budget.
+func WithMaxAttempts[K cmp.Ordered](n int) Option[K] {
+	return func(c *Config[K]) { c.MaxAttempts = n }
+}
+
+// WithRetryBackoff sets the base sleep between task attempts.
+func WithRetryBackoff[K cmp.Ordered](d time.Duration) Option[K] {
+	return func(c *Config[K]) { c.RetryBackoff = d }
+}
+
+// WithPartitioner overrides the key-to-partition routing.
+func WithPartitioner[K cmp.Ordered](p Partitioner[K]) Option[K] {
+	return func(c *Config[K]) { c.Partitioner = p }
+}
+
+// WithObs attaches the observability layer.
+func WithObs[K cmp.Ordered](sink obs.Sink) Option[K] {
+	return func(c *Config[K]) { c.Obs = sink }
+}
+
+// WithFaults enables deterministic task-failure injection.
+func WithFaults[K cmp.Ordered](plan *fault.Plan) Option[K] {
+	return func(c *Config[K]) { c.Faults = plan }
+}
+
+// WithReferenceShuffle selects the retained naive shuffle oracle.
+func WithReferenceShuffle[K cmp.Ordered]() Option[K] {
+	return func(c *Config[K]) { c.ReferenceShuffle = true }
+}
+
+// WithMaxShuffleBytes caps resident shuffle bytes, spilling past it.
+func WithMaxShuffleBytes[K cmp.Ordered](n int64) Option[K] {
+	return func(c *Config[K]) { c.MaxShuffleBytes = n }
+}
+
+// WithMergeFanIn caps runs streamed per external merge pass.
+func WithMergeFanIn[K cmp.Ordered](n int) Option[K] {
+	return func(c *Config[K]) { c.MergeFanIn = n }
+}

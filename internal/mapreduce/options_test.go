@@ -1,0 +1,69 @@
+package mapreduce
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNewConfigMatchesLiteral pins the option spellings to the struct
+// fields they set, so wire decoding through options can't drift from
+// a hand-written Config.
+func TestNewConfigMatchesLiteral(t *testing.T) {
+	got := NewConfig(
+		WithMapTasks[string](8),
+		WithReduceTasks[string](4),
+		WithParallelism[string](2),
+		WithMaxAttempts[string](3),
+		WithRetryBackoff[string](time.Millisecond),
+		WithMaxShuffleBytes[string](1<<20),
+		WithMergeFanIn[string](4),
+		WithReferenceShuffle[string](),
+	)
+	want := Config[string]{
+		MapTasks: 8, ReduceTasks: 4, Parallelism: 2, MaxAttempts: 3,
+		RetryBackoff: time.Millisecond, MaxShuffleBytes: 1 << 20,
+		MergeFanIn: 4, ReferenceShuffle: true,
+	}
+	if got.MapTasks != want.MapTasks || got.ReduceTasks != want.ReduceTasks ||
+		got.Parallelism != want.Parallelism || got.MaxAttempts != want.MaxAttempts ||
+		got.RetryBackoff != want.RetryBackoff || got.MaxShuffleBytes != want.MaxShuffleBytes ||
+		got.MergeFanIn != want.MergeFanIn || got.ReferenceShuffle != want.ReferenceShuffle {
+		t.Fatalf("NewConfig = %+v, want %+v", got, want)
+	}
+	if NewConfig[string]().MapTasks != 0 {
+		t.Fatal("zero NewConfig should equal zero Config")
+	}
+}
+
+// TestNewConfigRunsJob is the end-to-end check: a job configured via
+// options produces the same output as the literal-config word count
+// the rest of the suite runs.
+func TestNewConfigRunsJob(t *testing.T) {
+	job := &Job[string, string, int, KV[string, int]]{
+		Name: "wc-options",
+		Map: func(line string, emit func(string, int)) error {
+			emit(line, 1)
+			return nil
+		},
+		Reduce: func(k string, vs []int, emit func(KV[string, int])) error {
+			sum := 0
+			for _, v := range vs {
+				sum += v
+			}
+			emit(KV[string, int]{k, sum})
+			return nil
+		},
+		Config: NewConfig(WithMapTasks[string](4), WithReduceTasks[string](2)),
+	}
+	out, _, err := job.Run([]string{"a", "b", "a", "c", "b", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, kv := range out {
+		counts[kv.Key] = kv.Value
+	}
+	if counts["a"] != 3 || counts["b"] != 2 || counts["c"] != 1 {
+		t.Fatalf("word count = %v", counts)
+	}
+}

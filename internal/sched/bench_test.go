@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 )
@@ -11,13 +12,13 @@ import (
 
 func benchPolicy(b *testing.B, policy Policy, chunk int) {
 	b.Helper()
-	p := NewPool(Options{Workers: 4, Policy: policy, ChunkSize: chunk})
+	p := New(WithWorkers(4), WithPolicy(policy), WithChunkSize(chunk))
 	defer p.Close()
 	var sink atomic.Int64
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p.Run(1024, func(w, lo, hi int) {
+		p.RunContext(context.Background(), 1024, func(w, lo, hi int) {
 			sink.Add(int64(hi - lo))
 		})
 	}
@@ -30,14 +31,16 @@ func BenchmarkRegionGuided(b *testing.B)  { benchPolicy(b, Guided, 1) }
 
 func BenchmarkDynamicFineChunks(b *testing.B) { benchPolicy(b, Dynamic, 1) }
 
-// BenchmarkPoolVsForEach quantifies what reusing a pool saves over
+// BenchmarkOneShotPool quantifies what reusing a pool saves over
 // constructing one per region.
-func BenchmarkForEachOneShot(b *testing.B) {
+func BenchmarkOneShotPool(b *testing.B) {
 	var sink atomic.Int64
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		ForEach(1024, Options{Workers: 4, Policy: Static}, func(w, lo, hi int) {
+		p := New(WithWorkers(4), WithPolicy(Static))
+		p.RunContext(context.Background(), 1024, func(w, lo, hi int) {
 			sink.Add(int64(hi - lo))
 		})
+		p.Close()
 	}
 }

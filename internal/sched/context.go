@@ -18,6 +18,13 @@ func (p *Pool) RunContext(ctx context.Context, n int, body func(worker, lo, hi i
 	if n <= 0 {
 		return ctx.Err()
 	}
+	if ctx.Done() == nil {
+		// Background-style contexts can never fire: skip the watcher
+		// goroutine entirely so hot loops migrated off the deprecated
+		// Run pay nothing for the context plumbing.
+		p.run(n, body)
+		return nil
+	}
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -40,7 +47,7 @@ func (p *Pool) RunContext(ctx context.Context, n int, body func(worker, lo, hi i
 		close(stopWatch)
 		<-watcherDone
 	}()
-	p.Run(n, body)
+	p.run(n, body)
 	return ctx.Err()
 }
 

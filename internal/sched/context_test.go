@@ -17,7 +17,7 @@ import (
 func TestRunContextDrainsInFlightChunks(t *testing.T) {
 	for _, policy := range []Policy{Static, Cyclic, Dynamic, Guided, Stealing} {
 		t.Run(policy.String(), func(t *testing.T) {
-			p := NewPool(Options{Workers: 4, Policy: policy, ChunkSize: 3})
+			p := New(WithWorkers(4), WithPolicy(policy), WithChunkSize(3))
 			defer p.Close()
 
 			rng := rand.New(rand.NewSource(1))
@@ -56,7 +56,7 @@ func TestRunContextDrainsInFlightChunks(t *testing.T) {
 func TestRunContextCancelMidIteration(t *testing.T) {
 	for _, policy := range []Policy{Dynamic, Guided, Stealing} {
 		t.Run(policy.String(), func(t *testing.T) {
-			p := NewPool(Options{Workers: 4, Policy: policy, ChunkSize: 1})
+			p := New(WithWorkers(4), WithPolicy(policy), WithChunkSize(1))
 			defer p.Close()
 
 			const n = 400

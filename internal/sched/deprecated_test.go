@@ -1,0 +1,53 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// The positional entry points (NewPool, Pool.Run, Pool.RunIndexed,
+// ForEach) are deprecated but remain supported; every other test runs
+// through the context API, so this file is the shims' only coverage.
+
+func TestDeprecatedShimsStillWork(t *testing.T) {
+	p := NewPool(Options{Workers: 3, Policy: Dynamic, ChunkSize: 2})
+	defer p.Close()
+
+	var sum atomic.Int64
+	p.Run(100, func(w, lo, hi int) { sum.Add(int64(hi - lo)) })
+	if sum.Load() != 100 {
+		t.Fatalf("Run covered %d iterations, want 100", sum.Load())
+	}
+
+	ids := []int32{3, 1, 4, 1, 5, 9, 2, 6}
+	var idSum atomic.Int64
+	p.RunIndexed(ids, func(w int, chunk []int32) {
+		for _, id := range chunk {
+			idSum.Add(int64(id))
+		}
+	})
+	if idSum.Load() != 31 {
+		t.Fatalf("RunIndexed sum = %d, want 31", idSum.Load())
+	}
+
+	var feSum atomic.Int64
+	ForEach(64, Options{Workers: 4, Policy: Guided}, func(w, lo, hi int) {
+		feSum.Add(int64(hi - lo))
+	})
+	if feSum.Load() != 64 {
+		t.Fatalf("ForEach covered %d iterations, want 64", feSum.Load())
+	}
+}
+
+// TestDeprecatedRunPropagatesBodyPanic pins the shim to the same
+// panic contract the context path is tested under.
+func TestDeprecatedRunPropagatesBodyPanic(t *testing.T) {
+	p := NewPool(Options{Workers: 2, Policy: Static, ChunkSize: 1})
+	defer p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run swallowed the body panic")
+		}
+	}()
+	p.Run(100, func(w, lo, hi int) { panic("boom") })
+}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -13,14 +14,14 @@ import (
 // often each position was visited.
 func runIndexedCoverage(t *testing.T, ids []int32, o Options) []int32 {
 	t.Helper()
-	p := NewPool(o)
+	p := New(WithWorkers(o.Workers), WithPolicy(o.Policy), WithChunkSize(o.ChunkSize))
 	defer p.Close()
 	counts := make([]int32, len(ids))
 	index := map[int32]int{}
 	for pos, id := range ids {
 		index[id] = pos
 	}
-	p.RunIndexed(ids, func(w int, chunk []int32) {
+	p.RunIndexedContext(context.Background(), ids, func(w int, chunk []int32) {
 		for _, id := range chunk {
 			atomic.AddInt32(&counts[index[id]], 1)
 		}
@@ -49,10 +50,10 @@ func TestRunIndexedCoversEveryIDOnceUnderEveryPolicy(t *testing.T) {
 
 func TestRunIndexedChunksAreSubSlices(t *testing.T) {
 	ids := []int32{10, 20, 30, 40, 50, 60, 70}
-	p := NewPool(Options{Workers: 2, Policy: Dynamic, ChunkSize: 2})
+	p := New(WithWorkers(2), WithPolicy(Dynamic), WithChunkSize(2))
 	defer p.Close()
 	var total atomic.Int64
-	p.RunIndexed(ids, func(w int, chunk []int32) {
+	p.RunIndexedContext(context.Background(), ids, func(w int, chunk []int32) {
 		if len(chunk) == 0 || len(chunk) > 2 {
 			t.Errorf("chunk size %d out of range", len(chunk))
 		}
@@ -66,24 +67,24 @@ func TestRunIndexedChunksAreSubSlices(t *testing.T) {
 }
 
 func TestRunIndexedEmptyIsNoOp(t *testing.T) {
-	p := NewPool(Options{Workers: 2})
+	p := New(WithWorkers(2))
 	defer p.Close()
 	ran := false
-	p.RunIndexed(nil, func(int, []int32) { ran = true })
-	p.RunIndexed([]int32{}, func(int, []int32) { ran = true })
+	p.RunIndexedContext(context.Background(), nil, func(int, []int32) { ran = true })
+	p.RunIndexedContext(context.Background(), []int32{}, func(int, []int32) { ran = true })
 	if ran {
 		t.Fatal("body ran for an empty worklist")
 	}
 }
 
 func TestRunIndexedInterleavesWithRun(t *testing.T) {
-	p := NewPool(Options{Workers: 3, Policy: Guided})
+	p := New(WithWorkers(3), WithPolicy(Guided))
 	defer p.Close()
 	ids := []int32{5, 6, 7, 8}
 	for rep := 0; rep < 5; rep++ {
 		var a, b atomic.Int64
-		p.Run(10, func(w, lo, hi int) { a.Add(int64(hi - lo)) })
-		p.RunIndexed(ids, func(w int, chunk []int32) { b.Add(int64(len(chunk))) })
+		p.RunContext(context.Background(), 10, func(w, lo, hi int) { a.Add(int64(hi - lo)) })
+		p.RunIndexedContext(context.Background(), ids, func(w int, chunk []int32) { b.Add(int64(len(chunk))) })
 		if a.Load() != 10 || b.Load() != 4 {
 			t.Fatalf("rep %d: Run covered %d, RunIndexed covered %d", rep, a.Load(), b.Load())
 		}
@@ -99,7 +100,7 @@ func TestRunIndexedZeroAlloc(t *testing.T) {
 		ids[i] = int32(i * 2)
 	}
 	for _, policy := range Policies {
-		p := NewPool(Options{Workers: 4, Policy: policy, ChunkSize: 3})
+		p := New(WithWorkers(4), WithPolicy(policy), WithChunkSize(3))
 		var sink atomic.Int64
 		body := func(w int, chunk []int32) {
 			s := int64(0)
@@ -108,9 +109,9 @@ func TestRunIndexedZeroAlloc(t *testing.T) {
 			}
 			sink.Add(s)
 		}
-		p.RunIndexed(ids, body) // warm-up: stealing builds its deques once
+		p.RunIndexedContext(context.Background(), ids, body) // warm-up: stealing builds its deques once
 		allocs := testing.AllocsPerRun(50, func() {
-			p.RunIndexed(ids, body)
+			p.RunIndexedContext(context.Background(), ids, body)
 		})
 		p.Close()
 		if allocs != 0 {
@@ -121,12 +122,12 @@ func TestRunIndexedZeroAlloc(t *testing.T) {
 
 func TestRunZeroAllocAfterWarmup(t *testing.T) {
 	for _, policy := range Policies {
-		p := NewPool(Options{Workers: 3, Policy: policy, ChunkSize: 4})
+		p := New(WithWorkers(3), WithPolicy(policy), WithChunkSize(4))
 		var sink atomic.Int64
 		body := func(w, lo, hi int) { sink.Add(int64(hi - lo)) }
-		p.Run(200, body)
+		p.RunContext(context.Background(), 200, body)
 		allocs := testing.AllocsPerRun(50, func() {
-			p.Run(200, body)
+			p.RunContext(context.Background(), 200, body)
 		})
 		p.Close()
 		if allocs != 0 {
@@ -136,7 +137,7 @@ func TestRunZeroAllocAfterWarmup(t *testing.T) {
 }
 
 func TestConcurrentCloseIsSafe(t *testing.T) {
-	p := NewPool(Options{Workers: 2})
+	p := New(WithWorkers(2))
 	var ready, done atomic.Int32
 	for i := 0; i < 8; i++ {
 		go func() {
@@ -163,10 +164,10 @@ func TestQuickRunIndexedCoverage(t *testing.T) {
 			ChunkSize: int(cRaw)%16 + 1,
 			Policy:    Policies[int(pRaw)%len(Policies)],
 		}
-		p := NewPool(o)
+		p := New(WithWorkers(o.Workers), WithPolicy(o.Policy), WithChunkSize(o.ChunkSize))
 		defer p.Close()
 		counts := make([]int32, n)
-		p.RunIndexed(ids, func(w int, chunk []int32) {
+		p.RunIndexedContext(context.Background(), ids, func(w int, chunk []int32) {
 			for _, id := range chunk {
 				atomic.AddInt32(&counts[id/7], 1)
 			}

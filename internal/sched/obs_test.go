@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -10,11 +11,11 @@ import (
 
 func TestPoolObsCountersAndSpans(t *testing.T) {
 	sink := obs.Sink{Metrics: obs.NewRegistry(), Tracer: obs.NewTracer(nil)}
-	p := NewPool(Options{Workers: 4, Policy: Static, Obs: sink})
+	p := New(WithWorkers(4), WithPolicy(Static), WithObs(sink))
 	defer p.Close()
 
 	var ran atomic.Int64
-	p.Run(64, func(w, lo, hi int) { ran.Add(int64(hi - lo)) })
+	p.RunContext(context.Background(), 64, func(w, lo, hi int) { ran.Add(int64(hi - lo)) })
 	if ran.Load() != 64 {
 		t.Fatalf("body covered %d iterations, want 64", ran.Load())
 	}
@@ -54,9 +55,9 @@ func TestStealingCountsSteals(t *testing.T) {
 	// timing-dependent.
 	for attempt := 0; attempt < 5; attempt++ {
 		reg := obs.NewRegistry()
-		p := NewPool(Options{Workers: 2, Policy: Stealing, ChunkSize: 1,
-			Obs: obs.Sink{Metrics: reg}})
-		p.Run(32, func(w, lo, hi int) {
+		p := New(WithWorkers(2), WithPolicy(Stealing), WithChunkSize(1),
+			WithObs(obs.Sink{Metrics: reg}))
+		p.RunContext(context.Background(), 32, func(w, lo, hi int) {
 			if lo%2 == 0 {
 				time.Sleep(200 * time.Microsecond)
 			}
@@ -73,11 +74,11 @@ func TestStealingCountsSteals(t *testing.T) {
 // attached, a region run must not allocate — the instrumentation is
 // completely absent from the hot path.
 func TestDisabledPoolZeroAlloc(t *testing.T) {
-	p := NewPool(Options{Workers: 2, Policy: Static})
+	p := New(WithWorkers(2), WithPolicy(Static))
 	defer p.Close()
 	body := func(w, lo, hi int) {}
 	allocs := testing.AllocsPerRun(100, func() {
-		p.Run(128, body)
+		p.RunContext(context.Background(), 128, body)
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled pool allocates %.1f per region, want 0", allocs)

@@ -23,7 +23,7 @@ func TestRunPropagatesBodyPanic(t *testing.T) {
 			finished := make(chan any, 1)
 			go func() {
 				defer func() { finished <- recover() }()
-				p.Run(1000, func(w, lo, hi int) {
+				p.RunContext(context.Background(), 1000, func(w, lo, hi int) {
 					if lo >= 500 {
 						panic("boom")
 					}
@@ -46,7 +46,7 @@ func TestRunPropagatesBodyPanic(t *testing.T) {
 					t.Fatal("Run on post-panic pool did not panic")
 				}
 			}()
-			p.Run(10, func(w, lo, hi int) {})
+			p.RunContext(context.Background(), 10, func(w, lo, hi int) {})
 		})
 	}
 }

@@ -226,7 +226,17 @@ func (p *Pool) Close() {
 // end of an OpenMP parallel-for). body receives the worker id and a
 // half-open index range [lo, hi). Run panics if the pool has been
 // closed.
+//
+// Deprecated: prefer RunContext (context.go), the uniform cancellable
+// entry point across the repo's substrates. With context.Background()
+// it compiles down to exactly this method — no watcher goroutine, no
+// extra allocation — so migrating costs nothing on hot paths.
 func (p *Pool) Run(n int, body func(worker, lo, hi int)) {
+	p.run(n, body)
+}
+
+// run is the region execution core behind Run and RunContext.
+func (p *Pool) run(n int, body func(worker, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -291,13 +301,22 @@ func (p *Pool) Run(n int, body func(worker, lo, hi int)) {
 // static, cyclic, dynamic, guided, and stealing without copying ids
 // per chunk: beyond what Run itself does, RunIndexed allocates
 // nothing. Like Run, it panics on a closed pool.
+//
+// Deprecated: prefer RunIndexedContext (context.go); with
+// context.Background() it is exactly this method.
 func (p *Pool) RunIndexed(ids []int32, body func(worker int, ids []int32)) {
+	p.runIndexed(ids, body)
+}
+
+// runIndexed is the worklist core behind RunIndexed and
+// RunIndexedContext.
+func (p *Pool) runIndexed(ids []int32, body func(worker int, ids []int32)) {
 	if len(ids) == 0 {
 		return
 	}
 	p.ids = ids
 	p.idxBody = body
-	p.Run(len(ids), p.idxExec)
+	p.run(len(ids), p.idxExec)
 	p.ids = nil
 	p.idxBody = nil
 }
@@ -424,8 +443,11 @@ func (p *Pool) runRegion(id int) {
 // ForEach is a convenience one-shot parallel-for: it builds a
 // temporary pool, runs body, and tears the pool down. Engines that
 // loop should hold a Pool instead.
+//
+// Deprecated: build a Pool with New and use RunContext; the one-shot
+// convenience hides the pool lifetime and cannot be cancelled.
 func ForEach(n int, o Options, body func(worker, lo, hi int)) {
 	p := NewPool(o)
 	defer p.Close()
-	p.Run(n, body)
+	p.run(n, body)
 }

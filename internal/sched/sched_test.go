@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -12,12 +13,12 @@ import (
 // visit count plus a per-worker iteration tally.
 func coverage(t *testing.T, n int, o Options) ([]int32, []int64) {
 	t.Helper()
-	p := NewPool(o)
+	p := New(WithWorkers(o.Workers), WithPolicy(o.Policy), WithChunkSize(o.ChunkSize))
 	defer p.Close()
 	counts := make([]int32, n)
 	perWorker := make([]int64, p.Workers())
 	var mu sync.Mutex
-	p.Run(n, func(w, lo, hi int) {
+	p.RunContext(context.Background(), n, func(w, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			atomic.AddInt32(&counts[i], 1)
 		}
@@ -49,12 +50,12 @@ func TestEveryPolicyCoversEveryIndexOnce(t *testing.T) {
 }
 
 func TestStaticBlocksAreContiguous(t *testing.T) {
-	p := NewPool(Options{Workers: 4, Policy: Static})
+	p := New(WithWorkers(4), WithPolicy(Static))
 	defer p.Close()
 	type span struct{ lo, hi int }
 	var mu sync.Mutex
 	spans := map[int][]span{}
-	p.Run(100, func(w, lo, hi int) {
+	p.RunContext(context.Background(), 100, func(w, lo, hi int) {
 		mu.Lock()
 		spans[w] = append(spans[w], span{lo, hi})
 		mu.Unlock()
@@ -70,10 +71,10 @@ func TestStaticBlocksAreContiguous(t *testing.T) {
 }
 
 func TestCyclicDealsRoundRobin(t *testing.T) {
-	p := NewPool(Options{Workers: 2, Policy: Cyclic, ChunkSize: 3})
+	p := New(WithWorkers(2), WithPolicy(Cyclic), WithChunkSize(3))
 	defer p.Close()
 	owner := make([]int32, 12)
-	p.Run(12, func(w, lo, hi int) {
+	p.RunContext(context.Background(), 12, func(w, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			atomic.StoreInt32(&owner[i], int32(w))
 		}
@@ -90,10 +91,10 @@ func TestDynamicBalancesSkewedWork(t *testing.T) {
 	// One pathological heavy index at the front. Under dynamic
 	// scheduling the other workers should absorb nearly all remaining
 	// iterations while one worker is stuck.
-	p := NewPool(Options{Workers: 4, Policy: Dynamic, ChunkSize: 1})
+	p := New(WithWorkers(4), WithPolicy(Dynamic), WithChunkSize(1))
 	defer p.Close()
 	perWorker := make([]int64, 4)
-	p.Run(400, func(w, lo, hi int) {
+	p.RunContext(context.Background(), 400, func(w, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if i == 0 {
 				time.Sleep(30 * time.Millisecond)
@@ -126,11 +127,11 @@ func TestDynamicBalancesSkewedWork(t *testing.T) {
 }
 
 func TestGuidedChunksShrink(t *testing.T) {
-	p := NewPool(Options{Workers: 2, Policy: Guided, ChunkSize: 1})
+	p := New(WithWorkers(2), WithPolicy(Guided), WithChunkSize(1))
 	defer p.Close()
 	var mu sync.Mutex
 	var sizes []int
-	p.Run(1000, func(w, lo, hi int) {
+	p.RunContext(context.Background(), 1000, func(w, lo, hi int) {
 		mu.Lock()
 		sizes = append(sizes, hi-lo)
 		mu.Unlock()
@@ -155,22 +156,22 @@ func TestGuidedChunksShrink(t *testing.T) {
 }
 
 func TestRunZeroAndNegativeN(t *testing.T) {
-	p := NewPool(Options{Workers: 2})
+	p := New(WithWorkers(2))
 	defer p.Close()
 	ran := false
-	p.Run(0, func(w, lo, hi int) { ran = true })
-	p.Run(-5, func(w, lo, hi int) { ran = true })
+	p.RunContext(context.Background(), 0, func(w, lo, hi int) { ran = true })
+	p.RunContext(context.Background(), -5, func(w, lo, hi int) { ran = true })
 	if ran {
 		t.Fatal("body ran for n <= 0")
 	}
 }
 
 func TestPoolReuseAcrossRuns(t *testing.T) {
-	p := NewPool(Options{Workers: 3, Policy: Dynamic, ChunkSize: 2})
+	p := New(WithWorkers(3), WithPolicy(Dynamic), WithChunkSize(2))
 	defer p.Close()
 	for rep := 0; rep < 20; rep++ {
 		var sum int64
-		p.Run(101, func(w, lo, hi int) {
+		p.RunContext(context.Background(), 101, func(w, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				atomic.AddInt64(&sum, int64(i))
 			}
@@ -182,27 +183,27 @@ func TestPoolReuseAcrossRuns(t *testing.T) {
 }
 
 func TestRunAfterClosePanics(t *testing.T) {
-	p := NewPool(Options{Workers: 1})
+	p := New(WithWorkers(1))
 	p.Close()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("Run on closed pool did not panic")
 		}
 	}()
-	p.Run(1, func(w, lo, hi int) {})
+	p.RunContext(context.Background(), 1, func(w, lo, hi int) {})
 }
 
 func TestCloseIsIdempotent(t *testing.T) {
-	p := NewPool(Options{Workers: 1})
+	p := New(WithWorkers(1))
 	p.Close()
 	p.Close() // must not panic
 }
 
 func TestWorkerIDsInRange(t *testing.T) {
 	for _, policy := range Policies {
-		p := NewPool(Options{Workers: 5, Policy: policy, ChunkSize: 2})
+		p := New(WithWorkers(5), WithPolicy(policy), WithChunkSize(2))
 		var bad atomic.Int32
-		p.Run(500, func(w, lo, hi int) {
+		p.RunContext(context.Background(), 500, func(w, lo, hi int) {
 			if w < 0 || w >= 5 {
 				bad.Store(1)
 			}
@@ -211,16 +212,6 @@ func TestWorkerIDsInRange(t *testing.T) {
 		if bad.Load() != 0 {
 			t.Fatalf("%v: worker id out of range", policy)
 		}
-	}
-}
-
-func TestForEachConvenience(t *testing.T) {
-	var sum int64
-	ForEach(64, Options{Workers: 4, Policy: Guided}, func(w, lo, hi int) {
-		atomic.AddInt64(&sum, int64(hi-lo))
-	})
-	if sum != 64 {
-		t.Fatalf("ForEach covered %d iterations, want 64", sum)
 	}
 }
 
@@ -240,7 +231,7 @@ func TestPolicyStringRoundTrip(t *testing.T) {
 }
 
 func TestDefaultsApplied(t *testing.T) {
-	p := NewPool(Options{})
+	p := New()
 	defer p.Close()
 	if p.Workers() < 1 {
 		t.Fatalf("default workers = %d", p.Workers())
@@ -261,11 +252,13 @@ func TestQuickCoverage(t *testing.T) {
 			Policy:    Policies[int(pRaw)%len(Policies)],
 		}
 		counts := make([]int32, n)
-		ForEach(n, o, func(w, lo, hi int) {
+		p := New(WithWorkers(o.Workers), WithPolicy(o.Policy), WithChunkSize(o.ChunkSize))
+		p.RunContext(context.Background(), n, func(w, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				atomic.AddInt32(&counts[i], 1)
 			}
 		})
+		p.Close()
 		for _, c := range counts {
 			if c != 1 {
 				return false

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -14,10 +15,10 @@ import (
 func TestStealingOffloadsStuckWorker(t *testing.T) {
 	// One heavy index at the front of worker 0's deque: the other
 	// workers must steal the rest of its chunks while it is stuck.
-	p := NewPool(Options{Workers: 4, Policy: Stealing, ChunkSize: 1})
+	p := New(WithWorkers(4), WithPolicy(Stealing), WithChunkSize(1))
 	defer p.Close()
 	perWorker := make([]int64, 4)
-	p.Run(400, func(w, lo, hi int) {
+	p.RunContext(context.Background(), 400, func(w, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if i == 0 {
 				time.Sleep(30 * time.Millisecond)
@@ -42,11 +43,11 @@ func TestStealingOffloadsStuckWorker(t *testing.T) {
 }
 
 func TestStealingChunkGranularity(t *testing.T) {
-	p := NewPool(Options{Workers: 2, Policy: Stealing, ChunkSize: 8})
+	p := New(WithWorkers(2), WithPolicy(Stealing), WithChunkSize(8))
 	defer p.Close()
 	var mu sync.Mutex
 	var sizes []int
-	p.Run(100, func(w, lo, hi int) {
+	p.RunContext(context.Background(), 100, func(w, lo, hi int) {
 		mu.Lock()
 		sizes = append(sizes, hi-lo)
 		mu.Unlock()
@@ -64,10 +65,10 @@ func TestStealingChunkGranularity(t *testing.T) {
 }
 
 func TestStealingSingleWorker(t *testing.T) {
-	p := NewPool(Options{Workers: 1, Policy: Stealing, ChunkSize: 4})
+	p := New(WithWorkers(1), WithPolicy(Stealing), WithChunkSize(4))
 	defer p.Close()
 	var sum int64
-	p.Run(37, func(w, lo, hi int) { atomic.AddInt64(&sum, int64(hi-lo)) })
+	p.RunContext(context.Background(), 37, func(w, lo, hi int) { atomic.AddInt64(&sum, int64(hi-lo)) })
 	if sum != 37 {
 		t.Fatalf("covered %d, want 37", sum)
 	}

@@ -1,0 +1,47 @@
+package wfsched
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+)
+
+// TestNewScenarioMatchesTab2Literal pins the option spellings to the
+// fields Tab2Scenario sets positionally: building the same platform
+// through options must simulate to the identical outcome.
+func TestNewScenarioMatchesTab2Literal(t *testing.T) {
+	want := Tab2Scenario()
+	ps := platform.DefaultPStates()
+	got := NewScenario(want.Workflow,
+		WithLocalNodes(Tab2LocalNodes),
+		WithPState(ps[0]),
+		WithCloudVMs(Tab2CloudVMs, Tab2VMSpeed),
+		WithVMPower(Tab2VMBusyPower, Tab2VMIdlePower),
+		WithLink(Tab2LinkBandwidth, Tab2LinkLatency),
+	)
+	if got != want {
+		t.Fatalf("NewScenario = %+v\nwant %+v", got, want)
+	}
+
+	a := Simulate(want, AllLocal)
+	b := Simulate(got, AllLocal)
+	if a != b {
+		t.Fatalf("outcomes differ: %+v vs %+v", a, b)
+	}
+}
+
+// TestScenarioWithDerivesVariant checks the template-derivation
+// spelling used by the job adapters.
+func TestScenarioWithDerivesVariant(t *testing.T) {
+	base := Tab2Scenario()
+	sc := base.With(WithLocalNodes(4))
+	if sc.LocalNodes != 4 {
+		t.Fatalf("With(WithLocalNodes(4)).LocalNodes = %d", sc.LocalNodes)
+	}
+	if base.LocalNodes != Tab2LocalNodes {
+		t.Fatal("With mutated its receiver")
+	}
+	if sc.CloudVMs != base.CloudVMs {
+		t.Fatal("With dropped unrelated fields")
+	}
+}

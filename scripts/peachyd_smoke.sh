@@ -1,0 +1,136 @@
+#!/usr/bin/env bash
+# Job-service smoke test: boot a real peachyd, drive it the way a
+# client would, and assert the tentpole guarantees end to end:
+#
+#   - one job of each kind (sandpile, mapreduce, wfsim) submits over
+#     HTTP and runs to succeeded,
+#   - the result document served at /v1/jobs/{id}/result is
+#     byte-identical to the same spec run through `peachyd -oneshot`
+#     (the CLI code path),
+#   - the per-job SSE stream carries state, progress, and result
+#     events,
+#   - /metrics exports the jobs_* counters,
+#   - a SIGKILLed server restarted on the same -state directory
+#     re-admits its queued job and runs it to completion.
+set -eu -o pipefail
+
+cd "$(dirname "$0")/.."
+
+SCRATCH=$(mktemp -d "${TMPDIR:-/tmp}/peachyd-smoke.XXXXXX")
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill -9 "$pid" 2>/dev/null || true; done
+  rm -rf "$SCRATCH"
+}
+trap cleanup EXIT
+fail() { echo "peachyd-smoke: FAIL: $*" >&2; exit 1; }
+
+echo "peachyd-smoke: building peachyd"
+go build -o "$SCRATCH/peachyd" ./cmd/peachyd || fail "build"
+
+# Launch a server and block until it announces its bound API address
+# on stdout (port 0 so parallel CI jobs never collide). Sets ADDR,
+# OBS_ADDR (from the telemetry banner on stderr) and SERVER.
+start_server() { # args: log-prefix, then extra peachyd flags
+  local prefix="$1"
+  shift
+  "$SCRATCH/peachyd" -listen 127.0.0.1:0 -obs-listen 127.0.0.1:0 "$@" \
+    >"$SCRATCH/$prefix.stdout" 2>"$SCRATCH/$prefix.stderr" &
+  SERVER=$!
+  PIDS+=("$SERVER")
+  ADDR="" OBS_ADDR=""
+  for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^peachyd: listening on \(.*\)$/\1/p' "$SCRATCH/$prefix.stdout")
+    OBS_ADDR=$(sed -n 's#.*live telemetry on http://\([^ ]*\) .*#\1#p' "$SCRATCH/$prefix.stderr")
+    [ -n "$ADDR" ] && [ -n "$OBS_ADDR" ] && break
+    sleep 0.1
+  done
+  [ -n "$ADDR" ] || fail "server never announced its API address ($(cat "$SCRATCH/$prefix.stderr"))"
+}
+
+submit() { # args: spec JSON; prints the job id
+  local out code
+  out=$(curl -sS --max-time 5 -w '\n%{http_code}' \
+    -d "$1" "http://$ADDR/v1/jobs") || fail "submit failed: $1"
+  code=${out##*$'\n'}
+  [ "$code" = 202 ] || fail "submit returned $code: $out"
+  printf '%s' "$out" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p' | head -1
+}
+
+wait_state() { # args: job id, want state
+  local state=""
+  for _ in $(seq 1 300); do
+    state=$(curl -fsS --max-time 5 "http://$ADDR/v1/jobs/$1" \
+      | sed -n 's/.*"state": "\([^"]*\)".*/\1/p' | head -1)
+    [ "$state" = "$2" ] && return 0
+    case "$state" in failed|cancelled) break ;; esac
+    sleep 0.1
+  done
+  fail "job $1 is '$state', wanted '$2' ($(curl -fsS "http://$ADDR/v1/jobs/$1"))"
+}
+
+# ---- Phase 1: one job of each kind over HTTP ----
+
+echo "peachyd-smoke: phase 1: one job of each kind"
+start_server p1 -state "$SCRATCH/state1"
+
+# seq-async is fully deterministic, which the byte-identity diff
+# in phase 2 depends on; the other kinds are deterministic by design.
+SANDPILE_SPEC='{"kind":"sandpile","tenant":"smoke","params":{"variant":"seq-async","size":64,"grains":5000}}'
+SP_ID=$(submit "$SANDPILE_SPEC")
+MR_ID=$(submit '{"kind":"mapreduce","tenant":"smoke","params":{"docs":100}}')
+WF_ID=$(submit '{"kind":"wfsim","tenant":"smoke","priority":"high","params":{"mode":"tab2"}}')
+[ -n "$SP_ID" ] && [ -n "$MR_ID" ] && [ -n "$WF_ID" ] || fail "missing job ids"
+
+wait_state "$SP_ID" succeeded
+wait_state "$MR_ID" succeeded
+wait_state "$WF_ID" succeeded
+echo "peachyd-smoke: phase 1 OK ($SP_ID $MR_ID $WF_ID)"
+
+# ---- Phase 2: HTTP result is byte-identical to the CLI one-shot ----
+
+echo "peachyd-smoke: phase 2: byte-identical HTTP vs CLI result"
+curl -fsS --max-time 5 "http://$ADDR/v1/jobs/$SP_ID/result" >"$SCRATCH/http.json" \
+  || fail "result endpoint"
+echo "$SANDPILE_SPEC" >"$SCRATCH/spec.json"
+"$SCRATCH/peachyd" -oneshot "$SCRATCH/spec.json" >"$SCRATCH/cli.raw" || fail "oneshot run"
+# -oneshot prints the result plus a trailing newline; strip it for cmp.
+printf '%s' "$(cat "$SCRATCH/cli.raw")" >"$SCRATCH/cli.json"
+cmp "$SCRATCH/http.json" "$SCRATCH/cli.json" \
+  || fail "HTTP result differs from CLI one-shot: $(cat "$SCRATCH/http.json") vs $(cat "$SCRATCH/cli.json")"
+echo "peachyd-smoke: phase 2 OK"
+
+# ---- Phase 3: SSE events and /metrics counters ----
+
+echo "peachyd-smoke: phase 3: SSE stream and job metrics"
+curl -sSN --max-time 5 "http://$ADDR/v1/jobs/$SP_ID/events" >"$SCRATCH/events" || true
+grep -q '^event: state'    "$SCRATCH/events" || fail "SSE stream has no state event"
+grep -q '^event: progress' "$SCRATCH/events" || fail "SSE stream has no progress event"
+grep -q '^event: result'   "$SCRATCH/events" || fail "SSE stream has no result event"
+
+METRICS=$(curl -fsS --max-time 5 "http://$OBS_ADDR/metrics") || fail "/metrics not reachable"
+echo "$METRICS" | grep -q '^jobs_submitted 3'  || fail "/metrics jobs_submitted != 3: $(echo "$METRICS" | grep ^jobs_)"
+echo "$METRICS" | grep -q '^jobs_completed 3'  || fail "/metrics jobs_completed != 3: $(echo "$METRICS" | grep ^jobs_)"
+echo "peachyd-smoke: phase 3 OK"
+
+kill -TERM "$SERVER" 2>/dev/null || true
+wait "$SERVER" 2>/dev/null || true
+
+# ---- Phase 4: SIGKILL with a queued job; restart resumes it ----
+
+echo "peachyd-smoke: phase 4: kill -9 and restart on the same state dir"
+# -executors -1 admits and journals but never runs, so the job is
+# deterministically still queued when the KILL lands.
+start_server p4a -state "$SCRATCH/state4" -executors -1
+Q_ID=$(submit '{"kind":"sandpile","tenant":"smoke","params":{"size":64,"grains":2000}}')
+wait_state "$Q_ID" queued
+kill -9 "$SERVER"
+wait "$SERVER" 2>/dev/null || true
+
+start_server p4b -state "$SCRATCH/state4"
+wait_state "$Q_ID" succeeded
+echo "peachyd-smoke: phase 4 OK ($Q_ID survived the kill)"
+
+kill -TERM "$SERVER" 2>/dev/null || true
+wait "$SERVER" 2>/dev/null || true
+echo "peachyd-smoke: PASS"

@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# Job-service soak: dozens of concurrent synthetic tenants hammer one
+# peachyd — mixed kinds, mixed priorities, more submissions than the
+# per-tenant quota allows at once — and every job must end succeeded.
+# 429 backpressure is expected under this load and handled the way a
+# well-behaved client would: honor Retry-After and resubmit. What the
+# soak asserts:
+#
+#   - no submission is lost: every job eventually admits and succeeds,
+#   - admission control actually engages (the run reports how many
+#     429s were absorbed),
+#   - the server stays healthy throughout (/healthz) and its jobs_*
+#     counters reconcile with what the tenants saw.
+#
+# TENANTS and JOBS_PER_TENANT scale the load; the defaults are
+# CI-sized (~1 min). PEACHYD_SOAK_TENANTS=64 for a heavier run.
+set -eu -o pipefail
+
+cd "$(dirname "$0")/.."
+
+TENANTS="${PEACHYD_SOAK_TENANTS:-24}"
+JOBS_PER_TENANT="${PEACHYD_SOAK_JOBS:-3}"
+
+SCRATCH=$(mktemp -d "${TMPDIR:-/tmp}/peachyd-soak.XXXXXX")
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill -9 "$pid" 2>/dev/null || true; done
+  rm -rf "$SCRATCH"
+}
+trap cleanup EXIT
+fail() { echo "peachyd-soak: FAIL: $*" >&2; exit 1; }
+
+echo "peachyd-soak: building peachyd"
+go build -o "$SCRATCH/peachyd" ./cmd/peachyd || fail "build"
+
+# Tight quota so the soak genuinely exercises 429 backpressure.
+"$SCRATCH/peachyd" -listen 127.0.0.1:0 -obs-listen 127.0.0.1:0 \
+  -state "$SCRATCH/state" -tenant-quota 2 -queue-depth 64 \
+  >"$SCRATCH/server.stdout" 2>"$SCRATCH/server.stderr" &
+SERVER=$!
+PIDS+=("$SERVER")
+ADDR="" OBS_ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^peachyd: listening on \(.*\)$/\1/p' "$SCRATCH/server.stdout")
+  OBS_ADDR=$(sed -n 's#.*live telemetry on http://\([^ ]*\) .*#\1#p' "$SCRATCH/server.stderr")
+  [ -n "$ADDR" ] && [ -n "$OBS_ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || fail "server never announced its address"
+echo "peachyd-soak: $TENANTS tenants x $JOBS_PER_TENANT jobs against $ADDR (quota 2/tenant)"
+
+# One synthetic tenant: submit its jobs (retrying on 429), then poll
+# each to succeeded. Writes "done <retries>" to its result file, or
+# "fail <reason>".
+tenant() { # args: tenant index
+  local idx="$1" who="tenant-$1" retries=0 out code id state
+  local ids=()
+  for j in $(seq 1 "$JOBS_PER_TENANT"); do
+    # Mix the kinds and priorities per slot.
+    local spec
+    case $(( (idx * 7 + j) % 3 )) in
+      0) spec='{"kind":"sandpile","tenant":"'"$who"'","params":{"size":64,"grains":4000}}' ;;
+      1) spec='{"kind":"mapreduce","tenant":"'"$who"'","params":{"docs":60}}' ;;
+      *) spec='{"kind":"wfsim","tenant":"'"$who"'","priority":"low","params":{"mode":"tab2"}}' ;;
+    esac
+    id=""
+    for _ in $(seq 1 600); do
+      out=$(curl -sS --max-time 10 -w '\n%{http_code}' -d "$spec" "http://$ADDR/v1/jobs") || { echo "fail submit curl" ; return; }
+      code=${out##*$'\n'}
+      if [ "$code" = 202 ]; then
+        id=$(printf '%s' "$out" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p' | head -1)
+        break
+      elif [ "$code" = 429 ]; then
+        retries=$((retries + 1))
+        sleep 0.2
+      else
+        echo "fail submit code $code: $out"
+        return
+      fi
+    done
+    [ -n "$id" ] || { echo "fail submit never admitted"; return; }
+    ids+=("$id")
+  done
+  for id in "${ids[@]}"; do
+    state=""
+    for _ in $(seq 1 600); do
+      state=$(curl -fsS --max-time 10 "http://$ADDR/v1/jobs/$id" \
+        | sed -n 's/.*"state": "\([^"]*\)".*/\1/p' | head -1)
+      [ "$state" = succeeded ] && break
+      case "$state" in failed|cancelled) break ;; esac
+      sleep 0.2
+    done
+    [ "$state" = succeeded ] || { echo "fail job $id state $state"; return; }
+  done
+  echo "done $retries"
+}
+
+TPIDS=()
+for t in $(seq 1 "$TENANTS"); do
+  ( tenant "$t" >"$SCRATCH/t$t.result" 2>&1 ) &
+  TPIDS+=("$!")
+  PIDS+=("$!")
+done
+
+ok=0 total_retries=0
+for pid in "${TPIDS[@]}"; do
+  wait "$pid" 2>/dev/null || true
+done
+for t in $(seq 1 "$TENANTS"); do
+  read -r verdict detail <"$SCRATCH/t$t.result" || fail "tenant $t left no result"
+  if [ "$verdict" = done ]; then
+    ok=$((ok + 1))
+    total_retries=$((total_retries + detail))
+  else
+    fail "tenant $t: $(cat "$SCRATCH/t$t.result")"
+  fi
+done
+
+curl -fsS --max-time 5 "http://$OBS_ADDR/healthz" | grep -q '"status":"ok"' \
+  || fail "server unhealthy after soak"
+METRICS=$(curl -fsS --max-time 5 "http://$OBS_ADDR/metrics") || fail "/metrics gone"
+want=$((TENANTS * JOBS_PER_TENANT))
+completed=$(echo "$METRICS" | sed -n 's/^jobs_completed \([0-9]*\).*/\1/p')
+[ "${completed:-0}" -ge "$want" ] || fail "jobs_completed $completed < $want"
+
+echo "peachyd-soak: $ok/$TENANTS tenants completed $want jobs; $total_retries submissions backpressured (429) and retried"
+kill -TERM "$SERVER" 2>/dev/null || true
+wait "$SERVER" 2>/dev/null || true
+echo "peachyd-soak: PASS"
