@@ -69,11 +69,12 @@ bench-baseline:
 # Sweep the current tree and diff it against the recorded baseline;
 # fails if any benchmark regressed more than 10%. Override BASELINE to
 # diff against a specific snapshot, e.g.
-# `make bench-compare BASELINE=BENCH_pr2.json`. BENCH_pr7.json is the
-# current reference: it adds the external-shuffle suite, the
-# per-kernel (scalar/SSE2/AVX2) row benchmarks, and the 2-D halo
-# exchange to the sorted-run shuffle numbers from BENCH_pr4.json.
-BASELINE ?= BENCH_pr7.json
+# `make bench-compare BASELINE=BENCH_pr2.json`. BENCH_pr9.json is the
+# current reference: it adds the Time Warp planet-scale sweep
+# (BenchmarkTimeWarpSweep, workers 1/2/4/8) to the PR 7 suite. The
+# parallel entries were recorded on a single-vCPU runner, so they
+# price optimism overhead, not speedup; see EXPERIMENTS.md E28.
+BASELINE ?= BENCH_pr9.json
 
 bench-compare:
 	$(GO) test -run '^$$' -bench . -benchtime=100ms -count=$(BENCH_COUNT) ./... \

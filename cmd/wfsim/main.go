@@ -51,6 +51,7 @@ func main() {
 		traceFile = flag.String("trace", "", "write a Perfetto-loadable Chrome trace to this file")
 		obsListen = flag.String("obs-listen", "", "serve live telemetry (/metrics /healthz /progress /events /debug/pprof/) on this address, e.g. :9090 (:0 picks a port)")
 		faults    = flag.String("faults", "", "host-failure plan, e.g. seed=7,hostfail=0.1,repair=5 (see internal/fault)")
+		desWorker = flag.Int("des-workers", 0, "DES kernel workers: >1 runs the optimistic Time Warp engine (byte-identical outcomes), 0/1 the sequential kernel")
 		ckptDir   = flag.String("checkpoint", "", "-optimize/-pareto: write sweep snapshots into this directory")
 		resumeDir = flag.String("resume", "", "-optimize/-pareto: resume the sweep from this directory")
 		ckptEvery = flag.Int64("checkpoint-every", 256, "placements evaluated between sweep snapshots")
@@ -94,6 +95,7 @@ func main() {
 		base, _ := wfsched.Tab1Base()
 		base.Obs = sink
 		base.Faults = plan
+		base.DESWorkers = *desWorker
 		res, err := wfsched.HeterogeneousAblation(base, wfsched.Tab1MaxNodes, wfsched.Tab1BoundSec)
 		if err != nil {
 			fatalf("%v", err)
@@ -107,6 +109,9 @@ func main() {
 
 	// Map the flag surface onto the adapter's parameter schema.
 	params := runners.WfsimParams{Faults: *faults}
+	if *desWorker != 0 {
+		params.DESWorkers = desWorker
+	}
 	switch {
 	case !*tab2:
 		params.Mode = "tab1"

@@ -172,6 +172,38 @@ func (s *Simulation) RunUntil(t float64) {
 	}
 }
 
+// RunUntilContext is RunUntil with cancellation: it executes events
+// with timestamps <= t until either they drain or ctx is cancelled,
+// polling ctx every 64 steps like RunContext. On a clean drain the
+// clock advances to exactly t and the return is nil; on cancellation
+// the clock stays at the last executed event and the return is
+// ctx.Err().
+func (s *Simulation) RunUntilContext(ctx context.Context, t float64) error {
+	for i := 0; s.live > 0; i++ {
+		if i&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		next := s.queue[0]
+		if next.cancelled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if next.time > t {
+			break
+		}
+		s.Step()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if t > s.now {
+		s.now = t
+	}
+	return nil
+}
+
 // Pending returns the number of queued, non-cancelled events. It is
 // O(1): the count is maintained by At, Cancel, and Step rather than
 // scanned out of the queue.

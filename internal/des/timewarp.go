@@ -1,0 +1,1019 @@
+// timewarp.go is the optimistic parallel execution mode of the DES
+// kernel: Jefferson's Time Warp. A simulation is partitioned into
+// logical processes (LPs), each owning a disjoint slice of model
+// state and a local virtual clock. LPs run speculatively on a worker
+// pool, exchanging timestamped messages; when a message arrives in an
+// LP's simulated past (a straggler), the LP rolls back to a saved
+// state, un-sends what it sent since (anti-messages), and re-executes.
+// A periodically computed global virtual time (GVT) lower-bounds every
+// future message, letting the kernel reclaim history (fossil
+// collection) and bound optimism (the window throttle).
+//
+// # Determinism
+//
+// Committed outcomes are byte-identical across worker counts. Every
+// event carries a canonical key
+//
+//	(time, depth, src LP, per-src sequence)
+//
+// where depth counts the zero-delay causal chain within one instant
+// (a cause always orders before its same-time effects) and the
+// sequence number is each LP's deterministic send counter, restored
+// on rollback. Each LP processes — after all rollbacks settle — its
+// events in exactly ascending key order, and the workers=1 fast path
+// executes the same order on a single heap with none of the
+// speculation machinery. Models therefore see one canonical
+// serialization regardless of Workers, which is what the wfsched
+// byte-equality oracles assert.
+//
+// Anti-message annihilation is by a globally unique message id that
+// is *not* part of the key (re-executed sends get fresh ids but the
+// same key, so ordering is stable while stale speculation is
+// cancelled exactly).
+package des
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// LPID identifies a logical process within one Warp.
+type LPID int32
+
+// initSrc is the pseudo-source of seed events scheduled before Run.
+const initSrc LPID = -1
+
+// Key is the canonical event order: (time, zero-delay causal depth,
+// sending LP, per-sender sequence). Keys are unique per message and
+// totally ordered; an LP commits its events in ascending Key order.
+type Key struct {
+	At    float64
+	Depth int32
+	Src   LPID
+	Seq   uint64
+}
+
+// Before reports whether a orders strictly before b.
+func (a Key) Before(b Key) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	if a.Depth != b.Depth {
+		return a.Depth < b.Depth
+	}
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	return a.Seq < b.Seq
+}
+
+// Payload is the fixed-shape message body. A concrete struct (rather
+// than an interface) keeps the hot path free of boxing allocations;
+// models pack their own meaning into the fields.
+type Payload struct {
+	Kind    uint8
+	A, B, C int32
+	F       float64
+}
+
+// State is the rollback-able model state of one LP. Clone must return
+// a deep copy sharing no mutable memory with the receiver; the kernel
+// snapshots by cloning and restores by cloning back.
+type State interface{ Clone() State }
+
+// Handler processes one event for one LP. It must be deterministic —
+// a pure function of the LP state and the payload — because rollback
+// re-executes it during coast-forward, and it must touch no state
+// outside p.State() other than sending messages via p.Send.
+type Handler func(p *Proc, at float64, pl Payload)
+
+// message is one timestamped event in flight or queued.
+type message struct {
+	key     Key
+	dst     LPID
+	uid     uint64 // annihilation identity; not part of the order
+	neg     bool   // anti-message
+	payload Payload
+}
+
+// procRec is one processed (possibly still speculative) event plus
+// everything needed to un-process it: the message itself (re-queued
+// on rollback) and the sends it produced (anti-messaged on rollback).
+type procRec struct {
+	m     message
+	sends []message
+}
+
+// snapRec is a state snapshot taken before processing absolute event
+// position pos.
+type snapRec struct {
+	pos     int64
+	state   State
+	sendSeq uint64
+	lastKey Key
+	hasRun  bool
+}
+
+// Proc is one logical process: state, clock, input/output queues, and
+// the snapshot stack. All fields below mu are guarded by it.
+type Proc struct {
+	id   LPID
+	name string
+	w    *Warp
+	h    Handler
+
+	mu        sync.Mutex
+	state     State
+	pending   msgHeap
+	pendKeys  map[Key]uint64      // uid of each pending positive, by canonical key
+	dead      map[uint64]struct{} // annihilated uids not yet popped / not yet arrived
+	processed []procRec
+	base      int64 // fossil-collected events before processed[0]
+	snaps     []snapRec
+	sinceSnap int
+	sendSeq   uint64
+	lastKey   Key
+	hasRun    bool
+	running   bool
+	inQueue   bool
+	queuedKey Key
+
+	curAt atomic.Uint64 // float bits of the executing event's time; +Inf when idle
+
+	// per-event scratch, owned by the executing worker:
+	outbox    []message
+	replaying bool
+	curDepth  int32
+	curTime   float64
+}
+
+// ID returns the LP's identifier.
+func (p *Proc) ID() LPID { return p.id }
+
+// Name returns the LP's debug name.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the LP's local virtual time: the timestamp of the event
+// being processed.
+func (p *Proc) Now() float64 { return p.curTime }
+
+// State returns the LP's model state for the handler to mutate.
+func (p *Proc) State() State { return p.state }
+
+// Send schedules a payload on dst after delay simulated seconds.
+// Zero-delay sends are ordered after their cause by the depth field
+// of the canonical key. Negative and NaN delays panic as in the
+// sequential kernel; +Inf panics too — an event at infinity can
+// never commit, and a handler that reacts to it by sending again
+// would cascade forever, so it is always a model bug.
+func (p *Proc) Send(dst LPID, delay float64, pl Payload) {
+	if delay < 0 || math.IsNaN(delay) || math.IsInf(delay, 1) {
+		panic(fmt.Sprintf("des: invalid delay %v", delay))
+	}
+	if dst < 0 || int(dst) >= len(p.w.lps) {
+		panic(fmt.Sprintf("des: send to unknown LP %d", dst))
+	}
+	depth := int32(0)
+	if delay == 0 {
+		depth = p.curDepth + 1
+	}
+	k := Key{At: p.curTime + delay, Depth: depth, Src: p.id, Seq: p.sendSeq}
+	p.sendSeq++
+	if p.replaying {
+		return // coast-forward: the original sends still stand
+	}
+	p.outbox = append(p.outbox, message{
+		key: k, dst: dst, uid: p.w.uid.Add(1), payload: pl,
+	})
+}
+
+// WarpConfig configures a Warp.
+type WarpConfig struct {
+	// Workers is the parallelism. Values <= 1 select the sequential
+	// fast path: one event heap, no snapshots, no rollback machinery.
+	Workers int
+	// SnapEvery is how many events an LP processes between state
+	// snapshots (coast-forward re-executes at most SnapEvery-1 events
+	// on rollback). 0 means 64.
+	SnapEvery int
+	// Window bounds optimism: no LP executes an event more than
+	// Window simulated seconds past the current GVT. 0 disables the
+	// throttle.
+	Window float64
+	// Obs attaches metrics (des.committed, des.rollbacks,
+	// des.rolled_back, des.antimessages, des.gvt) and rollback spans.
+	Obs obs.Sink
+}
+
+// WarpStats reports one run's speculation behaviour.
+type WarpStats struct {
+	// Committed is the number of events in the final (committed)
+	// execution — comparable across worker counts and equal to the
+	// workers=1 step count.
+	Committed int64
+	// Rollbacks counts rollback episodes; RolledBack counts events
+	// undone (and later re-executed) by them.
+	Rollbacks  int64
+	RolledBack int64
+	// AntiMessages counts anti-messages sent.
+	AntiMessages int64
+	// GVTPasses counts global-virtual-time computations.
+	GVTPasses int64
+}
+
+// Warp is an optimistic parallel simulation: a set of LPs, their seed
+// events, and the execution engine. Build with NewWarp, add LPs, seed
+// initial events, then Run once.
+type Warp struct {
+	cfg  WarpConfig
+	lps  []*Proc
+	seed []message
+	uid  atomic.Uint64
+
+	gvtBits    atomic.Uint64
+	rollbacks  atomic.Int64
+	rolledBack atomic.Int64
+	antis      atomic.Int64
+	gvtPasses  atomic.Int64
+	batches    atomic.Int64
+
+	runq    lpHeap
+	qmu     sync.Mutex
+	qcond   *sync.Cond
+	waiting int
+	stopped bool
+	runErr  error
+	panicV  any
+
+	gvtMu sync.Mutex
+
+	workers []*warpWorker
+
+	cCommitted, cRollbacks, cRolled, cAntis *obs.Counter
+	gGVT                                    *obs.Gauge
+	tr                                      *obs.Tracer
+	track                                   obs.TrackID
+
+	ran bool
+}
+
+type warpWorker struct {
+	inflight atomic.Uint64 // float bits: min timestamp of undelivered sends
+	queue    []message
+}
+
+// NewWarp creates an empty Time Warp simulation.
+func NewWarp(cfg WarpConfig) *Warp {
+	if cfg.SnapEvery <= 0 {
+		cfg.SnapEvery = 64
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	w := &Warp{cfg: cfg}
+	w.qcond = sync.NewCond(&w.qmu)
+	w.gvtBits.Store(math.Float64bits(math.Inf(-1)))
+	m := cfg.Obs.Metrics
+	w.cCommitted = m.Counter("des.committed")
+	w.cRollbacks = m.Counter("des.rollbacks")
+	w.cRolled = m.Counter("des.rolled_back")
+	w.cAntis = m.Counter("des.antimessages")
+	w.gGVT = m.Gauge("des.gvt")
+	if tr := cfg.Obs.Tracer; tr != nil {
+		w.tr = tr
+		w.track = tr.Track("timewarp", 0, "rollbacks")
+	}
+	return w
+}
+
+// AddLP registers a logical process with its state and handler and
+// returns its id. State may be nil for stateless LPs (then nothing is
+// snapshotted and the handler must be memoryless). All LPs must be
+// added before Run.
+func (w *Warp) AddLP(name string, st State, h Handler) LPID {
+	if h == nil {
+		panic("des: nil LP handler")
+	}
+	id := LPID(len(w.lps))
+	p := &Proc{
+		id: id, name: name, w: w, h: h, state: st,
+		pendKeys: map[Key]uint64{}, dead: map[uint64]struct{}{},
+	}
+	p.curAt.Store(math.Float64bits(math.Inf(1)))
+	w.lps = append(w.lps, p)
+	return id
+}
+
+// SeedAt schedules an initial event at absolute time t (>= 0) on lp.
+// Seeds fire before any same-time model sends (depth 0, source -1) in
+// seeding order.
+func (w *Warp) SeedAt(lp LPID, t float64, pl Payload) {
+	if t < 0 || math.IsNaN(t) {
+		panic(fmt.Sprintf("des: invalid seed time %v", t))
+	}
+	if lp < 0 || int(lp) >= len(w.lps) {
+		panic(fmt.Sprintf("des: seed for unknown LP %d", lp))
+	}
+	w.seed = append(w.seed, message{
+		key: Key{At: t, Depth: 0, Src: initSrc, Seq: uint64(len(w.seed))},
+		dst: lp, uid: w.uid.Add(1), payload: pl,
+	})
+}
+
+// LPState returns an LP's state (for reading results after Run).
+func (w *Warp) LPState(id LPID) State { return w.lps[id].state }
+
+// GVT returns the last computed global virtual time (-Inf before the
+// first pass; only meaningful with Workers > 1).
+func (w *Warp) GVT() float64 { return math.Float64frombits(w.gvtBits.Load()) }
+
+// Stats returns the run's speculation statistics.
+func (w *Warp) Stats() WarpStats {
+	var committed int64
+	for _, p := range w.lps {
+		committed += p.base + int64(len(p.processed))
+	}
+	return WarpStats{
+		Committed:    committed,
+		Rollbacks:    w.rollbacks.Load(),
+		RolledBack:   w.rolledBack.Load(),
+		AntiMessages: w.antis.Load(),
+		GVTPasses:    w.gvtPasses.Load(),
+	}
+}
+
+// Run executes the simulation until every LP drains, or ctx is
+// cancelled (returning ctx.Err()). It may be called once.
+func (w *Warp) Run(ctx context.Context) error {
+	if w.ran {
+		panic("des: Warp.Run called twice")
+	}
+	w.ran = true
+	if w.cfg.Workers <= 1 {
+		return w.runSequential(ctx)
+	}
+	return w.runParallel(ctx)
+}
+
+// ---------------------------------------------------------------
+// Sequential fast path: the plain kernel. One heap ordered by the
+// canonical key, no locks, no snapshots, no rollbacks — and exactly
+// the per-LP event order the parallel path commits.
+// ---------------------------------------------------------------
+
+func (w *Warp) runSequential(ctx context.Context) error {
+	var q msgHeap
+	for _, m := range w.seed {
+		heap.Push(&q, m)
+	}
+	var steps int64
+	for i := 0; ; i++ {
+		if i&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				w.commitSeqCount(steps)
+				return err
+			}
+		}
+		if q.Len() == 0 {
+			break
+		}
+		m := heap.Pop(&q).(message)
+		p := w.lps[m.dst]
+		p.curTime = m.key.At
+		p.curDepth = m.key.Depth
+		p.outbox = p.outbox[:0]
+		p.h(p, m.key.At, m.payload)
+		p.base++ // base doubles as the committed count here
+		steps++
+		for _, s := range p.outbox {
+			heap.Push(&q, s)
+		}
+		p.outbox = p.outbox[:0]
+	}
+	w.commitSeqCount(steps)
+	return nil
+}
+
+func (w *Warp) commitSeqCount(steps int64) {
+	w.cCommitted.Add(steps)
+}
+
+// ---------------------------------------------------------------
+// Parallel path.
+// ---------------------------------------------------------------
+
+// batchSize bounds how many events a worker processes per LP
+// acquisition; small enough to keep cross-LP messages flowing,
+// large enough to amortize queue locking.
+const batchSize = 32
+
+// gvtEvery triggers a GVT/fossil pass every this many batches.
+const gvtEvery = 64
+
+func (w *Warp) runParallel(ctx context.Context) error {
+	w.workers = make([]*warpWorker, w.cfg.Workers)
+	for i := range w.workers {
+		w.workers[i] = &warpWorker{}
+		w.workers[i].inflight.Store(math.Float64bits(math.Inf(1)))
+	}
+	// Deliver seeds directly: nothing is running yet.
+	for _, m := range w.seed {
+		w.lps[m.dst].pushPending(m)
+	}
+	for _, p := range w.lps {
+		if p.pending.Len() > 0 {
+			k, _ := p.pending.peekKey()
+			p.inQueue = true
+			p.queuedKey = k
+			heap.Push(&w.runq, lpEntry{p: p, key: k})
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < w.cfg.Workers; i++ {
+		wg.Add(1)
+		go func(ww *warpWorker) {
+			defer wg.Done()
+			w.workerLoop(ctx, ww)
+		}(w.workers[i])
+	}
+	wg.Wait()
+	if w.panicV != nil {
+		panic(w.panicV)
+	}
+	if w.runErr != nil {
+		return w.runErr
+	}
+	w.cCommitted.Add(w.Stats().Committed)
+	return nil
+}
+
+// abort stops every worker, recording why.
+func (w *Warp) abort(err error, panicV any) {
+	w.qmu.Lock()
+	if !w.stopped {
+		w.stopped = true
+		w.runErr = err
+		w.panicV = panicV
+	}
+	w.qmu.Unlock()
+	w.qcond.Broadcast()
+}
+
+func (w *Warp) workerLoop(ctx context.Context, ww *warpWorker) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.abort(nil, r)
+		}
+	}()
+	for {
+		if err := ctx.Err(); err != nil {
+			w.abort(err, nil)
+			return
+		}
+		p := w.acquire()
+		if p == nil {
+			return // drained or stopped
+		}
+		w.runBatch(p, ww)
+		if n := w.batches.Add(1); n%gvtEvery == 0 {
+			w.gvtPass(false)
+		}
+	}
+}
+
+// acquire pops the lowest-timestamp runnable LP, blocking until one
+// exists, the simulation drains, or the run stops. It marks the LP
+// running. A nil return means stop.
+//
+// Lock order is always p.mu before qmu (deliver and enqueueLocked
+// nest that way), so acquire releases qmu before touching an LP.
+func (w *Warp) acquire() *Proc {
+	for {
+		w.qmu.Lock()
+		for w.runq.Len() == 0 && !w.stopped {
+			// Queue empty: if every other worker is also waiting,
+			// the simulation has drained (any LP with live pending
+			// events is either queued or running, and a running
+			// worker is not waiting).
+			w.waiting++
+			if w.waiting == w.cfg.Workers {
+				w.stopped = true
+				w.qcond.Broadcast()
+				break
+			}
+			w.qcond.Wait()
+			w.waiting--
+		}
+		if w.stopped {
+			w.qmu.Unlock()
+			return nil
+		}
+		e := heap.Pop(&w.runq).(lpEntry)
+		w.qmu.Unlock()
+		p := e.p
+		p.mu.Lock()
+		if p.running || !p.inQueue || e.key != p.queuedKey {
+			p.mu.Unlock() // stale entry
+			continue
+		}
+		// Window throttle: defer LPs too far past GVT. The minimum
+		// LP is always within the window (GVT never trails it), so
+		// forcing a GVT pass here makes progress, never livelock.
+		if w.cfg.Window > 0 {
+			gvt := math.Float64frombits(w.gvtBits.Load())
+			if !math.IsInf(gvt, -1) && e.key.At > gvt+w.cfg.Window {
+				p.mu.Unlock()
+				w.qmu.Lock()
+				heap.Push(&w.runq, e)
+				w.qmu.Unlock()
+				w.gvtPass(true)
+				runtime.Gosched()
+				continue
+			}
+		}
+		p.running = true
+		p.inQueue = false
+		p.mu.Unlock()
+		return p
+	}
+}
+
+// enqueueLocked (re)inserts p into the run queue; p.mu must be held.
+func (w *Warp) enqueueLocked(p *Proc) {
+	k, ok := p.peekPending()
+	if !ok || p.running {
+		return
+	}
+	if p.inQueue && !k.Before(p.queuedKey) {
+		return
+	}
+	p.inQueue = true
+	p.queuedKey = k
+	w.qmu.Lock()
+	heap.Push(&w.runq, lpEntry{p: p, key: k})
+	w.qmu.Unlock()
+	w.qcond.Signal()
+}
+
+// runBatch processes up to batchSize events on p, then delivers the
+// sends they produced.
+func (w *Warp) runBatch(p *Proc, ww *warpWorker) {
+	sends := w.runBatchLocked(p, ww)
+	w.deliverAll(ww, sends)
+}
+
+// runBatchLocked is the under-lock half of runBatch. The unlock is
+// deferred (not inline) so that a panicking model handler releases
+// p.mu on the way out — sibling workers then observe the abort
+// instead of deadlocking on the LP.
+func (w *Warp) runBatchLocked(p *Proc, ww *warpWorker) []message {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var horizon float64
+	if w.cfg.Window > 0 {
+		gvt := math.Float64frombits(w.gvtBits.Load())
+		if math.IsInf(gvt, -1) {
+			horizon = math.Inf(1)
+		} else {
+			horizon = gvt + w.cfg.Window
+		}
+	} else {
+		horizon = math.Inf(1)
+	}
+	for n := 0; n < batchSize; n++ {
+		m, ok := p.popPending()
+		if !ok {
+			break
+		}
+		if m.key.At > horizon {
+			p.pushPending(m) // beyond the optimism window
+			break
+		}
+		w.execLocked(p, ww, m)
+	}
+	sends := p.outbox
+	p.outbox = nil
+	p.running = false
+	p.curAt.Store(math.Float64bits(math.Inf(1)))
+	w.enqueueLocked(p)
+	return sends
+}
+
+// execLocked runs one event on p (p.mu held), recording it for
+// rollback. Sends accumulate in p.outbox with per-send inflight
+// publication.
+func (w *Warp) execLocked(p *Proc, ww *warpWorker, m message) {
+	// Snapshot before the event when the cadence says so (and always
+	// before the very first).
+	pos := p.base + int64(len(p.processed))
+	if p.sinceSnap >= w.cfg.SnapEvery || len(p.snaps) == 0 {
+		var st State
+		if p.state != nil {
+			st = p.state.Clone()
+		}
+		p.snaps = append(p.snaps, snapRec{
+			pos: pos, state: st, sendSeq: p.sendSeq, lastKey: p.lastKey, hasRun: p.hasRun,
+		})
+		p.sinceSnap = 0
+	}
+	p.sinceSnap++
+	p.curAt.Store(math.Float64bits(m.key.At))
+	p.curTime = m.key.At
+	p.curDepth = m.key.Depth
+	mark := len(p.outbox)
+	p.h(p, m.key.At, m.payload)
+	sends := p.outbox[mark:]
+	rec := procRec{m: m}
+	if len(sends) > 0 {
+		rec.sends = append([]message(nil), sends...)
+		// Publish the in-flight minimum before anything else can see
+		// the procRec, so GVT never overtakes undelivered messages.
+		min := math.Float64frombits(ww.inflight.Load())
+		for _, s := range sends {
+			if s.key.At < min {
+				min = s.key.At
+			}
+		}
+		ww.inflight.Store(math.Float64bits(min))
+		// Self-sends go straight into this LP's pending queue: their
+		// keys are strictly after the current event's, so they can
+		// never be stragglers, and skipping the delivery round-trip
+		// avoids rolling back a batch that ran past them.
+		kept := p.outbox[:mark]
+		for _, s := range sends {
+			if s.dst == p.id {
+				p.pushPending(s)
+			} else {
+				kept = append(kept, s)
+			}
+		}
+		p.outbox = kept
+	}
+	p.processed = append(p.processed, rec)
+	p.lastKey = m.key
+	p.hasRun = true
+}
+
+// deliverAll routes messages (and any antis cascading from the
+// rollbacks they cause) until the worker's delivery queue drains.
+func (w *Warp) deliverAll(ww *warpWorker, msgs []message) {
+	ww.queue = append(ww.queue, msgs...)
+	for len(ww.queue) > 0 {
+		m := ww.queue[len(ww.queue)-1]
+		ww.queue = ww.queue[:len(ww.queue)-1]
+		w.deliver(ww, m)
+	}
+	ww.inflight.Store(math.Float64bits(math.Inf(1)))
+}
+
+// deliver hands one message to its destination, rolling the
+// destination back if the message lands in its past.
+func (w *Warp) deliver(ww *warpWorker, m message) {
+	p := w.lps[m.dst]
+	p.mu.Lock()
+	// Deferred so a handler panic during coast-forward releases p.mu.
+	defer p.mu.Unlock()
+	if m.neg {
+		w.antis.Add(1)
+		w.cAntis.Inc()
+		if _, dead := p.dead[m.uid]; dead {
+			// The positive was already annihilated (a stale
+			// incarnation dropped by pushPending).
+			delete(p.dead, m.uid)
+			return
+		}
+		// Annihilate: processed -> roll back past it, then kill the
+		// re-queued positive; pending or not-yet-arrived -> dead set.
+		// The uid must match: a same-key processed event may be a
+		// newer (live) incarnation this anti has no business undoing.
+		if p.hasRun && !p.lastKey.Before(m.key) {
+			if i, ok := p.findProcessed(m.key); ok && p.processed[i].m.uid == m.uid {
+				w.rollbackLocked(p, ww, p.base+int64(i))
+			}
+		}
+		p.dead[m.uid] = struct{}{}
+		w.enqueueLocked(p) // min key may have changed
+		return
+	}
+	if _, dead := p.dead[m.uid]; dead {
+		delete(p.dead, m.uid) // annihilated before arrival
+		return
+	}
+	if p.hasRun && !p.lastKey.Before(m.key) {
+		i := p.searchProcessed(m.key)
+		if i < len(p.processed) && p.processed[i].m.key == m.key {
+			if p.processed[i].m.uid > m.uid {
+				// m is a stale incarnation of an already-executed
+				// event; drop it and let its in-flight anti consume
+				// the tombstone.
+				p.tombstone(m.uid)
+				return
+			}
+			// The processed copy is the stale incarnation: roll back
+			// past it. Its re-queued positive collides with m in
+			// pushPending below and is annihilated there.
+			w.rollbackLocked(p, ww, p.base+int64(i))
+		} else if m.key.Before(p.lastKey) {
+			w.rollbackLocked(p, ww, p.base+int64(i)) // straggler
+		}
+	}
+	p.pushPending(m)
+	w.enqueueLocked(p)
+}
+
+// tombstone flips a uid's annihilation parity: the first of the pair
+// (a dropped positive, or its anti-message) to be seen sets the mark,
+// the second consumes it. Every uid sees at most one positive drop
+// and at most one anti, so the mark never dangles ambiguously.
+func (p *Proc) tombstone(uid uint64) {
+	if _, ok := p.dead[uid]; ok {
+		delete(p.dead, uid)
+	} else {
+		p.dead[uid] = struct{}{}
+	}
+}
+
+// pushPending inserts a positive message into p's pending queue,
+// annihilating stale incarnations first. Canonical keys are unique
+// per logical event, so two positives sharing a key are an old and a
+// new incarnation of a send that was rolled back and re-issued at its
+// source; only the largest uid can be live, and an anti-message for
+// each smaller one is already in flight. Annihilating the loser here
+// — rather than when that anti lands — keeps duplicate keys out of
+// the LP's executed sequence, so speculative model state never sees
+// the same logical event twice. p.mu must be held.
+func (p *Proc) pushPending(m message) {
+	if old, ok := p.pendKeys[m.key]; ok {
+		if old > m.uid {
+			// m itself is the stale incarnation, arriving late.
+			p.tombstone(m.uid)
+			return
+		}
+		p.pending.removeUID(old)
+		p.tombstone(old)
+	}
+	p.pendKeys[m.key] = m.uid
+	heap.Push(&p.pending, m)
+}
+
+// popPending pops the minimum live pending message, lazily discarding
+// annihilated entries. p.mu must be held.
+func (p *Proc) popPending() (message, bool) {
+	for p.pending.Len() > 0 {
+		m := heap.Pop(&p.pending).(message)
+		if p.pendKeys[m.key] == m.uid {
+			delete(p.pendKeys, m.key)
+		}
+		if _, d := p.dead[m.uid]; d {
+			delete(p.dead, m.uid)
+			continue
+		}
+		return m, true
+	}
+	return message{}, false
+}
+
+// peekPending returns the minimum live pending key, lazily discarding
+// annihilated entries from the top. p.mu must be held.
+func (p *Proc) peekPending() (Key, bool) {
+	for p.pending.Len() > 0 {
+		top := p.pending[0]
+		if _, d := p.dead[top.uid]; !d {
+			return top.key, true
+		}
+		delete(p.dead, top.uid)
+		if p.pendKeys[top.key] == top.uid {
+			delete(p.pendKeys, top.key)
+		}
+		heap.Pop(&p.pending)
+	}
+	return Key{}, false
+}
+
+// searchProcessed returns the first index whose key is >= k.
+func (p *Proc) searchProcessed(k Key) int {
+	lo, hi := 0, len(p.processed)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.processed[mid].m.key.Before(k) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// findProcessed locates the processed event with exactly key k.
+func (p *Proc) findProcessed(k Key) (int, bool) {
+	i := p.searchProcessed(k)
+	if i < len(p.processed) && p.processed[i].m.key == k {
+		return i, true
+	}
+	return 0, false
+}
+
+// rollbackLocked rewinds p to just before absolute position pos:
+// restore the latest snapshot at or before pos, coast-forward re-run
+// (sends suppressed) up to pos, re-queue the undone events' messages,
+// and anti-message their sends. p.mu must be held; antis go out via
+// the worker's delivery queue after the caller releases p.
+func (w *Warp) rollbackLocked(p *Proc, ww *warpWorker, pos int64) {
+	i := int(pos - p.base)
+	if i < 0 {
+		panic(fmt.Sprintf("des: rollback of %q below GVT (pos %d < base %d)", p.name, pos, p.base))
+	}
+	if i >= len(p.processed) {
+		return
+	}
+	w.rollbacks.Add(1)
+	w.rolledBack.Add(int64(len(p.processed) - i))
+	w.cRollbacks.Inc()
+	w.cRolled.Add(int64(len(p.processed) - i))
+	if w.tr != nil {
+		w.tr.Instant(w.track, fmt.Sprintf("rollback %s depth=%d", p.name, len(p.processed)-i), w.tr.Now())
+	}
+
+	// Latest snapshot at or before pos.
+	s := len(p.snaps) - 1
+	for s >= 0 && p.snaps[s].pos > pos {
+		s--
+	}
+	if s < 0 {
+		panic(fmt.Sprintf("des: no snapshot for rollback of %q to pos %d", p.name, pos))
+	}
+	snap := p.snaps[s]
+	p.snaps = p.snaps[:s+1]
+	if p.state != nil {
+		p.state = snap.state.Clone()
+	}
+	p.sendSeq = snap.sendSeq
+	p.lastKey = snap.lastKey
+	p.hasRun = snap.hasRun
+
+	// Coast-forward: re-execute the surviving suffix without
+	// re-sending (the original sends still stand).
+	p.replaying = true
+	from := int(snap.pos - p.base)
+	for j := from; j < i; j++ {
+		rec := &p.processed[j]
+		p.curTime = rec.m.key.At
+		p.curDepth = rec.m.key.Depth
+		seq0 := p.sendSeq
+		p.h(p, rec.m.key.At, rec.m.payload)
+		if got, want := int(p.sendSeq-seq0), len(rec.sends); got != want {
+			panic(fmt.Sprintf("des: nondeterministic handler on %q: replay sent %d messages, original sent %d", p.name, got, want))
+		}
+		p.lastKey = rec.m.key
+		p.hasRun = true
+	}
+	p.replaying = false
+	p.sinceSnap = i - from
+
+	// Undo the rolled-back suffix: messages back to pending, sends
+	// anti-messaged.
+	undone := p.processed[i:]
+	for j := range undone {
+		p.pushPending(undone[j].m)
+		for _, sm := range undone[j].sends {
+			anti := sm
+			anti.neg = true
+			min := math.Float64frombits(ww.inflight.Load())
+			if anti.key.At < min {
+				ww.inflight.Store(math.Float64bits(anti.key.At))
+			}
+			ww.queue = append(ww.queue, anti)
+		}
+		undone[j].sends = nil
+	}
+	p.processed = p.processed[:i]
+}
+
+// gvtPass computes a new GVT — a lower bound on the timestamp of any
+// event that can still be executed or arrive — and fossil-collects
+// history older than it. Serialized by gvtMu; when force is false a
+// busy pass is skipped.
+func (w *Warp) gvtPass(force bool) {
+	if force {
+		w.gvtMu.Lock()
+	} else if !w.gvtMu.TryLock() {
+		return
+	}
+	defer w.gvtMu.Unlock()
+	w.gvtPasses.Add(1)
+
+	min := math.Inf(1)
+	for _, ww := range w.workers {
+		if v := math.Float64frombits(ww.inflight.Load()); v < min {
+			min = v
+		}
+	}
+	for _, p := range w.lps {
+		if v := math.Float64frombits(p.curAt.Load()); v < min {
+			min = v
+		}
+		p.mu.Lock()
+		if k, ok := p.peekPending(); ok && k.At < min {
+			min = k.At
+		}
+		p.mu.Unlock()
+	}
+	if math.IsInf(min, 1) {
+		return // drained (or draining); nothing to bound
+	}
+	old := math.Float64frombits(w.gvtBits.Load())
+	if min < old {
+		min = old // GVT is monotone; a conservative stale min is fine
+	}
+	w.gvtBits.Store(math.Float64bits(min))
+	w.gGVT.Set(min)
+
+	// Fossil collection: drop history strictly older than GVT. Events
+	// at or after GVT stay, as do the snapshot they coast-forward
+	// from and everything after it.
+	for _, p := range w.lps {
+		p.mu.Lock()
+		cut := 0
+		for cut < len(p.processed) && p.processed[cut].m.key.At < min {
+			cut++
+		}
+		s := len(p.snaps) - 1
+		for s >= 0 && p.snaps[s].pos > p.base+int64(cut) {
+			s--
+		}
+		if s > 0 {
+			drop := int(p.snaps[s].pos - p.base)
+			p.snaps = p.snaps[s:]
+			p.processed = p.processed[drop:]
+			p.base += int64(drop)
+		}
+		p.mu.Unlock()
+	}
+}
+
+// ---------------------------------------------------------------
+// Heaps.
+// ---------------------------------------------------------------
+
+// msgHeap orders messages by canonical key.
+type msgHeap []message
+
+func (h msgHeap) Len() int           { return len(h) }
+func (h msgHeap) Less(i, j int) bool { return h[i].key.Before(h[j].key) }
+func (h msgHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *msgHeap) Push(x any)        { *h = append(*h, x.(message)) }
+func (h *msgHeap) Pop() any {
+	old := *h
+	n := len(old)
+	m := old[n-1]
+	*h = old[:n-1]
+	return m
+}
+
+// peekKey returns the minimum key without skipping dead entries.
+func (h *msgHeap) peekKey() (Key, bool) {
+	if len(*h) == 0 {
+		return Key{}, false
+	}
+	return (*h)[0].key, true
+}
+
+// removeUID deletes the entry with the given uid, if present. Linear
+// — only stale-incarnation annihilation pays it, and duplicates are
+// rare (they need a rollback racing its own anti-messages).
+func (h *msgHeap) removeUID(uid uint64) {
+	for i := range *h {
+		if (*h)[i].uid == uid {
+			heap.Remove(h, i)
+			return
+		}
+	}
+}
+
+// lpEntry is one run-queue entry; stale entries (key no longer the
+// LP's queued key) are dropped at pop.
+type lpEntry struct {
+	p   *Proc
+	key Key
+}
+
+type lpHeap []lpEntry
+
+func (h lpHeap) Len() int           { return len(h) }
+func (h lpHeap) Less(i, j int) bool { return h[i].key.Before(h[j].key) }
+func (h lpHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *lpHeap) Push(x any)        { *h = append(*h, x.(lpEntry)) }
+func (h *lpHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,342 @@
+package des
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// ---------------------------------------------------------------
+// Deterministic fuzz model: each LP is a hash accumulator whose
+// handler derives everything — how many messages to send, to whom,
+// with which quantized delay — from (state, payload). Quantized
+// delays manufacture simultaneous timestamps on purpose; zero-delay
+// sends exercise the depth ordering; a "cancel" kind exercises
+// model-level cancellation (a flag that turns a later event into a
+// no-op, the way wfsched cancels link wake-ups). Because the model is
+// a pure function of the committed order, byte-equal final states
+// across worker counts prove the canonical order is what committed.
+// ---------------------------------------------------------------
+
+const (
+	fuzzKindWork   = 0
+	fuzzKindCancel = 1
+)
+
+type fuzzState struct {
+	hash      uint64
+	events    int64
+	cancelled map[int32]bool // epochs switched off by fuzzKindCancel
+	skipped   int64
+}
+
+func (s *fuzzState) Clone() State {
+	c := &fuzzState{hash: s.hash, events: s.events, skipped: s.skipped}
+	c.cancelled = make(map[int32]bool, len(s.cancelled))
+	for k, v := range s.cancelled {
+		c.cancelled[k] = v
+	}
+	return c
+}
+
+func mix(h uint64, vs ...uint64) uint64 {
+	for _, v := range vs {
+		h ^= v
+		h *= 0x9E3779B97F4A7C15
+		h ^= h >> 29
+	}
+	return h
+}
+
+// fuzzModel builds a Warp over nLP hash LPs seeded from seed.
+func fuzzModel(t *testing.T, seed uint64, nLP, nSeeds, workers int, snapEvery int, window float64, sink obs.Sink) *Warp {
+	t.Helper()
+	w := NewWarp(WarpConfig{Workers: workers, SnapEvery: snapEvery, Window: window, Obs: sink})
+	for i := 0; i < nLP; i++ {
+		w.AddLP(fmt.Sprintf("lp%d", i),
+			&fuzzState{cancelled: map[int32]bool{}},
+			func(p *Proc, at float64, pl Payload) {
+				st := p.State().(*fuzzState)
+				st.events++
+				if pl.Kind == fuzzKindCancel {
+					st.cancelled[pl.A] = true
+					return
+				}
+				if st.cancelled[pl.B] {
+					st.skipped++ // event arrived after its epoch was cancelled
+					return
+				}
+				st.hash = mix(st.hash, math.Float64bits(at), uint64(pl.A), uint64(pl.B), math.Float64bits(pl.F))
+				ttl := pl.A
+				if ttl <= 0 {
+					return
+				}
+				h := st.hash
+				for n := int(h % 3); n > 0; n-- {
+					h = mix(h, uint64(n))
+					dst := LPID(h % uint64(len(p.w.lps)))
+					// Quantized delays force timestamp collisions;
+					// ~1/6 of sends are zero-delay chains.
+					delay := []float64{0, 0.25, 0.25, 0.5, 1, 1.5}[(h>>8)%6]
+					kind := uint8(fuzzKindWork)
+					if (h>>16)%11 == 0 {
+						kind = fuzzKindCancel
+					}
+					p.Send(dst, delay, Payload{
+						Kind: kind,
+						A:    ttl - 1,
+						B:    int32(h % 7),
+						F:    float64((h>>24)%1000) / 16,
+					})
+				}
+			})
+	}
+	h := seed
+	for i := 0; i < nSeeds; i++ {
+		h = mix(h, uint64(i))
+		w.SeedAt(LPID(h%uint64(nLP)), float64((h>>8)%8)/2, Payload{
+			Kind: fuzzKindWork, A: int32(6 + h%5), B: int32(h % 7), F: float64(h % 97),
+		})
+	}
+	return w
+}
+
+// fingerprint serializes every LP's final state.
+func fingerprint(w *Warp) string {
+	out := ""
+	for i := range w.lps {
+		st := w.LPState(LPID(i)).(*fuzzState)
+		out += fmt.Sprintf("lp%d hash=%016x events=%d skipped=%d\n", i, st.hash, st.events, st.skipped)
+	}
+	return out
+}
+
+// TestWarpFuzzCrossWorkers is the kernel half of the randomized
+// cross-kernel oracle: random event schedules (simultaneous
+// timestamps, zero-delay chains, model-level cancellation) must
+// produce byte-equal outcomes and identical committed step counts at
+// workers 1, 2, 4 and 8 — workers=1 being the sequential kernel path.
+func TestWarpFuzzCrossWorkers(t *testing.T) {
+	var totalRollbacks int64
+	for trial := 0; trial < 12; trial++ {
+		seed := mix(0xC0FFEE, uint64(trial))
+		nLP := 2 + int(seed%7)
+		nSeeds := 3 + int((seed>>8)%6)
+		snapEvery := []int{1, 4, 64}[trial%3]
+		window := []float64{0, 2.5}[trial%2]
+
+		ref := fuzzModel(t, seed, nLP, nSeeds, 1, 64, 0, obs.Sink{})
+		if err := ref.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		want := fingerprint(ref)
+		wantSteps := ref.Stats().Committed
+		if wantSteps == 0 {
+			t.Fatalf("trial %d: degenerate schedule (0 events)", trial)
+		}
+
+		for _, workers := range []int{2, 4, 8} {
+			w := fuzzModel(t, seed, nLP, nSeeds, workers, snapEvery, window, obs.Sink{})
+			if err := w.Run(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			if got := fingerprint(w); got != want {
+				t.Fatalf("trial %d workers=%d snap=%d window=%v: outcome diverged\n got:\n%s\nwant:\n%s",
+					trial, workers, snapEvery, window, got, want)
+			}
+			st := w.Stats()
+			if st.Committed != wantSteps {
+				t.Fatalf("trial %d workers=%d: committed %d steps, sequential did %d",
+					trial, workers, st.Committed, wantSteps)
+			}
+			totalRollbacks += st.Rollbacks
+		}
+	}
+	// Speculation must actually have been exercised somewhere in the
+	// suite, or the oracle proves nothing about rollback.
+	if totalRollbacks == 0 {
+		t.Log("warning: no rollbacks across the whole fuzz suite; oracle ran but speculation untested")
+	} else {
+		t.Logf("fuzz suite exercised %d rollbacks", totalRollbacks)
+	}
+}
+
+// TestWarpPingPong checks a minimal two-LP exchange commits the exact
+// event count and final times on both paths.
+func TestWarpPingPong(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		w := NewWarp(WarpConfig{Workers: workers})
+		mk := func(self string) Handler {
+			return func(p *Proc, at float64, pl Payload) {
+				st := p.State().(*fuzzState)
+				st.events++
+				st.hash = mix(st.hash, math.Float64bits(at), uint64(pl.A))
+				if pl.A > 0 {
+					p.Send(1-p.ID(), 0.5, Payload{A: pl.A - 1})
+				}
+			}
+		}
+		a := w.AddLP("a", &fuzzState{cancelled: map[int32]bool{}}, mk("a"))
+		w.AddLP("b", &fuzzState{cancelled: map[int32]bool{}}, mk("b"))
+		w.SeedAt(a, 0, Payload{A: 100})
+		if err := w.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if got := w.Stats().Committed; got != 101 {
+			t.Fatalf("workers=%d: committed %d events, want 101", workers, got)
+		}
+		sa := w.LPState(0).(*fuzzState)
+		sb := w.LPState(1).(*fuzzState)
+		if sa.events != 51 || sb.events != 50 {
+			t.Fatalf("workers=%d: events a=%d b=%d, want 51/50", workers, sa.events, sb.events)
+		}
+	}
+}
+
+// TestWarpZeroDelayDepth pins the canonical order of a zero-delay
+// chain: at one instant, a cause commits before its effects, and
+// same-depth effects commit in (src, seq) order.
+func TestWarpZeroDelayDepth(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var order []int32
+		w := NewWarp(WarpConfig{Workers: workers})
+		lp := w.AddLP("chain", nil, func(p *Proc, at float64, pl Payload) {
+			order = append(order, pl.A)
+			if pl.A == 0 {
+				p.Send(p.ID(), 0, Payload{A: 2}) // depth 1, seq 0
+				p.Send(p.ID(), 0, Payload{A: 3}) // depth 1, seq 1
+			}
+			if pl.A == 2 {
+				p.Send(p.ID(), 0, Payload{A: 4}) // depth 2
+			}
+		})
+		w.SeedAt(lp, 1, Payload{A: 0})
+		w.SeedAt(lp, 1, Payload{A: 1}) // same instant, seed order
+		if err := w.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprint([]int32{0, 1, 2, 3, 4})
+		if got := fmt.Sprint(order); got != want {
+			t.Fatalf("workers=%d: zero-delay order %v, want %v", workers, got, want)
+		}
+	}
+}
+
+// TestWarpContextCancel checks both paths honour cancellation.
+func TestWarpContextCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		w := NewWarp(WarpConfig{Workers: workers})
+		lp := w.AddLP("spin", nil, func(p *Proc, at float64, pl Payload) {
+			p.Send(p.ID(), 1, pl) // run forever
+		})
+		w.SeedAt(lp, 0, Payload{})
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() { done <- w.Run(ctx) }()
+		cancel()
+		if err := <-done; err != context.Canceled {
+			t.Fatalf("workers=%d: Run = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+// TestWarpMetrics checks the speculation instruments are wired.
+func TestWarpMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	seed := mix(0xC0FFEE, 3)
+	w := fuzzModel(t, seed, 6, 6, 4, 4, 0, obs.Sink{Metrics: reg})
+	if err := w.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("des.committed").Value(); got != w.Stats().Committed {
+		t.Fatalf("des.committed = %d, want %d", got, w.Stats().Committed)
+	}
+	if got := reg.Counter("des.rollbacks").Value(); got != w.Stats().Rollbacks {
+		t.Fatalf("des.rollbacks = %d, want %d", got, w.Stats().Rollbacks)
+	}
+	if got := reg.Counter("des.antimessages").Value(); got != w.Stats().AntiMessages {
+		t.Fatalf("des.antimessages = %d, want %d", got, w.Stats().AntiMessages)
+	}
+	if w.Stats().GVTPasses > 0 {
+		if got, want := reg.Gauge("des.gvt").Value(), w.GVT(); got != want && !math.IsInf(want, -1) {
+			t.Fatalf("des.gvt = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestWarpPanics pins the API misuse panics.
+func TestWarpPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	w := NewWarp(WarpConfig{})
+	lp := w.AddLP("a", nil, func(p *Proc, at float64, pl Payload) {
+		p.Send(p.ID(), -1, Payload{})
+	})
+	expectPanic("negative seed time", func() { w.SeedAt(lp, -1, Payload{}) })
+	expectPanic("unknown LP", func() { w.SeedAt(lp+1, 0, Payload{}) })
+	w.SeedAt(lp, 0, Payload{})
+	expectPanic("negative delay", func() { _ = w.Run(context.Background()) })
+
+	w2 := NewWarp(WarpConfig{Workers: 4})
+	lp2 := w2.AddLP("b", nil, func(p *Proc, at float64, pl Payload) {
+		if at > 0 {
+			panic("model panic")
+		}
+		p.Send(p.ID(), 1, Payload{})
+	})
+	w2.SeedAt(lp2, 0, Payload{})
+	expectPanic("model panic propagates from workers", func() { _ = w2.Run(context.Background()) })
+}
+
+// TestRunUntilContext covers the satellite: cancellable RunUntil with
+// identical semantics to RunUntil on a clean drain.
+func TestRunUntilContext(t *testing.T) {
+	build := func() (*Simulation, *[]float64) {
+		s := &Simulation{}
+		var fired []float64
+		for i := 1; i <= 10; i++ {
+			tt := float64(i)
+			s.Schedule(tt, func() { fired = append(fired, tt) })
+		}
+		ev := s.Schedule(4.5, func() { fired = append(fired, -1) })
+		s.Cancel(ev)
+		return s, &fired
+	}
+
+	// Clean drain matches RunUntil.
+	s1, f1 := build()
+	s1.RunUntil(5.5)
+	s2, f2 := build()
+	if err := s2.RunUntilContext(context.Background(), 5.5); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(*f1) != fmt.Sprint(*f2) || s1.Now() != s2.Now() {
+		t.Fatalf("RunUntilContext diverged: %v@%v vs %v@%v", *f2, s2.Now(), *f1, s1.Now())
+	}
+	if s2.Now() != 5.5 {
+		t.Fatalf("clock = %v, want 5.5", s2.Now())
+	}
+
+	// Pre-cancelled ctx stops before any step and reports the error.
+	s3, f3 := build()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s3.RunUntilContext(ctx, 5.5); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(*f3) != 0 {
+		t.Fatalf("cancelled run fired events: %v", *f3)
+	}
+	if s3.Now() == 5.5 {
+		t.Fatal("cancelled run advanced the clock to the target")
+	}
+}

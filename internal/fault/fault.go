@@ -420,6 +420,20 @@ func (in *Injector) MessageDelay() time.Duration {
 // task fails mid-run, and if so at which fraction of its duration.
 // The failure is realized by the platform as a DES event.
 func (in *Injector) HostFailure(site string, task, attempt int) (frac float64, fails bool) {
+	frac, fails = in.HostFailureDecision(site, task, attempt)
+	if fails {
+		in.NoteHostFailure(site, task, attempt, frac)
+	}
+	return frac, fails
+}
+
+// HostFailureDecision is the pure half of HostFailure: the same
+// deterministic verdict with no side effects (no schedule entry,
+// counters, or live events). Speculative executors — the Time Warp
+// wfsched model — query this on possibly-rolled-back paths and report
+// only committed failures via NoteHostFailure, so the fired-fault
+// schedule stays identical to a sequential run's.
+func (in *Injector) HostFailureDecision(site string, task, attempt int) (frac float64, fails bool) {
 	if in == nil || in.plan.HostFail <= 0 {
 		return 0, false
 	}
@@ -429,8 +443,17 @@ func (in *Injector) HostFailure(site string, task, attempt int) (frac float64, f
 	}
 	// Fail somewhere in the middle 80% of the attempt, deterministically.
 	frac = 0.1 + 0.8*in.u01(key+":frac")
-	in.note(in.cHostFail, fmt.Sprintf("hostfail site=%s task=%d attempt=%d frac=%.3f", site, task, attempt, frac))
 	return frac, true
+}
+
+// NoteHostFailure records a committed host failure decided earlier by
+// HostFailureDecision, producing the exact schedule entry HostFailure
+// would have written.
+func (in *Injector) NoteHostFailure(site string, task, attempt int, frac float64) {
+	if in == nil {
+		return
+	}
+	in.note(in.cHostFail, fmt.Sprintf("hostfail site=%s task=%d attempt=%d frac=%.3f", site, task, attempt, frac))
 }
 
 // RepairSec is the downtime of a failed host slot.

@@ -42,6 +42,7 @@ func TestValidateRejections(t *testing.T) {
 		{"wfsim pstate out of range", "wfsim", `{"pstate":99}`},
 		{"wfsim nodes out of range", "wfsim", `{"nodes":1000}`},
 		{"wfsim fraction out of range", "wfsim", `{"mode":"tab2","fractions":[1.5]}`},
+		{"wfsim negative desWorkers", "wfsim", `{"desWorkers":-1}`},
 		{"peachy unknown experiment", "peachy", `{"experiments":["E999"]}`},
 		{"peachy bad fault plan", "peachy", `{"faults":"zap"}`},
 	}
@@ -72,6 +73,9 @@ func TestManagerMatchesDirectRun(t *testing.T) {
 		spec("sandpile", `{"ranks":4,"size":64,"grains":20000}`),
 		spec("mapreduce", `{"docs":100}`),
 		spec("wfsim", `{"mode":"tab2","fractions":[0.5,1,1,1,1,1,1,1,1]}`),
+		// Same placement on the Time Warp kernel: the byte-identical
+		// guarantee extends through the job plane.
+		spec("wfsim", `{"mode":"tab2","fractions":[0.5,1,1,1,1,1,1,1,1],"desWorkers":4}`),
 	}
 
 	opts := append(Register(), job.WithExecutors(2))
@@ -133,6 +137,28 @@ func TestWfsimMatchesLibrary(t *testing.T) {
 	}
 	if out.MeetsBound == nil || *out.MeetsBound != (want.Makespan <= wfsched.Tab1BoundSec) {
 		t.Fatalf("meetsBound = %v", out.MeetsBound)
+	}
+}
+
+// TestWfsimTimeWarpOutputParity: a spec that differs only in
+// desWorkers produces byte-identical Result JSON — the kernel choice
+// is invisible on the wire.
+func TestWfsimTimeWarpOutputParity(t *testing.T) {
+	var w Wfsim
+	seq, err := w.Run(context.Background(),
+		spec("wfsim", `{"nodes":16,"pstate":4,"faults":"seed=7,hostfail=0.15,repair=4"}`),
+		obs.NewProgress(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := w.Run(context.Background(),
+		spec("wfsim", `{"nodes":16,"pstate":4,"faults":"seed=7,hostfail=0.15,repair=4","desWorkers":4}`),
+		obs.NewProgress(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seq.Output, tw.Output) {
+		t.Fatalf("Time Warp output differs from sequential:\n seq: %s\n  tw: %s", seq.Output, tw.Output)
 	}
 }
 

@@ -29,6 +29,11 @@ type WfsimParams struct {
 	AllCloud bool `json:"allCloud,omitempty"`
 	// Faults is a host-failure plan string (see internal/fault).
 	Faults string `json:"faults,omitempty"`
+	// DESWorkers selects the simulator's execution kernel: > 1 runs
+	// the optimistic Time Warp engine with that many workers, 0 or 1
+	// the sequential fast path. Outcomes are byte-identical either
+	// way, so this is purely a throughput knob.
+	DESWorkers *int `json:"desWorkers,omitempty"`
 }
 
 func (p *WfsimParams) withDefaults() {
@@ -101,7 +106,19 @@ func (r *Wfsim) decode(spec job.Spec) (WfsimParams, error) {
 			return p, job.Badf("%v", err)
 		}
 	}
+	if p.DESWorkers != nil && *p.DESWorkers < 0 {
+		return p, job.Badf("desWorkers must be >= 0")
+	}
 	return p, nil
+}
+
+// desWorkers returns the decoded worker count, 0 (sequential) when
+// the field was absent.
+func (p *WfsimParams) desWorkers() int {
+	if p.DESWorkers == nil {
+		return 0
+	}
+	return *p.DESWorkers
 }
 
 func (r *Wfsim) Validate(spec job.Spec) error {
@@ -124,7 +141,8 @@ func (r *Wfsim) Run(ctx context.Context, spec job.Spec, prog *obs.Progress) (job
 
 	if p.Mode == "tab1" {
 		base, ps := wfsched.Tab1Base()
-		base = base.With(wfsched.WithObs(env.Obs), wfsched.WithFaults(plan))
+		base = base.With(wfsched.WithObs(env.Obs), wfsched.WithFaults(plan),
+			wfsched.WithDESWorkers(p.desWorkers()))
 		cfg := wfsched.ClusterConfig{Nodes: *p.Nodes, PState: *p.PState}
 		o, err := wfsched.SimulateClusterContext(ctx, base, ps, cfg)
 		if err != nil {
@@ -137,7 +155,8 @@ func (r *Wfsim) Run(ctx context.Context, spec job.Spec, prog *obs.Progress) (job
 		return marshalOutput("wfsim", out)
 	}
 
-	sc := wfsched.Tab2Scenario().With(wfsched.WithObs(env.Obs), wfsched.WithFaults(plan))
+	sc := wfsched.Tab2Scenario().With(wfsched.WithObs(env.Obs), wfsched.WithFaults(plan),
+		wfsched.WithDESWorkers(p.desWorkers()))
 	switch p.Mode {
 	case "tab2":
 		place := wfsched.AllLocal

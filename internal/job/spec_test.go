@@ -115,6 +115,20 @@ func wireSpec() Spec {
 	}
 }
 
+// wireWfsimSpec pins the wfsim kind's parameter surface — including
+// the desWorkers kernel selector — the same way wireSpec pins the
+// envelope.
+func wireWfsimSpec() Spec {
+	return Spec{
+		APIVersion: APIVersion,
+		Kind:       "wfsim",
+		Name:       "placement",
+		Tenant:     "alice",
+		Params: json.RawMessage(
+			`{"mode":"tab2","fractions":[0.5,1],"faults":"seed=7,hostfail=0.1,repair=5","desWorkers":4}`),
+	}
+}
+
 func wireResult() Result {
 	return Result{
 		Kind:   "sandpile",
@@ -133,6 +147,7 @@ func TestWireSchemaGolden(t *testing.T) {
 		v      any
 	}{
 		{"spec.golden.json", wireSpec()},
+		{"spec_wfsim.golden.json", wireWfsimSpec()},
 		{"result.golden.json", wireResult()},
 	} {
 		t.Run(tc.golden, func(t *testing.T) {

@@ -1,6 +1,7 @@
 package wfsched
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/workflow"
@@ -41,6 +42,37 @@ func BenchmarkBossHeuristicFull(b *testing.B) {
 		if _, _, ok := BossHeuristic(base, ps, Tab1MaxNodes, Tab1BoundSec); !ok {
 			b.Fatal("infeasible")
 		}
+	}
+}
+
+// BenchmarkTimeWarpSweep runs the planet-scale datacenter scenario
+// (16 clusters, 16k tasks, cross-cluster layered DAG) across the DES
+// worker grid. workers=1 is the sequential kernel baseline; the
+// parallel entries measure Time Warp end-to-end — speculation,
+// snapshots, rollback, GVT. Speedup is what this machine's cores
+// allow: on a single-vCPU runner the parallel entries price the
+// optimism overhead instead.
+func BenchmarkTimeWarpSweep(b *testing.B) {
+	cfg := PlanetConfig{
+		Clusters: 16, Hosts: 32, Tasks: 1000,
+		Layers: 16, Degree: 2,
+		Latency: 0.05, Speed: 5, BusyW: 90,
+		Seed: 0xB0A7,
+		// Bound optimism to two credit latencies past GVT. Unthrottled
+		// speculation on an oversubscribed core cascades into rollback
+		// storms (100x); the window keeps mis-speculation proportional
+		// to the real lookahead of the topology.
+		Window: 0.1,
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			c := cfg
+			c.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				SimulatePlanet(c)
+			}
+		})
 	}
 }
 

@@ -92,3 +92,11 @@ func WithObs(sink obs.Sink) ScenarioOption {
 func WithFaults(plan *fault.Plan) ScenarioOption {
 	return func(sc *Scenario) { sc.Faults = plan }
 }
+
+// WithDESWorkers selects the DES execution mode: n > 1 runs the
+// simulation on the optimistic Time Warp kernel with n workers; 0 or
+// 1 keeps the sequential fast path. Outcomes are byte-identical
+// either way.
+func WithDESWorkers(n int) ScenarioOption {
+	return func(sc *Scenario) { sc.DESWorkers = n }
+}

@@ -1,0 +1,83 @@
+package wfsched
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// planetTestConfig is small enough to run the full worker sweep in
+// seconds but deep enough (10 layers, cross-cluster degree 3) to force
+// real speculation and rollback traffic.
+func planetTestConfig() PlanetConfig {
+	return PlanetConfig{
+		Clusters: 8, Hosts: 4, Tasks: 200,
+		Layers: 10, Degree: 3,
+		Latency: 0.02, Speed: 5, BusyW: 90,
+		Seed: 0xDA7ACE47E5,
+	}
+}
+
+// TestPlanetMatchesAcrossWorkers is the planet-scale half of the
+// cross-kernel oracle: the committed PlanetOutcome — including the
+// order-sensitive digest over every cluster's completion stream —
+// must be byte-identical at every worker count.
+func TestPlanetMatchesAcrossWorkers(t *testing.T) {
+	cfg := planetTestConfig()
+	want := SimulatePlanet(cfg)
+	if want.Tasks != int64(cfg.Clusters*cfg.Tasks) {
+		t.Fatalf("sequential run completed %d tasks, want %d", want.Tasks, cfg.Clusters*cfg.Tasks)
+	}
+	if want.Makespan <= 0 || want.EnergyJ <= 0 || want.Digest == 0 {
+		t.Fatalf("degenerate sequential outcome: %+v", want)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		c := cfg
+		c.Workers = workers
+		got := SimulatePlanet(c)
+		if got != want {
+			t.Errorf("workers=%d: planet outcome diverged\n got: %+v\nwant: %+v", workers, got, want)
+		}
+	}
+}
+
+// TestPlanetSeedsChangeOutcome guards the procedural generator: a
+// different seed must produce a different workload, or the oracle
+// above could pass vacuously on a constant.
+func TestPlanetSeedsChangeOutcome(t *testing.T) {
+	a, b := planetTestConfig(), planetTestConfig()
+	b.Seed++
+	if SimulatePlanet(a) == SimulatePlanet(b) {
+		t.Fatal("adjacent seeds produced identical outcomes")
+	}
+}
+
+// TestPlanetContextCancel checks a cancelled run surfaces the context
+// error instead of spinning through millions of events.
+func TestPlanetContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := planetTestConfig()
+	if _, err := SimulatePlanetContext(ctx, cfg); err == nil {
+		t.Fatal("cancelled sequential run returned nil error")
+	}
+	cfg.Workers = 4
+	if _, err := SimulatePlanetContext(ctx, cfg); err == nil {
+		t.Fatal("cancelled parallel run returned nil error")
+	}
+}
+
+// TestPlanetRollbackMetrics confirms the parallel run actually
+// exercises the optimistic machinery on this topology (committed
+// events and GVT advance; the run is not secretly sequential).
+func TestPlanetRollbackMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := planetTestConfig()
+	cfg.Workers = 4
+	cfg.Obs = obs.Sink{Metrics: reg}
+	SimulatePlanet(cfg)
+	if c := reg.Counter("des.committed").Value(); c == 0 {
+		t.Error("des.committed = 0; parallel kernel committed nothing")
+	}
+}

@@ -78,6 +78,15 @@ type Scenario struct {
 	// while the task retries under the plan's backoff policy. Wasted
 	// energy is reported separately in the Outcome. nil disables.
 	Faults *fault.Plan
+
+	// DESWorkers selects the DES execution mode: values > 1 run the
+	// simulation on the optimistic Time Warp kernel (des.Warp) with
+	// that many workers — outcomes stay byte-identical to the
+	// sequential kernel. 0 or 1 is the sequential fast path. The
+	// Placement must be a pure function of the task (every Placement
+	// in this package is) — Time Warp may evaluate it on speculative
+	// paths.
+	DESWorkers int
 }
 
 func (sc Scenario) withDefaults() Scenario {
@@ -188,6 +197,9 @@ func SimulateContext(ctx context.Context, sc Scenario, place Placement) (Outcome
 	}
 	if sc.LocalNodes <= 0 && sc.CloudVMs <= 0 {
 		panic("wfsched: no compute anywhere")
+	}
+	if sc.DESWorkers > 1 {
+		return simulateWarp(ctx, sc, place)
 	}
 
 	sim := &des.Simulation{}

@@ -1,0 +1,719 @@
+// warp.go is the Time Warp execution mode of the workflow simulator:
+// the same model Simulate runs on one goroutine, re-expressed as
+// three logical processes on des.Warp so one big simulation can use
+// every core. Scenario.DESWorkers > 1 selects it; the sequential
+// kernel stays the workers<=1 fast path.
+//
+// # LP partition
+//
+// One LP per simulated site plus one controller:
+//
+//	ctl   — the scheduler: DAG readiness, file presence, in-flight
+//	        transfer dedup, and the fluid link model (the link lives
+//	        inside ctl so flow arithmetic is single-owner).
+//	local — the cluster's slots, queue, energy meter, fault machinery.
+//	cloud — ditto for the VMs (only when the scenario has a cloud).
+//
+// Cross-LP edges are exactly the model's natural messages: ctl
+// submits a task to a site (zero-delay), a site reports a completion
+// back (zero-delay), and each site talks only to itself for compute
+// completions, kills, repairs, and retry backoffs.
+//
+// # Why outcomes are byte-identical to Simulate
+//
+// Every float accumulator has a single owner (a site owns its joules,
+// wasted energy, and downtime; ctl owns transferred bytes and the
+// flow remainders), so each accumulation sequence happens in its
+// owner's committed event order — ascending canonical key — which for
+// same-site same-time events equals the legacy kernel's (time, seq)
+// order. The Outcome is assembled after the run by the identical
+// arithmetic, in the identical order, Simulate uses. Host-failure
+// decisions use the injector's pure half (HostFailureDecision) during
+// speculation, and the fired-fault schedule is replayed from
+// committed state afterwards, so fault.Schedule() is byte-identical
+// too.
+package wfsched
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/carbon"
+	"repro/internal/ckpt"
+	"repro/internal/des"
+	"repro/internal/fault"
+	"repro/internal/workflow"
+)
+
+// Message kinds of the wfsched Time Warp protocol.
+const (
+	kReady    = iota // ctl: a root task becomes ready (seed)
+	kFinished        // ctl: site reports task A finished
+	kJoin            // ctl: transfer of file A to site B joins the link
+	kWake            // ctl: link wake for settle epoch A
+	kSubmit          // site: ctl submits task A
+	kDone            // site: compute of task A completes
+	kKill            // site: host failure kills task A (ord B, attempt C) at frac F
+	kRepair          // site: a failed slot comes back
+	kRetry           // site: task A (ord B, attempt C) re-enters the queue
+)
+
+// twFlow mirrors platform.Link's flow: one in-flight file transfer.
+type twFlow struct {
+	key                 int32 // fileIdx*2 + destination site
+	original, remaining float64
+}
+
+// ctlState is the controller LP's rollback-able state.
+type ctlState struct {
+	pending  []int32 // per task: unfinished parent count
+	missing  []int32 // per task: inputs still staging
+	finished []byte  // per task: 1 once its kFinished is processed
+	done     int32
+	lastDone float64
+
+	present  [2][]byte         // [site][fileIdx]: 1 if staged there
+	inflight map[int32][]int32 // fileIdx*2+site -> tasks awaiting it
+
+	// The fluid link (platform.Link's model, single-owner here).
+	flows     []twFlow
+	lastTouch float64
+	wakeEpoch int32
+
+	bytes     float64
+	transfers int32
+}
+
+func (s *ctlState) Clone() des.State {
+	// Snapshot via the ckpt codec: encode to the same byte layout a
+	// durable checkpoint would use, decode into a fresh state. Keeps
+	// Clone honest (no shared mutable memory survives a round-trip).
+	var e ckpt.Enc
+	s.encode(&e)
+	c := &ctlState{}
+	d := ckpt.NewDec(e.Bytes())
+	c.decode(d)
+	if d.Err() != nil {
+		panic("wfsched: ctl snapshot codec mismatch")
+	}
+	return c
+}
+
+func (s *ctlState) encode(e *ckpt.Enc) {
+	e.I32s(s.pending)
+	e.I32s(s.missing)
+	e.Str(string(s.finished))
+	e.I64(int64(s.done))
+	e.F64(s.lastDone)
+	e.Str(string(s.present[0]))
+	e.Str(string(s.present[1]))
+	keys := make([]int32, 0, len(s.inflight))
+	for k := range s.inflight {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	e.U32(uint32(len(keys)))
+	for _, k := range keys {
+		e.U32(uint32(k))
+		e.I32s(s.inflight[k])
+	}
+	e.U32(uint32(len(s.flows)))
+	for _, f := range s.flows {
+		e.U32(uint32(f.key))
+		e.F64(f.original)
+		e.F64(f.remaining)
+	}
+	e.F64(s.lastTouch)
+	e.U32(uint32(s.wakeEpoch))
+	e.F64(s.bytes)
+	e.I64(int64(s.transfers))
+}
+
+func (s *ctlState) decode(d *ckpt.Dec) {
+	s.pending = d.I32s()
+	s.missing = d.I32s()
+	s.finished = []byte(d.Str())
+	s.done = int32(d.I64())
+	s.lastDone = d.F64()
+	s.present[0] = []byte(d.Str())
+	s.present[1] = []byte(d.Str())
+	n := int(d.U32())
+	s.inflight = make(map[int32][]int32, n)
+	for i := 0; i < n; i++ {
+		k := int32(d.U32())
+		s.inflight[k] = d.I32s()
+	}
+	s.flows = make([]twFlow, d.U32())
+	for i := range s.flows {
+		s.flows[i] = twFlow{key: int32(d.U32()), original: d.F64(), remaining: d.F64()}
+	}
+	s.lastTouch = d.F64()
+	s.wakeEpoch = int32(d.U32())
+	s.bytes = d.F64()
+	s.transfers = int32(d.I64())
+}
+
+// twQueued mirrors platform.Site's queuedTask.
+type twQueued struct {
+	task, ord, attempt int32
+}
+
+// twDown is one slot-repair window.
+type twDown struct {
+	start, dur float64
+}
+
+// twKill records a committed host failure for post-run note replay.
+type twKill struct {
+	ord, attempt int32
+	frac         float64
+}
+
+// siteState is a site LP's rollback-able state — platform.Site's
+// mutable half. Slot identity is dropped (free slots are a count):
+// it only ever keyed trace lanes, never outcomes.
+type siteState struct {
+	freeSlots int32
+	queue     []twQueued
+	nextOrd   int32
+	retries   int32
+	tasksRun  int32
+	wastedJ   float64
+	meterJ    float64 // joules, accumulated in legacy add order
+	downtime  []twDown
+
+	// Post-run reporting, accumulated speculatively and committed
+	// with the state: fired-fault notes and an attempts-exhausted
+	// task (legacy panics inline; Time Warp panics after the run).
+	kills            []twKill
+	retryNotes       []twQueued
+	exhausted        bool
+	exhaustedOrd     int32
+	exhaustedAttempt int32
+}
+
+func (s *siteState) Clone() des.State {
+	var e ckpt.Enc
+	s.encode(&e)
+	c := &siteState{}
+	d := ckpt.NewDec(e.Bytes())
+	c.decode(d)
+	if d.Err() != nil {
+		panic("wfsched: site snapshot codec mismatch")
+	}
+	return c
+}
+
+func (s *siteState) encode(e *ckpt.Enc) {
+	e.I64(int64(s.freeSlots))
+	e.I64(int64(s.nextOrd))
+	e.I64(int64(s.retries))
+	e.I64(int64(s.tasksRun))
+	e.F64(s.wastedJ)
+	e.F64(s.meterJ)
+	e.U32(uint32(len(s.queue)))
+	for _, q := range s.queue {
+		e.U32(uint32(q.task))
+		e.U32(uint32(q.ord))
+		e.U32(uint32(q.attempt))
+	}
+	e.U32(uint32(len(s.downtime)))
+	for _, dn := range s.downtime {
+		e.F64(dn.start)
+		e.F64(dn.dur)
+	}
+	e.U32(uint32(len(s.kills)))
+	for _, k := range s.kills {
+		e.U32(uint32(k.ord))
+		e.U32(uint32(k.attempt))
+		e.F64(k.frac)
+	}
+	e.U32(uint32(len(s.retryNotes)))
+	for _, q := range s.retryNotes {
+		e.U32(uint32(q.task))
+		e.U32(uint32(q.ord))
+		e.U32(uint32(q.attempt))
+	}
+	flag := uint8(0)
+	if s.exhausted {
+		flag = 1
+	}
+	e.U8(flag)
+	e.U32(uint32(s.exhaustedOrd))
+	e.U32(uint32(s.exhaustedAttempt))
+}
+
+func (s *siteState) decode(d *ckpt.Dec) {
+	s.freeSlots = int32(d.I64())
+	s.nextOrd = int32(d.I64())
+	s.retries = int32(d.I64())
+	s.tasksRun = int32(d.I64())
+	s.wastedJ = d.F64()
+	s.meterJ = d.F64()
+	s.queue = make([]twQueued, d.U32())
+	for i := range s.queue {
+		s.queue[i] = twQueued{task: int32(d.U32()), ord: int32(d.U32()), attempt: int32(d.U32())}
+	}
+	s.downtime = make([]twDown, d.U32())
+	for i := range s.downtime {
+		s.downtime[i] = twDown{start: d.F64(), dur: d.F64()}
+	}
+	s.kills = make([]twKill, d.U32())
+	for i := range s.kills {
+		s.kills[i] = twKill{ord: int32(d.U32()), attempt: int32(d.U32()), frac: d.F64()}
+	}
+	s.retryNotes = make([]twQueued, d.U32())
+	for i := range s.retryNotes {
+		s.retryNotes[i] = twQueued{task: int32(d.U32()), ord: int32(d.U32()), attempt: int32(d.U32())}
+	}
+	s.exhausted = d.U8() != 0
+	s.exhaustedOrd = int32(d.U32())
+	s.exhaustedAttempt = int32(d.U32())
+}
+
+// warpModel is the immutable context every handler closes over:
+// static DAG/platform tables plus the injector (queried only through
+// its pure methods during the run).
+type warpModel struct {
+	sc    Scenario
+	tasks []*workflow.Task
+	files []*workflow.File
+
+	gflop     []float64 // per task
+	inputs    [][]int32 // per task: file indices
+	outputs   [][]int32
+	children  [][]int32
+	placement []SiteID
+	fileBytes []float64
+
+	siteLP [2]des.LPID // des LP id per SiteID (cloud unset if absent)
+	ctl    des.LPID
+
+	inj *fault.Injector
+}
+
+type siteParams struct {
+	name       string
+	slots      int
+	speed      float64
+	busy, idle float64
+}
+
+func (m *warpModel) params(s SiteID) siteParams {
+	if s == Local {
+		return siteParams{"local", m.sc.LocalNodes, m.sc.PState.Speed, m.sc.PState.BusyPower, m.sc.PState.IdlePower}
+	}
+	return siteParams{"cloud", m.sc.CloudVMs, m.sc.VMSpeed, m.sc.VMBusyPower, m.sc.VMIdlePower}
+}
+
+// simulateWarp runs the scenario on the Time Warp kernel. Reached
+// from SimulateContext when sc.DESWorkers > 1.
+func simulateWarp(ctx context.Context, sc Scenario, place Placement) (Outcome, error) {
+	w := sc.Workflow
+	m := &warpModel{sc: sc, tasks: w.Tasks, files: w.Files}
+	m.inj = fault.NewInjector(sc.Faults, sc.Obs)
+
+	// Index the DAG into flat tables the handlers can share.
+	taskIdx := make(map[*workflow.Task]int32, len(w.Tasks))
+	for i, t := range w.Tasks {
+		taskIdx[t] = int32(i)
+	}
+	fileIdx := make(map[*workflow.File]int32, len(w.Files))
+	for i, f := range w.Files {
+		fileIdx[f] = int32(i)
+	}
+	m.gflop = make([]float64, len(w.Tasks))
+	m.inputs = make([][]int32, len(w.Tasks))
+	m.outputs = make([][]int32, len(w.Tasks))
+	m.children = make([][]int32, len(w.Tasks))
+	m.placement = make([]SiteID, len(w.Tasks))
+	var out Outcome
+	for i, t := range w.Tasks {
+		m.gflop[i] = t.Gflop
+		for _, f := range t.Inputs {
+			m.inputs[i] = append(m.inputs[i], fileIdx[f])
+		}
+		for _, f := range t.Outputs {
+			m.outputs[i] = append(m.outputs[i], fileIdx[f])
+		}
+		for _, c := range t.Children {
+			m.children[i] = append(m.children[i], taskIdx[c])
+		}
+		m.placement[i] = place(t)
+		if m.placement[i] == Cloud {
+			out.TasksCloud++
+		} else {
+			out.TasksLocal++
+		}
+	}
+	m.fileBytes = make([]float64, len(w.Files))
+	for i, f := range w.Files {
+		m.fileBytes[i] = f.Bytes
+	}
+
+	// Build the LPs.
+	eng := des.NewWarp(des.WarpConfig{Workers: sc.DESWorkers, Obs: sc.Obs})
+	cst := &ctlState{
+		pending:  make([]int32, len(w.Tasks)),
+		missing:  make([]int32, len(w.Tasks)),
+		finished: make([]byte, len(w.Tasks)),
+		inflight: map[int32][]int32{},
+	}
+	cst.present[Local] = make([]byte, len(w.Files))
+	cst.present[Cloud] = make([]byte, len(w.Files))
+	for i, f := range w.Files {
+		if f.Producer == nil {
+			cst.present[Local][i] = 1 // inputs staged on local storage
+		}
+	}
+	for i, t := range w.Tasks {
+		cst.pending[i] = int32(len(t.Parents))
+	}
+	m.ctl = eng.AddLP("ctl", cst, m.ctlHandler)
+	m.siteLP[Local] = eng.AddLP("local", &siteState{freeSlots: int32(sc.LocalNodes)},
+		m.siteHandler(Local))
+	if sc.CloudVMs > 0 {
+		m.siteLP[Cloud] = eng.AddLP("cloud", &siteState{freeSlots: int32(sc.CloudVMs)},
+			m.siteHandler(Cloud))
+	}
+
+	// Seed the roots in task order, as Simulate schedules them.
+	for i := range w.Tasks {
+		if cst.pending[i] == 0 {
+			eng.SeedAt(m.ctl, 0, des.Payload{Kind: kReady, A: int32(i)})
+		}
+	}
+
+	if err := eng.Run(ctx); err != nil {
+		return out, err
+	}
+
+	// Commit: read the final LP states and assemble the Outcome with
+	// Simulate's exact arithmetic, in Simulate's exact order.
+	ctl := eng.LPState(m.ctl).(*ctlState)
+	local := eng.LPState(m.siteLP[Local]).(*siteState)
+	var cloud *siteState
+	if sc.CloudVMs > 0 {
+		cloud = eng.LPState(m.siteLP[Cloud]).(*siteState)
+	}
+	for _, st := range []*siteState{local, cloud} {
+		if st != nil && st.exhausted {
+			name := "local"
+			if st == cloud {
+				name = "cloud"
+			}
+			panic(fmt.Sprintf("platform: task %d on %q exhausted %d attempts",
+				st.exhaustedOrd, name, st.exhaustedAttempt))
+		}
+	}
+	if int(ctl.done) != len(w.Tasks) {
+		panic(fmt.Sprintf("wfsched: deadlock: %d of %d tasks completed", ctl.done, len(w.Tasks)))
+	}
+	out.Makespan = ctl.lastDone
+	out.BytesTransferred = ctl.bytes
+	out.Transfers = int(ctl.transfers)
+
+	// Replay committed fault notes so Schedule(), counters, and the
+	// live event stream match a sequential run's (Schedule sorts, so
+	// replay order is immaterial).
+	for _, st := range []*siteState{local, cloud} {
+		if st == nil {
+			continue
+		}
+		name := "local"
+		if st == cloud {
+			name = "cloud"
+		}
+		for _, k := range st.kills {
+			m.inj.NoteHostFailure(name, int(k.ord), int(k.attempt), k.frac)
+		}
+		for _, r := range st.retryNotes {
+			m.inj.NoteTaskRetry(name, int(r.ord), int(r.attempt))
+		}
+	}
+
+	// FinalizeIdle, re-expressed on the committed joules.
+	finalize := func(st *siteState, p siteParams) {
+		idleSec := float64(p.slots) * out.Makespan
+		for _, d := range st.downtime {
+			end := d.start + d.dur
+			if end > out.Makespan {
+				end = out.Makespan
+			}
+			if end > d.start {
+				idleSec -= end - d.start
+			}
+		}
+		if idleSec < 0 {
+			idleSec = 0
+		}
+		st.meterJ += p.idle * idleSec
+	}
+	wastedJ := 0.0
+	finalize(local, m.params(Local))
+	out.EnergyLocalKWh = carbon.JoulesToKWh(local.meterJ)
+	out.CO2Local = carbon.Emissions(local.meterJ, sc.LocalIntensity)
+	out.Retries = int(local.retries)
+	wastedJ = local.wastedJ
+	if cloud != nil {
+		finalize(cloud, m.params(Cloud))
+		out.EnergyCloudKWh = carbon.JoulesToKWh(cloud.meterJ)
+		out.CO2Cloud = carbon.Emissions(cloud.meterJ, sc.CloudIntensity)
+		out.Retries += int(cloud.retries)
+		wastedJ += cloud.wastedJ
+	}
+	out.EnergyWastedKWh = wastedJ / 3.6e6
+	out.CO2 = out.CO2Local + out.CO2Cloud
+	if reg := sc.Obs.Metrics; reg != nil {
+		reg.Gauge("wfsched.makespan_s").Set(out.Makespan)
+		reg.Gauge("wfsched.energy.local_kwh").Set(out.EnergyLocalKWh)
+		reg.Gauge("wfsched.energy.cloud_kwh").Set(out.EnergyCloudKWh)
+		reg.Gauge("wfsched.co2.total_g").Set(out.CO2)
+		reg.Counter("wfsched.tasks.local").Add(int64(out.TasksLocal))
+		reg.Counter("wfsched.tasks.cloud").Add(int64(out.TasksCloud))
+		reg.Counter("wfsched.transfers").Add(int64(out.Transfers))
+		reg.Counter("wfsched.retries").Add(int64(out.Retries))
+		reg.Gauge("fault.energy.wasted_kwh").Set(out.EnergyWastedKWh)
+	}
+	return out, nil
+}
+
+// ctlHandler is the controller LP: DAG readiness, staging, and the
+// fluid link.
+func (m *warpModel) ctlHandler(p *des.Proc, at float64, pl des.Payload) {
+	st := p.State().(*ctlState)
+	switch pl.Kind {
+	case kReady:
+		m.runTask(p, st, pl.A)
+	case kFinished:
+		// Idempotence guard: under speculation a site can report one
+		// task finished twice with *different* keys (a false early
+		// finish plus its re-execution, before the anti-message
+		// lands). Never in a committed history — but until the repair
+		// rollback arrives a duplicate must not double-count, or a
+		// child readies while a real parent is still unfinished.
+		if st.finished[pl.A] != 0 {
+			return
+		}
+		st.finished[pl.A] = 1
+		site := SiteID(pl.B)
+		for _, f := range m.outputs[pl.A] {
+			st.present[site][f] = 1
+		}
+		st.done++
+		if at > st.lastDone {
+			st.lastDone = at
+		}
+		for _, c := range m.children[pl.A] {
+			st.pending[c]--
+			if st.pending[c] == 0 {
+				m.runTask(p, st, c)
+			}
+		}
+	case kJoin:
+		key := pl.A*2 + pl.B
+		m.advance(p, st)
+		st.flows = append(st.flows, twFlow{key: key, original: m.fileBytes[pl.A], remaining: m.fileBytes[pl.A]})
+		m.settle(p, st)
+	case kWake:
+		if pl.A != st.wakeEpoch {
+			return // superseded wake (platform.Link cancels; we epoch)
+		}
+		m.advance(p, st)
+		m.settle(p, st)
+	default:
+		panic(fmt.Sprintf("wfsched: ctl got unknown message kind %d", pl.Kind))
+	}
+}
+
+// runTask mirrors Simulate's runTask closure: stage missing inputs,
+// then submit to the placed site.
+func (m *warpModel) runTask(p *des.Proc, st *ctlState, task int32) {
+	site := m.placement[task]
+	if site == Cloud && m.sc.CloudVMs == 0 {
+		panic(fmt.Sprintf("wfsched: task %s placed on absent cloud", m.tasks[task].ID))
+	}
+	if site == Local && m.sc.LocalNodes == 0 {
+		panic(fmt.Sprintf("wfsched: task %s placed on powered-off cluster", m.tasks[task].ID))
+	}
+	missing := int32(0)
+	for _, f := range m.inputs[task] {
+		if st.present[site][f] != 0 {
+			continue
+		}
+		missing++
+		key := f*2 + int32(site)
+		if waiters, ok := st.inflight[key]; ok {
+			st.inflight[key] = append(waiters, task)
+			continue
+		}
+		st.inflight[key] = []int32{task}
+		// platform.Link.Transfer: the flow joins after the latency.
+		p.Send(m.ctl, m.sc.LinkLatency, des.Payload{Kind: kJoin, A: f, B: int32(site)})
+	}
+	st.missing[task] = missing
+	if missing == 0 {
+		m.submit(p, st, task)
+	}
+}
+
+func (m *warpModel) submit(p *des.Proc, st *ctlState, task int32) {
+	p.Send(m.siteLP[m.placement[task]], 0, des.Payload{Kind: kSubmit, A: task})
+}
+
+// advance and settle are platform.Link's fluid model verbatim, over
+// ctl-owned state.
+func (m *warpModel) advance(p *des.Proc, st *ctlState) {
+	now := p.Now()
+	if n := len(st.flows); n > 0 {
+		rate := m.sc.LinkBandwidth / float64(n)
+		dt := now - st.lastTouch
+		for i := range st.flows {
+			st.flows[i].remaining -= rate * dt
+		}
+	}
+	st.lastTouch = now
+}
+
+const twFinishEps = 1e-6 // platform.Link's finishEps
+
+func (m *warpModel) settle(p *des.Proc, st *ctlState) {
+	st.wakeEpoch++ // supersede any outstanding wake (Link cancels it)
+	var finished []twFlow
+	for {
+		n := len(st.flows)
+		if n == 0 {
+			break
+		}
+		rate := m.sc.LinkBandwidth / float64(n)
+		thresh := math.Max(twFinishEps, rate*1e-6)
+		kept := st.flows[:0]
+		removed := false
+		for _, f := range st.flows {
+			if f.remaining <= thresh {
+				finished = append(finished, f)
+				removed = true
+			} else {
+				kept = append(kept, f)
+			}
+		}
+		st.flows = kept
+		if removed {
+			continue // survivors' rate rose; re-evaluate thresholds
+		}
+		minRemaining := math.Inf(1)
+		for _, f := range st.flows {
+			if f.remaining < minRemaining {
+				minRemaining = f.remaining
+			}
+		}
+		p.Send(m.ctl, minRemaining/rate, des.Payload{Kind: kWake, A: st.wakeEpoch})
+		break
+	}
+	for _, f := range finished {
+		st.bytes += f.original
+		st.transfers++
+		// The transfer's done callback: the file is now present; wake
+		// the tasks that were waiting on it.
+		file, site := f.key/2, SiteID(f.key%2)
+		st.present[site][file] = 1
+		waiters := st.inflight[f.key]
+		delete(st.inflight, f.key)
+		for _, t := range waiters {
+			if st.missing[t] == 0 {
+				continue // false duplicate finish (see kFinished guard)
+			}
+			st.missing[t]--
+			if st.missing[t] == 0 {
+				m.submit(p, st, t)
+			}
+		}
+	}
+}
+
+// siteHandler builds the handler for one site LP — platform.Site's
+// submit/start/kill/repair/retry machinery over siteState.
+func (m *warpModel) siteHandler(site SiteID) des.Handler {
+	sp := m.params(site)
+	return func(p *des.Proc, at float64, pl des.Payload) {
+		st := p.State().(*siteState)
+		switch pl.Kind {
+		case kSubmit:
+			if sp.slots == 0 {
+				panic(fmt.Sprintf("platform: submit to powered-off site %q", sp.name))
+			}
+			q := twQueued{task: pl.A, ord: st.nextOrd}
+			st.nextOrd++
+			m.enqueue(p, st, sp, q)
+		case kDone:
+			duration := m.gflop[pl.A] / sp.speed
+			st.meterJ += (sp.busy - sp.idle) * duration
+			st.tasksRun++
+			m.release(p, st, sp)
+			p.Send(m.ctl, 0, des.Payload{Kind: kFinished, A: pl.A, B: int32(site)})
+		case kKill:
+			duration := m.gflop[pl.A] / sp.speed
+			partial := pl.F * duration
+			st.meterJ += (sp.busy - sp.idle) * partial
+			st.wastedJ += sp.busy * partial
+			repair := m.inj.RepairSec()
+			st.downtime = append(st.downtime, twDown{start: at, dur: repair})
+			p.Send(p.ID(), repair, des.Payload{Kind: kRepair})
+
+			retry := m.inj.Retry()
+			if retry.MaxAttempts > 0 && int(pl.C) >= retry.MaxAttempts {
+				// Simulate panics here; under speculation the verdict
+				// only stands if this event commits, so record it and
+				// let simulateWarp panic after the run.
+				if !st.exhausted {
+					st.exhausted = true
+					st.exhaustedOrd = pl.B
+					st.exhaustedAttempt = pl.C
+				}
+				return
+			}
+			st.retries++
+			st.retryNotes = append(st.retryNotes, twQueued{task: pl.A, ord: pl.B, attempt: pl.C})
+			p.Send(p.ID(), retry.Backoff(int(pl.C)),
+				des.Payload{Kind: kRetry, A: pl.A, B: pl.B, C: pl.C})
+		case kRepair:
+			m.release(p, st, sp)
+		case kRetry:
+			m.enqueue(p, st, sp, twQueued{task: pl.A, ord: pl.B, attempt: pl.C})
+		default:
+			panic(fmt.Sprintf("wfsched: site %q got unknown message kind %d", sp.name, pl.Kind))
+		}
+	}
+}
+
+func (m *warpModel) enqueue(p *des.Proc, st *siteState, sp siteParams, q twQueued) {
+	if st.freeSlots > 0 {
+		m.start(p, st, sp, q)
+		return
+	}
+	st.queue = append(st.queue, q)
+}
+
+func (m *warpModel) release(p *des.Proc, st *siteState, sp siteParams) {
+	st.freeSlots++
+	if len(st.queue) > 0 {
+		next := st.queue[0]
+		st.queue = st.queue[1:]
+		m.start(p, st, sp, next)
+	}
+}
+
+func (m *warpModel) start(p *des.Proc, st *siteState, sp siteParams, q twQueued) {
+	st.freeSlots--
+	duration := m.gflop[q.task] / sp.speed
+	attempt := q.attempt + 1
+	if frac, fails := m.inj.HostFailureDecision(sp.name, int(q.ord), int(attempt)); fails {
+		partial := frac * duration
+		st.kills = append(st.kills, twKill{ord: q.ord, attempt: attempt, frac: frac})
+		p.Send(p.ID(), partial, des.Payload{Kind: kKill, A: q.task, B: q.ord, C: attempt, F: frac})
+		return
+	}
+	p.Send(p.ID(), duration, des.Payload{Kind: kDone, A: q.task})
+}
