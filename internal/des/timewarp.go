@@ -145,8 +145,6 @@ type Proc struct {
 	inQueue   bool
 	queuedKey Key
 
-	curAt atomic.Uint64 // float bits of the executing event's time; +Inf when idle
-
 	// per-event scratch, owned by the executing worker:
 	outbox    []message
 	replaying bool
@@ -252,9 +250,9 @@ type Warp struct {
 	runErr  error
 	panicV  any
 
-	gvtMu sync.Mutex
-
-	workers []*warpWorker
+	gvtMu   sync.Mutex // serializes GVT passes
+	gvtWant bool       // guarded by qmu: a pass is waiting for quiescence
+	gvtSafe int        // guarded by qmu: workers parked at the safe point
 
 	cCommitted, cRollbacks, cRolled, cAntis *obs.Counter
 	gGVT                                    *obs.Gauge
@@ -265,8 +263,7 @@ type Warp struct {
 }
 
 type warpWorker struct {
-	inflight atomic.Uint64 // float bits: min timestamp of undelivered sends
-	queue    []message
+	queue []message // undelivered sends + cascading anti-messages
 }
 
 // NewWarp creates an empty Time Warp simulation.
@@ -306,16 +303,17 @@ func (w *Warp) AddLP(name string, st State, h Handler) LPID {
 		id: id, name: name, w: w, h: h, state: st,
 		pendKeys: map[Key]uint64{}, dead: map[uint64]struct{}{},
 	}
-	p.curAt.Store(math.Float64bits(math.Inf(1)))
 	w.lps = append(w.lps, p)
 	return id
 }
 
 // SeedAt schedules an initial event at absolute time t (>= 0) on lp.
 // Seeds fire before any same-time model sends (depth 0, source -1) in
-// seeding order.
+// seeding order. +Inf is rejected for the same reason Send rejects an
+// +Inf delay: an event at infinity can never commit, and handlers it
+// triggers would cascade further Inf-time sends past Send's checks.
 func (w *Warp) SeedAt(lp LPID, t float64, pl Payload) {
-	if t < 0 || math.IsNaN(t) {
+	if t < 0 || math.IsNaN(t) || math.IsInf(t, 1) {
 		panic(fmt.Sprintf("des: invalid seed time %v", t))
 	}
 	if lp < 0 || int(lp) >= len(w.lps) {
@@ -411,18 +409,16 @@ func (w *Warp) commitSeqCount(steps int64) {
 
 // batchSize bounds how many events a worker processes per LP
 // acquisition; small enough to keep cross-LP messages flowing,
-// large enough to amortize queue locking.
-const batchSize = 32
-
-// gvtEvery triggers a GVT/fossil pass every this many batches.
-const gvtEvery = 64
+// large enough to amortize queue locking. gvtEvery triggers a
+// GVT/fossil pass every this many batches (counted across all
+// workers). Variables rather than constants so stress tests can
+// shrink them to interleave GVT passes with nearly every event.
+var (
+	batchSize = 32
+	gvtEvery  = int64(64)
+)
 
 func (w *Warp) runParallel(ctx context.Context) error {
-	w.workers = make([]*warpWorker, w.cfg.Workers)
-	for i := range w.workers {
-		w.workers[i] = &warpWorker{}
-		w.workers[i].inflight.Store(math.Float64bits(math.Inf(1)))
-	}
 	// Deliver seeds directly: nothing is running yet.
 	for _, m := range w.seed {
 		w.lps[m.dst].pushPending(m)
@@ -438,20 +434,19 @@ func (w *Warp) runParallel(ctx context.Context) error {
 	var wg sync.WaitGroup
 	for i := 0; i < w.cfg.Workers; i++ {
 		wg.Add(1)
-		go func(ww *warpWorker) {
+		go func() {
 			defer wg.Done()
-			w.workerLoop(ctx, ww)
-		}(w.workers[i])
+			w.workerLoop(ctx, &warpWorker{})
+		}()
 	}
 	wg.Wait()
 	if w.panicV != nil {
 		panic(w.panicV)
 	}
-	if w.runErr != nil {
-		return w.runErr
-	}
+	// Record committed work even on a cancelled/failed run, mirroring
+	// the sequential path's partial count.
 	w.cCommitted.Add(w.Stats().Committed)
-	return nil
+	return w.runErr
 }
 
 // abort stops every worker, recording why.
@@ -483,7 +478,7 @@ func (w *Warp) workerLoop(ctx context.Context, ww *warpWorker) {
 		}
 		w.runBatch(p, ww)
 		if n := w.batches.Add(1); n%gvtEvery == 0 {
-			w.gvtPass(false)
+			w.gvtPass()
 		}
 	}
 }
@@ -497,7 +492,24 @@ func (w *Warp) workerLoop(ctx context.Context, ww *warpWorker) {
 func (w *Warp) acquire() *Proc {
 	for {
 		w.qmu.Lock()
-		for w.runq.Len() == 0 && !w.stopped {
+		for !w.stopped {
+			if w.gvtWant {
+				// A GVT pass is quiescing the pool. This worker
+				// holds no LP and has delivered every send it
+				// produced, so it is exactly the consistent-cut
+				// participant the pass needs: park here until the
+				// pass completes.
+				w.gvtSafe++
+				w.qcond.Broadcast() // the pass waits on gvtSafe
+				for w.gvtWant && !w.stopped {
+					w.qcond.Wait()
+				}
+				w.gvtSafe--
+				continue
+			}
+			if w.runq.Len() > 0 {
+				break
+			}
 			// Queue empty: if every other worker is also waiting,
 			// the simulation has drained (any LP with live pending
 			// events is either queued or running, and a running
@@ -524,8 +536,10 @@ func (w *Warp) acquire() *Proc {
 			continue
 		}
 		// Window throttle: defer LPs too far past GVT. The minimum
-		// LP is always within the window (GVT never trails it), so
-		// forcing a GVT pass here makes progress, never livelock.
+		// LP is always within the window (GVT never trails it), so a
+		// GVT pass here makes progress, never livelock: either this
+		// call runs one, or the concurrent pass it yields to
+		// publishes a fresh GVT before this worker's next attempt.
 		if w.cfg.Window > 0 {
 			gvt := math.Float64frombits(w.gvtBits.Load())
 			if !math.IsInf(gvt, -1) && e.key.At > gvt+w.cfg.Window {
@@ -533,7 +547,7 @@ func (w *Warp) acquire() *Proc {
 				w.qmu.Lock()
 				heap.Push(&w.runq, e)
 				w.qmu.Unlock()
-				w.gvtPass(true)
+				w.gvtPass()
 				runtime.Gosched()
 				continue
 			}
@@ -565,7 +579,7 @@ func (w *Warp) enqueueLocked(p *Proc) {
 // runBatch processes up to batchSize events on p, then delivers the
 // sends they produced.
 func (w *Warp) runBatch(p *Proc, ww *warpWorker) {
-	sends := w.runBatchLocked(p, ww)
+	sends := w.runBatchLocked(p)
 	w.deliverAll(ww, sends)
 }
 
@@ -573,7 +587,7 @@ func (w *Warp) runBatch(p *Proc, ww *warpWorker) {
 // deferred (not inline) so that a panicking model handler releases
 // p.mu on the way out — sibling workers then observe the abort
 // instead of deadlocking on the LP.
-func (w *Warp) runBatchLocked(p *Proc, ww *warpWorker) []message {
+func (w *Warp) runBatchLocked(p *Proc) []message {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	var horizon float64
@@ -596,20 +610,19 @@ func (w *Warp) runBatchLocked(p *Proc, ww *warpWorker) []message {
 			p.pushPending(m) // beyond the optimism window
 			break
 		}
-		w.execLocked(p, ww, m)
+		w.execLocked(p, m)
 	}
 	sends := p.outbox
 	p.outbox = nil
 	p.running = false
-	p.curAt.Store(math.Float64bits(math.Inf(1)))
 	w.enqueueLocked(p)
 	return sends
 }
 
 // execLocked runs one event on p (p.mu held), recording it for
-// rollback. Sends accumulate in p.outbox with per-send inflight
-// publication.
-func (w *Warp) execLocked(p *Proc, ww *warpWorker, m message) {
+// rollback. Cross-LP sends accumulate in p.outbox for delivery after
+// the batch releases p.
+func (w *Warp) execLocked(p *Proc, m message) {
 	// Snapshot before the event when the cadence says so (and always
 	// before the very first).
 	pos := p.base + int64(len(p.processed))
@@ -624,7 +637,6 @@ func (w *Warp) execLocked(p *Proc, ww *warpWorker, m message) {
 		p.sinceSnap = 0
 	}
 	p.sinceSnap++
-	p.curAt.Store(math.Float64bits(m.key.At))
 	p.curTime = m.key.At
 	p.curDepth = m.key.Depth
 	mark := len(p.outbox)
@@ -633,15 +645,6 @@ func (w *Warp) execLocked(p *Proc, ww *warpWorker, m message) {
 	rec := procRec{m: m}
 	if len(sends) > 0 {
 		rec.sends = append([]message(nil), sends...)
-		// Publish the in-flight minimum before anything else can see
-		// the procRec, so GVT never overtakes undelivered messages.
-		min := math.Float64frombits(ww.inflight.Load())
-		for _, s := range sends {
-			if s.key.At < min {
-				min = s.key.At
-			}
-		}
-		ww.inflight.Store(math.Float64bits(min))
 		// Self-sends go straight into this LP's pending queue: their
 		// keys are strictly after the current event's, so they can
 		// never be stragglers, and skipping the delivery round-trip
@@ -670,7 +673,6 @@ func (w *Warp) deliverAll(ww *warpWorker, msgs []message) {
 		ww.queue = ww.queue[:len(ww.queue)-1]
 		w.deliver(ww, m)
 	}
-	ww.inflight.Store(math.Float64bits(math.Inf(1)))
 }
 
 // deliver hands one message to its destination, rolling the
@@ -885,10 +887,6 @@ func (w *Warp) rollbackLocked(p *Proc, ww *warpWorker, pos int64) {
 		for _, sm := range undone[j].sends {
 			anti := sm
 			anti.neg = true
-			min := math.Float64frombits(ww.inflight.Load())
-			if anti.key.At < min {
-				ww.inflight.Store(math.Float64bits(anti.key.At))
-			}
 			ww.queue = append(ww.queue, anti)
 		}
 		undone[j].sends = nil
@@ -898,27 +896,51 @@ func (w *Warp) rollbackLocked(p *Proc, ww *warpWorker, pos int64) {
 
 // gvtPass computes a new GVT — a lower bound on the timestamp of any
 // event that can still be executed or arrive — and fossil-collects
-// history older than it. Serialized by gvtMu; when force is false a
-// busy pass is skipped.
-func (w *Warp) gvtPass(force bool) {
-	if force {
-		w.gvtMu.Lock()
-	} else if !w.gvtMu.TryLock() {
+// history older than it.
+//
+// The pass quiesces the pool first: every other worker parks at the
+// safe point in acquire (holding no LP, with every send it produced
+// delivered), and the caller itself only runs between batches, so
+// once the rendezvous completes nothing is executing and nothing is
+// in flight — every live event sits in some LP's pending queue and
+// the scan observes a consistent cut. Scanning a running pool
+// instead (worker in-flight minima, then LP queues) is racy: a batch
+// starting after its worker's minimum was read can execute an event
+// from a not-yet-scanned LP, deliver its sends into an
+// already-scanned one and reset the minimum, leaving a live message
+// the pass never saw — and a GVT above it, which breaks fossil
+// collection's "no rollback below GVT" contract.
+//
+// Passes are serialized by gvtMu. A caller finding one already in
+// progress returns immediately and relies on that pass's result; it
+// parks at its next acquire until the pass finishes.
+func (w *Warp) gvtPass() {
+	if !w.gvtMu.TryLock() {
 		return
 	}
 	defer w.gvtMu.Unlock()
+
+	w.qmu.Lock()
+	w.gvtWant = true
+	w.qcond.Broadcast() // flush queue-waiters into the safe park
+	for w.gvtSafe < w.cfg.Workers-1 && !w.stopped {
+		w.qcond.Wait()
+	}
+	stopped := w.stopped
+	w.qmu.Unlock()
+	defer func() {
+		w.qmu.Lock()
+		w.gvtWant = false
+		w.qcond.Broadcast()
+		w.qmu.Unlock()
+	}()
+	if stopped {
+		return
+	}
 	w.gvtPasses.Add(1)
 
 	min := math.Inf(1)
-	for _, ww := range w.workers {
-		if v := math.Float64frombits(ww.inflight.Load()); v < min {
-			min = v
-		}
-	}
 	for _, p := range w.lps {
-		if v := math.Float64frombits(p.curAt.Load()); v < min {
-			min = v
-		}
 		p.mu.Lock()
 		if k, ok := p.peekPending(); ok && k.At < min {
 			min = k.At
@@ -926,7 +948,7 @@ func (w *Warp) gvtPass(force bool) {
 		p.mu.Unlock()
 	}
 	if math.IsInf(min, 1) {
-		return // drained (or draining); nothing to bound
+		return // drained; nothing to bound
 	}
 	old := math.Float64frombits(w.gvtBits.Load())
 	if min < old {

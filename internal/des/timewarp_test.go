@@ -164,6 +164,51 @@ func TestWarpFuzzCrossWorkers(t *testing.T) {
 	}
 }
 
+// TestWarpGVTStress shrinks the batch size and GVT cadence to one so
+// passes interleave with nearly every event, hammering the quiesce
+// rendezvous and the transient-message window a non-quiescing scan
+// would race against (an event executed from a not-yet-scanned LP
+// delivering into an already-scanned one). Byte-equality with the
+// sequential kernel plus the absence of the rollback-below-GVT panic
+// is the oracle; CI runs this under -race.
+func TestWarpGVTStress(t *testing.T) {
+	oldBatch, oldEvery := batchSize, gvtEvery
+	batchSize, gvtEvery = 1, 1
+	defer func() { batchSize, gvtEvery = oldBatch, oldEvery }()
+
+	for trial := 0; trial < 6; trial++ {
+		seed := mix(0xD15EA5E, uint64(trial))
+		nLP := 3 + int(seed%5)
+		nSeeds := 4 + int((seed>>8)%5)
+
+		ref := fuzzModel(t, seed, nLP, nSeeds, 1, 64, 0, obs.Sink{})
+		if err := ref.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		want := fingerprint(ref)
+
+		for _, workers := range []int{2, 8} {
+			for _, window := range []float64{0, 1.5} {
+				w := fuzzModel(t, seed, nLP, nSeeds, workers, 2, window, obs.Sink{})
+				if err := w.Run(context.Background()); err != nil {
+					t.Fatal(err)
+				}
+				if got := fingerprint(w); got != want {
+					t.Fatalf("trial %d workers=%d window=%v: outcome diverged under gvtEvery=1\n got:\n%s\nwant:\n%s",
+						trial, workers, window, got, want)
+				}
+				if w.Stats().Committed != ref.Stats().Committed {
+					t.Fatalf("trial %d workers=%d window=%v: committed %d, want %d",
+						trial, workers, window, w.Stats().Committed, ref.Stats().Committed)
+				}
+				if w.Stats().GVTPasses == 0 {
+					t.Fatalf("trial %d workers=%d: no GVT passes despite gvtEvery=1", trial, workers)
+				}
+			}
+		}
+	}
+}
+
 // TestWarpPingPong checks a minimal two-LP exchange commits the exact
 // event count and final times on both paths.
 func TestWarpPingPong(t *testing.T) {
@@ -225,10 +270,13 @@ func TestWarpZeroDelayDepth(t *testing.T) {
 	}
 }
 
-// TestWarpContextCancel checks both paths honour cancellation.
+// TestWarpContextCancel checks both paths honour cancellation, and
+// that both still record the partial step count in des.committed —
+// telemetry from a cancelled run must not silently read zero.
 func TestWarpContextCancel(t *testing.T) {
 	for _, workers := range []int{1, 4} {
-		w := NewWarp(WarpConfig{Workers: workers})
+		reg := obs.NewRegistry()
+		w := NewWarp(WarpConfig{Workers: workers, Obs: obs.Sink{Metrics: reg}})
 		lp := w.AddLP("spin", nil, func(p *Proc, at float64, pl Payload) {
 			p.Send(p.ID(), 1, pl) // run forever
 		})
@@ -239,6 +287,9 @@ func TestWarpContextCancel(t *testing.T) {
 		cancel()
 		if err := <-done; err != context.Canceled {
 			t.Fatalf("workers=%d: Run = %v, want context.Canceled", workers, err)
+		}
+		if got, want := reg.Counter("des.committed").Value(), w.Stats().Committed; got != want {
+			t.Fatalf("workers=%d: des.committed = %d after cancel, want %d", workers, got, want)
 		}
 	}
 }
@@ -282,6 +333,8 @@ func TestWarpPanics(t *testing.T) {
 		p.Send(p.ID(), -1, Payload{})
 	})
 	expectPanic("negative seed time", func() { w.SeedAt(lp, -1, Payload{}) })
+	expectPanic("Inf seed time", func() { w.SeedAt(lp, math.Inf(1), Payload{}) })
+	expectPanic("NaN seed time", func() { w.SeedAt(lp, math.NaN(), Payload{}) })
 	expectPanic("unknown LP", func() { w.SeedAt(lp+1, 0, Payload{}) })
 	w.SeedAt(lp, 0, Payload{})
 	expectPanic("negative delay", func() { _ = w.Run(context.Background()) })
