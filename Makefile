@@ -1,7 +1,7 @@
 # Tier-1 verification plus race detection in one command: `make check`.
 GO ?= go
 
-.PHONY: build test race vet check soak smoke-telemetry smoke-external smoke-peachyd soak-peachyd bench-baseline bench-compare
+.PHONY: build test race vet check soak smoke-telemetry smoke-external smoke-peachyd smoke-fleet soak-peachyd bench-baseline bench-compare
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,13 @@ smoke-external:
 # scripts/peachyd_smoke.sh.
 smoke-peachyd:
 	./scripts/peachyd_smoke.sh
+
+# Process-fleet transport end to end: a coordinator plus 4 worker
+# subprocesses over unix sockets, two SIGKILLed mid-run; asserts
+# byte-equality with the clean in-process run and a "worker rejoined"
+# event on the live SSE stream. See scripts/fleet_smoke.sh.
+smoke-fleet:
+	./scripts/fleet_smoke.sh
 
 # Dozens of concurrent synthetic tenants against one server with a
 # tight per-tenant quota: every submission must eventually succeed,

@@ -46,11 +46,28 @@ func main() {
 		dir       = flag.String("dir", "", "scratch directory (default: a fresh temp dir)")
 		killMax   = flag.Duration("kill-max", 1200*time.Millisecond, "upper bound on the random kill delay")
 		quick     = flag.Bool("quick", false, "shrink workloads for fast CI soaks")
-		obsListen = flag.String("obs-listen", "", "worker telemetry address, forwarded to every launched worker (workers run one at a time, so they can share it); the driver itself does not listen")
+		obsListen = flag.String("obs-listen", "", "worker telemetry address, forwarded to every launched worker (workers run one at a time, so they can share it); in -fleet mode the driver itself serves telemetry here instead")
 		worker    = flag.Bool("worker", false, "internal: run one workload with resume and write the state file")
 		out       = flag.String("out", "", "internal: state-file path (worker mode)")
+
+		fleet       = flag.Bool("fleet", false, "process-fleet soak: run "+strings.Join(fleetWorkloads, "|")+" with real worker subprocesses over a socket transport and SIGKILL some mid-run (-workload selects one, default all)")
+		transport   = flag.String("transport", "unix", "fleet transport scheme: tcp|unix")
+		fleetWorker = flag.String("fleet-worker", "", "internal: join a fleet as this workload's worker")
+		join        = flag.String("join", "", "internal: coordinator address to join (fleet worker mode)")
+		rank        = flag.Int("rank", 0, "internal: fleet rank (fleet worker mode)")
 	)
 	flag.Parse()
+
+	if *fleetWorker != "" {
+		if err := runFleetWorkerMode(*fleetWorker, *transport, *join, *rank); err != nil {
+			fatalf("fleet worker rank %d: %v", *rank, err)
+		}
+		return
+	}
+	if *fleet {
+		runFleetSoaks(*workload, *transport, *dir, *kills, *killMax, *seed, *quick, *obsListen)
+		return
+	}
 
 	if *worker {
 		var sink obs.Sink
@@ -102,6 +119,59 @@ func main() {
 			continue
 		}
 		fmt.Printf("chaos: %s: PASS\n", wl)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// runFleetSoaks drives the fleet workloads and exits non-zero on any
+// failure.
+func runFleetSoaks(workload, scheme, dir string, kills int, killMax time.Duration, seed int64, quick bool, obsListen string) {
+	list := fleetWorkloads
+	if workload != "all" {
+		ok := false
+		for _, w := range fleetWorkloads {
+			ok = ok || w == workload
+		}
+		if !ok {
+			fatalf("unknown fleet workload %q (want %s)", workload, strings.Join(fleetWorkloads, ", "))
+		}
+		list = []string{workload}
+	}
+	scratch := dir
+	if scratch == "" {
+		var err error
+		if scratch, err = os.MkdirTemp("", "chaos-fleet-"); err != nil {
+			fatalf("%v", err)
+		}
+		defer os.RemoveAll(scratch)
+	} else if err := os.MkdirAll(scratch, 0o755); err != nil {
+		fatalf("%v", err)
+	}
+	self, err := os.Executable()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	// In fleet mode the coordinator (and its net.* counters — rejoins,
+	// deaths, lease expiries) lives in the driver, so the driver serves
+	// the telemetry.
+	var sink obs.Sink
+	srv, err := obs.ServeTelemetry(&sink, obsListen)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer srv.Close()
+	log := obs.NewLogger(obs.WithLogWriter(os.Stderr))
+	rng := rand.New(rand.NewSource(seed))
+	failed := 0
+	for _, wl := range list {
+		if err := fleetSoak(self, wl, scratch, scheme, kills, killMax, quick, rng, log, sink); err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: fleet-%s: FAIL: %v\n", wl, err)
+			failed++
+			continue
+		}
+		fmt.Printf("chaos: fleet-%s: PASS\n", wl)
 	}
 	if failed > 0 {
 		os.Exit(1)

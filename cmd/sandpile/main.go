@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"time"
 
@@ -33,6 +34,7 @@ import (
 	"repro/internal/img"
 	"repro/internal/job"
 	"repro/internal/job/runners"
+	pnet "repro/internal/net"
 	"repro/internal/obs"
 	"repro/internal/sandpile"
 	"repro/internal/trace"
@@ -67,8 +69,19 @@ func main() {
 		ckptDir   = flag.String("checkpoint", "", "write durable snapshots into this directory")
 		resumeDir = flag.String("resume", "", "resume from the newest snapshot in this directory (and keep checkpointing there)")
 		ckptEvery = flag.Int64("checkpoint-every", 25, "iterations (rounds for -ranks) between snapshots")
+		tscheme   = flag.String("transport", "unix", "fleet transport scheme for -listen/-join: tcp|unix|chan")
+		listen    = flag.String("listen", "", "run -ranks as a fleet coordinator bound to this address; rank workers join over -transport (start them with -join)")
+		joinAddr  = flag.String("join", "", "run as a fleet rank worker joining the coordinator at this address")
+		rank      = flag.Int("rank", 0, "this worker's rank (with -join)")
 	)
 	flag.Parse()
+
+	if *joinAddr != "" {
+		if err := runFleetWorker(*tscheme, *joinAddr, *rank); err != nil {
+			fatalf("fleet worker rank %d: %v", *rank, err)
+		}
+		return
+	}
 
 	if *list {
 		for _, name := range engine.Names() {
@@ -109,6 +122,48 @@ func main() {
 	}
 	if ck != nil && *heteroRun {
 		fatalf("-checkpoint/-resume are not supported with -hetero")
+	}
+
+	if *listen != "" {
+		// Fleet coordinator: the ghost ranks are worker processes that
+		// join over the socket transport instead of goroutines.
+		if *ranks <= 0 {
+			fatalf("-listen needs -ranks N")
+		}
+		if *faults != "" {
+			fatalf("fleet mode injects no simulated faults; SIGKILL the workers instead")
+		}
+		tr, err := pnet.New(*tscheme)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		g := cfg.Build(*size, *size, rand.New(rand.NewSource(*seed)))
+		fc := &pnet.FleetConfig{Transport: tr, Listen: *listen, Obs: sink}
+		fmt.Printf("fleet coordinator on %s (%s); start workers with: sandpile -join %s -transport %s -rank R\n",
+			*listen, *tscheme, *listen, *tscheme)
+		start := time.Now()
+		rep, err := ghost.New(g,
+			ghost.WithRanks(*ranks), ghost.WithWidth(*ghostW),
+			ghost.WithMaxIters(*maxIters), ghost.WithFleet(fc),
+			ghost.WithObs(sink), ghost.WithCheckpoint(ck),
+		).Run()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("ghost fleet on %s %dx%d: %v in %s\n",
+			cfg.Name, *size, *size, rep, time.Since(start).Round(time.Microsecond))
+		if *png != "" {
+			if err := img.SavePNG(*png, img.Sandpile(g, 4)); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Printf("wrote %s\n", *png)
+		}
+		if sink.Enabled() {
+			if err := flush(os.Stdout); err != nil {
+				fatalf("%v", err)
+			}
+		}
+		return
 	}
 
 	// CLI-only artifacts hang off the adapter's hook fields.
@@ -217,6 +272,22 @@ func main() {
 			fmt.Printf("wrote trace to %s\n", *traceFile)
 		}
 	}
+}
+
+// runFleetWorker joins a fleet coordinator as one ghost rank and
+// serves rounds until the coordinator stops the run.
+func runFleetWorker(scheme, join string, rank int) error {
+	tr, err := pnet.New(scheme)
+	if err != nil {
+		return err
+	}
+	return ghost.FleetWorker(context.Background(), pnet.WorkerConfig{
+		Transport:       tr,
+		Join:            join,
+		Rank:            rank,
+		Backoff:         pnet.Backoff{Base: 25 * time.Millisecond, Max: time.Second, Seed: int64(rank)},
+		MaxDialAttempts: 200,
+	})
 }
 
 func fatalf(format string, args ...any) {

@@ -161,3 +161,73 @@ func TestDeprecatedWrappersStillWork(t *testing.T) {
 		t.Fatal("Run2D wrapper diverged from fixed point")
 	}
 }
+
+// Exactly N/2 ranks dying in the same round is the heartbeat's
+// boundary case: half the fleet goes silent simultaneously, one
+// generation timeout must catch both deaths, and a single coordinated
+// rollback must restore a consistent cut for all four ranks.
+func TestSimultaneousHalfFleetCrash(t *testing.T) {
+	g, want := faultGrid(t)
+	plan := &fault.Plan{Seed: 17, Crashes: []fault.Crash{
+		{Rank: 1, Round: 2}, {Rank: 3, Round: 2},
+	}}
+	rep, err := New(g, WithRanks(4), WithWidth(2),
+		WithFaults(plan), WithHeartbeat(testHB)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(want) {
+		t.Fatal("post-recovery grid differs from the fault-free fixed point")
+	}
+	if rep.Recoveries == 0 {
+		t.Fatal("expected a coordinated recovery")
+	}
+	if len(rep.FaultSchedule) < 2 {
+		t.Fatalf("fault schedule %v, want both simultaneous crashes", rep.FaultSchedule)
+	}
+}
+
+// The same boundary case on the 2-D block decomposition: two of four
+// blocks die in one round.
+func TestSimultaneousHalfFleetCrash2D(t *testing.T) {
+	g, want := faultGrid(t)
+	plan := &fault.Plan{Seed: 23, Crashes: []fault.Crash{
+		{Rank: 0, Round: 3}, {Rank: 2, Round: 3},
+	}}
+	rep, err := New(g, WithProcessGrid(2, 2), WithWidth(2),
+		WithFaults(plan), WithHeartbeat(testHB)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(want) {
+		t.Fatal("2D post-recovery grid differs from the fault-free fixed point")
+	}
+	if rep.Recoveries == 0 {
+		t.Fatal("expected a coordinated recovery")
+	}
+}
+
+// A second crash landing in the catch-up right after a rollback: rank
+// 1 dies at round 3 (rollback to the round-2 checkpoint, replay), then
+// rank 2 dies at round 4 — the first post-recovery round to commit.
+// Two coordinated recoveries, still the exact fault-free fixed point,
+// and the durable checkpointer saving every round must stay consistent
+// through both rollbacks.
+func TestCrashDuringRollbackCatchUp(t *testing.T) {
+	g, want := faultGrid(t)
+	plan := &fault.Plan{Seed: 29, Crashes: []fault.Crash{
+		{Rank: 1, Round: 3}, {Rank: 2, Round: 4},
+	}}
+	rep, err := New(g, WithRanks(4), WithWidth(2),
+		WithFaults(plan), WithHeartbeat(testHB),
+		WithCheckpoint(ghostCheckpointer(t, t.TempDir(), 1))).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(want) {
+		t.Fatal("cascaded-crash grid differs from the fault-free fixed point")
+	}
+	if rep.Recoveries < 2 {
+		t.Fatalf("Recoveries = %d, want 2 (crash, rollback, crash during catch-up)", rep.Recoveries)
+	}
+}

@@ -1,0 +1,447 @@
+package ghost
+
+// fleet.go runs the distributed sandpile over real process boundaries:
+// the goroutine ranks of ghost.go/ghost2d.go become fleet workers
+// connected through internal/net, so a SIGKILL is a real lost peer
+// detected by a heartbeat lease rather than a simulated crash.
+//
+// The design keeps workers stateless per round, which is what makes
+// recovery trivial and exact. The coordinator owns the committed
+// global grid; every round message carries a rank's owned block plus
+// its ghost bands carved from that committed state, and the worker
+// answers with the block's post-round cells. A worker that dies
+// mid-round simply never reports; the supervisor respawns it, the
+// rejoin handshake re-delivers the same round message, and the
+// automaton's determinism makes the re-execution byte-identical —
+// coordinated rollback degenerates to re-dispatch. A rank that stays
+// dead past the respawn budget is declared lost and its block is
+// computed by the coordinator itself: the run degrades to fewer
+// processes, never to a wrong answer.
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/ckpt"
+	"repro/internal/grid"
+	pnet "repro/internal/net"
+	"repro/internal/obs"
+	"repro/internal/sandpile"
+)
+
+// GhostProto names the fleet wire protocol version.
+const GhostProto = "ghost/1"
+
+// Fleet application frame types.
+const (
+	// msgRound (coordinator -> worker): one round of work — the rank's
+	// block geometry, the round number, the owned cells, and the ghost
+	// bands, all carved from the committed global state. Geometry rides
+	// in every round (28 bytes) so a freshly rejoined worker needs no
+	// separate setup message and no message ordering is load-bearing.
+	msgRound uint8 = pnet.FrameApp + iota
+	// msgReport (worker -> coordinator): the round's result — change
+	// count, redundant-cell count, and the post-round owned cells.
+	msgReport
+	// msgStop (coordinator -> worker): the run is over; exit cleanly.
+	msgStop
+)
+
+// geom is the per-rank block geometry both sides compute messages from.
+type geom struct {
+	K          int
+	ownH, ownW int
+	gTop, gBot int
+	gLeft, gRh int
+}
+
+func (ge geom) localH() int { return ge.gTop + ge.ownH + ge.gBot }
+func (ge geom) localW() int { return ge.gLeft + ge.ownW + ge.gRh }
+
+// encodeRound carves rank ge's round payload out of the committed
+// global grid: geometry, round number, owned block, then top/bottom
+// bands over the full local width (they carry the corners), then
+// left/right columns over owned rows — always in-range because a band
+// only exists where a neighbor block does.
+func encodeRound(g *grid.Grid, ge geom, globTop, globL, round int) []byte {
+	var e ckpt.Enc
+	for _, v := range []int{ge.K, ge.ownH, ge.ownW, ge.gTop, ge.gBot, ge.gLeft, ge.gRh} {
+		e.U32(uint32(v))
+	}
+	e.U64(uint64(round))
+	put := func(y0, y1, x0, x1 int) {
+		for y := y0; y < y1; y++ {
+			row := g.Row(y)
+			for x := x0; x < x1; x++ {
+				e.U32(row[x])
+			}
+		}
+	}
+	put(globTop, globTop+ge.ownH, globL, globL+ge.ownW)
+	bx0, bx1 := globL-ge.gLeft, globL+ge.ownW+ge.gRh
+	put(globTop-ge.gTop, globTop, bx0, bx1)
+	put(globTop+ge.ownH, globTop+ge.ownH+ge.gBot, bx0, bx1)
+	put(globTop, globTop+ge.ownH, bx0, globL)
+	put(globTop, globTop+ge.ownH, globL+ge.ownW, bx1)
+	return e.Bytes()
+}
+
+// decodeRound rebuilds the geometry and the rank-local grid (owned
+// block centered in its ghost frame) from a round payload.
+func decodeRound(p []byte) (round int, ge geom, local *grid.Grid, err error) {
+	d := ckpt.NewDec(p)
+	for _, v := range []*int{&ge.K, &ge.ownH, &ge.ownW, &ge.gTop, &ge.gBot, &ge.gLeft, &ge.gRh} {
+		*v = int(d.U32())
+	}
+	if d.Err() != nil || ge.K <= 0 || ge.ownH <= 0 || ge.ownW <= 0 {
+		return 0, geom{}, nil, fmt.Errorf("ghost: malformed round geometry")
+	}
+	round = int(d.U64())
+	local = grid.New(ge.localH(), ge.localW())
+	get := func(y0, y1, x0, x1 int) {
+		for y := y0; y < y1; y++ {
+			row := local.Row(y)
+			for x := x0; x < x1; x++ {
+				row[x] = d.U32()
+			}
+		}
+	}
+	get(ge.gTop, ge.gTop+ge.ownH, ge.gLeft, ge.gLeft+ge.ownW)
+	get(0, ge.gTop, 0, ge.localW())
+	get(ge.gTop+ge.ownH, ge.localH(), 0, ge.localW())
+	get(ge.gTop, ge.gTop+ge.ownH, 0, ge.gLeft)
+	get(ge.gTop, ge.gTop+ge.ownH, ge.gLeft+ge.ownW, ge.localW())
+	if d.Err() != nil {
+		return 0, geom{}, nil, fmt.Errorf("ghost: malformed round message")
+	}
+	return round, ge, local, nil
+}
+
+func encodeReport(round, changes int, redundant uint64, local *grid.Grid, ge geom) []byte {
+	var e ckpt.Enc
+	e.U64(uint64(round))
+	e.U64(uint64(changes))
+	e.U64(redundant)
+	for y := 0; y < ge.ownH; y++ {
+		row := local.Row(ge.gTop + y)
+		for x := 0; x < ge.ownW; x++ {
+			e.U32(row[ge.gLeft+x])
+		}
+	}
+	return e.Bytes()
+}
+
+func decodeReport(p []byte, ge geom) (round, changes int, redundant uint64, cells []uint32, err error) {
+	d := ckpt.NewDec(p)
+	round = int(d.U64())
+	changes = int(d.U64())
+	redundant = d.U64()
+	cells = make([]uint32, ge.ownH*ge.ownW)
+	for i := range cells {
+		cells[i] = d.U32()
+	}
+	if d.Err() != nil {
+		return 0, 0, 0, nil, fmt.Errorf("ghost: malformed report message")
+	}
+	return round, changes, redundant, cells, nil
+}
+
+// computeBlock runs K synchronous steps over a rank-local grid with
+// the same shrinking-valid-band rule as rank2d.run (which the 1-D
+// strip decomposition is the gLeft=gRight=0 special case of). It
+// returns the owned-region change count and the redundant ghost-band
+// cell count; the final state ends up in the returned grid.
+func computeBlock(local *grid.Grid, ge geom) (changes int, redundant uint64, final *grid.Grid) {
+	cur, next := local, grid.New(local.H(), local.W())
+	H, W := cur.H(), cur.W()
+	for s := 1; s <= ge.K; s++ {
+		y0, y1, x0, x1 := 0, H, 0, W
+		if ge.gTop > 0 {
+			y0 = s
+		}
+		if ge.gBot > 0 {
+			y1 = H - s
+		}
+		if ge.gLeft > 0 {
+			x0 = s
+		}
+		if ge.gRh > 0 {
+			x1 = W - s
+		}
+		for y := y0; y < y1; y++ {
+			if y >= ge.gTop && y < ge.gTop+ge.ownH {
+				if x0 < ge.gLeft {
+					sandpile.SyncRow(cur, next, y, x0, ge.gLeft)
+					redundant += uint64(ge.gLeft - x0)
+				}
+				changes += sandpile.SyncRow(cur, next, y, ge.gLeft, ge.gLeft+ge.ownW)
+				if right := ge.gLeft + ge.ownW; x1 > right {
+					sandpile.SyncRow(cur, next, y, right, x1)
+					redundant += uint64(x1 - right)
+				}
+			} else {
+				sandpile.SyncRow(cur, next, y, x0, x1)
+				redundant += uint64(x1 - x0)
+			}
+		}
+		cur, next = next, cur
+	}
+	return changes, redundant, cur
+}
+
+// FleetWorker joins the fleet at cfg.Join and serves ghost rounds
+// until the coordinator sends stop. It is the -worker entry point for
+// fleet processes; cfg.Proto defaults to GhostProto.
+func FleetWorker(ctx context.Context, cfg pnet.WorkerConfig) error {
+	if cfg.Proto == "" {
+		cfg.Proto = GhostProto
+	}
+	return pnet.RunWorker(ctx, cfg, func(m pnet.Msg, send func(pnet.Msg) error) error {
+		switch m.Type {
+		case msgRound:
+			round, ge, local, err := decodeRound(m.Payload)
+			if err != nil {
+				return err
+			}
+			changes, redundant, final := computeBlock(local, ge)
+			return send(pnet.Msg{Type: msgReport,
+				Payload: encodeReport(round, changes, redundant, final, ge)})
+		case msgStop:
+			return pnet.ErrWorkerDone
+		default:
+			return fmt.Errorf("ghost: unexpected frame type %d", m.Type)
+		}
+	})
+}
+
+// runFleet drives the decomposition over a worker fleet. The caller's
+// grid g is the committed global state throughout; on return it holds
+// the fixed point, exactly as the in-process paths leave it.
+func runFleet(ctx context.Context, g *grid.Grid, cfg config) (Report, error) {
+	R, C := cfg.procRows, cfg.procCols
+	if R <= 0 || C <= 0 {
+		if cfg.ranks <= 0 {
+			return Report{}, fmt.Errorf("ghost: fleet needs WithRanks or WithProcessGrid")
+		}
+		R, C = cfg.ranks, 1
+	}
+	if cfg.width <= 0 {
+		return Report{}, fmt.Errorf("ghost: GhostWidth must be >= 1, got %d", cfg.width)
+	}
+	if cfg.maxIters <= 0 {
+		cfg.maxIters = sandpile.MaxIterations
+	}
+	if cfg.faults != nil {
+		return Report{}, fmt.Errorf("ghost: fleet mode injects no simulated faults; kill the worker processes instead")
+	}
+	K := cfg.width
+	if (R > 1 && g.H()/R < K) || (C > 1 && g.W()/C < K) {
+		return Report{}, fmt.Errorf("ghost: blocks of %dx%d grid over %dx%d ranks smaller than K=%d",
+			g.H(), g.W(), R, C, K)
+	}
+	n := R * C
+
+	before := g.Sum()
+	startRound, startTopples := 0, uint64(0)
+	var dur *durable
+	if cfg.ck != nil {
+		var err error
+		if startRound, startTopples, err = restoreGhost(cfg.ck, g); err != nil {
+			return Report{}, err
+		}
+		h, w := g.H(), g.W()
+		dur = &durable{ck: cfg.ck, encode: func(round int, topples uint64) []byte {
+			var e ckpt.Enc
+			encodeGhostHeader(&e, round, topples, h, w)
+			for y := 0; y < h; y++ {
+				for _, v := range g.Row(y) {
+					e.U32(v)
+				}
+			}
+			return e.Bytes()
+		}}
+	}
+
+	rowOf := splitExtents(g.H(), R)
+	colOf := splitExtents(g.W(), C)
+	geoms := make([]geom, n)
+	tops := make([]int, n)
+	lefts := make([]int, n)
+	for pr := 0; pr < R; pr++ {
+		for pc := 0; pc < C; pc++ {
+			id := pr*C + pc
+			ge := geom{K: K,
+				ownH: rowOf[pr+1] - rowOf[pr], ownW: colOf[pc+1] - colOf[pc]}
+			if pr > 0 {
+				ge.gTop = K
+			}
+			if pr < R-1 {
+				ge.gBot = K
+			}
+			if pc > 0 {
+				ge.gLeft = K
+			}
+			if pc < C-1 {
+				ge.gRh = K
+			}
+			geoms[id] = ge
+			tops[id] = rowOf[pr]
+			lefts[id] = colOf[pc]
+		}
+	}
+
+	fc := *cfg.fleet
+	fc.Workers = n
+	fc.Proto = GhostProto
+	if !fc.Obs.Enabled() {
+		fc.Obs = cfg.obs
+	}
+	co, err := pnet.NewCoordinator(fc)
+	if err != nil {
+		return Report{}, err
+	}
+	defer co.Close()
+
+	rep := Report{Ranks: n, GhostWidth: K}
+	committed, topples := startRound, startTopples
+	lost := make([]bool, n)
+
+	err = func() error {
+		for {
+			round := committed + 1
+			rep.Exchanges++
+			total := 0
+			seen := make([]bool, n)
+			cells := make([][]uint32, n)
+			need := n
+
+			record := func(id, changes int, redundant uint64, c []uint32) {
+				seen[id] = true
+				cells[id] = c
+				total += changes
+				rep.RedundantCells += redundant
+				// K steps per round, each over the whole owned block — the
+				// same per-step accounting the strip decomposition reports.
+				rep.OwnedCells += uint64(geoms[id].K * geoms[id].ownH * geoms[id].ownW)
+				need--
+			}
+			local := func(id int) {
+				_, _, blk, err := decodeRound(encodeRound(g, geoms[id], tops[id], lefts[id], round))
+				if err != nil {
+					panic(err) // encode/decode are inverses by construction
+				}
+				changes, redundant, final := computeBlock(blk, geoms[id])
+				c := make([]uint32, 0, geoms[id].ownH*geoms[id].ownW)
+				for y := 0; y < geoms[id].ownH; y++ {
+					c = append(c, final.Row(geoms[id].gTop+y)[geoms[id].gLeft:geoms[id].gLeft+geoms[id].ownW]...)
+				}
+				record(id, changes, redundant, c)
+			}
+			dispatch := func(id int) {
+				if seen[id] {
+					return
+				}
+				if lost[id] {
+					local(id)
+					return
+				}
+				p := encodeRound(g, geoms[id], tops[id], lefts[id], round)
+				if co.Send(id, pnet.Msg{Type: msgRound, Payload: p}) != nil {
+					return // re-dispatched on the rank's next PeerJoined
+				}
+				rep.Messages++
+				rep.BytesSent += uint64(len(p))
+			}
+			for id := 0; id < n; id++ {
+				dispatch(id)
+			}
+			for need > 0 {
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				case ev, ok := <-co.Events():
+					if !ok {
+						return fmt.Errorf("ghost: fleet coordinator closed")
+					}
+					switch ev.Kind {
+					case pnet.PeerJoined:
+						dispatch(ev.Rank)
+					case pnet.PeerDead:
+						// The worker died mid-round; the supervisor (or the
+						// worker's own reconnect loop) brings it back, and the
+						// rejoin re-dispatch replays the round exactly.
+						rep.Recoveries++
+						if m := cfg.obs.Metrics; m != nil {
+							m.Counter("fault.recoveries").Inc()
+						}
+						cfg.obs.Log.Event(obs.LevelWarn, "ghost", "fleet rank died",
+							obs.Arg{Key: "rank", Value: int64(ev.Rank)},
+							obs.Arg{Key: "round", Value: int64(round)})
+					case pnet.PeerLost:
+						lost[ev.Rank] = true
+						cfg.obs.Log.Event(obs.LevelError, "ghost", "fleet rank lost; computing its block locally",
+							obs.Arg{Key: "rank", Value: int64(ev.Rank)})
+						if !seen[ev.Rank] {
+							local(ev.Rank)
+						}
+					case pnet.PeerMsg:
+						if ev.Msg.Type != msgReport {
+							continue
+						}
+						r, changes, redundant, c, err := decodeReport(ev.Msg.Payload, geoms[ev.Rank])
+						if err != nil {
+							return err
+						}
+						rep.Messages++
+						rep.BytesSent += uint64(len(ev.Msg.Payload))
+						if r != round || seen[ev.Rank] {
+							continue // duplicate after a redispatch race: idempotent
+						}
+						record(ev.Rank, changes, redundant, c)
+					}
+				}
+			}
+
+			// Commit: install every block's post-round cells into the
+			// global grid; the committed state is globally consistent.
+			for id := 0; id < n; id++ {
+				ge := geoms[id]
+				for y := 0; y < ge.ownH; y++ {
+					copy(g.Row(tops[id]+y)[lefts[id]:lefts[id]+ge.ownW], cells[id][y*ge.ownW:(y+1)*ge.ownW])
+				}
+			}
+			committed = round
+			topples += uint64(total)
+			cfg.obs.Progress.Update("ghost",
+				obs.F("round", float64(round)),
+				obs.F("changes", float64(total)),
+				obs.F("topples", float64(topples)),
+				obs.F("recoveries", float64(rep.Recoveries)))
+			cont := total != 0 && round*K < cfg.maxIters
+			if !cont {
+				return nil
+			}
+			if err := dur.save(round, topples); err != nil {
+				return fmt.Errorf("ghost: checkpoint: %w", err)
+			}
+		}
+	}()
+	if err != nil {
+		return rep, err
+	}
+	for id := 0; id < n; id++ {
+		co.Send(id, pnet.Msg{Type: msgStop}) // best effort
+	}
+	rep.Iterations = committed * K
+	rep.Topples = topples
+	g.ClearHalo()
+	rep.Absorbed = before - g.Sum()
+	if m := cfg.obs.Metrics; m != nil {
+		m.Counter("ghost.exchanges").Add(int64(rep.Exchanges))
+		m.Counter("ghost.halo.messages").Add(int64(rep.Messages))
+		m.Counter("ghost.halo.bytes").Add(int64(rep.BytesSent))
+		m.Counter("ghost.cells.redundant").Add(int64(rep.RedundantCells))
+		m.Counter("ghost.cells.owned").Add(int64(rep.OwnedCells))
+	}
+	return rep, nil
+}

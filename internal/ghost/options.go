@@ -13,6 +13,7 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/fault"
 	"repro/internal/grid"
+	pnet "repro/internal/net"
 	"repro/internal/obs"
 )
 
@@ -26,6 +27,7 @@ type config struct {
 	faults             *fault.Plan
 	heartbeat          time.Duration
 	ck                 *ckpt.Checkpointer
+	fleet              *pnet.FleetConfig
 }
 
 // Option configures a Runner built with New.
@@ -61,6 +63,15 @@ func WithFaults(p *fault.Plan) Option { return func(c *config) { c.faults = p } 
 // with WithFaults). Halo receives time out at a quarter of this.
 func WithHeartbeat(d time.Duration) Option { return func(c *config) { c.heartbeat = d } }
 
+// WithFleet runs the decomposition over a worker fleet (see fleet.go):
+// the ranks become processes (or goroutines, on the chan transport)
+// joined through fc.Transport, supervised with heartbeat leases and
+// respawn. fc.Workers and fc.Proto are set by the run; everything else
+// — transport, listen address, lease, backoff, Spawn hook — is the
+// caller's. Mutually exclusive with WithFaults: fleet crashes are real
+// process deaths, not injected ones.
+func WithFleet(fc *pnet.FleetConfig) Option { return func(c *config) { c.fleet = fc } }
+
 // WithCheckpoint enables durable checkpoint/restart (see ckpt.go):
 // committed rounds are persisted through ck at its cadence, and a
 // resuming checkpointer restores the newest valid snapshot before the
@@ -94,6 +105,9 @@ func (r *Runner) Run() (Report, error) { return r.RunContext(context.Background(
 // RunContext is Run with cancellation: the coordinator stops
 // launching rounds once ctx is cancelled and returns ctx.Err().
 func (r *Runner) RunContext(ctx context.Context) (Report, error) {
+	if r.cfg.fleet != nil {
+		return runFleet(ctx, r.g, r.cfg)
+	}
 	if r.cfg.procRows > 0 || r.cfg.procCols > 0 {
 		return run2d(ctx, r.g, r.cfg)
 	}

@@ -250,6 +250,21 @@ func (m *Manager) gauges() {
 	m.obs.Metrics.Gauge("jobs.queued").Set(float64(m.adm.queued()))
 }
 
+// RetryAfter estimates, in whole seconds, how long a rejected client
+// should wait before resubmitting: one second of slack plus the
+// queued backlog divided across the executor fleet, clamped to
+// [1, 60]. The estimate only needs the right order of magnitude — an
+// empty queue (a tenant-quota rejection) answers 1, a saturated queue
+// answers proportionally more. Queue-only managers (negative
+// executors) never drain, so the hint saturates at the cap.
+func (m *Manager) RetryAfter() int {
+	if m.executors <= 0 {
+		return 60
+	}
+	d := 1 + m.adm.queued()/m.executors
+	return min(d, 60)
+}
+
 // Submit validates, admits, and journals a job, returning its View.
 func (m *Manager) Submit(spec Spec) (View, error) {
 	if err := spec.validate(); err != nil {

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -81,12 +82,14 @@ func status(err error) int {
 	return http.StatusInternalServerError
 }
 
-func writeErr(w http.ResponseWriter, err error) {
+func (a *API) writeErr(w http.ResponseWriter, err error) {
 	code := status(err)
 	if code == http.StatusTooManyRequests {
 		// Explicit backpressure: the queue is full or the tenant is at
-		// quota; retrying sooner than a second cannot succeed.
-		w.Header().Set("Retry-After", "1")
+		// quota. The hint scales with how much queued work stands
+		// between the client and an admission slot — retrying a
+		// saturated queue after one second cannot succeed.
+		w.Header().Set("Retry-After", strconv.Itoa(a.m.RetryAfter()))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -107,15 +110,15 @@ func (a *API) submit(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(body).Decode(&spec); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeErr(w, fmt.Errorf("%w: body over %d bytes", ErrTooLarge, MaxSpecBytes))
+			a.writeErr(w, fmt.Errorf("%w: body over %d bytes", ErrTooLarge, MaxSpecBytes))
 			return
 		}
-		writeErr(w, Badf("bad JSON: %v", err))
+		a.writeErr(w, Badf("bad JSON: %v", err))
 		return
 	}
 	v, err := a.m.Submit(spec)
 	if err != nil {
-		writeErr(w, err)
+		a.writeErr(w, err)
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+v.ID)
@@ -129,7 +132,7 @@ func (a *API) list(w http.ResponseWriter, r *http.Request) {
 func (a *API) get(w http.ResponseWriter, r *http.Request) {
 	v, ok := a.m.Get(r.PathValue("id"))
 	if !ok {
-		writeErr(w, ErrNotFound)
+		a.writeErr(w, ErrNotFound)
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
@@ -140,16 +143,16 @@ func (a *API) get(w http.ResponseWriter, r *http.Request) {
 func (a *API) result(w http.ResponseWriter, r *http.Request) {
 	v, ok := a.m.Get(r.PathValue("id"))
 	if !ok {
-		writeErr(w, ErrNotFound)
+		a.writeErr(w, ErrNotFound)
 		return
 	}
 	if v.Result == nil {
-		writeErr(w, fmt.Errorf("%w: job %s is %s, no result", ErrNotFound, v.ID, v.State))
+		a.writeErr(w, fmt.Errorf("%w: job %s is %s, no result", ErrNotFound, v.ID, v.State))
 		return
 	}
 	out, err := json.Marshal(v.Result)
 	if err != nil {
-		writeErr(w, err)
+		a.writeErr(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -159,7 +162,7 @@ func (a *API) result(w http.ResponseWriter, r *http.Request) {
 func (a *API) cancel(w http.ResponseWriter, r *http.Request) {
 	v, err := a.m.Cancel(r.PathValue("id"))
 	if err != nil {
-		writeErr(w, err)
+		a.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
@@ -173,12 +176,12 @@ func (a *API) cancel(w http.ResponseWriter, r *http.Request) {
 func (a *API) events(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if _, ok := a.m.Get(id); !ok {
-		writeErr(w, ErrNotFound)
+		a.writeErr(w, ErrNotFound)
 		return
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeErr(w, errors.New("streaming unsupported"))
+		a.writeErr(w, errors.New("streaming unsupported"))
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")

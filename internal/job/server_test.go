@@ -243,3 +243,48 @@ func TestAPIStopEndsEventStreams(t *testing.T) {
 		t.Fatal("SSE stream survived API.Stop")
 	}
 }
+
+// TestRetryAfterScalesWithBacklog pins the derived Retry-After: the
+// hint is 1 + queued/executors seconds, so a saturated queue tells
+// clients to stay away proportionally longer, an idle service answers
+// the one-second floor, and a queue-only manager (which never drains)
+// answers the 60-second cap.
+func TestRetryAfterScalesWithBacklog(t *testing.T) {
+	_, ts, m := newTestAPI(t, WithRunner("t", okRunner{}),
+		WithExecutors(1), WithQueueDepth(8))
+	// Not started: one executor, nothing draining. Fill the class queue.
+	for i := 0; i < 8; i++ {
+		resp, body := post(t, ts.URL+"/v1/jobs", `{"kind":"t","tenant":"a"}`)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d = %d %s", i, resp.StatusCode, body)
+		}
+	}
+	if got := m.RetryAfter(); got != 9 {
+		t.Fatalf("RetryAfter with 8 queued / 1 executor = %d, want 9", got)
+	}
+	resp, _ := post(t, ts.URL+"/v1/jobs", `{"kind":"t","tenant":"b"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated submit = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "9" {
+		t.Fatalf("Retry-After = %q, want \"9\" (1s floor + 8 queued / 1 executor)", got)
+	}
+
+	// An idle manager answers the floor.
+	m2, err := NewManager(WithRunner("t", okRunner{}), WithExecutors(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.RetryAfter(); got != 1 {
+		t.Fatalf("idle RetryAfter = %d, want 1", got)
+	}
+
+	// Queue-only mode never drains: the hint saturates at the cap.
+	m3, err := NewManager(WithRunner("t", okRunner{}), WithExecutors(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m3.RetryAfter(); got != 60 {
+		t.Fatalf("queue-only RetryAfter = %d, want 60", got)
+	}
+}

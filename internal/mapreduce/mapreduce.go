@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	pnet "repro/internal/net"
 	"repro/internal/obs"
 )
 
@@ -83,8 +84,11 @@ type Config[K cmp.Ordered] struct {
 	// MaxAttempts is the per-task retry budget; 0 means 1 (no retry).
 	MaxAttempts int
 	// RetryBackoff is the base sleep between task attempts, growing
-	// exponentially (base, 2·base, 4·base, … capped at 32·base). The
-	// sleep is context-aware — cancellation aborts it immediately.
+	// exponentially (base, 2·base, 4·base, … capped at 32·base) and
+	// jittered into the top half of each step so simultaneous failures
+	// do not retry in lockstep. The jitter is deterministic per
+	// (seed, task, attempt), keeping fault replays exact. The sleep is
+	// context-aware — cancellation aborts it immediately.
 	// 0 retries back-to-back.
 	RetryBackoff time.Duration
 	// Partitioner routes keys to reduce partitions; nil means
@@ -412,7 +416,8 @@ func (j *Job[I, K, V, O]) reducePhase(ctx context.Context, mapOut [][]run[K, V],
 		emit := func(o O) { out = append(out, o) }
 		group := func(key K, values []V, gi int) error {
 			hGroup.Observe(float64(len(values)))
-			attempts, rerr := retryTask(ctx, cfg.MaxAttempts, cfg.RetryBackoff, func(attempt int) error {
+			attempts, rerr := retryTask(ctx, cfg.MaxAttempts, cfg.RetryBackoff,
+				retrySeed(cfg), fmt.Sprintf("reduce:%d:%d", p, gi), func(attempt int) error {
 				if inj.TaskFails("reduce", attempt, p, gi) {
 					return fault.ErrInjected
 				}
@@ -535,7 +540,8 @@ func runTasks(ctx context.Context, n, parallelism int, fn func(task int) error) 
 func (j *Job[I, K, V, O]) runMapTask(ctx context.Context, t int, split []I, cfg Config[K], inj *fault.Injector) ([]run[K, V], int, int, error) {
 	var parts []run[K, V]
 	emitted := 0
-	attempts, err := retryTask(ctx, cfg.MaxAttempts, cfg.RetryBackoff, func(attempt int) error {
+	attempts, err := retryTask(ctx, cfg.MaxAttempts, cfg.RetryBackoff,
+		retrySeed(cfg), fmt.Sprintf("map:%d", t), func(attempt int) error {
 		if inj.TaskFails("map", attempt, t) {
 			return fault.ErrInjected
 		}
@@ -573,14 +579,24 @@ func (j *Job[I, K, V, O]) runMapTask(ctx context.Context, t int, split []I, cfg 
 	return parts, emitted, attempts, err
 }
 
+// retrySeed picks the jitter seed for a config: the fault plan's seed
+// when injection is on (so a replayed plan reproduces the exact retry
+// timeline), zero otherwise.
+func retrySeed[K cmp.Ordered](cfg Config[K]) int64 {
+	if cfg.Faults != nil {
+		return cfg.Faults.Seed
+	}
+	return 0
+}
+
 // retryTask runs fn up to maxAttempts times (fn receives the 1-based
 // attempt number), returning the number of attempts made and the last
-// error (nil on success). Between attempts it sleeps an exponential
-// backoff (backoff, 2·backoff, 4·backoff, … capped at 32·backoff;
+// error (nil on success). Between attempts it sleeps a jittered
+// exponential backoff keyed by the task identity (see backoffDelay;
 // zero backoff disables the sleep) — and the sleep is context-aware:
 // ctx cancellation aborts the wait immediately and surfaces ctx.Err()
 // instead of burning the remaining attempts.
-func retryTask(ctx context.Context, maxAttempts int, backoff time.Duration, fn func(attempt int) error) (int, error) {
+func retryTask(ctx context.Context, maxAttempts int, backoff time.Duration, seed int64, key string, fn func(attempt int) error) (int, error) {
 	var err error
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
 		if err = fn(attempt); err == nil {
@@ -589,24 +605,24 @@ func retryTask(ctx context.Context, maxAttempts int, backoff time.Duration, fn f
 		if attempt == maxAttempts {
 			break
 		}
-		if cerr := sleepContext(ctx, backoffDelay(backoff, attempt)); cerr != nil {
+		if cerr := sleepContext(ctx, backoffDelay(backoff, seed, key, attempt)); cerr != nil {
 			return attempt, cerr
 		}
 	}
 	return maxAttempts, err
 }
 
-// backoffDelay is the attempt'th retry delay: base·2^(attempt-1),
-// capped at 32·base.
-func backoffDelay(base time.Duration, attempt int) time.Duration {
+// backoffDelay is the attempt'th retry delay: base·2^(attempt-1)
+// capped at 32·base, scaled by a jitter factor in [0.5, 1.0) so a
+// wave of simultaneously failing tasks does not retry in lockstep.
+// The jitter is a pure function of (seed, key, attempt) — the same
+// deterministic recipe the transport's reconnect backoff uses — so a
+// replayed fault schedule reproduces the exact retry timeline.
+func backoffDelay(base time.Duration, seed int64, key string, attempt int) time.Duration {
 	if base <= 0 {
 		return 0
 	}
-	shift := attempt - 1
-	if shift > 5 {
-		shift = 5
-	}
-	return base << shift
+	return pnet.Backoff{Base: base, Max: base << 5, Seed: seed}.Delay(key, attempt)
 }
 
 // sleepContext waits d or until ctx is cancelled, whichever comes

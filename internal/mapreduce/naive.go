@@ -79,7 +79,8 @@ func (j *Job[I, K, V, O]) naiveReducePhase(ctx context.Context, mapOut [][]run[K
 		var out []O
 		emit := func(o O) { out = append(out, o) }
 		for gi, g := range partGroups[p] {
-			attempts, err := retryTask(ctx, cfg.MaxAttempts, cfg.RetryBackoff, func(attempt int) error {
+			attempts, err := retryTask(ctx, cfg.MaxAttempts, cfg.RetryBackoff,
+				retrySeed(cfg), fmt.Sprintf("reduce:%d:%d", p, gi), func(attempt int) error {
 				if inj.TaskFails("reduce", attempt, p, gi) {
 					return fault.ErrInjected
 				}

@@ -3,6 +3,7 @@ package mapreduce
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 )
@@ -69,25 +70,52 @@ func TestRetryBackoffDelaysAttempts(t *testing.T) {
 	if len(stamps) != 3 || stats.TaskRetries != 2 {
 		t.Fatalf("attempts=%d retries=%d, want 3 attempts / 2 retries", len(stamps), stats.TaskRetries)
 	}
-	// Exponential: gap1 >= base, gap2 >= 2·base.
-	if g := stamps[1].Sub(stamps[0]); g < 20*time.Millisecond {
-		t.Fatalf("first backoff gap %v < base", g)
+	// Exponential with jitter in [0.5, 1.0): gap1 >= base/2,
+	// gap2 >= 2·base/2 = base.
+	if g := stamps[1].Sub(stamps[0]); g < 10*time.Millisecond {
+		t.Fatalf("first backoff gap %v < base/2", g)
 	}
-	if g := stamps[2].Sub(stamps[1]); g < 40*time.Millisecond {
-		t.Fatalf("second backoff gap %v < 2·base", g)
+	if g := stamps[2].Sub(stamps[1]); g < 20*time.Millisecond {
+		t.Fatalf("second backoff gap %v < base", g)
 	}
 }
 
-func TestBackoffDelayCap(t *testing.T) {
+// backoffDelay keeps the exponential envelope — the attempt'th delay
+// lands in [e/2, e) for e = base·2^(attempt-1) capped at 32·base —
+// and is a pure function of (seed, key, attempt).
+func TestBackoffDelayEnvelopeAndDeterminism(t *testing.T) {
 	base := 10 * time.Millisecond
-	for attempt, want := range map[int]time.Duration{
+	for attempt, env := range map[int]time.Duration{
 		1: base, 2: 2 * base, 3: 4 * base, 6: 32 * base, 9: 32 * base,
 	} {
-		if got := backoffDelay(base, attempt); got != want {
-			t.Errorf("backoffDelay(base, %d) = %v, want %v", attempt, got, want)
+		got := backoffDelay(base, 7, "map:3", attempt)
+		if got < env/2 || got >= env {
+			t.Errorf("backoffDelay(base, 7, map:3, %d) = %v, outside [%v, %v)", attempt, got, env/2, env)
+		}
+		if again := backoffDelay(base, 7, "map:3", attempt); again != got {
+			t.Errorf("attempt %d not deterministic: %v then %v", attempt, got, again)
 		}
 	}
-	if got := backoffDelay(0, 3); got != 0 {
+	if got := backoffDelay(0, 7, "map:3", 3); got != 0 {
 		t.Errorf("zero base gave %v", got)
+	}
+}
+
+// The jitter's point: a wave of tasks failing together must not sleep
+// the same amount. 16 task identities on the same attempt should
+// spread across the [e/2, e) window rather than collapse.
+func TestBackoffDelaySpreadsTasks(t *testing.T) {
+	base := 10 * time.Millisecond
+	distinct := map[time.Duration]bool{}
+	for task := 0; task < 16; task++ {
+		key := fmt.Sprintf("map:%d", task)
+		distinct[backoffDelay(base, 1, key, 2)] = true
+	}
+	if len(distinct) < 12 {
+		t.Fatalf("16 tasks produced only %d distinct delays", len(distinct))
+	}
+	// Different seeds decorrelate the same task identity.
+	if backoffDelay(base, 1, "map:0", 2) == backoffDelay(base, 2, "map:0", 2) {
+		t.Fatal("seed does not influence the delay")
 	}
 }

@@ -1,0 +1,68 @@
+package net
+
+// backoff.go: capped exponential backoff with deterministic jitter.
+// Jitter prevents the thundering herd — a fleet of workers orphaned by
+// one coordinator restart must not redial in lockstep — but this
+// repository's fault story is replayable, so the jitter is a pure
+// function of (seed, identity, attempt) rather than a random draw:
+// same seed, same retry timeline, byte-identical fault schedules.
+
+import (
+	"hash/fnv"
+	"io"
+	"strconv"
+	"time"
+)
+
+// Backoff computes retry delays: min(Base << (attempt-1), Max) scaled
+// by a jitter factor in [0.5, 1.0) derived from (Seed, key, attempt).
+// The zero value is usable and means 50ms base, 5s cap, seed 0.
+type Backoff struct {
+	Base time.Duration
+	Max  time.Duration
+	Seed int64
+}
+
+// Delay returns the wait before the attempt'th retry (1-based) of the
+// operation identified by key. Deterministic and side-effect free.
+func (b Backoff) Delay(key string, attempt int) time.Duration {
+	base, max := b.Base, b.Max
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// Scale into [d/2, d): full jitter on the top half keeps the
+	// exponential envelope while decorrelating peers.
+	u := jitter01(b.Seed, key, attempt)
+	return d/2 + time.Duration(float64(d/2)*u)
+}
+
+// jitter01 maps (seed, key, attempt) to a uniform float in [0, 1):
+// FNV-1a over the identity, mixed with the seed through a splitmix64
+// finalizer — the same recipe internal/fault uses for its decisions.
+func jitter01(seed int64, key string, attempt int) float64 {
+	f := fnv.New64a()
+	io.WriteString(f, key)
+	io.WriteString(f, ":")
+	io.WriteString(f, strconv.Itoa(attempt))
+	x := f.Sum64() ^ uint64(seed)*0x9E3779B97F4A7C15
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

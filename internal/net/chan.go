@@ -1,0 +1,162 @@
+package net
+
+// chan.go is the in-process transport: the same Conn/Listener/
+// Transport contract over a pair of buffered channels, with no
+// serialization beyond a defensive payload copy. It is the fast path
+// for single-process runs and the deterministic substrate the fleet
+// tests run on — byte-equality between a "chan" run and a socket run
+// is exactly the tentpole's acceptance criterion.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// chanReg is the process-wide name registry chan listeners bind into.
+var chanReg = struct {
+	mu sync.Mutex
+	ls map[string]*chanListener
+}{ls: map[string]*chanListener{}}
+
+// ChanTransport is the in-process channel transport. Addresses are
+// arbitrary names in a process-wide namespace.
+type ChanTransport struct{}
+
+func (ChanTransport) Scheme() string { return "chan" }
+
+func (ChanTransport) Listen(addr string) (Listener, error) {
+	if addr == "" {
+		return nil, fmt.Errorf("net: chan listen needs a nonempty name")
+	}
+	l := &chanListener{addr: addr, accept: make(chan *chanConn), done: make(chan struct{})}
+	chanReg.mu.Lock()
+	defer chanReg.mu.Unlock()
+	if _, taken := chanReg.ls[addr]; taken {
+		return nil, fmt.Errorf("net: chan address %q already bound", addr)
+	}
+	chanReg.ls[addr] = l
+	return l, nil
+}
+
+func (ChanTransport) Dial(addr string) (Conn, error) {
+	chanReg.mu.Lock()
+	l := chanReg.ls[addr]
+	chanReg.mu.Unlock()
+	if l == nil {
+		return nil, fmt.Errorf("net: chan dial %q: connection refused", addr)
+	}
+	a2b := newChanPipe()
+	b2a := newChanPipe()
+	client := &chanConn{send: a2b, recv: b2a, addr: addr}
+	server := &chanConn{send: b2a, recv: a2b, addr: addr + ":client"}
+	select {
+	case l.accept <- server:
+		return client, nil
+	case <-l.done:
+		return nil, fmt.Errorf("net: chan dial %q: connection refused", addr)
+	}
+}
+
+type chanListener struct {
+	addr   string
+	accept chan *chanConn
+	done   chan struct{}
+	once   sync.Once
+}
+
+func (l *chanListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, fmt.Errorf("net: chan listener %q closed", l.addr)
+	}
+}
+
+func (l *chanListener) Close() error {
+	l.once.Do(func() {
+		chanReg.mu.Lock()
+		delete(chanReg.ls, l.addr)
+		chanReg.mu.Unlock()
+		close(l.done)
+	})
+	return nil
+}
+
+func (l *chanListener) Addr() string { return l.addr }
+
+// chanPipe is one direction of a chan connection. done is closed by
+// the writing side's Close — the channel equivalent of the close
+// marker: the reader drains what is buffered, then sees ErrPeerClosed.
+type chanPipe struct {
+	ch   chan Msg
+	done chan struct{}
+	once sync.Once
+}
+
+func newChanPipe() *chanPipe {
+	return &chanPipe{ch: make(chan Msg, 1024), done: make(chan struct{})}
+}
+
+func (p *chanPipe) close() { p.once.Do(func() { close(p.done) }) }
+
+type chanConn struct {
+	send *chanPipe // we write send.ch and own send.done
+	recv *chanPipe // the peer's send pipe
+	addr string
+}
+
+func (c *chanConn) Send(m Msg) error {
+	// Copy the payload: socket sends serialize, so the channel path must
+	// not let sender and receiver alias one buffer.
+	if m.Payload != nil {
+		m.Payload = append([]byte(nil), m.Payload...)
+	}
+	select {
+	case <-c.send.done:
+		return ErrPeerClosed
+	default:
+	}
+	select {
+	case c.send.ch <- m:
+		return nil
+	case <-c.send.done: // we closed
+		return ErrPeerClosed
+	case <-c.recv.done: // peer closed; nobody will read this
+		return ErrPeerClosed
+	}
+}
+
+func (c *chanConn) Recv(timeout time.Duration) (Msg, error) {
+	var expire <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		expire = t.C
+	}
+	select {
+	case m := <-c.recv.ch:
+		return m, nil
+	case <-c.recv.done:
+		// Peer closed — but deliver anything still buffered first, the
+		// way a socket delivers bytes queued before the close marker.
+		select {
+		case m := <-c.recv.ch:
+			return m, nil
+		default:
+			return Msg{}, ErrPeerClosed
+		}
+	case <-c.send.done: // local Close unblocks a pending read
+		return Msg{}, ErrPeerClosed
+	case <-expire:
+		return Msg{}, ErrTimeout
+	}
+}
+
+func (c *chanConn) Close() error {
+	c.send.close()
+	return nil
+}
+
+func (c *chanConn) RemoteAddr() string { return c.addr }
